@@ -1,0 +1,92 @@
+//! Criterion benches: the functional-level toolchain the model's
+//! inputs come from — trace generation, cache simulation, branch
+//! prediction, and the idealized IW analysis.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fosm_bench::harness;
+use fosm_branch::{Gshare, Predictor};
+use fosm_cache::{AccessKind, Hierarchy, HierarchyConfig};
+use fosm_core::profile::ProfileCollector;
+use fosm_depgraph::iw;
+use fosm_isa::LatencyTable;
+use fosm_sim::MachineConfig;
+use fosm_trace::TraceSource;
+use fosm_workloads::{BenchmarkSpec, WorkloadGenerator};
+use std::hint::black_box;
+
+const TRACE_LEN: u64 = 50_000;
+
+fn functional_toolchain(c: &mut Criterion) {
+    let spec = BenchmarkSpec::gzip();
+    let trace = harness::record(&spec, TRACE_LEN);
+    let params = harness::params_of(&MachineConfig::baseline());
+
+    let mut group = c.benchmark_group("functional");
+    group.throughput(Throughput::Elements(TRACE_LEN));
+
+    group.bench_function("workload-generation", |b| {
+        b.iter(|| {
+            let mut generator = WorkloadGenerator::new(&spec, 42);
+            let mut last = None;
+            for _ in 0..TRACE_LEN {
+                last = generator.next_inst();
+            }
+            black_box(last)
+        })
+    });
+
+    group.bench_function("cache-hierarchy", |b| {
+        b.iter(|| {
+            let mut h = Hierarchy::new(HierarchyConfig::baseline()).unwrap();
+            let mut hits = 0u64;
+            for inst in trace.insts() {
+                if h.access(AccessKind::IFetch, inst.pc).is_l1_hit() {
+                    hits += 1;
+                }
+                if let Some(addr) = inst.mem_addr {
+                    h.access(AccessKind::Load, addr);
+                }
+            }
+            black_box(hits)
+        })
+    });
+
+    group.bench_function("gshare-prediction", |b| {
+        b.iter(|| {
+            let mut p = Gshare::new(13);
+            let mut correct = 0u64;
+            for inst in trace.insts() {
+                if inst.op.is_cond_branch()
+                    && p.observe(inst.pc, inst.branch.unwrap().taken) {
+                        correct += 1;
+                    }
+            }
+            black_box(correct)
+        })
+    });
+
+    group.bench_function("iw-analysis-w64", |b| {
+        b.iter(|| black_box(iw::ipc_at_window(trace.insts(), 64, &LatencyTable::unit())))
+    });
+
+    group.bench_function("full-profile-collection", |b| {
+        b.iter(|| {
+            let mut replay = trace.clone();
+            replay.reset();
+            black_box(
+                ProfileCollector::new(&params)
+                    .collect(&mut replay, u64::MAX)
+                    .unwrap(),
+            )
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = functional_toolchain
+}
+criterion_main!(benches);

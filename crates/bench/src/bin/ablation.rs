@@ -1,0 +1,68 @@
+//! Ablation study: how much each model refinement contributes to the
+//! Fig. 15 accuracy. Four variants, from the paper's §5 recipe to the
+//! full refined default:
+//!
+//! 1. `paper` — eq. 8 with positional clustering, isolated penalty =
+//!    ∆D (rob_fill ≈ 0), burst n = 2 (the 7.5-cycle average).
+//! 2. `+robfill` — adds the eq. 6 rob_fill absorption estimate.
+//! 3. `+depend` — adds dependence-aware f_LDM clustering (default).
+//! 4. `+bursts` — additionally uses each profile's measured
+//!    misprediction burst length for eq. 3.
+
+use fosm_bench::harness;
+use fosm_core::model::FirstOrderModel;
+use fosm_sim::MachineConfig;
+use fosm_workloads::BenchmarkSpec;
+
+fn main() {
+    let n = harness::trace_len_from_args();
+    let config = MachineConfig::baseline();
+    let params = harness::params_of(&config);
+
+    type ModelFactory = Box<dyn Fn() -> FirstOrderModel>;
+    let variants: Vec<(&str, ModelFactory)> = vec![
+        (
+            "paper",
+            Box::new(|| FirstOrderModel::new(harness::params_of(&MachineConfig::baseline())).with_paper_simplifications()),
+        ),
+        (
+            "+robfill",
+            Box::new(|| FirstOrderModel::new(harness::params_of(&MachineConfig::baseline())).with_independent_grouping()),
+        ),
+        (
+            "+depend",
+            Box::new(|| FirstOrderModel::new(harness::params_of(&MachineConfig::baseline()))),
+        ),
+        (
+            "+bursts",
+            Box::new(|| FirstOrderModel::new(harness::params_of(&MachineConfig::baseline())).with_measured_bursts()),
+        ),
+    ];
+
+    println!("Ablation: Fig. 15 error under model variants ({n} insts/benchmark)");
+    print!("{:<8} {:>8}", "bench", "sim CPI");
+    for (name, _) in &variants {
+        print!(" {name:>9}");
+    }
+    println!();
+
+    let mut errors = vec![Vec::new(); variants.len()];
+    for spec in BenchmarkSpec::all() {
+        let trace = harness::record(&spec, n);
+        let sim = harness::simulate(&config, &trace);
+        let profile = harness::profile(&params, &spec.name, &trace);
+        print!("{:<8} {:>8.3}", spec.name, sim.cpi());
+        for (i, (_, make)) in variants.iter().enumerate() {
+            let est = make().evaluate(&profile).expect("valid profile");
+            let err = 100.0 * (est.total_cpi() - sim.cpi()) / sim.cpi();
+            errors[i].push((sim.cpi(), est.total_cpi()));
+            print!(" {err:>8.1}%");
+        }
+        println!();
+    }
+    print!("{:<8} {:>8}", "avg|err|", "");
+    for errs in &errors {
+        print!(" {:>8.1}%", harness::mean_abs_error_pct(errs));
+    }
+    println!();
+}

@@ -1,0 +1,86 @@
+//! Calibration report: measured model inputs for every synthetic
+//! benchmark (α, β, L, miss rates) so workload specs can be tuned
+//! against the paper's Table 1 and qualitative statements.
+
+use fosm_cache::{AccessKind, AccessOutcome, Hierarchy, HierarchyConfig, LongMissRecorder};
+use fosm_branch::{Gshare, MispredictStats, Predictor};
+use fosm_depgraph::{iw, powerlaw};
+use fosm_isa::LatencyTable;
+use fosm_trace::{TraceStats, VecTrace};
+use fosm_workloads::{BenchmarkSpec, WorkloadGenerator};
+
+fn main() {
+    let n: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200_000);
+    println!(
+        "{:<8} {:>6} {:>6} {:>6} {:>7} {:>7} {:>8} {:>8} {:>8} {:>9} {:>7}",
+        "bench", "alpha", "beta", "L", "br%", "misp%", "i-mr%", "d-mr%", "ldm/ki", "ovlp", "code KB"
+    );
+    for spec in BenchmarkSpec::all() {
+        let mut generator = WorkloadGenerator::new(&spec, 42);
+        let code_kb = generator.program().code_bytes() / 1024;
+        let trace = VecTrace::record(&mut generator, n);
+        let insts = trace.insts();
+
+        // IW characteristic.
+        let pts = iw::characteristic(insts, &[4, 8, 16, 32, 64, 128], &LatencyTable::unit());
+        let law = powerlaw::fit(&pts).expect("fit");
+
+        // Mix -> L (plus short-miss adjustment computed below).
+        let mut stats_src = trace.clone();
+        let stats = TraceStats::from_source(&mut stats_src, usize::MAX);
+        let l_fu = stats.average_latency(&LatencyTable::default());
+
+        // Caches + predictor.
+        let mut hier = Hierarchy::new(HierarchyConfig::baseline()).unwrap();
+        let mut bp = Gshare::new(13);
+        let mut bstats = MispredictStats::new();
+        let mut longs = LongMissRecorder::new();
+        let mut i_misses = 0u64;
+        let mut d_short = 0u64;
+        let (mut i_acc, mut d_acc) = (0u64, 0u64);
+        for (idx, inst) in insts.iter().enumerate() {
+            i_acc += 1;
+            if !matches!(hier.access(AccessKind::IFetch, inst.pc), AccessOutcome::L1) {
+                i_misses += 1;
+            }
+            if let Some(addr) = inst.mem_addr {
+                d_acc += 1;
+                let kind = if inst.op == fosm_isa::Op::Load {
+                    AccessKind::Load
+                } else {
+                    AccessKind::Store
+                };
+                match hier.access(kind, addr) {
+                    AccessOutcome::L1 => {}
+                    AccessOutcome::L2 => d_short += 1,
+                    AccessOutcome::Memory => longs.record(idx as u64),
+                }
+            }
+            if inst.op.is_cond_branch() {
+                let taken = inst.branch.unwrap().taken;
+                let ok = bp.observe(inst.pc, taken);
+                bstats.record(ok, idx as u64);
+            }
+        }
+        let short_extra = d_short as f64 / insts.len() as f64 * 8.0; // 8-cycle L2
+        let l_total = l_fu + short_extra;
+        let dist = longs.distribution(128);
+        println!(
+            "{:<8} {:>6.2} {:>6.2} {:>6.2} {:>7.2} {:>7.2} {:>8.3} {:>8.3} {:>8.2} {:>9.2} {:>7}",
+            spec.name,
+            law.alpha(),
+            law.beta(),
+            l_total,
+            stats.branch_fraction() * 100.0,
+            bstats.rate() * 100.0,
+            i_misses as f64 / i_acc as f64 * 100.0,
+            (d_short + longs.count()) as f64 / d_acc.max(1) as f64 * 100.0,
+            longs.count() as f64 / insts.len() as f64 * 1000.0,
+            dist.overlap_factor(),
+            code_kb,
+        );
+    }
+}

@@ -1,0 +1,28 @@
+//! Figure 4: the power-law relationship between issue-window size and
+//! issue width — idealized unit-latency IW curves, log2(I) vs log2(W),
+//! for all twelve benchmarks.
+
+use fosm_bench::harness;
+use fosm_depgraph::iw::{self, DEFAULT_WINDOW_SIZES};
+use fosm_isa::LatencyTable;
+use fosm_workloads::BenchmarkSpec;
+
+fn main() {
+    let n = harness::trace_len_from_args();
+    println!("Figure 4: unit-latency IW characteristic, IPC by window size ({n} insts)");
+    print!("{:<8}", "bench");
+    for w in DEFAULT_WINDOW_SIZES {
+        print!(" {w:>7}");
+    }
+    println!();
+    for spec in BenchmarkSpec::all() {
+        let trace = harness::record(&spec, n);
+        let points = iw::characteristic(trace.insts(), &DEFAULT_WINDOW_SIZES, &LatencyTable::unit());
+        print!("{:<8}", spec.name);
+        for p in &points {
+            print!(" {:>7.2}", p.ipc);
+        }
+        println!();
+    }
+    println!("\nlog2(I) vs log2(W) slopes (β) are reported by `table1`.");
+}

@@ -1,0 +1,46 @@
+//! Figure 8: the transient curve of an isolated branch misprediction
+//! for the paper's illustrative square-root IW characteristic (α=1,
+//! β=0.5) on the 4-wide baseline — drain ≈ 2.1 cycles, pipeline refill
+//! 5 cycles, ramp-up ≈ 2.7 cycles, total ≈ 9.7. Also prints the
+//! instruction-cache miss transient shape of Fig. 10.
+
+use fosm_bench::plot;
+use fosm_core::transient::{
+    branch_transient_curve, icache_transient_curve, ramp_up, win_drain,
+};
+use fosm_depgraph::{IwCharacteristic, PowerLaw};
+
+fn main() {
+    let iw = IwCharacteristic::new(PowerLaw::square_root(), 1.0).expect("valid law");
+    let (width, win, pipe, delta_i) = (4u32, 48u32, 5u32, 8u32);
+
+    let drain = win_drain(&iw, width, win);
+    let ramp = ramp_up(&iw, width, win);
+    println!("Figure 8: isolated branch misprediction transient (alpha=1, beta=0.5)");
+    println!(
+        "  drain: {:.1} cycles penalty over {} cycles (paper: 2.1)",
+        drain.penalty,
+        drain.duration()
+    );
+    println!("  front-end refill: {pipe} cycles (paper: 4.9)");
+    println!(
+        "  ramp-up: {:.1} cycles penalty over {} cycles (paper: 2.7)",
+        ramp.penalty,
+        ramp.duration()
+    );
+    println!(
+        "  total isolated penalty: {:.1} cycles (paper: 9.7)\n",
+        drain.penalty + pipe as f64 + ramp.penalty
+    );
+
+    let curve = branch_transient_curve(&iw, width, win, pipe, 3);
+    println!("issue rate per cycle:");
+    println!("  {}", plot::sparkline(&curve));
+    for (cycle, rate) in curve.iter().enumerate() {
+        println!("  cycle {cycle:>2}: {rate:>5.2} {}", plot::bar(*rate, 4.0, 24));
+    }
+
+    println!("\nFigure 10 shape: isolated instruction-cache miss transient (∆I = {delta_i}):");
+    let icurve = icache_transient_curve(&iw, width, win, pipe, delta_i, 3);
+    println!("  {}", plot::sparkline(&icurve));
+}

@@ -1,0 +1,39 @@
+//! Figure 15: overall CPI — first-order model vs detailed simulation —
+//! for all twelve benchmarks, plus the paper's headline average error
+//! (the paper reports 5.8% mean, worst cases mcf/gzip/twolf at 12–13%).
+
+use fosm_bench::harness;
+use fosm_sim::MachineConfig;
+use fosm_workloads::BenchmarkSpec;
+
+fn main() {
+    let n = harness::trace_len_from_args();
+    let config = MachineConfig::baseline();
+    let params = harness::params_of(&config);
+
+    println!("Figure 15: model vs simulation CPI (baseline machine, {n} insts/benchmark)");
+    println!(
+        "{:<8} {:>9} {:>9} {:>8}",
+        "bench", "sim CPI", "model CPI", "err%"
+    );
+    let mut pairs = Vec::new();
+    for spec in BenchmarkSpec::all() {
+        let trace = harness::record(&spec, n);
+        let sim = harness::simulate(&config, &trace);
+        let profile = harness::profile(&params, &spec.name, &trace);
+        let est = harness::estimate(&params, &profile);
+        let err = 100.0 * (est.total_cpi() - sim.cpi()) / sim.cpi();
+        println!(
+            "{:<8} {:>9.3} {:>9.3} {:>7.1}%",
+            spec.name,
+            sim.cpi(),
+            est.total_cpi(),
+            err
+        );
+        pairs.push((sim.cpi(), est.total_cpi()));
+    }
+    println!(
+        "\naverage |error| = {:.1}%  (paper: 5.8%)",
+        harness::mean_abs_error_pct(&pairs)
+    );
+}

@@ -1,0 +1,52 @@
+//! Figure 16: the "stack model" of performance — per-benchmark CPI
+//! decomposed into ideal + L1 I-cache + L2 I-cache + L2 D-cache +
+//! branch misprediction adders, as estimated by the first-order model.
+
+use fosm_bench::{harness, plot};
+use fosm_sim::MachineConfig;
+use fosm_workloads::BenchmarkSpec;
+
+fn main() {
+    let n = harness::trace_len_from_args();
+    let params = harness::params_of(&MachineConfig::baseline());
+    println!("Figure 16: CPI stack (model components, {n} insts/benchmark)");
+    println!(
+        "{:<8} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7}",
+        "bench", "ideal", "L1-I", "L2-I", "L2-D", "branch", "total"
+    );
+    let mut stacks = Vec::new();
+    for spec in BenchmarkSpec::all() {
+        let trace = harness::record(&spec, n);
+        let profile = harness::profile(&params, &spec.name, &trace);
+        let est = harness::estimate(&params, &profile);
+        println!(
+            "{:<8} {:>7.3} {:>7.3} {:>7.3} {:>7.3} {:>7.3} {:>7.3}",
+            spec.name,
+            est.steady_state_cpi,
+            est.icache_l1_cpi,
+            est.icache_l2_cpi,
+            est.dcache_cpi,
+            est.branch_cpi,
+            est.total_cpi()
+        );
+        stacks.push((spec.name.clone(), est));
+    }
+    let max = stacks
+        .iter()
+        .map(|(_, e)| e.total_cpi())
+        .fold(0.0f64, f64::max);
+    println!("\nstacked bars (i=ideal, I=icache, D=dcache, B=branch):");
+    for (name, est) in &stacks {
+        let seg = |v: f64| ((v / max) * 56.0).round() as usize;
+        println!(
+            "{name:<8} |{}{}{}{}|",
+            "i".repeat(seg(est.steady_state_cpi)),
+            "I".repeat(seg(est.icache_l1_cpi + est.icache_l2_cpi)),
+            "D".repeat(seg(est.dcache_cpi)),
+            "B".repeat(seg(est.branch_cpi)),
+        );
+    }
+    let _ = plot::bar(1.0, 1.0, 1); // keep the plot helpers exercised
+    println!("\n(expected shape: mcf/twolf dominated by L2-D; gzip/bzip by branch;");
+    println!(" gcc/vortex/perl/crafty with the largest I-cache components)");
+}

@@ -1,0 +1,50 @@
+//! Figure 17: the implication of increasing front-end pipeline depth.
+//! (a) IPC vs depth for issue widths 2/3/4/8 — deeper front ends erode
+//! the advantage of wider issue. (b) Absolute performance (BIPS) with
+//! the clock scaling 8200ps/n + 90ps — the optimum is ≈55 stages at
+//! width 3 (Sprangle & Carmean) and moves to shorter pipelines as the
+//! machine widens.
+
+use fosm_trends::pipeline::PipelineStudy;
+
+fn main() {
+    let study = PipelineStudy::paper();
+    let widths = [2u32, 3, 4, 8];
+    let depths: Vec<u32> = (1..=100).collect();
+
+    println!("Figure 17a: IPC vs front-end depth (1-in-5 branches, 5% mispredicted)");
+    print!("{:<7}", "depth");
+    for w in widths {
+        print!(" {:>8}", format!("issue {w}"));
+    }
+    println!();
+    for depth in [1u32, 5, 10, 20, 40, 60, 80, 100] {
+        print!("{depth:<7}");
+        for w in widths {
+            print!(" {:>8.2}", study.ipc(w, depth).expect("valid point"));
+        }
+        println!();
+    }
+
+    println!("\nFigure 17b: BIPS vs front-end depth (clock = 8200ps/n + 90ps)");
+    print!("{:<7}", "depth");
+    for w in widths {
+        print!(" {:>8}", format!("issue {w}"));
+    }
+    println!();
+    for depth in [1u32, 10, 20, 30, 40, 55, 70, 85, 100] {
+        print!("{depth:<7}");
+        for w in widths {
+            let pt = &study.sweep(w, [depth]).expect("valid point")[0];
+            print!(" {:>8.2}", pt.bips);
+        }
+        println!();
+    }
+
+    println!("\noptimal front-end depth by issue width:");
+    for w in widths {
+        let best = study.optimal_depth(w, depths.iter().copied()).expect("non-empty");
+        let marker = if w == 3 { "  <- paper/Sprangle-Carmean: ~55" } else { "" };
+        println!("  issue {w}: {best} stages{marker}");
+    }
+}

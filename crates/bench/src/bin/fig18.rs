@@ -1,0 +1,43 @@
+//! Figure 18: instructions between mispredictions required to spend a
+//! given fraction of time within 12.5% of the implemented issue width,
+//! for widths 4, 8, and 16. The paper's conclusion: doubling the width
+//! requires roughly *quadrupling* the distance between mispredictions —
+//! branch prediction must improve as the square of the issue width.
+
+use fosm_depgraph::{IwCharacteristic, PowerLaw};
+use fosm_trends::issue_width::IssueWidthStudy;
+
+fn main() {
+    let iw = IwCharacteristic::new(PowerLaw::square_root(), 1.0).expect("valid law");
+    let study = IssueWidthStudy::paper(iw);
+    let widths = [4u32, 8, 16];
+    let fractions = [0.10, 0.20, 0.30, 0.40, 0.50];
+
+    println!("Figure 18: instructions between mispredictions for time-at-peak targets");
+    print!("{:<12}", "% of time");
+    for w in widths {
+        print!(" {:>10}", format!("width {w}"));
+    }
+    println!("   (peak = within 12.5% of width)");
+    for f in fractions {
+        print!("{:<12}", format!("{:.0}%", f * 100.0));
+        for w in widths {
+            let d = study.distance_for_fraction(w, f).expect("reachable fraction");
+            print!(" {:>10.0}", d);
+        }
+        println!();
+    }
+
+    println!("\nscaling of required distance when the width doubles:");
+    for f in fractions {
+        let d4 = study.distance_for_fraction(4, f).expect("reachable");
+        let d8 = study.distance_for_fraction(8, f).expect("reachable");
+        let d16 = study.distance_for_fraction(16, f).expect("reachable");
+        println!(
+            "  {:>3.0}%:  8/4 = {:>4.1}x   16/8 = {:>4.1}x   (paper: ~4x)",
+            f * 100.0,
+            d8 / d4,
+            d16 / d8
+        );
+    }
+}

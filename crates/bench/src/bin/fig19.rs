@@ -1,0 +1,38 @@
+//! Figure 19: per-cycle instruction issue rate between two mispredicted
+//! branches, for issue widths 2/3/4/8 at the average inter-misprediction
+//! distance. Wide machines barely ramp to their peak before the next
+//! misprediction flushes them.
+
+use fosm_bench::plot;
+use fosm_depgraph::{IwCharacteristic, PowerLaw};
+use fosm_trends::issue_width::IssueWidthStudy;
+
+fn main() {
+    let iw = IwCharacteristic::new(PowerLaw::square_root(), 1.0).expect("valid law");
+    let study = IssueWidthStudy::paper(iw);
+    // The paper's §6 assumption: 1 in 5 instructions is a branch, 5%
+    // mispredict -> 100 instructions between mispredictions.
+    let distance = 100.0;
+
+    println!("Figure 19: issue rate between two mispredictions ({distance} insts apart)");
+    for width in [2u32, 3, 4, 8] {
+        let epoch = study.epoch(width, distance).expect("valid epoch");
+        let peak = epoch.rates.iter().copied().fold(0.0f64, f64::max);
+        println!(
+            "\nissue {width}: peak {peak:.2} of {width} ({} cycles, {:.1}% near max)",
+            epoch.rates.len(),
+            epoch.fraction_near_max * 100.0
+        );
+        println!("  {}", plot::sparkline(&epoch.rates));
+        print!("  rates:");
+        for (i, r) in epoch.rates.iter().enumerate() {
+            if i % 10 == 0 {
+                print!("\n   ");
+            }
+            print!(" {r:>4.1}");
+        }
+        println!();
+    }
+    println!("\n(paper: with width 4 the IPC barely reaches 4; with width 8 it barely");
+    println!(" exceeds 6 before the next misprediction)");
+}

@@ -1,0 +1,84 @@
+//! Extension study (paper §7): program phases. A composite workload
+//! alternating between a branch-bound phase (gzip-like) and a
+//! memory-bound phase (mcf-like) is modeled two ways:
+//!
+//! * **whole-trace**: one profile over the mixed stream (what the
+//!   paper does for the phase-free SPECint benchmarks), and
+//! * **per-phase**: each phase profiled and modeled separately, CPIs
+//!   combined by instruction weight — the paper's suggested treatment.
+
+use fosm_bench::harness;
+use fosm_core::profile::ProfileCollector;
+use fosm_sim::{Machine, MachineConfig};
+use fosm_trace::VecTrace;
+use fosm_workloads::{BenchmarkSpec, PhasedGenerator};
+
+fn main() {
+    let n = harness::trace_len_from_args();
+    let config = MachineConfig::baseline();
+    let params = harness::params_of(&config);
+    let phase_len = 50_000u64;
+
+    let pairs = [
+        (BenchmarkSpec::gzip(), BenchmarkSpec::mcf()),
+        (BenchmarkSpec::vortex(), BenchmarkSpec::vpr()),
+    ];
+
+    println!("Phase study: composite workloads, whole-trace vs per-phase modeling ({n} insts)");
+    println!(
+        "{:<16} {:>9} {:>12} {:>7} {:>12} {:>7}",
+        "phases", "sim CPI", "whole-trace", "err%", "per-phase", "err%"
+    );
+    for (a, b) in pairs {
+        let mut generator =
+            PhasedGenerator::new(&a, &b, phase_len, harness::SEED).expect("valid phases");
+        let trace = VecTrace::record(&mut generator, n);
+        let sim = Machine::new(config.clone()).run(&mut trace.clone());
+
+        // Whole-trace: one profile of the mixed stream.
+        let whole = harness::estimate(
+            &params,
+            &harness::profile(&params, &format!("{}+{}", a.name, b.name), &trace),
+        )
+        .total_cpi();
+
+        // Per-phase: split the recorded trace at phase boundaries and
+        // profile each phase's instructions separately.
+        let insts = trace.insts();
+        let mut phase_cpis = [0.0f64; 2];
+        let mut phase_weights = [0.0f64; 2];
+        for phase in 0..2usize {
+            let phase_insts: Vec<_> = insts
+                .chunks(phase_len as usize)
+                .enumerate()
+                .filter(|(i, _)| i % 2 == phase)
+                .flat_map(|(_, chunk)| chunk.iter().copied())
+                .collect();
+            let mut phase_trace = VecTrace::new(phase_insts);
+            let profile = ProfileCollector::new(&params)
+                .with_name(format!("phase-{phase}"))
+                .collect(&mut phase_trace, u64::MAX)
+                .expect("profile");
+            phase_weights[phase] = profile.instructions as f64;
+            phase_cpis[phase] = harness::estimate(&params, &profile).total_cpi();
+        }
+        let total_weight: f64 = phase_weights.iter().sum();
+        let per_phase = (phase_cpis[0] * phase_weights[0] + phase_cpis[1] * phase_weights[1])
+            / total_weight;
+
+        println!(
+            "{:<16} {:>9.3} {:>12.3} {:>6.1}% {:>12.3} {:>6.1}%",
+            format!("{}+{}", a.name, b.name),
+            sim.cpi(),
+            whole,
+            100.0 * (whole - sim.cpi()) / sim.cpi(),
+            per_phase,
+            100.0 * (per_phase - sim.cpi()) / sim.cpi()
+        );
+    }
+    println!("\n(per-phase modeling keeps each phase's IW characteristic and miss");
+    println!(" clustering distinct instead of blending them — the paper's §7 point.");
+    println!(" With these long, well-mixed 50k phases the whole-trace blend already");
+    println!(" averages correctly; per-phase pays a small cold-state toll at each");
+    println!(" boundary and becomes the better tool as phases shorten or diverge)");
+}

@@ -1,0 +1,70 @@
+//! Related-work comparison (paper §1.2): statistical simulation vs the
+//! first-order model, both validated against detailed simulation of the
+//! real trace. The paper claims its model "performs statistical
+//! simulation, without the simulation, and overall accuracy is
+//! similar" — this harness tests that claim.
+
+use fosm_bench::harness;
+use fosm_sim::MachineConfig;
+use fosm_statsim::{CollectorConfig, StatMachine, StatProfile, SynthesizedTrace};
+use fosm_workloads::BenchmarkSpec;
+use std::time::Instant;
+
+fn main() {
+    let n = harness::trace_len_from_args();
+    let config = MachineConfig::baseline();
+    let params = harness::params_of(&config);
+
+    println!("Statistical simulation vs first-order model ({n} insts/benchmark)");
+    println!(
+        "{:<8} {:>8} {:>9} {:>7} {:>9} {:>7}",
+        "bench", "sim CPI", "stat CPI", "err%", "model CPI", "err%"
+    );
+    let mut stat_pairs = Vec::new();
+    let mut model_pairs = Vec::new();
+    let mut stat_time = 0.0f64;
+    let mut model_time = 0.0f64;
+    for spec in BenchmarkSpec::all() {
+        let trace = harness::record(&spec, n);
+        let sim = harness::simulate(&config, &trace);
+
+        // Statistical simulation: collect stats, synthesize, simulate.
+        let stat_profile = StatProfile::from_trace(trace.insts(), CollectorConfig::default());
+        let t0 = Instant::now();
+        let mut synth = SynthesizedTrace::new(&stat_profile, harness::SEED);
+        let stat = StatMachine::baseline().run(&mut synth, n);
+        stat_time += t0.elapsed().as_secs_f64();
+
+        // First-order model: same inputs, no simulation at all.
+        let profile = harness::profile(&params, &spec.name, &trace);
+        let t0 = Instant::now();
+        let est = harness::estimate(&params, &profile);
+        model_time += t0.elapsed().as_secs_f64();
+
+        let stat_err = 100.0 * (stat.cpi() - sim.cpi()) / sim.cpi();
+        let model_err = 100.0 * (est.total_cpi() - sim.cpi()) / sim.cpi();
+        println!(
+            "{:<8} {:>8.3} {:>9.3} {:>6.1}% {:>9.3} {:>6.1}%",
+            spec.name,
+            sim.cpi(),
+            stat.cpi(),
+            stat_err,
+            est.total_cpi(),
+            model_err
+        );
+        stat_pairs.push((sim.cpi(), stat.cpi()));
+        model_pairs.push((sim.cpi(), est.total_cpi()));
+    }
+    println!(
+        "\navg |error|: statistical simulation {:.1}%, first-order model {:.1}%",
+        harness::mean_abs_error_pct(&stat_pairs),
+        harness::mean_abs_error_pct(&model_pairs)
+    );
+    println!(
+        "evaluation time (after shared profiling): statistical simulation {:.0} ms, model {:.2} ms",
+        stat_time * 1e3,
+        model_time * 1e3
+    );
+    println!("\n(the paper's claim: the model is statistical simulation *without* the");
+    println!(" simulation step, at similar accuracy — and ~1000x faster to evaluate)");
+}

@@ -1,0 +1,32 @@
+//! Table 1: power-law parameters (α, β) of the unit-latency IW
+//! characteristic and the average instruction latency L, for every
+//! benchmark. The paper tabulates the three illustrative benchmarks:
+//! gzip (1.3, 0.5, 1.5), vortex (1.2, 0.7, 1.6), vpr (1.7, 0.3, 2.2).
+
+use fosm_bench::harness;
+use fosm_sim::MachineConfig;
+use fosm_workloads::BenchmarkSpec;
+
+fn main() {
+    let n = harness::trace_len_from_args();
+    let params = harness::params_of(&MachineConfig::baseline());
+    println!("Table 1: power-law parameters and average latency ({n} insts)");
+    println!("{:<8} {:>6} {:>6} {:>9}", "bench", "alpha", "beta", "avg lat");
+    for spec in BenchmarkSpec::all() {
+        let trace = harness::record(&spec, n);
+        let profile = harness::profile(&params, &spec.name, &trace);
+        let marker = match spec.name.as_str() {
+            "gzip" => "  <- paper: 1.3, 0.5, 1.5",
+            "vortex" => "  <- paper: 1.2, 0.7, 1.6",
+            "vpr" => "  <- paper: 1.7, 0.3, 2.2",
+            _ => "",
+        };
+        println!(
+            "{:<8} {:>6.2} {:>6.2} {:>9.2}{marker}",
+            spec.name,
+            profile.iw.law().alpha(),
+            profile.iw.law().beta(),
+            profile.iw.avg_latency(),
+        );
+    }
+}

@@ -1,0 +1,52 @@
+//! Extension study (paper §7, new feature 4): data-TLB misses as a
+//! fourth miss-event class. Sweeps TLB sizes on the memory-intensive
+//! benchmarks and compares the model's TLB component against detailed
+//! simulation.
+
+use fosm_bench::harness;
+use fosm_cache::TlbConfig;
+use fosm_core::model::FirstOrderModel;
+use fosm_core::profile::ProfileCollector;
+use fosm_sim::{Machine, MachineConfig};
+use fosm_workloads::BenchmarkSpec;
+
+fn main() {
+    let n = harness::trace_len_from_args();
+    let params = harness::params_of(&MachineConfig::baseline());
+    println!("TLB study: CPI with a data TLB, model vs simulation ({n} insts)");
+    println!(
+        "{:<8} {:>8} {:>9} {:>9} {:>9} {:>7}",
+        "bench", "entries", "misses/ki", "sim CPI", "model CPI", "err%"
+    );
+    for spec in [BenchmarkSpec::mcf(), BenchmarkSpec::twolf(), BenchmarkSpec::parser()] {
+        let trace = harness::record(&spec, n);
+        for entries in [16u32, 64, 256] {
+            let tlb = TlbConfig {
+                entries,
+                page_bytes: 4096,
+                walk_latency: 120,
+            };
+            let sim = Machine::new(MachineConfig::baseline().with_dtlb(tlb))
+                .run(&mut trace.clone());
+            let profile = ProfileCollector::new(&params)
+                .with_dtlb(tlb)
+                .with_name(&spec.name)
+                .collect(&mut trace.clone(), u64::MAX)
+                .expect("profile");
+            let est = FirstOrderModel::new(params.clone())
+                .evaluate(&profile)
+                .expect("estimate");
+            println!(
+                "{:<8} {:>8} {:>9.2} {:>9.3} {:>9.3} {:>6.1}%",
+                spec.name,
+                entries,
+                1000.0 * sim.dtlb_misses as f64 / n as f64,
+                sim.cpi(),
+                est.total_cpi(),
+                100.0 * (est.total_cpi() - sim.cpi()) / sim.cpi()
+            );
+        }
+    }
+    println!("\n(the paper predicts TLB misses 'will act much like long data cache");
+    println!(" misses' — the same overlap scaling and ROB-fill offsets apply)");
+}

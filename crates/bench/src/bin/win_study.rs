@@ -1,0 +1,60 @@
+//! Structural sweep: model vs simulation across window sizes and
+//! widths. Exercises the model away from the baseline point — through
+//! the dataflow-limited region (small windows, where `α·W^β/L` rules)
+//! into saturation (the region the paper's evaluation lives in).
+
+use fosm_bench::harness;
+use fosm_core::model::FirstOrderModel;
+use fosm_sim::MachineConfig;
+use fosm_workloads::BenchmarkSpec;
+
+fn main() {
+    let n = harness::trace_len_from_args();
+    let base = MachineConfig::baseline();
+    let params = harness::params_of(&base);
+
+    println!("Window/width sweep: model vs simulation CPI ({n} insts)");
+    for spec in [BenchmarkSpec::gzip(), BenchmarkSpec::vortex(), BenchmarkSpec::vpr()] {
+        let trace = harness::record(&spec, n);
+        let profile = harness::profile(&params, &spec.name, &trace);
+        println!("\n{}:", spec.name);
+        println!(
+            "{:>6} {:>6} {:>9} {:>10} {:>7}",
+            "width", "window", "sim CPI", "model CPI", "err%"
+        );
+        for (width, window) in [
+            (2u32, 8u32),
+            (2, 32),
+            (4, 8),
+            (4, 16),
+            (4, 48),
+            (4, 128),
+            (8, 32),
+            (8, 128),
+        ] {
+            let mut cfg = base.clone().with_width(width);
+            cfg.win_size = window;
+            cfg.rob_size = cfg.rob_size.max(2 * window);
+            let sim = harness::simulate(&cfg, &trace);
+            let mut p = params.clone();
+            p.width = width;
+            p.win_size = window;
+            p.rob_size = cfg.rob_size;
+            let est = FirstOrderModel::new(p).evaluate(&profile).expect("estimate");
+            println!(
+                "{:>6} {:>6} {:>9.3} {:>10.3} {:>6.1}%",
+                width,
+                window,
+                sim.cpi(),
+                est.total_cpi(),
+                100.0 * (est.total_cpi() - sim.cpi()) / sim.cpi()
+            );
+        }
+    }
+    println!("\n(small windows sit on the rising part of the IW characteristic;");
+    println!(" the paper's machines live in the saturated region. Expect the low-ILP");
+    println!(" benchmark to degrade at very large unsaturated windows: the drain/ramp");
+    println!(" walks assume the mispredicted branch is the oldest instruction at");
+    println!(" resolution, which breaks when a 128-entry window never saturates —");
+    println!(" the first §7 refinement the paper calls for)");
+}

@@ -1,0 +1,120 @@
+//! Shared plumbing for the figure-regeneration binaries.
+
+use fosm_core::model::{Estimate, FirstOrderModel};
+use fosm_core::params::ProcessorParams;
+use fosm_core::profile::{ProfileCollector, ProgramProfile};
+use fosm_sim::{Machine, MachineConfig, SimReport};
+use fosm_trace::VecTrace;
+use fosm_workloads::{BenchmarkSpec, WorkloadGenerator};
+
+/// Default dynamic trace length per benchmark. Override with the first
+/// CLI argument of any figure binary.
+pub const DEFAULT_TRACE_LEN: u64 = 300_000;
+
+/// Seed used for every figure (fixed for reproducibility).
+pub const SEED: u64 = 42;
+
+/// Reads the trace length from the first CLI argument, defaulting to
+/// [`DEFAULT_TRACE_LEN`].
+pub fn trace_len_from_args() -> u64 {
+    std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_TRACE_LEN)
+}
+
+/// Records `n` instructions of the benchmark's dynamic stream.
+pub fn record(spec: &BenchmarkSpec, n: u64) -> VecTrace {
+    record_seeded(spec, n, SEED)
+}
+
+/// Records `n` instructions with an explicit dynamic seed.
+pub fn record_seeded(spec: &BenchmarkSpec, n: u64, seed: u64) -> VecTrace {
+    let mut generator = WorkloadGenerator::new(spec, seed);
+    VecTrace::record(&mut generator, n)
+}
+
+/// Runs the detailed simulator over (a fresh replay of) `trace`.
+pub fn simulate(config: &MachineConfig, trace: &VecTrace) -> SimReport {
+    let mut replay = trace.clone();
+    replay.reset();
+    Machine::new(config.clone()).run(&mut replay)
+}
+
+/// Collects the functional-level profile the model consumes.
+pub fn profile(params: &ProcessorParams, name: &str, trace: &VecTrace) -> ProgramProfile {
+    let mut replay = trace.clone();
+    replay.reset();
+    ProfileCollector::new(params)
+        .with_name(name)
+        .collect(&mut replay, u64::MAX)
+        .expect("profile collection on a recorded trace succeeds")
+}
+
+/// Evaluates the first-order model on a profile.
+pub fn estimate(params: &ProcessorParams, profile: &ProgramProfile) -> Estimate {
+    FirstOrderModel::new(params.clone())
+        .evaluate(profile)
+        .expect("model evaluation on a valid profile succeeds")
+}
+
+/// The model's [`ProcessorParams`] matching a simulator configuration.
+pub fn params_of(config: &MachineConfig) -> ProcessorParams {
+    ProcessorParams {
+        width: config.width,
+        win_size: config.win_size,
+        rob_size: config.rob_size,
+        pipe_depth: config.pipe_depth,
+        l2_latency: config.l2_latency,
+        mem_latency: config.mem_latency,
+        latencies: config.latencies.clone(),
+    }
+}
+
+/// Mean absolute relative error (in percent) across paired values.
+pub fn mean_abs_error_pct(pairs: &[(f64, f64)]) -> f64 {
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    let total: f64 = pairs
+        .iter()
+        .map(|(reference, value)| ((value - reference) / reference).abs())
+        .sum();
+    100.0 * total / pairs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_produces_requested_length() {
+        let t = record(&BenchmarkSpec::gzip(), 5_000);
+        assert_eq!(t.len(), 5_000);
+    }
+
+    #[test]
+    fn simulate_replays_without_consuming() {
+        let t = record(&BenchmarkSpec::gzip(), 5_000);
+        let a = simulate(&MachineConfig::ideal(), &t);
+        let b = simulate(&MachineConfig::ideal(), &t);
+        assert_eq!(a, b);
+        assert_eq!(a.instructions, 5_000);
+    }
+
+    #[test]
+    fn params_of_round_trips_structural_fields() {
+        let cfg = MachineConfig::baseline();
+        let p = params_of(&cfg);
+        assert_eq!(p.width, cfg.width);
+        assert_eq!(p.rob_size, cfg.rob_size);
+        assert_eq!(p.mem_latency, cfg.mem_latency);
+    }
+
+    #[test]
+    fn error_metric() {
+        assert_eq!(mean_abs_error_pct(&[]), 0.0);
+        let e = mean_abs_error_pct(&[(2.0, 2.2), (1.0, 0.9)]);
+        assert!((e - 10.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,9 @@
+//! Benchmark and figure-regeneration harness for the first-order model.
+//!
+//! Each `fig*`/`table*` binary in `src/bin/` regenerates one table or
+//! figure of Karkhanis & Smith (ISCA 2004); this library holds the
+//! shared plumbing (trace recording, simulation runs, model runs,
+//! text plotting).
+
+pub mod harness;
+pub mod plot;

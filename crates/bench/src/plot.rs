@@ -1,0 +1,51 @@
+//! Minimal text plotting for figure binaries.
+
+/// Renders a horizontal bar of `value` scaled so that `max` fills
+/// `width` characters.
+pub fn bar(value: f64, max: f64, width: usize) -> String {
+    if max <= 0.0 || value <= 0.0 {
+        return String::new();
+    }
+    let n = ((value / max) * width as f64).round() as usize;
+    "#".repeat(n.min(width))
+}
+
+/// Renders a series as an ASCII sparkline using eighth-block ramps.
+pub fn sparkline(values: &[f64]) -> String {
+    const RAMP: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = values.iter().copied().fold(f64::MIN, f64::max);
+    let min = values.iter().copied().fold(f64::MAX, f64::min);
+    if values.is_empty() || max <= min {
+        return values.iter().map(|_| RAMP[0]).collect();
+    }
+    values
+        .iter()
+        .map(|&v| {
+            let t = (v - min) / (max - min);
+            RAMP[((t * 7.0).round() as usize).min(7)]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_scales_and_clamps() {
+        assert_eq!(bar(5.0, 10.0, 10), "#####");
+        assert_eq!(bar(20.0, 10.0, 10).len(), 10);
+        assert_eq!(bar(0.0, 10.0, 10), "");
+        assert_eq!(bar(1.0, 0.0, 10), "");
+    }
+
+    #[test]
+    fn sparkline_spans_the_ramp() {
+        let s = sparkline(&[0.0, 1.0]);
+        assert_eq!(s.chars().count(), 2);
+        assert!(s.starts_with('▁'));
+        assert!(s.ends_with('█'));
+        // Flat series renders as all-low without dividing by zero.
+        assert_eq!(sparkline(&[2.0, 2.0, 2.0]).chars().count(), 3);
+    }
+}

@@ -1,0 +1,120 @@
+//! Declarative predictor configuration.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{
+    AlwaysTaken, Bimodal, Gshare, Ideal, NeverTaken, Perceptron, Predictor, Tournament,
+    TwoLevelLocal,
+};
+
+/// Which branch predictor a simulation or profile collection uses.
+///
+/// A `PredictorConfig` is a cheap, serializable description;
+/// [`build`](PredictorConfig::build) instantiates the (stateful)
+/// predictor.
+///
+/// # Examples
+///
+/// ```
+/// use fosm_branch::PredictorConfig;
+///
+/// let p = PredictorConfig::Gshare { bits: 13 }.build();
+/// assert_eq!(p.name(), "gshare-13");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PredictorConfig {
+    /// Perfect prediction (the "ideal branch predictor" simulations).
+    Ideal,
+    /// gshare with `2^bits` counters (the paper's baseline is 13 bits —
+    /// an 8K-entry table).
+    Gshare {
+        /// Index bits.
+        bits: u32,
+    },
+    /// Bimodal (PC-indexed) with `2^bits` counters.
+    Bimodal {
+        /// Index bits.
+        bits: u32,
+    },
+    /// Two-level local predictor.
+    TwoLevel {
+        /// PC-index bits of the history table.
+        pc_bits: u32,
+        /// History length / pattern-table index bits.
+        history_bits: u32,
+    },
+    /// Tournament of gshare and bimodal.
+    Tournament {
+        /// Index bits shared by components and chooser.
+        bits: u32,
+    },
+    /// Perceptron predictor (Jiménez & Lin).
+    Perceptron {
+        /// Index bits of the weight table.
+        bits: u32,
+        /// Global history length in bits.
+        history: u32,
+    },
+    /// Static always-taken.
+    AlwaysTaken,
+    /// Static never-taken.
+    NeverTaken,
+}
+
+impl PredictorConfig {
+    /// Instantiates the configured predictor.
+    pub fn build(self) -> Box<dyn Predictor> {
+        match self {
+            PredictorConfig::Ideal => Box::new(Ideal::new()),
+            PredictorConfig::Gshare { bits } => Box::new(Gshare::new(bits)),
+            PredictorConfig::Bimodal { bits } => Box::new(Bimodal::new(bits)),
+            PredictorConfig::TwoLevel { pc_bits, history_bits } => {
+                Box::new(TwoLevelLocal::new(pc_bits, history_bits))
+            }
+            PredictorConfig::Tournament { bits } => Box::new(Tournament::new(bits)),
+            PredictorConfig::Perceptron { bits, history } => {
+                Box::new(Perceptron::new(bits, history))
+            }
+            PredictorConfig::AlwaysTaken => Box::new(AlwaysTaken::new()),
+            PredictorConfig::NeverTaken => Box::new(NeverTaken::new()),
+        }
+    }
+
+    /// `true` if this is the perfect predictor.
+    pub fn is_ideal(self) -> bool {
+        self == PredictorConfig::Ideal
+    }
+
+    /// The paper's baseline: 8K-entry gshare.
+    pub fn baseline() -> Self {
+        PredictorConfig::Gshare { bits: 13 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_variant_builds_and_names_itself() {
+        for cfg in [
+            PredictorConfig::Ideal,
+            PredictorConfig::Gshare { bits: 13 },
+            PredictorConfig::Bimodal { bits: 12 },
+            PredictorConfig::TwoLevel { pc_bits: 10, history_bits: 10 },
+            PredictorConfig::Tournament { bits: 12 },
+            PredictorConfig::Perceptron { bits: 9, history: 16 },
+            PredictorConfig::AlwaysTaken,
+            PredictorConfig::NeverTaken,
+        ] {
+            assert!(!cfg.build().name().is_empty());
+        }
+    }
+
+    #[test]
+    fn baseline_is_8k_gshare() {
+        assert_eq!(PredictorConfig::baseline(), PredictorConfig::Gshare { bits: 13 });
+        assert!(!PredictorConfig::baseline().is_ideal());
+        assert!(PredictorConfig::Ideal.is_ideal());
+    }
+}

@@ -1,0 +1,99 @@
+//! Saturating two-bit counters, the storage cell of classic predictors.
+
+use serde::{Deserialize, Serialize};
+
+/// A two-bit saturating counter.
+///
+/// States 0–1 predict not-taken, 2–3 predict taken. Training moves the
+/// counter one step toward the observed direction, saturating at the
+/// ends — the hysteresis that makes loop-closing branches predictable.
+///
+/// # Examples
+///
+/// ```
+/// use fosm_branch::SaturatingCounter;
+///
+/// let mut c = SaturatingCounter::weakly_not_taken();
+/// assert!(!c.predict_taken());
+/// c.train(true);
+/// assert!(c.predict_taken()); // 1 -> 2 crosses the threshold
+/// c.train(true);
+/// c.train(false);
+/// assert!(c.predict_taken()); // 3 -> 2 keeps predicting taken
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SaturatingCounter(u8);
+
+impl SaturatingCounter {
+    /// Counter initialized to state 1 (weakly not-taken), the common
+    /// cold-start choice.
+    pub fn weakly_not_taken() -> Self {
+        SaturatingCounter(1)
+    }
+
+    /// Counter initialized to state 2 (weakly taken).
+    pub fn weakly_taken() -> Self {
+        SaturatingCounter(2)
+    }
+
+    /// Current prediction: `true` in states 2 and 3.
+    #[inline]
+    pub fn predict_taken(self) -> bool {
+        self.0 >= 2
+    }
+
+    /// Moves one step toward `taken`, saturating at 0 and 3.
+    #[inline]
+    pub fn train(&mut self, taken: bool) {
+        if taken {
+            self.0 = (self.0 + 1).min(3);
+        } else {
+            self.0 = self.0.saturating_sub(1);
+        }
+    }
+
+    /// The raw state in `0..=3`.
+    pub fn state(self) -> u8 {
+        self.0
+    }
+}
+
+impl Default for SaturatingCounter {
+    fn default() -> Self {
+        SaturatingCounter::weakly_not_taken()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saturates_at_both_ends() {
+        let mut c = SaturatingCounter::weakly_not_taken();
+        for _ in 0..10 {
+            c.train(true);
+        }
+        assert_eq!(c.state(), 3);
+        for _ in 0..10 {
+            c.train(false);
+        }
+        assert_eq!(c.state(), 0);
+    }
+
+    #[test]
+    fn hysteresis_survives_single_anomaly() {
+        let mut c = SaturatingCounter::weakly_not_taken();
+        c.train(true);
+        c.train(true); // state 3
+        c.train(false); // state 2: still predicts taken
+        assert!(c.predict_taken());
+    }
+
+    #[test]
+    fn initial_states() {
+        assert!(!SaturatingCounter::weakly_not_taken().predict_taken());
+        assert!(SaturatingCounter::weakly_taken().predict_taken());
+        assert_eq!(SaturatingCounter::default().state(), 1);
+    }
+}

@@ -1,0 +1,109 @@
+//! Degenerate predictors for bounding experiments.
+
+use crate::Predictor;
+
+/// A perfect predictor: every observation is correct.
+///
+/// Used for the paper's "everything ideal except …" simulations, where
+/// branch mispredictions are switched off entirely.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Ideal;
+
+impl Ideal {
+    /// Creates an ideal predictor.
+    pub fn new() -> Self {
+        Ideal
+    }
+}
+
+impl Predictor for Ideal {
+    fn predict(&self, _pc: u64) -> bool {
+        // Unknowable without the outcome; observe() is what matters.
+        true
+    }
+
+    fn update(&mut self, _pc: u64, _taken: bool) {}
+
+    fn observe(&mut self, _pc: u64, _taken: bool) -> bool {
+        true
+    }
+
+    fn name(&self) -> String {
+        "ideal".to_string()
+    }
+}
+
+/// A static predictor that always guesses taken.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AlwaysTaken;
+
+impl AlwaysTaken {
+    /// Creates an always-taken predictor.
+    pub fn new() -> Self {
+        AlwaysTaken
+    }
+}
+
+impl Predictor for AlwaysTaken {
+    fn predict(&self, _pc: u64) -> bool {
+        true
+    }
+
+    fn update(&mut self, _pc: u64, _taken: bool) {}
+
+    fn name(&self) -> String {
+        "always-taken".to_string()
+    }
+}
+
+/// A static predictor that always guesses not-taken.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NeverTaken;
+
+impl NeverTaken {
+    /// Creates a never-taken predictor.
+    pub fn new() -> Self {
+        NeverTaken
+    }
+}
+
+impl Predictor for NeverTaken {
+    fn predict(&self, _pc: u64) -> bool {
+        false
+    }
+
+    fn update(&mut self, _pc: u64, _taken: bool) {}
+
+    fn name(&self) -> String {
+        "never-taken".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_is_always_correct() {
+        let mut p = Ideal::new();
+        assert!(p.observe(0x0, true));
+        assert!(p.observe(0x0, false));
+    }
+
+    #[test]
+    fn static_predictors_score_by_direction() {
+        let mut t = AlwaysTaken::new();
+        assert!(t.observe(0, true));
+        assert!(!t.observe(0, false));
+        let mut n = NeverTaken::new();
+        assert!(!n.observe(0, true));
+        assert!(n.observe(0, false));
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(Ideal::new().name(), "ideal");
+        assert_eq!(AlwaysTaken::new().name(), "always-taken");
+        assert_eq!(NeverTaken::new().name(), "never-taken");
+    }
+}

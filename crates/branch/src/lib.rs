@@ -1,0 +1,52 @@
+//! Branch-predictor simulators for the first-order superscalar model.
+//!
+//! The analytical model consumes branch *misprediction statistics*
+//! gathered from functional simulation: the misprediction rate, the
+//! distribution of distances between mispredictions (used by the
+//! issue-width trend study, paper §6.2), and misprediction burst sizes
+//! (paper eq. 3). This crate provides the predictors themselves and the
+//! statistics collector:
+//!
+//! * [`Gshare`] — the paper's 8K-entry gshare baseline,
+//! * [`Bimodal`], [`TwoLevelLocal`], [`Tournament`] — classic
+//!   alternatives for sensitivity studies,
+//! * [`AlwaysTaken`], [`Ideal`] — degenerate predictors for bounding
+//!   experiments ("everything ideal except …"),
+//! * [`MispredictStats`] — rates, inter-misprediction distances, bursts.
+//!
+//! # Examples
+//!
+//! ```
+//! use fosm_branch::{Gshare, Predictor};
+//!
+//! let mut p = Gshare::new(13); // 8K entries, as in the paper
+//! // A strongly-biased branch becomes predictable once the global
+//! // history register has saturated (one cold entry per history bit).
+//! for _ in 0..64 {
+//!     p.observe(0x400, true);
+//! }
+//! assert!(p.observe(0x400, true));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod counters;
+mod gshare;
+mod ideal;
+mod perceptron;
+mod predictor;
+mod stats;
+mod tournament;
+mod twolevel;
+
+pub use config::PredictorConfig;
+pub use counters::SaturatingCounter;
+pub use gshare::{Bimodal, Gshare};
+pub use ideal::{AlwaysTaken, Ideal, NeverTaken};
+pub use perceptron::Perceptron;
+pub use predictor::Predictor;
+pub use stats::MispredictStats;
+pub use tournament::Tournament;
+pub use twolevel::TwoLevelLocal;

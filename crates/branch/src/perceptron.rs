@@ -1,0 +1,178 @@
+//! Perceptron branch predictor (Jiménez & Lin, HPCA 2001).
+//!
+//! The first neural predictor: each branch hashes to a weight vector;
+//! the prediction is the sign of the dot product of the weights with
+//! the global history (±1 per bit). Perceptrons exploit much longer
+//! histories than two-bit-counter tables of the same budget, at the
+//! cost of only learning linearly separable branch functions.
+
+use crate::Predictor;
+
+/// A perceptron predictor with a PC-indexed table of weight vectors
+/// over an `history_len`-bit global history.
+///
+/// # Examples
+///
+/// ```
+/// use fosm_branch::{Perceptron, Predictor};
+///
+/// let mut p = Perceptron::new(9, 16);
+/// // Alternating branch: linearly separable on one history bit.
+/// for _ in 0..128 {
+///     p.observe(0x40, true);
+///     p.observe(0x40, false);
+/// }
+/// let mut correct = 0;
+/// for i in 0..100u64 {
+///     if p.observe(0x40, i % 2 == 0) {
+///         correct += 1;
+///     }
+/// }
+/// assert!(correct > 90);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Perceptron {
+    /// `weights[slot]` = bias weight followed by one weight per history bit.
+    weights: Vec<Vec<i16>>,
+    history: u64,
+    history_len: u32,
+    index_bits: u32,
+    threshold: i32,
+}
+
+impl Perceptron {
+    /// Creates a perceptron predictor with `2^index_bits` weight
+    /// vectors over `history_len` history bits.
+    ///
+    /// The training threshold uses the authors' empirically-optimal
+    /// `⌊1.93·h + 14⌋`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= index_bits <= 24` and `1 <= history_len <= 62`.
+    pub fn new(index_bits: u32, history_len: u32) -> Self {
+        assert!(
+            (1..=24).contains(&index_bits),
+            "index bits must be in 1..=24, got {index_bits}"
+        );
+        assert!(
+            (1..=62).contains(&history_len),
+            "history length must be in 1..=62, got {history_len}"
+        );
+        Perceptron {
+            weights: vec![vec![0; history_len as usize + 1]; 1 << index_bits],
+            history: 0,
+            history_len,
+            index_bits,
+            threshold: (1.93 * history_len as f64 + 14.0) as i32,
+        }
+    }
+
+    #[inline]
+    fn slot(&self, pc: u64) -> usize {
+        (((pc >> 2) ^ (pc >> (2 + self.index_bits))) & ((1u64 << self.index_bits) - 1)) as usize
+    }
+
+    /// The dot product of the slot's weights with the current history.
+    fn output(&self, pc: u64) -> i32 {
+        let w = &self.weights[self.slot(pc)];
+        let mut y = w[0] as i32; // bias
+        for bit in 0..self.history_len {
+            let x = if self.history >> bit & 1 == 1 { 1 } else { -1 };
+            y += w[bit as usize + 1] as i32 * x;
+        }
+        y
+    }
+}
+
+impl Predictor for Perceptron {
+    fn predict(&self, pc: u64) -> bool {
+        self.output(pc) >= 0
+    }
+
+    fn update(&mut self, pc: u64, taken: bool) {
+        let y = self.output(pc);
+        let predicted = y >= 0;
+        let t: i32 = if taken { 1 } else { -1 };
+        // Train on mispredictions or low-confidence outputs.
+        if predicted != taken || y.abs() <= self.threshold {
+            let slot = self.slot(pc);
+            let history = self.history;
+            let w = &mut self.weights[slot];
+            w[0] = (w[0] as i32 + t).clamp(-128, 127) as i16;
+            for bit in 0..self.history_len {
+                let x: i32 = if history >> bit & 1 == 1 { 1 } else { -1 };
+                let idx = bit as usize + 1;
+                w[idx] = (w[idx] as i32 + t * x).clamp(-128, 127) as i16;
+            }
+        }
+        self.history = ((self.history << 1) | taken as u64) & ((1u64 << self.history_len) - 1);
+    }
+
+    fn name(&self) -> String {
+        format!("perceptron-{}x{}", self.index_bits, self.history_len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_biased_branches() {
+        let mut p = Perceptron::new(8, 12);
+        for _ in 0..64 {
+            p.observe(0x100, true);
+        }
+        let correct = (0..100).filter(|_| p.observe(0x100, true)).count();
+        assert!(correct >= 99, "got {correct}");
+    }
+
+    #[test]
+    fn learns_long_period_patterns_counters_cannot() {
+        // Period-7 loop pattern: TTTTTTN. A perceptron with >=7 history
+        // bits separates it linearly (the 7th-ago outcome predicts).
+        let mut p = Perceptron::new(8, 16);
+        let mut correct = 0;
+        let n = 2000u64;
+        for i in 0..n {
+            if p.observe(0x200, i % 7 != 6) {
+                correct += 1;
+            }
+        }
+        assert!(
+            correct as f64 / n as f64 > 0.9,
+            "accuracy {}",
+            correct as f64 / n as f64
+        );
+    }
+
+    #[test]
+    fn weights_stay_saturated_not_overflowing() {
+        let mut p = Perceptron::new(4, 8);
+        for _ in 0..100_000 {
+            p.observe(0x10, true);
+        }
+        for w in &p.weights[p.slot(0x10)] {
+            assert!((-128..=127).contains(&(*w as i32)));
+        }
+        assert!(p.predict(0x10));
+    }
+
+    #[test]
+    fn name_and_validation() {
+        assert_eq!(Perceptron::new(9, 16).name(), "perceptron-9x16");
+    }
+
+    #[test]
+    #[should_panic(expected = "history length")]
+    fn rejects_oversized_history() {
+        let _ = Perceptron::new(8, 63);
+    }
+
+    #[test]
+    #[should_panic(expected = "index bits")]
+    fn rejects_zero_index_bits() {
+        let _ = Perceptron::new(0, 8);
+    }
+}

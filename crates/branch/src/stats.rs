@@ -1,0 +1,177 @@
+//! Misprediction statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Misprediction statistics collected during functional simulation.
+///
+/// Beyond the raw misprediction rate, the collector records the dynamic
+/// instruction position of every misprediction, from which it derives:
+///
+/// * the mean number of instructions between mispredictions — the
+///   x-axis of the paper's issue-width study (Fig. 18),
+/// * misprediction *burst* sizes (mispredictions whose resolving
+///   branches are close together serialize into one long stall;
+///   paper eq. 3 divides the drain+ramp penalty by the burst length).
+///
+/// # Examples
+///
+/// ```
+/// use fosm_branch::MispredictStats;
+///
+/// let mut s = MispredictStats::new();
+/// s.record(true, 0);
+/// s.record(false, 100);
+/// s.record(true, 200);
+/// assert_eq!(s.branches(), 3);
+/// assert_eq!(s.mispredicts(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct MispredictStats {
+    branches: u64,
+    mispredicts: u64,
+    instructions: u64,
+    mispredict_positions: Vec<u64>,
+}
+
+impl MispredictStats {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        MispredictStats::default()
+    }
+
+    /// Records one conditional branch outcome.
+    ///
+    /// `correct` is whether the predictor was right; `inst_index` is the
+    /// dynamic instruction index of the branch (must be non-decreasing
+    /// across calls).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inst_index` goes backwards for a misprediction.
+    pub fn record(&mut self, correct: bool, inst_index: u64) {
+        self.branches += 1;
+        self.instructions = self.instructions.max(inst_index + 1);
+        if !correct {
+            if let Some(&last) = self.mispredict_positions.last() {
+                assert!(
+                    inst_index >= last,
+                    "misprediction positions must be non-decreasing"
+                );
+            }
+            self.mispredicts += 1;
+            self.mispredict_positions.push(inst_index);
+        }
+    }
+
+    /// Informs the collector of the total trace length, so
+    /// [`instructions_between_mispredicts`](Self::instructions_between_mispredicts)
+    /// uses the true denominator even if the trace ends after the last
+    /// branch.
+    pub fn set_total_instructions(&mut self, n: u64) {
+        self.instructions = self.instructions.max(n);
+    }
+
+    /// Conditional branches observed.
+    pub fn branches(&self) -> u64 {
+        self.branches
+    }
+
+    /// Mispredicted conditional branches.
+    pub fn mispredicts(&self) -> u64 {
+        self.mispredicts
+    }
+
+    /// Misprediction rate in `[0, 1]`; 0.0 with no branches.
+    pub fn rate(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.mispredicts as f64 / self.branches as f64
+        }
+    }
+
+    /// Mean dynamic instructions between consecutive mispredictions
+    /// (total instructions / mispredictions). `f64::INFINITY` when no
+    /// branch mispredicted.
+    pub fn instructions_between_mispredicts(&self) -> f64 {
+        if self.mispredicts == 0 {
+            f64::INFINITY
+        } else {
+            self.instructions as f64 / self.mispredicts as f64
+        }
+    }
+
+    /// Dynamic instruction positions of every misprediction.
+    pub fn positions(&self) -> &[u64] {
+        &self.mispredict_positions
+    }
+
+    /// Mean burst length: consecutive mispredictions within
+    /// `threshold` instructions of their *predecessor* count as one
+    /// burst (the `n` of paper eq. 3). Returns 0.0 with no
+    /// mispredictions.
+    pub fn mean_burst_length(&self, threshold: u64) -> f64 {
+        let mut bursts = 0u64;
+        let mut prev: Option<u64> = None;
+        for &pos in &self.mispredict_positions {
+            match prev {
+                Some(p) if pos - p <= threshold => {}
+                _ => bursts += 1,
+            }
+            prev = Some(pos);
+        }
+        if bursts == 0 {
+            0.0
+        } else {
+            self.mispredicts as f64 / bursts as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_and_distance() {
+        let mut s = MispredictStats::new();
+        for i in 0..10u64 {
+            // every 5th branch mispredicts; branches 100 apart
+            s.record(i % 5 != 0, i * 100);
+        }
+        s.set_total_instructions(1000);
+        assert_eq!(s.branches(), 10);
+        assert_eq!(s.mispredicts(), 2);
+        assert!((s.rate() - 0.2).abs() < 1e-12);
+        assert!((s.instructions_between_mispredicts() - 500.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_mispredicts_distance_is_infinite() {
+        let mut s = MispredictStats::new();
+        s.record(true, 0);
+        assert_eq!(s.instructions_between_mispredicts(), f64::INFINITY);
+        assert_eq!(s.rate(), 0.0);
+        assert_eq!(s.mean_burst_length(10), 0.0);
+    }
+
+    #[test]
+    fn burst_lengths_group_close_mispredicts() {
+        let mut s = MispredictStats::new();
+        // Two bursts: {0, 5, 10} and {1000}.
+        for pos in [0u64, 5, 10, 1000] {
+            s.record(false, pos);
+        }
+        assert!((s.mean_burst_length(20) - 2.0).abs() < 1e-12); // 4 mispredicts / 2 bursts
+        // Tiny threshold: every misprediction is its own burst.
+        assert!((s.mean_burst_length(1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn out_of_order_positions_rejected() {
+        let mut s = MispredictStats::new();
+        s.record(false, 100);
+        s.record(false, 50);
+    }
+}

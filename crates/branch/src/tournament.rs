@@ -1,0 +1,126 @@
+//! Tournament (hybrid) predictor.
+
+use crate::{Bimodal, Gshare, Predictor, SaturatingCounter};
+
+/// A tournament predictor choosing per-branch between a global (gshare)
+/// and a local (bimodal) component, Alpha-21264-style.
+///
+/// A PC-indexed table of two-bit choosers is trained toward whichever
+/// component was correct when they disagree.
+///
+/// # Examples
+///
+/// ```
+/// use fosm_branch::{Predictor, Tournament};
+///
+/// let mut p = Tournament::new(12);
+/// for _ in 0..64 {
+///     p.observe(0x10, true);
+/// }
+/// assert!(p.predict(0x10));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tournament {
+    global: Gshare,
+    local: Bimodal,
+    chooser: Vec<SaturatingCounter>,
+    index_bits: u32,
+}
+
+impl Tournament {
+    /// Creates a tournament predictor whose components and chooser all
+    /// use `2^index_bits` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= index_bits <= 30` (propagated from the
+    /// component constructors).
+    pub fn new(index_bits: u32) -> Self {
+        Tournament {
+            global: Gshare::new(index_bits),
+            local: Bimodal::new(index_bits),
+            // weakly_taken state 2 = "prefer global", matching hardware
+            // that defaults to the usually-stronger component.
+            chooser: vec![SaturatingCounter::weakly_taken(); 1 << index_bits],
+            index_bits,
+        }
+    }
+
+    #[inline]
+    fn chooser_index(&self, pc: u64) -> usize {
+        let mask = (1u64 << self.index_bits) - 1;
+        ((pc >> 2) & mask) as usize
+    }
+
+    /// Whether the chooser currently prefers the global component for `pc`.
+    pub fn prefers_global(&self, pc: u64) -> bool {
+        self.chooser[self.chooser_index(pc)].predict_taken()
+    }
+}
+
+impl Predictor for Tournament {
+    fn predict(&self, pc: u64) -> bool {
+        if self.prefers_global(pc) {
+            self.global.predict(pc)
+        } else {
+            self.local.predict(pc)
+        }
+    }
+
+    fn update(&mut self, pc: u64, taken: bool) {
+        let g = self.global.predict(pc);
+        let l = self.local.predict(pc);
+        // Train the chooser only on disagreement: toward global when
+        // global alone was right, toward local when local alone was.
+        if g != l {
+            let idx = self.chooser_index(pc);
+            self.chooser[idx].train(g == taken);
+        }
+        self.global.update(pc, taken);
+        self.local.update(pc, taken);
+    }
+
+    fn name(&self) -> String {
+        format!("tournament-{}", self.index_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_or_beats_the_better_component_on_mixed_workload() {
+        // Branch A: alternating (gshare-friendly). Branch B: biased
+        // (both handle it). The tournament should do well on both.
+        let mut t = Tournament::new(12);
+        let mut correct = 0;
+        let n = 2000u64;
+        for i in 0..n {
+            if t.observe(0x100, i % 2 == 0) {
+                correct += 1;
+            }
+            if t.observe(0x200, true) {
+                correct += 1;
+            }
+        }
+        let rate = correct as f64 / (2 * n) as f64;
+        assert!(rate > 0.9, "tournament accuracy {rate}");
+    }
+
+    #[test]
+    fn chooser_moves_toward_correct_component() {
+        let mut t = Tournament::new(10);
+        // Period-2 pattern: gshare learns it, bimodal cannot. The
+        // chooser should end up preferring global.
+        for i in 0..500u64 {
+            t.observe(0x300, i % 2 == 0);
+        }
+        assert!(t.prefers_global(0x300));
+    }
+
+    #[test]
+    fn name_encodes_geometry() {
+        assert_eq!(Tournament::new(10).name(), "tournament-10");
+    }
+}

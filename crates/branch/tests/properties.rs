@@ -1,0 +1,97 @@
+//! Property-based tests for the branch predictors.
+
+use fosm_branch::{
+    Bimodal, Gshare, Ideal, MispredictStats, Predictor, PredictorConfig, SaturatingCounter,
+    Tournament, TwoLevelLocal,
+};
+use proptest::prelude::*;
+
+fn outcome_stream() -> impl Strategy<Value = Vec<(u64, bool)>> {
+    prop::collection::vec((0u64..0x1000, any::<bool>()), 1..400)
+}
+
+proptest! {
+    /// observe() is exactly predict-then-update for table predictors.
+    #[test]
+    fn observe_is_predict_then_update(stream in outcome_stream()) {
+        let mut a = Gshare::new(10);
+        let mut b = Gshare::new(10);
+        for &(pc, taken) in &stream {
+            let expected = b.predict(pc) == taken;
+            b.update(pc, taken);
+            prop_assert_eq!(a.observe(pc, taken), expected);
+        }
+    }
+
+    /// Saturating counters never leave their 2-bit domain.
+    #[test]
+    fn counter_stays_in_domain(updates in prop::collection::vec(any::<bool>(), 0..100)) {
+        let mut c = SaturatingCounter::weakly_not_taken();
+        for t in updates {
+            c.train(t);
+            prop_assert!(c.state() <= 3);
+        }
+    }
+
+    /// Every predictor is deterministic: the same stream gives the same
+    /// accuracy.
+    #[test]
+    fn predictors_are_deterministic(stream in outcome_stream()) {
+        for cfg in [
+            PredictorConfig::Gshare { bits: 8 },
+            PredictorConfig::Bimodal { bits: 8 },
+            PredictorConfig::TwoLevel { pc_bits: 6, history_bits: 8 },
+            PredictorConfig::Tournament { bits: 8 },
+        ] {
+            let mut x = cfg.build();
+            let mut y = cfg.build();
+            for &(pc, taken) in &stream {
+                prop_assert_eq!(x.observe(pc, taken), y.observe(pc, taken));
+            }
+        }
+    }
+
+    /// The ideal predictor never mispredicts, on any stream.
+    #[test]
+    fn ideal_is_perfect(stream in outcome_stream()) {
+        let mut p = Ideal::new();
+        for (pc, taken) in stream {
+            prop_assert!(p.observe(pc, taken));
+        }
+    }
+
+    /// On a constant-direction branch every warmed-up table predictor
+    /// converges to perfect prediction.
+    #[test]
+    fn constant_branches_become_perfect(taken in any::<bool>(), pc in 0u64..0x4000) {
+        let mut predictors: Vec<Box<dyn Predictor>> = vec![
+            Box::new(Gshare::new(12)),
+            Box::new(Bimodal::new(12)),
+            Box::new(TwoLevelLocal::new(8, 10)),
+            Box::new(Tournament::new(12)),
+        ];
+        for p in &mut predictors {
+            for _ in 0..64 {
+                p.observe(pc, taken);
+            }
+            prop_assert!(p.observe(pc, taken), "{} failed after warm-up", p.name());
+        }
+    }
+
+    /// Misprediction statistics are internally consistent.
+    #[test]
+    fn stats_invariants(outcomes in prop::collection::vec(any::<bool>(), 1..300)) {
+        let mut s = MispredictStats::new();
+        for (i, correct) in outcomes.iter().enumerate() {
+            s.record(*correct, i as u64 * 3);
+        }
+        prop_assert!(s.mispredicts() <= s.branches());
+        prop_assert!((0.0..=1.0).contains(&s.rate()));
+        prop_assert_eq!(s.positions().len() as u64, s.mispredicts());
+        if s.mispredicts() > 0 {
+            let burst = s.mean_burst_length(10);
+            prop_assert!(burst >= 1.0);
+            prop_assert!(burst <= s.mispredicts() as f64);
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! Cache geometry and replacement configuration.
+
+use serde::{Deserialize, Serialize};
+
+use crate::CacheError;
+
+/// Replacement policy of a set-associative cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum Replacement {
+    /// Least-recently-used (the paper's configuration).
+    #[default]
+    Lru,
+    /// First-in first-out (replace the oldest-filled way).
+    Fifo,
+    /// Pseudo-random replacement (deterministic xorshift stream).
+    Random,
+}
+
+/// Geometry and policy of one cache level.
+///
+/// Use [`CacheConfig::new`] to construct a validated configuration, or
+/// the presets matching the paper's baseline machine
+/// ([`l1_baseline`](CacheConfig::l1_baseline),
+/// [`l2_baseline`](CacheConfig::l2_baseline)).
+///
+/// # Examples
+///
+/// ```
+/// use fosm_cache::{CacheConfig, Replacement};
+///
+/// let cfg = CacheConfig::new(4 * 1024, 4, 128, Replacement::Lru)?;
+/// assert_eq!(cfg.num_sets(), 8);
+/// # Ok::<(), fosm_cache::CacheError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CacheConfig {
+    size_bytes: u64,
+    assoc: u32,
+    line_bytes: u32,
+    replacement: Replacement,
+}
+
+impl CacheConfig {
+    /// Creates a validated cache configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError`] if any parameter is zero, if the line size
+    /// or derived set count is not a power of two, or if `size_bytes` is
+    /// not exactly `assoc * line_bytes * num_sets`.
+    pub fn new(
+        size_bytes: u64,
+        assoc: u32,
+        line_bytes: u32,
+        replacement: Replacement,
+    ) -> Result<Self, CacheError> {
+        if size_bytes == 0 {
+            return Err(CacheError::ZeroParameter { what: "size" });
+        }
+        if assoc == 0 {
+            return Err(CacheError::ZeroParameter { what: "associativity" });
+        }
+        if line_bytes == 0 {
+            return Err(CacheError::ZeroParameter { what: "line size" });
+        }
+        if !line_bytes.is_power_of_two() {
+            return Err(CacheError::NotPowerOfTwo {
+                what: "line size",
+                value: line_bytes as u64,
+            });
+        }
+        let way_bytes = assoc as u64 * line_bytes as u64;
+        if !size_bytes.is_multiple_of(way_bytes) {
+            return Err(CacheError::InconsistentGeometry {
+                size_bytes,
+                assoc,
+                line_bytes,
+            });
+        }
+        let num_sets = size_bytes / way_bytes;
+        if !num_sets.is_power_of_two() {
+            return Err(CacheError::NotPowerOfTwo {
+                what: "set count",
+                value: num_sets,
+            });
+        }
+        Ok(CacheConfig {
+            size_bytes,
+            assoc,
+            line_bytes,
+            replacement,
+        })
+    }
+
+    /// The paper's baseline L1 configuration: 4 KB, 4-way, 128 B lines, LRU.
+    ///
+    /// Used for both the instruction and the data L1 cache.
+    pub fn l1_baseline() -> Self {
+        CacheConfig::new(4 * 1024, 4, 128, Replacement::Lru)
+            .expect("baseline L1 geometry is valid")
+    }
+
+    /// The paper's baseline unified L2: 512 KB, 4-way, 128 B lines, LRU.
+    pub fn l2_baseline() -> Self {
+        CacheConfig::new(512 * 1024, 4, 128, Replacement::Lru)
+            .expect("baseline L2 geometry is valid")
+    }
+
+    /// Total capacity in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.size_bytes
+    }
+
+    /// Associativity (ways per set).
+    pub fn assoc(&self) -> u32 {
+        self.assoc
+    }
+
+    /// Line size in bytes.
+    pub fn line_bytes(&self) -> u32 {
+        self.line_bytes
+    }
+
+    /// Replacement policy.
+    pub fn replacement(&self) -> Replacement {
+        self.replacement
+    }
+
+    /// Number of sets (`size / (assoc * line)`), always a power of two.
+    pub fn num_sets(&self) -> u64 {
+        self.size_bytes / (self.assoc as u64 * self.line_bytes as u64)
+    }
+
+    /// Returns the (set index, tag) decomposition of a byte address.
+    #[inline]
+    pub fn decompose(&self, addr: u64) -> (u64, u64) {
+        let line = addr / self.line_bytes as u64;
+        let set = line & (self.num_sets() - 1);
+        let tag = line / self.num_sets();
+        (set, tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_geometries() {
+        let l1 = CacheConfig::l1_baseline();
+        assert_eq!(l1.num_sets(), 8);
+        assert_eq!(l1.size_bytes(), 4096);
+        let l2 = CacheConfig::l2_baseline();
+        assert_eq!(l2.num_sets(), 1024);
+        assert_eq!(l2.assoc(), 4);
+    }
+
+    #[test]
+    fn rejects_zero_parameters() {
+        assert!(matches!(
+            CacheConfig::new(0, 4, 128, Replacement::Lru),
+            Err(CacheError::ZeroParameter { what: "size" })
+        ));
+        assert!(matches!(
+            CacheConfig::new(4096, 0, 128, Replacement::Lru),
+            Err(CacheError::ZeroParameter { what: "associativity" })
+        ));
+        assert!(matches!(
+            CacheConfig::new(4096, 4, 0, Replacement::Lru),
+            Err(CacheError::ZeroParameter { what: "line size" })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_power_of_two_lines_and_sets() {
+        assert!(matches!(
+            CacheConfig::new(4096, 4, 96, Replacement::Lru),
+            Err(CacheError::NotPowerOfTwo { what: "line size", .. })
+        ));
+        // 3 sets: 4 ways * 128 B * 3 = 1536
+        assert!(matches!(
+            CacheConfig::new(1536, 4, 128, Replacement::Lru),
+            Err(CacheError::NotPowerOfTwo { what: "set count", .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_indivisible_size() {
+        assert!(matches!(
+            CacheConfig::new(4096 + 64, 4, 128, Replacement::Lru),
+            Err(CacheError::InconsistentGeometry { .. })
+        ));
+    }
+
+    #[test]
+    fn decompose_roundtrips_within_line() {
+        let cfg = CacheConfig::l1_baseline(); // 8 sets, 128 B lines
+        let (set, tag) = cfg.decompose(0);
+        assert_eq!((set, tag), (0, 0));
+        // Same line -> same decomposition regardless of offset.
+        assert_eq!(cfg.decompose(127), (0, 0));
+        // Next line -> next set.
+        assert_eq!(cfg.decompose(128).0, 1);
+        // Wrap after 8 lines with incremented tag.
+        assert_eq!(cfg.decompose(8 * 128), (0, 1));
+    }
+
+    #[test]
+    fn fully_associative_single_set() {
+        let cfg = CacheConfig::new(1024, 8, 128, Replacement::Lru).unwrap();
+        assert_eq!(cfg.num_sets(), 1);
+        assert_eq!(cfg.decompose(0x12345).0, 0);
+    }
+}

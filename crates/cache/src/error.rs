@@ -1,0 +1,68 @@
+//! Cache configuration errors.
+
+/// Error returned when a cache or hierarchy configuration is invalid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CacheError {
+    /// A geometry parameter (size, associativity, line size) was zero.
+    ZeroParameter {
+        /// Name of the offending parameter.
+        what: &'static str,
+    },
+    /// Line size or set count is not a power of two, so address
+    /// decomposition into tag/set/offset is impossible.
+    NotPowerOfTwo {
+        /// Name of the offending parameter.
+        what: &'static str,
+        /// The rejected value.
+        value: u64,
+    },
+    /// Total size is not divisible into `assoc` ways of whole lines.
+    InconsistentGeometry {
+        /// Total capacity in bytes.
+        size_bytes: u64,
+        /// Associativity (ways).
+        assoc: u32,
+        /// Line size in bytes.
+        line_bytes: u32,
+    },
+}
+
+impl std::fmt::Display for CacheError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CacheError::ZeroParameter { what } => write!(f, "cache {what} must be non-zero"),
+            CacheError::NotPowerOfTwo { what, value } => {
+                write!(f, "cache {what} must be a power of two, got {value}")
+            }
+            CacheError::InconsistentGeometry {
+                size_bytes,
+                assoc,
+                line_bytes,
+            } => write!(
+                f,
+                "cache size {size_bytes} B is not divisible into {assoc} ways of {line_bytes}-byte lines"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CacheError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = CacheError::ZeroParameter { what: "line size" };
+        assert!(e.to_string().contains("line size"));
+        let e = CacheError::NotPowerOfTwo { what: "set count", value: 3 };
+        assert!(e.to_string().contains("power of two"));
+        let e = CacheError::InconsistentGeometry {
+            size_bytes: 100,
+            assoc: 3,
+            line_bytes: 32,
+        };
+        assert!(e.to_string().contains("not divisible"));
+    }
+}

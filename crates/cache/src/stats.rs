@@ -1,0 +1,99 @@
+//! Access/miss counters.
+
+use serde::{Deserialize, Serialize};
+
+/// Access and miss counters for one cache level.
+///
+/// # Examples
+///
+/// ```
+/// use fosm_cache::MissStats;
+///
+/// let mut s = MissStats::default();
+/// s.record(true);
+/// s.record(false);
+/// assert_eq!(s.accesses(), 2);
+/// assert_eq!(s.misses(), 1);
+/// assert!((s.miss_rate() - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct MissStats {
+    accesses: u64,
+    misses: u64,
+}
+
+impl MissStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        MissStats::default()
+    }
+
+    /// Records one access; `hit` says whether it hit.
+    #[inline]
+    pub fn record(&mut self, hit: bool) {
+        self.accesses += 1;
+        if !hit {
+            self.misses += 1;
+        }
+    }
+
+    /// Total accesses observed.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Total misses observed.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Total hits observed.
+    pub fn hits(&self) -> u64 {
+        self.accesses - self.misses
+    }
+
+    /// Miss rate in `[0, 1]`; 0.0 when no accesses were recorded.
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&mut self) {
+        *self = MissStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_rate() {
+        let mut s = MissStats::new();
+        for hit in [true, true, false, true] {
+            s.record(hit);
+        }
+        assert_eq!(s.accesses(), 4);
+        assert_eq!(s.misses(), 1);
+        assert_eq!(s.hits(), 3);
+        assert!((s.miss_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_rate_is_zero() {
+        assert_eq!(MissStats::new().miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let mut s = MissStats::new();
+        s.record(false);
+        s.reset();
+        assert_eq!(s.accesses(), 0);
+        assert_eq!(s.misses(), 0);
+    }
+}

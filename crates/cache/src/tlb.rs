@@ -1,0 +1,212 @@
+//! A translation lookaside buffer (paper §7, new feature 4).
+//!
+//! The paper lists TLB misses as the next miss-event type to add:
+//! "When added, these will act much like long data cache misses." The
+//! TLB is a small fully-associative LRU cache of page translations;
+//! misses trigger a page walk whose latency stalls retirement exactly
+//! like a long miss.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{CacheError, MissStats};
+
+/// Geometry of a TLB.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TlbConfig {
+    /// Number of translation entries (fully associative).
+    pub entries: u32,
+    /// Page size in bytes (power of two).
+    pub page_bytes: u64,
+    /// Page-walk latency charged on a miss, in cycles.
+    pub walk_latency: u32,
+}
+
+impl TlbConfig {
+    /// A classic 64-entry, 4 KiB-page data TLB with a 30-cycle walk.
+    pub fn baseline() -> Self {
+        TlbConfig {
+            entries: 64,
+            page_bytes: 4096,
+            walk_latency: 30,
+        }
+    }
+
+    /// Validates the geometry.
+    ///
+    /// # Errors
+    ///
+    /// [`CacheError`] if entries are zero or the page size is not a
+    /// power of two.
+    pub fn validate(&self) -> Result<(), CacheError> {
+        if self.entries == 0 {
+            return Err(CacheError::ZeroParameter { what: "TLB entries" });
+        }
+        if self.page_bytes == 0 {
+            return Err(CacheError::ZeroParameter { what: "page size" });
+        }
+        if !self.page_bytes.is_power_of_two() {
+            return Err(CacheError::NotPowerOfTwo {
+                what: "page size",
+                value: self.page_bytes,
+            });
+        }
+        if self.walk_latency == 0 {
+            return Err(CacheError::ZeroParameter { what: "walk latency" });
+        }
+        Ok(())
+    }
+}
+
+impl Default for TlbConfig {
+    fn default() -> Self {
+        TlbConfig::baseline()
+    }
+}
+
+/// A fully-associative LRU TLB.
+///
+/// # Examples
+///
+/// ```
+/// use fosm_cache::{Tlb, TlbConfig};
+///
+/// let mut tlb = Tlb::new(TlbConfig::baseline())?;
+/// assert!(!tlb.access(0x1000)); // cold miss
+/// assert!(tlb.access(0x1fff));  // same 4 KiB page: hit
+/// # Ok::<(), fosm_cache::CacheError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    config: TlbConfig,
+    /// (page number, last-use stamp) pairs; linear scan is fine for the
+    /// small sizes real TLBs have.
+    entries: Vec<(u64, u64)>,
+    clock: u64,
+    stats: MissStats,
+}
+
+impl Tlb {
+    /// Creates an empty TLB.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TlbConfig::validate`].
+    pub fn new(config: TlbConfig) -> Result<Self, CacheError> {
+        config.validate()?;
+        Ok(Tlb {
+            entries: Vec::with_capacity(config.entries as usize),
+            clock: 0,
+            stats: MissStats::new(),
+            config,
+        })
+    }
+
+    /// The configuration this TLB was built with.
+    pub fn config(&self) -> &TlbConfig {
+        &self.config
+    }
+
+    /// Access statistics.
+    pub fn stats(&self) -> &MissStats {
+        &self.stats
+    }
+
+    /// Translates `addr`, returning `true` on a TLB hit. Misses install
+    /// the page, evicting the least-recently-used entry if full.
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.clock += 1;
+        let page = addr / self.config.page_bytes;
+        if let Some(entry) = self.entries.iter_mut().find(|(p, _)| *p == page) {
+            entry.1 = self.clock;
+            self.stats.record(true);
+            return true;
+        }
+        if self.entries.len() < self.config.entries as usize {
+            self.entries.push((page, self.clock));
+        } else {
+            let victim = self
+                .entries
+                .iter_mut()
+                .min_by_key(|(_, stamp)| *stamp)
+                .expect("TLB is non-empty when full");
+            *victim = (page, self.clock);
+        }
+        self.stats.record(false);
+        false
+    }
+
+    /// Invalidates all translations and resets statistics.
+    pub fn flush(&mut self) {
+        self.entries.clear();
+        self.clock = 0;
+        self.stats.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Tlb {
+        Tlb::new(TlbConfig {
+            entries: 2,
+            page_bytes: 4096,
+            walk_latency: 30,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn same_page_hits() {
+        let mut t = tiny();
+        assert!(!t.access(0x0));
+        assert!(t.access(0xfff));
+        assert!(!t.access(0x1000));
+        assert_eq!(t.stats().misses(), 2);
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut t = tiny();
+        t.access(0x0000); // page 0
+        t.access(0x1000); // page 1
+        t.access(0x0000); // page 0 now MRU
+        t.access(0x2000); // evicts page 1
+        assert!(t.access(0x0abc));
+        assert!(!t.access(0x1abc), "page 1 must have been evicted");
+    }
+
+    #[test]
+    fn capacity_bounded() {
+        let mut t = tiny();
+        for i in 0..100u64 {
+            t.access(i * 4096);
+        }
+        let resident = (0..100u64).filter(|i| {
+            // probe without counting: check then restore via access? A
+            // second access of a resident page hits.
+            t.access(i * 4096)
+        }).count();
+        // At most the last 2 pages plus those re-installed by the
+        // probing sweep itself can hit; the sweep reinstalls pages, so
+        // only consecutive re-probes of the 2 newest hit.
+        assert!(resident <= 2, "resident {resident}");
+    }
+
+    #[test]
+    fn validation() {
+        assert!(TlbConfig { entries: 0, page_bytes: 4096, walk_latency: 30 }.validate().is_err());
+        assert!(TlbConfig { entries: 4, page_bytes: 3000, walk_latency: 30 }.validate().is_err());
+        assert!(TlbConfig { entries: 4, page_bytes: 4096, walk_latency: 0 }.validate().is_err());
+        assert!(TlbConfig::baseline().validate().is_ok());
+    }
+
+    #[test]
+    fn flush_resets() {
+        let mut t = tiny();
+        t.access(0x0);
+        t.flush();
+        assert!(!t.access(0x0));
+        assert_eq!(t.stats().accesses(), 1);
+    }
+}

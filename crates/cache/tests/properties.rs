@@ -1,0 +1,114 @@
+//! Property-based tests for the cache simulator.
+
+use fosm_cache::{
+    AccessKind, AccessOutcome, Cache, CacheConfig, Hierarchy, HierarchyConfig, LongMissRecorder,
+    Replacement,
+};
+use proptest::prelude::*;
+
+/// Addresses mapping into a small, collision-prone region.
+fn addr_strategy() -> impl Strategy<Value = u64> {
+    0u64..4096
+}
+
+proptest! {
+    /// Fully-associative LRU obeys the inclusion (stack) property:
+    /// growing the capacity never adds misses.
+    #[test]
+    fn lru_misses_monotone_in_capacity(addrs in prop::collection::vec(addr_strategy(), 1..400)) {
+        let mut small = Cache::with_geometry(4 * 64, 4, 64, Replacement::Lru).unwrap();
+        let mut large = Cache::with_geometry(8 * 64, 8, 64, Replacement::Lru).unwrap();
+        for &a in &addrs {
+            small.access(a);
+            large.access(a);
+        }
+        prop_assert!(large.stats().misses() <= small.stats().misses());
+    }
+
+    /// Any replacement policy keeps at most `assoc` lines per set.
+    #[test]
+    fn resident_lines_bounded_by_capacity(
+        addrs in prop::collection::vec(addr_strategy(), 1..300),
+        policy in prop::sample::select(vec![Replacement::Lru, Replacement::Fifo, Replacement::Random]),
+    ) {
+        let mut c = Cache::with_geometry(2 * 2 * 64, 2, 64, policy).unwrap(); // 2 sets x 2 ways
+        for &a in &addrs {
+            c.access(a);
+        }
+        let resident = (0..64u64).filter(|&line| c.probe(line * 64)).count();
+        prop_assert!(resident <= 4);
+    }
+
+    /// Re-accessing the same address immediately always hits.
+    #[test]
+    fn immediate_reuse_hits(addrs in prop::collection::vec(addr_strategy(), 1..200)) {
+        let mut c = Cache::new(CacheConfig::l1_baseline());
+        for &a in &addrs {
+            c.access(a);
+            prop_assert!(c.access(a), "address {a:#x} must hit on immediate reuse");
+        }
+    }
+
+    /// Hit + miss counts always partition accesses; the miss rate is a
+    /// probability.
+    #[test]
+    fn stats_are_consistent(addrs in prop::collection::vec(addr_strategy(), 0..300)) {
+        let mut c = Cache::with_geometry(256, 2, 64, Replacement::Fifo).unwrap();
+        for &a in &addrs {
+            c.access(a);
+        }
+        let s = c.stats();
+        prop_assert_eq!(s.hits() + s.misses(), s.accesses());
+        prop_assert!((0.0..=1.0).contains(&s.miss_rate()));
+    }
+
+    /// The hierarchy never reports an L2 outcome for a level that was
+    /// configured ideal, and outcomes on an ideal hierarchy are all L1.
+    #[test]
+    fn ideal_levels_never_miss(addrs in prop::collection::vec(addr_strategy(), 1..200)) {
+        let mut h = Hierarchy::new(HierarchyConfig::ideal()).unwrap();
+        for &a in &addrs {
+            prop_assert_eq!(h.access(AccessKind::Load, a), AccessOutcome::L1);
+        }
+    }
+
+    /// The overlap factor of any recorded miss stream is in (0, 1], and
+    /// group/miss counts are conserved regardless of ROB size.
+    #[test]
+    fn burst_distribution_invariants(
+        gaps in prop::collection::vec(0u64..600, 1..120),
+        rob in 16u32..512,
+    ) {
+        let mut rec = LongMissRecorder::new();
+        let mut idx = 0;
+        for g in gaps {
+            idx += g;
+            rec.record(idx);
+        }
+        let d = rec.distribution(rob);
+        prop_assert_eq!(d.misses(), rec.count());
+        prop_assert!(d.num_groups() >= 1);
+        prop_assert!(d.num_groups() <= d.misses());
+        let f = d.overlap_factor();
+        prop_assert!(f > 0.0 && f <= 1.0);
+        // Probabilities over observed sizes sum to 1.
+        let sum: f64 = (1..=d.max_group_size()).map(|i| d.probability(i)).sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    /// A bigger ROB can only merge clusters, never split them.
+    #[test]
+    fn bigger_rob_means_fewer_groups(
+        gaps in prop::collection::vec(0u64..600, 1..120),
+    ) {
+        let mut rec = LongMissRecorder::new();
+        let mut idx = 0;
+        for g in gaps {
+            idx += g;
+            rec.record(idx);
+        }
+        let small = rec.distribution(32);
+        let large = rec.distribution(256);
+        prop_assert!(large.num_groups() <= small.num_groups());
+    }
+}

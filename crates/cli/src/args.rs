@@ -1,0 +1,115 @@
+//! Minimal flag parsing (positional arguments plus `--flag value`
+//! pairs) — enough for this tool without pulling in a CLI framework.
+
+use std::collections::BTreeMap;
+use std::str::FromStr;
+
+/// Parsed command-line arguments: positionals in order, flags by name.
+#[derive(Debug, Clone, Default)]
+pub struct Parsed {
+    positional: Vec<String>,
+    flags: BTreeMap<String, String>,
+}
+
+impl Parsed {
+    /// Splits `args` into positionals and `--flag value` pairs
+    /// (`-o` is accepted as an alias for `--out`).
+    pub fn new(args: &[String]) -> Result<Self, String> {
+        let mut parsed = Parsed::default();
+        let mut iter = args.iter().peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                if name == "ideal" || name == "fu" {
+                    // Boolean flags.
+                    parsed.flags.insert(name.to_string(), "true".into());
+                    continue;
+                }
+                let value = iter
+                    .next()
+                    .ok_or_else(|| format!("flag --{name} needs a value"))?;
+                parsed.flags.insert(name.to_string(), value.clone());
+            } else if arg == "-o" {
+                let value = iter.next().ok_or("flag -o needs a value")?;
+                parsed.flags.insert("out".into(), value.clone());
+            } else {
+                parsed.positional.push(arg.clone());
+            }
+        }
+        Ok(parsed)
+    }
+
+    /// The `i`-th positional argument.
+    pub fn positional(&self, i: usize, what: &str) -> Result<&str, String> {
+        self.positional
+            .get(i)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing {what}"))
+    }
+
+    /// An optional string flag.
+    pub fn flag(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+
+    /// A flag parsed into `T`, or `default` when absent.
+    pub fn flag_or<T: FromStr>(&self, name: &str, default: T) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|e| format!("bad value for --{name}: {e}")),
+        }
+    }
+
+    /// Whether the boolean `--ideal` style flag is set.
+    pub fn has(&self, name: &str) -> bool {
+        self.flags.contains_key(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Parsed {
+        Parsed::new(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn positionals_and_flags() {
+        let p = parse(&["trace.trc", "--width", "8", "-o", "out.json"]);
+        assert_eq!(p.positional(0, "trace").unwrap(), "trace.trc");
+        assert_eq!(p.flag("out"), Some("out.json"));
+        assert_eq!(p.flag_or("width", 4u32).unwrap(), 8);
+        assert_eq!(p.flag_or("depth", 5u32).unwrap(), 5);
+    }
+
+    #[test]
+    fn boolean_ideal_flag() {
+        let p = parse(&["t.trc", "--ideal"]);
+        assert!(p.has("ideal"));
+        assert_eq!(p.positional(0, "trace").unwrap(), "t.trc");
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        let args = vec!["--width".to_string()];
+        assert!(Parsed::new(&args).is_err());
+    }
+
+    #[test]
+    fn bad_parse_reports_flag_name() {
+        let p = parse(&["--width", "lots"]);
+        let err = p.flag_or("width", 4u32).unwrap_err();
+        assert!(err.contains("--width"));
+    }
+
+    #[test]
+    fn missing_positional_reports_description() {
+        let p = parse(&[]);
+        assert!(p.positional(0, "trace file").unwrap_err().contains("trace file"));
+    }
+}

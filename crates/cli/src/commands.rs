@@ -1,0 +1,245 @@
+//! The CLI subcommands.
+
+use fosm_cache::{HierarchyConfig, TlbConfig};
+use fosm_core::model::FirstOrderModel;
+use fosm_core::params::ProcessorParams;
+use fosm_core::profile::{ProfileCollector, ProgramProfile, SamplingPlan};
+use fosm_isa::FuPool;
+use fosm_sim::{ClusterConfig, FetchBufferConfig, Machine, MachineConfig, Steering};
+use fosm_trace::io::{TraceFileReader, TraceFileWriter};
+use fosm_trace::{TraceSource, TraceStats};
+use fosm_workloads::{BenchmarkSpec, WorkloadGenerator};
+
+use crate::args::Parsed;
+use crate::{open_in, open_out};
+
+fn machine_params(args: &Parsed) -> Result<ProcessorParams, String> {
+    let base = ProcessorParams::baseline();
+    let params = ProcessorParams {
+        width: args.flag_or("width", base.width)?,
+        win_size: args.flag_or("window", base.win_size)?,
+        rob_size: args.flag_or("rob", base.rob_size)?,
+        pipe_depth: args.flag_or("depth", base.pipe_depth)?,
+        l2_latency: args.flag_or("l2", base.l2_latency)?,
+        mem_latency: args.flag_or("mem", base.mem_latency)?,
+        latencies: base.latencies,
+    };
+    params.validate()?;
+    Ok(params)
+}
+
+/// Shared extension flags: `--prefetch N`, `--tlb ENTRIES`.
+fn hierarchy_from(args: &Parsed) -> Result<HierarchyConfig, String> {
+    let prefetch: u32 = args.flag_or("prefetch", 0u32)?;
+    Ok(HierarchyConfig::baseline().with_next_line_prefetch(prefetch))
+}
+
+fn tlb_from(args: &Parsed) -> Result<Option<TlbConfig>, String> {
+    match args.flag_or("tlb", 0u32)? {
+        0 => Ok(None),
+        entries => {
+            let tlb = TlbConfig {
+                entries,
+                ..TlbConfig::baseline()
+            };
+            tlb.validate().map_err(|e| e.to_string())?;
+            Ok(Some(tlb))
+        }
+    }
+}
+
+fn find_benchmark(name: &str) -> Result<BenchmarkSpec, String> {
+    BenchmarkSpec::all()
+        .into_iter()
+        .find(|s| s.name == name)
+        .ok_or_else(|| format!("unknown benchmark `{name}` (see `fosm bench-list`)"))
+}
+
+/// `fosm record --bench <name> [--insts N] [--seed S] -o <trace.trc>`
+pub fn record(args: Parsed) -> Result<(), String> {
+    let bench = args.flag("bench").ok_or("--bench <name> is required")?;
+    let spec = find_benchmark(bench)?;
+    let insts: u64 = args.flag_or("insts", 500_000u64)?;
+    let seed: u64 = args.flag_or("seed", 42u64)?;
+    let out = args.flag("out").ok_or("-o <trace.trc> is required")?;
+
+    let mut generator = WorkloadGenerator::new(&spec, seed);
+    let mut writer = TraceFileWriter::new(open_out(out)?).map_err(|e| e.to_string())?;
+    for _ in 0..insts {
+        let inst = generator.next_inst().expect("generators are unbounded");
+        writer.write(&inst).map_err(|e| e.to_string())?;
+    }
+    let written = writer.written();
+    writer.finish().map_err(|e| e.to_string())?;
+    println!("wrote {written} instructions of `{bench}` (seed {seed}) to {out}");
+    Ok(())
+}
+
+/// `fosm stats <trace.trc>`
+pub fn stats(args: Parsed) -> Result<(), String> {
+    let path = args.positional(0, "trace file")?;
+    let mut reader = TraceFileReader::new(open_in(path)?).map_err(|e| e.to_string())?;
+    let stats = TraceStats::from_source(&mut reader, usize::MAX);
+    if let Some(e) = reader.take_error() {
+        return Err(format!("trace file {path}: {e}"));
+    }
+    println!("{path}: {} instructions", stats.instructions());
+    println!("  conditional branches: {} ({:.1}% of instructions, {:.1}% taken)",
+        stats.cond_branches(),
+        stats.branch_fraction() * 100.0,
+        stats.taken_fraction() * 100.0);
+    println!("  loads: {:.1}%", stats.load_fraction() * 100.0);
+    println!("  mean dependence distance: {:.1} instructions", stats.dependences().mean());
+    println!(
+        "  operands within 4 insts of their producer: {:.1}%",
+        stats.dependences().cumulative(4) * 100.0
+    );
+    Ok(())
+}
+
+/// `fosm profile <trace.trc> [-o out.json] [machine flags]`
+pub fn profile(args: Parsed) -> Result<(), String> {
+    let path = args.positional(0, "trace file")?;
+    let params = machine_params(&args)?;
+    let mut reader = TraceFileReader::new(open_in(path)?).map_err(|e| e.to_string())?;
+    let mut collector = ProfileCollector::new(&params)
+        .with_hierarchy(hierarchy_from(&args)?)
+        .with_name(path);
+    if let Some(tlb) = tlb_from(&args)? {
+        collector = collector.with_dtlb(tlb);
+    }
+    let profile = if let Some(sample) = args.flag("sample") {
+        let sample: u64 = sample.parse().map_err(|e| format!("bad --sample: {e}"))?;
+        let plan = SamplingPlan {
+            sample,
+            warmup: args.flag_or("warmup", 0u64)?,
+            period: args.flag_or("period", 10 * sample)?,
+        };
+        collector
+            .collect_sampled(&mut reader, plan, u64::MAX)
+            .map_err(|e| e.to_string())?
+    } else {
+        collector
+            .collect(&mut reader, u64::MAX)
+            .map_err(|e| e.to_string())?
+    };
+    if let Some(e) = reader.take_error() {
+        return Err(format!("trace file {path}: {e}"));
+    }
+    match args.flag("out") {
+        Some(out) => {
+            serde_json::to_writer_pretty(open_out(out)?, &profile)
+                .map_err(|e| e.to_string())?;
+            println!("wrote profile of {} instructions to {out}", profile.instructions);
+        }
+        None => {
+            serde_json::to_writer_pretty(std::io::stdout().lock(), &profile)
+                .map_err(|e| e.to_string())?;
+            println!();
+        }
+    }
+    Ok(())
+}
+
+/// `fosm model <profile.json> [machine flags]`
+pub fn model(args: Parsed) -> Result<(), String> {
+    let path = args.positional(0, "profile file")?;
+    let params = machine_params(&args)?;
+    let profile: ProgramProfile =
+        serde_json::from_reader(open_in(path)?).map_err(|e| format!("{path}: {e}"))?;
+    let est = FirstOrderModel::new(params)
+        .evaluate(&profile)
+        .map_err(|e| e.to_string())?;
+    println!("first-order model estimate for `{}`:", profile.name);
+    for (component, cpi) in est.cpi_stack() {
+        println!("  {component:<10} {cpi:>7.4} CPI");
+    }
+    println!("  {:<10} {:>7.4} CPI   ({:.3} IPC)", "total", est.total_cpi(), est.total_ipc());
+    println!(
+        "  penalties: branch {:.1}, icache {:.1}, dcache/miss {:.1} cycles",
+        est.branch_penalty, est.icache_penalty, est.dcache_penalty_per_miss
+    );
+    Ok(())
+}
+
+/// `fosm simulate <trace.trc> [machine flags] [--ideal]`
+pub fn simulate(args: Parsed) -> Result<(), String> {
+    let path = args.positional(0, "trace file")?;
+    let params = machine_params(&args)?;
+    let base = if args.has("ideal") {
+        MachineConfig::ideal()
+    } else {
+        MachineConfig::baseline()
+    };
+    let mut config = MachineConfig {
+        width: params.width,
+        win_size: params.win_size,
+        rob_size: params.rob_size,
+        pipe_depth: params.pipe_depth,
+        l2_latency: params.l2_latency,
+        mem_latency: params.mem_latency,
+        ..base
+    };
+    if !args.has("ideal") {
+        config.hierarchy = hierarchy_from(&args)?;
+    }
+    if let Some(tlb) = tlb_from(&args)? {
+        config = config.with_dtlb(tlb);
+    }
+    match args.flag_or("clusters", 0u32)? {
+        0 | 1 => {}
+        clusters => {
+            config = config.with_clusters(ClusterConfig {
+                clusters,
+                forward_delay: args.flag_or("forward", 1u32)?,
+                steering: Steering::Dependence,
+            });
+        }
+    }
+    if args.has("fu") {
+        config = config.with_fu_limits(FuPool::alpha_like());
+    }
+    if let Some(buffer) = args.flag("buffer") {
+        let entries: u32 = buffer.parse().map_err(|e| format!("bad --buffer: {e}"))?;
+        let bandwidth = 2 * config.width.max(4);
+        config = config.with_fetch_buffer(FetchBufferConfig { entries, bandwidth });
+    }
+    config.validate()?;
+    let mut reader = TraceFileReader::new(open_in(path)?).map_err(|e| e.to_string())?;
+    let report = Machine::try_new(config)?.run(&mut reader);
+    if let Some(e) = reader.take_error() {
+        return Err(format!("trace file {path}: {e}"));
+    }
+    println!("simulated {} instructions in {} cycles", report.instructions, report.cycles);
+    println!("  IPC {:.3}   CPI {:.3}", report.ipc(), report.cpi());
+    println!(
+        "  mispredicts {} ({:.1}% of {} branches)",
+        report.mispredicts,
+        report.mispredict_rate() * 100.0,
+        report.cond_branches
+    );
+    println!(
+        "  icache misses {} short / {} long; dcache {} short / {} long",
+        report.icache_short_misses,
+        report.icache_long_misses,
+        report.dcache_short_misses,
+        report.dcache_long_misses
+    );
+    Ok(())
+}
+
+/// `fosm bench-list`
+pub fn bench_list() -> Result<(), String> {
+    println!("built-in synthetic benchmarks (SPECint2000-like):");
+    for spec in BenchmarkSpec::all() {
+        println!(
+            "  {:<8} dep(chain {:.2}, free {:.2})  footprint {:>5} KiB  funcs {}",
+            spec.name,
+            spec.dep_chain_p,
+            spec.no_dep_p,
+            spec.data_footprint / 1024,
+            spec.num_functions
+        );
+    }
+    Ok(())
+}

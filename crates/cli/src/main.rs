@@ -1,0 +1,98 @@
+//! `fosm` — command-line interface to the first-order model toolchain.
+//!
+//! ```text
+//! fosm record  --bench gzip --insts 500000 --seed 42 -o gzip.trc
+//! fosm stats   gzip.trc
+//! fosm profile gzip.trc -o gzip-profile.json
+//! fosm model   gzip-profile.json [--width 4 --window 48 --rob 128 --depth 5]
+//! fosm simulate gzip.trc [--depth 5 --width 4]
+//! fosm bench-list
+//! ```
+//!
+//! Traces use the compact binary format of `fosm_trace::io`; profiles
+//! are JSON (`serde_json`), so they can be archived, diffed, and fed
+//! back into `fosm model` without re-profiling.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::process::ExitCode;
+
+mod args;
+mod commands;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(argv: Vec<String>) -> Result<(), String> {
+    let Some(command) = argv.first() else {
+        print_usage();
+        return Err("no command given".into());
+    };
+    let rest = &argv[1..];
+    match command.as_str() {
+        "record" => commands::record(args::Parsed::new(rest)?),
+        "stats" => commands::stats(args::Parsed::new(rest)?),
+        "profile" => commands::profile(args::Parsed::new(rest)?),
+        "model" => commands::model(args::Parsed::new(rest)?),
+        "simulate" => commands::simulate(args::Parsed::new(rest)?),
+        "bench-list" => commands::bench_list(),
+        "help" | "--help" | "-h" => {
+            print_usage();
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}` (try `fosm help`)")),
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "fosm — first-order superscalar processor model toolchain
+
+USAGE:
+    fosm record  --bench <name> [--insts N] [--seed S] -o <trace.trc>
+    fosm stats   <trace.trc>
+    fosm profile <trace.trc> [-o <profile.json>] [machine flags]
+    fosm model   <profile.json> [machine flags]
+    fosm simulate <trace.trc> [machine flags] [--ideal]
+    fosm bench-list
+
+MACHINE FLAGS (default: the paper's baseline):
+    --width N     issue width            (4)
+    --window N    issue-window entries   (48)
+    --rob N       reorder-buffer entries (128)
+    --depth N     front-end stages       (5)
+    --l2 N        L2 latency, cycles     (8)
+    --mem N       memory latency, cycles (200)
+
+EXTENSION FLAGS (paper §7 features):
+    --prefetch N  next-line data prefetch lines      (profile, simulate)
+    --tlb N       data TLB with N entries            (profile, simulate)
+    --clusters K  K-cluster issue window             (simulate)
+    --forward D   inter-cluster forwarding, cycles   (simulate; default 1)
+    --fu          alpha-like functional-unit limits  (simulate)
+    --buffer N    N-entry instruction fetch buffer   (simulate)
+    --sample S --warmup W --period P   sampled profiling (profile)"
+    );
+}
+
+/// Opens a file for buffered reading with a contextual error.
+pub(crate) fn open_in(path: &str) -> Result<BufReader<File>, String> {
+    File::open(path)
+        .map(BufReader::new)
+        .map_err(|e| format!("cannot open {path}: {e}"))
+}
+
+/// Opens a file for buffered writing with a contextual error.
+pub(crate) fn open_out(path: &str) -> Result<BufWriter<File>, String> {
+    File::create(path)
+        .map(BufWriter::new)
+        .map_err(|e| format!("cannot create {path}: {e}"))
+}

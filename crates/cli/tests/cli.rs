@@ -1,0 +1,131 @@
+//! End-to-end tests of the `fosm` binary (record → stats → profile →
+//! model → simulate), driven through the real executable.
+
+use std::process::{Command, Output};
+
+fn fosm(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_fosm"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn tmp(name: &str) -> String {
+    let mut p = std::env::temp_dir();
+    p.push(format!("fosm-cli-test-{}-{name}", std::process::id()));
+    p.to_string_lossy().into_owned()
+}
+
+#[test]
+fn full_pipeline_record_profile_model_simulate() {
+    let trace = tmp("pipe.trc");
+    let profile = tmp("pipe.json");
+
+    let out = fosm(&["record", "--bench", "gzip", "--insts", "30000", "-o", &trace]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("30000 instructions"));
+
+    let out = fosm(&["stats", &trace]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(text.contains("conditional branches"));
+
+    let out = fosm(&["profile", &trace, "-o", &profile]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let out = fosm(&["model", &profile]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(text.contains("total"), "{text}");
+    assert!(text.contains("IPC"));
+
+    let out = fosm(&["simulate", &trace]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("CPI"));
+
+    // Machine flags flow through.
+    let out = fosm(&["model", &profile, "--depth", "20"]);
+    assert!(out.status.success());
+
+    let _ = std::fs::remove_file(&trace);
+    let _ = std::fs::remove_file(&profile);
+}
+
+#[test]
+fn bench_list_names_all_twelve() {
+    let out = fosm(&["bench-list"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    for name in ["bzip", "crafty", "eon", "gap", "gcc", "gzip", "mcf", "parser", "perl", "twolf", "vortex", "vpr"] {
+        assert!(text.contains(name), "missing {name} in:\n{text}");
+    }
+}
+
+#[test]
+fn helpful_errors() {
+    let out = fosm(&["record", "--bench", "nonexistent", "-o", "/tmp/x.trc"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown benchmark"));
+
+    let out = fosm(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+
+    let out = fosm(&["stats", "/definitely/not/a/file.trc"]);
+    assert!(!out.status.success());
+
+    let out = fosm(&["model", "--width"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("needs a value"));
+
+    let out = fosm(&[]);
+    assert!(!out.status.success());
+}
+
+#[test]
+fn invalid_machine_flags_are_rejected() {
+    let trace = tmp("flags.trc");
+    let out = fosm(&["record", "--bench", "bzip", "--insts", "1000", "-o", &trace]);
+    assert!(out.status.success());
+    // window > rob is structurally invalid.
+    let out = fosm(&["simulate", &trace, "--window", "256", "--rob", "128"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot exceed"));
+    let _ = std::fs::remove_file(&trace);
+}
+
+#[test]
+fn extension_flags_flow_through() {
+    let trace = tmp("ext.trc");
+    let out = fosm(&["record", "--bench", "twolf", "--insts", "20000", "-o", &trace]);
+    assert!(out.status.success());
+
+    // Extended simulation runs and reports TLB misses.
+    let out = fosm(&[
+        "simulate", &trace, "--clusters", "2", "--fu", "--buffer", "16", "--tlb", "32",
+        "--prefetch", "1",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // Sampled profiling with warm-up.
+    let out = fosm(&[
+        "profile", &trace, "--sample", "2000", "--warmup", "4000", "--period", "10000",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("\"instructions\": 4000"));
+
+    // Invalid cluster geometry is caught.
+    let out = fosm(&["simulate", &trace, "--clusters", "3"]);
+    assert!(!out.status.success());
+    let _ = std::fs::remove_file(&trace);
+}
+
+#[test]
+fn stats_rejects_garbage_files() {
+    let path = tmp("garbage.trc");
+    std::fs::write(&path, b"this is not a trace").unwrap();
+    let out = fosm(&["stats", &path]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("magic"));
+    let _ = std::fs::remove_file(&path);
+}

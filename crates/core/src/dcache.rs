@@ -1,0 +1,176 @@
+//! Long data-cache miss penalty (paper §4.3, eq. 6–8).
+
+use fosm_cache::BurstDistribution;
+use fosm_depgraph::IwCharacteristic;
+
+use crate::transient::{ramp_up, steady_occupancy, win_drain};
+use crate::ProcessorParams;
+
+/// Penalty in cycles for an isolated long data-cache miss, by the full
+/// eq. (6): `∆D − rob_fill − win_drain + ramp_up`.
+///
+/// `rob_fill` is the time to fill the ROB behind the missing load. The
+/// paper's measurements show missing loads are old when they issue
+/// (≈9 instructions from the ROB head), so [`isolated_penalty`]
+/// defaults `rob_fill` to zero and the penalty to ≈ ∆D.
+pub fn isolated_penalty_with_fill(
+    iw: &IwCharacteristic,
+    params: &ProcessorParams,
+    rob_fill: f64,
+) -> f64 {
+    let drain = win_drain(iw, params.width, params.win_size).penalty;
+    let ramp = ramp_up(iw, params.width, params.win_size).penalty;
+    (params.mem_latency as f64 - rob_fill - drain + ramp).max(0.0)
+}
+
+/// First-order estimate of `rob_fill`: the time to finish filling the
+/// ROB behind a missing load that issues at steady state.
+///
+/// At the miss, the ROB holds roughly the steady-state residency
+/// population — the issue-window occupancy plus the completed-but-
+/// unretired instructions behind the in-order retire lag (≈ one
+/// average latency's worth of issue) — and dispatch fills the rest at
+/// the machine width.
+pub fn estimated_rob_fill(iw: &IwCharacteristic, params: &ProcessorParams) -> f64 {
+    let steady = iw.steady_state_ipc(params.win_size, params.width);
+    let occupancy = (steady_occupancy(iw, params.width, params.win_size)
+        + steady * iw.avg_latency())
+    .min(params.rob_size as f64);
+    (params.rob_size as f64 - occupancy) / params.width as f64
+}
+
+/// Penalty for an isolated long miss by eq. (6), with [`estimated_rob_fill`]
+/// for the fill term: `∆D − rob_fill − win_drain + ramp_up` — slightly
+/// below ∆D, because the machine keeps dispatching (and later retires
+/// for free) the instructions that fill the ROB behind the load.
+///
+/// The paper's §5 evaluation uses the coarser `rob_fill ≈ 0`
+/// simplification (penalty = ∆D exactly), available as
+/// [`isolated_penalty_paper`].
+///
+/// # Examples
+///
+/// ```
+/// use fosm_core::dcache::isolated_penalty;
+/// use fosm_core::params::ProcessorParams;
+/// use fosm_depgraph::{IwCharacteristic, PowerLaw};
+///
+/// let iw = IwCharacteristic::new(PowerLaw::square_root(), 1.0)?;
+/// let p = isolated_penalty(&iw, &ProcessorParams::baseline());
+/// assert!(p > 160.0 && p < 200.0);
+/// # Ok::<(), fosm_depgraph::FitError>(())
+/// ```
+pub fn isolated_penalty(iw: &IwCharacteristic, params: &ProcessorParams) -> f64 {
+    isolated_penalty_with_fill(iw, params, estimated_rob_fill(iw, params))
+}
+
+/// Penalty for an isolated long miss with the paper's §5
+/// simplifications (`rob_fill ≈ 0`, drain and ramp offset): ≈ ∆D.
+pub fn isolated_penalty_paper(iw: &IwCharacteristic, params: &ProcessorParams) -> f64 {
+    isolated_penalty_with_fill(iw, params, 0.0)
+}
+
+/// Mean penalty per long miss given the cluster-size distribution
+/// f_LDM (eq. 8): `isolated × Σ_i f(i)/i`.
+///
+/// Misses that overlap within a ROB's worth of instructions pay the
+/// memory latency once per *cluster*, so the average per-miss penalty
+/// shrinks by the distribution's overlap factor.
+pub fn penalty_per_miss(
+    iw: &IwCharacteristic,
+    params: &ProcessorParams,
+    distribution: &BurstDistribution,
+) -> f64 {
+    isolated_penalty(iw, params) * distribution.overlap_factor()
+}
+
+/// CPI contribution of long data-cache misses.
+pub fn cpi(
+    iw: &IwCharacteristic,
+    params: &ProcessorParams,
+    distribution: &BurstDistribution,
+    instructions: u64,
+) -> f64 {
+    if instructions == 0 {
+        return 0.0;
+    }
+    penalty_per_miss(iw, params, distribution) * distribution.misses() as f64
+        / instructions as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fosm_depgraph::PowerLaw;
+
+    fn sqrt_iw() -> IwCharacteristic {
+        IwCharacteristic::new(PowerLaw::square_root(), 1.0).unwrap()
+    }
+
+    #[test]
+    fn isolated_is_approximately_memory_latency() {
+        // Paper observation 3: the isolated long-miss penalty is
+        // essentially the miss delay — the rob_fill absorption takes a
+        // first-order bite of (rob_size - occupancy)/width ≈ 27 cycles.
+        let paper = isolated_penalty_paper(&sqrt_iw(), &ProcessorParams::baseline());
+        assert!((198.0..=202.0).contains(&paper), "paper penalty {paper}");
+        let refined = isolated_penalty(&sqrt_iw(), &ProcessorParams::baseline());
+        assert!((165.0..=185.0).contains(&refined), "refined penalty {refined}");
+        assert!(refined < paper);
+    }
+
+    #[test]
+    fn rob_fill_estimate_shrinks_with_occupancy() {
+        // On an unsaturated machine the window is the occupancy; a
+        // bigger window leaves less of the ROB to fill behind the load.
+        let iw = sqrt_iw();
+        let mut small = ProcessorParams::baseline();
+        small.win_size = 9; // sqrt(9) = 3 < width 4: unsaturated
+        let mut big = ProcessorParams::baseline();
+        big.win_size = 16;
+        assert!(estimated_rob_fill(&iw, &big) < estimated_rob_fill(&iw, &small));
+        // Both leave most of the 128-entry ROB to fill.
+        assert!(estimated_rob_fill(&iw, &small) > 20.0);
+    }
+
+    #[test]
+    fn rob_fill_reduces_the_penalty() {
+        let params = ProcessorParams::baseline();
+        let old_load = isolated_penalty_with_fill(&sqrt_iw(), &params, 0.0);
+        // A load that is newest in the window waits rob_size/width to
+        // fill the ROB behind it: 128/4 = 32 cycles less.
+        let young_load = isolated_penalty_with_fill(&sqrt_iw(), &params, 32.0);
+        assert!((old_load - young_load - 32.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paired_misses_pay_half_each() {
+        // Eq. 7: two overlapping misses cost one isolated penalty total.
+        let iw = sqrt_iw();
+        let params = ProcessorParams::baseline();
+        let isolated = BurstDistribution::all_isolated(10);
+        let paired = BurstDistribution::from_group_sizes(vec![0, 0, 5]); // 5 pairs
+        let p_iso = penalty_per_miss(&iw, &params, &isolated);
+        let p_pair = penalty_per_miss(&iw, &params, &paired);
+        assert!((p_pair - p_iso / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cpi_matches_hand_computation() {
+        let iw = sqrt_iw();
+        let params = ProcessorParams::baseline();
+        // 100 isolated misses in 100k instructions at ~200 cycles each.
+        let d = BurstDistribution::all_isolated(100);
+        let c = cpi(&iw, &params, &d, 100_000);
+        let expected = 100.0 * isolated_penalty(&iw, &params) / 100_000.0;
+        assert!((c - expected).abs() < 1e-9);
+        assert_eq!(cpi(&iw, &params, &d, 0), 0.0);
+    }
+
+    #[test]
+    fn empty_distribution_contributes_nothing() {
+        let d = BurstDistribution::all_isolated(0);
+        let c = cpi(&sqrt_iw(), &ProcessorParams::baseline(), &d, 1_000_000);
+        assert_eq!(c, 0.0);
+    }
+}

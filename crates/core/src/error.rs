@@ -1,0 +1,54 @@
+//! Model errors.
+
+use fosm_depgraph::FitError;
+
+/// Error from profile collection or model evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// The IW characteristic could not be fitted.
+    Fit(FitError),
+    /// The trace was empty or too short to characterize.
+    EmptyTrace,
+    /// A parameter set failed validation.
+    InvalidParams(String),
+}
+
+impl std::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelError::Fit(e) => write!(f, "IW characteristic fit failed: {e}"),
+            ModelError::EmptyTrace => write!(f, "trace contained no instructions"),
+            ModelError::InvalidParams(msg) => write!(f, "invalid processor parameters: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ModelError::Fit(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FitError> for ModelError {
+    fn from(e: FitError) -> Self {
+        ModelError::Fit(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = ModelError::from(FitError::TooFewPoints { got: 0 });
+        assert!(e.to_string().contains("fit failed"));
+        assert!(e.source().is_some());
+        assert!(ModelError::EmptyTrace.source().is_none());
+        assert!(ModelError::InvalidParams("x".into()).to_string().contains("x"));
+    }
+}

@@ -1,0 +1,109 @@
+//! Instruction-cache miss penalty (paper §4.2, eq. 4–5).
+
+use fosm_depgraph::IwCharacteristic;
+
+use crate::transient::{ramp_up, win_drain};
+use crate::ProcessorParams;
+
+/// Penalty in cycles for an isolated instruction-cache miss with miss
+/// delay `delta` (eq. 4): `∆ + ramp_up − win_drain`.
+///
+/// The drain *subtracts* because the buffered front-end instructions
+/// keep issuing while the miss is outstanding — which is why the
+/// penalty is independent of the pipeline depth and approximately
+/// equal to the miss delay (the paper's two §4.2 observations).
+///
+/// # Examples
+///
+/// ```
+/// use fosm_core::icache::isolated_penalty;
+/// use fosm_core::params::ProcessorParams;
+/// use fosm_depgraph::{IwCharacteristic, PowerLaw};
+///
+/// let iw = IwCharacteristic::new(PowerLaw::square_root(), 1.0)?;
+/// let p = isolated_penalty(&iw, &ProcessorParams::baseline(), 8);
+/// assert!((p - 8.0).abs() < 1.5); // ≈ the L2 latency
+/// # Ok::<(), fosm_depgraph::FitError>(())
+/// ```
+pub fn isolated_penalty(iw: &IwCharacteristic, params: &ProcessorParams, delta: u32) -> f64 {
+    penalty(iw, params, delta, 1.0)
+}
+
+/// Penalty per miss for a burst of `n` consecutive misses (eq. 5):
+/// `∆ + (ramp_up − win_drain)/n`.
+///
+/// Because drain and ramp-up offset each other, the penalty is nearly
+/// the same whether misses are isolated or bursty.
+pub fn penalty(iw: &IwCharacteristic, params: &ProcessorParams, delta: u32, n: f64) -> f64 {
+    let drain = win_drain(iw, params.width, params.win_size).penalty;
+    let ramp = ramp_up(iw, params.width, params.win_size).penalty;
+    (delta as f64 + (ramp - drain) / n.max(1.0)).max(0.0)
+}
+
+/// CPI contribution of instruction-cache misses: short misses pay the
+/// L2 latency ∆I, misses to memory pay the memory latency ∆D.
+pub fn cpi(
+    iw: &IwCharacteristic,
+    params: &ProcessorParams,
+    short_misses: u64,
+    long_misses: u64,
+    instructions: u64,
+) -> f64 {
+    if instructions == 0 {
+        return 0.0;
+    }
+    let short = isolated_penalty(iw, params, params.l2_latency);
+    let long = isolated_penalty(iw, params, params.mem_latency);
+    (short_misses as f64 * short + long_misses as f64 * long) / instructions as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fosm_depgraph::PowerLaw;
+
+    fn sqrt_iw() -> IwCharacteristic {
+        IwCharacteristic::new(PowerLaw::square_root(), 1.0).unwrap()
+    }
+
+    #[test]
+    fn penalty_is_approximately_the_miss_delay() {
+        let p = isolated_penalty(&sqrt_iw(), &ProcessorParams::baseline(), 8);
+        assert!((6.5..=9.5).contains(&p), "penalty {p}");
+    }
+
+    #[test]
+    fn penalty_is_independent_of_pipeline_depth() {
+        // Paper §4.2 observation 1 / Fig. 11.
+        let base = ProcessorParams::baseline();
+        let p5 = isolated_penalty(&sqrt_iw(), &base, 8);
+        let p9 = isolated_penalty(&sqrt_iw(), &base.clone().with_pipe_depth(9), 8);
+        assert!((p5 - p9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bursts_barely_change_the_penalty() {
+        // Paper §4.2 observation: same penalty isolated or in a burst.
+        let iso = penalty(&sqrt_iw(), &ProcessorParams::baseline(), 8, 1.0);
+        let burst = penalty(&sqrt_iw(), &ProcessorParams::baseline(), 8, 10.0);
+        assert!((iso - burst).abs() < 1.0, "iso {iso} vs burst {burst}");
+    }
+
+    #[test]
+    fn cpi_weighs_short_and_long_misses() {
+        let iw = sqrt_iw();
+        let params = ProcessorParams::baseline();
+        let short_only = cpi(&iw, &params, 100, 0, 100_000);
+        let long_only = cpi(&iw, &params, 0, 100, 100_000);
+        // Long misses cost ~25x more (200 vs 8 cycles).
+        assert!(long_only / short_only > 15.0);
+        assert_eq!(cpi(&iw, &params, 5, 5, 0), 0.0);
+    }
+
+    #[test]
+    fn penalty_never_negative() {
+        // Even with a 1-cycle delay and a large drain, clamp at zero.
+        let p = penalty(&sqrt_iw(), &ProcessorParams::baseline(), 1, 1.0);
+        assert!(p >= 0.0);
+    }
+}

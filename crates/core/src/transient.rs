@@ -1,0 +1,287 @@
+//! Transient analysis: window drain and issue ramp-up (paper §4, Fig. 8).
+//!
+//! The miss-event penalty equations are built from two numeric walks of
+//! the IW characteristic:
+//!
+//! * [`win_drain`] — after useful fetch stops, the window empties; each
+//!   cycle the occupancy `W` falls by the issue rate `I(W)`. The *drain
+//!   penalty* is the extra time taken to issue those instructions
+//!   compared to issuing them at the steady-state rate.
+//! * [`ramp_up`] — after the window restarts empty, dispatch refills it
+//!   at the machine width while issue drains it ("filling a leaky
+//!   bucket"); the *ramp-up penalty* is the cumulative issue-rate
+//!   shortfall until steady state is reached.
+//!
+//! For the paper's illustrative square-root characteristic (α=1, β=0.5)
+//! on the 4-wide baseline these come out near the paper's Excel values:
+//! drain ≈ 2.1 cycles and ramp-up ≈ 2.7 cycles (Fig. 8).
+
+use fosm_depgraph::IwCharacteristic;
+use serde::{Deserialize, Serialize};
+
+/// Occupancy below which the draining window is considered empty of
+/// useful instructions other than the resolving branch itself. The
+/// paper's detailed simulations report ≈1.3 useful instructions left
+/// when a mispredicted branch issues.
+const DRAIN_FLOOR: f64 = 1.0;
+
+/// Convergence threshold for the ramp-up walk: steady state is deemed
+/// reached when the issue rate is within this fraction of it.
+const RAMP_EPS: f64 = 0.005;
+
+/// Result of a drain or ramp walk.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransientProfile {
+    /// Issue rate in each cycle of the transient, in order.
+    pub rates: Vec<f64>,
+    /// Penalty in cycles relative to steady-state issue (≥ 0).
+    pub penalty: f64,
+    /// Total instructions issued during the transient.
+    pub issued: f64,
+}
+
+impl TransientProfile {
+    /// Number of cycles the transient lasted.
+    pub fn duration(&self) -> usize {
+        self.rates.len()
+    }
+}
+
+/// The steady-state window occupancy the paper drains from: the point
+/// on the IW curve where the issue rate first reaches the steady rate
+/// (the saturation occupancy), capped at the window size.
+pub fn steady_occupancy(iw: &IwCharacteristic, width: u32, win_size: u32) -> f64 {
+    iw.saturation_window(width).min(win_size as f64)
+}
+
+/// Walks the window drain after useful fetch stops (paper §4.1).
+///
+/// Starting from the steady occupancy, each cycle issues `I(W)`
+/// instructions and removes them from the window, until only the
+/// resolving instruction remains. The penalty is
+/// `cycles − issued / steady_rate`.
+pub fn win_drain(iw: &IwCharacteristic, width: u32, win_size: u32) -> TransientProfile {
+    let steady = iw.steady_state_ipc(win_size, width);
+    let mut w = steady_occupancy(iw, width, win_size);
+    let mut rates = Vec::new();
+    let mut issued = 0.0;
+    // The walk terminates: the issue rate at W >= DRAIN_FLOOR is
+    // bounded below by I(DRAIN_FLOOR) > 0, so W strictly decreases by
+    // at least that amount each cycle.
+    while w > DRAIN_FLOOR {
+        let rate = iw.issue_rate(w, Some(width)).min(w);
+        rates.push(rate);
+        issued += rate;
+        w -= rate;
+        if rate <= f64::EPSILON {
+            break;
+        }
+    }
+    let penalty = (rates.len() as f64 - issued / steady).max(0.0);
+    TransientProfile {
+        rates,
+        penalty,
+        issued,
+    }
+}
+
+/// Walks the issue ramp-up after the window restarts empty (paper §4.1).
+///
+/// Each cycle dispatch inserts up to `width` instructions (bounded by
+/// the window size) and issue removes `I(W)`; the penalty accumulates
+/// the shortfall `steady_rate − I(W)` until the rate converges.
+pub fn ramp_up(iw: &IwCharacteristic, width: u32, win_size: u32) -> TransientProfile {
+    let steady = iw.steady_state_ipc(win_size, width);
+    let mut w = 0.0f64;
+    let mut rates = Vec::new();
+    let mut issued = 0.0;
+    // Convergence is monotone (W grows toward its fixed point), but cap
+    // the walk defensively; the truncated tail is below RAMP_EPS/cycle.
+    let max_cycles = 16 * win_size as usize + 64;
+    for _ in 0..max_cycles {
+        w = (w + width as f64).min(win_size as f64);
+        let rate = iw.issue_rate(w, Some(width)).min(w);
+        rates.push(rate);
+        issued += rate;
+        w -= rate;
+        if steady - rate <= RAMP_EPS * steady {
+            break;
+        }
+    }
+    // Same accounting as the drain: extra cycles relative to issuing
+    // the same instructions at the steady rate.
+    let penalty = (rates.len() as f64 - issued / steady).max(0.0);
+    TransientProfile {
+        rates,
+        penalty,
+        issued,
+    }
+}
+
+/// The full issue-rate timeline of an isolated branch-misprediction
+/// transient (paper Fig. 7/8): steady state, drain, a dead time of
+/// `∆P` cycles while the pipeline refills, then ramp-up back to steady
+/// state.
+///
+/// `lead_cycles` of steady-state issue are prepended for plotting.
+pub fn branch_transient_curve(
+    iw: &IwCharacteristic,
+    width: u32,
+    win_size: u32,
+    pipe_depth: u32,
+    lead_cycles: usize,
+) -> Vec<f64> {
+    let steady = iw.steady_state_ipc(win_size, width);
+    let drain = win_drain(iw, width, win_size);
+    let ramp = ramp_up(iw, width, win_size);
+    let mut curve = vec![steady; lead_cycles];
+    curve.extend(&drain.rates);
+    // Branch resolution + pipeline refill: no useful issue.
+    curve.extend(std::iter::repeat_n(0.0, pipe_depth as usize));
+    curve.extend(&ramp.rates);
+    curve.push(steady);
+    curve
+}
+
+/// The issue-rate timeline of an isolated instruction-cache miss
+/// (paper Fig. 10): the front-end pipeline keeps the window fed for
+/// `∆P` cycles, then the window drains, stays empty until the miss
+/// returns and the pipeline refills, and finally ramps up.
+pub fn icache_transient_curve(
+    iw: &IwCharacteristic,
+    width: u32,
+    win_size: u32,
+    pipe_depth: u32,
+    delta_i: u32,
+    lead_cycles: usize,
+) -> Vec<f64> {
+    let steady = iw.steady_state_ipc(win_size, width);
+    let drain = win_drain(iw, width, win_size);
+    let ramp = ramp_up(iw, width, win_size);
+    let mut curve = vec![steady; lead_cycles];
+    // Buffered instructions hide the first ∆P cycles of the miss.
+    curve.extend(std::iter::repeat_n(steady, pipe_depth as usize));
+    curve.extend(&drain.rates);
+    // Remaining miss delay + refill, minus what the drain overlapped.
+    let dead = (delta_i as usize).saturating_sub(drain.rates.len());
+    curve.extend(std::iter::repeat_n(0.0, dead));
+    curve.extend(&ramp.rates);
+    curve.push(steady);
+    curve
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fosm_depgraph::PowerLaw;
+
+    fn sqrt_iw() -> IwCharacteristic {
+        IwCharacteristic::new(PowerLaw::square_root(), 1.0).unwrap()
+    }
+
+    #[test]
+    fn paper_fig8_drain_and_ramp_values() {
+        // α=1, β=0.5, width 4, 48-entry window: the paper's Excel walk
+        // gives drain ≈ 2.1 cycles and ramp-up ≈ 2.7 cycles.
+        let iw = sqrt_iw();
+        let drain = win_drain(&iw, 4, 48);
+        let ramp = ramp_up(&iw, 4, 48);
+        assert!(
+            (1.8..=2.6).contains(&drain.penalty),
+            "drain penalty {} should be ≈2.1",
+            drain.penalty
+        );
+        assert!(
+            (2.3..=3.1).contains(&ramp.penalty),
+            "ramp penalty {} should be ≈2.7",
+            ramp.penalty
+        );
+        // The branch issues ~6 cycles after the drain starts (paper).
+        assert!((5..=8).contains(&drain.duration()), "duration {}", drain.duration());
+    }
+
+    #[test]
+    fn steady_occupancy_is_saturation_point() {
+        let iw = sqrt_iw();
+        // width 4, sqrt law -> saturation at W = 16.
+        assert!((steady_occupancy(&iw, 4, 48) - 16.0).abs() < 1e-9);
+        // Tiny window: occupancy capped at the window.
+        assert!((steady_occupancy(&iw, 4, 9) - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn drain_issues_the_whole_window() {
+        let iw = sqrt_iw();
+        let drain = win_drain(&iw, 4, 48);
+        // Everything except the final resolving instruction issues.
+        assert!((drain.issued - (16.0 - DRAIN_FLOOR)).abs() < 1.5);
+        // Rates decrease monotonically as the window empties.
+        for pair in drain.rates.windows(2) {
+            assert!(pair[1] <= pair[0] + 1e-9);
+        }
+    }
+
+    #[test]
+    fn ramp_rates_increase_to_steady() {
+        let iw = sqrt_iw();
+        let ramp = ramp_up(&iw, 4, 48);
+        for pair in ramp.rates.windows(2) {
+            assert!(pair[1] >= pair[0] - 1e-9);
+        }
+        let last = *ramp.rates.last().unwrap();
+        assert!((last - 4.0).abs() < 0.05, "final rate {last}");
+    }
+
+    #[test]
+    fn wider_machines_have_longer_transients() {
+        let iw = sqrt_iw();
+        let narrow = win_drain(&iw, 2, 48).penalty + ramp_up(&iw, 2, 48).penalty;
+        let wide = win_drain(&iw, 8, 64).penalty + ramp_up(&iw, 8, 64).penalty;
+        assert!(
+            wide > narrow,
+            "wide transient {wide} should exceed narrow {narrow}"
+        );
+    }
+
+    #[test]
+    fn higher_latency_slows_the_walks() {
+        let slow = IwCharacteristic::new(PowerLaw::square_root(), 2.0).unwrap();
+        let fast = sqrt_iw();
+        // With L = 2 the steady rate halves, and the drain lasts longer.
+        assert!(
+            win_drain(&slow, 4, 48).duration() > win_drain(&fast, 4, 48).duration()
+        );
+    }
+
+    #[test]
+    fn branch_curve_has_the_papers_shape() {
+        let iw = sqrt_iw();
+        let curve = branch_transient_curve(&iw, 4, 48, 5, 3);
+        // Starts at steady state.
+        assert!((curve[0] - 4.0).abs() < 1e-9);
+        // Contains a dead period of exactly pipe_depth zeros.
+        let zeros = curve.iter().filter(|&&r| r == 0.0).count();
+        assert_eq!(zeros, 5);
+        // Ends back at steady state.
+        assert!((curve.last().unwrap() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn icache_curve_dead_time_tracks_miss_delay() {
+        let iw = sqrt_iw();
+        let curve = icache_transient_curve(&iw, 4, 48, 5, 8, 2);
+        let zeros = curve.iter().filter(|&&r| r == 0.0).count();
+        // Dead time = ∆I − drain overlap, nonzero for an 8-cycle miss.
+        assert!((1..=8).contains(&zeros), "zeros {zeros}");
+        assert!((curve.last().unwrap() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dataflow_limited_machine_has_small_transients() {
+        // Window so small the machine never saturates: steady rate is
+        // the dataflow limit; drain is short.
+        let iw = sqrt_iw();
+        let drain = win_drain(&iw, 8, 4);
+        assert!(drain.duration() <= 3);
+    }
+}

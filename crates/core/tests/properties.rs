@@ -1,0 +1,131 @@
+//! Property-based tests for the first-order model's invariants.
+
+use fosm_cache::BurstDistribution;
+use fosm_core::branch::BurstAssumption;
+use fosm_core::model::FirstOrderModel;
+use fosm_core::profile::ProgramProfile;
+use fosm_core::transient::{ramp_up, win_drain};
+use fosm_core::{branch, dcache, icache, ProcessorParams};
+use fosm_depgraph::{IwCharacteristic, PowerLaw};
+use proptest::prelude::*;
+
+fn iw_strategy() -> impl Strategy<Value = IwCharacteristic> {
+    (0.8f64..2.2, 0.2f64..0.9, 1.0f64..2.5).prop_map(|(a, b, l)| {
+        IwCharacteristic::new(PowerLaw::new(a, b).unwrap(), l).unwrap()
+    })
+}
+
+fn profile_strategy() -> impl Strategy<Value = ProgramProfile> {
+    (
+        iw_strategy(),
+        0u64..20_000,
+        0u64..10_000,
+        0u64..200,
+        0u64..5_000,
+    )
+        .prop_map(|(iw, mispredicts, ic_short, ic_long, longs)| ProgramProfile {
+            name: "prop".into(),
+            instructions: 1_000_000,
+            iw,
+            cond_branches: 200_000,
+            mispredicts,
+            mispredict_burst_mean: 1.0,
+            icache_short_misses: ic_short,
+            icache_long_misses: ic_long,
+            dcache_short_misses: 0,
+            long_miss_distribution: BurstDistribution::all_isolated(longs),
+            long_miss_distribution_paper: BurstDistribution::all_isolated(longs),
+            dtlb_miss_distribution: BurstDistribution::default(),
+            dtlb_walk_latency: 0,
+            fu_mix: [0; 5],
+        })
+}
+
+proptest! {
+    /// Every CPI component is non-negative and the total is their sum.
+    #[test]
+    fn estimate_components_are_sane(profile in profile_strategy()) {
+        let est = FirstOrderModel::new(ProcessorParams::baseline())
+            .evaluate(&profile)
+            .unwrap();
+        for (name, cpi) in est.cpi_stack() {
+            prop_assert!(cpi >= 0.0, "{name} = {cpi}");
+        }
+        let sum: f64 = est.cpi_stack().iter().map(|(_, v)| v).sum();
+        prop_assert!((sum - est.total_cpi()).abs() < 1e-9);
+        prop_assert!(est.total_cpi() > 0.0);
+    }
+
+    /// CPI is monotone non-decreasing in every miss-event count.
+    #[test]
+    fn cpi_monotone_in_miss_events(profile in profile_strategy()) {
+        let model = FirstOrderModel::new(ProcessorParams::baseline());
+        let base = model.evaluate(&profile).unwrap().total_cpi();
+        let mut more_br = profile.clone();
+        more_br.mispredicts += 1_000;
+        prop_assert!(model.evaluate(&more_br).unwrap().total_cpi() >= base);
+        let mut more_ic = profile.clone();
+        more_ic.icache_short_misses += 1_000;
+        prop_assert!(model.evaluate(&more_ic).unwrap().total_cpi() >= base);
+        let mut more_dc = profile.clone();
+        more_dc.long_miss_distribution = BurstDistribution::all_isolated(
+            profile.long_miss_distribution.misses() + 1_000,
+        );
+        prop_assert!(model.evaluate(&more_dc).unwrap().total_cpi() >= base);
+    }
+
+    /// The branch penalty is bracketed by the pipeline depth (infinite
+    /// bursts) and the isolated penalty (eq. 2 >= eq. 3).
+    #[test]
+    fn branch_penalty_bracket(iw in iw_strategy(), n in 1.0f64..50.0, depth in 1u32..40) {
+        let params = ProcessorParams::baseline().with_pipe_depth(depth);
+        let burst = branch::penalty(&iw, &params, BurstAssumption::Bursts(n));
+        let iso = branch::penalty(&iw, &params, BurstAssumption::Isolated);
+        prop_assert!(burst >= depth as f64 - 1e-9);
+        prop_assert!(burst <= iso + 1e-9);
+    }
+
+    /// The icache penalty is within drain/ramp of the miss delay and
+    /// completely independent of the pipeline depth.
+    #[test]
+    fn icache_penalty_properties(iw in iw_strategy(), delta in 2u32..64) {
+        let p5 = ProcessorParams::baseline();
+        let p40 = ProcessorParams::baseline().with_pipe_depth(40);
+        let a = icache::isolated_penalty(&iw, &p5, delta);
+        let b = icache::isolated_penalty(&iw, &p40, delta);
+        prop_assert!((a - b).abs() < 1e-9, "pipe depth must not matter");
+        let drain = win_drain(&iw, p5.width, p5.win_size).penalty;
+        let ramp = ramp_up(&iw, p5.width, p5.win_size).penalty;
+        prop_assert!(a <= delta as f64 + ramp + 1e-9);
+        prop_assert!(a >= (delta as f64 - drain).max(0.0) - 1e-9);
+    }
+
+    /// The dcache penalty per miss never exceeds the memory latency and
+    /// scales linearly with the overlap factor.
+    #[test]
+    fn dcache_penalty_properties(iw in iw_strategy(), misses in 1u64..10_000) {
+        let params = ProcessorParams::baseline();
+        let isolated = BurstDistribution::all_isolated(misses);
+        let p = dcache::penalty_per_miss(&iw, &params, &isolated);
+        prop_assert!(p <= params.mem_latency as f64 + 1e-9);
+        prop_assert!(p >= 0.0);
+        // Pairing all misses halves the per-miss penalty exactly.
+        if misses % 2 == 0 && misses > 0 {
+            let paired = BurstDistribution::from_group_sizes(vec![0, 0, misses / 2]);
+            let pp = dcache::penalty_per_miss(&iw, &params, &paired);
+            prop_assert!((pp - p / 2.0).abs() < 1e-9);
+        }
+    }
+
+    /// Drain and ramp penalties are non-negative and finite for the
+    /// whole parameter domain.
+    #[test]
+    fn transients_are_finite(iw in iw_strategy(), width in 1u32..16, win in 2u32..256) {
+        let d = win_drain(&iw, width, win);
+        let r = ramp_up(&iw, width, win);
+        prop_assert!(d.penalty.is_finite() && d.penalty >= 0.0);
+        prop_assert!(r.penalty.is_finite() && r.penalty >= 0.0);
+        prop_assert!(d.duration() < 10_000);
+        prop_assert!(r.duration() < 10_000);
+    }
+}

@@ -1,0 +1,377 @@
+//! The complete IW characteristic: power law + Little's Law + saturation.
+
+use fosm_isa::{Inst, LatencyTable};
+use serde::{Deserialize, Serialize};
+
+use crate::{iw, powerlaw, FitError, IwPoint, PowerLaw};
+
+/// The fitted IW characteristic of a program on a machine with average
+/// functional-unit latency `L` (paper §3).
+///
+/// Combines three pieces of the paper's recipe:
+///
+/// * the unit-latency power law `I₁ = α·W^β` fitted from idealized
+///   simulation,
+/// * Little's-Law latency scaling: with average instruction latency `L`,
+///   dependence chains are `L×` longer, so `I_L = I₁ / L`,
+/// * issue-width saturation (paper Fig. 6, after Jouppi): a real
+///   machine issues at most `width` per cycle, so the curve follows the
+///   unlimited-width law until it reaches `width` and stays flat.
+///
+/// # Examples
+///
+/// ```
+/// use fosm_depgraph::{IwCharacteristic, PowerLaw};
+///
+/// let iw = IwCharacteristic::new(PowerLaw::new(1.0, 0.5)?, 2.0)?;
+/// // Latency 2 halves the unit-latency rate: sqrt(16)/2 = 2.
+/// assert!((iw.issue_rate(16.0, None) - 2.0).abs() < 1e-12);
+/// # Ok::<(), fosm_depgraph::FitError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IwCharacteristic {
+    law: PowerLaw,
+    avg_latency: f64,
+    /// Measured unit-latency IW points (sorted by window size). When
+    /// present, rates inside the measured range use log-log
+    /// interpolation of these points instead of the fitted law — the
+    /// paper's §7 refinement 1 ("improve modeling of the IW
+    /// characteristic"); the law still extrapolates outside the range.
+    #[serde(default)]
+    points: Vec<IwPoint>,
+}
+
+impl IwCharacteristic {
+    /// Creates a characteristic from a fitted law and average latency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FitError::InvalidParameter`] if `avg_latency < 1`.
+    pub fn new(law: PowerLaw, avg_latency: f64) -> Result<Self, FitError> {
+        if !(avg_latency.is_finite() && avg_latency >= 1.0) {
+            return Err(FitError::InvalidParameter {
+                what: "avg_latency",
+                value: avg_latency,
+            });
+        }
+        Ok(IwCharacteristic {
+            law,
+            avg_latency,
+            points: Vec::new(),
+        })
+    }
+
+    /// Creates a characteristic that interpolates measured unit-latency
+    /// points (log-log) inside their range, falling back to the fitted
+    /// law outside it.
+    ///
+    /// # Errors
+    ///
+    /// As [`IwCharacteristic::new`], plus [`FitError::NonPositivePoint`]
+    /// for non-positive measured points.
+    pub fn with_points(
+        law: PowerLaw,
+        avg_latency: f64,
+        mut points: Vec<IwPoint>,
+    ) -> Result<Self, FitError> {
+        for p in &points {
+            if p.window == 0 || !(p.ipc.is_finite() && p.ipc > 0.0) {
+                return Err(FitError::NonPositivePoint {
+                    window: p.window,
+                    ipc: p.ipc,
+                });
+            }
+        }
+        points.sort_by_key(|p| p.window);
+        points.dedup_by_key(|p| p.window);
+        // Enforce monotonicity (idealized IPC cannot decrease with
+        // window size; measurement noise is clamped upward).
+        for i in 1..points.len() {
+            if points[i].ipc < points[i - 1].ipc {
+                points[i].ipc = points[i - 1].ipc;
+            }
+        }
+        let mut c = IwCharacteristic::new(law, avg_latency)?;
+        c.points = points;
+        Ok(c)
+    }
+
+    /// Returns a copy with a different average latency, preserving the
+    /// measured points (used e.g. by the clustered-window adjustment).
+    ///
+    /// # Errors
+    ///
+    /// [`FitError::InvalidParameter`] if `avg_latency < 1`.
+    pub fn with_avg_latency(&self, avg_latency: f64) -> Result<Self, FitError> {
+        if !(avg_latency.is_finite() && avg_latency >= 1.0) {
+            return Err(FitError::InvalidParameter {
+                what: "avg_latency",
+                value: avg_latency,
+            });
+        }
+        let mut c = self.clone();
+        c.avg_latency = avg_latency;
+        Ok(c)
+    }
+
+    /// The measured unit-latency points, if any.
+    pub fn points(&self) -> &[IwPoint] {
+        &self.points
+    }
+
+    /// Unit-latency issue rate at occupancy `w`: interpolated from the
+    /// measured points inside their range, from the fitted law outside.
+    fn unit_rate(&self, w: f64) -> f64 {
+        if w <= 0.0 {
+            return 0.0;
+        }
+        let pts = &self.points;
+        if pts.len() >= 2 {
+            let lo = pts.first().expect("non-empty");
+            let hi = pts.last().expect("non-empty");
+            if w >= lo.window as f64 && w <= hi.window as f64 {
+                // Find the bracketing segment.
+                let idx = pts
+                    .partition_point(|p| (p.window as f64) <= w)
+                    .clamp(1, pts.len() - 1);
+                let (a, b) = (&pts[idx - 1], &pts[idx]);
+                if a.window == b.window {
+                    return a.ipc;
+                }
+                let lw = (w.ln() - (a.window as f64).ln())
+                    / ((b.window as f64).ln() - (a.window as f64).ln());
+                return (a.ipc.ln() + lw * (b.ipc.ln() - a.ipc.ln())).exp();
+            }
+        }
+        self.law.predict(w)
+    }
+
+    /// Extracts the characteristic from a trace in one step: idealized
+    /// unit-latency sweep, power-law fit, and mix-weighted average
+    /// latency under `latencies`.
+    ///
+    /// `extra_load_latency` lets the caller fold *short data-cache
+    /// misses* into the average latency, as the paper prescribes
+    /// ("short misses are modeled as if they are serviced by long
+    /// latency functional units"): pass the mean additional cycles per
+    /// load (short-miss rate × L2 latency), or 0.0 for ideal caches.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fitting errors from [`powerlaw::fit`].
+    pub fn from_trace(
+        insts: &[Inst],
+        latencies: &LatencyTable,
+        extra_load_latency: f64,
+    ) -> Result<Self, FitError> {
+        let points = iw::characteristic(insts, &iw::DEFAULT_WINDOW_SIZES, &LatencyTable::unit());
+        let law = powerlaw::fit(&points)?;
+        let measured = points.clone();
+        let mut mix = [0u64; fosm_isa::NUM_OP_CLASSES];
+        let mut loads = 0u64;
+        for inst in insts {
+            mix[inst.op.index()] += 1;
+            if inst.op == fosm_isa::Op::Load {
+                loads += 1;
+            }
+        }
+        let total: u64 = mix.iter().sum();
+        let mut avg = latencies.average_over(&mix);
+        if total > 0 {
+            avg += extra_load_latency * loads as f64 / total as f64;
+        }
+        IwCharacteristic::with_points(law, avg.max(1.0), measured)
+    }
+
+    /// The underlying unit-latency power law.
+    pub fn law(&self) -> &PowerLaw {
+        &self.law
+    }
+
+    /// The average instruction latency `L`.
+    pub fn avg_latency(&self) -> f64 {
+        self.avg_latency
+    }
+
+    /// Latency-adjusted issue rate with *unbounded* issue width:
+    /// the unit-latency rate (measured or fitted) divided by `L`.
+    pub fn unlimited_issue_rate(&self, w: f64) -> f64 {
+        self.unit_rate(w) / self.avg_latency
+    }
+
+    /// Issue rate at window occupancy `w` on a machine of the given
+    /// issue width (`None` = unbounded): the unlimited-width curve,
+    /// saturated at `width`.
+    pub fn issue_rate(&self, w: f64, width: Option<u32>) -> f64 {
+        let rate = self.unlimited_issue_rate(w);
+        match width {
+            Some(i) => rate.min(i as f64),
+            None => rate,
+        }
+    }
+
+    /// Window occupancy at which the machine first saturates its issue
+    /// width (the `w` where the unit-latency rate reaches `width × L`).
+    pub fn saturation_window(&self, width: u32) -> f64 {
+        let target = width as f64 * self.avg_latency;
+        if self.points.len() >= 2 {
+            let lo = self.points.first().expect("non-empty");
+            let hi = self.points.last().expect("non-empty");
+            if target >= lo.ipc && target <= hi.ipc {
+                // Bisect the monotone interpolated curve.
+                let (mut a, mut b) = (lo.window as f64, hi.window as f64);
+                for _ in 0..64 {
+                    let mid = 0.5 * (a + b);
+                    if self.unit_rate(mid) < target {
+                        a = mid;
+                    } else {
+                        b = mid;
+                    }
+                }
+                return 0.5 * (a + b);
+            }
+        }
+        self.law.window_for_rate(target)
+    }
+
+    /// Steady-state IPC of a machine with `win_size` window entries and
+    /// issue width `width` under ideal conditions (paper §3: "for most
+    /// benchmarks, we use a window size that is large enough so that
+    /// the issue rate ... is in the saturation part of the curve").
+    pub fn steady_state_ipc(&self, win_size: u32, width: u32) -> f64 {
+        self.issue_rate(win_size as f64, Some(width))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fosm_isa::{Op, Reg};
+
+    fn sqrt_iw(l: f64) -> IwCharacteristic {
+        IwCharacteristic::new(PowerLaw::square_root(), l).unwrap()
+    }
+
+    #[test]
+    fn latency_scales_issue_rate_down() {
+        let unit = sqrt_iw(1.0);
+        let slow = sqrt_iw(2.0);
+        assert!((unit.unlimited_issue_rate(64.0) - 8.0).abs() < 1e-12);
+        assert!((slow.unlimited_issue_rate(64.0) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn issue_width_saturates_the_curve() {
+        let iw = sqrt_iw(1.0);
+        assert_eq!(iw.issue_rate(64.0, Some(4)), 4.0);
+        assert!((iw.issue_rate(4.0, Some(4)) - 2.0).abs() < 1e-12);
+        assert!((iw.issue_rate(64.0, None) - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn saturation_window_matches_inverse() {
+        let iw = sqrt_iw(1.5);
+        let w = iw.saturation_window(4);
+        assert!((iw.unlimited_issue_rate(w) - 4.0).abs() < 1e-9);
+        // width 4, L=1.5 -> need alpha*w^0.5 = 6 -> w = 36.
+        assert!((w - 36.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn steady_state_ipc_uses_full_window() {
+        let iw = sqrt_iw(1.0);
+        // 48-entry window, 4-wide: sqrt(48) ≈ 6.9 > 4 -> saturated.
+        assert_eq!(iw.steady_state_ipc(48, 4), 4.0);
+        // 9-entry window, 4-wide: sqrt(9) = 3 < 4 -> dataflow-limited.
+        assert!((iw.steady_state_ipc(9, 4) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_sub_unit_latency() {
+        assert!(IwCharacteristic::new(PowerLaw::square_root(), 0.5).is_err());
+        assert!(IwCharacteristic::new(PowerLaw::square_root(), f64::NAN).is_err());
+    }
+
+    #[test]
+    fn measured_points_override_the_law_inside_their_range() {
+        // A law that deliberately disagrees with the points: inside the
+        // measured range the points win; outside, the law extrapolates.
+        let points = vec![
+            crate::IwPoint { window: 4, ipc: 3.0 },
+            crate::IwPoint { window: 16, ipc: 6.0 },
+        ];
+        let law = PowerLaw::new(1.0, 0.5).unwrap(); // predicts 2 and 4
+        let iw = IwCharacteristic::with_points(law, 1.0, points).unwrap();
+        assert!((iw.unlimited_issue_rate(4.0) - 3.0).abs() < 1e-9);
+        assert!((iw.unlimited_issue_rate(16.0) - 6.0).abs() < 1e-9);
+        // Log-log interpolation at w = 8: sqrt(3*6) = 4.2426...
+        assert!((iw.unlimited_issue_rate(8.0) - 18.0f64.sqrt()).abs() < 1e-9);
+        // Outside the range the law takes over.
+        assert!((iw.unlimited_issue_rate(64.0) - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn saturation_window_bisects_the_measured_curve() {
+        let points = vec![
+            crate::IwPoint { window: 4, ipc: 2.0 },
+            crate::IwPoint { window: 64, ipc: 8.0 },
+        ];
+        let iw =
+            IwCharacteristic::with_points(PowerLaw::square_root(), 1.0, points).unwrap();
+        let w = iw.saturation_window(4);
+        assert!((iw.unlimited_issue_rate(w) - 4.0).abs() < 1e-6, "w = {w}");
+    }
+
+    #[test]
+    fn with_points_rejects_and_repairs_bad_data() {
+        let bad = vec![crate::IwPoint { window: 0, ipc: 1.0 }];
+        assert!(IwCharacteristic::with_points(PowerLaw::square_root(), 1.0, bad).is_err());
+        // Non-monotone measurement noise is clamped upward.
+        let noisy = vec![
+            crate::IwPoint { window: 2, ipc: 2.0 },
+            crate::IwPoint { window: 4, ipc: 1.5 },
+        ];
+        let iw = IwCharacteristic::with_points(PowerLaw::square_root(), 1.0, noisy).unwrap();
+        assert!(iw.unlimited_issue_rate(4.0) >= iw.unlimited_issue_rate(2.0));
+    }
+
+    #[test]
+    fn with_avg_latency_preserves_points() {
+        let points = vec![
+            crate::IwPoint { window: 4, ipc: 3.0 },
+            crate::IwPoint { window: 16, ipc: 6.0 },
+        ];
+        let iw =
+            IwCharacteristic::with_points(PowerLaw::square_root(), 1.0, points).unwrap();
+        let slow = iw.with_avg_latency(2.0).unwrap();
+        assert_eq!(slow.points(), iw.points());
+        assert!((slow.unlimited_issue_rate(4.0) - 1.5).abs() < 1e-9);
+        assert!(iw.with_avg_latency(0.5).is_err());
+    }
+
+    #[test]
+    fn from_trace_recovers_chain_structure() {
+        // 4 independent chains -> beta well below 1, asymptote 4.
+        let insts: Vec<Inst> = (0..4000u64)
+            .map(|i| {
+                let r = Reg::new((i % 4) as u8);
+                Inst::alu(i * 4, Op::IntAlu, r, Some(r), None)
+            })
+            .collect();
+        let iw = IwCharacteristic::from_trace(&insts, &LatencyTable::unit(), 0.0).unwrap();
+        assert!(iw.avg_latency() >= 1.0);
+        let at4 = iw.unlimited_issue_rate(4.0);
+        assert!((1.0..=4.0).contains(&at4), "rate at W=4: {at4}");
+    }
+
+    #[test]
+    fn from_trace_folds_short_miss_latency_into_l() {
+        let insts: Vec<Inst> = (0..100u64)
+            .map(|i| Inst::load(i * 4, Reg::new((i % 8) as u8), None, i * 8))
+            .collect();
+        let base = IwCharacteristic::from_trace(&insts, &LatencyTable::unit(), 0.0).unwrap();
+        let slow = IwCharacteristic::from_trace(&insts, &LatencyTable::unit(), 2.0).unwrap();
+        // All instructions are loads: extra 2.0 cycles/load -> L rises by 2.
+        assert!((slow.avg_latency() - base.avg_latency() - 2.0).abs() < 1e-9);
+    }
+}

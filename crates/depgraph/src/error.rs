@@ -1,0 +1,62 @@
+//! Errors for fitting and characteristic construction.
+
+/// Error from power-law fitting or [`IwCharacteristic`](crate::IwCharacteristic)
+/// construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FitError {
+    /// Fewer than two distinct points were supplied; a line cannot be fit.
+    TooFewPoints {
+        /// Number of usable points supplied.
+        got: usize,
+    },
+    /// A point had a non-positive window size or IPC, so its logarithm
+    /// is undefined.
+    NonPositivePoint {
+        /// Window size of the offending point.
+        window: u32,
+        /// IPC of the offending point.
+        ipc: f64,
+    },
+    /// A fitted or supplied parameter is outside its meaningful domain
+    /// (α must be positive, β in (0, 1], L ≥ 1).
+    InvalidParameter {
+        /// Name of the parameter.
+        what: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+}
+
+impl std::fmt::Display for FitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FitError::TooFewPoints { got } => {
+                write!(f, "power-law fit needs at least 2 distinct points, got {got}")
+            }
+            FitError::NonPositivePoint { window, ipc } => {
+                write!(f, "IW point (W={window}, I={ipc}) is not log-transformable")
+            }
+            FitError::InvalidParameter { what, value } => {
+                write!(f, "parameter {what} = {value} is outside its valid domain")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_the_problem() {
+        assert!(FitError::TooFewPoints { got: 1 }.to_string().contains("2 distinct"));
+        assert!(FitError::NonPositivePoint { window: 0, ipc: 1.0 }
+            .to_string()
+            .contains("W=0"));
+        assert!(FitError::InvalidParameter { what: "alpha", value: -1.0 }
+            .to_string()
+            .contains("alpha"));
+    }
+}

@@ -1,0 +1,269 @@
+//! Power-law fitting of IW curves (paper Table 1, Fig. 5).
+
+use serde::{Deserialize, Serialize};
+
+use crate::{FitError, IwPoint};
+
+/// A fitted power law `I = α · W^β`.
+///
+/// `α` is the single-entry-window issue rate, `β` the log-log slope.
+/// The paper observes `β ≈ 0.5` on average (the classic square-root
+/// law), ranging from 0.3 (`vpr`) to 0.7 (`vortex`).
+///
+/// # Examples
+///
+/// ```
+/// use fosm_depgraph::PowerLaw;
+///
+/// let law = PowerLaw::new(1.0, 0.5)?;
+/// assert!((law.predict(16.0) - 4.0).abs() < 1e-12);
+/// # Ok::<(), fosm_depgraph::FitError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerLaw {
+    alpha: f64,
+    beta: f64,
+}
+
+impl PowerLaw {
+    /// Creates a power law from explicit parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FitError::InvalidParameter`] unless `alpha > 0` and
+    /// `0 < beta <= 1` (a β above 1 would mean super-linear ILP growth,
+    /// which register dataflow cannot produce).
+    pub fn new(alpha: f64, beta: f64) -> Result<Self, FitError> {
+        if !(alpha.is_finite() && alpha > 0.0) {
+            return Err(FitError::InvalidParameter {
+                what: "alpha",
+                value: alpha,
+            });
+        }
+        if !(beta.is_finite() && beta > 0.0 && beta <= 1.0) {
+            return Err(FitError::InvalidParameter {
+                what: "beta",
+                value: beta,
+            });
+        }
+        Ok(PowerLaw { alpha, beta })
+    }
+
+    /// The paper's illustrative square-root law: `α = 1`, `β = 0.5`
+    /// (used for Fig. 8 and the trend studies of §6).
+    pub fn square_root() -> Self {
+        PowerLaw {
+            alpha: 1.0,
+            beta: 0.5,
+        }
+    }
+
+    /// The coefficient `α`.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The exponent `β`.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// Predicted unit-latency issue rate at window size `w`.
+    ///
+    /// Returns 0.0 for `w <= 0` (an empty window issues nothing).
+    pub fn predict(&self, w: f64) -> f64 {
+        if w <= 0.0 {
+            0.0
+        } else {
+            self.alpha * w.powf(self.beta)
+        }
+    }
+
+    /// Inverse of [`predict`](PowerLaw::predict): the window occupancy
+    /// at which the law reaches issue rate `i`.
+    pub fn window_for_rate(&self, i: f64) -> f64 {
+        if i <= 0.0 {
+            0.0
+        } else {
+            (i / self.alpha).powf(1.0 / self.beta)
+        }
+    }
+}
+
+/// Least-squares fit of `log2 I = β·log2 W + log2 α` over measured points.
+///
+/// This is exactly the paper's Fig. 5 procedure ("we fit the IW curves
+/// to the line"). Points with non-positive coordinates are rejected;
+/// at least two distinct window sizes are required.
+///
+/// β is clamped into `(0, 1]` only through validation — if the fit
+/// produces an out-of-domain exponent the data was not power-law-like
+/// and an error is returned rather than a silently wrong model.
+///
+/// # Errors
+///
+/// [`FitError::TooFewPoints`], [`FitError::NonPositivePoint`], or
+/// [`FitError::InvalidParameter`] when the fitted parameters are
+/// out of domain.
+///
+/// # Examples
+///
+/// ```
+/// use fosm_depgraph::{powerlaw, IwPoint};
+///
+/// let pts: Vec<IwPoint> = [2u32, 4, 8, 16]
+///     .iter()
+///     .map(|&w| IwPoint { window: w, ipc: 1.3 * (w as f64).powf(0.5) })
+///     .collect();
+/// let law = powerlaw::fit(&pts)?;
+/// assert!((law.alpha() - 1.3).abs() < 1e-9);
+/// assert!((law.beta() - 0.5).abs() < 1e-9);
+/// # Ok::<(), fosm_depgraph::FitError>(())
+/// ```
+pub fn fit(points: &[IwPoint]) -> Result<PowerLaw, FitError> {
+    for p in points {
+        if p.window == 0 || !(p.ipc.is_finite() && p.ipc > 0.0) {
+            return Err(FitError::NonPositivePoint {
+                window: p.window,
+                ipc: p.ipc,
+            });
+        }
+    }
+    let mut xs: Vec<f64> = points.iter().map(|p| (p.window as f64).log2()).collect();
+    let ys: Vec<f64> = points.iter().map(|p| p.ipc.log2()).collect();
+    let n = xs.len();
+    {
+        let mut distinct = xs.clone();
+        distinct.sort_by(f64::total_cmp);
+        distinct.dedup();
+        if distinct.len() < 2 {
+            return Err(FitError::TooFewPoints { got: distinct.len() });
+        }
+    }
+    let mean_x: f64 = xs.iter().sum::<f64>() / n as f64;
+    let mean_y: f64 = ys.iter().sum::<f64>() / n as f64;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    for (x, y) in xs.iter_mut().zip(ys.iter()) {
+        let dx = *x - mean_x;
+        sxx += dx * dx;
+        sxy += dx * (y - mean_y);
+    }
+    let beta = sxy / sxx;
+    let log_alpha = mean_y - beta * mean_x;
+    PowerLaw::new(log_alpha.exp2(), beta)
+}
+
+/// Coefficient of determination (R²) of a law against measured points,
+/// in log-log space. 1.0 is a perfect fit.
+///
+/// Returns `None` if any point is non-positive or the spread is zero.
+pub fn r_squared(law: &PowerLaw, points: &[IwPoint]) -> Option<f64> {
+    if points.iter().any(|p| p.window == 0 || p.ipc <= 0.0) {
+        return None;
+    }
+    let ys: Vec<f64> = points.iter().map(|p| p.ipc.log2()).collect();
+    let preds: Vec<f64> = points
+        .iter()
+        .map(|p| law.predict(p.window as f64).log2())
+        .collect();
+    let mean_y = ys.iter().sum::<f64>() / ys.len() as f64;
+    let ss_tot: f64 = ys.iter().map(|y| (y - mean_y).powi(2)).sum();
+    let ss_res: f64 = ys.iter().zip(&preds).map(|(y, p)| (y - p).powi(2)).sum();
+    if ss_tot == 0.0 {
+        return None;
+    }
+    Some(1.0 - ss_res / ss_tot)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exact_points(alpha: f64, beta: f64) -> Vec<IwPoint> {
+        [2u32, 4, 8, 16, 32, 64]
+            .iter()
+            .map(|&w| IwPoint {
+                window: w,
+                ipc: alpha * (w as f64).powf(beta),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fit_recovers_exact_parameters() {
+        for (a, b) in [(1.0, 0.5), (1.3, 0.5), (1.2, 0.7), (1.7, 0.3)] {
+            let law = fit(&exact_points(a, b)).unwrap();
+            assert!((law.alpha() - a).abs() < 1e-9, "alpha {}", law.alpha());
+            assert!((law.beta() - b).abs() < 1e-9, "beta {}", law.beta());
+            assert!(r_squared(&law, &exact_points(a, b)).unwrap() > 0.999_999);
+        }
+    }
+
+    #[test]
+    fn fit_tolerates_noise() {
+        let mut pts = exact_points(1.3, 0.5);
+        for (i, p) in pts.iter_mut().enumerate() {
+            p.ipc *= 1.0 + 0.02 * if i % 2 == 0 { 1.0 } else { -1.0 };
+        }
+        let law = fit(&pts).unwrap();
+        assert!((law.beta() - 0.5).abs() < 0.05);
+        assert!(r_squared(&law, &pts).unwrap() > 0.99);
+    }
+
+    #[test]
+    fn fit_rejects_degenerate_inputs() {
+        assert!(matches!(fit(&[]), Err(FitError::TooFewPoints { .. })));
+        let single = [IwPoint { window: 8, ipc: 2.0 }, IwPoint { window: 8, ipc: 2.1 }];
+        assert!(matches!(fit(&single), Err(FitError::TooFewPoints { .. })));
+        let bad = [
+            IwPoint { window: 0, ipc: 2.0 },
+            IwPoint { window: 4, ipc: 2.0 },
+        ];
+        assert!(matches!(fit(&bad), Err(FitError::NonPositivePoint { .. })));
+        let neg = [
+            IwPoint { window: 2, ipc: -1.0 },
+            IwPoint { window: 4, ipc: 2.0 },
+        ];
+        assert!(matches!(fit(&neg), Err(FitError::NonPositivePoint { .. })));
+    }
+
+    #[test]
+    fn fit_rejects_flat_data() {
+        // IPC independent of window -> beta = 0, out of domain.
+        let flat = [
+            IwPoint { window: 2, ipc: 1.0 },
+            IwPoint { window: 64, ipc: 1.0 },
+        ];
+        assert!(matches!(fit(&flat), Err(FitError::InvalidParameter { .. })));
+    }
+
+    #[test]
+    fn constructor_validates_domain() {
+        assert!(PowerLaw::new(0.0, 0.5).is_err());
+        assert!(PowerLaw::new(-1.0, 0.5).is_err());
+        assert!(PowerLaw::new(1.0, 0.0).is_err());
+        assert!(PowerLaw::new(1.0, 1.5).is_err());
+        assert!(PowerLaw::new(1.0, f64::NAN).is_err());
+        assert!(PowerLaw::new(1.0, 1.0).is_ok());
+    }
+
+    #[test]
+    fn predict_and_inverse_roundtrip() {
+        let law = PowerLaw::new(1.3, 0.5).unwrap();
+        for w in [2.0, 16.0, 100.0] {
+            let i = law.predict(w);
+            assert!((law.window_for_rate(i) - w).abs() < 1e-9);
+        }
+        assert_eq!(law.predict(0.0), 0.0);
+        assert_eq!(law.window_for_rate(0.0), 0.0);
+    }
+
+    #[test]
+    fn square_root_is_the_papers_default() {
+        let law = PowerLaw::square_root();
+        assert_eq!(law.alpha(), 1.0);
+        assert_eq!(law.beta(), 0.5);
+        assert!((law.predict(25.0) - 5.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,84 @@
+//! Property-based tests for the IW analysis and power-law machinery.
+
+use fosm_depgraph::{iw, powerlaw, IwCharacteristic, IwPoint, PowerLaw};
+use fosm_isa::{Inst, LatencyTable, Op, Reg};
+use proptest::prelude::*;
+
+/// A random register-dataflow trace: each instruction reads up to two
+/// of the previous `window` destinations.
+fn dataflow_trace() -> impl Strategy<Value = Vec<Inst>> {
+    prop::collection::vec((0u8..48, 0u8..48, 0u8..48), 8..250).prop_map(|triples| {
+        triples
+            .into_iter()
+            .enumerate()
+            .map(|(i, (d, s1, s2))| {
+                Inst::alu(
+                    i as u64 * 4,
+                    Op::IntAlu,
+                    Reg::new(d),
+                    Some(Reg::new(s1)),
+                    Some(Reg::new(s2)),
+                )
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// Idealized IPC is monotone non-decreasing in the window size and
+    /// bounded by the window itself.
+    #[test]
+    fn ipc_monotone_in_window(insts in dataflow_trace()) {
+        let unit = LatencyTable::unit();
+        let mut prev = 0.0;
+        for w in [1u32, 2, 4, 8, 16, 32] {
+            let ipc = iw::ipc_at_window(&insts, w, &unit);
+            prop_assert!(ipc + 1e-9 >= prev, "window {w}: {ipc} < {prev}");
+            prop_assert!(ipc <= w as f64 + 1e-9);
+            prop_assert!(ipc >= 1.0 - 1e-9, "some instruction issues every cycle");
+            prev = ipc;
+        }
+    }
+
+    /// Longer latencies never raise the idealized IPC.
+    #[test]
+    fn latency_never_helps(insts in dataflow_trace()) {
+        let fast = iw::ipc_at_window(&insts, 16, &LatencyTable::unit());
+        let slow_table = LatencyTable::unit().with_latency(Op::IntAlu, 3);
+        let slow = iw::ipc_at_window(&insts, 16, &slow_table);
+        prop_assert!(slow <= fast + 1e-9);
+    }
+
+    /// The power-law fit exactly recovers parameters from exact data,
+    /// for any (α, β) in the valid domain.
+    #[test]
+    fn fit_recovers_exact_laws(alpha in 0.5f64..3.0, beta in 0.05f64..1.0) {
+        let pts: Vec<IwPoint> = [2u32, 4, 8, 16, 32, 64]
+            .iter()
+            .map(|&w| IwPoint { window: w, ipc: alpha * (w as f64).powf(beta) })
+            .collect();
+        let law = powerlaw::fit(&pts).unwrap();
+        prop_assert!((law.alpha() - alpha).abs() < 1e-6);
+        prop_assert!((law.beta() - beta).abs() < 1e-6);
+    }
+
+    /// predict/window_for_rate are inverses on the valid domain.
+    #[test]
+    fn law_roundtrip(alpha in 0.5f64..3.0, beta in 0.1f64..1.0, w in 1.0f64..512.0) {
+        let law = PowerLaw::new(alpha, beta).unwrap();
+        let i = law.predict(w);
+        prop_assert!((law.window_for_rate(i) - w).abs() / w < 1e-9);
+    }
+
+    /// The latency-adjusted characteristic scales as 1/L and saturates
+    /// at the issue width.
+    #[test]
+    fn characteristic_scaling(l in 1.0f64..4.0, w in 1.0f64..256.0, width in 1u32..16) {
+        let unit = IwCharacteristic::new(PowerLaw::square_root(), 1.0).unwrap();
+        let scaled = IwCharacteristic::new(PowerLaw::square_root(), l).unwrap();
+        let a = unit.unlimited_issue_rate(w);
+        let b = scaled.unlimited_issue_rate(w);
+        prop_assert!((b * l - a).abs() < 1e-9);
+        prop_assert!(scaled.issue_rate(w, Some(width)) <= width as f64 + 1e-12);
+    }
+}

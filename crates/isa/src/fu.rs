@@ -1,0 +1,174 @@
+//! Functional-unit classes and pool configuration (paper §7, feature 1).
+//!
+//! The first-order model assumes unbounded functional units; the paper
+//! lists limited FU counts as the first planned extension: "the mix can
+//! be used to determine the number of units required … or, if the
+//! number of units is too small, we can generate a lower saturation
+//! level than the maximum issue width."
+
+use serde::{Deserialize, Serialize};
+
+use crate::Op;
+
+/// The functional-unit class an operation executes on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum FuClass {
+    /// Integer ALUs (also execute branches and nops).
+    IntAlu,
+    /// Integer multiply/divide units.
+    IntMulDiv,
+    /// Floating-point adders.
+    FpAdd,
+    /// Floating-point multiply/divide units.
+    FpMulDiv,
+    /// Load/store (memory) ports.
+    Mem,
+}
+
+impl FuClass {
+    /// All classes, in [`FuClass::index`] order.
+    pub const ALL: [FuClass; 5] = [
+        FuClass::IntAlu,
+        FuClass::IntMulDiv,
+        FuClass::FpAdd,
+        FuClass::FpMulDiv,
+        FuClass::Mem,
+    ];
+
+    /// Dense index for table lookups.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            FuClass::IntAlu => "int-alu",
+            FuClass::IntMulDiv => "int-mul",
+            FuClass::FpAdd => "fp-add",
+            FuClass::FpMulDiv => "fp-mul",
+            FuClass::Mem => "mem",
+        }
+    }
+}
+
+impl Op {
+    /// The functional-unit class this operation issues to.
+    pub fn fu_class(self) -> FuClass {
+        match self {
+            Op::IntAlu | Op::CondBranch | Op::Jump | Op::Call | Op::Return | Op::Nop => {
+                FuClass::IntAlu
+            }
+            Op::IntMul | Op::IntDiv => FuClass::IntMulDiv,
+            Op::FpAdd => FuClass::FpAdd,
+            Op::FpMul | Op::FpDiv => FuClass::FpMulDiv,
+            Op::Load | Op::Store => FuClass::Mem,
+        }
+    }
+}
+
+/// Number of (fully pipelined) functional units of each class.
+///
+/// # Examples
+///
+/// ```
+/// use fosm_isa::{FuClass, FuPool};
+///
+/// let pool = FuPool::alpha_like();
+/// assert_eq!(pool.count(FuClass::Mem), 2);
+/// pool.validate().unwrap();
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FuPool {
+    /// Integer ALUs.
+    pub int_alu: u32,
+    /// Integer multiply/divide units.
+    pub int_mul_div: u32,
+    /// FP adders.
+    pub fp_add: u32,
+    /// FP multiply/divide units.
+    pub fp_mul_div: u32,
+    /// Load/store ports.
+    pub mem_ports: u32,
+}
+
+impl FuPool {
+    /// A classic 4-wide machine's pool: 4 integer ALUs, 1 integer
+    /// multiplier, 1 FP adder, 1 FP multiplier, 2 memory ports.
+    pub fn alpha_like() -> Self {
+        FuPool {
+            int_alu: 4,
+            int_mul_div: 1,
+            fp_add: 1,
+            fp_mul_div: 1,
+            mem_ports: 2,
+        }
+    }
+
+    /// Units available for `class`.
+    pub fn count(&self, class: FuClass) -> u32 {
+        match class {
+            FuClass::IntAlu => self.int_alu,
+            FuClass::IntMulDiv => self.int_mul_div,
+            FuClass::FpAdd => self.fp_add,
+            FuClass::FpMulDiv => self.fp_mul_div,
+            FuClass::Mem => self.mem_ports,
+        }
+    }
+
+    /// Validates that every class has at least one unit.
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending class label.
+    pub fn validate(&self) -> Result<(), String> {
+        for class in FuClass::ALL {
+            if self.count(class) == 0 {
+                return Err(format!("functional-unit class {} has no units", class.label()));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for FuPool {
+    fn default() -> Self {
+        FuPool::alpha_like()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_op_has_a_class() {
+        for op in Op::ALL {
+            let class = op.fu_class();
+            assert!(FuClass::ALL.contains(&class), "{op:?}");
+        }
+        assert_eq!(Op::Load.fu_class(), FuClass::Mem);
+        assert_eq!(Op::CondBranch.fu_class(), FuClass::IntAlu);
+        assert_eq!(Op::FpDiv.fu_class(), FuClass::FpMulDiv);
+        assert_eq!(Op::IntDiv.fu_class(), FuClass::IntMulDiv);
+    }
+
+    #[test]
+    fn class_indices_are_dense() {
+        for (i, class) in FuClass::ALL.iter().enumerate() {
+            assert_eq!(class.index(), i);
+            assert!(!class.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn pool_counts_and_validation() {
+        let pool = FuPool::alpha_like();
+        assert_eq!(pool.count(FuClass::IntAlu), 4);
+        assert!(pool.validate().is_ok());
+        let mut broken = pool;
+        broken.mem_ports = 0;
+        assert!(broken.validate().unwrap_err().contains("mem"));
+    }
+}

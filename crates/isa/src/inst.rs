@@ -1,0 +1,249 @@
+//! Dynamic instruction records.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Op, Reg};
+
+/// Control-flow outcome attached to a branch instruction in a trace.
+///
+/// Traces record the *resolved* direction and target; predictors guess
+/// and are scored against this ground truth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BranchInfo {
+    /// Whether the branch was taken.
+    pub taken: bool,
+    /// The address control transferred to (fall-through PC when not taken).
+    pub target: u64,
+}
+
+/// One dynamic instruction as it appears in a trace.
+///
+/// An `Inst` carries exactly the information the first-order model's
+/// input analyses need: the PC (instruction-cache simulation and branch
+/// predictor indexing), register names (data-dependence analysis), the
+/// effective address for loads/stores (data-cache simulation), and the
+/// resolved branch outcome (predictor scoring).
+///
+/// Construct instructions with the shape-specific constructors
+/// ([`Inst::alu`], [`Inst::load`], [`Inst::store`], [`Inst::branch`])
+/// which enforce that, e.g., only memory operations carry an effective
+/// address.
+///
+/// # Examples
+///
+/// ```
+/// use fosm_isa::{Inst, Op, Reg};
+///
+/// let ld = Inst::load(0x4000, Reg::new(7), Some(Reg::new(2)), 0xdead_beef);
+/// assert_eq!(ld.op, Op::Load);
+/// assert_eq!(ld.mem_addr, Some(0xdead_beef));
+/// assert_eq!(ld.sources().count(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Inst {
+    /// Program counter of the instruction.
+    pub pc: u64,
+    /// Operation class.
+    pub op: Op,
+    /// Destination register, if the instruction writes one.
+    pub dest: Option<Reg>,
+    /// Up to two source registers.
+    pub srcs: [Option<Reg>; 2],
+    /// Effective address, present iff `op.is_mem()`.
+    pub mem_addr: Option<u64>,
+    /// Resolved control-flow outcome, present iff `op.is_branch()`.
+    pub branch: Option<BranchInfo>,
+}
+
+impl Inst {
+    /// Creates an arithmetic (non-memory, non-branch) instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` is a memory or branch class.
+    pub fn alu(pc: u64, op: Op, dest: Reg, src1: Option<Reg>, src2: Option<Reg>) -> Self {
+        assert!(
+            !op.is_mem() && !op.is_branch(),
+            "Inst::alu used with non-arithmetic op {op:?}"
+        );
+        Inst {
+            pc,
+            op,
+            dest: Some(dest),
+            srcs: [src1, src2],
+            mem_addr: None,
+            branch: None,
+        }
+    }
+
+    /// Creates a no-op.
+    pub fn nop(pc: u64) -> Self {
+        Inst {
+            pc,
+            op: Op::Nop,
+            dest: None,
+            srcs: [None, None],
+            mem_addr: None,
+            branch: None,
+        }
+    }
+
+    /// Creates a load of `addr` into `dest`, with optional address-base source.
+    pub fn load(pc: u64, dest: Reg, base: Option<Reg>, addr: u64) -> Self {
+        Inst {
+            pc,
+            op: Op::Load,
+            dest: Some(dest),
+            srcs: [base, None],
+            mem_addr: Some(addr),
+            branch: None,
+        }
+    }
+
+    /// Creates a store of register `value` to `addr`, with optional address-base source.
+    pub fn store(pc: u64, value: Reg, base: Option<Reg>, addr: u64) -> Self {
+        Inst {
+            pc,
+            op: Op::Store,
+            dest: None,
+            srcs: [Some(value), base],
+            mem_addr: Some(addr),
+            branch: None,
+        }
+    }
+
+    /// Creates a control-transfer instruction with its resolved outcome.
+    ///
+    /// `cond_src` is the register the branch condition depends on (only
+    /// meaningful for [`Op::CondBranch`] and [`Op::Return`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` is not a branch class.
+    pub fn branch(pc: u64, op: Op, cond_src: Option<Reg>, taken: bool, target: u64) -> Self {
+        assert!(op.is_branch(), "Inst::branch used with non-branch op {op:?}");
+        Inst {
+            pc,
+            op,
+            dest: None,
+            srcs: [cond_src, None],
+            mem_addr: None,
+            branch: Some(BranchInfo { taken, target }),
+        }
+    }
+
+    /// Iterates over the source registers that are present.
+    pub fn sources(&self) -> impl Iterator<Item = Reg> + '_ {
+        self.srcs.iter().flatten().copied()
+    }
+
+    /// Returns `true` if this instruction is any control transfer.
+    #[inline]
+    pub fn is_branch(&self) -> bool {
+        self.op.is_branch()
+    }
+
+    /// Returns `true` if this instruction reads or writes memory.
+    #[inline]
+    pub fn is_mem(&self) -> bool {
+        self.op.is_mem()
+    }
+
+    /// Checks the structural invariants the constructors enforce.
+    ///
+    /// Useful for validating instructions deserialized from external
+    /// trace files. Returns `true` when the record is well-formed:
+    /// memory operations (and only they) carry an address, branches (and
+    /// only they) carry an outcome, stores and branches have no
+    /// destination.
+    pub fn is_well_formed(&self) -> bool {
+        self.mem_addr.is_some() == self.op.is_mem()
+            && self.branch.is_some() == self.op.is_branch()
+            && !(self.op == Op::Store && self.dest.is_some())
+            && !(self.op.is_branch() && self.dest.is_some())
+    }
+}
+
+impl std::fmt::Display for Inst {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:#x}: {}", self.pc, self.op)?;
+        if let Some(d) = self.dest {
+            write!(f, " {d}")?;
+        }
+        for s in self.sources() {
+            write!(f, " {s}")?;
+        }
+        if let Some(a) = self.mem_addr {
+            write!(f, " [{a:#x}]")?;
+        }
+        if let Some(b) = self.branch {
+            write!(f, " -> {:#x} ({})", b.target, if b.taken { "T" } else { "N" })?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_build_well_formed_instructions() {
+        let insts = [
+            Inst::alu(0, Op::IntAlu, Reg::new(1), Some(Reg::new(2)), None),
+            Inst::alu(4, Op::FpMul, Reg::new(3), Some(Reg::new(4)), Some(Reg::new(5))),
+            Inst::nop(8),
+            Inst::load(12, Reg::new(6), Some(Reg::new(7)), 0x100),
+            Inst::store(16, Reg::new(8), None, 0x200),
+            Inst::branch(20, Op::CondBranch, Some(Reg::new(9)), true, 0x40),
+            Inst::branch(24, Op::Jump, None, true, 0x80),
+            Inst::branch(28, Op::Return, Some(Reg::new(31)), true, 0x1234),
+        ];
+        for i in &insts {
+            assert!(i.is_well_formed(), "{i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-arithmetic")]
+    fn alu_rejects_memory_ops() {
+        let _ = Inst::alu(0, Op::Load, Reg::new(1), None, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-branch")]
+    fn branch_rejects_arithmetic_ops() {
+        let _ = Inst::branch(0, Op::IntAlu, None, false, 0);
+    }
+
+    #[test]
+    fn sources_skips_missing_slots() {
+        let i = Inst::alu(0, Op::IntAlu, Reg::new(1), None, Some(Reg::new(2)));
+        assert_eq!(i.sources().collect::<Vec<_>>(), vec![Reg::new(2)]);
+        let st = Inst::store(4, Reg::new(3), Some(Reg::new(4)), 0x8);
+        assert_eq!(st.sources().count(), 2);
+    }
+
+    #[test]
+    fn well_formedness_detects_corrupt_records() {
+        let mut i = Inst::alu(0, Op::IntAlu, Reg::new(1), None, None);
+        i.mem_addr = Some(0x4); // an ALU op must not carry an address
+        assert!(!i.is_well_formed());
+
+        let mut b = Inst::branch(0, Op::Jump, None, true, 0x10);
+        b.branch = None; // a branch must carry its outcome
+        assert!(!b.is_well_formed());
+
+        let mut s = Inst::store(0, Reg::new(1), None, 0x20);
+        s.dest = Some(Reg::new(2)); // stores write no register
+        assert!(!s.is_well_formed());
+    }
+
+    #[test]
+    fn display_is_nonempty_and_mentions_op() {
+        let i = Inst::load(0x40, Reg::new(1), None, 0x99);
+        let s = i.to_string();
+        assert!(s.contains("ld"));
+        assert!(s.contains("0x40"));
+    }
+}

@@ -1,0 +1,148 @@
+//! Functional-unit latency tables.
+
+use serde::{Deserialize, Serialize};
+
+use crate::op::{Op, NUM_OPS};
+
+/// Per-operation functional-unit execution latencies, in cycles.
+///
+/// The first-order model assumes an unbounded number of fully pipelined
+/// functional units of each type; the only per-unit property that
+/// matters is latency. The default table uses classic Alpha-class
+/// values; short data-cache misses are *not* part of this table — the
+/// paper folds them into the average latency separately (they behave
+/// like "long-latency functional units").
+///
+/// # Examples
+///
+/// ```
+/// use fosm_isa::{LatencyTable, Op};
+///
+/// let lat = LatencyTable::default();
+/// assert_eq!(lat.latency(Op::IntAlu), 1);
+/// assert!(lat.latency(Op::IntDiv) > lat.latency(Op::IntMul));
+///
+/// let unit = LatencyTable::unit();
+/// assert_eq!(unit.latency(Op::FpDiv), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyTable {
+    cycles: [u32; NUM_OPS],
+}
+
+impl LatencyTable {
+    /// Builds a table where every operation takes exactly one cycle.
+    ///
+    /// This is the configuration used when extracting the
+    /// implementation-independent IW characteristic (paper §3).
+    pub fn unit() -> Self {
+        LatencyTable { cycles: [1; NUM_OPS] }
+    }
+
+    /// The execution latency of `op`, in cycles (always ≥ 1).
+    #[inline]
+    pub fn latency(&self, op: Op) -> u32 {
+        self.cycles[op.index()]
+    }
+
+    /// Returns a copy of the table with `op`'s latency replaced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycles` is zero: a zero-latency unit would let an
+    /// instruction issue in the same cycle as its producer, which the
+    /// issue model does not represent.
+    pub fn with_latency(mut self, op: Op, cycles: u32) -> Self {
+        assert!(cycles >= 1, "functional-unit latency must be >= 1 cycle");
+        self.cycles[op.index()] = cycles;
+        self
+    }
+
+    /// Mean latency over the given dynamic operation mix.
+    ///
+    /// `mix` gives dynamic occurrence counts per op class (in
+    /// [`Op::ALL`] index order). This is the `L` of the paper's
+    /// Little's-Law adjustment `I_L = I_1 / L` before accounting for
+    /// short data-cache misses. Returns 1.0 for an empty mix.
+    pub fn average_over(&self, mix: &[u64; NUM_OPS]) -> f64 {
+        let total: u64 = mix.iter().sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let weighted: f64 = mix
+            .iter()
+            .zip(self.cycles.iter())
+            .map(|(&n, &c)| n as f64 * c as f64)
+            .sum();
+        weighted / total as f64
+    }
+}
+
+impl Default for LatencyTable {
+    /// Alpha-class default latencies: single-cycle integer ALU and
+    /// control, 3-cycle integer multiply, 20-cycle integer divide,
+    /// 2/4/12-cycle FP add/multiply/divide, and a 2-cycle L1-hit
+    /// load-use latency (misses are modeled in the cache hierarchy,
+    /// not here).
+    fn default() -> Self {
+        LatencyTable::unit()
+            .with_latency(Op::Load, 2)
+            .with_latency(Op::IntMul, 3)
+            .with_latency(Op::IntDiv, 20)
+            .with_latency(Op::FpAdd, 2)
+            .with_latency(Op::FpMul, 4)
+            .with_latency(Op::FpDiv, 12)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_table_is_all_ones() {
+        let t = LatencyTable::unit();
+        for op in Op::ALL {
+            assert_eq!(t.latency(op), 1);
+        }
+    }
+
+    #[test]
+    fn default_has_long_latency_arithmetic() {
+        let t = LatencyTable::default();
+        assert_eq!(t.latency(Op::IntAlu), 1);
+        assert_eq!(t.latency(Op::Load), 2);
+        assert_eq!(t.latency(Op::IntMul), 3);
+        assert_eq!(t.latency(Op::IntDiv), 20);
+        assert_eq!(t.latency(Op::FpMul), 4);
+    }
+
+    #[test]
+    fn with_latency_replaces_one_entry() {
+        let t = LatencyTable::unit().with_latency(Op::Load, 2);
+        assert_eq!(t.latency(Op::Load), 2);
+        assert_eq!(t.latency(Op::Store), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be >= 1")]
+    fn zero_latency_rejected() {
+        let _ = LatencyTable::unit().with_latency(Op::IntAlu, 0);
+    }
+
+    #[test]
+    fn average_over_weights_by_counts() {
+        let t = LatencyTable::unit().with_latency(Op::IntMul, 3);
+        let mut mix = [0u64; super::NUM_OPS];
+        mix[Op::IntAlu.index()] = 3;
+        mix[Op::IntMul.index()] = 1;
+        // (3*1 + 1*3) / 4 = 1.5
+        assert!((t.average_over(&mix) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_over_empty_mix_is_one() {
+        let mix = [0u64; super::NUM_OPS];
+        assert_eq!(LatencyTable::default().average_over(&mix), 1.0);
+    }
+}

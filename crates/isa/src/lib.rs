@@ -1,0 +1,42 @@
+//! RISC-like instruction-set substrate for the first-order superscalar model.
+//!
+//! The model of Karkhanis & Smith (ISCA 2004) is driven by instruction
+//! traces. This crate defines the minimal, implementation-independent
+//! vocabulary those traces are written in:
+//!
+//! * [`Op`] — the operation class of an instruction (integer/floating
+//!   arithmetic, loads, stores, branches),
+//! * [`Reg`] — an architectural register name,
+//! * [`Inst`] — one dynamic instruction as it appears in a trace,
+//! * [`LatencyTable`] — per-operation functional-unit latencies.
+//!
+//! The ISA is deliberately generic (it resembles the Alpha/PISA-class
+//! machines the paper's SimpleScalar traces came from) and carries just
+//! enough information for the downstream consumers: register data
+//! dependences, memory addresses for cache simulation, and branch
+//! outcomes for predictor simulation.
+//!
+//! # Examples
+//!
+//! ```
+//! use fosm_isa::{Inst, LatencyTable, Op, Reg};
+//!
+//! let add = Inst::alu(0x1000, Op::IntAlu, Reg::new(3), Some(Reg::new(1)), Some(Reg::new(2)));
+//! assert!(!add.is_branch());
+//! assert_eq!(LatencyTable::default().latency(add.op), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod fu;
+mod inst;
+mod latency;
+mod op;
+mod reg;
+
+pub use fu::{FuClass, FuPool};
+pub use inst::{BranchInfo, Inst};
+pub use latency::LatencyTable;
+pub use op::{Op, NUM_OPS as NUM_OP_CLASSES};
+pub use reg::{Reg, NUM_REGS};

@@ -1,0 +1,161 @@
+//! Operation classes.
+
+use serde::{Deserialize, Serialize};
+
+/// The operation class of a dynamic instruction.
+///
+/// Operation classes are the granularity at which the first-order model
+/// reasons about instructions: each class has a functional-unit latency
+/// (see [`LatencyTable`](crate::LatencyTable)), and a few classes get
+/// special treatment (loads and stores access the data cache, branches
+/// consult the predictor).
+///
+/// # Examples
+///
+/// ```
+/// use fosm_isa::Op;
+///
+/// assert!(Op::Load.is_mem());
+/// assert!(Op::CondBranch.is_branch());
+/// assert!(!Op::IntAlu.is_mem());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Op {
+    /// Integer ALU operation (add, sub, logic, shift, compare).
+    IntAlu,
+    /// Integer multiply.
+    IntMul,
+    /// Integer divide.
+    IntDiv,
+    /// Floating-point add/sub/convert/compare.
+    FpAdd,
+    /// Floating-point multiply.
+    FpMul,
+    /// Floating-point divide / square root.
+    FpDiv,
+    /// Memory load.
+    Load,
+    /// Memory store.
+    Store,
+    /// Conditional branch.
+    CondBranch,
+    /// Unconditional direct jump.
+    Jump,
+    /// Function call (unconditional, pushes a return address).
+    Call,
+    /// Function return (indirect, predicted via return-address logic).
+    Return,
+    /// No-operation (pipeline filler; still occupies slots).
+    Nop,
+}
+
+/// Number of distinct [`Op`] variants.
+pub const NUM_OPS: usize = 13;
+
+impl Op {
+    /// All operation classes, in declaration order.
+    ///
+    /// The order matches [`Op::index`], so `Op::ALL[op.index()] == op`.
+    pub const ALL: [Op; NUM_OPS] = [
+        Op::IntAlu,
+        Op::IntMul,
+        Op::IntDiv,
+        Op::FpAdd,
+        Op::FpMul,
+        Op::FpDiv,
+        Op::Load,
+        Op::Store,
+        Op::CondBranch,
+        Op::Jump,
+        Op::Call,
+        Op::Return,
+        Op::Nop,
+    ];
+
+    /// Dense index of this class, suitable for table lookups.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Returns `true` for loads and stores.
+    #[inline]
+    pub fn is_mem(self) -> bool {
+        matches!(self, Op::Load | Op::Store)
+    }
+
+    /// Returns `true` for every control-transfer class
+    /// (conditional branches, jumps, calls, and returns).
+    #[inline]
+    pub fn is_branch(self) -> bool {
+        matches!(self, Op::CondBranch | Op::Jump | Op::Call | Op::Return)
+    }
+
+    /// Returns `true` only for conditional branches, the class whose
+    /// direction the predictor must guess.
+    #[inline]
+    pub fn is_cond_branch(self) -> bool {
+        matches!(self, Op::CondBranch)
+    }
+
+    /// Short mnemonic used in trace dumps.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Op::IntAlu => "alu",
+            Op::IntMul => "mul",
+            Op::IntDiv => "div",
+            Op::FpAdd => "fadd",
+            Op::FpMul => "fmul",
+            Op::FpDiv => "fdiv",
+            Op::Load => "ld",
+            Op::Store => "st",
+            Op::CondBranch => "br",
+            Op::Jump => "jmp",
+            Op::Call => "call",
+            Op::Return => "ret",
+            Op::Nop => "nop",
+        }
+    }
+}
+
+impl std::fmt::Display for Op {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_covers_every_variant_in_index_order() {
+        for (i, op) in Op::ALL.iter().enumerate() {
+            assert_eq!(op.index(), i, "{op:?} out of order");
+        }
+        assert_eq!(Op::ALL.len(), NUM_OPS);
+    }
+
+    #[test]
+    fn class_predicates() {
+        assert!(Op::Load.is_mem());
+        assert!(Op::Store.is_mem());
+        for op in [Op::IntAlu, Op::CondBranch, Op::Nop, Op::FpMul] {
+            assert!(!op.is_mem(), "{op:?}");
+        }
+        for op in [Op::CondBranch, Op::Jump, Op::Call, Op::Return] {
+            assert!(op.is_branch(), "{op:?}");
+        }
+        assert!(Op::CondBranch.is_cond_branch());
+        assert!(!Op::Jump.is_cond_branch());
+        assert!(!Op::Load.is_branch());
+    }
+
+    #[test]
+    fn display_matches_mnemonic() {
+        for op in Op::ALL {
+            assert_eq!(op.to_string(), op.mnemonic());
+            assert!(!op.mnemonic().is_empty());
+        }
+    }
+}

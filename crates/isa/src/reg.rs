@@ -1,0 +1,103 @@
+//! Architectural register names.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of architectural registers in the substrate ISA.
+///
+/// 64 names cover a combined integer + floating-point file, matching the
+/// Alpha-class machines the original paper's traces were drawn from.
+pub const NUM_REGS: usize = 64;
+
+/// An architectural register name.
+///
+/// `Reg` is a validated newtype over a register number in
+/// `0..`[`NUM_REGS`]. The register file is flat: integer and
+/// floating-point instructions draw from the same name space, which is
+/// all the dependence analysis needs.
+///
+/// # Examples
+///
+/// ```
+/// use fosm_isa::Reg;
+///
+/// let r = Reg::new(5);
+/// assert_eq!(r.number(), 5);
+/// assert_eq!(r.to_string(), "r5");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Creates a register name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= NUM_REGS`.
+    #[inline]
+    pub fn new(n: u8) -> Self {
+        assert!(
+            (n as usize) < NUM_REGS,
+            "register number {n} out of range (0..{NUM_REGS})"
+        );
+        Reg(n)
+    }
+
+    /// Creates a register name, returning `None` if out of range.
+    #[inline]
+    pub fn try_new(n: u8) -> Option<Self> {
+        ((n as usize) < NUM_REGS).then_some(Reg(n))
+    }
+
+    /// The register number, in `0..NUM_REGS`.
+    #[inline]
+    pub fn number(self) -> u8 {
+        self.0
+    }
+
+    /// Dense index, suitable for register-file array lookups.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for Reg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_accepts_full_range() {
+        for n in 0..NUM_REGS as u8 {
+            assert_eq!(Reg::new(n).number(), n);
+            assert_eq!(Reg::new(n).index(), n as usize);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn new_rejects_out_of_range() {
+        let _ = Reg::new(NUM_REGS as u8);
+    }
+
+    #[test]
+    fn try_new_mirrors_new() {
+        assert_eq!(Reg::try_new(0), Some(Reg::new(0)));
+        assert_eq!(Reg::try_new(63), Some(Reg::new(63)));
+        assert_eq!(Reg::try_new(64), None);
+        assert_eq!(Reg::try_new(255), None);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Reg::new(0).to_string(), "r0");
+        assert_eq!(Reg::new(63).to_string(), "r63");
+    }
+}

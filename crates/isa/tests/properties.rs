@@ -1,0 +1,108 @@
+//! Property-based tests for the ISA substrate.
+
+use fosm_isa::{FuClass, FuPool, Inst, LatencyTable, Op, Reg, NUM_OP_CLASSES, NUM_REGS};
+use proptest::prelude::*;
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop::sample::select(Op::ALL.to_vec())
+}
+
+proptest! {
+    /// Register constructors agree and reject exactly the out-of-range
+    /// numbers.
+    #[test]
+    fn reg_constructors_agree(n in any::<u8>()) {
+        match Reg::try_new(n) {
+            Some(r) => {
+                prop_assert!((n as usize) < NUM_REGS);
+                prop_assert_eq!(r.number(), n);
+                prop_assert_eq!(r.index(), n as usize);
+            }
+            None => prop_assert!((n as usize) >= NUM_REGS),
+        }
+    }
+
+    /// Every op has exactly one FU class, a non-empty mnemonic, and a
+    /// dense index.
+    #[test]
+    fn op_classification_is_total(op in op_strategy()) {
+        prop_assert!(op.index() < NUM_OP_CLASSES);
+        prop_assert_eq!(Op::ALL[op.index()], op);
+        prop_assert!(!op.mnemonic().is_empty());
+        prop_assert!(FuClass::ALL.contains(&op.fu_class()));
+        // Branch/mem predicates are mutually exclusive.
+        prop_assert!(!(op.is_branch() && op.is_mem()));
+        if op.is_cond_branch() {
+            prop_assert!(op.is_branch());
+        }
+    }
+
+    /// Latency tables preserve every entry written and bound the mix
+    /// average by min/max latencies.
+    #[test]
+    fn latency_table_average_is_bounded(
+        latencies in prop::collection::vec(1u32..30, NUM_OP_CLASSES),
+        mix in prop::collection::vec(0u64..1000, NUM_OP_CLASSES),
+    ) {
+        let mut table = LatencyTable::unit();
+        for (op, &lat) in Op::ALL.iter().zip(&latencies) {
+            table = table.with_latency(*op, lat);
+        }
+        for (op, &lat) in Op::ALL.iter().zip(&latencies) {
+            prop_assert_eq!(table.latency(*op), lat);
+        }
+        let mut mix_arr = [0u64; NUM_OP_CLASSES];
+        mix_arr.copy_from_slice(&mix);
+        let avg = table.average_over(&mix_arr);
+        let lo = *latencies.iter().min().unwrap() as f64;
+        let hi = *latencies.iter().max().unwrap() as f64;
+        if mix.iter().sum::<u64>() == 0 {
+            prop_assert_eq!(avg, 1.0);
+        } else {
+            prop_assert!(avg >= lo - 1e-9 && avg <= hi + 1e-9);
+        }
+    }
+
+    /// Constructor-built instructions are always well-formed and
+    /// display without panicking.
+    #[test]
+    fn constructed_instructions_are_well_formed(
+        pc in any::<u64>(),
+        d in 0u8..64,
+        s1 in prop::option::of(0u8..64),
+        s2 in prop::option::of(0u8..64),
+        addr in any::<u64>(),
+        taken in any::<bool>(),
+    ) {
+        let insts = [
+            Inst::alu(pc, Op::IntMul, Reg::new(d), s1.map(Reg::new), s2.map(Reg::new)),
+            Inst::load(pc, Reg::new(d), s1.map(Reg::new), addr),
+            Inst::store(pc, Reg::new(d), s1.map(Reg::new), addr),
+            Inst::branch(pc, Op::CondBranch, s1.map(Reg::new), taken, addr),
+            Inst::nop(pc),
+        ];
+        for inst in &insts {
+            prop_assert!(inst.is_well_formed(), "{inst}");
+            prop_assert!(!inst.to_string().is_empty());
+            prop_assert!(inst.sources().count() <= 2);
+        }
+    }
+
+    /// FU pools count exactly what they were built with.
+    #[test]
+    fn fu_pool_counts(a in 1u32..16, b in 1u32..16, c in 1u32..16, d in 1u32..16, e in 1u32..16) {
+        let pool = FuPool {
+            int_alu: a,
+            int_mul_div: b,
+            fp_add: c,
+            fp_mul_div: d,
+            mem_ports: e,
+        };
+        pool.validate().unwrap();
+        prop_assert_eq!(pool.count(FuClass::IntAlu), a);
+        prop_assert_eq!(pool.count(FuClass::IntMulDiv), b);
+        prop_assert_eq!(pool.count(FuClass::FpAdd), c);
+        prop_assert_eq!(pool.count(FuClass::FpMulDiv), d);
+        prop_assert_eq!(pool.count(FuClass::Mem), e);
+    }
+}

@@ -1,0 +1,376 @@
+//! Machine configuration.
+
+use fosm_branch::PredictorConfig;
+use fosm_cache::{HierarchyConfig, TlbConfig};
+use fosm_isa::{FuPool, LatencyTable};
+use serde::{Deserialize, Serialize};
+
+/// Full configuration of the simulated machine.
+///
+/// [`MachineConfig::baseline`] reproduces the paper's §1.1 baseline:
+/// five front-end stages, width 4, a 48-entry window, a 128-entry ROB,
+/// 4 KB L1 caches, a 512 KB L2 (8-cycle latency), 200-cycle memory, and
+/// an 8K gshare predictor.
+///
+/// # Examples
+///
+/// ```
+/// use fosm_sim::MachineConfig;
+///
+/// let cfg = MachineConfig::baseline();
+/// assert_eq!(cfg.width, 4);
+/// assert_eq!(cfg.win_size, 48);
+/// cfg.validate().unwrap();
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// Fetch = pipeline = dispatch = issue = retire width (`i`).
+    pub width: u32,
+    /// Issue-window entries.
+    pub win_size: u32,
+    /// Reorder-buffer entries.
+    pub rob_size: u32,
+    /// Front-end pipeline depth ∆P, in cycles.
+    pub pipe_depth: u32,
+    /// Functional-unit latencies.
+    pub latencies: LatencyTable,
+    /// L2 access latency (the ∆I of instruction misses and the latency
+    /// of short data misses), in cycles.
+    pub l2_latency: u32,
+    /// Main-memory latency (the ∆D of long data misses), in cycles.
+    pub mem_latency: u32,
+    /// Cache hierarchy (levels set to `None` are ideal).
+    pub hierarchy: HierarchyConfig,
+    /// Branch predictor.
+    pub predictor: PredictorConfig,
+    /// Optional data TLB (paper §7 extension); `None` models an ideal
+    /// TLB, as the paper's baseline does.
+    #[serde(default)]
+    pub dtlb: Option<TlbConfig>,
+    /// Optional functional-unit limits (paper §7 extension); `None`
+    /// models unbounded units of every class, as the paper does.
+    #[serde(default)]
+    pub fu: Option<FuPool>,
+    /// Optional instruction fetch buffer (paper §7 extension): a
+    /// prefetch queue between the I-cache and the pipeline that can
+    /// hide some or all of the I-cache miss penalty. `None` couples
+    /// fetch directly to the pipeline, as the paper's baseline does.
+    #[serde(default)]
+    pub fetch_buffer: Option<FetchBufferConfig>,
+    /// Optional clustered issue window (paper §7 extension): the window
+    /// and issue width are partitioned into clusters, and forwarding a
+    /// result between clusters costs extra cycles. `None` models the
+    /// paper's single homogeneous window.
+    #[serde(default)]
+    pub clusters: Option<ClusterConfig>,
+}
+
+/// How dispatch steers instructions to clusters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum Steering {
+    /// Cycle through clusters instruction by instruction.
+    #[default]
+    RoundRobin,
+    /// Send each instruction to its first producer's cluster when that
+    /// cluster has room (minimizing cross-cluster forwarding),
+    /// otherwise to the least-loaded cluster.
+    Dependence,
+}
+
+/// Geometry of a clustered issue window (paper §7, new feature 3:
+/// "Partitioned issue windows and clustered functional units").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Number of clusters; window entries and issue width divide evenly
+    /// across them.
+    pub clusters: u32,
+    /// Extra forwarding latency when a consumer reads a producer from a
+    /// different cluster, in cycles.
+    pub forward_delay: u32,
+    /// Dispatch steering policy.
+    pub steering: Steering,
+}
+
+impl ClusterConfig {
+    /// A classic 2-cluster arrangement with 1-cycle inter-cluster
+    /// forwarding (21264-flavoured).
+    pub fn two_cluster() -> Self {
+        ClusterConfig {
+            clusters: 2,
+            forward_delay: 1,
+            steering: Steering::Dependence,
+        }
+    }
+
+    /// Validates against a machine's width and window size.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated divisibility constraint.
+    pub fn validate(&self, width: u32, win_size: u32) -> Result<(), String> {
+        if self.clusters < 2 {
+            return Err("a clustered window needs at least 2 clusters".into());
+        }
+        if !width.is_multiple_of(self.clusters) {
+            return Err(format!(
+                "issue width {width} must divide evenly into {} clusters",
+                self.clusters
+            ));
+        }
+        if !win_size.is_multiple_of(self.clusters) {
+            return Err(format!(
+                "window size {win_size} must divide evenly into {} clusters",
+                self.clusters
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Geometry of the instruction fetch buffer (paper §7, new feature 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FetchBufferConfig {
+    /// Buffer capacity in instructions.
+    pub entries: u32,
+    /// Prefetch bandwidth in instructions per cycle. Must exceed the
+    /// pipeline width for the buffer to accumulate slack (real fetch
+    /// units fetch whole cache lines per cycle).
+    pub bandwidth: u32,
+}
+
+impl FetchBufferConfig {
+    /// A 32-entry buffer fed at 8 instructions per cycle.
+    pub fn baseline() -> Self {
+        FetchBufferConfig {
+            entries: 32,
+            bandwidth: 8,
+        }
+    }
+
+    /// Validates the geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated constraint.
+    pub fn validate(&self, width: u32) -> Result<(), String> {
+        if self.entries == 0 {
+            return Err("fetch buffer must have at least one entry".into());
+        }
+        if self.bandwidth <= width {
+            return Err(format!(
+                "fetch bandwidth ({}) must exceed the pipeline width ({width}) for the buffer to hide misses",
+                self.bandwidth
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl MachineConfig {
+    /// The paper's baseline processor (§1.1).
+    pub fn baseline() -> Self {
+        MachineConfig {
+            width: 4,
+            win_size: 48,
+            rob_size: 128,
+            pipe_depth: 5,
+            latencies: LatencyTable::default(),
+            l2_latency: 8,
+            mem_latency: 200,
+            hierarchy: HierarchyConfig::baseline(),
+            predictor: PredictorConfig::Gshare { bits: 13 },
+            dtlb: None,
+            fu: None,
+            fetch_buffer: None,
+            clusters: None,
+        }
+    }
+
+    /// Baseline with every miss-event source idealized: perfect caches
+    /// and perfect branch prediction (the paper's simulation set 1).
+    pub fn ideal() -> Self {
+        MachineConfig {
+            hierarchy: HierarchyConfig::ideal(),
+            predictor: PredictorConfig::Ideal,
+            ..Self::baseline()
+        }
+    }
+
+    /// Everything ideal *except* the branch predictor (simulation set 3).
+    pub fn only_real_branch_predictor() -> Self {
+        MachineConfig {
+            hierarchy: HierarchyConfig::ideal(),
+            ..Self::baseline()
+        }
+    }
+
+    /// Everything ideal *except* the instruction cache (simulation set 4).
+    pub fn only_real_icache() -> Self {
+        MachineConfig {
+            hierarchy: HierarchyConfig {
+                l1i: HierarchyConfig::baseline().l1i,
+                l1d: None,
+                l2: HierarchyConfig::baseline().l2,
+                next_line_prefetch: 0,
+            },
+            predictor: PredictorConfig::Ideal,
+            ..Self::baseline()
+        }
+    }
+
+    /// Everything ideal *except* the data cache (simulation set 5).
+    pub fn only_real_dcache() -> Self {
+        MachineConfig {
+            hierarchy: HierarchyConfig {
+                l1i: None,
+                l1d: HierarchyConfig::baseline().l1d,
+                l2: HierarchyConfig::baseline().l2,
+                next_line_prefetch: 0,
+            },
+            predictor: PredictorConfig::Ideal,
+            ..Self::baseline()
+        }
+    }
+
+    /// Returns a copy with a different front-end depth (Fig. 9 / §6.1).
+    pub fn with_pipe_depth(mut self, depth: u32) -> Self {
+        self.pipe_depth = depth;
+        self
+    }
+
+    /// Returns a copy with a different machine width.
+    pub fn with_width(mut self, width: u32) -> Self {
+        self.width = width;
+        self
+    }
+
+    /// Returns a copy with a data TLB of the given geometry.
+    pub fn with_dtlb(mut self, tlb: TlbConfig) -> Self {
+        self.dtlb = Some(tlb);
+        self
+    }
+
+    /// Returns a copy with limited functional units.
+    pub fn with_fu_limits(mut self, fu: FuPool) -> Self {
+        self.fu = Some(fu);
+        self
+    }
+
+    /// Returns a copy with an instruction fetch buffer.
+    pub fn with_fetch_buffer(mut self, buffer: FetchBufferConfig) -> Self {
+        self.fetch_buffer = Some(buffer);
+        self
+    }
+
+    /// Returns a copy with a clustered issue window.
+    pub fn with_clusters(mut self, clusters: ClusterConfig) -> Self {
+        self.clusters = Some(clusters);
+        self
+    }
+
+    /// Validates structural constraints.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated constraint. The window
+    /// must fit in the ROB, all sizes must be non-zero, and memory must
+    /// be slower than the L2.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.width == 0 {
+            return Err("width must be non-zero".into());
+        }
+        if self.win_size == 0 || self.rob_size == 0 {
+            return Err("window and ROB must be non-empty".into());
+        }
+        if self.win_size > self.rob_size {
+            return Err(format!(
+                "issue window ({}) cannot exceed the ROB ({})",
+                self.win_size, self.rob_size
+            ));
+        }
+        if self.pipe_depth == 0 {
+            return Err("front-end pipeline must have at least one stage".into());
+        }
+        if self.mem_latency <= self.l2_latency {
+            return Err("memory latency must exceed L2 latency".into());
+        }
+        if let Some(tlb) = &self.dtlb {
+            tlb.validate().map_err(|e| e.to_string())?;
+        }
+        if let Some(fu) = &self.fu {
+            fu.validate()?;
+        }
+        if let Some(buffer) = &self.fetch_buffer {
+            buffer.validate(self.width)?;
+        }
+        if let Some(clusters) = &self.clusters {
+            clusters.validate(self.width, self.win_size)?;
+        }
+        Ok(())
+    }
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig::baseline()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_matches_the_paper() {
+        let c = MachineConfig::baseline();
+        assert_eq!(
+            (c.width, c.win_size, c.rob_size, c.pipe_depth),
+            (4, 48, 128, 5)
+        );
+        assert_eq!((c.l2_latency, c.mem_latency), (8, 200));
+        assert_eq!(c.predictor, PredictorConfig::Gshare { bits: 13 });
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn idealization_presets() {
+        let ideal = MachineConfig::ideal();
+        assert!(ideal.predictor.is_ideal());
+        assert!(ideal.hierarchy.l1i.is_none() && ideal.hierarchy.l1d.is_none());
+
+        let bp = MachineConfig::only_real_branch_predictor();
+        assert!(!bp.predictor.is_ideal());
+        assert!(bp.hierarchy.l1d.is_none());
+
+        let ic = MachineConfig::only_real_icache();
+        assert!(ic.predictor.is_ideal());
+        assert!(ic.hierarchy.l1i.is_some() && ic.hierarchy.l1d.is_none());
+
+        let dc = MachineConfig::only_real_dcache();
+        assert!(dc.hierarchy.l1d.is_some() && dc.hierarchy.l1i.is_none());
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let mut c = MachineConfig::baseline();
+        c.win_size = 256; // > rob_size
+        assert!(c.validate().is_err());
+        let mut c = MachineConfig::baseline();
+        c.width = 0;
+        assert!(c.validate().is_err());
+        let mut c = MachineConfig::baseline();
+        c.mem_latency = 8;
+        assert!(c.validate().is_err());
+        let mut c = MachineConfig::baseline();
+        c.pipe_depth = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn builders_adjust_single_fields() {
+        let c = MachineConfig::baseline().with_pipe_depth(9).with_width(8);
+        assert_eq!(c.pipe_depth, 9);
+        assert_eq!(c.width, 8);
+        assert_eq!(c.win_size, 48);
+    }
+}

@@ -1,0 +1,726 @@
+//! The cycle-level machine.
+
+use std::collections::VecDeque;
+
+use fosm_branch::Predictor;
+use fosm_cache::{AccessKind, AccessOutcome, Hierarchy, Tlb};
+use fosm_isa::{FuClass, Inst, Op, NUM_REGS};
+use fosm_trace::TraceSource;
+
+use crate::{MachineConfig, SimReport};
+
+/// Marks "no producer" in a dependence slot.
+const NO_PRODUCER: u64 = u64::MAX;
+
+/// An instruction in the front-end pipeline.
+#[derive(Debug, Clone, Copy)]
+struct PipeEntry {
+    ready: u64,
+    inst: Inst,
+    seq: u64,
+    mispredicted: bool,
+}
+
+/// An instruction waiting in the issue window.
+#[derive(Debug, Clone, Copy)]
+struct WinEntry {
+    seq: u64,
+    producers: [u64; 2],
+    comp_latency: u32,
+    fu_class: FuClass,
+    cluster: u8,
+    mispredicted: bool,
+    long_miss_load: bool,
+    issued: bool,
+}
+
+/// An instruction in the reorder buffer.
+#[derive(Debug, Clone, Copy)]
+struct RobEntry {
+    issued: bool,
+    done: u64,
+}
+
+/// The detailed out-of-order machine (see the crate docs for the
+/// microarchitecture it models).
+///
+/// A `Machine` owns mutable predictor and cache state; create a fresh
+/// machine per run (or per benchmark) so runs do not contaminate each
+/// other.
+///
+/// # Examples
+///
+/// ```
+/// use fosm_isa::{Inst, Op, Reg};
+/// use fosm_sim::{Machine, MachineConfig};
+/// use fosm_trace::VecTrace;
+///
+/// // A hundred independent single-cycle instructions on an ideal
+/// // 4-wide machine retire at ~4 IPC.
+/// let insts: Vec<Inst> = (0..100)
+///     .map(|i| Inst::alu(i * 4, Op::IntAlu, Reg::new((i % 32) as u8), None, None))
+///     .collect();
+/// let report = Machine::new(MachineConfig::ideal()).run(&mut VecTrace::new(insts));
+/// assert!(report.ipc() > 3.0);
+/// ```
+pub struct Machine {
+    config: MachineConfig,
+    predictor: Box<dyn Predictor>,
+    hierarchy: Hierarchy,
+    dtlb: Option<Tlb>,
+}
+
+impl std::fmt::Debug for Machine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Machine")
+            .field("config", &self.config)
+            .field("predictor", &self.predictor.name())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Machine {
+    /// Builds a machine from a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`MachineConfig::validate`];
+    /// use [`Machine::try_new`] to handle invalid configurations.
+    pub fn new(config: MachineConfig) -> Self {
+        Self::try_new(config).expect("invalid machine configuration")
+    }
+
+    /// Fallible constructor.
+    ///
+    /// # Errors
+    ///
+    /// Returns the validation message for inconsistent configurations.
+    pub fn try_new(config: MachineConfig) -> Result<Self, String> {
+        config.validate()?;
+        let hierarchy = Hierarchy::new(config.hierarchy).map_err(|e| e.to_string())?;
+        let dtlb = match &config.dtlb {
+            Some(cfg) => Some(Tlb::new(*cfg).map_err(|e| e.to_string())?),
+            None => None,
+        };
+        Ok(Machine {
+            predictor: config.predictor.build(),
+            hierarchy,
+            dtlb,
+            config,
+        })
+    }
+
+    /// The configuration this machine was built with.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// Runs the machine over `trace` until the trace is exhausted and
+    /// the pipeline drains, returning the report.
+    ///
+    /// Bound unbounded sources with [`TraceSource::take`] before
+    /// passing them in.
+    pub fn run<S: TraceSource>(&mut self, trace: &mut S) -> SimReport {
+        let cfg = &self.config;
+        let width = cfg.width as usize;
+        let mut report = SimReport::default();
+
+        // Front end.
+        let mut pipe: VecDeque<PipeEntry> = VecDeque::new();
+        let mut pending_inst: Option<Inst> = None;
+        let mut fetch_stall_until: u64 = 0;
+        let mut blocked_on_branch = false;
+        // Prefetch queue, used only when a fetch buffer is configured.
+        let mut prefetch: VecDeque<(Inst, bool)> = VecDeque::new();
+        let mut trace_done = false;
+        let mut next_seq: u64 = 0;
+
+        // Back end.
+        let mut window: Vec<WinEntry> = Vec::with_capacity(cfg.win_size as usize);
+        let mut rob: VecDeque<RobEntry> = VecDeque::with_capacity(cfg.rob_size as usize);
+        let mut rob_front_seq: u64 = 0;
+        let mut last_writer = [NO_PRODUCER; NUM_REGS];
+        let mut done_by_seq: Vec<u64> = Vec::new();
+        // Clustered-window state: which cluster each dispatched
+        // instruction went to, and per-cluster occupancy.
+        let num_clusters = cfg.clusters.map_or(1, |c| c.clusters as usize);
+        let forward_delay = cfg.clusters.map_or(0, |c| c.forward_delay as u64);
+        let cluster_win_cap = cfg.win_size as usize / num_clusters;
+        let cluster_width = width / num_clusters;
+        let mut cluster_by_seq: Vec<u8> = Vec::new();
+        let mut cluster_occupancy = vec![0usize; num_clusters];
+        let mut steer_cursor = 0usize;
+
+        let mut cycle: u64 = 0;
+        loop {
+            // ---- retire (in order, up to `width`) ----
+            let mut retired = 0;
+            while retired < width {
+                match rob.front() {
+                    Some(e) if e.issued && e.done <= cycle => {
+                        rob.pop_front();
+                        rob_front_seq += 1;
+                        report.instructions += 1;
+                        retired += 1;
+                    }
+                    _ => break,
+                }
+            }
+
+            // ---- issue (oldest-first ready-first, up to `width`,
+            //      bounded per functional-unit class if configured) ----
+            let mut issued = 0;
+            let mut fu_used = [0u32; FuClass::ALL.len()];
+            let mut cluster_issued = vec![0usize; num_clusters];
+            for i in 0..window.len() {
+                if issued >= width {
+                    break;
+                }
+                let e = window[i];
+                debug_assert!(!e.issued);
+                if num_clusters > 1 && cluster_issued[e.cluster as usize] >= cluster_width {
+                    continue; // this cluster's issue ports are busy
+                }
+                if let Some(pool) = &cfg.fu {
+                    if fu_used[e.fu_class.index()] >= pool.count(e.fu_class) {
+                        continue; // all units of this class busy this cycle
+                    }
+                }
+                let ready = e.producers.iter().all(|&p| {
+                    p == NO_PRODUCER
+                        || done_by_seq.get(p as usize).is_some_and(|&d| {
+                            // Cross-cluster results arrive late.
+                            let extra = if num_clusters > 1
+                                && cluster_by_seq[p as usize] != e.cluster
+                            {
+                                forward_delay
+                            } else {
+                                0
+                            };
+                            d.saturating_add(extra) <= cycle
+                        })
+                });
+                if !ready {
+                    continue;
+                }
+                fu_used[e.fu_class.index()] += 1;
+                cluster_issued[e.cluster as usize] += 1;
+                cluster_occupancy[e.cluster as usize] -= 1;
+                let done = cycle + e.comp_latency as u64;
+                window[i].issued = true;
+                issued += 1;
+                done_by_seq[e.seq as usize] = done;
+                let rob_idx = (e.seq - rob_front_seq) as usize;
+                rob[rob_idx].issued = true;
+                rob[rob_idx].done = done;
+
+                if e.mispredicted {
+                    // Branch resolution: flush is implicit (wrong-path
+                    // instructions are never fetched); fetching of
+                    // correct-path instructions resumes when the branch
+                    // completes.
+                    debug_assert!(blocked_on_branch);
+                    blocked_on_branch = false;
+                    fetch_stall_until = fetch_stall_until.max(done);
+                    let remaining = window.iter().filter(|w| !w.issued).count() as u64;
+                    report.window_insts_at_mispredict_sum += remaining;
+                    report.window_insts_at_mispredict_count += 1;
+                }
+                if e.long_miss_load {
+                    report.rob_ahead_of_long_miss_sum += rob_idx as u64;
+                    report.rob_ahead_of_long_miss_count += 1;
+                }
+            }
+            if issued > 0 {
+                window.retain(|e| !e.issued);
+            }
+
+            // ---- dispatch (in order, up to `width`) ----
+            let mut dispatched = 0;
+            while dispatched < width
+                && rob.len() < cfg.rob_size as usize
+                && window.len() < cfg.win_size as usize
+            {
+                let Some(front) = pipe.front() else { break };
+                if front.ready > cycle {
+                    break;
+                }
+                // Clustered dispatch: pick a target cluster before
+                // committing to dispatch (in-order dispatch stalls if
+                // the chosen cluster is full under round-robin).
+                let peek_producers = {
+                    let mut producers = [NO_PRODUCER; 2];
+                    for (slot, src) in front.inst.sources().enumerate() {
+                        producers[slot] = last_writer[src.index()];
+                    }
+                    producers
+                };
+                let cluster: u8 = if num_clusters > 1 {
+                    use crate::config::Steering;
+                    let steering = cfg.clusters.expect("checked").steering;
+                    let pick = match steering {
+                        Steering::RoundRobin => steer_cursor % num_clusters,
+                        Steering::Dependence => {
+                            let preferred = peek_producers
+                                .iter()
+                                .filter(|&&p| p != NO_PRODUCER)
+                                .map(|&p| cluster_by_seq[p as usize] as usize)
+                                .find(|&c| cluster_occupancy[c] < cluster_win_cap);
+                            preferred.unwrap_or_else(|| {
+                                // Least-loaded cluster.
+                                (0..num_clusters)
+                                    .min_by_key(|&c| cluster_occupancy[c])
+                                    .expect("at least one cluster")
+                            })
+                        }
+                    };
+                    if cluster_occupancy[pick] >= cluster_win_cap {
+                        break; // target cluster full: in-order dispatch stalls
+                    }
+                    steer_cursor += 1;
+                    pick as u8
+                } else {
+                    0
+                };
+                let pe = pipe.pop_front().expect("checked non-empty");
+                let inst = pe.inst;
+                let producers = peek_producers;
+
+                let mut long_miss_load = false;
+                let comp_latency = match inst.op {
+                    Op::Load => {
+                        let addr = inst.mem_addr.expect("loads carry addresses");
+                        // A data-TLB miss serializes a page walk in
+                        // front of the cache access.
+                        let walk = match &mut self.dtlb {
+                            Some(tlb) => {
+                                if tlb.access(addr) {
+                                    0
+                                } else {
+                                    report.dtlb_misses += 1;
+                                    tlb.config().walk_latency
+                                }
+                            }
+                            None => 0,
+                        };
+                        walk + match self.hierarchy.access(AccessKind::Load, addr) {
+                            AccessOutcome::L1 => cfg.latencies.latency(Op::Load),
+                            AccessOutcome::L2 => {
+                                report.dcache_short_misses += 1;
+                                cfg.l2_latency
+                            }
+                            AccessOutcome::Memory => {
+                                report.dcache_long_misses += 1;
+                                long_miss_load = true;
+                                cfg.mem_latency
+                            }
+                        }
+                    }
+                    Op::Store => {
+                        // Stores retire through a write buffer: they
+                        // warm the cache but never block completion.
+                        let addr = inst.mem_addr.expect("stores carry addresses");
+                        self.hierarchy.access(AccessKind::Store, addr);
+                        1
+                    }
+                    op => cfg.latencies.latency(op),
+                };
+
+                if let Some(d) = inst.dest {
+                    last_writer[d.index()] = pe.seq;
+                }
+                if done_by_seq.len() <= pe.seq as usize {
+                    done_by_seq.resize(pe.seq as usize + 1, u64::MAX);
+                }
+                rob.push_back(RobEntry {
+                    issued: false,
+                    done: u64::MAX,
+                });
+                if cluster_by_seq.len() <= pe.seq as usize {
+                    cluster_by_seq.resize(pe.seq as usize + 1, 0);
+                }
+                cluster_by_seq[pe.seq as usize] = cluster;
+                cluster_occupancy[cluster as usize] += 1;
+                window.push(WinEntry {
+                    seq: pe.seq,
+                    producers,
+                    comp_latency,
+                    fu_class: inst.op.fu_class(),
+                    cluster,
+                    mispredicted: pe.mispredicted,
+                    long_miss_load,
+                    issued: false,
+                });
+                dispatched += 1;
+            }
+
+            // ---- fetch ----
+            // With a fetch buffer: first feed the pipe from the buffer
+            // (up to `width`), then prefetch into the buffer (up to its
+            // bandwidth) — so buffered instructions keep the pipeline
+            // fed while an I-cache miss stalls the prefetcher.
+            // Without one: fetch couples the I-cache directly to the
+            // pipe, as in the paper's baseline.
+            if let Some(fb) = cfg.fetch_buffer {
+                let mut fed = 0;
+                while fed < width {
+                    let Some((inst, mispredicted)) = prefetch.pop_front() else { break };
+                    let seq = next_seq;
+                    next_seq += 1;
+                    pipe.push_back(PipeEntry {
+                        ready: cycle + cfg.pipe_depth as u64,
+                        inst,
+                        seq,
+                        mispredicted,
+                    });
+                    fed += 1;
+                }
+                if !blocked_on_branch && cycle >= fetch_stall_until && !trace_done {
+                    let mut prefetched = 0;
+                    while prefetched < fb.bandwidth as usize
+                        && prefetch.len() < fb.entries as usize
+                    {
+                        let inst = match pending_inst.take() {
+                            Some(i) => i,
+                            None => {
+                                let Some(i) = trace.next_inst() else {
+                                    trace_done = true;
+                                    break;
+                                };
+                                match self.hierarchy.access(AccessKind::IFetch, i.pc) {
+                                    AccessOutcome::L1 => i,
+                                    AccessOutcome::L2 => {
+                                        report.icache_short_misses += 1;
+                                        fetch_stall_until = cycle + cfg.l2_latency as u64;
+                                        pending_inst = Some(i);
+                                        break;
+                                    }
+                                    AccessOutcome::Memory => {
+                                        report.icache_long_misses += 1;
+                                        fetch_stall_until = cycle + cfg.mem_latency as u64;
+                                        pending_inst = Some(i);
+                                        break;
+                                    }
+                                }
+                            }
+                        };
+                        let mut mispredicted = false;
+                        if inst.op.is_cond_branch() {
+                            let taken = inst.branch.expect("branches carry outcomes").taken;
+                            let correct = self.predictor.observe(inst.pc, taken);
+                            report.cond_branches += 1;
+                            if !correct {
+                                report.mispredicts += 1;
+                                mispredicted = true;
+                            }
+                        }
+                        prefetch.push_back((inst, mispredicted));
+                        prefetched += 1;
+                        if mispredicted {
+                            blocked_on_branch = true;
+                            break;
+                        }
+                    }
+                }
+            } else if !blocked_on_branch && cycle >= fetch_stall_until && !trace_done {
+                let mut fetched = 0;
+                while fetched < width {
+                    let inst = match pending_inst.take() {
+                        Some(i) => i,
+                        None => {
+                            let Some(i) = trace.next_inst() else {
+                                trace_done = true;
+                                break;
+                            };
+                            match self.hierarchy.access(AccessKind::IFetch, i.pc) {
+                                AccessOutcome::L1 => i,
+                                AccessOutcome::L2 => {
+                                    report.icache_short_misses += 1;
+                                    fetch_stall_until = cycle + cfg.l2_latency as u64;
+                                    pending_inst = Some(i);
+                                    break;
+                                }
+                                AccessOutcome::Memory => {
+                                    report.icache_long_misses += 1;
+                                    fetch_stall_until = cycle + cfg.mem_latency as u64;
+                                    pending_inst = Some(i);
+                                    break;
+                                }
+                            }
+                        }
+                    };
+                    let seq = next_seq;
+                    next_seq += 1;
+                    let mut mispredicted = false;
+                    if inst.op.is_cond_branch() {
+                        let taken = inst.branch.expect("branches carry outcomes").taken;
+                        let correct = self.predictor.observe(inst.pc, taken);
+                        report.cond_branches += 1;
+                        if !correct {
+                            report.mispredicts += 1;
+                            mispredicted = true;
+                        }
+                    }
+                    pipe.push_back(PipeEntry {
+                        ready: cycle + cfg.pipe_depth as u64,
+                        inst,
+                        seq,
+                        mispredicted,
+                    });
+                    fetched += 1;
+                    if mispredicted {
+                        // Fetching of useful instructions stops until
+                        // the branch resolves.
+                        blocked_on_branch = true;
+                        break;
+                    }
+                }
+            }
+
+            report.window_occupancy_sum += window.len() as u64;
+            report.rob_occupancy_sum += rob.len() as u64;
+            cycle += 1;
+
+            if trace_done
+                && pipe.is_empty()
+                && rob.is_empty()
+                && prefetch.is_empty()
+                && pending_inst.is_none()
+            {
+                break;
+            }
+        }
+
+        report.cycles = cycle;
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fosm_cache::{CacheConfig, HierarchyConfig, Replacement};
+    use fosm_isa::Reg;
+    use fosm_trace::VecTrace;
+    use crate::PredictorConfig;
+
+    fn independents(n: usize) -> Vec<Inst> {
+        (0..n)
+            .map(|i| Inst::alu(i as u64 * 4, Op::IntAlu, Reg::new((i % 32) as u8), None, None))
+            .collect()
+    }
+
+    fn chain(n: usize) -> Vec<Inst> {
+        (0..n)
+            .map(|i| {
+                Inst::alu(
+                    i as u64 * 4,
+                    Op::IntAlu,
+                    Reg::new(1),
+                    if i == 0 { None } else { Some(Reg::new(1)) },
+                    None,
+                )
+            })
+            .collect()
+    }
+
+    fn run_ideal(insts: Vec<Inst>) -> SimReport {
+        Machine::new(MachineConfig::ideal()).run(&mut VecTrace::new(insts))
+    }
+
+    #[test]
+    fn independent_instructions_reach_full_width() {
+        let r = run_ideal(independents(4000));
+        assert_eq!(r.instructions, 4000);
+        assert!(r.ipc() > 3.8, "ipc {}", r.ipc());
+        assert!(r.ipc() <= 4.0 + 1e-9);
+    }
+
+    #[test]
+    fn dependence_chain_runs_at_one_ipc() {
+        let r = run_ideal(chain(2000));
+        assert!((r.ipc() - 1.0).abs() < 0.05, "ipc {}", r.ipc());
+    }
+
+    #[test]
+    fn multiply_chain_runs_at_one_over_latency() {
+        let insts: Vec<Inst> = (0..900)
+            .map(|i| {
+                Inst::alu(
+                    i as u64 * 4,
+                    Op::IntMul,
+                    Reg::new(1),
+                    if i == 0 { None } else { Some(Reg::new(1)) },
+                    None,
+                )
+            })
+            .collect();
+        let r = run_ideal(insts);
+        // IntMul latency 3 -> one instruction every 3 cycles.
+        assert!((r.ipc() - 1.0 / 3.0).abs() < 0.02, "ipc {}", r.ipc());
+    }
+
+    #[test]
+    fn narrow_machine_halves_throughput() {
+        let mut cfg = MachineConfig::ideal();
+        cfg.width = 2;
+        let r = Machine::new(cfg).run(&mut VecTrace::new(independents(4000)));
+        assert!((r.ipc() - 2.0).abs() < 0.1, "ipc {}", r.ipc());
+    }
+
+    #[test]
+    fn mispredicted_branch_costs_at_least_the_pipeline_depth() {
+        // Independent instructions with a single always-mispredicted
+        // branch in the middle (NeverTaken predictor, taken branch).
+        let mut insts = independents(800);
+        insts[400] = Inst::branch(400 * 4, Op::CondBranch, None, true, 401 * 4);
+        let mut with_miss = MachineConfig::ideal();
+        with_miss.predictor = PredictorConfig::NeverTaken;
+        let r_miss = Machine::new(with_miss).run(&mut VecTrace::new(insts.clone()));
+        let r_ideal = run_ideal(insts);
+        assert_eq!(r_miss.mispredicts, 1);
+        let penalty = r_miss.cycles as i64 - r_ideal.cycles as i64;
+        // Paper: penalty = win_drain + pipe_depth + ramp_up >= pipe_depth.
+        assert!(
+            penalty >= 5,
+            "penalty {penalty} should be at least the front-end depth"
+        );
+        assert!(penalty <= 30, "penalty {penalty} unreasonably large");
+    }
+
+    #[test]
+    fn deeper_pipeline_raises_branch_penalty() {
+        let mut insts = independents(800);
+        for k in [200usize, 400, 600] {
+            insts[k] = Inst::branch(k as u64 * 4, Op::CondBranch, None, true, (k as u64 + 1) * 4);
+        }
+        let mk = |depth| {
+            let mut c = MachineConfig::ideal().with_pipe_depth(depth);
+            c.predictor = PredictorConfig::NeverTaken;
+            Machine::new(c).run(&mut VecTrace::new(insts.clone()))
+        };
+        let shallow = mk(5);
+        let deep = mk(9);
+        assert_eq!(shallow.mispredicts, 3);
+        // Each of the 3 mispredictions should cost 4-8 extra cycles
+        // (one per added stage for the refill, plus up to one more for
+        // the branch's own travel when it resolves before the window
+        // drains, as these dependence-free branches do).
+        let delta = deep.cycles as i64 - shallow.cycles as i64;
+        assert!((12..=24).contains(&delta), "delta {delta}, expected 12..24");
+    }
+
+    #[test]
+    fn icache_miss_stalls_fetch_by_l2_latency() {
+        // Tiny L1I (2 lines of 64 B) and huge L2: every 16th instruction
+        // crosses a line; lines cycle so each crossing is a short miss.
+        let l1i = CacheConfig::new(128, 2, 64, Replacement::Lru).unwrap();
+        let mut cfg = MachineConfig::ideal();
+        cfg.hierarchy = HierarchyConfig {
+            l1i: Some(l1i),
+            l1d: None,
+            l2: None,
+            next_line_prefetch: 0,
+        };
+        let r = Machine::new(cfg).run(&mut VecTrace::new(independents(3200)));
+        assert!(r.icache_short_misses > 100, "misses {}", r.icache_short_misses);
+        let ideal = run_ideal(independents(3200));
+        let per_miss =
+            (r.cycles as f64 - ideal.cycles as f64) / r.icache_short_misses as f64;
+        // Paper §4.2: the I-cache miss penalty approximately equals the
+        // miss delay (8 cycles here).
+        assert!(
+            (6.0..=9.5).contains(&per_miss),
+            "per-miss penalty {per_miss}, expected ~8"
+        );
+    }
+
+    #[test]
+    fn long_data_miss_blocks_retirement_and_fills_rob() {
+        // One cold load (tiny L1D and L2 -> miss to memory) followed by
+        // independent instructions.
+        let l1d = CacheConfig::new(128, 2, 64, Replacement::Lru).unwrap();
+        let l2 = CacheConfig::new(256, 2, 64, Replacement::Lru).unwrap();
+        let mut insts = vec![Inst::load(0, Reg::new(40), None, 0x9000)];
+        insts.extend(independents(600).into_iter().map(|mut i| {
+            i.pc += 4;
+            i
+        }));
+        let mut cfg = MachineConfig::ideal();
+        cfg.hierarchy = HierarchyConfig {
+            l1i: None,
+            l1d: Some(l1d),
+            l2: Some(l2),
+            next_line_prefetch: 0,
+        };
+        let r = Machine::new(cfg).run(&mut VecTrace::new(insts));
+        assert_eq!(r.dcache_long_misses, 1);
+        // Expected time: the load issues at ~cycle 7 and completes at
+        // ~207; retirement then drains all 601 instructions at the
+        // retire width, 601/4 ≈ 150 cycles -> ~357 total.
+        assert!(r.cycles >= 340, "cycles {}", r.cycles);
+        assert!(r.cycles <= 380, "cycles {}", r.cycles);
+        // While blocked, the ROB should have filled.
+        assert!(r.mean_rob_occupancy() > 60.0, "rob occ {}", r.mean_rob_occupancy());
+    }
+
+    #[test]
+    fn ideal_run_is_deterministic() {
+        let a = run_ideal(independents(1000));
+        let b = run_ideal(independents(1000));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn window_size_limits_extractable_parallelism() {
+        // Interleave 8 chains; a tiny window cannot see across chains.
+        let mut insts = Vec::new();
+        for i in 0..4000u64 {
+            let r = Reg::new((i % 8) as u8);
+            insts.push(Inst::alu(i * 4, Op::IntAlu, r, Some(r), None));
+        }
+        let mut small = MachineConfig::ideal();
+        small.width = 8;
+        small.win_size = 2;
+        let mut big = MachineConfig::ideal();
+        big.width = 8;
+        big.win_size = 48;
+        let r_small = Machine::new(small).run(&mut VecTrace::new(insts.clone()));
+        let r_big = Machine::new(big).run(&mut VecTrace::new(insts));
+        assert!(
+            r_big.ipc() > 2.0 * r_small.ipc(),
+            "big {} vs small {}",
+            r_big.ipc(),
+            r_small.ipc()
+        );
+    }
+
+    #[test]
+    fn empty_trace_finishes_immediately() {
+        let r = Machine::new(MachineConfig::ideal()).run(&mut VecTrace::default());
+        assert_eq!(r.instructions, 0);
+        assert!(r.cycles <= 2);
+    }
+
+    #[test]
+    fn stores_do_not_block_retirement() {
+        // Stores that miss to memory retire immediately via the write
+        // buffer: total time stays ~n/width.
+        let l1d = CacheConfig::new(128, 2, 64, Replacement::Lru).unwrap();
+        let l2 = CacheConfig::new(256, 2, 64, Replacement::Lru).unwrap();
+        let mut insts = Vec::new();
+        for i in 0..400u64 {
+            insts.push(Inst::store(i * 4, Reg::new(1), None, 0x10000 + i * 4096));
+        }
+        let mut cfg = MachineConfig::ideal();
+        cfg.hierarchy = HierarchyConfig {
+            l1i: None,
+            l1d: Some(l1d),
+            l2: Some(l2),
+            next_line_prefetch: 0,
+        };
+        let r = Machine::new(cfg).run(&mut VecTrace::new(insts));
+        assert_eq!(r.dcache_long_misses, 0, "store misses are not long misses");
+        assert!(r.ipc() > 3.0, "ipc {}", r.ipc());
+    }
+}

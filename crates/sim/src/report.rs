@@ -1,0 +1,164 @@
+//! Simulation results and diagnostics.
+
+use serde::{Deserialize, Serialize};
+
+/// Results of one detailed simulation run.
+///
+/// Besides raw cycle/instruction counts, the report carries the
+/// diagnostic averages the paper uses to justify its modeling
+/// assumptions (§4.1, §4.3): how empty the window is when a
+/// mispredicted branch resolves, and how old a missing load is in the
+/// ROB when it issues.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct SimReport {
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Useful (retired) instructions.
+    pub instructions: u64,
+
+    /// Dynamic conditional branches.
+    pub cond_branches: u64,
+    /// Mispredicted conditional branches.
+    pub mispredicts: u64,
+
+    /// Instruction fetches that missed L1I and hit L2.
+    pub icache_short_misses: u64,
+    /// Instruction fetches that missed to memory.
+    pub icache_long_misses: u64,
+    /// Data accesses that missed L1D and hit L2 (short misses).
+    pub dcache_short_misses: u64,
+    /// Data accesses that missed to memory (long misses).
+    pub dcache_long_misses: u64,
+    /// Data-TLB misses (0 unless a TLB is configured).
+    #[serde(default)]
+    pub dtlb_misses: u64,
+
+    /// Sum over mispredicted-branch resolutions of the number of other
+    /// useful instructions still unissued in the window.
+    pub window_insts_at_mispredict_sum: u64,
+    /// Number of mispredicted-branch resolutions sampled.
+    pub window_insts_at_mispredict_count: u64,
+
+    /// Sum over long-miss loads of the number of instructions ahead of
+    /// the load in the ROB when it issued.
+    pub rob_ahead_of_long_miss_sum: u64,
+    /// Number of long-miss loads sampled.
+    pub rob_ahead_of_long_miss_count: u64,
+
+    /// Sum of window occupancy sampled each cycle (for mean occupancy).
+    pub window_occupancy_sum: u64,
+    /// Sum of ROB occupancy sampled each cycle.
+    pub rob_occupancy_sum: u64,
+}
+
+impl SimReport {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Cycles per instruction.
+    pub fn cpi(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.instructions as f64
+        }
+    }
+
+    /// Branch misprediction rate over conditional branches.
+    pub fn mispredict_rate(&self) -> f64 {
+        if self.cond_branches == 0 {
+            0.0
+        } else {
+            self.mispredicts as f64 / self.cond_branches as f64
+        }
+    }
+
+    /// Total instruction-cache misses (short + long).
+    pub fn icache_misses(&self) -> u64 {
+        self.icache_short_misses + self.icache_long_misses
+    }
+
+    /// Mean useful instructions left in the window when a mispredicted
+    /// branch issues (the paper reports ≈1.3). `None` if no branch
+    /// mispredicted.
+    pub fn mean_window_insts_at_mispredict(&self) -> Option<f64> {
+        (self.window_insts_at_mispredict_count > 0).then(|| {
+            self.window_insts_at_mispredict_sum as f64
+                / self.window_insts_at_mispredict_count as f64
+        })
+    }
+
+    /// Mean instructions ahead of a long-miss load in the ROB when it
+    /// issues (the paper reports ≈9). `None` if no long miss occurred.
+    pub fn mean_rob_ahead_of_long_miss(&self) -> Option<f64> {
+        (self.rob_ahead_of_long_miss_count > 0).then(|| {
+            self.rob_ahead_of_long_miss_sum as f64 / self.rob_ahead_of_long_miss_count as f64
+        })
+    }
+
+    /// Mean issue-window occupancy over all cycles.
+    pub fn mean_window_occupancy(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.window_occupancy_sum as f64 / self.cycles as f64
+        }
+    }
+
+    /// Mean ROB occupancy over all cycles.
+    pub fn mean_rob_occupancy(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.rob_occupancy_sum as f64 / self.cycles as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_handle_empty_runs() {
+        let r = SimReport::default();
+        assert_eq!(r.ipc(), 0.0);
+        assert_eq!(r.cpi(), 0.0);
+        assert_eq!(r.mispredict_rate(), 0.0);
+        assert_eq!(r.mean_window_insts_at_mispredict(), None);
+        assert_eq!(r.mean_rob_ahead_of_long_miss(), None);
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let r = SimReport {
+            cycles: 100,
+            instructions: 250,
+            cond_branches: 50,
+            mispredicts: 5,
+            icache_short_misses: 3,
+            icache_long_misses: 1,
+            window_insts_at_mispredict_sum: 13,
+            window_insts_at_mispredict_count: 10,
+            rob_ahead_of_long_miss_sum: 90,
+            rob_ahead_of_long_miss_count: 10,
+            window_occupancy_sum: 4800,
+            rob_occupancy_sum: 12800,
+            ..Default::default()
+        };
+        assert!((r.ipc() - 2.5).abs() < 1e-12);
+        assert!((r.cpi() - 0.4).abs() < 1e-12);
+        assert!((r.mispredict_rate() - 0.1).abs() < 1e-12);
+        assert_eq!(r.icache_misses(), 4);
+        assert!((r.mean_window_insts_at_mispredict().unwrap() - 1.3).abs() < 1e-12);
+        assert!((r.mean_rob_ahead_of_long_miss().unwrap() - 9.0).abs() < 1e-12);
+        assert!((r.mean_window_occupancy() - 48.0).abs() < 1e-12);
+        assert!((r.mean_rob_occupancy() - 128.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,86 @@
+//! Property-based tests for the detailed simulator.
+
+use fosm_isa::{Inst, Op, Reg};
+use fosm_sim::{Machine, MachineConfig};
+use fosm_trace::VecTrace;
+use proptest::prelude::*;
+
+/// Random register-dataflow traces (ALU ops only, no control/memory).
+fn dataflow_trace() -> impl Strategy<Value = Vec<Inst>> {
+    prop::collection::vec((0u8..32, 0u8..32, prop::option::of(0u8..32)), 4..200).prop_map(
+        |triples| {
+            triples
+                .into_iter()
+                .enumerate()
+                .map(|(i, (d, s1, s2))| {
+                    Inst::alu(
+                        i as u64 * 4,
+                        Op::IntAlu,
+                        Reg::new(d),
+                        Some(Reg::new(s1)),
+                        s2.map(Reg::new),
+                    )
+                })
+                .collect()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Structural bounds: every instruction retires, IPC never exceeds
+    /// the width, and cycles are at least the retire-bandwidth bound.
+    #[test]
+    fn structural_bounds(insts in dataflow_trace(), width in 1u32..8) {
+        let n = insts.len() as u64;
+        let mut cfg = MachineConfig::ideal();
+        cfg.width = width;
+        let report = Machine::new(cfg).run(&mut VecTrace::new(insts));
+        prop_assert_eq!(report.instructions, n);
+        prop_assert!(report.ipc() <= width as f64 + 1e-9);
+        prop_assert!(report.cycles >= n / width as u64);
+    }
+
+    /// Runs are deterministic.
+    #[test]
+    fn deterministic(insts in dataflow_trace()) {
+        let a = Machine::new(MachineConfig::ideal()).run(&mut VecTrace::new(insts.clone()));
+        let b = Machine::new(MachineConfig::ideal()).run(&mut VecTrace::new(insts));
+        prop_assert_eq!(a, b);
+    }
+
+    /// Enlarging the window (resources) never slows the ideal machine.
+    #[test]
+    fn bigger_window_never_hurts(insts in dataflow_trace()) {
+        let mut small = MachineConfig::ideal();
+        small.win_size = 4;
+        let mut big = MachineConfig::ideal();
+        big.win_size = 48;
+        let a = Machine::new(small).run(&mut VecTrace::new(insts.clone()));
+        let b = Machine::new(big).run(&mut VecTrace::new(insts));
+        prop_assert!(b.cycles <= a.cycles);
+    }
+
+    /// A deeper front end never speeds anything up, and on branch-free
+    /// code it only adds a constant startup delay.
+    #[test]
+    fn pipeline_depth_costs_only_startup(insts in dataflow_trace(), extra in 1u32..20) {
+        let shallow = MachineConfig::ideal().with_pipe_depth(2);
+        let deep = MachineConfig::ideal().with_pipe_depth(2 + extra);
+        let a = Machine::new(shallow).run(&mut VecTrace::new(insts.clone()));
+        let b = Machine::new(deep).run(&mut VecTrace::new(insts));
+        prop_assert_eq!(b.cycles, a.cycles + extra as u64,
+            "branch-free code pays depth only once at startup");
+    }
+
+    /// Occupancy statistics stay within the configured structures.
+    #[test]
+    fn occupancies_within_bounds(insts in dataflow_trace()) {
+        let cfg = MachineConfig::ideal();
+        let (win, rob) = (cfg.win_size as f64, cfg.rob_size as f64);
+        let report = Machine::new(cfg).run(&mut VecTrace::new(insts));
+        prop_assert!(report.mean_window_occupancy() <= win);
+        prop_assert!(report.mean_rob_occupancy() <= rob);
+    }
+}

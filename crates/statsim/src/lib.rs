@@ -1,0 +1,49 @@
+//! Statistical simulation — the related-work baseline (paper §1.2).
+//!
+//! Statistical simulation (Carl & Smith; Nussbaum & Smith; Eeckhout et
+//! al. — the paper's refs. \[8–11\]) collects the same program
+//! statistics the first-order model uses, then *synthesizes a trace*
+//! from those statistics and runs it through a simple superscalar
+//! simulator. The paper positions its model as "statistical simulation,
+//! without the simulation", claiming similar overall accuracy; this
+//! crate implements the baseline so the claim can be tested (see the
+//! `statsim_compare` binary in `fosm-bench`).
+//!
+//! The flow:
+//!
+//! 1. [`StatProfile::from_trace`] — one pass over a real trace
+//!    collecting the synthesis statistics: operation mix, dependence
+//!    distances, and miss-event *rates* (not addresses).
+//! 2. [`SynthesizedTrace`] — an unbounded stream of [`SynthInst`]
+//!    records drawn from those distributions; miss events are carried
+//!    as *flags* on the synthetic instructions (statistical simulation
+//!    has no addresses to feed real caches with).
+//! 3. [`StatMachine`] — a simple out-of-order simulator in the style of
+//!    the paper's detailed machine, but driven by the miss flags
+//!    instead of cache/predictor state.
+//!
+//! # Examples
+//!
+//! ```
+//! use fosm_statsim::{StatMachine, StatProfile, SynthesizedTrace};
+//! use fosm_trace::VecTrace;
+//! use fosm_workloads::{BenchmarkSpec, WorkloadGenerator};
+//!
+//! let mut generator = WorkloadGenerator::new(&BenchmarkSpec::gzip(), 1);
+//! let trace = VecTrace::record(&mut generator, 50_000);
+//! let profile = StatProfile::from_trace(trace.insts(), Default::default());
+//! let mut synth = SynthesizedTrace::new(&profile, 7);
+//! let report = StatMachine::baseline().run(&mut synth, 50_000);
+//! assert!(report.cpi() > 0.2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod machine;
+mod profile;
+mod synth;
+
+pub use machine::{StatMachine, StatReport};
+pub use profile::{CollectorConfig, StatProfile, MAX_DEP_DISTANCE};
+pub use synth::{SynthInst, SynthesizedTrace};

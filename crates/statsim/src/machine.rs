@@ -1,0 +1,299 @@
+//! The simple flag-driven superscalar simulator.
+
+use std::collections::VecDeque;
+
+use fosm_isa::{LatencyTable, Op};
+use serde::{Deserialize, Serialize};
+
+use crate::{SynthInst, SynthesizedTrace};
+
+/// Results of a statistical simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct StatReport {
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Retired synthetic instructions.
+    pub instructions: u64,
+    /// Mispredicted branches encountered.
+    pub mispredicts: u64,
+    /// Long data misses encountered.
+    pub dcache_long_misses: u64,
+}
+
+impl StatReport {
+    /// Cycles per instruction.
+    pub fn cpi(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.instructions as f64
+        }
+    }
+
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// The simple out-of-order simulator statistical simulation drives with
+/// synthetic traces (paper refs. \[8–11\]).
+///
+/// Identical machine shape to the detailed simulator — front-end pipe,
+/// issue window, separate ROB, oldest-first issue, in-order retire —
+/// but miss events come from the synthetic instructions' flags instead
+/// of cache and predictor state, and dependences come from pre-drawn
+/// distances instead of register names.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatMachine {
+    /// Machine width (fetch/dispatch/issue/retire).
+    pub width: u32,
+    /// Issue-window entries.
+    pub win_size: u32,
+    /// ROB entries.
+    pub rob_size: u32,
+    /// Front-end depth ∆P.
+    pub pipe_depth: u32,
+    /// L2 latency (∆I / short misses).
+    pub l2_latency: u32,
+    /// Memory latency (∆D / long misses).
+    pub mem_latency: u32,
+    /// Functional-unit latencies.
+    pub latencies: LatencyTable,
+}
+
+impl StatMachine {
+    /// The paper's baseline machine.
+    pub fn baseline() -> Self {
+        StatMachine {
+            width: 4,
+            win_size: 48,
+            rob_size: 128,
+            pipe_depth: 5,
+            l2_latency: 8,
+            mem_latency: 200,
+            latencies: LatencyTable::default(),
+        }
+    }
+
+    /// Runs `n` synthetic instructions and reports the result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is degenerate (zero width or sizes).
+    pub fn run(&self, synth: &mut SynthesizedTrace, n: u64) -> StatReport {
+        assert!(self.width > 0 && self.win_size > 0 && self.rob_size >= self.win_size);
+        let width = self.width as usize;
+        let mut report = StatReport::default();
+
+        struct WinEntry {
+            seq: u64,
+            producers: [u64; 2], // u64::MAX = none
+            comp_latency: u32,
+            mispredicted: bool,
+            issued: bool,
+        }
+        struct PipeEntry {
+            ready: u64,
+            inst: SynthInst,
+            seq: u64,
+        }
+
+        let mut pipe: VecDeque<PipeEntry> = VecDeque::new();
+        let mut window: Vec<WinEntry> = Vec::with_capacity(self.win_size as usize);
+        let mut rob: VecDeque<(bool, u64)> = VecDeque::new(); // (issued, done)
+        let mut rob_front_seq = 0u64;
+        let mut done_by_seq: Vec<u64> = Vec::new();
+        let mut fetched = 0u64;
+        let mut next_seq = 0u64;
+        let mut fetch_stall_until = 0u64;
+        let mut blocked_on_branch = false;
+        let mut cycle = 0u64;
+
+        loop {
+            // retire
+            let mut retired = 0;
+            while retired < width {
+                match rob.front() {
+                    Some(&(true, done)) if done <= cycle => {
+                        rob.pop_front();
+                        rob_front_seq += 1;
+                        report.instructions += 1;
+                        retired += 1;
+                    }
+                    _ => break,
+                }
+            }
+            // issue
+            let mut issued = 0;
+            for e in window.iter_mut() {
+                if issued >= width {
+                    break;
+                }
+                let ready = e.producers.iter().all(|&p| {
+                    p == u64::MAX
+                        || done_by_seq.get(p as usize).is_some_and(|&d| d <= cycle)
+                });
+                if !ready {
+                    continue;
+                }
+                e.issued = true;
+                issued += 1;
+                let done = cycle + e.comp_latency as u64;
+                done_by_seq[e.seq as usize] = done;
+                let idx = (e.seq - rob_front_seq) as usize;
+                rob[idx] = (true, done);
+                if e.mispredicted {
+                    blocked_on_branch = false;
+                    fetch_stall_until = fetch_stall_until.max(done);
+                }
+            }
+            if issued > 0 {
+                window.retain(|e| !e.issued);
+            }
+            // dispatch
+            let mut dispatched = 0;
+            while dispatched < width
+                && rob.len() < self.rob_size as usize
+                && window.len() < self.win_size as usize
+            {
+                let Some(front) = pipe.front() else { break };
+                if front.ready > cycle {
+                    break;
+                }
+                let pe = pipe.pop_front().expect("non-empty");
+                let inst = pe.inst;
+                let mut producers = [u64::MAX; 2];
+                for (slot, &d) in inst.dep_distance.iter().enumerate() {
+                    if d > 0 && pe.seq >= d as u64 {
+                        producers[slot] = pe.seq - d as u64;
+                    }
+                }
+                let comp_latency = if inst.dcache_long {
+                    report.dcache_long_misses += 1;
+                    self.mem_latency
+                } else if inst.dcache_short {
+                    self.l2_latency
+                } else if inst.op == Op::Store {
+                    1
+                } else {
+                    self.latencies.latency(inst.op)
+                };
+                if done_by_seq.len() <= pe.seq as usize {
+                    done_by_seq.resize(pe.seq as usize + 1, u64::MAX);
+                }
+                rob.push_back((false, u64::MAX));
+                window.push(WinEntry {
+                    seq: pe.seq,
+                    producers,
+                    comp_latency,
+                    mispredicted: inst.mispredicted,
+                    issued: false,
+                });
+                dispatched += 1;
+            }
+            // fetch
+            if !blocked_on_branch && cycle >= fetch_stall_until && fetched < n {
+                let mut got = 0;
+                while got < width && fetched < n {
+                    let inst = synth.next_inst();
+                    fetched += 1;
+                    if inst.icache_long {
+                        fetch_stall_until = cycle + self.mem_latency as u64;
+                    } else if inst.icache_short {
+                        fetch_stall_until = cycle + self.l2_latency as u64;
+                    }
+                    if inst.mispredicted {
+                        report.mispredicts += 1;
+                        blocked_on_branch = true;
+                    }
+                    pipe.push_back(PipeEntry {
+                        ready: cycle + self.pipe_depth as u64,
+                        inst,
+                        seq: next_seq,
+                    });
+                    next_seq += 1;
+                    got += 1;
+                    if inst.mispredicted || inst.icache_short || inst.icache_long {
+                        break;
+                    }
+                }
+            }
+            cycle += 1;
+            if fetched >= n && pipe.is_empty() && rob.is_empty() {
+                break;
+            }
+        }
+        report.cycles = cycle;
+        report
+    }
+}
+
+impl Default for StatMachine {
+    fn default() -> Self {
+        StatMachine::baseline()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CollectorConfig, StatProfile};
+    use fosm_trace::VecTrace;
+    use fosm_workloads::{BenchmarkSpec, WorkloadGenerator};
+
+    fn profile(spec: &BenchmarkSpec) -> StatProfile {
+        let mut generator = WorkloadGenerator::new(spec, 5);
+        let trace = VecTrace::record(&mut generator, 40_000);
+        StatProfile::from_trace(trace.insts(), CollectorConfig::default())
+    }
+
+    #[test]
+    fn runs_and_reports_sane_numbers() {
+        let p = profile(&BenchmarkSpec::gzip());
+        let mut synth = SynthesizedTrace::new(&p, 1);
+        let r = StatMachine::baseline().run(&mut synth, 30_000);
+        assert_eq!(r.instructions, 30_000);
+        assert!(r.ipc() > 0.3 && r.ipc() <= 4.0, "ipc {}", r.ipc());
+        assert!(r.mispredicts > 100);
+    }
+
+    #[test]
+    fn memory_bound_statistics_produce_memory_bound_results() {
+        let gzip = profile(&BenchmarkSpec::gzip());
+        let mcf = profile(&BenchmarkSpec::mcf());
+        let run = |p: &StatProfile| {
+            let mut synth = SynthesizedTrace::new(p, 1);
+            StatMachine::baseline().run(&mut synth, 30_000).cpi()
+        };
+        assert!(run(&mcf) > 1.5 * run(&gzip));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = profile(&BenchmarkSpec::twolf());
+        let a = StatMachine::baseline().run(&mut SynthesizedTrace::new(&p, 4), 20_000);
+        let b = StatMachine::baseline().run(&mut SynthesizedTrace::new(&p, 4), 20_000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn wider_machine_is_no_slower() {
+        let p = profile(&BenchmarkSpec::vortex());
+        let narrow = StatMachine {
+            width: 2,
+            ..StatMachine::baseline()
+        };
+        let wide = StatMachine {
+            width: 8,
+            ..StatMachine::baseline()
+        };
+        let cn = narrow.run(&mut SynthesizedTrace::new(&p, 2), 20_000).cycles;
+        let cw = wide.run(&mut SynthesizedTrace::new(&p, 2), 20_000).cycles;
+        assert!(cw <= cn);
+    }
+}

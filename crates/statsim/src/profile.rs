@@ -1,0 +1,192 @@
+//! Synthesis statistics collected from a real trace.
+
+use fosm_branch::{MispredictStats, PredictorConfig};
+use fosm_cache::{AccessKind, AccessOutcome, Hierarchy, HierarchyConfig};
+use fosm_isa::{Inst, Op, NUM_OP_CLASSES, NUM_REGS};
+use serde::{Deserialize, Serialize};
+
+/// Which functional structures the collector simulates to obtain
+/// miss-event rates.
+#[derive(Debug, Clone)]
+pub struct CollectorConfig {
+    /// Cache hierarchy the rates are measured on.
+    pub hierarchy: HierarchyConfig,
+    /// Branch predictor the misprediction rate is measured on.
+    pub predictor: PredictorConfig,
+}
+
+impl Default for CollectorConfig {
+    fn default() -> Self {
+        CollectorConfig {
+            hierarchy: HierarchyConfig::baseline(),
+            predictor: PredictorConfig::baseline(),
+        }
+    }
+}
+
+/// Maximum dependence distance tracked individually by the synthesis
+/// histogram; larger distances share the final bucket.
+pub const MAX_DEP_DISTANCE: usize = 512;
+
+/// The statistics a statistical simulator synthesizes traces from
+/// (paper refs. \[8–11\]): operation mix, dependence-distance
+/// distribution, and miss-event rates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatProfile {
+    /// Dynamic operation mix (counts per [`Op::ALL`] index).
+    pub mix: [u64; NUM_OP_CLASSES],
+    /// `dep_distances[d]` = source operands whose producer was `d`
+    /// dynamic instructions earlier (index 0 counts *operand slots with
+    /// no producer*; distances clamp at [`MAX_DEP_DISTANCE`]).
+    pub dep_distances: Vec<u64>,
+    /// Instructions profiled.
+    pub instructions: u64,
+    /// P(conditional branch mispredicts).
+    pub mispredict_rate: f64,
+    /// P(instruction fetch misses L1I and hits L2).
+    pub icache_short_rate: f64,
+    /// P(instruction fetch misses to memory).
+    pub icache_long_rate: f64,
+    /// P(load misses L1D and hits L2).
+    pub dcache_short_rate: f64,
+    /// P(load misses to memory).
+    pub dcache_long_rate: f64,
+}
+
+impl StatProfile {
+    /// Collects synthesis statistics from a recorded trace.
+    pub fn from_trace(insts: &[Inst], config: CollectorConfig) -> Self {
+        let mut mix = [0u64; NUM_OP_CLASSES];
+        let mut dep_distances = vec![0u64; MAX_DEP_DISTANCE + 1];
+        let mut last_writer = [u64::MAX; NUM_REGS];
+        let mut hierarchy = Hierarchy::new(config.hierarchy).expect("valid hierarchy");
+        let mut predictor = config.predictor.build();
+        let mut bstats = MispredictStats::new();
+        let (mut ic_short, mut ic_long) = (0u64, 0u64);
+        let (mut dc_short, mut dc_long) = (0u64, 0u64);
+        let mut loads = 0u64;
+
+        for (idx, inst) in insts.iter().enumerate() {
+            mix[inst.op.index()] += 1;
+            for src in inst.sources() {
+                let w = last_writer[src.index()];
+                if w == u64::MAX {
+                    dep_distances[0] += 1;
+                } else {
+                    let d = ((idx as u64 - w) as usize).clamp(1, MAX_DEP_DISTANCE);
+                    dep_distances[d] += 1;
+                }
+            }
+            if let Some(dest) = inst.dest {
+                last_writer[dest.index()] = idx as u64;
+            }
+            match hierarchy.access(AccessKind::IFetch, inst.pc) {
+                AccessOutcome::L1 => {}
+                AccessOutcome::L2 => ic_short += 1,
+                AccessOutcome::Memory => ic_long += 1,
+            }
+            match inst.op {
+                Op::Load => {
+                    loads += 1;
+                    let addr = inst.mem_addr.expect("loads carry addresses");
+                    match hierarchy.access(AccessKind::Load, addr) {
+                        AccessOutcome::L1 => {}
+                        AccessOutcome::L2 => dc_short += 1,
+                        AccessOutcome::Memory => dc_long += 1,
+                    }
+                }
+                Op::Store => {
+                    let addr = inst.mem_addr.expect("stores carry addresses");
+                    hierarchy.access(AccessKind::Store, addr);
+                }
+                _ => {}
+            }
+            if inst.op.is_cond_branch() {
+                let taken = inst.branch.expect("branches carry outcomes").taken;
+                bstats.record(predictor.observe(inst.pc, taken), idx as u64);
+            }
+        }
+
+        let n = insts.len() as u64;
+        StatProfile {
+            mix,
+            dep_distances,
+            instructions: n,
+            mispredict_rate: bstats.rate(),
+            icache_short_rate: ic_short as f64 / n.max(1) as f64,
+            icache_long_rate: ic_long as f64 / n.max(1) as f64,
+            dcache_short_rate: dc_short as f64 / loads.max(1) as f64,
+            dcache_long_rate: dc_long as f64 / loads.max(1) as f64,
+        }
+    }
+
+    /// Fraction of instructions of class `op`.
+    pub fn op_fraction(&self, op: Op) -> f64 {
+        let total: u64 = self.mix.iter().sum();
+        if total == 0 {
+            0.0
+        } else {
+            self.mix[op.index()] as f64 / total as f64
+        }
+    }
+
+    /// Total source-operand observations (including no-producer slots).
+    pub fn operand_observations(&self) -> u64 {
+        self.dep_distances.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fosm_trace::VecTrace;
+    use fosm_workloads::{BenchmarkSpec, WorkloadGenerator};
+
+    fn profile_of(spec: &BenchmarkSpec) -> StatProfile {
+        let mut generator = WorkloadGenerator::new(spec, 3);
+        let trace = VecTrace::record(&mut generator, 40_000);
+        StatProfile::from_trace(trace.insts(), CollectorConfig::default())
+    }
+
+    #[test]
+    fn rates_are_probabilities() {
+        let p = profile_of(&BenchmarkSpec::gcc());
+        for r in [
+            p.mispredict_rate,
+            p.icache_short_rate,
+            p.icache_long_rate,
+            p.dcache_short_rate,
+            p.dcache_long_rate,
+        ] {
+            assert!((0.0..=1.0).contains(&r), "{r}");
+        }
+        assert_eq!(p.instructions, 40_000);
+        assert_eq!(p.mix.iter().sum::<u64>(), 40_000);
+    }
+
+    #[test]
+    fn dependence_structure_transfers() {
+        let vpr = profile_of(&BenchmarkSpec::vpr());
+        let vortex = profile_of(&BenchmarkSpec::vortex());
+        // vpr is chain-y: more short-distance operands than vortex.
+        let short = |p: &StatProfile| {
+            p.dep_distances[1..=2].iter().sum::<u64>() as f64 / p.operand_observations() as f64
+        };
+        assert!(short(&vpr) > short(&vortex));
+    }
+
+    #[test]
+    fn memory_bound_benchmarks_show_long_miss_rates() {
+        let mcf = profile_of(&BenchmarkSpec::mcf());
+        let gzip = profile_of(&BenchmarkSpec::gzip());
+        assert!(mcf.dcache_long_rate > 5.0 * gzip.dcache_long_rate.max(1e-6));
+    }
+
+    #[test]
+    fn empty_trace_is_all_zero() {
+        let p = StatProfile::from_trace(&[], CollectorConfig::default());
+        assert_eq!(p.instructions, 0);
+        assert_eq!(p.mispredict_rate, 0.0);
+        assert_eq!(p.operand_observations(), 0);
+    }
+}

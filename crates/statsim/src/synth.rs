@@ -1,0 +1,241 @@
+//! Synthetic-trace generation from statistics.
+
+use fosm_isa::Op;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::StatProfile;
+
+/// One synthetic instruction: an operation, dependence distances, and
+/// pre-drawn miss-event flags.
+///
+/// Statistical simulation carries miss events as flags because the
+/// synthesized stream has no addresses or PCs to feed real caches and
+/// predictors with — that is precisely the information the statistics
+/// abstract away.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SynthInst {
+    /// Operation class (drawn from the mix).
+    pub op: Op,
+    /// Dependence distances of up to two source operands (0 = the
+    /// operand has no in-window producer).
+    pub dep_distance: [u32; 2],
+    /// The instruction fetch misses L1I and hits L2.
+    pub icache_short: bool,
+    /// The instruction fetch misses to memory.
+    pub icache_long: bool,
+    /// For loads: misses L1D, hits L2.
+    pub dcache_short: bool,
+    /// For loads: misses to memory.
+    pub dcache_long: bool,
+    /// For conditional branches: mispredicted.
+    pub mispredicted: bool,
+}
+
+/// An unbounded stream of [`SynthInst`]s drawn from a [`StatProfile`].
+///
+/// Deterministic in `(profile, seed)`.
+#[derive(Debug, Clone)]
+pub struct SynthesizedTrace {
+    rng: SmallRng,
+    // Cumulative distributions for O(log n) sampling.
+    mix_cdf: Vec<(f64, Op)>,
+    dep_cdf: Vec<(f64, u32)>,
+    two_source_p: f64,
+    mispredict_rate: f64,
+    icache_short_rate: f64,
+    icache_long_rate: f64,
+    dcache_short_rate: f64,
+    dcache_long_rate: f64,
+}
+
+impl SynthesizedTrace {
+    /// Prepares a generator for the given statistics.
+    pub fn new(profile: &StatProfile, seed: u64) -> Self {
+        let total_mix: u64 = profile.mix.iter().sum();
+        let mut mix_cdf = Vec::new();
+        let mut acc = 0.0;
+        for op in Op::ALL {
+            let f = if total_mix == 0 {
+                0.0
+            } else {
+                profile.mix[op.index()] as f64 / total_mix as f64
+            };
+            acc += f;
+            mix_cdf.push((acc, op));
+        }
+        if total_mix == 0 {
+            // Degenerate statistics: fall back to plain ALU ops.
+            mix_cdf = vec![(1.0, Op::IntAlu)];
+        } else if let Some(last) = mix_cdf.last_mut() {
+            last.0 = 1.0; // absorb rounding
+        }
+
+        let total_deps: u64 = profile.dep_distances.iter().sum();
+        let mut dep_cdf = Vec::new();
+        let mut acc = 0.0;
+        for (d, &count) in profile.dep_distances.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            acc += count as f64 / total_deps.max(1) as f64;
+            dep_cdf.push((acc, d as u32));
+        }
+        if let Some(last) = dep_cdf.last_mut() {
+            last.0 = 1.0;
+        }
+
+        // Mean operands per instruction determines how often the second
+        // source slot is populated.
+        let n = profile.instructions.max(1) as f64;
+        let operands_per_inst = total_deps as f64 / n;
+        SynthesizedTrace {
+            rng: SmallRng::seed_from_u64(seed ^ 0x57a7_5e3d),
+            mix_cdf,
+            dep_cdf,
+            two_source_p: (operands_per_inst - 1.0).clamp(0.0, 1.0),
+            mispredict_rate: profile.mispredict_rate,
+            icache_short_rate: profile.icache_short_rate,
+            icache_long_rate: profile.icache_long_rate,
+            dcache_short_rate: profile.dcache_short_rate,
+            dcache_long_rate: profile.dcache_long_rate,
+        }
+    }
+
+    fn sample_cdf<T: Copy>(cdf: &[(f64, T)], u: f64) -> Option<T> {
+        let idx = cdf.partition_point(|&(c, _)| c < u);
+        cdf.get(idx.min(cdf.len().saturating_sub(1))).map(|&(_, v)| v)
+    }
+
+    fn draw_distance(&mut self) -> u32 {
+        let u: f64 = self.rng.gen();
+        Self::sample_cdf(&self.dep_cdf, u).unwrap_or(0)
+    }
+
+    /// Draws the next synthetic instruction.
+    pub fn next_inst(&mut self) -> SynthInst {
+        let u: f64 = self.rng.gen();
+        let op = Self::sample_cdf(&self.mix_cdf, u).unwrap_or(Op::IntAlu);
+        let d1 = self.draw_distance();
+        let d2 = if self.rng.gen::<f64>() < self.two_source_p {
+            self.draw_distance()
+        } else {
+            0
+        };
+        let r: f64 = self.rng.gen();
+        let (icache_short, icache_long) = if r < self.icache_long_rate {
+            (false, true)
+        } else if r < self.icache_long_rate + self.icache_short_rate {
+            (true, false)
+        } else {
+            (false, false)
+        };
+        let (mut dcache_short, mut dcache_long) = (false, false);
+        if op == Op::Load {
+            let r: f64 = self.rng.gen();
+            if r < self.dcache_long_rate {
+                dcache_long = true;
+            } else if r < self.dcache_long_rate + self.dcache_short_rate {
+                dcache_short = true;
+            }
+        }
+        let mispredicted =
+            op.is_cond_branch() && self.rng.gen::<f64>() < self.mispredict_rate;
+        SynthInst {
+            op,
+            dep_distance: [d1, d2],
+            icache_short,
+            icache_long,
+            dcache_short,
+            dcache_long,
+            mispredicted,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CollectorConfig;
+    use fosm_trace::VecTrace;
+    use fosm_workloads::{BenchmarkSpec, WorkloadGenerator};
+
+    fn profile() -> StatProfile {
+        let mut generator = WorkloadGenerator::new(&BenchmarkSpec::gzip(), 5);
+        let trace = VecTrace::record(&mut generator, 40_000);
+        StatProfile::from_trace(trace.insts(), CollectorConfig::default())
+    }
+
+    #[test]
+    fn synthesis_reproduces_the_mix() {
+        let p = profile();
+        let mut synth = SynthesizedTrace::new(&p, 9);
+        let n = 60_000;
+        let mut loads = 0u64;
+        let mut branches = 0u64;
+        let mut mispredicts = 0u64;
+        for _ in 0..n {
+            let i = synth.next_inst();
+            if i.op == Op::Load {
+                loads += 1;
+            }
+            if i.op.is_cond_branch() {
+                branches += 1;
+                if i.mispredicted {
+                    mispredicts += 1;
+                }
+            }
+        }
+        let load_frac = loads as f64 / n as f64;
+        assert!(
+            (load_frac - p.op_fraction(Op::Load)).abs() < 0.02,
+            "load fraction {load_frac} vs {}",
+            p.op_fraction(Op::Load)
+        );
+        let misp = mispredicts as f64 / branches.max(1) as f64;
+        assert!(
+            (misp - p.mispredict_rate).abs() < 0.03,
+            "mispredict rate {misp} vs {}",
+            p.mispredict_rate
+        );
+    }
+
+    #[test]
+    fn synthesis_is_deterministic() {
+        let p = profile();
+        let mut a = SynthesizedTrace::new(&p, 1);
+        let mut b = SynthesizedTrace::new(&p, 1);
+        for _ in 0..500 {
+            assert_eq!(a.next_inst(), b.next_inst());
+        }
+        let mut c = SynthesizedTrace::new(&p, 2);
+        let differs = (0..500).any(|_| a.next_inst() != c.next_inst());
+        assert!(differs);
+    }
+
+    #[test]
+    fn miss_flags_are_exclusive() {
+        let p = profile();
+        let mut synth = SynthesizedTrace::new(&p, 3);
+        for _ in 0..5_000 {
+            let i = synth.next_inst();
+            assert!(!(i.icache_short && i.icache_long));
+            assert!(!(i.dcache_short && i.dcache_long));
+            if !matches!(i.op, Op::Load) {
+                assert!(!i.dcache_short && !i.dcache_long);
+            }
+            if !i.op.is_cond_branch() {
+                assert!(!i.mispredicted);
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_profile_still_generates() {
+        let empty = StatProfile::from_trace(&[], CollectorConfig::default());
+        let mut synth = SynthesizedTrace::new(&empty, 0);
+        let i = synth.next_inst();
+        assert_eq!(i.op, Op::IntAlu); // falls back to the default class
+    }
+}

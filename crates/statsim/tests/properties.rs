@@ -1,0 +1,79 @@
+//! Property-based tests for the statistical-simulation baseline.
+
+use fosm_isa::NUM_OP_CLASSES;
+use fosm_statsim::{StatMachine, StatProfile, SynthesizedTrace};
+use proptest::prelude::*;
+
+/// Random but internally consistent statistics.
+fn profile_strategy() -> impl Strategy<Value = StatProfile> {
+    (
+        prop::collection::vec(0u64..1000, NUM_OP_CLASSES),
+        prop::collection::vec(0u64..500, 1..40),
+        0.0f64..0.3,
+        0.0f64..0.05,
+        0.0f64..0.2,
+        0.0f64..0.1,
+    )
+        .prop_map(|(mix, deps, misp, ic, dc_short, dc_long)| {
+            let mut mix_arr = [0u64; NUM_OP_CLASSES];
+            for (slot, v) in mix_arr.iter_mut().zip(&mix) {
+                *slot = *v;
+            }
+            let instructions = mix_arr.iter().sum::<u64>().max(1);
+            StatProfile {
+                mix: mix_arr,
+                dep_distances: deps,
+                instructions,
+                mispredict_rate: misp,
+                icache_short_rate: ic,
+                icache_long_rate: ic / 4.0,
+                dcache_short_rate: dc_short,
+                dcache_long_rate: dc_long,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The statistical machine always terminates, retires exactly the
+    /// requested instructions, and respects the width bound.
+    #[test]
+    fn machine_bounds(profile in profile_strategy(), seed in any::<u64>()) {
+        let mut synth = SynthesizedTrace::new(&profile, seed);
+        let r = StatMachine::baseline().run(&mut synth, 3_000);
+        prop_assert_eq!(r.instructions, 3_000);
+        prop_assert!(r.ipc() <= 4.0 + 1e-9);
+        prop_assert!(r.cycles >= 3_000 / 4);
+    }
+
+    /// Synthesis + simulation is deterministic in (profile, seed).
+    #[test]
+    fn deterministic(profile in profile_strategy(), seed in any::<u64>()) {
+        let a = StatMachine::baseline().run(&mut SynthesizedTrace::new(&profile, seed), 1_500);
+        let b = StatMachine::baseline().run(&mut SynthesizedTrace::new(&profile, seed), 1_500);
+        prop_assert_eq!(a, b);
+    }
+
+    /// More miss events never speed the machine up.
+    #[test]
+    fn misses_never_help(profile in profile_strategy()) {
+        let clean = StatProfile {
+            mispredict_rate: 0.0,
+            icache_short_rate: 0.0,
+            icache_long_rate: 0.0,
+            dcache_short_rate: 0.0,
+            dcache_long_rate: 0.0,
+            ..profile.clone()
+        };
+        let dirty_cycles = StatMachine::baseline()
+            .run(&mut SynthesizedTrace::new(&profile, 9), 2_000)
+            .cycles;
+        let clean_cycles = StatMachine::baseline()
+            .run(&mut SynthesizedTrace::new(&clean, 9), 2_000)
+            .cycles;
+        // Different RNG draws make exact comparison noisy; allow a
+        // small tolerance around equality for all-zero-rate inputs.
+        prop_assert!(clean_cycles <= dirty_cycles + dirty_cycles / 10);
+    }
+}

@@ -1,0 +1,95 @@
+//! Stream adapters over [`TraceSource`].
+
+use fosm_isa::Inst;
+
+use crate::TraceSource;
+
+/// A [`TraceSource`] bounded to a maximum number of instructions.
+///
+/// Created by [`TraceSource::take`]. Borrowing (rather than consuming)
+/// the underlying source lets callers interleave bounded analyses over
+/// one long-lived generator.
+#[derive(Debug)]
+pub struct Take<'a, S> {
+    inner: &'a mut S,
+    remaining: u64,
+}
+
+impl<'a, S: TraceSource> Take<'a, S> {
+    pub(crate) fn new(inner: &'a mut S, n: u64) -> Self {
+        Take { inner, remaining: n }
+    }
+
+    /// Instructions still allowed through this adapter.
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+}
+
+impl<S: TraceSource> TraceSource for Take<'_, S> {
+    fn next_inst(&mut self) -> Option<Inst> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let inst = self.inner.next_inst()?;
+        self.remaining -= 1;
+        Some(inst)
+    }
+}
+
+/// Standard-iterator view of a [`TraceSource`].
+///
+/// Created by [`TraceSource::iter`].
+#[derive(Debug)]
+pub struct Iter<'a, S> {
+    inner: &'a mut S,
+}
+
+impl<'a, S: TraceSource> Iter<'a, S> {
+    pub(crate) fn new(inner: &'a mut S) -> Self {
+        Iter { inner }
+    }
+}
+
+impl<S: TraceSource> Iterator for Iter<'_, S> {
+    type Item = Inst;
+
+    fn next(&mut self) -> Option<Inst> {
+        self.inner.next_inst()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VecTrace;
+
+    #[test]
+    fn take_reports_remaining() {
+        let mut t = VecTrace::new(vec![Inst::nop(0), Inst::nop(4), Inst::nop(8)]);
+        let mut bounded = t.take(2);
+        assert_eq!(bounded.remaining(), 2);
+        bounded.next_inst();
+        assert_eq!(bounded.remaining(), 1);
+        bounded.next_inst();
+        assert_eq!(bounded.remaining(), 0);
+        assert!(bounded.next_inst().is_none());
+    }
+
+    #[test]
+    fn take_stops_at_source_end() {
+        let mut t = VecTrace::new(vec![Inst::nop(0)]);
+        let mut bounded = t.take(10);
+        assert!(bounded.next_inst().is_some());
+        assert!(bounded.next_inst().is_none());
+        // remaining reflects the budget, not the source.
+        assert_eq!(bounded.remaining(), 9);
+    }
+
+    #[test]
+    fn iter_yields_all() {
+        let mut t = VecTrace::new(vec![Inst::nop(0), Inst::nop(4)]);
+        let pcs: Vec<u64> = t.iter().map(|i| i.pc).collect();
+        assert_eq!(pcs, vec![0, 4]);
+    }
+}

@@ -1,0 +1,440 @@
+//! Binary trace files: record once, analyze anywhere.
+//!
+//! The paper's methodology is trace-driven end to end, so traces are
+//! the interchange artifact between tools (workload generation,
+//! functional profiling, detailed simulation). This module defines a
+//! compact binary format (magic `FOSMTRC1`) with delta/varint-encoded
+//! PCs and addresses — typically well under 12 bytes per instruction —
+//! plus streaming reader/writer types so traces larger than memory can
+//! be processed.
+//!
+//! # Examples
+//!
+//! ```
+//! use fosm_isa::Inst;
+//! use fosm_trace::{io as trace_io, TraceSource, VecTrace};
+//!
+//! # fn main() -> std::io::Result<()> {
+//! let insts = vec![Inst::nop(0x1000), Inst::nop(0x1004)];
+//! let mut bytes = Vec::new();
+//! trace_io::write_trace(&mut bytes, &insts)?;
+//! let back = trace_io::read_trace(&mut bytes.as_slice())?;
+//! assert_eq!(back.insts(), insts.as_slice());
+//! # Ok(())
+//! # }
+//! ```
+
+use std::io::{self, Read, Write};
+
+use fosm_isa::{BranchInfo, Inst, Op, Reg};
+
+use crate::{TraceSource, VecTrace};
+
+/// File magic: "FOSMTRC" + format version 1.
+pub const MAGIC: [u8; 8] = *b"FOSMTRC\x01";
+
+// Flag bits of the per-record header byte.
+const F_DEST: u8 = 1 << 0;
+const F_SRC0: u8 = 1 << 1;
+const F_SRC1: u8 = 1 << 2;
+const F_MEM: u8 = 1 << 3;
+const F_BRANCH: u8 = 1 << 4;
+const F_TAKEN: u8 = 1 << 5;
+/// PC == previous PC + 4 (the common case; PC field omitted).
+const F_SEQ_PC: u8 = 1 << 6;
+
+fn write_varint<W: Write>(w: &mut W, mut v: u64) -> io::Result<()> {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            return w.write_all(&[byte]);
+        }
+        w.write_all(&[byte | 0x80])?;
+    }
+}
+
+fn read_varint<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let mut byte = [0u8; 1];
+        r.read_exact(&mut byte)?;
+        if shift >= 64 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "varint longer than 64 bits",
+            ));
+        }
+        v |= ((byte[0] & 0x7f) as u64) << shift;
+        if byte[0] & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+fn op_code(op: Op) -> u8 {
+    op.index() as u8
+}
+
+fn op_from_code(code: u8) -> io::Result<Op> {
+    Op::ALL
+        .get(code as usize)
+        .copied()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, format!("bad op code {code}")))
+}
+
+/// Streaming trace writer.
+///
+/// Writes the header on construction and one record per
+/// [`write`](TraceFileWriter::write) call; call
+/// [`finish`](TraceFileWriter::finish) to flush.
+#[derive(Debug)]
+pub struct TraceFileWriter<W: Write> {
+    sink: W,
+    prev_pc: u64,
+    written: u64,
+}
+
+impl<W: Write> TraceFileWriter<W> {
+    /// Starts a trace file on `sink`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from writing the header.
+    pub fn new(mut sink: W) -> io::Result<Self> {
+        sink.write_all(&MAGIC)?;
+        Ok(TraceFileWriter {
+            sink,
+            prev_pc: 0,
+            written: 0,
+        })
+    }
+
+    /// Appends one instruction record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write(&mut self, inst: &Inst) -> io::Result<()> {
+        let mut flags = 0u8;
+        if inst.dest.is_some() {
+            flags |= F_DEST;
+        }
+        if inst.srcs[0].is_some() {
+            flags |= F_SRC0;
+        }
+        if inst.srcs[1].is_some() {
+            flags |= F_SRC1;
+        }
+        if inst.mem_addr.is_some() {
+            flags |= F_MEM;
+        }
+        if let Some(b) = inst.branch {
+            flags |= F_BRANCH;
+            if b.taken {
+                flags |= F_TAKEN;
+            }
+        }
+        let sequential = self.written > 0 && inst.pc == self.prev_pc.wrapping_add(4);
+        if sequential {
+            flags |= F_SEQ_PC;
+        }
+        self.sink.write_all(&[op_code(inst.op), flags])?;
+        if !sequential {
+            write_varint(&mut self.sink, inst.pc)?;
+        }
+        if let Some(d) = inst.dest {
+            self.sink.write_all(&[d.number()])?;
+        }
+        if let Some(s) = inst.srcs[0] {
+            self.sink.write_all(&[s.number()])?;
+        }
+        if let Some(s) = inst.srcs[1] {
+            self.sink.write_all(&[s.number()])?;
+        }
+        if let Some(a) = inst.mem_addr {
+            write_varint(&mut self.sink, a)?;
+        }
+        if let Some(b) = inst.branch {
+            write_varint(&mut self.sink, b.target)?;
+        }
+        self.prev_pc = inst.pc;
+        self.written += 1;
+        Ok(())
+    }
+
+    /// Records written so far.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Flushes and returns the underlying sink.
+    ///
+    /// # Errors
+    ///
+    /// Propagates flush errors.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.sink.flush()?;
+        Ok(self.sink)
+    }
+}
+
+/// Streaming trace reader implementing [`TraceSource`].
+///
+/// Reads records lazily, so arbitrarily large trace files can drive
+/// simulations without being materialized.
+#[derive(Debug)]
+pub struct TraceFileReader<R: Read> {
+    source: R,
+    prev_pc: u64,
+    read: u64,
+    finished: bool,
+    /// First malformed-record error, if any (streaming `TraceSource`
+    /// has no error channel; check after the stream ends).
+    error: Option<io::Error>,
+}
+
+impl<R: Read> TraceFileReader<R> {
+    /// Opens a trace stream, validating the header.
+    ///
+    /// # Errors
+    ///
+    /// [`io::ErrorKind::InvalidData`] if the magic does not match.
+    pub fn new(mut source: R) -> io::Result<Self> {
+        let mut magic = [0u8; 8];
+        source.read_exact(&mut magic)?;
+        if magic != MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not a fosm trace file (bad magic)",
+            ));
+        }
+        Ok(TraceFileReader {
+            source,
+            prev_pc: 0,
+            read: 0,
+            finished: false,
+            error: None,
+        })
+    }
+
+    /// Records decoded so far.
+    pub fn read_count(&self) -> u64 {
+        self.read
+    }
+
+    /// The error that terminated the stream, if it was not clean EOF.
+    pub fn take_error(&mut self) -> Option<io::Error> {
+        self.error.take()
+    }
+
+    fn read_record(&mut self) -> io::Result<Option<Inst>> {
+        let mut head = [0u8; 2];
+        match self.source.read_exact(&mut head[..1]) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+            Err(e) => return Err(e),
+        }
+        self.source.read_exact(&mut head[1..])?;
+        let op = op_from_code(head[0])?;
+        let flags = head[1];
+        let pc = if flags & F_SEQ_PC != 0 {
+            self.prev_pc.wrapping_add(4)
+        } else {
+            read_varint(&mut self.source)?
+        };
+        let mut byte = [0u8; 1];
+        let mut reg = |src: &mut R| -> io::Result<Reg> {
+            src.read_exact(&mut byte)?;
+            Reg::try_new(byte[0]).ok_or_else(|| {
+                io::Error::new(io::ErrorKind::InvalidData, format!("bad register {}", byte[0]))
+            })
+        };
+        let dest = (flags & F_DEST != 0).then(|| reg(&mut self.source)).transpose()?;
+        let src0 = (flags & F_SRC0 != 0).then(|| reg(&mut self.source)).transpose()?;
+        let src1 = (flags & F_SRC1 != 0).then(|| reg(&mut self.source)).transpose()?;
+        let mem_addr = (flags & F_MEM != 0)
+            .then(|| read_varint(&mut self.source))
+            .transpose()?;
+        let branch = if flags & F_BRANCH != 0 {
+            Some(BranchInfo {
+                taken: flags & F_TAKEN != 0,
+                target: read_varint(&mut self.source)?,
+            })
+        } else {
+            None
+        };
+        let inst = Inst {
+            pc,
+            op,
+            dest,
+            srcs: [src0, src1],
+            mem_addr,
+            branch,
+        };
+        if !inst.is_well_formed() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("malformed record at index {}", self.read),
+            ));
+        }
+        self.prev_pc = pc;
+        self.read += 1;
+        Ok(Some(inst))
+    }
+}
+
+impl<R: Read> TraceSource for TraceFileReader<R> {
+    fn next_inst(&mut self) -> Option<Inst> {
+        if self.finished {
+            return None;
+        }
+        match self.read_record() {
+            Ok(Some(inst)) => Some(inst),
+            Ok(None) => {
+                self.finished = true;
+                None
+            }
+            Err(e) => {
+                self.finished = true;
+                self.error = Some(e);
+                None
+            }
+        }
+    }
+}
+
+/// Writes a whole instruction slice as a trace file.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_trace<W: Write>(sink: W, insts: &[Inst]) -> io::Result<()> {
+    let mut writer = TraceFileWriter::new(sink)?;
+    for inst in insts {
+        writer.write(inst)?;
+    }
+    writer.finish()?;
+    Ok(())
+}
+
+/// Reads a whole trace file into memory.
+///
+/// # Errors
+///
+/// [`io::ErrorKind::InvalidData`] on bad magic or malformed records;
+/// other I/O errors are propagated.
+pub fn read_trace<R: Read>(source: R) -> io::Result<VecTrace> {
+    let mut reader = TraceFileReader::new(source)?;
+    let mut insts = Vec::new();
+    while let Some(inst) = reader.next_inst() {
+        insts.push(inst);
+    }
+    if let Some(e) = reader.take_error() {
+        return Err(e);
+    }
+    Ok(VecTrace::new(insts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Inst> {
+        vec![
+            Inst::alu(0x1000, Op::IntAlu, Reg::new(1), Some(Reg::new(2)), None),
+            Inst::alu(0x1004, Op::FpMul, Reg::new(3), Some(Reg::new(1)), Some(Reg::new(2))),
+            Inst::load(0x1008, Reg::new(4), Some(Reg::new(1)), 0xdead_beef),
+            Inst::store(0x100c, Reg::new(4), None, 0x1234_5678_9abc),
+            Inst::branch(0x1010, Op::CondBranch, Some(Reg::new(4)), true, 0x1000),
+            Inst::branch(0x1000, Op::Return, None, true, 0x8000_0000),
+            Inst::nop(0x8000_0000),
+        ]
+    }
+
+    #[test]
+    fn roundtrip_preserves_every_field() {
+        let insts = sample();
+        let mut bytes = Vec::new();
+        write_trace(&mut bytes, &insts).unwrap();
+        let back = read_trace(bytes.as_slice()).unwrap();
+        assert_eq!(back.insts(), insts.as_slice());
+    }
+
+    #[test]
+    fn sequential_pcs_are_compact() {
+        // A long run of sequential nops costs 2 bytes per record.
+        let insts: Vec<Inst> = (0..1000).map(|i| Inst::nop(0x4000 + i * 4)).collect();
+        let mut bytes = Vec::new();
+        write_trace(&mut bytes, &insts).unwrap();
+        let per_record = (bytes.len() - MAGIC.len()) as f64 / 1000.0;
+        assert!(per_record < 2.2, "bytes/record {per_record}");
+        assert_eq!(read_trace(bytes.as_slice()).unwrap().len(), 1000);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let err = read_trace(&b"NOTATRACE"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_file_reports_an_error() {
+        let mut bytes = Vec::new();
+        write_trace(&mut bytes, &sample()).unwrap();
+        bytes.truncate(bytes.len() - 3);
+        let err = read_trace(bytes.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn corrupt_op_code_is_rejected() {
+        let mut bytes = Vec::new();
+        write_trace(&mut bytes, &sample()).unwrap();
+        bytes[MAGIC.len()] = 0xff; // first record's op code
+        let err = read_trace(bytes.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn corrupt_register_is_rejected() {
+        let insts = vec![Inst::alu(0, Op::IntAlu, Reg::new(1), None, None)];
+        let mut bytes = Vec::new();
+        write_trace(&mut bytes, &insts).unwrap();
+        *bytes.last_mut().unwrap() = 200; // register number out of range
+        let err = read_trace(bytes.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn streaming_reader_counts_records() {
+        let mut bytes = Vec::new();
+        write_trace(&mut bytes, &sample()).unwrap();
+        let mut reader = TraceFileReader::new(bytes.as_slice()).unwrap();
+        let mut n = 0;
+        while reader.next_inst().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, sample().len());
+        assert_eq!(reader.read_count(), n as u64);
+        assert!(reader.take_error().is_none());
+    }
+
+    #[test]
+    fn varint_roundtrip_extremes() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v).unwrap();
+            assert_eq!(read_varint(&mut buf.as_slice()).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let mut bytes = Vec::new();
+        write_trace(&mut bytes, &[]).unwrap();
+        assert_eq!(read_trace(bytes.as_slice()).unwrap().len(), 0);
+    }
+}

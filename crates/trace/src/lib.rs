@@ -1,0 +1,44 @@
+//! Instruction-trace abstractions for the first-order superscalar model.
+//!
+//! Every input to the analytical model of Karkhanis & Smith is derived
+//! from an instruction trace: cache miss rates, branch misprediction
+//! rates, and the data-dependence statistics behind the IW
+//! characteristic. This crate defines:
+//!
+//! * [`TraceSource`] — the streaming interface every trace producer
+//!   (synthetic workload generators, recorded traces) implements,
+//! * [`VecTrace`] — an owned, replayable trace buffer,
+//! * [`TraceStats`] — one-pass statistics over a trace (instruction
+//!   mix, branch demographics, register dependence distances),
+//! * adapters such as [`Take`] for bounding a stream.
+//!
+//! # Examples
+//!
+//! ```
+//! use fosm_isa::{Inst, Op, Reg};
+//! use fosm_trace::{TraceSource, TraceStats, VecTrace};
+//!
+//! let insts = vec![
+//!     Inst::alu(0, Op::IntAlu, Reg::new(1), None, None),
+//!     Inst::alu(4, Op::IntAlu, Reg::new(2), Some(Reg::new(1)), None),
+//! ];
+//! let mut trace = VecTrace::new(insts);
+//! let stats = TraceStats::from_source(&mut trace, usize::MAX);
+//! assert_eq!(stats.instructions(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod adapters;
+pub mod io;
+mod sampling;
+mod source;
+mod stats;
+mod vec_trace;
+
+pub use adapters::{Iter, Take};
+pub use sampling::Sampler;
+pub use source::TraceSource;
+pub use stats::{DependenceHistogram, TraceStats};
+pub use vec_trace::VecTrace;

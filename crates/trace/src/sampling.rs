@@ -1,0 +1,137 @@
+//! Systematic trace sampling.
+//!
+//! Long traces can be characterized from periodic sample windows
+//! instead of full runs (the idea behind SimPoint-class methodologies).
+//! [`Sampler`] passes through `sample_len` instructions out of every
+//! `period`, skipping the rest — miss *rates* and mix statistics
+//! estimated from the samples converge to the full-trace values while
+//! profiling cost drops by `period / sample_len`.
+//!
+//! Skipping instructions perturbs stateful consumers (caches and
+//! predictors warm differently), so sampled profiles trade a small bias
+//! for the speedup — the `sampling_study` harness quantifies it.
+
+use fosm_isa::Inst;
+
+use crate::TraceSource;
+
+/// A systematic sampler over a trace source.
+///
+/// # Examples
+///
+/// ```
+/// use fosm_isa::Inst;
+/// use fosm_trace::{Sampler, TraceSource, VecTrace};
+///
+/// let insts: Vec<Inst> = (0..100).map(|i| Inst::nop(i * 4)).collect();
+/// let mut sampled = Sampler::new(VecTrace::new(insts), 10, 50).unwrap();
+/// // 10 out of every 50: two sample windows in 100 instructions.
+/// assert_eq!(sampled.iter().count(), 20);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sampler<S> {
+    inner: S,
+    sample_len: u64,
+    period: u64,
+    position: u64,
+    sampled: u64,
+}
+
+impl<S: TraceSource> Sampler<S> {
+    /// Samples the first `sample_len` instructions of every `period`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if `sample_len` is zero or exceeds `period`.
+    pub fn new(inner: S, sample_len: u64, period: u64) -> Result<Self, String> {
+        if sample_len == 0 {
+            return Err("sample length must be non-zero".into());
+        }
+        if sample_len > period {
+            return Err(format!(
+                "sample length {sample_len} cannot exceed the period {period}"
+            ));
+        }
+        Ok(Sampler {
+            inner,
+            sample_len,
+            period,
+            position: 0,
+            sampled: 0,
+        })
+    }
+
+    /// Instructions passed through so far.
+    pub fn sampled(&self) -> u64 {
+        self.sampled
+    }
+
+    /// The fraction of the stream this sampler passes through.
+    pub fn sampling_ratio(&self) -> f64 {
+        self.sample_len as f64 / self.period as f64
+    }
+
+    /// Returns the underlying source.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: TraceSource> TraceSource for Sampler<S> {
+    fn next_inst(&mut self) -> Option<Inst> {
+        loop {
+            let in_sample = self.position % self.period < self.sample_len;
+            self.position += 1;
+            let inst = self.inner.next_inst()?;
+            if in_sample {
+                self.sampled += 1;
+                return Some(inst);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VecTrace;
+
+    fn numbered(n: u64) -> VecTrace {
+        VecTrace::new((0..n).map(|i| Inst::nop(i * 4)).collect())
+    }
+
+    #[test]
+    fn samples_the_window_prefix_of_each_period() {
+        let mut s = Sampler::new(numbered(20), 2, 5).unwrap();
+        let pcs: Vec<u64> = s.iter().map(|i| i.pc / 4).collect();
+        assert_eq!(pcs, vec![0, 1, 5, 6, 10, 11, 15, 16]);
+        assert_eq!(s.sampled(), 8);
+    }
+
+    #[test]
+    fn full_sampling_is_identity() {
+        let mut s = Sampler::new(numbered(10), 5, 5).unwrap();
+        assert_eq!(s.iter().count(), 10);
+        assert_eq!(s.sampling_ratio(), 1.0);
+    }
+
+    #[test]
+    fn ratio_and_counts_match() {
+        let mut s = Sampler::new(numbered(1000), 10, 100).unwrap();
+        let n = s.iter().count();
+        assert_eq!(n, 100);
+        assert!((s.sampling_ratio() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_degenerate_parameters() {
+        assert!(Sampler::new(numbered(1), 0, 10).is_err());
+        assert!(Sampler::new(numbered(1), 11, 10).is_err());
+    }
+
+    #[test]
+    fn into_inner_returns_the_source() {
+        let s = Sampler::new(numbered(5), 1, 2).unwrap();
+        assert_eq!(s.into_inner().len(), 5);
+    }
+}

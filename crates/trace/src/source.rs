@@ -1,0 +1,96 @@
+//! The trace-producer interface.
+
+use fosm_isa::Inst;
+
+use crate::adapters::{Iter, Take};
+
+/// A producer of dynamic instructions.
+///
+/// A `TraceSource` is a pull-based stream: each call to
+/// [`next_inst`](TraceSource::next_inst) yields the next dynamic
+/// instruction, or `None` when the trace is exhausted. Synthetic
+/// workload generators are conceptually infinite and never return
+/// `None`; bound them with [`take`](TraceSource::take).
+///
+/// The trait is object-safe, so heterogeneous trace pipelines can be
+/// built from `Box<dyn TraceSource>`.
+///
+/// # Examples
+///
+/// ```
+/// use fosm_isa::{Inst, Op, Reg};
+/// use fosm_trace::{TraceSource, VecTrace};
+///
+/// let mut t = VecTrace::new(vec![Inst::nop(0), Inst::nop(4)]);
+/// assert_eq!(t.take(1).iter().count(), 1);
+/// ```
+pub trait TraceSource {
+    /// Produces the next dynamic instruction, or `None` at end of trace.
+    fn next_inst(&mut self) -> Option<Inst>;
+
+    /// Bounds this source to at most `n` further instructions.
+    fn take(&mut self, n: u64) -> Take<'_, Self>
+    where
+        Self: Sized,
+    {
+        Take::new(self, n)
+    }
+
+    /// Views this source as a standard [`Iterator`] over instructions.
+    fn iter(&mut self) -> Iter<'_, Self>
+    where
+        Self: Sized,
+    {
+        Iter::new(self)
+    }
+}
+
+impl<T: TraceSource + ?Sized> TraceSource for &mut T {
+    fn next_inst(&mut self) -> Option<Inst> {
+        (**self).next_inst()
+    }
+}
+
+impl<T: TraceSource + ?Sized> TraceSource for Box<T> {
+    fn next_inst(&mut self) -> Option<Inst> {
+        (**self).next_inst()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VecTrace;
+    use fosm_isa::Inst;
+
+    fn nops(n: usize) -> VecTrace {
+        VecTrace::new((0..n).map(|i| Inst::nop(i as u64 * 4)).collect())
+    }
+
+    #[test]
+    fn mut_ref_and_box_forward() {
+        let mut t = nops(3);
+        {
+            let mut r: &mut VecTrace = &mut t;
+            assert!(TraceSource::next_inst(&mut r).is_some());
+        }
+        let mut b: Box<dyn TraceSource> = Box::new(nops(1));
+        assert!(b.next_inst().is_some());
+        assert!(b.next_inst().is_none());
+    }
+
+    #[test]
+    fn take_bounds_the_stream() {
+        let mut t = nops(10);
+        let got: Vec<_> = t.take(4).iter().collect();
+        assert_eq!(got.len(), 4);
+        // The rest is still available on the underlying source.
+        assert_eq!(t.iter().count(), 6);
+    }
+
+    #[test]
+    fn take_zero_is_empty() {
+        let mut t = nops(5);
+        assert_eq!(t.take(0).iter().count(), 0);
+    }
+}

@@ -1,0 +1,312 @@
+//! One-pass trace statistics.
+
+use fosm_isa::{Inst, LatencyTable, Op, NUM_OP_CLASSES, NUM_REGS};
+use serde::{Deserialize, Serialize};
+
+use crate::TraceSource;
+
+/// Histogram of register dependence distances.
+///
+/// The *dependence distance* of a source operand is the number of
+/// dynamic instructions between the consumer and the most recent writer
+/// of that register (distance 1 = the immediately preceding
+/// instruction). Short distances mean tight dependence chains and low
+/// instruction-level parallelism; the distribution is the program
+/// property underlying the power-law IW characteristic of paper §3.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DependenceHistogram {
+    /// `counts[d]` = number of source operands at distance `d`
+    /// (index 0 is unused; distances ≥ `counts.len()-1` clamp into the
+    /// last bucket).
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl DependenceHistogram {
+    /// Largest individually-tracked distance; longer ones share a bucket.
+    pub const MAX_DISTANCE: usize = 4096;
+
+    pub(crate) fn new() -> Self {
+        DependenceHistogram {
+            counts: vec![0; Self::MAX_DISTANCE + 1],
+            total: 0,
+        }
+    }
+
+    pub(crate) fn observe(&mut self, distance: u64) {
+        let d = (distance as usize).clamp(1, Self::MAX_DISTANCE);
+        self.counts[d] += 1;
+        self.total += 1;
+    }
+
+    /// Number of operands observed at exactly `distance` (clamped to
+    /// the final bucket).
+    pub fn count(&self, distance: usize) -> u64 {
+        self.counts[distance.clamp(1, Self::MAX_DISTANCE)]
+    }
+
+    /// Total operands observed.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Fraction of operands with distance ≤ `distance`.
+    ///
+    /// Returns 0.0 when the histogram is empty.
+    pub fn cumulative(&self, distance: usize) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let d = distance.min(Self::MAX_DISTANCE);
+        let below: u64 = self.counts[..=d].iter().sum();
+        below as f64 / self.total as f64
+    }
+
+    /// Mean dependence distance (clamped observations included as the
+    /// clamp value). Returns 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let weighted: f64 = self
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(d, &n)| d as f64 * n as f64)
+            .sum();
+        weighted / self.total as f64
+    }
+}
+
+/// One-pass statistics over an instruction trace.
+///
+/// `TraceStats` is the cheap, functional-level characterization step the
+/// paper's methodology begins with: instruction mix (for the average
+/// functional-unit latency `L`), branch demographics, and the register
+/// dependence-distance histogram.
+///
+/// # Examples
+///
+/// ```
+/// use fosm_isa::{Inst, Op, Reg};
+/// use fosm_trace::{TraceStats, VecTrace};
+///
+/// let mut t = VecTrace::new(vec![
+///     Inst::alu(0, Op::IntMul, Reg::new(1), None, None),
+///     Inst::branch(4, Op::CondBranch, Some(Reg::new(1)), true, 0),
+/// ]);
+/// let stats = TraceStats::from_source(&mut t, u64::MAX as usize);
+/// assert_eq!(stats.instructions(), 2);
+/// assert_eq!(stats.cond_branches(), 1);
+/// assert_eq!(stats.op_count(Op::IntMul), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceStats {
+    mix: [u64; NUM_OP_CLASSES],
+    instructions: u64,
+    cond_branches: u64,
+    taken_cond_branches: u64,
+    dependences: DependenceHistogram,
+}
+
+impl TraceStats {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        TraceStats {
+            mix: [0; NUM_OP_CLASSES],
+            instructions: 0,
+            cond_branches: 0,
+            taken_cond_branches: 0,
+            dependences: DependenceHistogram::new(),
+        }
+    }
+
+    /// Consumes up to `max_insts` instructions from `source` and returns
+    /// the resulting statistics.
+    pub fn from_source<S: TraceSource>(source: &mut S, max_insts: usize) -> Self {
+        let mut stats = TraceStats::new();
+        let mut last_writer = [u64::MAX; NUM_REGS];
+        for _ in 0..max_insts {
+            let Some(inst) = source.next_inst() else { break };
+            stats.observe(&inst, &mut last_writer);
+        }
+        stats
+    }
+
+    fn observe(&mut self, inst: &Inst, last_writer: &mut [u64; NUM_REGS]) {
+        let idx = self.instructions;
+        self.instructions += 1;
+        self.mix[inst.op.index()] += 1;
+        if inst.op.is_cond_branch() {
+            self.cond_branches += 1;
+            if inst.branch.map(|b| b.taken).unwrap_or(false) {
+                self.taken_cond_branches += 1;
+            }
+        }
+        for src in inst.sources() {
+            let w = last_writer[src.index()];
+            if w != u64::MAX {
+                self.dependences.observe(idx - w);
+            }
+        }
+        if let Some(dest) = inst.dest {
+            last_writer[dest.index()] = idx;
+        }
+    }
+
+    /// Total instructions observed.
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    /// Dynamic count of operation class `op`.
+    pub fn op_count(&self, op: Op) -> u64 {
+        self.mix[op.index()]
+    }
+
+    /// The raw per-class dynamic mix, in [`Op::ALL`] index order.
+    pub fn mix(&self) -> &[u64; NUM_OP_CLASSES] {
+        &self.mix
+    }
+
+    /// Dynamic count of conditional branches.
+    pub fn cond_branches(&self) -> u64 {
+        self.cond_branches
+    }
+
+    /// Fraction of conditional branches that were taken (0 if none).
+    pub fn taken_fraction(&self) -> f64 {
+        if self.cond_branches == 0 {
+            0.0
+        } else {
+            self.taken_cond_branches as f64 / self.cond_branches as f64
+        }
+    }
+
+    /// Fraction of all instructions that are conditional branches.
+    pub fn branch_fraction(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.cond_branches as f64 / self.instructions as f64
+        }
+    }
+
+    /// Fraction of all instructions that are loads.
+    pub fn load_fraction(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.op_count(Op::Load) as f64 / self.instructions as f64
+        }
+    }
+
+    /// The register dependence-distance histogram.
+    pub fn dependences(&self) -> &DependenceHistogram {
+        &self.dependences
+    }
+
+    /// Mean functional-unit latency of the observed mix under `table`.
+    ///
+    /// This is the `L` of the paper's Little's-Law adjustment *before*
+    /// folding in short data-cache misses.
+    pub fn average_latency(&self, table: &LatencyTable) -> f64 {
+        table.average_over(&self.mix)
+    }
+}
+
+impl Default for TraceStats {
+    fn default() -> Self {
+        TraceStats::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VecTrace;
+    use fosm_isa::Reg;
+
+    fn chain(n: usize) -> VecTrace {
+        // r1 <- r1 every instruction: every operand has distance 1.
+        (0..n)
+            .map(|i| Inst::alu(i as u64 * 4, Op::IntAlu, Reg::new(1), Some(Reg::new(1)), None))
+            .collect()
+    }
+
+    #[test]
+    fn counts_mix_and_branches() {
+        let mut t = VecTrace::new(vec![
+            Inst::alu(0, Op::IntAlu, Reg::new(1), None, None),
+            Inst::load(4, Reg::new(2), None, 0x10),
+            Inst::branch(8, Op::CondBranch, Some(Reg::new(2)), true, 0x0),
+            Inst::branch(12, Op::CondBranch, Some(Reg::new(2)), false, 0x20),
+            Inst::branch(16, Op::Jump, None, true, 0x30),
+        ]);
+        let s = TraceStats::from_source(&mut t, usize::MAX);
+        assert_eq!(s.instructions(), 5);
+        assert_eq!(s.op_count(Op::Load), 1);
+        assert_eq!(s.cond_branches(), 2);
+        assert!((s.taken_fraction() - 0.5).abs() < 1e-12);
+        assert!((s.branch_fraction() - 0.4).abs() < 1e-12);
+        assert!((s.load_fraction() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dependence_distances_of_a_tight_chain() {
+        let mut t = chain(10);
+        let s = TraceStats::from_source(&mut t, usize::MAX);
+        // First instruction has no prior writer; 9 operands at distance 1.
+        assert_eq!(s.dependences().total(), 9);
+        assert_eq!(s.dependences().count(1), 9);
+        assert!((s.dependences().mean() - 1.0).abs() < 1e-12);
+        assert!((s.dependences().cumulative(1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dependence_distance_measures_gap() {
+        let mut t = VecTrace::new(vec![
+            Inst::alu(0, Op::IntAlu, Reg::new(1), None, None),
+            Inst::nop(4),
+            Inst::nop(8),
+            Inst::alu(12, Op::IntAlu, Reg::new(2), Some(Reg::new(1)), None),
+        ]);
+        let s = TraceStats::from_source(&mut t, usize::MAX);
+        assert_eq!(s.dependences().count(3), 1);
+        assert_eq!(s.dependences().total(), 1);
+    }
+
+    #[test]
+    fn long_distances_clamp() {
+        let mut h = DependenceHistogram::new();
+        h.observe(1_000_000);
+        assert_eq!(h.count(DependenceHistogram::MAX_DISTANCE), 1);
+        assert!((h.cumulative(DependenceHistogram::MAX_DISTANCE) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_insts_bounds_consumption() {
+        let mut t = chain(10);
+        let s = TraceStats::from_source(&mut t, 4);
+        assert_eq!(s.instructions(), 4);
+    }
+
+    #[test]
+    fn average_latency_reflects_mix() {
+        let mut t = VecTrace::new(vec![
+            Inst::alu(0, Op::IntMul, Reg::new(1), None, None), // 3 cycles
+            Inst::alu(4, Op::IntAlu, Reg::new(2), None, None), // 1 cycle
+        ]);
+        let s = TraceStats::from_source(&mut t, usize::MAX);
+        assert!((s.average_latency(&LatencyTable::default()) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_are_zeroed() {
+        let s = TraceStats::default();
+        assert_eq!(s.instructions(), 0);
+        assert_eq!(s.taken_fraction(), 0.0);
+        assert_eq!(s.branch_fraction(), 0.0);
+        assert_eq!(s.dependences().mean(), 0.0);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests for the trace layer.
+
+use fosm_isa::{Inst, Op, Reg};
+use fosm_trace::{TraceSource, TraceStats, VecTrace};
+use proptest::prelude::*;
+
+fn inst_strategy() -> impl Strategy<Value = Inst> {
+    prop_oneof![
+        (0u8..48, prop::option::of(0u8..48), prop::option::of(0u8..48)).prop_map(|(d, a, b)| {
+            Inst::alu(0, Op::IntAlu, Reg::new(d), a.map(Reg::new), b.map(Reg::new))
+        }),
+        (0u8..48, prop::option::of(0u8..48), 0u64..1 << 20)
+            .prop_map(|(d, b, addr)| Inst::load(0, Reg::new(d), b.map(Reg::new), addr)),
+        (0u8..48, 0u64..1 << 20).prop_map(|(v, addr)| Inst::store(0, Reg::new(v), None, addr)),
+        (any::<bool>(), 0u64..1 << 20)
+            .prop_map(|(taken, target)| Inst::branch(0, Op::CondBranch, None, taken, target)),
+    ]
+}
+
+fn trace_strategy() -> impl Strategy<Value = Vec<Inst>> {
+    prop::collection::vec(inst_strategy(), 0..300).prop_map(|mut insts| {
+        for (i, inst) in insts.iter_mut().enumerate() {
+            inst.pc = i as u64 * 4;
+        }
+        insts
+    })
+}
+
+proptest! {
+    /// Replay yields exactly the recorded instructions, in order,
+    /// however the stream is chunked with take().
+    #[test]
+    fn record_and_replay_roundtrip(insts in trace_strategy(), chunk in 1u64..50) {
+        let mut origin = VecTrace::new(insts.clone());
+        let mut collected = Vec::new();
+        loop {
+            let before = collected.len();
+            collected.extend(origin.take(chunk).iter());
+            if collected.len() == before {
+                break;
+            }
+        }
+        prop_assert_eq!(collected, insts);
+    }
+
+    /// Stats counters partition the instruction stream.
+    #[test]
+    fn stats_partition_the_stream(insts in trace_strategy()) {
+        let n = insts.len() as u64;
+        let mut t = VecTrace::new(insts);
+        let stats = TraceStats::from_source(&mut t, usize::MAX);
+        prop_assert_eq!(stats.instructions(), n);
+        let mix_total: u64 = stats.mix().iter().sum();
+        prop_assert_eq!(mix_total, n);
+        prop_assert!(stats.cond_branches() <= n);
+        prop_assert!((0.0..=1.0).contains(&stats.taken_fraction()));
+        prop_assert!((0.0..=1.0).contains(&stats.branch_fraction()));
+        // At most two operands per instruction.
+        prop_assert!(stats.dependences().total() <= 2 * n);
+    }
+
+    /// Dependence distances are positive and the histogram is
+    /// consistent with its cumulative view.
+    #[test]
+    fn dependence_histogram_consistency(insts in trace_strategy()) {
+        let mut t = VecTrace::new(insts);
+        let stats = TraceStats::from_source(&mut t, usize::MAX);
+        let h = stats.dependences();
+        prop_assert_eq!(h.count(0), h.count(1), "distance 0 clamps to 1");
+        if h.total() > 0 {
+            prop_assert!(h.mean() >= 1.0);
+            let full = h.cumulative(fosm_trace::DependenceHistogram::MAX_DISTANCE);
+            prop_assert!((full - 1.0).abs() < 1e-9);
+            let mut prev = 0.0;
+            for d in [1usize, 2, 4, 16, 64, 512] {
+                let c = h.cumulative(d);
+                prop_assert!(c + 1e-12 >= prev);
+                prev = c;
+            }
+        }
+    }
+
+    /// The binary trace format round-trips arbitrary well-formed
+    /// instruction sequences exactly.
+    #[test]
+    fn trace_file_roundtrip(insts in trace_strategy()) {
+        let mut bytes = Vec::new();
+        fosm_trace::io::write_trace(&mut bytes, &insts).unwrap();
+        let back = fosm_trace::io::read_trace(bytes.as_slice()).unwrap();
+        prop_assert_eq!(back.insts(), insts.as_slice());
+        // Compactness: bounded well below a naive fixed encoding.
+        prop_assert!(bytes.len() <= 8 + insts.len() * 24 + 16);
+    }
+
+    /// Reset makes replays identical.
+    #[test]
+    fn reset_is_idempotent(insts in trace_strategy(), consumed in 0usize..50) {
+        let mut t = VecTrace::new(insts);
+        for _ in 0..consumed {
+            t.next_inst();
+        }
+        t.reset();
+        let first: Vec<_> = t.iter().collect();
+        t.reset();
+        let second: Vec<_> = t.iter().collect();
+        prop_assert_eq!(first, second);
+    }
+}

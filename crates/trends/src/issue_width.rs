@@ -1,0 +1,255 @@
+//! Issue-width study (paper §6.2, Fig. 18–19).
+
+use fosm_core::ModelError;
+use fosm_depgraph::IwCharacteristic;
+use serde::{Deserialize, Serialize};
+
+/// The issue-width study of paper §6.2: how good must branch prediction
+/// be (measured as instructions between mispredictions) for a machine
+/// to spend a given fraction of its time issuing near its full width?
+///
+/// "Close to the implemented issue width" means within 12.5% of it, as
+/// in the paper.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IssueWidthStudy {
+    /// The IW characteristic assumed for the workload.
+    pub iw: IwCharacteristic,
+    /// Issue-window size (large enough not to be the limiter).
+    pub win_size: u32,
+    /// Front-end pipeline depth ∆P.
+    pub pipe_depth: u32,
+    /// "Close" threshold as a fraction of the issue width (paper: 0.125).
+    pub closeness: f64,
+}
+
+/// The issue-rate timeline between two mispredictions, and summary
+/// time-at-peak statistics (one curve of the paper's Fig. 19).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpochProfile {
+    /// Issue rate per cycle from one misprediction's resolution to the
+    /// next misprediction's resolution.
+    pub rates: Vec<f64>,
+    /// Useful instructions issued over the epoch.
+    pub instructions: f64,
+    /// Fraction of epoch cycles spent within the closeness threshold of
+    /// the full issue width.
+    pub fraction_near_max: f64,
+}
+
+impl IssueWidthStudy {
+    /// The paper's configuration: ∆P = 5, "close" = within 12.5%.
+    pub fn paper(iw: IwCharacteristic) -> Self {
+        IssueWidthStudy {
+            iw,
+            win_size: 1024,
+            pipe_depth: 5,
+            closeness: 0.125,
+        }
+    }
+
+    /// Walks one inter-misprediction epoch of `distance` useful
+    /// instructions on a `width`-wide machine (Fig. 19).
+    ///
+    /// After the previous misprediction resolves, the pipeline refills
+    /// for ∆P dead cycles; dispatch then inserts `width` instructions
+    /// per cycle while issue follows the IW characteristic. Once all
+    /// `distance` instructions have been dispatched (the next
+    /// mispredicted branch has entered the window), dispatch stops and
+    /// the window drains — so short distances cut the ramp off early,
+    /// exactly as in the paper's figure where a width-8 machine barely
+    /// exceeds 6 IPC before the next flush.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::InvalidParams`] for a zero width or a
+    /// non-positive distance.
+    pub fn epoch(&self, width: u32, distance: f64) -> Result<EpochProfile, ModelError> {
+        if width == 0 {
+            return Err(ModelError::InvalidParams("width must be non-zero".into()));
+        }
+        if distance <= 0.0 || distance.is_nan() {
+            return Err(ModelError::InvalidParams(format!(
+                "distance {distance} must be positive"
+            )));
+        }
+        let mut rates = vec![0.0; self.pipe_depth as usize];
+        let mut w = 0.0f64;
+        let mut to_dispatch = distance;
+        let mut issued = 0.0;
+        // Dispatch phase completes in distance/width cycles; the drain
+        // tail shrinks the residual occupancy geometrically, so cap the
+        // walk generously.
+        let max_cycles = (2.0 * distance / width as f64) as usize + 16 * self.win_size as usize;
+        for _ in 0..max_cycles {
+            let dispatch = (width as f64).min(to_dispatch).min(self.win_size as f64 - w);
+            w += dispatch;
+            to_dispatch -= dispatch;
+            let rate = self.iw.issue_rate(w, Some(width)).min(w);
+            rates.push(rate);
+            issued += rate;
+            w -= rate;
+            // Epoch ends when only the resolving branch remains.
+            if to_dispatch <= 0.0 && w <= 1.0 {
+                break;
+            }
+        }
+        let threshold = (1.0 - self.closeness) * width as f64;
+        let near = rates.iter().filter(|&&r| r >= threshold).count();
+        Ok(EpochProfile {
+            fraction_near_max: near as f64 / rates.len() as f64,
+            instructions: issued,
+            rates,
+        })
+    }
+
+    /// Fig. 18: the number of instructions between mispredictions
+    /// needed to spend `fraction` of the time within the closeness
+    /// threshold of the full width (found by bisection over
+    /// [`epoch`](Self::epoch)).
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::InvalidParams`] if `fraction` is not in `(0, 1)`,
+    /// the width is zero, or the machine cannot reach the threshold at
+    /// all (its steady rate is below it — e.g. the window is too small
+    /// to saturate the width).
+    pub fn distance_for_fraction(&self, width: u32, fraction: f64) -> Result<f64, ModelError> {
+        if width == 0 {
+            return Err(ModelError::InvalidParams("width must be non-zero".into()));
+        }
+        if !(0.0 < fraction && fraction < 1.0) {
+            return Err(ModelError::InvalidParams(format!(
+                "fraction {fraction} must be in (0, 1)"
+            )));
+        }
+        let steady = self.iw.steady_state_ipc(self.win_size, width);
+        let threshold = (1.0 - self.closeness) * width as f64;
+        if steady < threshold {
+            return Err(ModelError::InvalidParams(format!(
+                "steady-state rate {steady:.2} never reaches the near-max threshold {threshold:.2}"
+            )));
+        }
+
+        // Grow until the fraction is reached, then bisect.
+        let mut lo = width as f64;
+        let mut hi = lo;
+        for _ in 0..64 {
+            if self.epoch(width, hi)?.fraction_near_max >= fraction {
+                break;
+            }
+            lo = hi;
+            hi *= 2.0;
+        }
+        for _ in 0..64 {
+            let mid = 0.5 * (lo + hi);
+            if self.epoch(width, mid)?.fraction_near_max >= fraction {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+            if hi - lo < 1.0 {
+                break;
+            }
+        }
+        Ok(hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fosm_depgraph::PowerLaw;
+
+    fn study() -> IssueWidthStudy {
+        IssueWidthStudy::paper(IwCharacteristic::new(PowerLaw::square_root(), 1.0).unwrap())
+    }
+
+    #[test]
+    fn epoch_shape_matches_fig19() {
+        let s = study();
+        let e = s.epoch(4, 200.0).unwrap();
+        // Starts with the dead refill (zeros).
+        assert_eq!(e.rates[0], 0.0);
+        // Issues (nearly) all useful instructions of the epoch.
+        assert!((e.instructions - 200.0).abs() < 4.5, "issued {}", e.instructions);
+        // Gets essentially to full width somewhere in the middle (the
+        // occupancy approaches its fixed point asymptotically).
+        assert!(e.rates.iter().any(|&r| r > 3.9));
+        assert!(e.fraction_near_max > 0.0 && e.fraction_near_max < 1.0);
+    }
+
+    #[test]
+    fn short_epochs_cut_the_ramp_off_early() {
+        // Fig. 19: with the paper's inter-misprediction distances, a
+        // width-8 machine barely exceeds 6 issues per cycle.
+        let s = study();
+        let e = s.epoch(8, 120.0).unwrap();
+        let peak = e.rates.iter().fold(0.0f64, |a, &b| a.max(b));
+        assert!(peak < 8.0, "peak {peak} should not reach the full width");
+        assert!(peak > 3.0, "peak {peak} should still ramp substantially");
+    }
+
+    #[test]
+    fn doubling_width_requires_quadrupling_distance() {
+        // The paper's headline conclusion (Fig. 18): same time-at-peak
+        // fraction at 2x width needs ~4x instructions between
+        // mispredictions (for the square-root characteristic).
+        let s = study();
+        for fraction in [0.2, 0.4] {
+            let d4 = s.distance_for_fraction(4, fraction).unwrap();
+            let d8 = s.distance_for_fraction(8, fraction).unwrap();
+            let ratio = d8 / d4;
+            assert!(
+                (2.5..=6.0).contains(&ratio),
+                "fraction {fraction}: d4 {d4:.0}, d8 {d8:.0}, ratio {ratio} should be ≈4"
+            );
+        }
+    }
+
+    #[test]
+    fn distance_increases_with_target_fraction() {
+        let s = study();
+        let lo = s.distance_for_fraction(4, 0.2).unwrap();
+        let hi = s.distance_for_fraction(4, 0.7).unwrap();
+        assert!(hi > 2.0 * lo, "lo {lo}, hi {hi}");
+    }
+
+    #[test]
+    fn forward_and_inverse_agree() {
+        let s = study();
+        for target in [0.3, 0.5] {
+            let d = s.distance_for_fraction(4, target).unwrap();
+            let f = s.epoch(4, d).unwrap().fraction_near_max;
+            assert!(
+                (f - target).abs() < 0.05,
+                "target {target}: round-trip fraction {f} at distance {d:.0}"
+            );
+        }
+    }
+
+    #[test]
+    fn longer_epochs_spend_more_time_at_peak() {
+        let s = study();
+        let short = s.epoch(8, 600.0).unwrap();
+        let long = s.epoch(8, 6000.0).unwrap();
+        assert!(long.fraction_near_max > short.fraction_near_max);
+    }
+
+    #[test]
+    fn unsaturable_machine_is_rejected() {
+        // Window of 4 can never feed a width-8 machine near its peak.
+        let mut s = study();
+        s.win_size = 4;
+        assert!(s.distance_for_fraction(8, 0.5).is_err());
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let s = study();
+        assert!(s.epoch(0, 100.0).is_err());
+        assert!(s.epoch(4, 0.0).is_err());
+        assert!(s.distance_for_fraction(4, 0.0).is_err());
+        assert!(s.distance_for_fraction(4, 1.0).is_err());
+        assert!(s.distance_for_fraction(0, 0.5).is_err());
+    }
+}

@@ -1,0 +1,36 @@
+//! Microarchitecture trend studies built on the first-order model
+//! (paper §6).
+//!
+//! The paper closes by using the model for two forward-looking
+//! analyses, both reproduced here:
+//!
+//! * [`pipeline`] — the effect of front-end pipeline depth on IPC and
+//!   absolute performance (Fig. 17a/b), recovering the classic optimal
+//!   pipeline-depth results of Hartstein & Puzak and Sprangle &
+//!   Carmean: ≈55 front-end stages at issue width 3 with the paper's
+//!   circuit parameters, with the optimum moving to shorter pipelines
+//!   as the machine widens.
+//! * [`issue_width`] — the branch-prediction requirements of wider
+//!   issue (Fig. 18/19): keeping the same fraction of time near peak
+//!   issue rate when the width doubles requires the distance between
+//!   mispredictions to roughly *quadruple*.
+//!
+//! # Examples
+//!
+//! ```
+//! use fosm_trends::pipeline::PipelineStudy;
+//!
+//! let study = PipelineStudy::paper();
+//! let series = study.sweep(3, 1..=80)?;
+//! let best = study.optimal_depth(3, 1..=80)?;
+//! // Sprangle & Carmean's optimum: ~55 front-end stages at width 3.
+//! assert!((40..=70).contains(&best));
+//! assert!(series.len() == 80);
+//! # Ok::<(), fosm_core::ModelError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod issue_width;
+pub mod pipeline;

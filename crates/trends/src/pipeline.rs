@@ -1,0 +1,235 @@
+//! Pipeline-depth study (paper §6.1, Fig. 17).
+
+use fosm_core::branch::{self, BurstAssumption};
+use fosm_core::transient::{ramp_up, win_drain};
+use fosm_core::{ModelError, ProcessorParams};
+use fosm_depgraph::{IwCharacteristic, PowerLaw};
+use serde::{Deserialize, Serialize};
+
+/// One point of a depth sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DepthPoint {
+    /// Front-end pipeline depth in stages.
+    pub depth: u32,
+    /// Model IPC at that depth.
+    pub ipc: f64,
+    /// Clock frequency in GHz implied by the circuit parameters.
+    pub frequency_ghz: f64,
+    /// Absolute performance in billions of instructions per second.
+    pub bips: f64,
+}
+
+/// The pipeline-depth study of paper §6.1.
+///
+/// Branch mispredictions are the limiter: the study assumes a fixed
+/// misprediction density (the paper: one in five instructions is a
+/// branch, 5% of branches mispredict) and asks how IPC and absolute
+/// performance change as the front end deepens. Absolute performance
+/// uses the paper's circuit numbers (from Sprangle & Carmean): total
+/// front-end logic depth of 8200 ps and 90 ps of flip-flop overhead
+/// per stage, so an `n`-stage pipeline clocks at `8200/n + 90` ps.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineStudy {
+    /// The IW characteristic assumed for the workload.
+    pub iw: IwCharacteristic,
+    /// Issue-window size.
+    pub win_size: u32,
+    /// ROB size (structural only; penalties here are branch-driven).
+    pub rob_size: u32,
+    /// Fraction of instructions that are conditional branches.
+    pub branch_fraction: f64,
+    /// Fraction of branches that mispredict.
+    pub mispredict_rate: f64,
+    /// Total front-end logic delay, in picoseconds.
+    pub logic_delay_ps: f64,
+    /// Per-stage flip-flop/latch overhead, in picoseconds.
+    pub ff_overhead_ps: f64,
+    /// Burst assumption for the misprediction penalty.
+    pub burst: BurstAssumption,
+}
+
+impl PipelineStudy {
+    /// The paper's configuration: square-root IW characteristic, 1-in-5
+    /// branches, 5% misprediction rate, 8200 ps logic, 90 ps overhead.
+    pub fn paper() -> Self {
+        PipelineStudy {
+            iw: IwCharacteristic::new(PowerLaw::square_root(), 1.0)
+                .expect("square-root law is valid"),
+            win_size: 256,
+            rob_size: 512,
+            branch_fraction: 0.2,
+            mispredict_rate: 0.05,
+            logic_delay_ps: 8200.0,
+            ff_overhead_ps: 90.0,
+            burst: BurstAssumption::Isolated,
+        }
+    }
+
+    /// Mispredictions per instruction assumed by the study.
+    pub fn mispredicts_per_inst(&self) -> f64 {
+        self.branch_fraction * self.mispredict_rate
+    }
+
+    /// Clock frequency in GHz of an `n`-stage front end.
+    pub fn frequency_ghz(&self, depth: u32) -> f64 {
+        1000.0 / (self.logic_delay_ps / depth as f64 + self.ff_overhead_ps)
+    }
+
+    /// Model IPC at one (width, depth) point.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::InvalidParams`] if width or depth is zero.
+    pub fn ipc(&self, width: u32, depth: u32) -> Result<f64, ModelError> {
+        if width == 0 || depth == 0 {
+            return Err(ModelError::InvalidParams(
+                "width and depth must be non-zero".into(),
+            ));
+        }
+        let params = ProcessorParams {
+            width,
+            win_size: self.win_size,
+            rob_size: self.rob_size.max(self.win_size),
+            pipe_depth: depth,
+            ..ProcessorParams::baseline()
+        };
+        let steady = self.iw.steady_state_ipc(self.win_size, width);
+        let penalty = branch::penalty(&self.iw, &params, self.burst);
+        let cpi = 1.0 / steady + self.mispredicts_per_inst() * penalty;
+        Ok(1.0 / cpi)
+    }
+
+    /// Sweeps depths for one width (one curve of Fig. 17a/b).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ModelError::InvalidParams`] from [`ipc`](Self::ipc).
+    pub fn sweep(
+        &self,
+        width: u32,
+        depths: impl IntoIterator<Item = u32>,
+    ) -> Result<Vec<DepthPoint>, ModelError> {
+        depths
+            .into_iter()
+            .map(|depth| {
+                let ipc = self.ipc(width, depth)?;
+                let frequency_ghz = self.frequency_ghz(depth);
+                Ok(DepthPoint {
+                    depth,
+                    ipc,
+                    frequency_ghz,
+                    bips: ipc * frequency_ghz,
+                })
+            })
+            .collect()
+    }
+
+    /// The depth maximizing absolute performance (BIPS) for a width.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::InvalidParams`] if the depth range is empty or
+    /// contains zero.
+    pub fn optimal_depth(
+        &self,
+        width: u32,
+        depths: impl IntoIterator<Item = u32>,
+    ) -> Result<u32, ModelError> {
+        let series = self.sweep(width, depths)?;
+        series
+            .iter()
+            .max_by(|a, b| a.bips.total_cmp(&b.bips))
+            .map(|p| p.depth)
+            .ok_or_else(|| ModelError::InvalidParams("empty depth range".into()))
+    }
+
+    /// Per-misprediction penalty at one (width, depth) point — exposes
+    /// the drain/ramp/refill decomposition for reporting.
+    pub fn penalty_parts(&self, width: u32, depth: u32) -> (f64, f64, f64) {
+        let drain = win_drain(&self.iw, width, self.win_size).penalty;
+        let ramp = ramp_up(&self.iw, width, self.win_size).penalty;
+        (drain, depth as f64, ramp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_decreases_with_depth() {
+        let s = PipelineStudy::paper();
+        let series = s.sweep(4, [1, 5, 20, 50, 100]).unwrap();
+        for pair in series.windows(2) {
+            assert!(pair[1].ipc < pair[0].ipc, "{pair:?}");
+        }
+    }
+
+    #[test]
+    fn wider_issue_advantage_shrinks_with_depth() {
+        // Fig. 17a: as the front end deepens, the IPC advantage of
+        // wider issue diminishes (relatively).
+        let s = PipelineStudy::paper();
+        let shallow8 = s.ipc(8, 2).unwrap() / s.ipc(2, 2).unwrap();
+        let deep8 = s.ipc(8, 80).unwrap() / s.ipc(2, 80).unwrap();
+        assert!(
+            deep8 < shallow8,
+            "width-8 advantage should shrink: shallow {shallow8}, deep {deep8}"
+        );
+    }
+
+    #[test]
+    fn optimal_depth_matches_sprangle_carmean_at_width_3() {
+        // Paper: "for the issue width 3 curve we get the same result as
+        // reported in [4], the optimal pipeline depth is around 55".
+        let s = PipelineStudy::paper();
+        let best = s.optimal_depth(3, 1..=120).unwrap();
+        assert!(
+            (40..=70).contains(&best),
+            "optimal depth {best}, expected ≈55"
+        );
+    }
+
+    #[test]
+    fn wider_machines_prefer_shorter_pipelines() {
+        // Paper: "the optimal pipeline depth for wider issue-width
+        // moves towards shorter front-end pipeline depth".
+        let s = PipelineStudy::paper();
+        let d2 = s.optimal_depth(2, 1..=140).unwrap();
+        let d8 = s.optimal_depth(8, 1..=140).unwrap();
+        assert!(d8 < d2, "width 8 optimum {d8} should be below width 2 optimum {d2}");
+    }
+
+    #[test]
+    fn frequency_follows_the_circuit_model() {
+        let s = PipelineStudy::paper();
+        // 1 stage: 8290 ps -> ~0.121 GHz; 82 stages: 190 ps -> ~5.3 GHz.
+        assert!((s.frequency_ghz(1) - 1000.0 / 8290.0).abs() < 1e-9);
+        assert!(s.frequency_ghz(82) > 5.0);
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        let s = PipelineStudy::paper();
+        assert!(s.ipc(0, 5).is_err());
+        assert!(s.ipc(4, 0).is_err());
+        assert!(s.optimal_depth(4, std::iter::empty()).is_err());
+    }
+
+    #[test]
+    fn bips_is_ipc_times_frequency() {
+        let s = PipelineStudy::paper();
+        let pt = &s.sweep(4, [10]).unwrap()[0];
+        assert!((pt.bips - pt.ipc * pt.frequency_ghz).abs() < 1e-12);
+    }
+
+    #[test]
+    fn penalty_parts_scale_with_depth_only_in_the_middle() {
+        let s = PipelineStudy::paper();
+        let (d1, p1, r1) = s.penalty_parts(4, 5);
+        let (d2, p2, r2) = s.penalty_parts(4, 50);
+        assert_eq!(d1, d2);
+        assert_eq!(r1, r2);
+        assert!((p2 - p1 - 45.0).abs() < 1e-9);
+    }
+}

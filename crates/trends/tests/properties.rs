@@ -1,0 +1,82 @@
+//! Property-based tests for the trend studies.
+
+use fosm_depgraph::{IwCharacteristic, PowerLaw};
+use fosm_trends::issue_width::IssueWidthStudy;
+use fosm_trends::pipeline::PipelineStudy;
+use proptest::prelude::*;
+
+fn iw_strategy() -> impl Strategy<Value = IwCharacteristic> {
+    (0.8f64..2.0, 0.25f64..0.85, 1.0f64..2.2).prop_map(|(a, b, l)| {
+        IwCharacteristic::new(PowerLaw::new(a, b).unwrap(), l).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// IPC decreases monotonically with pipeline depth, for any
+    /// characteristic and misprediction density.
+    #[test]
+    fn ipc_monotone_in_depth(
+        iw in iw_strategy(),
+        misp in 0.001f64..0.05,
+        width in prop::sample::select(vec![2u32, 3, 4, 8]),
+    ) {
+        let mut study = PipelineStudy::paper();
+        study.iw = iw;
+        study.mispredict_rate = misp / study.branch_fraction;
+        let mut prev = f64::INFINITY;
+        for depth in [1u32, 3, 8, 20, 50, 100] {
+            let ipc = study.ipc(width, depth).unwrap();
+            prop_assert!(ipc <= prev + 1e-12, "depth {depth}: {ipc} > {prev}");
+            prop_assert!(ipc > 0.0 && ipc <= width as f64 + 1e-9);
+            prev = ipc;
+        }
+    }
+
+    /// The optimal depth exists within the sweep and is stable under
+    /// re-evaluation.
+    #[test]
+    fn optimal_depth_is_deterministic(iw in iw_strategy()) {
+        let mut study = PipelineStudy::paper();
+        study.iw = iw;
+        let a = study.optimal_depth(4, 1..=120).unwrap();
+        let b = study.optimal_depth(4, 1..=120).unwrap();
+        prop_assert_eq!(a, b);
+        prop_assert!((1..=120).contains(&a));
+    }
+
+    /// Higher misprediction densities push the optimum to shallower
+    /// pipelines (or leave it unchanged).
+    #[test]
+    fn more_mispredicts_mean_shallower_optima(iw in iw_strategy()) {
+        let mut clean = PipelineStudy::paper();
+        clean.iw = iw;
+        clean.mispredict_rate = 0.01;
+        let mut dirty = clean.clone();
+        dirty.mispredict_rate = 0.10;
+        let d_clean = clean.optimal_depth(4, 1..=150).unwrap();
+        let d_dirty = dirty.optimal_depth(4, 1..=150).unwrap();
+        prop_assert!(d_dirty <= d_clean, "dirty {d_dirty} vs clean {d_clean}");
+    }
+
+    /// Epoch accounting: issued instructions match the requested
+    /// distance and the near-max fraction is a probability.
+    #[test]
+    fn epoch_accounting(iw in iw_strategy(), distance in 50.0f64..5000.0) {
+        let study = IssueWidthStudy::paper(iw);
+        let e = study.epoch(4, distance).unwrap();
+        prop_assert!((e.instructions - distance).abs() < 5.0);
+        prop_assert!((0.0..=1.0).contains(&e.fraction_near_max));
+        prop_assert!(!e.rates.is_empty());
+    }
+
+    /// The near-max fraction grows with distance.
+    #[test]
+    fn fraction_monotone_in_distance(iw in iw_strategy()) {
+        let study = IssueWidthStudy::paper(iw);
+        let short = study.epoch(4, 100.0).unwrap().fraction_near_max;
+        let long = study.epoch(4, 5_000.0).unwrap().fraction_near_max;
+        prop_assert!(long + 1e-9 >= short, "long {long} vs short {short}");
+    }
+}

@@ -1,0 +1,54 @@
+//! Synthetic SPECint2000-like workloads for the first-order model.
+//!
+//! The original paper drives its model with instruction traces of the
+//! twelve SPECint2000 benchmarks. Those binaries and traces are not
+//! redistributable, so this crate substitutes *statistical program
+//! models*: for each benchmark, a [`BenchmarkSpec`] captures the
+//! properties the model actually consumes —
+//!
+//! * register dependence-distance structure (which determines the
+//!   power-law IW characteristic, paper §3),
+//! * instruction mix (which determines the average functional-unit
+//!   latency `L`),
+//! * branch demographics and predictability (branch misprediction
+//!   miss-events),
+//! * static code footprint and loop structure (instruction-cache
+//!   miss-events),
+//! * data footprint and access-pattern mix (data-cache miss-events and
+//!   their clustering).
+//!
+//! [`SyntheticProgram`] expands a spec into a concrete static program
+//! (functions, basic blocks, loops, call sites — with stable PCs), and
+//! [`WorkloadGenerator`] walks that program to produce an unbounded,
+//! deterministic dynamic instruction stream implementing
+//! [`TraceSource`](fosm_trace::TraceSource).
+//!
+//! The generated streams are *calibrated imitations*, not replays: they
+//! exercise exactly the code paths the paper's methodology exercises
+//! (trace → functional simulation → model inputs), with per-benchmark
+//! parameters chosen so the resulting model inputs land in the ranges
+//! the paper reports (e.g. Table 1's α, β, and average latency).
+//!
+//! # Examples
+//!
+//! ```
+//! use fosm_trace::TraceSource;
+//! use fosm_workloads::{BenchmarkSpec, WorkloadGenerator};
+//!
+//! let mut gen = WorkloadGenerator::new(&BenchmarkSpec::gzip(), 7);
+//! let inst = gen.next_inst().expect("generators are unbounded");
+//! assert!(inst.is_well_formed());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod generator;
+mod phases;
+mod program;
+mod spec;
+
+pub use generator::WorkloadGenerator;
+pub use phases::PhasedGenerator;
+pub use program::{Block, Function, StaticInst, SyntheticProgram, Terminator};
+pub use spec::{BenchmarkSpec, MemClass, MixSpec};

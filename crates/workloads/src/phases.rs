@@ -1,0 +1,147 @@
+//! Phased workloads (paper §7: "it may be necessary to consider
+//! program phases, and model each of them separately").
+//!
+//! Real programs alternate between behavioural phases (compute-bound
+//! inner loops, pointer-chasing builds, I/O-ish bookkeeping).
+//! [`PhasedGenerator`] composes two base workloads, switching between
+//! them every `phase_len` instructions — each phase keeps its own
+//! register, loop, and stream state, as if the program had switched
+//! working modes.
+
+use fosm_isa::Inst;
+use fosm_trace::TraceSource;
+
+use crate::{BenchmarkSpec, WorkloadGenerator};
+
+/// A workload alternating between two phases.
+///
+/// # Examples
+///
+/// ```
+/// use fosm_trace::TraceSource;
+/// use fosm_workloads::{BenchmarkSpec, PhasedGenerator};
+///
+/// let mut gen = PhasedGenerator::new(
+///     &BenchmarkSpec::gzip(),
+///     &BenchmarkSpec::mcf(),
+///     50_000,
+///     42,
+/// ).unwrap();
+/// assert!(gen.next_inst().is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct PhasedGenerator {
+    phases: [WorkloadGenerator; 2],
+    phase_len: u64,
+    emitted: u64,
+}
+
+impl PhasedGenerator {
+    /// Builds a two-phase workload switching every `phase_len`
+    /// instructions.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for invalid specs or a zero phase length.
+    pub fn new(
+        a: &BenchmarkSpec,
+        b: &BenchmarkSpec,
+        phase_len: u64,
+        seed: u64,
+    ) -> Result<Self, String> {
+        if phase_len == 0 {
+            return Err("phase length must be non-zero".into());
+        }
+        Ok(PhasedGenerator {
+            phases: [
+                WorkloadGenerator::try_new(a, seed)?,
+                WorkloadGenerator::try_new(b, seed ^ 0x9e37_79b9)?,
+            ],
+            phase_len,
+            emitted: 0,
+        })
+    }
+
+    /// Which phase (0 or 1) the next instruction comes from.
+    pub fn current_phase(&self) -> usize {
+        ((self.emitted / self.phase_len) % 2) as usize
+    }
+
+    /// Instructions emitted so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+}
+
+impl TraceSource for PhasedGenerator {
+    fn next_inst(&mut self) -> Option<Inst> {
+        let phase = self.current_phase();
+        self.emitted += 1;
+        self.phases[phase].next_inst()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_alternate_on_schedule() {
+        let mut g = PhasedGenerator::new(
+            &BenchmarkSpec::gzip(),
+            &BenchmarkSpec::mcf(),
+            100,
+            1,
+        )
+        .unwrap();
+        assert_eq!(g.current_phase(), 0);
+        for _ in 0..100 {
+            g.next_inst();
+        }
+        assert_eq!(g.current_phase(), 1);
+        for _ in 0..100 {
+            g.next_inst();
+        }
+        assert_eq!(g.current_phase(), 0);
+        assert_eq!(g.emitted(), 200);
+    }
+
+    #[test]
+    fn phase_instructions_come_from_their_generators() {
+        // Phase 0 instructions match a solo gzip generator stream.
+        let spec_a = BenchmarkSpec::gzip();
+        let spec_b = BenchmarkSpec::mcf();
+        let mut phased = PhasedGenerator::new(&spec_a, &spec_b, 50, 9).unwrap();
+        let mut solo = WorkloadGenerator::new(&spec_a, 9);
+        for _ in 0..50 {
+            assert_eq!(phased.next_inst(), solo.next_inst());
+        }
+        // After the switch, instructions no longer match gzip's stream.
+        let next_phased: Vec<_> = (0..50).filter_map(|_| phased.next_inst()).collect();
+        let next_solo: Vec<_> = (0..50).filter_map(|_| solo.next_inst()).collect();
+        assert_ne!(next_phased, next_solo);
+    }
+
+    #[test]
+    fn determinism() {
+        let mk = || {
+            PhasedGenerator::new(&BenchmarkSpec::gzip(), &BenchmarkSpec::vpr(), 77, 3).unwrap()
+        };
+        let a: Vec<_> = (0..500).filter_map(|_| mk().next_inst()).collect();
+        let mut g = mk();
+        let b: Vec<_> = (0..500).filter_map(|_| g.next_inst()).collect();
+        // Note: `a` rebuilt the generator each draw, so compare a fresh
+        // pair properly instead.
+        let mut g1 = mk();
+        let mut g2 = mk();
+        for _ in 0..500 {
+            assert_eq!(g1.next_inst(), g2.next_inst());
+        }
+        let _ = (a, b);
+    }
+
+    #[test]
+    fn rejects_zero_phase_length() {
+        assert!(PhasedGenerator::new(&BenchmarkSpec::gzip(), &BenchmarkSpec::mcf(), 0, 1).is_err());
+    }
+}

@@ -1,0 +1,632 @@
+//! Per-benchmark statistical parameters.
+
+use serde::{Deserialize, Serialize};
+
+/// Access-pattern class of a static memory instruction.
+///
+/// Each static load/store is assigned a class when the program is
+/// built; the class determines how its effective addresses are drawn at
+/// run time, which in turn shapes cache miss rates and long-miss
+/// clustering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemClass {
+    /// Hot stack/local data: a tiny per-function region that always hits.
+    Stack,
+    /// Sequential array streaming with a fixed stride (misses once per
+    /// cache line — clustered, regular misses).
+    Stream,
+    /// Uniform random references over the full data footprint
+    /// (pointer-chasing-like isolated misses).
+    Random,
+}
+
+/// Instruction-mix targets, as fractions of dynamic instructions.
+///
+/// The remainder after all listed classes is emitted as plain integer
+/// ALU operations. Fractions are approximate targets: control-flow
+/// structure (one branch per basic block) quantizes the realized mix.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MixSpec {
+    /// Fraction of loads.
+    pub load: f64,
+    /// Fraction of stores.
+    pub store: f64,
+    /// Fraction of integer multiplies.
+    pub int_mul: f64,
+    /// Fraction of integer divides.
+    pub int_div: f64,
+    /// Fraction of FP adds.
+    pub fp_add: f64,
+    /// Fraction of FP multiplies.
+    pub fp_mul: f64,
+    /// Fraction of FP divides.
+    pub fp_div: f64,
+}
+
+impl MixSpec {
+    /// A typical integer-code mix: 25% loads, 10% stores, no FP.
+    pub fn integer() -> Self {
+        MixSpec {
+            load: 0.25,
+            store: 0.10,
+            int_mul: 0.01,
+            int_div: 0.0,
+            fp_add: 0.0,
+            fp_mul: 0.0,
+            fp_div: 0.0,
+        }
+    }
+
+    /// Sum of all non-ALU fractions (must stay below 1.0).
+    pub fn non_alu_total(&self) -> f64 {
+        self.load + self.store + self.int_mul + self.int_div + self.fp_add + self.fp_mul + self.fp_div
+    }
+}
+
+/// Statistical description of one synthetic benchmark.
+///
+/// The twelve `SPECint2000`-named constructors ([`BenchmarkSpec::gzip`],
+/// [`BenchmarkSpec::mcf`], …) return calibrated presets;
+/// [`all`](BenchmarkSpec::all) returns them in the paper's usual order.
+/// All fields are public so studies can perturb individual knobs.
+///
+/// The presets were calibrated by measuring each generated stream with
+/// the functional toolchain (`fosm-bench`'s `calibrate` binary) until
+/// the extracted model inputs — power-law α and β, average latency `L`,
+/// misprediction and cache-miss rates — land in the ranges the paper
+/// reports (Table 1 pins gzip/vortex/vpr; §5–6 pin the qualitative
+/// ordering of the rest).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchmarkSpec {
+    /// Benchmark name used in reports ("gzip", …).
+    pub name: String,
+    /// Seed for building the *static* program, so a given spec always
+    /// produces the same code layout regardless of the dynamic seed.
+    pub program_seed: u64,
+
+    // ---- dependence structure (controls the IW power law) ----
+    /// Probability that a source operand reads a long-lived value
+    /// (constant, loop invariant, stack pointer) and therefore creates
+    /// *no* dependence on recent producers. Higher values raise ILP.
+    pub no_dep_p: f64,
+    /// Probability that a dependent source reads the most recent
+    /// producer (tight-chain probability). Higher values mean longer
+    /// dependence chains, lower ILP, and a smaller power-law `β`.
+    pub dep_chain_p: f64,
+    /// Number of recent producers a non-chain operand may read from
+    /// (uniformly). Larger windows raise ILP.
+    pub dep_window: u32,
+    /// Probability that an ALU instruction has two source operands
+    /// (instead of one).
+    pub two_source_p: f64,
+
+    // ---- instruction mix ----
+    /// Dynamic mix targets.
+    pub mix: MixSpec,
+
+    // ---- program shape (controls code footprint / I-cache) ----
+    /// Number of functions in the static program.
+    pub num_functions: u32,
+    /// Basic blocks per function.
+    pub blocks_per_function: u32,
+    /// Mean instructions per basic block (geometric, min 1).
+    pub insts_per_block_mean: u32,
+    /// Fraction of blocks that are loop bodies.
+    pub frac_loop_blocks: f64,
+    /// Fraction of blocks that end in a call.
+    pub frac_call_blocks: f64,
+    /// Fraction of blocks that end in a conditional forward skip.
+    pub frac_skip_blocks: f64,
+    /// Maximum dynamic call depth (calls beyond it are elided).
+    pub max_call_depth: u32,
+
+    // ---- branch behaviour ----
+    /// Mean loop trip count (per-loop static trips drawn around this).
+    pub loop_trip_mean: u32,
+    /// Probability that a loop entry re-draws its trip count instead of
+    /// using the loop's static trip (jitter makes loop exits
+    /// mispredictable).
+    pub trip_jitter_p: f64,
+    /// Fraction of skip branches that are data-dependent ("hard").
+    pub frac_hard_branches: f64,
+    /// Taken-probability magnitude of hard branches (closer to 0.5 =
+    /// harder).
+    pub hard_branch_bias: f64,
+    /// Fraction of skip branches that follow a deterministic periodic
+    /// pattern — history-correlated behaviour a gshare-class predictor
+    /// can learn (real codes are full of these; without them global
+    /// history would only add table fragmentation).
+    pub frac_pattern_branches: f64,
+
+    // ---- data behaviour (controls D-cache) ----
+    /// Total data footprint in bytes (streams + random region).
+    pub data_footprint: u64,
+    /// Per-function hot stack region size in bytes.
+    pub stack_bytes: u64,
+    /// Fraction of memory instructions classified [`MemClass::Stream`].
+    pub f_mem_stream: f64,
+    /// Fraction of memory instructions classified [`MemClass::Random`].
+    pub f_mem_random: f64,
+    /// Stride in bytes of streaming accesses.
+    pub stream_stride: u32,
+    /// Number of concurrent array streams.
+    pub num_streams: u32,
+}
+
+impl BenchmarkSpec {
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violated
+    /// constraint (probabilities out of range, empty program, mix
+    /// overflow).
+    pub fn validate(&self) -> Result<(), String> {
+        let probs = [
+            ("no_dep_p", self.no_dep_p),
+            ("dep_chain_p", self.dep_chain_p),
+            ("two_source_p", self.two_source_p),
+            ("frac_loop_blocks", self.frac_loop_blocks),
+            ("frac_call_blocks", self.frac_call_blocks),
+            ("frac_skip_blocks", self.frac_skip_blocks),
+            ("trip_jitter_p", self.trip_jitter_p),
+            ("frac_hard_branches", self.frac_hard_branches),
+            ("hard_branch_bias", self.hard_branch_bias),
+            ("frac_pattern_branches", self.frac_pattern_branches),
+            ("f_mem_stream", self.f_mem_stream),
+            ("f_mem_random", self.f_mem_random),
+        ];
+        for (name, p) in probs {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("{name} = {p} is not a probability"));
+            }
+        }
+        if self.frac_loop_blocks + self.frac_call_blocks + self.frac_skip_blocks > 1.0 {
+            return Err("block-kind fractions exceed 1.0".to_string());
+        }
+        if self.frac_hard_branches + self.frac_pattern_branches > 1.0 {
+            return Err("skip-branch kind fractions exceed 1.0".to_string());
+        }
+        if self.f_mem_stream + self.f_mem_random > 1.0 {
+            return Err("memory-class fractions exceed 1.0".to_string());
+        }
+        if self.mix.non_alu_total() >= 1.0 {
+            return Err("instruction mix leaves no room for ALU ops".to_string());
+        }
+        if self.num_functions == 0 || self.blocks_per_function == 0 {
+            return Err("program must have at least one function and block".to_string());
+        }
+        if self.insts_per_block_mean == 0 {
+            return Err("blocks must average at least one instruction".to_string());
+        }
+        if self.dep_window == 0 {
+            return Err("dep_window must be at least 1".to_string());
+        }
+        if self.loop_trip_mean < 2 {
+            return Err("loop_trip_mean must be at least 2".to_string());
+        }
+        if self.stream_stride == 0 || self.num_streams == 0 {
+            return Err("streams need a non-zero stride and count".to_string());
+        }
+        if self.data_footprint < 4096 || self.stack_bytes == 0 {
+            return Err("data footprint must be >= 4096 and stack non-empty".to_string());
+        }
+        Ok(())
+    }
+
+    /// A middle-of-the-road template the named presets are tweaked from.
+    fn base(name: &str, program_seed: u64) -> Self {
+        BenchmarkSpec {
+            name: name.to_string(),
+            program_seed,
+            no_dep_p: 0.4,
+            dep_chain_p: 0.18,
+            dep_window: 48,
+            two_source_p: 0.55,
+            mix: MixSpec::integer(),
+            num_functions: 24,
+            blocks_per_function: 16,
+            insts_per_block_mean: 6,
+            frac_loop_blocks: 0.25,
+            frac_call_blocks: 0.15,
+            frac_skip_blocks: 0.4,
+            max_call_depth: 8,
+            loop_trip_mean: 10,
+            trip_jitter_p: 0.25,
+            frac_hard_branches: 0.12,
+            hard_branch_bias: 0.8,
+            frac_pattern_branches: 0.45,
+            data_footprint: 1 << 20, // 1 MiB
+            stack_bytes: 512,
+            f_mem_stream: 0.15,
+            f_mem_random: 0.04,
+            stream_stride: 8,
+            num_streams: 4,
+        }
+    }
+
+    /// `gzip` — compression: tight loops, small code, streaming data,
+    /// mid-range ILP (paper Table 1: α=1.3, β=0.5, L=1.5), and the
+    /// paper's highest branch-misprediction CPI share.
+    pub fn gzip() -> Self {
+        let mut s = Self::base("gzip", 0x67_7a_69_70);
+        s.no_dep_p = 0.25;
+        s.dep_chain_p = 0.3;
+        s.dep_window = 32;
+        s.num_functions = 10;
+        s.blocks_per_function = 12;
+        s.frac_hard_branches = 0.22;
+        s.hard_branch_bias = 0.72;
+        s.frac_pattern_branches = 0.2;
+        s.trip_jitter_p = 0.3;
+        s.loop_trip_mean = 14;
+        s.data_footprint = 480 << 10;
+        s.f_mem_stream = 0.28;
+        s.f_mem_random = 0.015;
+        s.mix.int_mul = 0.02;
+        s
+    }
+
+    /// `vortex` — object database: high ILP (β=0.7), big code footprint
+    /// (I-cache misses), very few long data misses.
+    pub fn vortex() -> Self {
+        let mut s = Self::base("vortex", 0x76_6f_72_74);
+        s.no_dep_p = 0.45;
+        s.dep_chain_p = 0.08;
+        s.dep_window = 96;
+        s.two_source_p = 0.4;
+        s.num_functions = 96;
+        s.blocks_per_function = 24;
+        s.insts_per_block_mean = 11;
+        s.frac_call_blocks = 0.3;
+        s.frac_skip_blocks = 0.25;
+        s.frac_loop_blocks = 0.06;
+        s.frac_hard_branches = 0.02;
+        s.frac_pattern_branches = 0.1;
+        s.trip_jitter_p = 0.1;
+        s.loop_trip_mean = 18;
+        s.data_footprint = 320 << 10; // fits L2: short misses only
+        s.f_mem_stream = 0.12;
+        s.f_mem_random = 0.06;
+        s.mix.int_mul = 0.03;
+        s
+    }
+
+    /// `vpr` — place & route: long dependence chains (β=0.3), high
+    /// average latency (L≈2.2 — FP distance computations), hard
+    /// branches.
+    pub fn vpr() -> Self {
+        let mut s = Self::base("vpr", 0x76_70_72);
+        s.no_dep_p = 0.12;
+        s.dep_chain_p = 0.5;
+        s.dep_window = 12;
+        s.two_source_p = 0.7;
+        s.num_functions = 14;
+        s.blocks_per_function = 14;
+        s.frac_hard_branches = 0.24;
+        s.hard_branch_bias = 0.72;
+        s.frac_pattern_branches = 0.15;
+        s.loop_trip_mean = 12;
+        s.mix.fp_add = 0.1;
+        s.mix.fp_mul = 0.12;
+        s.mix.fp_div = 0.01;
+        s.mix.int_mul = 0.05;
+        s.mix.int_div = 0.003;
+        s.data_footprint = 2 << 20;
+        s.f_mem_stream = 0.12;
+        s.f_mem_random = 0.04;
+        s
+    }
+
+    /// `mcf` — single-source shortest paths over a huge graph: dominated
+    /// by long data-cache misses (70% of CPI in the paper), pointer
+    /// chasing over a footprint far beyond L2.
+    pub fn mcf() -> Self {
+        let mut s = Self::base("mcf", 0x6d_63_66);
+        s.no_dep_p = 0.18;
+        s.dep_chain_p = 0.4;
+        s.dep_window = 20;
+        s.num_functions = 8;
+        s.blocks_per_function = 10;
+        s.mix.load = 0.3;
+        s.data_footprint = 24 << 20; // 24 MiB
+        s.f_mem_stream = 0.08;
+        s.f_mem_random = 0.18;
+        s.frac_hard_branches = 0.16;
+        s.hard_branch_bias = 0.75;
+        s.frac_pattern_branches = 0.15;
+        s.loop_trip_mean = 16;
+        s
+    }
+
+    /// `twolf` — placement/routing: long data misses (60% of CPI) plus
+    /// frequent hard branches; modest code.
+    pub fn twolf() -> Self {
+        let mut s = Self::base("twolf", 0x74_77_6f_6c);
+        s.no_dep_p = 0.15;
+        s.dep_chain_p = 0.45;
+        s.dep_window = 16;
+        s.two_source_p = 0.65;
+        s.num_functions = 18;
+        s.blocks_per_function = 14;
+        s.frac_hard_branches = 0.22;
+        s.hard_branch_bias = 0.72;
+        s.frac_pattern_branches = 0.15;
+        s.loop_trip_mean = 12;
+        s.data_footprint = 8 << 20;
+        s.f_mem_stream = 0.1;
+        s.f_mem_random = 0.08;
+        s.mix.int_mul = 0.04;
+        s
+    }
+
+    /// `gcc` — compiler: very large code footprint (I-cache misses
+    /// dominate), branchy, moderate data locality.
+    pub fn gcc() -> Self {
+        let mut s = Self::base("gcc", 0x67_63_63);
+        s.no_dep_p = 0.25;
+        s.dep_chain_p = 0.28;
+        s.dep_window = 32;
+        s.num_functions = 160;
+        s.blocks_per_function = 24;
+        s.insts_per_block_mean = 9;
+        s.frac_call_blocks = 0.25;
+        s.frac_skip_blocks = 0.3;
+        s.frac_loop_blocks = 0.05;
+        s.loop_trip_mean = 18;
+        s.frac_hard_branches = 0.08;
+        s.frac_pattern_branches = 0.1;
+        s.data_footprint = 1 << 20;
+        s.f_mem_stream = 0.1;
+        s.f_mem_random = 0.02;
+        s
+    }
+
+    /// `crafty` — chess: big code, hash-table randomness within L2,
+    /// predictable search branches mixed with hard evaluation branches.
+    pub fn crafty() -> Self {
+        let mut s = Self::base("crafty", 0x63_72_61_66);
+        s.no_dep_p = 0.32;
+        s.dep_chain_p = 0.18;
+        s.dep_window = 48;
+        s.two_source_p = 0.5;
+        s.num_functions = 72;
+        s.blocks_per_function = 20;
+        s.insts_per_block_mean = 10;
+        s.frac_call_blocks = 0.22;
+        s.frac_skip_blocks = 0.3;
+        s.frac_loop_blocks = 0.07;
+        s.loop_trip_mean = 18;
+        s.frac_hard_branches = 0.08;
+        s.hard_branch_bias = 0.75;
+        s.frac_pattern_branches = 0.1;
+        s.data_footprint = 1536 << 10; // 1.5 MiB hash tables
+        s.f_mem_stream = 0.1;
+        s.f_mem_random = 0.02;
+        s.mix.int_mul = 0.03;
+        s
+    }
+
+    /// `eon` — ray tracing (the one C++/FP-ish SPECint member): high
+    /// ILP, FP latencies, tiny data footprint, predictable branches.
+    pub fn eon() -> Self {
+        let mut s = Self::base("eon", 0x65_6f_6e);
+        s.no_dep_p = 0.38;
+        s.dep_chain_p = 0.14;
+        s.dep_window = 64;
+        s.two_source_p = 0.5;
+        s.num_functions = 56;
+        s.blocks_per_function = 18;
+        s.insts_per_block_mean = 10;
+        s.frac_call_blocks = 0.25;
+        s.frac_skip_blocks = 0.3;
+        s.frac_loop_blocks = 0.08;
+        s.loop_trip_mean = 18;
+        s.frac_hard_branches = 0.03;
+        s.frac_pattern_branches = 0.15;
+        s.trip_jitter_p = 0.1;
+        s.mix.fp_add = 0.09;
+        s.mix.fp_mul = 0.08;
+        s.mix.fp_div = 0.004;
+        s.data_footprint = 256 << 10;
+        s.f_mem_stream = 0.25;
+        s.f_mem_random = 0.02;
+        s
+    }
+
+    /// `gap` — group theory: computation over large workspaces,
+    /// clustered long misses, mostly predictable branches.
+    pub fn gap() -> Self {
+        let mut s = Self::base("gap", 0x67_61_70);
+        s.no_dep_p = 0.26;
+        s.dep_chain_p = 0.26;
+        s.dep_window = 36;
+        s.num_functions = 48;
+        s.blocks_per_function = 18;
+        s.insts_per_block_mean = 9;
+        s.frac_call_blocks = 0.2;
+        s.frac_skip_blocks = 0.3;
+        s.frac_loop_blocks = 0.1;
+        s.frac_hard_branches = 0.04;
+        s.frac_pattern_branches = 0.15;
+        s.loop_trip_mean = 16;
+        s.data_footprint = 4 << 20;
+        s.f_mem_stream = 0.15;
+        s.f_mem_random = 0.008;
+        s.mix.int_mul = 0.04;
+        s
+    }
+
+    /// `parser` — natural-language parsing: pointer-heavy dictionary
+    /// lookups, hard branches, moderate footprint.
+    pub fn parser() -> Self {
+        let mut s = Self::base("parser", 0x70_61_72_73);
+        s.no_dep_p = 0.17;
+        s.dep_chain_p = 0.4;
+        s.dep_window = 20;
+        s.num_functions = 40;
+        s.blocks_per_function = 16;
+        s.frac_hard_branches = 0.16;
+        s.hard_branch_bias = 0.74;
+        s.frac_pattern_branches = 0.15;
+        s.loop_trip_mean = 14;
+        s.data_footprint = 3 << 20;
+        s.f_mem_stream = 0.08;
+        s.f_mem_random = 0.03;
+        s
+    }
+
+    /// `perl` — interpreter: very large code, call fan-out, data mostly
+    /// resident.
+    pub fn perl() -> Self {
+        let mut s = Self::base("perl", 0x70_65_72_6c);
+        s.no_dep_p = 0.26;
+        s.dep_chain_p = 0.26;
+        s.dep_window = 36;
+        s.num_functions = 112;
+        s.blocks_per_function = 20;
+        s.insts_per_block_mean = 10;
+        s.frac_call_blocks = 0.3;
+        s.frac_skip_blocks = 0.28;
+        s.frac_loop_blocks = 0.06;
+        s.loop_trip_mean = 18;
+        s.frac_hard_branches = 0.06;
+        s.frac_pattern_branches = 0.1;
+        s.data_footprint = 448 << 10;
+        s.f_mem_stream = 0.12;
+        s.f_mem_random = 0.02;
+        s
+    }
+
+    /// `bzip2` — compression: streaming with a bigger working set than
+    /// gzip, mid ILP, few I-cache misses.
+    pub fn bzip() -> Self {
+        let mut s = Self::base("bzip", 0x62_7a_69_70);
+        s.no_dep_p = 0.22;
+        s.dep_chain_p = 0.3;
+        s.dep_window = 32;
+        s.num_functions = 10;
+        s.blocks_per_function = 12;
+        s.frac_hard_branches = 0.15;
+        s.hard_branch_bias = 0.76;
+        s.frac_pattern_branches = 0.2;
+        s.trip_jitter_p = 0.25;
+        s.loop_trip_mean = 16;
+        s.data_footprint = 4 << 20;
+        s.f_mem_stream = 0.12;
+        s.f_mem_random = 0.006;
+        s.mix.int_mul = 0.02;
+        s
+    }
+
+    /// All twelve benchmarks in the paper's customary order.
+    pub fn all() -> Vec<BenchmarkSpec> {
+        vec![
+            Self::bzip(),
+            Self::crafty(),
+            Self::eon(),
+            Self::gap(),
+            Self::gcc(),
+            Self::gzip(),
+            Self::mcf(),
+            Self::parser(),
+            Self::perl(),
+            Self::twolf(),
+            Self::vortex(),
+            Self::vpr(),
+        ]
+    }
+
+    /// The three benchmarks the paper uses to illustrate Table 1 and
+    /// Fig. 5 (curve extremes plus the middle): vortex, gzip, vpr.
+    pub fn illustrative() -> Vec<BenchmarkSpec> {
+        vec![Self::vortex(), Self::gzip(), Self::vpr()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_presets_validate() {
+        for spec in BenchmarkSpec::all() {
+            spec.validate().unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+        }
+    }
+
+    #[test]
+    fn all_returns_twelve_unique_names() {
+        let specs = BenchmarkSpec::all();
+        assert_eq!(specs.len(), 12);
+        let mut names: Vec<_> = specs.iter().map(|s| s.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 12);
+    }
+
+    #[test]
+    fn validate_catches_bad_probability() {
+        let mut s = BenchmarkSpec::gzip();
+        s.dep_chain_p = 1.5;
+        assert!(s.validate().unwrap_err().contains("dep_chain_p"));
+        let mut s = BenchmarkSpec::gzip();
+        s.no_dep_p = -0.1;
+        assert!(s.validate().unwrap_err().contains("no_dep_p"));
+    }
+
+    #[test]
+    fn validate_catches_mix_overflow() {
+        let mut s = BenchmarkSpec::gzip();
+        s.mix.load = 0.95;
+        s.mix.store = 0.2;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn validate_catches_block_fraction_overflow() {
+        let mut s = BenchmarkSpec::gzip();
+        s.frac_loop_blocks = 0.5;
+        s.frac_call_blocks = 0.4;
+        s.frac_skip_blocks = 0.4;
+        assert!(s.validate().unwrap_err().contains("block-kind"));
+    }
+
+    #[test]
+    fn validate_catches_degenerate_program() {
+        let mut s = BenchmarkSpec::gzip();
+        s.num_functions = 0;
+        assert!(s.validate().is_err());
+        let mut s = BenchmarkSpec::gzip();
+        s.dep_window = 0;
+        assert!(s.validate().is_err());
+        let mut s = BenchmarkSpec::gzip();
+        s.loop_trip_mean = 1;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn dependence_knobs_span_the_table1_range() {
+        // vpr must be chain-ier than gzip, which is chain-ier than vortex.
+        let (vpr, gzip, vortex) = (
+            BenchmarkSpec::vpr(),
+            BenchmarkSpec::gzip(),
+            BenchmarkSpec::vortex(),
+        );
+        assert!(vpr.dep_chain_p > gzip.dep_chain_p);
+        assert!(gzip.dep_chain_p > vortex.dep_chain_p);
+        assert!(vortex.no_dep_p > vpr.no_dep_p);
+        assert!(vortex.dep_window > gzip.dep_window);
+    }
+
+    #[test]
+    fn mcf_has_the_biggest_footprint() {
+        let max_other = BenchmarkSpec::all()
+            .into_iter()
+            .filter(|s| s.name != "mcf")
+            .map(|s| s.data_footprint)
+            .max()
+            .unwrap();
+        assert!(BenchmarkSpec::mcf().data_footprint > max_other);
+    }
+}

@@ -1,0 +1,71 @@
+//! Property-based tests for the synthetic workload generators.
+
+use fosm_trace::TraceSource;
+use fosm_workloads::{BenchmarkSpec, WorkloadGenerator};
+use proptest::prelude::*;
+
+/// A benchmark spec with key knobs perturbed across their valid ranges.
+fn spec_strategy() -> impl Strategy<Value = BenchmarkSpec> {
+    (
+        0.0f64..0.8,
+        0.0f64..0.8,
+        1u32..128,
+        1u32..32,
+        1u32..24,
+        2u32..40,
+        (4096u64..(8 << 20)),
+        any::<u64>(),
+    )
+        .prop_map(
+            |(no_dep, chain, window, funcs, blocks, trips, footprint, seed)| {
+                let mut s = BenchmarkSpec::gzip();
+                s.name = "property".into();
+                s.no_dep_p = no_dep;
+                s.dep_chain_p = chain;
+                s.dep_window = window;
+                s.num_functions = funcs;
+                s.blocks_per_function = blocks;
+                s.loop_trip_mean = trips;
+                s.data_footprint = footprint;
+                s.program_seed = seed;
+                s
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every generated instruction is well-formed, for arbitrary valid
+    /// knob settings.
+    #[test]
+    fn generated_streams_are_well_formed(spec in spec_strategy(), seed in any::<u64>()) {
+        prop_assume!(spec.validate().is_ok());
+        let mut g = WorkloadGenerator::new(&spec, seed);
+        for _ in 0..2_000 {
+            let inst = g.next_inst().expect("generators are unbounded");
+            prop_assert!(inst.is_well_formed(), "{inst}");
+        }
+    }
+
+    /// Generation is deterministic in (spec, seed).
+    #[test]
+    fn generation_is_deterministic(spec in spec_strategy(), seed in any::<u64>()) {
+        prop_assume!(spec.validate().is_ok());
+        let a: Vec<_> = WorkloadGenerator::new(&spec, seed).take(500).iter().collect();
+        let b: Vec<_> = WorkloadGenerator::new(&spec, seed).take(500).iter().collect();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Branch targets always point at the next emitted instruction.
+    #[test]
+    fn control_flow_is_consistent(spec in spec_strategy(), seed in any::<u64>()) {
+        prop_assume!(spec.validate().is_ok());
+        let insts: Vec<_> = WorkloadGenerator::new(&spec, seed).take(1_500).iter().collect();
+        for pair in insts.windows(2) {
+            if let Some(info) = pair[0].branch {
+                prop_assert_eq!(pair[1].pc, info.target);
+            }
+        }
+    }
+}

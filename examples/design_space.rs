@@ -1,0 +1,89 @@
+//! Design-space exploration: the analytical model's speed advantage.
+//!
+//! The whole point of an analytical model is that a design-space sweep
+//! costs microseconds per point instead of a simulation run. This
+//! example profiles one workload *once*, then evaluates the model over
+//! a grid of (width × window × pipeline depth) configurations, spot-
+//! checking a few points against the detailed simulator.
+//!
+//! ```text
+//! cargo run --release --example design_space
+//! ```
+
+use std::time::Instant;
+
+use fosm::model::{FirstOrderModel, ProcessorParams};
+use fosm::profile::ProfileCollector;
+use fosm::sim::{Machine, MachineConfig};
+use fosm::trace::VecTrace;
+use fosm::workloads::{BenchmarkSpec, WorkloadGenerator};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = BenchmarkSpec::crafty();
+    let mut generator = WorkloadGenerator::new(&spec, 7);
+    let trace = VecTrace::record(&mut generator, 200_000);
+
+    // One functional profile serves the whole sweep: only structural
+    // parameters change, and those enter the model analytically.
+    // (Cache-geometry changes would need re-profiling.)
+    let base = ProcessorParams::baseline();
+    let profile = ProfileCollector::new(&base)
+        .with_name(&spec.name)
+        .collect(&mut trace.clone(), u64::MAX)?;
+
+    let widths = [2u32, 4, 6, 8];
+    let windows = [16u32, 32, 48, 64, 96, 128];
+    let depths = [5u32, 9, 14, 20];
+
+    let started = Instant::now();
+    let mut best: Option<(f64, ProcessorParams)> = None;
+    let mut evaluated = 0u32;
+    println!(
+        "sweeping {} configurations of `{}`...",
+        widths.len() * windows.len() * depths.len(),
+        spec.name
+    );
+    for &width in &widths {
+        for &win in &windows {
+            for &depth in &depths {
+                let mut params = base.clone();
+                params.width = width;
+                params.win_size = win;
+                params.rob_size = params.rob_size.max(win);
+                params.pipe_depth = depth;
+                let est = FirstOrderModel::new(params.clone()).evaluate(&profile)?;
+                evaluated += 1;
+                let ipc = est.total_ipc();
+                if best.as_ref().is_none_or(|(b, _)| ipc > *b) {
+                    best = Some((ipc, params));
+                }
+            }
+        }
+    }
+    let elapsed = started.elapsed();
+    let (best_ipc, best_params) = best.expect("non-empty sweep");
+    println!(
+        "evaluated {evaluated} configs in {:.1} ms ({:.0} µs/config)",
+        elapsed.as_secs_f64() * 1e3,
+        elapsed.as_secs_f64() * 1e6 / evaluated as f64
+    );
+    println!(
+        "best IPC {best_ipc:.2}: width {}, window {}, depth {}",
+        best_params.width, best_params.win_size, best_params.pipe_depth
+    );
+
+    // Spot-check the best point against the detailed simulator.
+    let mut cfg = MachineConfig::baseline();
+    cfg.width = best_params.width;
+    cfg.win_size = best_params.win_size;
+    cfg.rob_size = best_params.rob_size;
+    cfg.pipe_depth = best_params.pipe_depth;
+    let sim_started = Instant::now();
+    let report = Machine::new(cfg).run(&mut trace.clone());
+    println!(
+        "detailed simulation of that point: IPC {:.2} (took {:.0} ms — vs µs for the model)",
+        report.ipc(),
+        sim_started.elapsed().as_secs_f64() * 1e3
+    );
+    Ok(())
+}

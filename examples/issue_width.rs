@@ -1,0 +1,69 @@
+//! Issue-width what-if: how good would branch prediction have to be to
+//! justify a wider machine on *your* workload?
+//!
+//! The paper's §6.2 study uses the generic square-root IW
+//! characteristic; this example runs the same analysis with the
+//! characteristic measured from a workload, then checks whether the
+//! workload's *actual* branch prediction quality clears the bar.
+//!
+//! ```text
+//! cargo run --release --example issue_width
+//! ```
+
+use fosm::model::ProcessorParams;
+use fosm::profile::ProfileCollector;
+use fosm::trends::issue_width::IssueWidthStudy;
+use fosm::workloads::{BenchmarkSpec, WorkloadGenerator};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let params = ProcessorParams::baseline();
+    println!(
+        "{:<8} {:>10} {:>12} {:>12} {:>12}",
+        "bench", "actual", "need @w4", "need @w8", "verdict @8"
+    );
+    println!(
+        "{:<8} {:>10} {:>12} {:>12}",
+        "", "insts/misp", "(30% peak)", "(30% peak)"
+    );
+    for spec in [
+        BenchmarkSpec::vortex(),
+        BenchmarkSpec::gzip(),
+        BenchmarkSpec::mcf(),
+        BenchmarkSpec::vpr(),
+    ] {
+        let mut generator = WorkloadGenerator::new(&spec, 17);
+        let profile = ProfileCollector::new(&params)
+            .with_name(&spec.name)
+            .collect(&mut generator, 150_000)?;
+
+        let actual = profile.instructions as f64 / profile.mispredicts.max(1) as f64;
+        let study = IssueWidthStudy::paper(profile.iw);
+        let (need4, need8) = match (
+            study.distance_for_fraction(4, 0.3),
+            study.distance_for_fraction(8, 0.3),
+        ) {
+            (Ok(a), Ok(b)) => (a, b),
+            _ => {
+                println!(
+                    "{:<8} {:>10.0} {:>12} {:>12}  (ILP too low to saturate)",
+                    spec.name, actual, "-", "-"
+                );
+                continue;
+            }
+        };
+        let verdict = if actual >= need8 {
+            "worth it"
+        } else if actual >= need4 {
+            "stay at 4"
+        } else {
+            "fix BP first"
+        };
+        println!(
+            "{:<8} {:>10.0} {:>12.0} {:>12.0} {:>12}",
+            spec.name, actual, need4, need8, verdict
+        );
+    }
+    println!("\n(the required distance roughly quadruples per width doubling — the");
+    println!(" paper's conclusion that prediction must improve as the width squared)");
+    Ok(())
+}

@@ -1,0 +1,63 @@
+//! Quickstart: estimate a workload's CPI with the first-order model and
+//! check it against the detailed simulator.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use fosm::model::{FirstOrderModel, ProcessorParams};
+use fosm::profile::ProfileCollector;
+use fosm::sim::{Machine, MachineConfig};
+use fosm::trace::VecTrace;
+use fosm::workloads::{BenchmarkSpec, WorkloadGenerator};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A synthetic gzip-like workload (deterministic in the seed).
+    let spec = BenchmarkSpec::gzip();
+    let mut generator = WorkloadGenerator::new(&spec, 42);
+    let trace = VecTrace::record(&mut generator, 200_000);
+
+    // 2. Functional-level profiling: caches, branch predictor, and the
+    //    idealized IW analysis. No cycle-level simulation involved.
+    let params = ProcessorParams::baseline();
+    let profile = ProfileCollector::new(&params)
+        .with_name(&spec.name)
+        .collect(&mut trace.clone(), u64::MAX)?;
+
+    println!("profile of `{}` over {} instructions:", profile.name, profile.instructions);
+    println!(
+        "  IW characteristic: I = {:.2}·W^{:.2}, average latency L = {:.2}",
+        profile.iw.law().alpha(),
+        profile.iw.law().beta(),
+        profile.iw.avg_latency()
+    );
+    println!(
+        "  mispredicts: {} ({:.1}% of {} branches)",
+        profile.mispredicts,
+        profile.mispredict_rate() * 100.0,
+        profile.cond_branches
+    );
+    println!(
+        "  long D-misses: {} (overlap factor {:.2}); I-cache misses: {}",
+        profile.dcache_long_misses(),
+        profile.long_miss_distribution.overlap_factor(),
+        profile.icache_short_misses + profile.icache_long_misses
+    );
+
+    // 3. The first-order model (eq. 1): steady state + miss-event adders.
+    let estimate = FirstOrderModel::new(params).evaluate(&profile)?;
+    println!("\nfirst-order model estimate:");
+    for (component, cpi) in estimate.cpi_stack() {
+        println!("  {component:<10} {cpi:>6.3} CPI");
+    }
+    println!("  {:<10} {:>6.3} CPI  ({:.2} IPC)", "total", estimate.total_cpi(), estimate.total_ipc());
+
+    // 4. Ground truth: the detailed cycle-level simulator.
+    let report = Machine::new(MachineConfig::baseline()).run(&mut trace.clone());
+    println!("\ndetailed simulation: {:.3} CPI  ({:.2} IPC)", report.cpi(), report.ipc());
+    println!(
+        "model error: {:+.1}%",
+        100.0 * (estimate.total_cpi() - report.cpi()) / report.cpi()
+    );
+    Ok(())
+}

@@ -1,0 +1,68 @@
+//! Working with trace files: record a workload to the compact binary
+//! format, stream it back for profiling (optionally sampled with
+//! warm-up), and compare against the statistical-simulation baseline.
+//!
+//! ```text
+//! cargo run --release --example trace_files
+//! ```
+
+use std::io::Cursor;
+
+use fosm::model::{FirstOrderModel, ProcessorParams};
+use fosm::profile::{ProfileCollector, SamplingPlan};
+use fosm::statsim::{CollectorConfig, StatMachine, StatProfile, SynthesizedTrace};
+use fosm::trace::io::{read_trace, write_trace, TraceFileReader};
+use fosm::trace::VecTrace;
+use fosm::workloads::{BenchmarkSpec, WorkloadGenerator};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Record a workload into the binary trace format (in memory
+    //    here; the `fosm` CLI does the same to files on disk).
+    let spec = BenchmarkSpec::twolf();
+    let mut generator = WorkloadGenerator::new(&spec, 42);
+    let trace = VecTrace::record(&mut generator, 200_000);
+    let mut bytes = Vec::new();
+    write_trace(&mut bytes, trace.insts())?;
+    println!(
+        "recorded {} instructions of `{}` into {} bytes ({:.1} B/inst)",
+        trace.len(),
+        spec.name,
+        bytes.len(),
+        bytes.len() as f64 / trace.len() as f64
+    );
+
+    // 2. Stream it back and profile — full, then sampled with warm-up.
+    let params = ProcessorParams::baseline();
+    let mut reader = TraceFileReader::new(Cursor::new(&bytes))?;
+    let full = ProfileCollector::new(&params)
+        .with_name("twolf-full")
+        .collect(&mut reader, u64::MAX)?;
+    let mut reader = TraceFileReader::new(Cursor::new(&bytes))?;
+    let plan = SamplingPlan {
+        sample: 10_000,
+        warmup: 40_000,
+        period: 100_000,
+    };
+    let sampled = ProfileCollector::new(&params)
+        .with_name("twolf-sampled")
+        .collect_sampled(&mut reader, plan, 20_000)?;
+
+    let model = FirstOrderModel::new(params);
+    let full_est = model.evaluate(&full)?;
+    let sampled_est = model.evaluate(&sampled)?;
+    println!(
+        "model CPI — full profile: {:.3}; sampled profile ({:.0}% touched): {:.3}",
+        full_est.total_cpi(),
+        plan.touched_ratio() * 100.0,
+        sampled_est.total_cpi()
+    );
+
+    // 3. The statistical-simulation baseline from the same trace.
+    let decoded = read_trace(Cursor::new(&bytes))?;
+    let stat_profile = StatProfile::from_trace(decoded.insts(), CollectorConfig::default());
+    let stat = StatMachine::baseline()
+        .run(&mut SynthesizedTrace::new(&stat_profile, 42), 200_000);
+    println!("statistical simulation of the same statistics: {:.3} CPI", stat.cpi());
+    println!("(all three should agree to first order)");
+    Ok(())
+}

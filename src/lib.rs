@@ -1,0 +1,80 @@
+//! # fosm — A First-Order Superscalar Processor Model
+//!
+//! A production-quality Rust reproduction of **Karkhanis & Smith,
+//! "A First-Order Superscalar Processor Model", ISCA 2004**.
+//!
+//! The library has three layers:
+//!
+//! 1. **Trace substrate** — a RISC-like ISA ([`isa`]), trace
+//!    abstractions ([`trace`]), and synthetic SPECint2000-like workload
+//!    generators ([`workloads`]).
+//! 2. **Functional simulators** — set-associative caches ([`cache`]),
+//!    branch predictors ([`branch`]), and the idealized
+//!    instruction-window (IW) dependence analysis ([`depgraph`]). These
+//!    are the *only* simulations the analytical model needs.
+//! 3. **The model and its validation** — the first-order analytical
+//!    model itself ([`model`], re-exported from `fosm-core`), a detailed
+//!    cycle-level out-of-order simulator used as ground truth ([`sim`]),
+//!    and the paper's microarchitecture trend studies ([`trends`]).
+//!
+//! Beyond the paper's evaluation, every §7 extension is implemented
+//! and validated: limited functional units ([`isa::FuPool`]),
+//! instruction fetch buffers ([`sim::FetchBufferConfig`]), clustered
+//! issue windows ([`sim::ClusterConfig`]), data-TLB misses
+//! ([`cache::TlbConfig`]), program phases
+//! ([`workloads::PhasedGenerator`]), measured misprediction bursts,
+//! a measured-points IW characteristic, and a dependence-aware
+//! refinement of the long-miss overlap model (ablatable back to the
+//! paper-exact recipe via `FirstOrderModel::with_paper_simplifications`).
+//! The §1.2 statistical-simulation baseline lives in [`statsim`], and
+//! sampled profiling with functional warm-up in
+//! [`profile::SamplingPlan`].
+//!
+//! # Quickstart
+//!
+//! Estimate the performance of the paper's baseline 4-wide machine on a
+//! synthetic `gzip`-like workload, using only functional-level analysis:
+//!
+//! ```
+//! use fosm::model::{FirstOrderModel, ProcessorParams};
+//! use fosm::profile::ProfileCollector;
+//! use fosm::workloads::{BenchmarkSpec, WorkloadGenerator};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let spec = BenchmarkSpec::gzip();
+//! let mut trace = WorkloadGenerator::new(&spec, 42);
+//! let params = ProcessorParams::baseline();
+//! let profile = ProfileCollector::new(&params).collect(&mut trace, 200_000)?;
+//!
+//! let estimate = FirstOrderModel::new(params).evaluate(&profile)?;
+//! assert!(estimate.total_cpi() > 0.0);
+//! println!("steady-state IPC = {:.2}", 1.0 / estimate.steady_state_cpi);
+//! println!("total CPI        = {:.2}", estimate.total_cpi());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use fosm_isa as isa;
+pub use fosm_trace as trace;
+pub use fosm_workloads as workloads;
+pub use fosm_cache as cache;
+pub use fosm_branch as branch;
+pub use fosm_depgraph as depgraph;
+pub use fosm_sim as sim;
+pub use fosm_trends as trends;
+pub use fosm_statsim as statsim;
+
+/// The first-order analytical model (re-export of `fosm-core`'s model layer).
+pub mod model {
+    pub use fosm_core::model::*;
+    pub use fosm_core::params::ProcessorParams;
+}
+
+/// Program-profile collection via functional-level trace analysis.
+pub mod profile {
+    pub use fosm_core::profile::*;
+}
+
+pub use fosm_core as core;

@@ -1,0 +1,134 @@
+//! The paper's §7 clustered-window extension: partitioned issue windows
+//! with inter-cluster forwarding delays.
+
+use fosm::model::{FirstOrderModel, ProcessorParams};
+use fosm::profile::ProfileCollector;
+use fosm::sim::{ClusterConfig, Machine, MachineConfig, Steering};
+use fosm::trace::VecTrace;
+use fosm::workloads::{BenchmarkSpec, WorkloadGenerator};
+
+const TRACE_LEN: u64 = 100_000;
+
+fn run(cfg: MachineConfig, trace: &VecTrace) -> f64 {
+    Machine::new(cfg).run(&mut trace.clone()).cpi()
+}
+
+#[test]
+fn clustering_costs_performance() {
+    // vpr is dependence-chain-bound: cross-cluster forwarding hurts it.
+    let mut generator = WorkloadGenerator::new(&BenchmarkSpec::vpr(), 42);
+    let trace = VecTrace::record(&mut generator, TRACE_LEN);
+
+    let monolithic = run(MachineConfig::ideal(), &trace);
+    let clustered = run(
+        MachineConfig::ideal().with_clusters(ClusterConfig {
+            clusters: 2,
+            forward_delay: 2,
+            steering: Steering::RoundRobin,
+        }),
+        &trace,
+    );
+    assert!(
+        clustered > 1.02 * monolithic,
+        "2-cycle forwarding must cost CPI: {clustered:.3} vs {monolithic:.3}"
+    );
+}
+
+#[test]
+fn dependence_steering_beats_round_robin() {
+    let mut generator = WorkloadGenerator::new(&BenchmarkSpec::vpr(), 42);
+    let trace = VecTrace::record(&mut generator, TRACE_LEN);
+    let cfg = |steering| {
+        MachineConfig::ideal().with_clusters(ClusterConfig {
+            clusters: 2,
+            forward_delay: 2,
+            steering,
+        })
+    };
+    let rr = run(cfg(Steering::RoundRobin), &trace);
+    let dep = run(cfg(Steering::Dependence), &trace);
+    assert!(
+        dep <= rr * 1.01,
+        "dependence steering ({dep:.3}) should not lose to round-robin ({rr:.3})"
+    );
+}
+
+#[test]
+fn zero_delay_clustering_is_nearly_free() {
+    // With no forwarding delay, clustering costs only port/capacity
+    // fragmentation — small on a saturated machine.
+    let mut generator = WorkloadGenerator::new(&BenchmarkSpec::gzip(), 42);
+    let trace = VecTrace::record(&mut generator, TRACE_LEN);
+    let mono = run(MachineConfig::ideal(), &trace);
+    let clustered = run(
+        MachineConfig::ideal().with_clusters(ClusterConfig {
+            clusters: 4,
+            forward_delay: 0,
+            steering: Steering::Dependence,
+        }),
+        &trace,
+    );
+    assert!(
+        clustered < 1.15 * mono,
+        "fragmentation alone should be small: {clustered:.3} vs {mono:.3}"
+    );
+}
+
+#[test]
+fn model_tracks_the_clustered_machine() {
+    let spec = BenchmarkSpec::vpr();
+    let mut generator = WorkloadGenerator::new(&spec, 42);
+    let trace = VecTrace::record(&mut generator, TRACE_LEN);
+    let cluster = ClusterConfig {
+        clusters: 2,
+        forward_delay: 2,
+        steering: Steering::RoundRobin,
+    };
+    let sim = Machine::new(MachineConfig::baseline().with_clusters(cluster))
+        .run(&mut trace.clone());
+
+    let params = ProcessorParams::baseline();
+    let profile = ProfileCollector::new(&params)
+        .with_name(&spec.name)
+        .collect(&mut trace.clone(), u64::MAX)
+        .expect("profile");
+    // Round-robin over 2 clusters: ~half of all dependence edges cross.
+    let est = FirstOrderModel::new(params)
+        .with_clusters(cluster.forward_delay, 0.5)
+        .evaluate(&profile)
+        .expect("estimate");
+    let err = (est.total_cpi() - sim.cpi()).abs() / sim.cpi();
+    assert!(
+        err < 0.25,
+        "model {:.3} vs sim {:.3} ({:.1}% error)",
+        est.total_cpi(),
+        sim.cpi(),
+        err * 100.0
+    );
+
+    // And the clustered estimate exceeds the monolithic one.
+    let mono = FirstOrderModel::new(ProcessorParams::baseline())
+        .evaluate(&profile)
+        .expect("estimate");
+    assert!(est.total_cpi() > mono.total_cpi());
+}
+
+#[test]
+fn invalid_cluster_geometry_is_rejected() {
+    let bad = ClusterConfig {
+        clusters: 3, // does not divide width 4
+        forward_delay: 1,
+        steering: Steering::RoundRobin,
+    };
+    assert!(MachineConfig::baseline().with_clusters(bad).validate().is_err());
+    let one = ClusterConfig {
+        clusters: 1,
+        forward_delay: 1,
+        steering: Steering::RoundRobin,
+    };
+    assert!(MachineConfig::baseline().with_clusters(one).validate().is_err());
+    assert!(MachineConfig::baseline()
+        .with_clusters(ClusterConfig::two_cluster())
+        .validate()
+        .is_ok());
+}

@@ -1,0 +1,99 @@
+//! All §7 extensions stacked at once: a clustered, FU-limited machine
+//! with a fetch buffer and a data TLB must still simulate sanely, and
+//! the fully-extended model must still track it.
+
+use fosm::cache::TlbConfig;
+use fosm::isa::FuPool;
+use fosm::model::{FirstOrderModel, ProcessorParams};
+use fosm::profile::ProfileCollector;
+use fosm::sim::{ClusterConfig, FetchBufferConfig, Machine, MachineConfig, Steering};
+use fosm::trace::VecTrace;
+use fosm::workloads::{BenchmarkSpec, WorkloadGenerator};
+
+fn extended_config() -> MachineConfig {
+    MachineConfig::baseline()
+        .with_clusters(ClusterConfig {
+            clusters: 2,
+            forward_delay: 1,
+            steering: Steering::Dependence,
+        })
+        .with_fu_limits(FuPool::alpha_like())
+        .with_fetch_buffer(FetchBufferConfig {
+            entries: 32,
+            bandwidth: 8,
+        })
+        .with_dtlb(TlbConfig::baseline())
+}
+
+#[test]
+fn fully_extended_machine_simulates_sanely() {
+    let mut generator = WorkloadGenerator::new(&BenchmarkSpec::gcc(), 42);
+    let trace = VecTrace::record(&mut generator, 80_000);
+
+    let cfg = extended_config();
+    cfg.validate().expect("stacked extensions are consistent");
+    let extended = Machine::new(cfg).run(&mut trace.clone());
+    let baseline = Machine::new(MachineConfig::baseline()).run(&mut trace.clone());
+
+    assert_eq!(extended.instructions, 80_000);
+    assert!(extended.ipc() > 0.2 && extended.ipc() <= 4.0);
+    // Every extension stat is alive.
+    assert!(extended.dtlb_misses > 0, "TLB must see misses on gcc");
+    // Extensions cost something relative to the unconstrained baseline,
+    // minus what the fetch buffer gives back; stay within a sane band.
+    let ratio = extended.cpi() / baseline.cpi();
+    assert!(
+        (0.7..=1.6).contains(&ratio),
+        "extended/baseline CPI ratio {ratio:.2}"
+    );
+}
+
+#[test]
+fn fully_extended_model_tracks_the_machine() {
+    let spec = BenchmarkSpec::gcc();
+    let mut generator = WorkloadGenerator::new(&spec, 42);
+    let trace = VecTrace::record(&mut generator, 80_000);
+
+    let sim = Machine::new(extended_config()).run(&mut trace.clone());
+
+    let params = ProcessorParams::baseline();
+    let profile = ProfileCollector::new(&params)
+        .with_dtlb(TlbConfig::baseline())
+        .with_name(&spec.name)
+        .collect(&mut trace.clone(), u64::MAX)
+        .expect("profile");
+    let est = FirstOrderModel::new(params)
+        .with_fu_limits(FuPool::alpha_like())
+        .with_clusters(1, 0.5 / 3.0) // dependence steering, 2 clusters
+        .with_fetch_buffer(32)
+        .evaluate(&profile)
+        .expect("estimate");
+
+    let err = (est.total_cpi() - sim.cpi()).abs() / sim.cpi();
+    assert!(
+        err < 0.30,
+        "fully-extended model {:.3} vs sim {:.3} ({:.1}% error)",
+        est.total_cpi(),
+        sim.cpi(),
+        err * 100.0
+    );
+}
+
+#[test]
+fn extension_validation_composes() {
+    // A bad piece anywhere fails the whole configuration.
+    let mut cfg = extended_config();
+    cfg.fu = Some(FuPool {
+        mem_ports: 0,
+        ..FuPool::alpha_like()
+    });
+    assert!(cfg.validate().is_err());
+
+    let mut cfg = extended_config();
+    cfg.clusters = Some(ClusterConfig {
+        clusters: 3,
+        forward_delay: 1,
+        steering: Steering::RoundRobin,
+    });
+    assert!(cfg.validate().is_err());
+}

@@ -1,0 +1,125 @@
+//! The paper's §7 fetch-buffer extension: "These buffers immediately
+//! follow the instruction cache and can hide some (or all) of the
+//! I-cache miss penalty."
+
+use fosm::cache::HierarchyConfig;
+use fosm::model::{FirstOrderModel, ProcessorParams};
+use fosm::profile::ProfileCollector;
+use fosm::sim::{FetchBufferConfig, Machine, MachineConfig};
+use fosm::trace::VecTrace;
+use fosm::workloads::{BenchmarkSpec, WorkloadGenerator};
+
+const TRACE_LEN: u64 = 100_000;
+
+/// Real L1I over an *ideal* L2, so every I-cache miss is a short
+/// (8-cycle) miss a fetch buffer could hide.
+fn short_miss_config() -> MachineConfig {
+    MachineConfig {
+        hierarchy: HierarchyConfig {
+            l1i: HierarchyConfig::baseline().l1i,
+            l1d: None,
+            l2: None,
+            next_line_prefetch: 0,
+        },
+        predictor: fosm::branch::PredictorConfig::Ideal,
+        ..MachineConfig::baseline()
+    }
+}
+
+fn icache_adder(cfg: MachineConfig, trace: &VecTrace) -> (f64, u64) {
+    let ideal_cfg = MachineConfig {
+        hierarchy: HierarchyConfig::ideal(),
+        ..cfg.clone()
+    };
+    let real = Machine::new(cfg).run(&mut trace.clone());
+    let ideal = Machine::new(ideal_cfg).run(&mut trace.clone());
+    (
+        (real.cycles as i64 - ideal.cycles as i64) as f64 / TRACE_LEN as f64,
+        real.icache_short_misses,
+    )
+}
+
+#[test]
+fn fetch_buffer_hides_icache_miss_penalty() {
+    // gcc has a large code footprint: plenty of short I-cache misses.
+    let mut generator = WorkloadGenerator::new(&BenchmarkSpec::gcc(), 42);
+    let trace = VecTrace::record(&mut generator, TRACE_LEN);
+
+    let (without, misses) = icache_adder(short_miss_config(), &trace);
+    assert!(misses > 1_000, "need a meaningful sample, got {misses}");
+
+    // A buffer big enough to cover the whole 8-cycle L2 delay at width
+    // 4 (needs >= 32 instructions of slack).
+    let big = FetchBufferConfig {
+        entries: 64,
+        bandwidth: 16,
+    };
+    let (with_big, _) = icache_adder(short_miss_config().with_fetch_buffer(big), &trace);
+    assert!(
+        with_big < 0.5 * without,
+        "a covering buffer should hide most of the penalty: {with_big:.3} vs {without:.3}"
+    );
+
+    // A small buffer hides only part of it.
+    let small = FetchBufferConfig {
+        entries: 8,
+        bandwidth: 16,
+    };
+    let (with_small, _) = icache_adder(short_miss_config().with_fetch_buffer(small), &trace);
+    assert!(with_small < without);
+    assert!(with_small > with_big);
+}
+
+#[test]
+fn model_tracks_the_buffered_machine() {
+    let mut generator = WorkloadGenerator::new(&BenchmarkSpec::gcc(), 42);
+    let trace = VecTrace::record(&mut generator, TRACE_LEN);
+    let params = ProcessorParams::baseline();
+    let profile = ProfileCollector::new(&params)
+        .with_name("gcc")
+        .collect(&mut trace.clone(), u64::MAX)
+        .expect("profile");
+
+    let buffer = FetchBufferConfig {
+        entries: 24,
+        bandwidth: 16,
+    };
+    let sim = Machine::new(MachineConfig::baseline().with_fetch_buffer(buffer))
+        .run(&mut trace.clone());
+    let est = FirstOrderModel::new(params)
+        .with_fetch_buffer(buffer.entries)
+        .evaluate(&profile)
+        .expect("estimate");
+    let err = (est.total_cpi() - sim.cpi()).abs() / sim.cpi();
+    assert!(
+        err < 0.25,
+        "model {:.3} vs sim {:.3} ({:.1}% error)",
+        est.total_cpi(),
+        sim.cpi(),
+        err * 100.0
+    );
+
+    // The buffered model must predict a lower icache component.
+    let plain = FirstOrderModel::new(ProcessorParams::baseline())
+        .evaluate(&profile)
+        .expect("estimate");
+    assert!(est.icache_l1_cpi < plain.icache_l1_cpi);
+}
+
+#[test]
+fn buffer_validation_rejects_insufficient_bandwidth() {
+    let bad = FetchBufferConfig {
+        entries: 16,
+        bandwidth: 4, // equal to the width: can never accumulate slack
+    };
+    assert!(MachineConfig::baseline().with_fetch_buffer(bad).validate().is_err());
+    let zero = FetchBufferConfig {
+        entries: 0,
+        bandwidth: 16,
+    };
+    assert!(MachineConfig::baseline().with_fetch_buffer(zero).validate().is_err());
+    assert!(MachineConfig::baseline()
+        .with_fetch_buffer(FetchBufferConfig::baseline())
+        .validate()
+        .is_ok());
+}

@@ -1,0 +1,110 @@
+//! The paper's §7 limited-functional-units extension: instruction-mix
+//! statistics determine a lower saturation level, validated against the
+//! detailed simulator's per-class issue limits.
+
+use fosm::isa::{FuClass, FuPool, Inst, Op, Reg};
+use fosm::model::{FirstOrderModel, ProcessorParams};
+use fosm::profile::ProfileCollector;
+use fosm::sim::{Machine, MachineConfig};
+use fosm::trace::VecTrace;
+use fosm::workloads::{BenchmarkSpec, WorkloadGenerator};
+
+#[test]
+fn single_memory_port_bounds_load_throughput() {
+    // A pure-load trace on a 4-wide machine with one memory port can
+    // retire at most 1 IPC.
+    let insts: Vec<Inst> = (0..2000u64)
+        .map(|i| Inst::load(i * 4, Reg::new((i % 24) as u8), None, (i % 32) * 8))
+        .collect();
+    let pool = FuPool {
+        mem_ports: 1,
+        ..FuPool::alpha_like()
+    };
+    let limited = Machine::new(MachineConfig::ideal().with_fu_limits(pool))
+        .run(&mut VecTrace::new(insts.clone()));
+    let unlimited = Machine::new(MachineConfig::ideal()).run(&mut VecTrace::new(insts));
+    assert!(limited.ipc() <= 1.0 + 1e-9, "ipc {}", limited.ipc());
+    assert!(unlimited.ipc() > 3.0, "ipc {}", unlimited.ipc());
+}
+
+#[test]
+fn generous_pools_change_nothing() {
+    let mut generator = WorkloadGenerator::new(&BenchmarkSpec::gzip(), 42);
+    let trace = VecTrace::record(&mut generator, 60_000);
+    let huge = FuPool {
+        int_alu: 64,
+        int_mul_div: 64,
+        fp_add: 64,
+        fp_mul_div: 64,
+        mem_ports: 64,
+    };
+    let a = Machine::new(MachineConfig::baseline()).run(&mut trace.clone());
+    let b = Machine::new(MachineConfig::baseline().with_fu_limits(huge)).run(&mut trace.clone());
+    assert_eq!(a.cycles, b.cycles);
+}
+
+#[test]
+fn model_predicts_the_fu_saturation_level() {
+    // eon is FP-heavy; a single shared memory port is its limiter.
+    let spec = BenchmarkSpec::eon();
+    let mut generator = WorkloadGenerator::new(&spec, 42);
+    let trace = VecTrace::record(&mut generator, 100_000);
+    let pool = FuPool {
+        mem_ports: 1,
+        ..FuPool::alpha_like()
+    };
+
+    let params = ProcessorParams::baseline();
+    let profile = ProfileCollector::new(&params)
+        .with_name(&spec.name)
+        .collect(&mut trace.clone(), u64::MAX)
+        .expect("profile");
+    // The profile knows the mix: eon has a meaningful FP share.
+    assert!(profile.fu_fraction(FuClass::FpAdd) > 0.03);
+    assert!(profile.fu_fraction(FuClass::Mem) > 0.15);
+
+    let est = FirstOrderModel::new(params.clone())
+        .with_fu_limits(pool)
+        .evaluate(&profile)
+        .expect("estimate");
+    // Effective width = min over classes of units/fraction, below the
+    // machine width with one memory port at ~25% memory ops.
+    assert!(est.effective_width < 4.0+ 1e-12);
+    let expected = 1.0 / profile.fu_fraction(FuClass::Mem);
+    assert!(
+        (est.effective_width - expected.min(4.0)).abs() < 0.5,
+        "effective width {} vs expected {expected:.2}",
+        est.effective_width
+    );
+
+    // Model total tracks the FU-limited simulator.
+    let sim = Machine::new(MachineConfig::baseline().with_fu_limits(pool))
+        .run(&mut trace.clone());
+    let err = (est.total_cpi() - sim.cpi()).abs() / sim.cpi();
+    assert!(
+        err < 0.25,
+        "model {:.3} vs sim {:.3} ({:.1}% error)",
+        est.total_cpi(),
+        sim.cpi(),
+        err * 100.0
+    );
+
+    // And the unlimited model underestimates the limited machine.
+    let unlimited = FirstOrderModel::new(params).evaluate(&profile).expect("estimate");
+    assert!(unlimited.total_cpi() < est.total_cpi());
+    assert_eq!(unlimited.effective_width, 4.0);
+}
+
+#[test]
+fn fu_class_mapping_is_exhaustive_in_profiles() {
+    let params = ProcessorParams::baseline();
+    let mut generator = WorkloadGenerator::new(&BenchmarkSpec::vpr(), 1);
+    let profile = ProfileCollector::new(&params)
+        .collect(&mut generator, 30_000)
+        .expect("profile");
+    let total: u64 = profile.fu_mix.iter().sum();
+    assert_eq!(total, profile.instructions);
+    // vpr is FP-flavoured: both FP classes appear.
+    assert!(profile.fu_fraction(FuClass::FpMulDiv) > 0.05);
+    let _ = Op::FpMul.fu_class(); // public mapping stays available
+}

@@ -1,0 +1,56 @@
+//! Serde round-trips for the data-structure types: profiles, estimates,
+//! and configurations survive serialization unchanged, so experiment
+//! inputs and outputs can be archived and replayed.
+
+use fosm::model::{FirstOrderModel, ProcessorParams};
+use fosm::profile::ProfileCollector;
+use fosm::sim::MachineConfig;
+use fosm::workloads::{BenchmarkSpec, WorkloadGenerator};
+
+#[test]
+fn profile_round_trips_through_json() {
+    let params = ProcessorParams::baseline();
+    let mut generator = WorkloadGenerator::new(&BenchmarkSpec::gzip(), 42);
+    let profile = ProfileCollector::new(&params)
+        .with_name("gzip")
+        .collect(&mut generator, 30_000)
+        .expect("profile");
+
+    let json = serde_json::to_string(&profile).expect("serialize");
+    let back: fosm::profile::ProgramProfile = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(back, profile);
+
+    // The deserialized profile evaluates identically.
+    let a = FirstOrderModel::new(params.clone()).evaluate(&profile).unwrap();
+    let b = FirstOrderModel::new(params).evaluate(&back).unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn estimate_and_configs_round_trip() {
+    let params = ProcessorParams::baseline();
+    let json = serde_json::to_string(&params).unwrap();
+    let back: ProcessorParams = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, params);
+
+    let cfg = MachineConfig::baseline();
+    let json = serde_json::to_string(&cfg).unwrap();
+    let back: MachineConfig = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.width, cfg.width);
+    assert_eq!(back.hierarchy, cfg.hierarchy);
+    assert_eq!(back.predictor, cfg.predictor);
+}
+
+#[test]
+fn benchmark_specs_round_trip() {
+    for spec in BenchmarkSpec::all() {
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: BenchmarkSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+        // A round-tripped spec generates the identical stream.
+        use fosm::trace::TraceSource;
+        let a: Vec<_> = WorkloadGenerator::new(&spec, 5).take(200).iter().collect();
+        let b: Vec<_> = WorkloadGenerator::new(&back, 5).take(200).iter().collect();
+        assert_eq!(a, b);
+    }
+}

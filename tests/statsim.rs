@@ -1,0 +1,59 @@
+//! The paper's §1.2 claim against the statistical-simulation baseline:
+//! "In effect, our model performs statistical simulation, without the
+//! simulation, and overall accuracy is similar."
+
+use fosm::model::{FirstOrderModel, ProcessorParams};
+use fosm::profile::ProfileCollector;
+use fosm::sim::{Machine, MachineConfig};
+use fosm::statsim::{CollectorConfig, StatMachine, StatProfile, SynthesizedTrace};
+use fosm::trace::VecTrace;
+use fosm::workloads::{BenchmarkSpec, WorkloadGenerator};
+
+const TRACE_LEN: u64 = 100_000;
+
+#[test]
+fn statistical_simulation_and_model_agree_with_detailed_simulation() {
+    let mut stat_err = 0.0;
+    let mut model_err = 0.0;
+    let specs = [BenchmarkSpec::gzip(), BenchmarkSpec::gcc(), BenchmarkSpec::eon()];
+    for spec in &specs {
+        let mut generator = WorkloadGenerator::new(spec, 42);
+        let trace = VecTrace::record(&mut generator, TRACE_LEN);
+        let sim = Machine::new(MachineConfig::baseline()).run(&mut trace.clone());
+
+        let stat_profile = StatProfile::from_trace(trace.insts(), CollectorConfig::default());
+        let stat = StatMachine::baseline()
+            .run(&mut SynthesizedTrace::new(&stat_profile, 42), TRACE_LEN);
+
+        let params = ProcessorParams::baseline();
+        let profile = ProfileCollector::new(&params)
+            .collect(&mut trace.clone(), u64::MAX)
+            .expect("profile");
+        let est = FirstOrderModel::new(params).evaluate(&profile).expect("estimate");
+
+        stat_err += (stat.cpi() - sim.cpi()).abs() / sim.cpi();
+        model_err += (est.total_cpi() - sim.cpi()).abs() / sim.cpi();
+    }
+    stat_err /= specs.len() as f64;
+    model_err /= specs.len() as f64;
+    // Both methods land in the same accuracy class.
+    assert!(stat_err < 0.2, "statistical simulation error {:.1}%", stat_err * 100.0);
+    assert!(model_err < 0.2, "model error {:.1}%", model_err * 100.0);
+}
+
+#[test]
+fn synthetic_traces_preserve_throughput_character() {
+    // A synthesized mcf must still be much slower than a synthesized
+    // gzip on the same machine — the statistics carry the bottleneck.
+    let run = |spec: &BenchmarkSpec| {
+        let mut generator = WorkloadGenerator::new(spec, 42);
+        let trace = VecTrace::record(&mut generator, TRACE_LEN);
+        let p = StatProfile::from_trace(trace.insts(), CollectorConfig::default());
+        StatMachine::baseline()
+            .run(&mut SynthesizedTrace::new(&p, 1), 50_000)
+            .cpi()
+    };
+    let mcf = run(&BenchmarkSpec::mcf());
+    let gzip = run(&BenchmarkSpec::gzip());
+    assert!(mcf > 1.5 * gzip, "mcf {mcf:.2} vs gzip {gzip:.2}");
+}

@@ -1,0 +1,79 @@
+//! The paper's §7 TLB extension: data-TLB misses behave like long
+//! data-cache misses. Model-vs-simulator agreement for the extension.
+
+use fosm::cache::TlbConfig;
+use fosm::model::{FirstOrderModel, ProcessorParams};
+use fosm::profile::ProfileCollector;
+use fosm::sim::{Machine, MachineConfig};
+use fosm::trace::VecTrace;
+use fosm::workloads::{BenchmarkSpec, WorkloadGenerator};
+
+const TRACE_LEN: u64 = 100_000;
+
+/// A TLB small enough that mcf's pointer-chasing blows it regularly.
+fn tiny_tlb() -> TlbConfig {
+    TlbConfig {
+        entries: 16,
+        page_bytes: 4096,
+        walk_latency: 120,
+    }
+}
+
+#[test]
+fn tlb_misses_cost_time_in_the_simulator() {
+    let mut generator = WorkloadGenerator::new(&BenchmarkSpec::mcf(), 42);
+    let trace = VecTrace::record(&mut generator, TRACE_LEN);
+
+    let without = Machine::new(MachineConfig::baseline()).run(&mut trace.clone());
+    let with = Machine::new(MachineConfig::baseline().with_dtlb(tiny_tlb()))
+        .run(&mut trace.clone());
+    assert!(with.dtlb_misses > 1_000, "mcf must thrash a 16-entry TLB");
+    assert_eq!(without.dtlb_misses, 0);
+    assert!(
+        with.cycles > without.cycles,
+        "page walks must cost cycles: {} vs {}",
+        with.cycles,
+        without.cycles
+    );
+}
+
+#[test]
+fn model_tracks_the_tlb_extension() {
+    let mut generator = WorkloadGenerator::new(&BenchmarkSpec::mcf(), 42);
+    let trace = VecTrace::record(&mut generator, TRACE_LEN);
+    let params = ProcessorParams::baseline();
+
+    let profile = ProfileCollector::new(&params)
+        .with_dtlb(tiny_tlb())
+        .with_name("mcf+tlb")
+        .collect(&mut trace.clone(), u64::MAX)
+        .expect("profile");
+    assert!(profile.dtlb_miss_distribution.misses() > 1_000);
+    assert_eq!(profile.dtlb_walk_latency, 120);
+
+    let est = FirstOrderModel::new(params).evaluate(&profile).expect("estimate");
+    assert!(est.dtlb_cpi > 0.0, "TLB component must be charged");
+
+    let sim = Machine::new(MachineConfig::baseline().with_dtlb(tiny_tlb()))
+        .run(&mut trace.clone());
+    let err = (est.total_cpi() - sim.cpi()).abs() / sim.cpi();
+    assert!(
+        err < 0.25,
+        "model {:.3} vs sim {:.3} with TLB ({:.1}% error)",
+        est.total_cpi(),
+        sim.cpi(),
+        err * 100.0
+    );
+}
+
+#[test]
+fn without_a_tlb_the_component_is_zero() {
+    let mut generator = WorkloadGenerator::new(&BenchmarkSpec::gzip(), 42);
+    let params = ProcessorParams::baseline();
+    let profile = ProfileCollector::new(&params)
+        .collect(&mut generator, 30_000)
+        .expect("profile");
+    assert_eq!(profile.dtlb_miss_distribution.misses(), 0);
+    let est = FirstOrderModel::new(params).evaluate(&profile).expect("estimate");
+    assert_eq!(est.dtlb_cpi, 0.0);
+}

@@ -1,0 +1,64 @@
+//! The paper's §6 trend conclusions, as end-to-end tests over the
+//! public trend-study API.
+
+use fosm::depgraph::{IwCharacteristic, PowerLaw};
+use fosm::trends::issue_width::IssueWidthStudy;
+use fosm::trends::pipeline::PipelineStudy;
+
+#[test]
+fn optimal_pipeline_depth_reproduces_sprangle_carmean() {
+    // Paper §6.1: "for the issue width 3 curve we get the same result
+    // as reported in [4], the optimal pipeline depth is around 55".
+    let study = PipelineStudy::paper();
+    let best = study.optimal_depth(3, 1..=120).expect("non-empty sweep");
+    assert!(
+        (45..=70).contains(&best),
+        "optimal depth {best}, expected ≈55"
+    );
+}
+
+#[test]
+fn wider_issue_prefers_shorter_pipelines() {
+    // Paper §6.1 / Hartstein & Puzak: the optimum moves toward shorter
+    // front ends as the machine widens.
+    let study = PipelineStudy::paper();
+    let mut previous = u32::MAX;
+    for width in [2u32, 3, 4, 8] {
+        let best = study.optimal_depth(width, 1..=140).expect("non-empty sweep");
+        assert!(
+            best <= previous,
+            "width {width}: optimum {best} should not exceed the narrower machine's {previous}"
+        );
+        previous = best;
+    }
+}
+
+#[test]
+fn branch_prediction_must_improve_quadratically_with_width() {
+    // Paper §6.2: doubling the issue width requires ~4x the distance
+    // between mispredictions for the same time-at-peak fraction.
+    let iw = IwCharacteristic::new(PowerLaw::square_root(), 1.0).expect("valid law");
+    let study = IssueWidthStudy::paper(iw);
+    let d4 = study.distance_for_fraction(4, 0.3).expect("reachable");
+    let d8 = study.distance_for_fraction(8, 0.3).expect("reachable");
+    let d16 = study.distance_for_fraction(16, 0.3).expect("reachable");
+    for (ratio, label) in [(d8 / d4, "8/4"), (d16 / d8, "16/8")] {
+        assert!(
+            (3.0..=5.5).contains(&ratio),
+            "{label} distance ratio {ratio:.2}, expected ≈4"
+        );
+    }
+}
+
+#[test]
+fn deep_pipelines_erode_wide_issue_ipc() {
+    // Paper Fig. 17a: as the front end deepens, the IPC advantage of
+    // width 8 over width 2 shrinks.
+    let study = PipelineStudy::paper();
+    let shallow = study.ipc(8, 2).unwrap() / study.ipc(2, 2).unwrap();
+    let deep = study.ipc(8, 90).unwrap() / study.ipc(2, 90).unwrap();
+    assert!(
+        deep < 0.8 * shallow,
+        "advantage should erode: shallow {shallow:.2}, deep {deep:.2}"
+    );
+}
