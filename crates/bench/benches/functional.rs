@@ -69,13 +69,31 @@ fn functional_toolchain(c: &mut Criterion) {
         b.iter(|| black_box(iw::ipc_at_window(trace.insts(), 64, &LatencyTable::unit())))
     });
 
+    group.bench_function("iw-analysis-w64-reference", |b| {
+        b.iter(|| {
+            black_box(iw::reference::ipc_at_window(
+                trace.insts(),
+                64,
+                &LatencyTable::unit(),
+            ))
+        })
+    });
+
+    group.bench_function("iw-characteristic-all-windows", |b| {
+        b.iter(|| {
+            black_box(iw::characteristic(
+                trace.insts(),
+                &iw::DEFAULT_WINDOW_SIZES,
+                &LatencyTable::unit(),
+            ))
+        })
+    });
+
     group.bench_function("full-profile-collection", |b| {
         b.iter(|| {
-            let mut replay = trace.clone();
-            replay.reset();
             black_box(
                 ProfileCollector::new(&params)
-                    .collect(&mut replay, u64::MAX)
+                    .collect(&mut trace.replay(), u64::MAX)
                     .unwrap(),
             )
         })

@@ -9,15 +9,17 @@
 //! 4. `+bursts` — additionally uses each profile's measured
 //!    misprediction burst length for eq. 3.
 
-use fosm_bench::harness;
+use fosm_bench::store::ArtifactStore;
+use fosm_bench::{harness, par};
 use fosm_core::model::FirstOrderModel;
 use fosm_sim::MachineConfig;
 use fosm_workloads::BenchmarkSpec;
 
 fn main() {
-    let n = harness::trace_len_from_args();
+    let n = harness::run_args().trace_len;
     let config = MachineConfig::baseline();
     let params = harness::params_of(&config);
+    let store = ArtifactStore::global();
 
     type ModelFactory = Box<dyn Fn() -> FirstOrderModel>;
     let variants: Vec<(&str, ModelFactory)> = vec![
@@ -46,12 +48,17 @@ fn main() {
     }
     println!();
 
+    // The expensive artifacts (simulation + profile) fan out across
+    // cores; the model variants themselves are microsecond-scale and
+    // evaluated serially below.
+    let rows = par::par_map_benchmarks(&BenchmarkSpec::all(), |spec| {
+        let sim = store.simulate(&config, spec, n, harness::SEED);
+        let profile = store.profile(&params, &spec.name, spec, n, harness::SEED);
+        (spec.name.clone(), sim, profile)
+    });
     let mut errors = vec![Vec::new(); variants.len()];
-    for spec in BenchmarkSpec::all() {
-        let trace = harness::record(&spec, n);
-        let sim = harness::simulate(&config, &trace);
-        let profile = harness::profile(&params, &spec.name, &trace);
-        print!("{:<8} {:>8.3}", spec.name, sim.cpi());
+    for (name, sim, profile) in rows {
+        print!("{:<8} {:>8.3}", name, sim.cpi());
         for (i, (_, make)) in variants.iter().enumerate() {
             let est = make().evaluate(&profile).expect("valid profile");
             let err = 100.0 * (est.total_cpi() - sim.cpi()) / sim.cpi();

@@ -3,25 +3,29 @@
 //! against the paper's Table 1 and qualitative statements.
 
 use fosm_cache::{AccessKind, AccessOutcome, Hierarchy, HierarchyConfig, LongMissRecorder};
+use fosm_bench::store::ArtifactStore;
+use fosm_bench::{harness, par};
 use fosm_branch::{Gshare, MispredictStats, Predictor};
 use fosm_depgraph::{iw, powerlaw};
 use fosm_isa::LatencyTable;
-use fosm_trace::{TraceStats, VecTrace};
+use fosm_trace::{SliceTrace, TraceStats};
 use fosm_workloads::{BenchmarkSpec, WorkloadGenerator};
 
+/// Calibration reads fewer instructions than the figures by default.
+const DEFAULT_CALIBRATE_LEN: u64 = 200_000;
+
 fn main() {
-    let n: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(200_000);
+    let args = harness::run_args_with_default(DEFAULT_CALIBRATE_LEN);
+    let n = args.trace_len;
+    let store = ArtifactStore::global();
     println!(
         "{:<8} {:>6} {:>6} {:>6} {:>7} {:>7} {:>8} {:>8} {:>8} {:>9} {:>7}",
         "bench", "alpha", "beta", "L", "br%", "misp%", "i-mr%", "d-mr%", "ldm/ki", "ovlp", "code KB"
     );
-    for spec in BenchmarkSpec::all() {
-        let mut generator = WorkloadGenerator::new(&spec, 42);
+    let rows = par::par_map_benchmarks(&BenchmarkSpec::all(), |spec| {
+        let generator = WorkloadGenerator::new(spec, 42);
         let code_kb = generator.program().code_bytes() / 1024;
-        let trace = VecTrace::record(&mut generator, n);
+        let trace = store.trace(spec, n, 42);
         let insts = trace.insts();
 
         // IW characteristic.
@@ -29,8 +33,7 @@ fn main() {
         let law = powerlaw::fit(&pts).expect("fit");
 
         // Mix -> L (plus short-miss adjustment computed below).
-        let mut stats_src = trace.clone();
-        let stats = TraceStats::from_source(&mut stats_src, usize::MAX);
+        let stats = TraceStats::from_source(&mut SliceTrace::new(insts), usize::MAX);
         let l_fu = stats.average_latency(&LatencyTable::default());
 
         // Caches + predictor.
@@ -68,7 +71,7 @@ fn main() {
         let short_extra = d_short as f64 / insts.len() as f64 * 8.0; // 8-cycle L2
         let l_total = l_fu + short_extra;
         let dist = longs.distribution(128);
-        println!(
+        format!(
             "{:<8} {:>6.2} {:>6.2} {:>6.2} {:>7.2} {:>7.2} {:>8.3} {:>8.3} {:>8.2} {:>9.2} {:>7}",
             spec.name,
             law.alpha(),
@@ -81,6 +84,9 @@ fn main() {
             longs.count() as f64 / insts.len() as f64 * 1000.0,
             dist.overlap_factor(),
             code_kb,
-        );
+        )
+    });
+    for row in rows {
+        println!("{row}");
     }
 }

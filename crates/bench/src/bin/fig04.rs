@@ -2,23 +2,28 @@
 //! issue width — idealized unit-latency IW curves, log2(I) vs log2(W),
 //! for all twelve benchmarks.
 
-use fosm_bench::harness;
+use fosm_bench::store::ArtifactStore;
+use fosm_bench::{harness, par};
 use fosm_depgraph::iw::{self, DEFAULT_WINDOW_SIZES};
 use fosm_isa::LatencyTable;
 use fosm_workloads::BenchmarkSpec;
 
 fn main() {
-    let n = harness::trace_len_from_args();
+    let n = harness::run_args().trace_len;
+    let store = ArtifactStore::global();
     println!("Figure 4: unit-latency IW characteristic, IPC by window size ({n} insts)");
     print!("{:<8}", "bench");
     for w in DEFAULT_WINDOW_SIZES {
         print!(" {w:>7}");
     }
     println!();
-    for spec in BenchmarkSpec::all() {
-        let trace = harness::record(&spec, n);
+    let rows = par::par_map_benchmarks(&BenchmarkSpec::all(), |spec| {
+        let trace = store.trace(spec, n, harness::SEED);
         let points = iw::characteristic(trace.insts(), &DEFAULT_WINDOW_SIZES, &LatencyTable::unit());
-        print!("{:<8}", spec.name);
+        (spec.name.clone(), points)
+    });
+    for (name, points) in rows {
+        print!("{name:<8}");
         for p in &points {
             print!(" {:>7.2}", p.ipc);
         }

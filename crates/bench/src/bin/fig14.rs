@@ -2,28 +2,32 @@
 //! the model's eq. 8 (isolated penalty × overlap factor from the
 //! measured f_LDM distribution).
 
-use fosm_bench::harness;
+use fosm_bench::store::ArtifactStore;
+use fosm_bench::{harness, par};
 use fosm_core::dcache;
 use fosm_sim::MachineConfig;
 use fosm_workloads::BenchmarkSpec;
 
 fn main() {
-    let n = harness::trace_len_from_args();
+    let n = harness::run_args().trace_len;
     let params = harness::params_of(&MachineConfig::baseline());
+    let store = ArtifactStore::global();
     println!("Figure 14: penalty per long data-cache miss ({n} insts, ∆D = 200)");
     println!(
         "{:<8} {:>7} {:>8} {:>8} {:>8} {:>7}",
         "bench", "misses", "sim", "model", "eq8-paper", "ovlp"
     );
+    let rows = par::par_map_benchmarks(&BenchmarkSpec::all(), |spec| {
+        let real = store.simulate(&MachineConfig::only_real_dcache(), spec, n, harness::SEED);
+        let ideal = store.simulate(&MachineConfig::ideal(), spec, n, harness::SEED);
+        let profile = store.profile(&params, &spec.name, spec, n, harness::SEED);
+        (spec.name.clone(), real, ideal, profile)
+    });
     let mut pairs = Vec::new();
-    for spec in BenchmarkSpec::all() {
-        let trace = harness::record(&spec, n);
-        let real = harness::simulate(&MachineConfig::only_real_dcache(), &trace);
-        let ideal = harness::simulate(&MachineConfig::ideal(), &trace);
-        let profile = harness::profile(&params, &spec.name, &trace);
+    for (name, real, ideal, profile) in rows {
         let misses = profile.dcache_long_misses();
         if misses == 0 {
-            println!("{:<8} {:>7} (no long misses)", spec.name, 0);
+            println!("{name:<8} {:>7} (no long misses)", 0);
             continue;
         }
         let sim = (real.cycles - ideal.cycles) as f64 / real.dcache_long_misses.max(1) as f64;
@@ -33,7 +37,7 @@ fn main() {
             * profile.long_miss_distribution.overlap_factor();
         println!(
             "{:<8} {:>7} {:>8.1} {:>8.1} {:>8.1} {:>7.2}",
-            spec.name,
+            name,
             misses,
             sim,
             model,

@@ -2,35 +2,34 @@
 //! for all twelve benchmarks, plus the paper's headline average error
 //! (the paper reports 5.8% mean, worst cases mcf/gzip/twolf at 12–13%).
 
-use fosm_bench::harness;
+use fosm_bench::store::ArtifactStore;
+use fosm_bench::{harness, par};
 use fosm_sim::MachineConfig;
 use fosm_workloads::BenchmarkSpec;
 
 fn main() {
-    let n = harness::trace_len_from_args();
+    let args = harness::run_args();
+    let n = args.trace_len;
     let config = MachineConfig::baseline();
     let params = harness::params_of(&config);
+    let store = ArtifactStore::global();
 
     println!("Figure 15: model vs simulation CPI (baseline machine, {n} insts/benchmark)");
     println!(
         "{:<8} {:>9} {:>9} {:>8}",
         "bench", "sim CPI", "model CPI", "err%"
     );
-    let mut pairs = Vec::new();
-    for spec in BenchmarkSpec::all() {
-        let trace = harness::record(&spec, n);
-        let sim = harness::simulate(&config, &trace);
-        let profile = harness::profile(&params, &spec.name, &trace);
+    let rows = par::par_map_benchmarks(&BenchmarkSpec::all(), |spec| {
+        let sim = store.simulate(&config, spec, n, harness::SEED);
+        let profile = store.profile(&params, &spec.name, spec, n, harness::SEED);
         let est = harness::estimate(&params, &profile);
-        let err = 100.0 * (est.total_cpi() - sim.cpi()) / sim.cpi();
-        println!(
-            "{:<8} {:>9.3} {:>9.3} {:>7.1}%",
-            spec.name,
-            sim.cpi(),
-            est.total_cpi(),
-            err
-        );
-        pairs.push((sim.cpi(), est.total_cpi()));
+        (spec.name.clone(), sim.cpi(), est.total_cpi())
+    });
+    let mut pairs = Vec::new();
+    for (name, sim_cpi, model_cpi) in rows {
+        let err = 100.0 * (model_cpi - sim_cpi) / sim_cpi;
+        println!("{name:<8} {sim_cpi:>9.3} {model_cpi:>9.3} {err:>7.1}%");
+        pairs.push((sim_cpi, model_cpi));
     }
     println!(
         "\naverage |error| = {:.1}%  (paper: 5.8%)",

@@ -2,26 +2,29 @@
 //! decomposed into ideal + L1 I-cache + L2 I-cache + L2 D-cache +
 //! branch misprediction adders, as estimated by the first-order model.
 
-use fosm_bench::{harness, plot};
+use fosm_bench::store::ArtifactStore;
+use fosm_bench::{harness, par, plot};
 use fosm_sim::MachineConfig;
 use fosm_workloads::BenchmarkSpec;
 
 fn main() {
-    let n = harness::trace_len_from_args();
+    let n = harness::run_args().trace_len;
     let params = harness::params_of(&MachineConfig::baseline());
+    let store = ArtifactStore::global();
     println!("Figure 16: CPI stack (model components, {n} insts/benchmark)");
     println!(
         "{:<8} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7}",
         "bench", "ideal", "L1-I", "L2-I", "L2-D", "branch", "total"
     );
-    let mut stacks = Vec::new();
-    for spec in BenchmarkSpec::all() {
-        let trace = harness::record(&spec, n);
-        let profile = harness::profile(&params, &spec.name, &trace);
+    let stacks = par::par_map_benchmarks(&BenchmarkSpec::all(), |spec| {
+        let profile = store.profile(&params, &spec.name, spec, n, harness::SEED);
         let est = harness::estimate(&params, &profile);
+        (spec.name.clone(), est)
+    });
+    for (name, est) in &stacks {
         println!(
             "{:<8} {:>7.3} {:>7.3} {:>7.3} {:>7.3} {:>7.3} {:>7.3}",
-            spec.name,
+            name,
             est.steady_state_cpi,
             est.icache_l1_cpi,
             est.icache_l2_cpi,
@@ -29,7 +32,6 @@ fn main() {
             est.branch_cpi,
             est.total_cpi()
         );
-        stacks.push((spec.name.clone(), est));
     }
     let max = stacks
         .iter()

@@ -6,7 +6,8 @@
 //! cargo run --release -p fosm-bench --bin report -- 300000 > report.md
 //! ```
 
-use fosm_bench::harness;
+use fosm_bench::store::ArtifactStore;
+use fosm_bench::{harness, par};
 use fosm_core::model::FirstOrderModel;
 use fosm_core::transient::{ramp_up, win_drain};
 use fosm_depgraph::{IwCharacteristic, PowerLaw};
@@ -16,9 +17,12 @@ use fosm_trends::pipeline::PipelineStudy;
 use fosm_workloads::BenchmarkSpec;
 
 fn main() {
-    let n = harness::trace_len_from_args();
+    let started = std::time::Instant::now();
+    let args = harness::run_args();
+    let n = args.trace_len;
     let config = MachineConfig::baseline();
     let params = harness::params_of(&config);
+    let store = ArtifactStore::global();
 
     println!("# fosm reproduction report");
     println!();
@@ -52,13 +56,18 @@ fn main() {
     println!();
     println!("| bench | α | β | L | sim CPI | model CPI | err% |");
     println!("|---|---|---|---|---|---|---|");
+    // Simulation and profiling fan out across worker threads; rows
+    // are then printed serially in benchmark order so the markdown is
+    // byte-identical at any thread count.
+    let rows = par::par_map_benchmarks(&BenchmarkSpec::all(), |spec| {
+        let sim = store.simulate(&config, spec, n, harness::SEED);
+        let profile = store.profile(&params, &spec.name, spec, n, harness::SEED);
+        let est = harness::estimate(&params, &profile);
+        (spec.clone(), sim, profile, est)
+    });
     let mut pairs = Vec::new();
     let mut profiles = Vec::new();
-    for spec in BenchmarkSpec::all() {
-        let trace = harness::record(&spec, n);
-        let sim = harness::simulate(&config, &trace);
-        let profile = harness::profile(&params, &spec.name, &trace);
-        let est = harness::estimate(&params, &profile);
+    for (spec, sim, profile, est) in rows {
         println!(
             "| {} | {:.2} | {:.2} | {:.2} | {:.3} | {:.3} | {:+.1}% |",
             spec.name,
@@ -139,5 +148,16 @@ fn main() {
          quadratic law (≈4× per doubling).",
         d8 / d4,
         d16 / d8
+    );
+
+    // Timing goes to stderr so `report > report.md` stays byte-stable
+    // across runs and thread counts.
+    let stats = store.stats();
+    eprintln!(
+        "report: {:.2}s wall clock on {} thread(s); artifact store: {} hits / {} misses",
+        started.elapsed().as_secs_f64(),
+        args.threads,
+        stats.trace_hits + stats.sim_hits + stats.profile_hits,
+        stats.trace_misses + stats.sim_misses + stats.profile_misses,
     );
 }

@@ -3,30 +3,33 @@
 //! benchmark. The paper tabulates the three illustrative benchmarks:
 //! gzip (1.3, 0.5, 1.5), vortex (1.2, 0.7, 1.6), vpr (1.7, 0.3, 2.2).
 
-use fosm_bench::harness;
+use fosm_bench::store::ArtifactStore;
+use fosm_bench::{harness, par};
 use fosm_sim::MachineConfig;
 use fosm_workloads::BenchmarkSpec;
 
 fn main() {
-    let n = harness::trace_len_from_args();
+    let n = harness::run_args().trace_len;
     let params = harness::params_of(&MachineConfig::baseline());
+    let store = ArtifactStore::global();
     println!("Table 1: power-law parameters and average latency ({n} insts)");
     println!("{:<8} {:>6} {:>6} {:>9}", "bench", "alpha", "beta", "avg lat");
-    for spec in BenchmarkSpec::all() {
-        let trace = harness::record(&spec, n);
-        let profile = harness::profile(&params, &spec.name, &trace);
-        let marker = match spec.name.as_str() {
+    let rows = par::par_map_benchmarks(&BenchmarkSpec::all(), |spec| {
+        let profile = store.profile(&params, &spec.name, spec, n, harness::SEED);
+        (
+            spec.name.clone(),
+            profile.iw.law().alpha(),
+            profile.iw.law().beta(),
+            profile.iw.avg_latency(),
+        )
+    });
+    for (name, alpha, beta, avg_lat) in rows {
+        let marker = match name.as_str() {
             "gzip" => "  <- paper: 1.3, 0.5, 1.5",
             "vortex" => "  <- paper: 1.2, 0.7, 1.6",
             "vpr" => "  <- paper: 1.7, 0.3, 2.2",
             _ => "",
         };
-        println!(
-            "{:<8} {:>6.2} {:>6.2} {:>9.2}{marker}",
-            spec.name,
-            profile.iw.law().alpha(),
-            profile.iw.law().beta(),
-            profile.iw.avg_latency(),
-        );
+        println!("{name:<8} {alpha:>6.2} {beta:>6.2} {avg_lat:>9.2}{marker}");
     }
 }

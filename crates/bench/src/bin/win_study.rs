@@ -3,51 +3,67 @@
 //! the dataflow-limited region (small windows, where `α·W^β/L` rules)
 //! into saturation (the region the paper's evaluation lives in).
 
-use fosm_bench::harness;
+use fosm_bench::store::ArtifactStore;
+use fosm_bench::{harness, par};
 use fosm_core::model::FirstOrderModel;
 use fosm_sim::MachineConfig;
 use fosm_workloads::BenchmarkSpec;
 
+const POINTS: [(u32, u32); 8] = [
+    (2, 8),
+    (2, 32),
+    (4, 8),
+    (4, 16),
+    (4, 48),
+    (4, 128),
+    (8, 32),
+    (8, 128),
+];
+
 fn main() {
-    let n = harness::trace_len_from_args();
+    let args = harness::run_args();
+    let n = args.trace_len;
     let base = MachineConfig::baseline();
     let params = harness::params_of(&base);
+    let store = ArtifactStore::global();
 
     println!("Window/width sweep: model vs simulation CPI ({n} insts)");
-    for spec in [BenchmarkSpec::gzip(), BenchmarkSpec::vortex(), BenchmarkSpec::vpr()] {
-        let trace = harness::record(&spec, n);
-        let profile = harness::profile(&params, &spec.name, &trace);
+    let specs = [BenchmarkSpec::gzip(), BenchmarkSpec::vortex(), BenchmarkSpec::vpr()];
+    // One job per (benchmark, structural point): 24 simulations fan
+    // out across cores; each benchmark's trace and profile is recorded
+    // once in the store and shared by its eight configurations.
+    let jobs: Vec<(BenchmarkSpec, u32, u32)> = specs
+        .iter()
+        .flat_map(|spec| POINTS.iter().map(move |&(w, win)| (spec.clone(), w, win)))
+        .collect();
+    let cells = par::par_map(&jobs, args.threads, |(spec, width, window)| {
+        let mut cfg = base.clone().with_width(*width);
+        cfg.win_size = *window;
+        cfg.rob_size = cfg.rob_size.max(2 * window);
+        let sim = store.simulate(&cfg, spec, n, harness::SEED);
+        let profile = store.profile(&params, &spec.name, spec, n, harness::SEED);
+        let mut p = params.clone();
+        p.width = *width;
+        p.win_size = *window;
+        p.rob_size = cfg.rob_size;
+        let est = FirstOrderModel::new(p).evaluate(&profile).expect("estimate");
+        (sim.cpi(), est.total_cpi())
+    });
+    for (s, spec) in specs.iter().enumerate() {
         println!("\n{}:", spec.name);
         println!(
             "{:>6} {:>6} {:>9} {:>10} {:>7}",
             "width", "window", "sim CPI", "model CPI", "err%"
         );
-        for (width, window) in [
-            (2u32, 8u32),
-            (2, 32),
-            (4, 8),
-            (4, 16),
-            (4, 48),
-            (4, 128),
-            (8, 32),
-            (8, 128),
-        ] {
-            let mut cfg = base.clone().with_width(width);
-            cfg.win_size = window;
-            cfg.rob_size = cfg.rob_size.max(2 * window);
-            let sim = harness::simulate(&cfg, &trace);
-            let mut p = params.clone();
-            p.width = width;
-            p.win_size = window;
-            p.rob_size = cfg.rob_size;
-            let est = FirstOrderModel::new(p).evaluate(&profile).expect("estimate");
+        for (i, (width, window)) in POINTS.iter().enumerate() {
+            let (sim_cpi, model_cpi) = cells[s * POINTS.len() + i];
             println!(
                 "{:>6} {:>6} {:>9.3} {:>10.3} {:>6.1}%",
                 width,
                 window,
-                sim.cpi(),
-                est.total_cpi(),
-                100.0 * (est.total_cpi() - sim.cpi()) / sim.cpi()
+                sim_cpi,
+                model_cpi,
+                100.0 * (model_cpi - sim_cpi) / sim_cpi
             );
         }
     }

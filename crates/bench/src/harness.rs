@@ -14,13 +14,65 @@ pub const DEFAULT_TRACE_LEN: u64 = 300_000;
 /// Seed used for every figure (fixed for reproducibility).
 pub const SEED: u64 = 42;
 
-/// Reads the trace length from the first CLI argument, defaulting to
-/// [`DEFAULT_TRACE_LEN`].
+/// Parsed command line shared by every figure binary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunArgs {
+    /// Dynamic trace length per benchmark (first positional argument).
+    pub trace_len: u64,
+    /// Worker threads for parallel sections (`--threads N`, then the
+    /// `FOSM_THREADS` environment variable, then all available cores).
+    pub threads: usize,
+}
+
+/// Parses the standard figure-binary command line:
+///
+/// ```text
+/// <binary> [TRACE_LEN] [--threads N]
+/// ```
+///
+/// Unrecognized arguments are ignored, so individual binaries can
+/// layer extra flags on top.
+pub fn run_args() -> RunArgs {
+    run_args_with_default(DEFAULT_TRACE_LEN)
+}
+
+/// Like [`run_args`], with a binary-specific default trace length.
+pub fn run_args_with_default(default_len: u64) -> RunArgs {
+    parse_args(
+        std::env::args().skip(1),
+        std::env::var("FOSM_THREADS").ok(),
+        default_len,
+    )
+}
+
+fn parse_args(
+    args: impl Iterator<Item = String>,
+    threads_env: Option<String>,
+    default_len: u64,
+) -> RunArgs {
+    let mut trace_len = default_len;
+    let mut threads: Option<usize> = None;
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        if let Some(value) = arg.strip_prefix("--threads=") {
+            threads = value.parse().ok();
+        } else if arg == "--threads" {
+            threads = args.next().and_then(|v| v.parse().ok());
+        } else if let Ok(n) = arg.parse() {
+            trace_len = n;
+        }
+    }
+    let threads = threads
+        .or_else(|| threads_env.and_then(|v| v.parse().ok()))
+        .unwrap_or_else(crate::par::available_threads)
+        .max(1);
+    RunArgs { trace_len, threads }
+}
+
+/// Reads the trace length from the CLI, defaulting to
+/// [`DEFAULT_TRACE_LEN`]. Shorthand for `run_args().trace_len`.
 pub fn trace_len_from_args() -> u64 {
-    std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(DEFAULT_TRACE_LEN)
+    run_args().trace_len
 }
 
 /// Records `n` instructions of the benchmark's dynamic stream.
@@ -36,18 +88,14 @@ pub fn record_seeded(spec: &BenchmarkSpec, n: u64, seed: u64) -> VecTrace {
 
 /// Runs the detailed simulator over (a fresh replay of) `trace`.
 pub fn simulate(config: &MachineConfig, trace: &VecTrace) -> SimReport {
-    let mut replay = trace.clone();
-    replay.reset();
-    Machine::new(config.clone()).run(&mut replay)
+    Machine::new(config.clone()).run(&mut trace.replay())
 }
 
 /// Collects the functional-level profile the model consumes.
 pub fn profile(params: &ProcessorParams, name: &str, trace: &VecTrace) -> ProgramProfile {
-    let mut replay = trace.clone();
-    replay.reset();
     ProfileCollector::new(params)
         .with_name(name)
-        .collect(&mut replay, u64::MAX)
+        .collect(&mut trace.replay(), u64::MAX)
         .expect("profile collection on a recorded trace succeeds")
 }
 
@@ -109,6 +157,31 @@ mod tests {
         assert_eq!(p.width, cfg.width);
         assert_eq!(p.rob_size, cfg.rob_size);
         assert_eq!(p.mem_latency, cfg.mem_latency);
+    }
+
+    #[test]
+    fn arg_parsing_variants() {
+        let parse = |args: &[&str], env: Option<&str>| {
+            parse_args(
+                args.iter().map(|s| s.to_string()),
+                env.map(String::from),
+                DEFAULT_TRACE_LEN,
+            )
+        };
+        assert_eq!(parse(&[], None).trace_len, DEFAULT_TRACE_LEN);
+        assert_eq!(parse(&["12345"], None).trace_len, 12_345);
+        assert_eq!(parse(&["--threads", "3"], None).threads, 3);
+        assert_eq!(parse(&["--threads=5", "777"], None), RunArgs {
+            trace_len: 777,
+            threads: 5,
+        });
+        // CLI beats the environment; the environment beats detection.
+        assert_eq!(parse(&["--threads", "2"], Some("9")).threads, 2);
+        assert_eq!(parse(&[], Some("9")).threads, 9);
+        // Degenerate values clamp to one worker.
+        assert_eq!(parse(&["--threads", "0"], None).threads, 1);
+        // Unknown flags are ignored.
+        assert_eq!(parse(&["--verbose", "400"], None).trace_len, 400);
     }
 
     #[test]

@@ -6,4 +6,6 @@
 //! text plotting).
 
 pub mod harness;
+pub mod par;
 pub mod plot;
+pub mod store;

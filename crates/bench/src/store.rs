@@ -1,0 +1,266 @@
+//! In-process memoizing artifact store.
+//!
+//! The figure binaries re-derive the same artifacts over and over: the
+//! `report` binary records each benchmark's trace once per experiment
+//! section, the sweep studies re-simulate identical `(trace, config)`
+//! pairs, and `calibrate` replays the whole suite per candidate. Every
+//! one of those artifacts is a pure function of its inputs — traces of
+//! `(spec, seed, length)`, simulator reports and profiles of
+//! `(trace, config)` — so the store memoizes them behind [`Arc`]s:
+//!
+//! * [`ArtifactStore::trace`] — recorded traces, keyed
+//!   `(spec, seed, len)`;
+//! * [`ArtifactStore::simulate`] — detailed-simulator reports, keyed
+//!   `(trace key, machine config)`;
+//! * [`ArtifactStore::profile`] — functional profiles, keyed
+//!   `(trace key, processor params, profile name)`.
+//!
+//! Keys embed the full `Debug` rendering of the spec/config/params
+//! (Rust's `{:?}` for `f64` is the exact shortest round-trip form, so
+//! distinct configurations can never collide). Values are computed
+//! outside the table lock — concurrent callers may race to compute the
+//! same artifact, but the first insert wins and the computation is
+//! deterministic, so every caller observes identical values and
+//! figure output stays byte-identical to a cold, serial run.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use fosm_core::params::ProcessorParams;
+use fosm_core::profile::ProgramProfile;
+use fosm_sim::{MachineConfig, SimReport};
+use fosm_trace::VecTrace;
+use fosm_workloads::BenchmarkSpec;
+
+use crate::harness;
+
+/// Key of a recorded trace: exact spec rendering, seed, length.
+type TraceKey = (String, u64, u64);
+
+/// Hit/miss counters for one artifact kind.
+#[derive(Debug, Default)]
+struct Counter {
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Counter {
+    fn hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+    fn miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A snapshot of the store's traffic, for diagnostics output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Trace lookups served from memory / recorded fresh.
+    pub trace_hits: u64,
+    /// Traces recorded because no memoized copy existed.
+    pub trace_misses: u64,
+    /// Simulator reports served from memory.
+    pub sim_hits: u64,
+    /// Simulator runs actually executed.
+    pub sim_misses: u64,
+    /// Profiles served from memory.
+    pub profile_hits: u64,
+    /// Profile collections actually executed.
+    pub profile_misses: u64,
+}
+
+/// The memoizing artifact store. One global instance serves a whole
+/// process (see [`ArtifactStore::global`]); independent instances can
+/// be created for tests.
+#[derive(Default)]
+pub struct ArtifactStore {
+    traces: Mutex<HashMap<TraceKey, Arc<VecTrace>>>,
+    reports: Mutex<HashMap<(TraceKey, String), Arc<SimReport>>>,
+    profiles: Mutex<HashMap<(TraceKey, String, String), Arc<ProgramProfile>>>,
+    trace_traffic: Counter,
+    sim_traffic: Counter,
+    profile_traffic: Counter,
+}
+
+impl ArtifactStore {
+    /// A fresh, empty store.
+    pub fn new() -> Self {
+        ArtifactStore::default()
+    }
+
+    /// The process-wide store shared by the figure binaries.
+    pub fn global() -> &'static ArtifactStore {
+        static GLOBAL: OnceLock<ArtifactStore> = OnceLock::new();
+        GLOBAL.get_or_init(ArtifactStore::new)
+    }
+
+    /// The benchmark's recorded trace, recording it on first use.
+    pub fn trace(&self, spec: &BenchmarkSpec, n: u64, seed: u64) -> Arc<VecTrace> {
+        memo(
+            &self.traces,
+            &self.trace_traffic,
+            trace_key(spec, n, seed),
+            || harness::record_seeded(spec, n, seed),
+        )
+    }
+
+    /// The detailed simulator's report for `(trace, config)`, running
+    /// the simulation on first use.
+    pub fn simulate(
+        &self,
+        config: &MachineConfig,
+        spec: &BenchmarkSpec,
+        n: u64,
+        seed: u64,
+    ) -> Arc<SimReport> {
+        let trace = self.trace(spec, n, seed);
+        memo(
+            &self.reports,
+            &self.sim_traffic,
+            (trace_key(spec, n, seed), format!("{config:?}")),
+            || harness::simulate(config, &trace),
+        )
+    }
+
+    /// The functional profile for `(trace, params, name)`, collecting
+    /// it on first use.
+    pub fn profile(
+        &self,
+        params: &ProcessorParams,
+        name: &str,
+        spec: &BenchmarkSpec,
+        n: u64,
+        seed: u64,
+    ) -> Arc<ProgramProfile> {
+        let trace = self.trace(spec, n, seed);
+        memo(
+            &self.profiles,
+            &self.profile_traffic,
+            (
+                trace_key(spec, n, seed),
+                format!("{params:?}"),
+                name.to_string(),
+            ),
+            || harness::profile(params, name, &trace),
+        )
+    }
+
+    /// Current hit/miss counts.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            trace_hits: self.trace_traffic.hits.load(Ordering::Relaxed),
+            trace_misses: self.trace_traffic.misses.load(Ordering::Relaxed),
+            sim_hits: self.sim_traffic.hits.load(Ordering::Relaxed),
+            sim_misses: self.sim_traffic.misses.load(Ordering::Relaxed),
+            profile_hits: self.profile_traffic.hits.load(Ordering::Relaxed),
+            profile_misses: self.profile_traffic.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+fn trace_key(spec: &BenchmarkSpec, n: u64, seed: u64) -> TraceKey {
+    (format!("{spec:?}"), seed, n)
+}
+
+/// Double-checked memoization: the value is computed *outside* the
+/// lock (so a slow simulation never serializes unrelated lookups), and
+/// a concurrent duplicate computation is discarded in favor of the
+/// first insert.
+fn memo<K, V>(
+    table: &Mutex<HashMap<K, Arc<V>>>,
+    traffic: &Counter,
+    key: K,
+    compute: impl FnOnce() -> V,
+) -> Arc<V>
+where
+    K: Eq + Hash,
+{
+    if let Some(v) = table.lock().expect("store lock").get(&key) {
+        traffic.hit();
+        return Arc::clone(v);
+    }
+    traffic.miss();
+    let v = Arc::new(compute());
+    Arc::clone(
+        table
+            .lock()
+            .expect("store lock")
+            .entry(key)
+            .or_insert(v),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_is_recorded_once_and_shared() {
+        let store = ArtifactStore::new();
+        let spec = BenchmarkSpec::gzip();
+        let a = store.trace(&spec, 2_000, 7);
+        let b = store.trace(&spec, 2_000, 7);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.len(), 2_000);
+        let s = store.stats();
+        assert_eq!((s.trace_hits, s.trace_misses), (1, 1));
+    }
+
+    #[test]
+    fn distinct_keys_do_not_collide() {
+        let store = ArtifactStore::new();
+        let spec = BenchmarkSpec::gzip();
+        let a = store.trace(&spec, 1_000, 7);
+        let b = store.trace(&spec, 1_000, 8); // different seed
+        let c = store.trace(&spec, 1_500, 7); // different length
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_ne!(a.insts(), b.insts());
+    }
+
+    #[test]
+    fn memoized_simulation_matches_direct_run() {
+        let store = ArtifactStore::new();
+        let spec = BenchmarkSpec::gzip();
+        let config = MachineConfig::baseline();
+        let direct = {
+            let trace = harness::record_seeded(&spec, 3_000, harness::SEED);
+            harness::simulate(&config, &trace)
+        };
+        let memoized = store.simulate(&config, &spec, 3_000, harness::SEED);
+        assert_eq!(*memoized, direct);
+        // Second lookup is a hit on the same allocation.
+        let again = store.simulate(&config, &spec, 3_000, harness::SEED);
+        assert!(Arc::ptr_eq(&memoized, &again));
+        assert_eq!(store.stats().sim_misses, 1);
+    }
+
+    #[test]
+    fn memoized_profile_matches_direct_run() {
+        let store = ArtifactStore::new();
+        let spec = BenchmarkSpec::gzip();
+        let params = harness::params_of(&MachineConfig::baseline());
+        let direct = {
+            let trace = harness::record_seeded(&spec, 3_000, harness::SEED);
+            harness::profile(&params, &spec.name, &trace)
+        };
+        let memoized = store.profile(&params, &spec.name, &spec, 3_000, harness::SEED);
+        assert_eq!(*memoized, direct);
+        assert_eq!(store.stats().profile_misses, 1);
+    }
+
+    #[test]
+    fn concurrent_lookups_converge_on_one_value() {
+        let store = ArtifactStore::new();
+        let spec = BenchmarkSpec::gzip();
+        let traces: Vec<Arc<VecTrace>> = crate::par::par_map(&[0u32; 8], 8, |_| {
+            store.trace(&spec, 1_000, 3)
+        });
+        for t in &traces {
+            assert!(Arc::ptr_eq(t, &traces[0]));
+        }
+    }
+}

@@ -5,6 +5,36 @@
 //! an unlimited number of unit-latency functional units and unbounded
 //! issue width. The only thing that is limited is the issue window
 //! size." — Karkhanis & Smith, §3.
+//!
+//! # Kernel
+//!
+//! The machine being modeled issues, every cycle, *all* instructions
+//! among the `W` oldest unissued ones whose producers have completed.
+//! Rather than stepping that machine cycle by cycle (see
+//! [`reference`]), the kernel computes each instruction's issue cycle
+//! directly from a dataflow recurrence:
+//!
+//! ```text
+//! issue[i] = max(1,  max over producers p of (issue[p] + lat(p)),  S_W(i) + 1)
+//! ```
+//!
+//! where `S_W(i)` is the `W`-th largest issue cycle among instructions
+//! `j < i`. The first two terms are plain data dependence. The third
+//! is the window constraint: instruction `i` is only scanned once
+//! fewer than `W` older instructions remain unissued, and the number
+//! of older instructions with `issue[j] >= c` drops below `W` exactly
+//! at cycle `S_W(i) + 1`. (Older instructions issuing *in* cycle `c`
+//! still occupy window slots during cycle `c`, which is why the bound
+//! is `>=`, matching the cycle-stepped machine's scan order.) Total
+//! cycles equal the maximum issue cycle.
+//!
+//! Because every new issue cycle satisfies `t >= S_W + 1`, `S_W` is
+//! non-decreasing over the sweep, so it is maintained with a histogram
+//! of issue cycles and a monotonically rising pointer — amortized
+//! `O(1)` per instruction, `O(n + cycles)` per window sweep instead of
+//! the reference machine's `O(cycles × W)` rescans — and
+//! [`characteristic`] resolves producers and latencies once for all
+//! window sizes.
 
 use fosm_isa::{Inst, LatencyTable, NUM_REGS};
 use serde::{Deserialize, Serialize};
@@ -31,6 +61,10 @@ pub const DEFAULT_WINDOW_SIZES: [u32; 8] = [2, 4, 8, 16, 32, 64, 128, 256];
 /// issue. With [`LatencyTable::unit`] this is exactly the paper's
 /// unit-latency configuration.
 ///
+/// Computed with the single-sweep recurrence (see the module docs);
+/// [`reference::ipc_at_window`] is the cycle-stepped oracle it is
+/// tested against.
+///
 /// Returns the average IPC (`insts.len() / cycles`), or 0.0 for an
 /// empty trace.
 ///
@@ -42,53 +76,16 @@ pub fn ipc_at_window(insts: &[Inst], window: u32, latencies: &LatencyTable) -> f
     if insts.is_empty() {
         return 0.0;
     }
-
-    // Resolve each instruction's producers to instruction indices once.
-    let producers = resolve_producers(insts);
-
-    let n = insts.len();
-    let w = window as usize;
-    // finish[i] = cycle at which instruction i's result is available.
-    let mut finish = vec![u64::MAX; n];
-    let mut issued = vec![false; n];
-    let mut head = 0usize; // oldest unissued instruction
-    let mut cycle: u64 = 0;
-
-    while head < n {
-        cycle += 1;
-        // The window holds the `w` *oldest unissued* instructions:
-        // issued instructions free their slots, so scan past holes.
-        let mut occupied = 0usize;
-        let mut i = head;
-        while i < n && occupied < w {
-            if !issued[i] {
-                occupied += 1;
-                let ready = producers[i]
-                    .iter()
-                    .all(|&p| p == usize::MAX || finish[p] <= cycle);
-                if ready {
-                    issued[i] = true;
-                    finish[i] = cycle + latencies.latency(insts[i].op) as u64;
-                }
-            }
-            i += 1;
-        }
-        // Slide the head past issued instructions so new ones enter.
-        while head < n && issued[head] {
-            head += 1;
-        }
-        // Progress guarantee: the oldest unissued instruction's
-        // producers are all older and complete in bounded time, so it
-        // issues within max-latency cycles — the loop terminates.
-    }
-
-    n as f64 / cycle as f64
+    let dataflow = resolve_dataflow(insts, latencies);
+    insts.len() as f64 / total_cycles(&dataflow, window) as f64
 }
 
 /// Sweeps the IW characteristic over `window_sizes`.
 ///
 /// This is the generator of the paper's Fig. 4 curves: one idealized
-/// simulation per window size over the same trace.
+/// simulation per window size over the same trace. Producers and
+/// per-instruction latencies are resolved once and shared across all
+/// window sizes.
 ///
 /// # Panics
 ///
@@ -98,13 +95,108 @@ pub fn characteristic(
     window_sizes: &[u32],
     latencies: &LatencyTable,
 ) -> Vec<IwPoint> {
+    for &wsize in window_sizes {
+        assert!(wsize > 0, "window size must be at least 1");
+    }
+    if insts.is_empty() {
+        return window_sizes
+            .iter()
+            .map(|&wsize| IwPoint {
+                window: wsize,
+                ipc: 0.0,
+            })
+            .collect();
+    }
+    let dataflow = resolve_dataflow(insts, latencies);
     window_sizes
         .iter()
         .map(|&wsize| IwPoint {
             window: wsize,
-            ipc: ipc_at_window(insts, wsize, latencies),
+            ipc: insts.len() as f64 / total_cycles(&dataflow, wsize) as f64,
         })
         .collect()
+}
+
+/// Dependence structure of a trace, resolved once and shared across
+/// window sizes.
+///
+/// Producer indices are shifted by one so that 0 is the "no in-trace
+/// producer" sentinel: the kernel's finish-time array reserves slot 0
+/// with finish cycle 0, making every producer lookup a plain
+/// unconditional array read.
+struct Dataflow {
+    /// For each instruction, its producers' indices plus one
+    /// (0 = source with no in-trace producer).
+    prods: Vec<[u32; 2]>,
+    /// Result latency of each instruction.
+    lats: Vec<u32>,
+}
+
+/// Resolves producers and latencies in a single pass over the trace.
+fn resolve_dataflow(insts: &[Inst], latencies: &LatencyTable) -> Dataflow {
+    assert!(
+        insts.len() < u32::MAX as usize,
+        "trace too long for 32-bit producer indices"
+    );
+    let mut last_writer = [0u32; NUM_REGS];
+    let mut prods = Vec::with_capacity(insts.len());
+    let mut lats = Vec::with_capacity(insts.len());
+    for (i, inst) in insts.iter().enumerate() {
+        let mut p = [0u32; 2];
+        for (slot, src) in inst.sources().enumerate() {
+            p[slot] = last_writer[src.index()];
+        }
+        prods.push(p);
+        lats.push(latencies.latency(inst.op));
+        if let Some(d) = inst.dest {
+            last_writer[d.index()] = i as u32 + 1;
+        }
+    }
+    Dataflow { prods, lats }
+}
+
+/// Runs the single-sweep recurrence; returns the total cycle count
+/// (the maximum issue cycle).
+///
+/// `S_W` is maintained with a histogram of issue cycles plus a rising
+/// pointer `s`: the invariant is that `s` is the smallest cycle with
+/// fewer than `W` prior issues above it (i.e. `S_W`, once `W`
+/// instructions have been seen, and 0 before that — which also folds
+/// the `max(1, ..)` base of the recurrence into `s + 1`). Every new
+/// issue cycle is at least `s + 1`, so `s` never moves backwards and
+/// the advance loop costs `O(total cycles)` across the whole sweep.
+fn total_cycles(df: &Dataflow, window: u32) -> u64 {
+    let n = df.prods.len();
+    let w = window as u64;
+    // finish[i + 1] = issue[i] + lats[i]; finish[0] = 0 is the
+    // "no producer" sentinel.
+    let mut finish = vec![0u64; n + 1];
+    // hist[c] = number of instructions that issued at cycle c.
+    let mut hist: Vec<u32> = vec![0; 1024];
+    let mut s: u64 = 0; // S_W of the processed prefix (0 until w seen)
+    let mut cnt_gt: u64 = 0; // #{processed j : issue[j] > s}
+    let mut max_issue = 0u64;
+    for i in 0..n {
+        let [p0, p1] = df.prods[i];
+        let t = (s + 1)
+            .max(finish[p0 as usize])
+            .max(finish[p1 as usize]);
+        let ti = t as usize;
+        if ti >= hist.len() {
+            hist.resize(ti + ti / 2, 0);
+        }
+        hist[ti] += 1;
+        cnt_gt += 1; // t > s always, by construction
+        while cnt_gt >= w {
+            s += 1;
+            cnt_gt -= hist[s as usize] as u64;
+        }
+        finish[i + 1] = t + df.lats[i] as u64;
+        if t > max_issue {
+            max_issue = t;
+        }
+    }
+    max_issue
 }
 
 /// For each instruction, the indices of its producing instructions
@@ -123,6 +215,66 @@ fn resolve_producers(insts: &[Inst]) -> Vec<[usize; 2]> {
         }
     }
     out
+}
+
+/// The original cycle-stepped idealized-issue machine, retained as the
+/// test oracle for the single-sweep kernel (and for old-vs-new
+/// benchmarking). Semantically identical to [`ipc_at_window`]; costs
+/// `O(cycles × W)` because it rescans the window every cycle.
+pub mod reference {
+    use super::{resolve_producers, Inst, LatencyTable};
+
+    /// Cycle-stepped oracle for [`super::ipc_at_window`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn ipc_at_window(insts: &[Inst], window: u32, latencies: &LatencyTable) -> f64 {
+        assert!(window > 0, "window size must be at least 1");
+        if insts.is_empty() {
+            return 0.0;
+        }
+
+        let producers = resolve_producers(insts);
+
+        let n = insts.len();
+        let w = window as usize;
+        // finish[i] = cycle at which instruction i's result is available.
+        let mut finish = vec![u64::MAX; n];
+        let mut issued = vec![false; n];
+        let mut head = 0usize; // oldest unissued instruction
+        let mut cycle: u64 = 0;
+
+        while head < n {
+            cycle += 1;
+            // The window holds the `w` *oldest unissued* instructions:
+            // issued instructions free their slots, so scan past holes.
+            let mut occupied = 0usize;
+            let mut i = head;
+            while i < n && occupied < w {
+                if !issued[i] {
+                    occupied += 1;
+                    let ready = producers[i]
+                        .iter()
+                        .all(|&p| p == usize::MAX || finish[p] <= cycle);
+                    if ready {
+                        issued[i] = true;
+                        finish[i] = cycle + latencies.latency(insts[i].op) as u64;
+                    }
+                }
+                i += 1;
+            }
+            // Slide the head past issued instructions so new ones enter.
+            while head < n && issued[head] {
+                head += 1;
+            }
+            // Progress guarantee: the oldest unissued instruction's
+            // producers are all older and complete in bounded time, so it
+            // issues within max-latency cycles — the loop terminates.
+        }
+
+        n as f64 / cycle as f64
+    }
 }
 
 #[cfg(test)]
@@ -221,12 +373,21 @@ mod tests {
     #[test]
     fn empty_trace_gives_zero() {
         assert_eq!(ipc_at_window(&[], 8, &LatencyTable::unit()), 0.0);
+        assert!(characteristic(&[], &[2, 4], &LatencyTable::unit())
+            .iter()
+            .all(|p| p.ipc == 0.0));
     }
 
     #[test]
     #[should_panic(expected = "window size")]
     fn zero_window_rejected() {
         let _ = ipc_at_window(&independent(10), 0, &LatencyTable::unit());
+    }
+
+    #[test]
+    #[should_panic(expected = "window size")]
+    fn zero_window_rejected_in_characteristic() {
+        let _ = characteristic(&independent(10), &[4, 0], &LatencyTable::unit());
     }
 
     #[test]
@@ -249,5 +410,48 @@ mod tests {
         let prods = resolve_producers(&insts);
         assert_eq!(prods[2][0], 1);
         assert_eq!(prods[0][0], usize::MAX);
+    }
+
+    /// The case where the naive `issue[i-W] + 1` window bound is wrong:
+    /// issue times need not be monotone in program order, so the window
+    /// constraint is the W-th *largest* prior issue cycle, not the
+    /// issue cycle W instructions back.
+    #[test]
+    fn window_bound_uses_wth_largest_not_positional() {
+        // i0: IntMul (latency 3); i1 depends on i0 → issues late (cycle 4);
+        // i2, i3 independent. With W=2, i3's window constraint comes from
+        // the 2nd-largest prior issue cycle (i2's, cycle 2), not i1's.
+        let insts = vec![
+            Inst::alu(0, Op::IntMul, Reg::new(1), None, None),
+            Inst::alu(4, Op::IntAlu, Reg::new(2), Some(Reg::new(1)), None),
+            Inst::alu(8, Op::IntAlu, Reg::new(3), None, None),
+            Inst::alu(12, Op::IntAlu, Reg::new(4), None, None),
+        ];
+        let lat = LatencyTable::default();
+        let fast = ipc_at_window(&insts, 2, &lat);
+        let slow = reference::ipc_at_window(&insts, 2, &lat);
+        assert_eq!(fast, slow);
+        // issue = [1, 4, 2, 3] → 4 cycles → IPC 1.0 exactly.
+        assert_eq!(fast, 1.0);
+    }
+
+    #[test]
+    fn kernel_matches_reference_on_structured_traces() {
+        let lat_unit = LatencyTable::unit();
+        let lat_real = LatencyTable::default();
+        let traces = [independent(257), chain(100), {
+            let mut v = independent(64);
+            v.extend(chain(64));
+            v
+        }];
+        for insts in &traces {
+            for w in [1u32, 2, 3, 7, 64, 300] {
+                for lat in [&lat_unit, &lat_real] {
+                    let fast = ipc_at_window(insts, w, lat);
+                    let slow = reference::ipc_at_window(insts, w, lat);
+                    assert_eq!(fast, slow, "window {w} diverged");
+                }
+            }
+        }
     }
 }

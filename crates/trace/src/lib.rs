@@ -8,6 +8,8 @@
 //! * [`TraceSource`] — the streaming interface every trace producer
 //!   (synthetic workload generators, recorded traces) implements,
 //! * [`VecTrace`] — an owned, replayable trace buffer,
+//! * [`SliceTrace`] — a borrowing replay cursor over recorded
+//!   instructions, for cloneless concurrent replays,
 //! * [`TraceStats`] — one-pass statistics over a trace (instruction
 //!   mix, branch demographics, register dependence distances),
 //! * adapters such as [`Take`] for bounding a stream.
@@ -33,12 +35,14 @@
 mod adapters;
 pub mod io;
 mod sampling;
+mod slice_trace;
 mod source;
 mod stats;
 mod vec_trace;
 
 pub use adapters::{Iter, Take};
 pub use sampling::Sampler;
+pub use slice_trace::SliceTrace;
 pub use source::TraceSource;
 pub use stats::{DependenceHistogram, TraceStats};
 pub use vec_trace::VecTrace;

@@ -1,0 +1,122 @@
+//! Borrowed, replayable trace views.
+
+use fosm_isa::Inst;
+
+use crate::{TraceSource, VecTrace};
+
+/// A borrowing replay cursor over a slice of instructions.
+///
+/// `SliceTrace` is the zero-copy counterpart of [`VecTrace`]: it
+/// streams an existing `&[Inst]` through the [`TraceSource`] interface
+/// without cloning the instructions or mutating the underlying trace.
+/// Because each consumer gets its *own* cursor, any number of replays
+/// of the same recorded trace can run (even concurrently, from shared
+/// references) where previously each consumer needed a private cloned
+/// `VecTrace`.
+///
+/// # Examples
+///
+/// ```
+/// use fosm_isa::Inst;
+/// use fosm_trace::{SliceTrace, TraceSource, VecTrace};
+///
+/// let recorded = VecTrace::new(vec![Inst::nop(0), Inst::nop(4)]);
+/// // Two independent replays of the same buffer, no clones:
+/// assert_eq!(recorded.replay().iter().count(), 2);
+/// assert_eq!(SliceTrace::new(recorded.insts()).iter().count(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SliceTrace<'a> {
+    insts: &'a [Inst],
+    cursor: usize,
+}
+
+impl<'a> SliceTrace<'a> {
+    /// Creates a replay cursor at the start of `insts`.
+    pub fn new(insts: &'a [Inst]) -> Self {
+        SliceTrace { insts, cursor: 0 }
+    }
+
+    /// Number of instructions in the underlying slice (independent of
+    /// the cursor).
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Returns `true` if the underlying slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Rewinds the replay cursor to the beginning.
+    pub fn reset(&mut self) {
+        self.cursor = 0;
+    }
+
+    /// The instructions not yet replayed.
+    pub fn remaining(&self) -> &'a [Inst] {
+        &self.insts[self.cursor.min(self.insts.len())..]
+    }
+}
+
+impl<'a> From<&'a [Inst]> for SliceTrace<'a> {
+    fn from(insts: &'a [Inst]) -> Self {
+        SliceTrace::new(insts)
+    }
+}
+
+impl<'a> From<&'a VecTrace> for SliceTrace<'a> {
+    fn from(trace: &'a VecTrace) -> Self {
+        SliceTrace::new(trace.insts())
+    }
+}
+
+impl TraceSource for SliceTrace<'_> {
+    fn next_inst(&mut self) -> Option<Inst> {
+        let inst = self.insts.get(self.cursor).copied()?;
+        self.cursor += 1;
+        Some(inst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nops(n: usize) -> Vec<Inst> {
+        (0..n).map(|i| Inst::nop(i as u64 * 4)).collect()
+    }
+
+    #[test]
+    fn replays_without_touching_the_buffer() {
+        let insts = nops(3);
+        let mut a = SliceTrace::new(&insts);
+        let mut b = SliceTrace::new(&insts);
+        assert_eq!(a.iter().count(), 3);
+        // b's cursor is independent of a's.
+        assert_eq!(b.next_inst().unwrap().pc, 0);
+        assert!(a.next_inst().is_none());
+    }
+
+    #[test]
+    fn reset_and_remaining() {
+        let insts = nops(4);
+        let mut t = SliceTrace::new(&insts);
+        t.next_inst();
+        assert_eq!(t.remaining().len(), 3);
+        t.reset();
+        assert_eq!(t.remaining().len(), 4);
+        assert_eq!(t.len(), 4);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn replay_matches_vec_trace_semantics() {
+        let mut owned = VecTrace::new(nops(5));
+        let borrowed: Vec<u64> = owned.replay().iter().map(|i| i.pc).collect();
+        let cloned: Vec<u64> = owned.iter().map(|i| i.pc).collect();
+        assert_eq!(borrowed, cloned);
+        // The replay above did not advance the owned cursor; `iter` did.
+        assert!(owned.next_inst().is_none());
+    }
+}

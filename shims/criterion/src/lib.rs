@@ -1,0 +1,422 @@
+//! Vendored, API-compatible subset of `criterion`.
+//!
+//! Implements the benchmarking surface this workspace uses —
+//! `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `Throughput`, `BenchmarkId`, `criterion_group!`/`criterion_main!` —
+//! with simple wall-clock measurement (median of N samples, each an
+//! adaptively sized batch of iterations).
+//!
+//! Behavior matches criterion's cargo integration: a full measurement
+//! pass runs only under `cargo bench` (cargo passes `--bench`);
+//! any other invocation (e.g. `cargo test` compiling/running bench
+//! targets) runs each benchmark once as a smoke test.
+//!
+//! Each finished group appends its results to `BENCH_<group>.json` in
+//! the directory named by `FOSM_BENCH_OUT_DIR` (default: the current
+//! working directory), giving the repo a machine-readable perf
+//! trajectory across PRs.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier with a function name and a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds `<name>/<parameter>`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{parameter}", name.into()),
+        }
+    }
+
+    /// Builds an id from the parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// The measurement engine handed to benchmark closures.
+pub struct Bencher<'a> {
+    mode: Mode,
+    sample_size: usize,
+    /// Measured median nanoseconds per iteration, filled by `iter`.
+    result_ns: &'a mut f64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Full measurement (`cargo bench`).
+    Measure,
+    /// One iteration, no timing (`cargo test` smoke pass).
+    Smoke,
+}
+
+impl Bencher<'_> {
+    /// Runs `f` repeatedly and records its median time per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.mode == Mode::Smoke {
+            black_box(f());
+            *self.result_ns = 0.0;
+            return;
+        }
+        // Warm up and size the batch so one sample spans >= ~5ms.
+        let mut batch: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(5) || batch >= 1 << 20 {
+                break;
+            }
+            let scale = (Duration::from_millis(8).as_nanos() as u64)
+                .checked_div(elapsed.as_nanos().max(1) as u64)
+                .unwrap_or(8)
+                .clamp(2, 1000);
+            batch = batch.saturating_mul(scale);
+        }
+        let mut samples: Vec<f64> = (0..self.sample_size.max(3))
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..batch {
+                    black_box(f());
+                }
+                start.elapsed().as_nanos() as f64 / batch as f64
+            })
+            .collect();
+        samples.sort_by(|a, b| a.total_cmp(b));
+        *self.result_ns = samples[samples.len() / 2];
+    }
+}
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+struct Record {
+    id: String,
+    ns_per_iter: f64,
+    throughput: Option<Throughput>,
+}
+
+/// A named group of benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    records: Vec<Record>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput used to derive rate figures.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Overrides the per-benchmark sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n;
+        self
+    }
+
+    /// Overrides the measurement time (accepted for API parity; the
+    /// shim sizes batches adaptively instead).
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into().id;
+        let mut ns = f64::NAN;
+        let mut bencher = Bencher {
+            mode: self.criterion.mode,
+            sample_size: self.criterion.sample_size,
+            result_ns: &mut ns,
+        };
+        f(&mut bencher);
+        self.finish_one(id, ns);
+        self
+    }
+
+    /// Benchmarks `f` with an explicit input under `id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into().id;
+        let mut ns = f64::NAN;
+        let mut bencher = Bencher {
+            mode: self.criterion.mode,
+            sample_size: self.criterion.sample_size,
+            result_ns: &mut ns,
+        };
+        f(&mut bencher, input);
+        self.finish_one(id, ns);
+        self
+    }
+
+    fn finish_one(&mut self, id: String, ns: f64) {
+        let full = format!("{}/{}", self.name, id);
+        if self.criterion.mode == Mode::Measure {
+            let rate = match self.throughput {
+                Some(Throughput::Elements(n)) => {
+                    format!("  thrpt: {:>12} elem/s", format_rate(n, ns))
+                }
+                Some(Throughput::Bytes(n)) => {
+                    format!("  thrpt: {:>12} B/s", format_rate(n, ns))
+                }
+                None => String::new(),
+            };
+            println!("{full:<48} time: {:>12}/iter{rate}", format_ns(ns));
+        } else {
+            println!("{full}: ok (smoke)");
+        }
+        self.records.push(Record {
+            id,
+            ns_per_iter: ns,
+            throughput: self.throughput,
+        });
+    }
+
+    /// Finishes the group, flushing its JSON baseline.
+    pub fn finish(self) {
+        if self.criterion.mode != Mode::Measure {
+            return;
+        }
+        let dir = std::env::var("FOSM_BENCH_OUT_DIR").unwrap_or_else(|_| ".".to_string());
+        let path = std::path::Path::new(&dir).join(format!("BENCH_{}.json", self.name));
+        let mut body = String::from("{\n");
+        body.push_str(&format!("  \"group\": \"{}\",\n", self.name));
+        body.push_str("  \"benchmarks\": {\n");
+        for (i, r) in self.records.iter().enumerate() {
+            let sep = if i + 1 == self.records.len() { "" } else { "," };
+            let thrpt = match r.throughput {
+                Some(Throughput::Elements(n)) | Some(Throughput::Bytes(n)) => {
+                    format!(", \"per_iter\": {n}")
+                }
+                None => String::new(),
+            };
+            body.push_str(&format!(
+                "    \"{}\": {{\"ns_per_iter\": {:.1}{thrpt}}}{sep}\n",
+                r.id, r.ns_per_iter
+            ));
+        }
+        body.push_str("  }\n}\n");
+        if let Err(e) = std::fs::write(&path, body) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        } else {
+            println!("(baseline written to {})", path.display());
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn format_rate(per_iter: u64, ns: f64) -> String {
+    let rate = per_iter as f64 / (ns / 1e9);
+    if rate >= 1e9 {
+        format!("{:.3} G", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.3} M", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.3} K", rate / 1e3)
+    } else {
+        format!("{rate:.1}")
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    mode: Mode,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // cargo bench passes `--bench` to the target binary; anything
+        // else (notably `cargo test`, which also builds and runs
+        // harness=false bench targets) gets a fast smoke pass.
+        let measure = std::env::args().any(|a| a == "--bench");
+        Criterion {
+            mode: if measure { Mode::Measure } else { Mode::Smoke },
+            sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Accepts a measurement-time hint (API parity; ignored).
+    pub fn measurement_time(self, _t: Duration) -> Self {
+        self
+    }
+
+    /// Accepts CLI configuration (API parity; mode is derived from
+    /// `--bench` in [`Criterion::default`]).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            throughput: None,
+            records: Vec::new(),
+        }
+    }
+
+    /// Benchmarks a standalone function (no group).
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("standalone");
+        group.bench_function(id, f);
+        // Standalone results are printed but not written as a baseline.
+        self
+    }
+
+    /// Runs registered target functions (called by `criterion_main!`).
+    pub fn final_summary(&self) {}
+}
+
+/// Declares a benchmark group in the style of criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smoke_criterion() -> Criterion {
+        Criterion {
+            mode: Mode::Smoke,
+            sample_size: 3,
+        }
+    }
+
+    #[test]
+    fn smoke_mode_runs_each_bench_once() {
+        let mut c = smoke_criterion();
+        let mut calls = 0u32;
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(10));
+        group.bench_function("f", |b| b.iter(|| calls += 1));
+        group.finish();
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn measure_mode_times_iterations() {
+        let mut c = Criterion {
+            mode: Mode::Measure,
+            sample_size: 3,
+        };
+        std::env::set_var("FOSM_BENCH_OUT_DIR", std::env::temp_dir());
+        let mut acc = 0u64;
+        {
+            let mut group = c.benchmark_group("shimtest");
+            group.bench_function("busy", |b| {
+                b.iter(|| {
+                    for i in 0..100u64 {
+                        acc = acc.wrapping_add(black_box(i));
+                    }
+                })
+            });
+            group.finish();
+        }
+        let path = std::env::temp_dir().join("BENCH_shimtest.json");
+        let body = std::fs::read_to_string(&path).expect("baseline written");
+        assert!(body.contains("\"busy\""));
+        let _ = std::fs::remove_file(path);
+        assert!(acc > 0);
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("baseline", "gzip").id, "baseline/gzip");
+        assert_eq!(BenchmarkId::from_parameter(32).id, "32");
+    }
+}

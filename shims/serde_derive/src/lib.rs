@@ -1,0 +1,466 @@
+//! Derive macros for the vendored `serde` shim.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for
+//! the subset of shapes this workspace uses, without `syn`/`quote`
+//! (neither is available offline): non-generic structs with named
+//! fields, tuple structs, unit structs, and enums whose variants are
+//! unit, struct-like, or tuple-like. The only recognized field
+//! attribute is `#[serde(default)]`.
+//!
+//! Generated formats follow real serde's externally-tagged JSON
+//! conventions: named structs → maps, newtype structs → transparent,
+//! unit variants → strings, data variants → single-key maps.
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    default: bool,
+}
+
+enum Fields {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Derives `serde::Serialize` (shim data model) for a type.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derives `serde::Deserialize` (shim data model) for a type.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen(&item).parse().expect("generated impl parses"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().expect("error parses"),
+    }
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn is_ident(t: &TokenTree, s: &str) -> bool {
+    matches!(t, TokenTree::Ident(id) if id.to_string() == s)
+}
+
+fn is_punct(t: &TokenTree, c: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+/// Returns true for an attribute group carrying `serde(... default ...)`.
+fn attr_is_serde_default(attr: &Group) -> bool {
+    let toks: Vec<TokenTree> = attr.stream().into_iter().collect();
+    if toks.first().is_none_or(|t| !is_ident(t, "serde")) {
+        return false;
+    }
+    toks.iter().any(|t| match t {
+        TokenTree::Group(inner) => inner
+            .stream()
+            .into_iter()
+            .any(|t| is_ident(&t, "default")),
+        _ => false,
+    })
+}
+
+/// Skips attributes at `i`, reporting whether `#[serde(default)]` was seen.
+fn skip_attrs(toks: &[TokenTree], i: &mut usize) -> bool {
+    let mut default = false;
+    while *i + 1 < toks.len() && is_punct(&toks[*i], '#') {
+        if let TokenTree::Group(g) = &toks[*i + 1] {
+            if g.delimiter() == Delimiter::Bracket && attr_is_serde_default(g) {
+                default = true;
+            }
+        }
+        *i += 2;
+    }
+    default
+}
+
+/// Skips `pub`, `pub(...)` at `i`.
+fn skip_vis(toks: &[TokenTree], i: &mut usize) {
+    if *i < toks.len() && is_ident(&toks[*i], "pub") {
+        *i += 1;
+        if let Some(TokenTree::Group(g)) = toks.get(*i) {
+            if g.delimiter() == Delimiter::Parenthesis {
+                *i += 1;
+            }
+        }
+    }
+}
+
+/// Skips one type (or expression) ending at a top-level comma.
+fn skip_to_top_level_comma(toks: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while *i < toks.len() {
+        match &toks[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth <= 0 => return,
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(g: &Group) -> Result<Vec<Field>, String> {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < toks.len() {
+        let default = skip_attrs(&toks, &mut i);
+        skip_vis(&toks, &mut i);
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        i += 1;
+        if toks.get(i).is_none_or(|t| !is_punct(t, ':')) {
+            return Err(format!("expected `:` after field `{name}`"));
+        }
+        i += 1;
+        skip_to_top_level_comma(&toks, &mut i);
+        i += 1; // past the comma (or one past the end)
+        out.push(Field { name, default });
+    }
+    Ok(out)
+}
+
+fn count_tuple_fields(g: &Group) -> usize {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut i = 0;
+    let mut n = 0;
+    while i < toks.len() {
+        skip_to_top_level_comma(&toks, &mut i);
+        n += 1;
+        i += 1;
+    }
+    n
+}
+
+fn parse_variants(g: &Group) -> Result<Vec<Variant>, String> {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < toks.len() {
+        skip_attrs(&toks, &mut i);
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        i += 1;
+        let fields = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g)?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an optional discriminant, then the trailing comma.
+        skip_to_top_level_comma(&toks, &mut i);
+        i += 1;
+        out.push(Variant { name, fields });
+    }
+    Ok(out)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs(&toks, &mut i);
+    skip_vis(&toks, &mut i);
+    let is_enum = match toks.get(i) {
+        Some(t) if is_ident(t, "struct") => false,
+        Some(t) if is_ident(t, "enum") => true,
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+    if toks.get(i).is_some_and(|t| is_punct(t, '<')) {
+        return Err(format!(
+            "serde shim derive does not support generic type `{name}`"
+        ));
+    }
+    if is_enum {
+        match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item::Enum {
+                name,
+                variants: parse_variants(g)?,
+            }),
+            other => Err(format!("expected enum body, found {other:?}")),
+        }
+    } else {
+        match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item::Struct {
+                name,
+                fields: Fields::Named(parse_named_fields(g)?),
+            }),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok(Item::Struct {
+                    name,
+                    fields: Fields::Tuple(count_tuple_fields(g)),
+                })
+            }
+            Some(t) if is_punct(t, ';') => Ok(Item::Struct {
+                name,
+                fields: Fields::Unit,
+            }),
+            other => Err(format!("expected struct body, found {other:?}")),
+        }
+    }
+}
+
+// ------------------------------------------------------------- generation
+
+/// `Value::Map(vec![(name, to_value(&EXPR)), ...])` for named fields.
+fn named_to_map(fields: &[Field], access_prefix: &str) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "({:?}.to_string(), ::serde::Serialize::to_value(&{}{}))",
+                f.name, access_prefix, f.name
+            )
+        })
+        .collect();
+    format!("::serde::Value::Map(vec![{}])", entries.join(", "))
+}
+
+/// Field initializers `name: <lookup from map `src`>` for named fields.
+fn named_from_map(fields: &[Field], src: &str, ty_name: &str) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            let missing = if f.default {
+                "::std::default::Default::default()".to_string()
+            } else {
+                format!(
+                    "return ::std::result::Result::Err(::serde::DeError(format!(\
+                     \"missing field `{}` in {}\")))",
+                    f.name, ty_name
+                )
+            };
+            format!(
+                "{name}: match {src}.get({name:?}) {{ \
+                 ::std::option::Option::Some(__v) => ::serde::Deserialize::from_value(__v)?, \
+                 ::std::option::Option::None => {missing} }}",
+                name = f.name,
+                src = src,
+                missing = missing
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(fs) => named_to_map(fs, "self."),
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+                }
+                Fields::Unit => "::serde::Value::Null".to_string(),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{ \
+                 fn to_value(&self) -> ::serde::Value {{ {body} }} }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| match &v.fields {
+                    Fields::Unit => format!(
+                        "{name}::{v} => ::serde::Value::Str({v:?}.to_string())",
+                        name = name,
+                        v = v.name
+                    ),
+                    Fields::Named(fs) => {
+                        let binds: Vec<String> =
+                            fs.iter().map(|f| f.name.clone()).collect();
+                        let entries: Vec<String> = fs
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "({:?}.to_string(), ::serde::Serialize::to_value({}))",
+                                    f.name, f.name
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => ::serde::Value::Map(vec![\
+                             ({v:?}.to_string(), ::serde::Value::Map(vec![{entries}]))])",
+                            name = name,
+                            v = v.name,
+                            binds = binds.join(", "),
+                            entries = entries.join(", ")
+                        )
+                    }
+                    Fields::Tuple(1) => format!(
+                        "{name}::{v}(__f0) => ::serde::Value::Map(vec![({v:?}.to_string(), \
+                         ::serde::Serialize::to_value(__f0))])",
+                        name = name,
+                        v = v.name
+                    ),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({binds}) => ::serde::Value::Map(vec![\
+                             ({v:?}.to_string(), ::serde::Value::Seq(vec![{items}]))])",
+                            name = name,
+                            v = v.name,
+                            binds = binds.join(", "),
+                            items = items.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{ \
+                 fn to_value(&self) -> ::serde::Value {{ match self {{ {arms} }} }} }}",
+                arms = arms.join(", ")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let body = match item {
+        Item::Struct { name, fields } => match fields {
+            Fields::Named(fs) => format!(
+                "match __value {{ \
+                 ::serde::Value::Map(_) => ::std::result::Result::Ok({name} {{ {inits} }}), \
+                 __other => ::std::result::Result::Err(\
+                 ::serde::DeError::expected(\"struct {name}\", __other)) }}",
+                inits = named_from_map(fs, "__value", name)
+            ),
+            Fields::Tuple(1) => format!(
+                "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__value)?))"
+            ),
+            Fields::Tuple(n) => {
+                let inits: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                    .collect();
+                format!(
+                    "match __value {{ \
+                     ::serde::Value::Seq(__items) if __items.len() == {n} => \
+                     ::std::result::Result::Ok({name}({inits})), \
+                     __other => ::std::result::Result::Err(\
+                     ::serde::DeError::expected(\"tuple struct {name}\", __other)) }}",
+                    inits = inits.join(", ")
+                )
+            }
+            Fields::Unit => format!("::std::result::Result::Ok({name})"),
+        },
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| {
+                    format!(
+                        "{v:?} => ::std::result::Result::Ok({name}::{v})",
+                        name = name,
+                        v = v.name
+                    )
+                })
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| match &v.fields {
+                    Fields::Unit => None,
+                    Fields::Named(fs) => Some(format!(
+                        "{v:?} => ::std::result::Result::Ok({name}::{v} {{ {inits} }})",
+                        name = name,
+                        v = v.name,
+                        inits = named_from_map(fs, "__inner", &format!("{}::{}", name, v.name))
+                    )),
+                    Fields::Tuple(1) => Some(format!(
+                        "{v:?} => ::std::result::Result::Ok({name}::{v}(\
+                         ::serde::Deserialize::from_value(__inner)?))",
+                        name = name,
+                        v = v.name
+                    )),
+                    Fields::Tuple(n) => {
+                        let inits: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                            .collect();
+                        Some(format!(
+                            "{v:?} => match __inner {{ \
+                             ::serde::Value::Seq(__items) if __items.len() == {n} => \
+                             ::std::result::Result::Ok({name}::{v}({inits})), \
+                             __other => ::std::result::Result::Err(\
+                             ::serde::DeError::expected(\"tuple variant {name}::{v}\", __other)) }}",
+                            name = name,
+                            v = v.name,
+                            inits = inits.join(", ")
+                        ))
+                    }
+                })
+                .collect();
+            format!(
+                "match __value {{ \
+                 ::serde::Value::Str(__s) => match __s.as_str() {{ \
+                 {unit_arms}{unit_sep} \
+                 __other => ::std::result::Result::Err(::serde::DeError(\
+                 format!(\"unknown variant `{{__other}}` of {name}\"))) }}, \
+                 ::serde::Value::Map(__entries) if __entries.len() == 1 => {{ \
+                 let (__tag, __inner) = &__entries[0]; \
+                 match __tag.as_str() {{ \
+                 {data_arms}{data_sep} \
+                 __other => ::std::result::Result::Err(::serde::DeError(\
+                 format!(\"unknown variant `{{__other}}` of {name}\"))) }} }}, \
+                 __other => ::std::result::Result::Err(\
+                 ::serde::DeError::expected(\"enum {name}\", __other)) }}",
+                unit_arms = unit_arms.join(", "),
+                unit_sep = if unit_arms.is_empty() { "" } else { ", " },
+                data_arms = data_arms.join(", "),
+                data_sep = if data_arms.is_empty() { "" } else { ", " },
+                name = name
+            )
+        }
+    };
+    let name = match item {
+        Item::Struct { name, .. } | Item::Enum { name, .. } => name,
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{ \
+         fn from_value(__value: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{ {body} }} }}"
+    )
+}
