@@ -56,10 +56,9 @@ fn functional_toolchain(c: &mut Criterion) {
             let mut p = Gshare::new(13);
             let mut correct = 0u64;
             for inst in trace.insts() {
-                if inst.op.is_cond_branch()
-                    && p.observe(inst.pc, inst.branch.unwrap().taken) {
-                        correct += 1;
-                    }
+                if inst.op.is_cond_branch() && p.observe(inst.pc, inst.branch.unwrap().taken) {
+                    correct += 1;
+                }
             }
             black_box(correct)
         })

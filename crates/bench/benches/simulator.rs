@@ -17,14 +17,16 @@ const TRACE_LEN: u64 = 50_000;
 fn simulator_throughput(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulator");
     group.throughput(Throughput::Elements(TRACE_LEN));
-    for spec in [BenchmarkSpec::gzip(), BenchmarkSpec::mcf(), BenchmarkSpec::gcc()] {
+    for spec in [
+        BenchmarkSpec::gzip(),
+        BenchmarkSpec::mcf(),
+        BenchmarkSpec::gcc(),
+    ] {
         let trace = harness::record(&spec, TRACE_LEN);
         group.bench_with_input(
             BenchmarkId::new("baseline", &spec.name),
             &trace,
-            |b, trace| {
-                b.iter(|| black_box(harness::simulate(&MachineConfig::baseline(), trace)))
-            },
+            |b, trace| b.iter(|| black_box(harness::simulate(&MachineConfig::baseline(), trace))),
         );
     }
     let trace = harness::record(&BenchmarkSpec::gzip(), TRACE_LEN);

@@ -16,7 +16,9 @@ use fosm_sim::MachineConfig;
 use fosm_workloads::BenchmarkSpec;
 
 fn main() {
-    let n = harness::run_args().trace_len;
+    let args = harness::run_args();
+    let _obs = harness::obs_session("ablation", &args);
+    let n = args.trace_len;
     let config = MachineConfig::baseline();
     let params = harness::params_of(&config);
     let store = ArtifactStore::global();
@@ -25,11 +27,17 @@ fn main() {
     let variants: Vec<(&str, ModelFactory)> = vec![
         (
             "paper",
-            Box::new(|| FirstOrderModel::new(harness::params_of(&MachineConfig::baseline())).with_paper_simplifications()),
+            Box::new(|| {
+                FirstOrderModel::new(harness::params_of(&MachineConfig::baseline()))
+                    .with_paper_simplifications()
+            }),
         ),
         (
             "+robfill",
-            Box::new(|| FirstOrderModel::new(harness::params_of(&MachineConfig::baseline())).with_independent_grouping()),
+            Box::new(|| {
+                FirstOrderModel::new(harness::params_of(&MachineConfig::baseline()))
+                    .with_independent_grouping()
+            }),
         ),
         (
             "+depend",
@@ -37,7 +45,10 @@ fn main() {
         ),
         (
             "+bursts",
-            Box::new(|| FirstOrderModel::new(harness::params_of(&MachineConfig::baseline())).with_measured_bursts()),
+            Box::new(|| {
+                FirstOrderModel::new(harness::params_of(&MachineConfig::baseline()))
+                    .with_measured_bursts()
+            }),
         ),
     ];
 

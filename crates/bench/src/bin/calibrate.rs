@@ -2,10 +2,10 @@
 //! benchmark (α, β, L, miss rates) so workload specs can be tuned
 //! against the paper's Table 1 and qualitative statements.
 
-use fosm_cache::{AccessKind, AccessOutcome, Hierarchy, HierarchyConfig, LongMissRecorder};
 use fosm_bench::store::ArtifactStore;
 use fosm_bench::{harness, par};
 use fosm_branch::{Gshare, MispredictStats, Predictor};
+use fosm_cache::{AccessKind, AccessOutcome, Hierarchy, HierarchyConfig, LongMissRecorder};
 use fosm_depgraph::{iw, powerlaw};
 use fosm_isa::LatencyTable;
 use fosm_trace::{SliceTrace, TraceStats};
@@ -16,11 +16,22 @@ const DEFAULT_CALIBRATE_LEN: u64 = 200_000;
 
 fn main() {
     let args = harness::run_args_with_default(DEFAULT_CALIBRATE_LEN);
+    let _obs = harness::obs_session("calibrate", &args);
     let n = args.trace_len;
     let store = ArtifactStore::global();
     println!(
         "{:<8} {:>6} {:>6} {:>6} {:>7} {:>7} {:>8} {:>8} {:>8} {:>9} {:>7}",
-        "bench", "alpha", "beta", "L", "br%", "misp%", "i-mr%", "d-mr%", "ldm/ki", "ovlp", "code KB"
+        "bench",
+        "alpha",
+        "beta",
+        "L",
+        "br%",
+        "misp%",
+        "i-mr%",
+        "d-mr%",
+        "ldm/ki",
+        "ovlp",
+        "code KB"
     );
     let rows = par::par_map_benchmarks(&BenchmarkSpec::all(), |spec| {
         let generator = WorkloadGenerator::new(spec, 42);

@@ -9,7 +9,9 @@ use fosm_sim::{ClusterConfig, Machine, MachineConfig, Steering};
 use fosm_workloads::BenchmarkSpec;
 
 fn main() {
-    let n = harness::trace_len_from_args();
+    let args = harness::run_args();
+    let _obs = harness::obs_session("cluster_study", &args);
+    let n = args.trace_len;
     let params = harness::params_of(&MachineConfig::baseline());
 
     println!("Cluster study: partitioned issue windows ({n} insts)");
@@ -17,7 +19,11 @@ fn main() {
         "{:<8} {:<14} {:>9} {:>9} {:>9} {:>7}",
         "bench", "config", "steering", "sim CPI", "model CPI", "err%"
     );
-    for spec in [BenchmarkSpec::vpr(), BenchmarkSpec::gzip(), BenchmarkSpec::vortex()] {
+    for spec in [
+        BenchmarkSpec::vpr(),
+        BenchmarkSpec::gzip(),
+        BenchmarkSpec::vortex(),
+    ] {
         let trace = harness::record(&spec, n);
         let profile = harness::profile(&params, &spec.name, &trace);
         let mono = harness::simulate(&MachineConfig::baseline(), &trace);

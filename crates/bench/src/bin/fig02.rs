@@ -14,7 +14,9 @@ use fosm_sim::MachineConfig;
 use fosm_workloads::BenchmarkSpec;
 
 fn main() {
-    let n = harness::trace_len_from_args();
+    let args = harness::run_args();
+    let _obs = harness::obs_session("fig02", &args);
+    let n = args.trace_len;
     let verbose = std::env::args().any(|a| a == "-v");
     let config = MachineConfig::baseline();
     let params = harness::params_of(&config);

@@ -9,7 +9,9 @@ use fosm_isa::LatencyTable;
 use fosm_workloads::BenchmarkSpec;
 
 fn main() {
-    let n = harness::run_args().trace_len;
+    let args = harness::run_args();
+    let _obs = harness::obs_session("fig04", &args);
+    let n = args.trace_len;
     let store = ArtifactStore::global();
     println!("Figure 4: unit-latency IW characteristic, IPC by window size ({n} insts)");
     print!("{:<8}", "bench");
@@ -19,7 +21,8 @@ fn main() {
     println!();
     let rows = par::par_map_benchmarks(&BenchmarkSpec::all(), |spec| {
         let trace = store.trace(spec, n, harness::SEED);
-        let points = iw::characteristic(trace.insts(), &DEFAULT_WINDOW_SIZES, &LatencyTable::unit());
+        let points =
+            iw::characteristic(trace.insts(), &DEFAULT_WINDOW_SIZES, &LatencyTable::unit());
         (spec.name.clone(), points)
     });
     for (name, points) in rows {

@@ -9,7 +9,9 @@ use fosm_isa::LatencyTable;
 use fosm_workloads::BenchmarkSpec;
 
 fn main() {
-    let n = harness::trace_len_from_args();
+    let args = harness::run_args();
+    let _obs = harness::obs_session("fig05", &args);
+    let n = args.trace_len;
     println!("Figure 5: linear (log-log) IW curve fit, illustrative benchmarks ({n} insts)");
     for spec in BenchmarkSpec::illustrative() {
         let trace = harness::record(&spec, n);
@@ -26,7 +28,10 @@ fn main() {
             law.beta(),
             r2
         );
-        println!("{:>8} {:>10} {:>10} {:>8}", "W", "measured I", "fitted I", "err%");
+        println!(
+            "{:>8} {:>10} {:>10} {:>8}",
+            "W", "measured I", "fitted I", "err%"
+        );
         for p in &points {
             let fit = law.predict(p.window as f64);
             println!(

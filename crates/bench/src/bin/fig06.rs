@@ -9,7 +9,9 @@ use fosm_sim::MachineConfig;
 use fosm_workloads::BenchmarkSpec;
 
 fn main() {
-    let n = harness::trace_len_from_args().min(100_000);
+    let args = harness::run_args();
+    let _obs = harness::obs_session("fig06", &args);
+    let n = args.trace_len.min(100_000);
     let spec = BenchmarkSpec::gcc();
     let trace = harness::record(&spec, n);
     let params = harness::params_of(&MachineConfig::baseline());
@@ -25,7 +27,11 @@ fn main() {
     }
     println!();
     for width in widths {
-        let label = if width == 32 { "unlimited".to_string() } else { width.to_string() };
+        let label = if width == 32 {
+            "unlimited".to_string()
+        } else {
+            width.to_string()
+        };
         print!("{label:<10}");
         for win in windows {
             let mut cfg = MachineConfig::ideal().with_width(width);
@@ -43,7 +49,11 @@ fn main() {
     }
     println!();
     for width in widths {
-        let label = if width == 32 { "unlimited".to_string() } else { width.to_string() };
+        let label = if width == 32 {
+            "unlimited".to_string()
+        } else {
+            width.to_string()
+        };
         print!("{label:<10}");
         for win in windows {
             print!(" {:>6.2}", profile.iw.steady_state_ipc(win, width));

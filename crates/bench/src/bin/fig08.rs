@@ -4,13 +4,14 @@
 //! 5 cycles, ramp-up ≈ 2.7 cycles, total ≈ 9.7. Also prints the
 //! instruction-cache miss transient shape of Fig. 10.
 
+use fosm_bench::harness;
 use fosm_bench::plot;
-use fosm_core::transient::{
-    branch_transient_curve, icache_transient_curve, ramp_up, win_drain,
-};
+use fosm_core::transient::{branch_transient_curve, icache_transient_curve, ramp_up, win_drain};
 use fosm_depgraph::{IwCharacteristic, PowerLaw};
 
 fn main() {
+    let args = harness::run_args();
+    let _obs = harness::obs_session("fig08", &args);
     let iw = IwCharacteristic::new(PowerLaw::square_root(), 1.0).expect("valid law");
     let (width, win, pipe, delta_i) = (4u32, 48u32, 5u32, 8u32);
 
@@ -37,7 +38,10 @@ fn main() {
     println!("issue rate per cycle:");
     println!("  {}", plot::sparkline(&curve));
     for (cycle, rate) in curve.iter().enumerate() {
-        println!("  cycle {cycle:>2}: {rate:>5.2} {}", plot::bar(*rate, 4.0, 24));
+        println!(
+            "  cycle {cycle:>2}: {rate:>5.2} {}",
+            plot::bar(*rate, 4.0, 24)
+        );
     }
 
     println!("\nFigure 10 shape: isolated instruction-cache miss transient (∆I = {delta_i}):");

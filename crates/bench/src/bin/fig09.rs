@@ -13,7 +13,9 @@ use fosm_sim::MachineConfig;
 use fosm_workloads::BenchmarkSpec;
 
 fn main() {
-    let n = harness::run_args().trace_len;
+    let args = harness::run_args();
+    let _obs = harness::obs_session("fig09", &args);
+    let n = args.trace_len;
     println!("Figure 9: penalty per branch misprediction, 5 vs 9 front-end stages ({n} insts)");
     println!(
         "{:<8} {:>8} {:>8}   {:>14} {:>14}",

@@ -12,7 +12,9 @@ use fosm_sim::MachineConfig;
 use fosm_workloads::BenchmarkSpec;
 
 fn main() {
-    let n = harness::trace_len_from_args();
+    let args = harness::run_args();
+    let _obs = harness::obs_session("fig11", &args);
+    let n = args.trace_len;
     println!("Figure 11: I-cache miss penalty vs front-end depth ({n} insts, ∆I = 8)");
     println!(
         "{:<8} {:>9} {:>12} {:>12}",
@@ -23,8 +25,10 @@ fn main() {
         let mut penalties = [0.0f64; 2];
         let mut short_misses = 0u64;
         for (slot, depth) in [5u32, 9].into_iter().enumerate() {
-            let real =
-                harness::simulate(&MachineConfig::only_real_icache().with_pipe_depth(depth), &trace);
+            let real = harness::simulate(
+                &MachineConfig::only_real_icache().with_pipe_depth(depth),
+                &trace,
+            );
             let ideal = harness::simulate(&MachineConfig::ideal().with_pipe_depth(depth), &trace);
             // Short misses only: long (L2) instruction misses pay the
             // memory latency and would skew the per-miss average.
@@ -36,7 +40,10 @@ fn main() {
         // The paper skips benchmarks with a negligible number of misses
         // (the per-miss average is noise below a few hundred events).
         if short_misses < (n / 200).max(500) {
-            println!("{:<8} {:>9} {:>12} {:>12}", spec.name, short_misses, "(negl.)", "(negl.)");
+            println!(
+                "{:<8} {:>9} {:>12} {:>12}",
+                spec.name, short_misses, "(negl.)", "(negl.)"
+            );
             continue;
         }
         println!(

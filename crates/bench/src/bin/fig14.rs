@@ -9,7 +9,9 @@ use fosm_sim::MachineConfig;
 use fosm_workloads::BenchmarkSpec;
 
 fn main() {
-    let n = harness::run_args().trace_len;
+    let args = harness::run_args();
+    let _obs = harness::obs_session("fig14", &args);
+    let n = args.trace_len;
     let params = harness::params_of(&MachineConfig::baseline());
     let store = ArtifactStore::global();
     println!("Figure 14: penalty per long data-cache miss ({n} insts, ∆D = 200)");

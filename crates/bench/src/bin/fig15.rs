@@ -9,6 +9,7 @@ use fosm_workloads::BenchmarkSpec;
 
 fn main() {
     let args = harness::run_args();
+    let _obs = harness::obs_session("fig15", &args);
     let n = args.trace_len;
     let config = MachineConfig::baseline();
     let params = harness::params_of(&config);

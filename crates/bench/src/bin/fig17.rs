@@ -5,9 +5,12 @@
 //! width 3 (Sprangle & Carmean) and moves to shorter pipelines as the
 //! machine widens.
 
+use fosm_bench::harness;
 use fosm_trends::pipeline::PipelineStudy;
 
 fn main() {
+    let args = harness::run_args();
+    let _obs = harness::obs_session("fig17", &args);
     let study = PipelineStudy::paper();
     let widths = [2u32, 3, 4, 8];
     let depths: Vec<u32> = (1..=100).collect();
@@ -43,8 +46,14 @@ fn main() {
 
     println!("\noptimal front-end depth by issue width:");
     for w in widths {
-        let best = study.optimal_depth(w, depths.iter().copied()).expect("non-empty");
-        let marker = if w == 3 { "  <- paper/Sprangle-Carmean: ~55" } else { "" };
+        let best = study
+            .optimal_depth(w, depths.iter().copied())
+            .expect("non-empty");
+        let marker = if w == 3 {
+            "  <- paper/Sprangle-Carmean: ~55"
+        } else {
+            ""
+        };
         println!("  issue {w}: {best} stages{marker}");
     }
 }

@@ -4,10 +4,13 @@
 //! requires roughly *quadrupling* the distance between mispredictions —
 //! branch prediction must improve as the square of the issue width.
 
+use fosm_bench::harness;
 use fosm_depgraph::{IwCharacteristic, PowerLaw};
 use fosm_trends::issue_width::IssueWidthStudy;
 
 fn main() {
+    let args = harness::run_args();
+    let _obs = harness::obs_session("fig18", &args);
     let iw = IwCharacteristic::new(PowerLaw::square_root(), 1.0).expect("valid law");
     let study = IssueWidthStudy::paper(iw);
     let widths = [4u32, 8, 16];
@@ -22,7 +25,9 @@ fn main() {
     for f in fractions {
         print!("{:<12}", format!("{:.0}%", f * 100.0));
         for w in widths {
-            let d = study.distance_for_fraction(w, f).expect("reachable fraction");
+            let d = study
+                .distance_for_fraction(w, f)
+                .expect("reachable fraction");
             print!(" {:>10.0}", d);
         }
         println!();

@@ -3,11 +3,14 @@
 //! distance. Wide machines barely ramp to their peak before the next
 //! misprediction flushes them.
 
+use fosm_bench::harness;
 use fosm_bench::plot;
 use fosm_depgraph::{IwCharacteristic, PowerLaw};
 use fosm_trends::issue_width::IssueWidthStudy;
 
 fn main() {
+    let args = harness::run_args();
+    let _obs = harness::obs_session("fig19", &args);
     let iw = IwCharacteristic::new(PowerLaw::square_root(), 1.0).expect("valid law");
     let study = IssueWidthStudy::paper(iw);
     // The paper's §6 assumption: 1 in 5 instructions is a branch, 5%

@@ -10,7 +10,9 @@ use fosm_sim::{Machine, MachineConfig};
 use fosm_workloads::BenchmarkSpec;
 
 fn main() {
-    let n = harness::trace_len_from_args();
+    let args = harness::run_args();
+    let _obs = harness::obs_session("fu_study", &args);
+    let n = args.trace_len;
     let params = harness::params_of(&MachineConfig::baseline());
     let pools: [(&str, FuPool); 3] = [
         ("alpha-like", FuPool::alpha_like()),
@@ -35,7 +37,11 @@ fn main() {
         "{:<8} {:<11} {:>9} {:>9} {:>9} {:>7}",
         "bench", "pool", "eff.width", "sim CPI", "model CPI", "err%"
     );
-    for spec in [BenchmarkSpec::eon(), BenchmarkSpec::mcf(), BenchmarkSpec::gzip()] {
+    for spec in [
+        BenchmarkSpec::eon(),
+        BenchmarkSpec::mcf(),
+        BenchmarkSpec::gzip(),
+    ] {
         let trace = harness::record(&spec, n);
         let profile = harness::profile(&params, &spec.name, &trace);
         for (label, pool) in &pools {

@@ -14,7 +14,9 @@ use fosm_trace::VecTrace;
 use fosm_workloads::{BenchmarkSpec, PhasedGenerator};
 
 fn main() {
-    let n = harness::trace_len_from_args();
+    let args = harness::run_args();
+    let _obs = harness::obs_session("phase_study", &args);
+    let n = args.trace_len;
     let config = MachineConfig::baseline();
     let params = harness::params_of(&config);
     let phase_len = 50_000u64;
@@ -63,8 +65,8 @@ fn main() {
             phase_cpis[phase] = harness::estimate(&params, &profile).total_cpi();
         }
         let total_weight: f64 = phase_weights.iter().sum();
-        let per_phase = (phase_cpis[0] * phase_weights[0] + phase_cpis[1] * phase_weights[1])
-            / total_weight;
+        let per_phase =
+            (phase_cpis[0] * phase_weights[0] + phase_cpis[1] * phase_weights[1]) / total_weight;
 
         println!(
             "{:<16} {:>9.3} {:>12.3} {:>6.1}% {:>12.3} {:>6.1}%",

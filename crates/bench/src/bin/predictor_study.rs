@@ -11,14 +11,28 @@ use fosm_sim::MachineConfig;
 use fosm_workloads::BenchmarkSpec;
 
 fn main() {
-    let n = harness::trace_len_from_args();
+    let args = harness::run_args();
+    let _obs = harness::obs_session("predictor_study", &args);
+    let n = args.trace_len;
     let params = harness::params_of(&MachineConfig::baseline());
     let predictors = [
         ("bimodal-13", PredictorConfig::Bimodal { bits: 13 }),
         ("gshare-13", PredictorConfig::Gshare { bits: 13 }),
-        ("2level", PredictorConfig::TwoLevel { pc_bits: 11, history_bits: 12 }),
+        (
+            "2level",
+            PredictorConfig::TwoLevel {
+                pc_bits: 11,
+                history_bits: 12,
+            },
+        ),
         ("tournament", PredictorConfig::Tournament { bits: 12 }),
-        ("perceptron", PredictorConfig::Perceptron { bits: 9, history: 24 }),
+        (
+            "perceptron",
+            PredictorConfig::Perceptron {
+                bits: 9,
+                history: 24,
+            },
+        ),
     ];
 
     println!("Predictor study: misprediction rate / model branch CPI ({n} insts)");

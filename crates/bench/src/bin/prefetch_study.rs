@@ -7,15 +7,17 @@
 //! result appears: streaming workloads benefit enormously,
 //! pointer-chasing ones barely at all.
 
-use fosm_branch::PredictorConfig;
 use fosm_bench::harness;
+use fosm_branch::PredictorConfig;
 use fosm_cache::HierarchyConfig;
 use fosm_core::profile::ProfileCollector;
 use fosm_sim::{Machine, MachineConfig};
 use fosm_workloads::BenchmarkSpec;
 
 fn main() {
-    let n = harness::trace_len_from_args();
+    let args = harness::run_args();
+    let _obs = harness::obs_session("prefetch_study", &args);
+    let n = args.trace_len;
     let params = harness::params_of(&MachineConfig::baseline());
     println!("Prefetch study: next-line data prefetching ({n} insts)");
     println!(

@@ -17,8 +17,8 @@ use fosm_trends::pipeline::PipelineStudy;
 use fosm_workloads::BenchmarkSpec;
 
 fn main() {
-    let started = std::time::Instant::now();
     let args = harness::run_args();
+    let _obs = harness::obs_session("report", &args);
     let n = args.trace_len;
     let config = MachineConfig::baseline();
     let params = harness::params_of(&config);
@@ -28,13 +28,21 @@ fn main() {
     println!();
     println!(
         "Baseline machine: {}-wide, {}-entry window, {}-entry ROB, ∆P={}, ∆I={}, ∆D={}.",
-        config.width, config.win_size, config.rob_size, config.pipe_depth, config.l2_latency,
+        config.width,
+        config.win_size,
+        config.rob_size,
+        config.pipe_depth,
+        config.l2_latency,
         config.mem_latency
     );
-    println!("Trace length: {n} instructions per benchmark, seed {}.", harness::SEED);
+    println!(
+        "Trace length: {n} instructions per benchmark, seed {}.",
+        harness::SEED
+    );
     println!();
 
     // ---- Fig. 8: transient decomposition ----
+    let transient_span = fosm_obs::span("report.transient");
     let iw = IwCharacteristic::new(PowerLaw::square_root(), 1.0).expect("valid law");
     let drain = win_drain(&iw, config.width, config.win_size);
     let ramp = ramp_up(&iw, config.width, config.win_size);
@@ -43,7 +51,10 @@ fn main() {
     println!("| quantity | paper | measured |");
     println!("|---|---|---|");
     println!("| window drain | 2.1 | {:.1} |", drain.penalty);
-    println!("| pipeline refill | 4.9 | {:.1} |", config.pipe_depth as f64);
+    println!(
+        "| pipeline refill | 4.9 | {:.1} |",
+        config.pipe_depth as f64
+    );
     println!("| ramp-up | 2.7 | {:.1} |", ramp.penalty);
     println!(
         "| total isolated penalty | 9.7 | {:.1} |",
@@ -51,7 +62,10 @@ fn main() {
     );
     println!();
 
+    drop(transient_span);
+
     // ---- Table 1 + Fig. 15 in one pass ----
+    let benchmarks_span = fosm_obs::span("report.benchmarks");
     println!("## Per-benchmark: IW parameters and total CPI (paper Table 1, Fig. 15)");
     println!();
     println!("| bench | α | β | L | sim CPI | model CPI | err% |");
@@ -106,12 +120,16 @@ fn main() {
     }
     println!();
 
+    drop(benchmarks_span);
+
     // ---- Ablation ----
+    let ablation_span = fosm_obs::span("report.ablation");
     println!("## Model-refinement ablation");
     println!();
     println!("| variant | avg \\|err\\|% |");
     println!("|---|---|");
-    let variants: [(&str, fn(FirstOrderModel) -> FirstOrderModel); 3] = [
+    type Refinement = fn(FirstOrderModel) -> FirstOrderModel;
+    let variants: [(&str, Refinement); 3] = [
         ("paper §5 recipe", |m| m.with_paper_simplifications()),
         ("+ rob_fill estimate", |m| m.with_independent_grouping()),
         ("+ dependence-aware f_LDM (default)", |m| m),
@@ -127,7 +145,10 @@ fn main() {
     }
     println!();
 
+    drop(ablation_span);
+
     // ---- Trends ----
+    let _trends_span = fosm_obs::span("report.trends");
     println!("## Trend studies (paper §6)");
     println!();
     let study = PipelineStudy::paper();
@@ -149,15 +170,7 @@ fn main() {
         d8 / d4,
         d16 / d8
     );
-
-    // Timing goes to stderr so `report > report.md` stays byte-stable
-    // across runs and thread counts.
-    let stats = store.stats();
-    eprintln!(
-        "report: {:.2}s wall clock on {} thread(s); artifact store: {} hits / {} misses",
-        started.elapsed().as_secs_f64(),
-        args.threads,
-        stats.trace_hits + stats.sim_hits + stats.profile_hits,
-        stats.trace_misses + stats.sim_misses + stats.profile_misses,
-    );
+    // Wall clock, thread count, and artifact-store traffic are emitted
+    // through the fosm-obs sink when `_obs` drops — never to stdout, so
+    // `report > report.md` stays byte-stable across runs and threads.
 }

@@ -12,7 +12,9 @@ use fosm_trace::Sampler;
 use fosm_workloads::{BenchmarkSpec, WorkloadGenerator};
 
 fn main() {
-    let n = harness::trace_len_from_args();
+    let args = harness::run_args();
+    let _obs = harness::obs_session("sampling_study", &args);
+    let n = args.trace_len;
     let config = MachineConfig::baseline();
     let params = harness::params_of(&config);
 

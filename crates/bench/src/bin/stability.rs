@@ -7,13 +7,21 @@ use fosm_sim::MachineConfig;
 use fosm_workloads::BenchmarkSpec;
 
 fn main() {
-    let n = harness::trace_len_from_args();
+    let args = harness::run_args();
+    let _obs = harness::obs_session("stability", &args);
+    let n = args.trace_len;
     let seeds = [42u64, 1, 7, 1234];
     let config = MachineConfig::baseline();
     let params = harness::params_of(&config);
 
-    println!("Stability: model error across {} seeds ({n} insts/benchmark)", seeds.len());
-    println!("{:<8} {:>24} {:>9} {:>9}", "bench", "err% per seed", "mean", "spread");
+    println!(
+        "Stability: model error across {} seeds ({n} insts/benchmark)",
+        seeds.len()
+    );
+    println!(
+        "{:<8} {:>24} {:>9} {:>9}",
+        "bench", "err% per seed", "mean", "spread"
+    );
     let mut grand = Vec::new();
     for spec in BenchmarkSpec::all() {
         let mut errs = Vec::new();
@@ -31,7 +39,10 @@ fn main() {
             .map(|e| format!("{e:+.1}"))
             .collect::<Vec<_>>()
             .join(" ");
-        println!("{:<8} {:>24} {:>8.1}% {:>8.1}%", spec.name, list, mean, spread);
+        println!(
+            "{:<8} {:>24} {:>8.1}% {:>8.1}%",
+            spec.name, list, mean, spread
+        );
         grand.extend(errs.iter().map(|e| e.abs()));
     }
     println!(

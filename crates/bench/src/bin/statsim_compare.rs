@@ -11,7 +11,9 @@ use fosm_workloads::BenchmarkSpec;
 use std::time::Instant;
 
 fn main() {
-    let n = harness::trace_len_from_args();
+    let args = harness::run_args();
+    let _obs = harness::obs_session("statsim_compare", &args);
+    let n = args.trace_len;
     let config = MachineConfig::baseline();
     let params = harness::params_of(&config);
 

@@ -9,11 +9,16 @@ use fosm_sim::MachineConfig;
 use fosm_workloads::BenchmarkSpec;
 
 fn main() {
-    let n = harness::run_args().trace_len;
+    let args = harness::run_args();
+    let _obs = harness::obs_session("table1", &args);
+    let n = args.trace_len;
     let params = harness::params_of(&MachineConfig::baseline());
     let store = ArtifactStore::global();
     println!("Table 1: power-law parameters and average latency ({n} insts)");
-    println!("{:<8} {:>6} {:>6} {:>9}", "bench", "alpha", "beta", "avg lat");
+    println!(
+        "{:<8} {:>6} {:>6} {:>9}",
+        "bench", "alpha", "beta", "avg lat"
+    );
     let rows = par::par_map_benchmarks(&BenchmarkSpec::all(), |spec| {
         let profile = store.profile(&params, &spec.name, spec, n, harness::SEED);
         (

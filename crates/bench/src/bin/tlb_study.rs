@@ -11,14 +11,20 @@ use fosm_sim::{Machine, MachineConfig};
 use fosm_workloads::BenchmarkSpec;
 
 fn main() {
-    let n = harness::trace_len_from_args();
+    let args = harness::run_args();
+    let _obs = harness::obs_session("tlb_study", &args);
+    let n = args.trace_len;
     let params = harness::params_of(&MachineConfig::baseline());
     println!("TLB study: CPI with a data TLB, model vs simulation ({n} insts)");
     println!(
         "{:<8} {:>8} {:>9} {:>9} {:>9} {:>7}",
         "bench", "entries", "misses/ki", "sim CPI", "model CPI", "err%"
     );
-    for spec in [BenchmarkSpec::mcf(), BenchmarkSpec::twolf(), BenchmarkSpec::parser()] {
+    for spec in [
+        BenchmarkSpec::mcf(),
+        BenchmarkSpec::twolf(),
+        BenchmarkSpec::parser(),
+    ] {
         let trace = harness::record(&spec, n);
         for entries in [16u32, 64, 256] {
             let tlb = TlbConfig {
@@ -26,8 +32,8 @@ fn main() {
                 page_bytes: 4096,
                 walk_latency: 120,
             };
-            let sim = Machine::new(MachineConfig::baseline().with_dtlb(tlb))
-                .run(&mut trace.clone());
+            let sim =
+                Machine::new(MachineConfig::baseline().with_dtlb(tlb)).run(&mut trace.clone());
             let profile = ProfileCollector::new(&params)
                 .with_dtlb(tlb)
                 .with_name(&spec.name)

@@ -22,13 +22,18 @@ const POINTS: [(u32, u32); 8] = [
 
 fn main() {
     let args = harness::run_args();
+    let _obs = harness::obs_session("win_study", &args);
     let n = args.trace_len;
     let base = MachineConfig::baseline();
     let params = harness::params_of(&base);
     let store = ArtifactStore::global();
 
     println!("Window/width sweep: model vs simulation CPI ({n} insts)");
-    let specs = [BenchmarkSpec::gzip(), BenchmarkSpec::vortex(), BenchmarkSpec::vpr()];
+    let specs = [
+        BenchmarkSpec::gzip(),
+        BenchmarkSpec::vortex(),
+        BenchmarkSpec::vpr(),
+    ];
     // One job per (benchmark, structural point): 24 simulations fan
     // out across cores; each benchmark's trace and profile is recorded
     // once in the store and shared by its eight configurations.
@@ -46,7 +51,9 @@ fn main() {
         p.width = *width;
         p.win_size = *window;
         p.rob_size = cfg.rob_size;
-        let est = FirstOrderModel::new(p).evaluate(&profile).expect("estimate");
+        let est = FirstOrderModel::new(p)
+            .evaluate(&profile)
+            .expect("estimate");
         (sim.cpi(), est.total_cpi())
     });
     for (s, spec) in specs.iter().enumerate() {

@@ -15,19 +15,22 @@ pub const DEFAULT_TRACE_LEN: u64 = 300_000;
 pub const SEED: u64 = 42;
 
 /// Parsed command line shared by every figure binary.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RunArgs {
     /// Dynamic trace length per benchmark (first positional argument).
     pub trace_len: u64,
     /// Worker threads for parallel sections (`--threads N`, then the
     /// `FOSM_THREADS` environment variable, then all available cores).
     pub threads: usize,
+    /// Run-manifest destination (`--metrics <path>`); beats the
+    /// `FOSM_METRICS` environment variable when present.
+    pub metrics: Option<String>,
 }
 
 /// Parses the standard figure-binary command line:
 ///
 /// ```text
-/// <binary> [TRACE_LEN] [--threads N]
+/// <binary> [TRACE_LEN] [--threads N] [--metrics <path>]
 /// ```
 ///
 /// Unrecognized arguments are ignored, so individual binaries can
@@ -52,12 +55,17 @@ fn parse_args(
 ) -> RunArgs {
     let mut trace_len = default_len;
     let mut threads: Option<usize> = None;
+    let mut metrics: Option<String> = None;
     let mut args = args.peekable();
     while let Some(arg) = args.next() {
         if let Some(value) = arg.strip_prefix("--threads=") {
             threads = value.parse().ok();
         } else if arg == "--threads" {
             threads = args.next().and_then(|v| v.parse().ok());
+        } else if let Some(value) = arg.strip_prefix("--metrics=") {
+            metrics = Some(value.to_string());
+        } else if arg == "--metrics" {
+            metrics = args.next();
         } else if let Ok(n) = arg.parse() {
             trace_len = n;
         }
@@ -66,13 +74,54 @@ fn parse_args(
         .or_else(|| threads_env.and_then(|v| v.parse().ok()))
         .unwrap_or_else(crate::par::available_threads)
         .max(1);
-    RunArgs { trace_len, threads }
+    RunArgs {
+        trace_len,
+        threads,
+        metrics,
+    }
 }
 
 /// Reads the trace length from the CLI, defaulting to
 /// [`DEFAULT_TRACE_LEN`]. Shorthand for `run_args().trace_len`.
 pub fn trace_len_from_args() -> u64 {
     run_args().trace_len
+}
+
+/// Opens the observability session for a figure binary: selects the
+/// sink (a `--metrics <path>` flag beats `FOSM_METRICS`), stamps the
+/// run configuration into the manifest metadata, and — when dropped at
+/// the end of `main` — flushes the artifact-store counters, records
+/// total wall-clock time, and emits the run manifest.
+pub fn obs_session(binary: &'static str, args: &RunArgs) -> ObsSession {
+    if let Some(path) = &args.metrics {
+        fosm_obs::set_sink(fosm_obs::Sink::JsonFile(path.into()));
+    }
+    fosm_obs::meta_set("binary", binary);
+    fosm_obs::meta_set("seed", SEED);
+    fosm_obs::meta_set("trace_len", args.trace_len);
+    fosm_obs::meta_set("threads", args.threads);
+    ObsSession {
+        binary,
+        start: std::time::Instant::now(),
+    }
+}
+
+/// Guard returned by [`obs_session`]; emits the run manifest on drop.
+#[must_use = "bind to a named local so the manifest is emitted at the end of main"]
+pub struct ObsSession {
+    binary: &'static str,
+    start: std::time::Instant,
+}
+
+impl Drop for ObsSession {
+    fn drop(&mut self) {
+        let registry = fosm_obs::global();
+        crate::store::ArtifactStore::global()
+            .stats()
+            .observe_into(registry);
+        registry.gauge_set("wall_s", self.start.elapsed().as_secs_f64());
+        fosm_obs::emit(self.binary);
+    }
 }
 
 /// Records `n` instructions of the benchmark's dynamic stream.
@@ -82,17 +131,20 @@ pub fn record(spec: &BenchmarkSpec, n: u64) -> VecTrace {
 
 /// Records `n` instructions with an explicit dynamic seed.
 pub fn record_seeded(spec: &BenchmarkSpec, n: u64, seed: u64) -> VecTrace {
+    let _span = fosm_obs::span("record");
     let mut generator = WorkloadGenerator::new(spec, seed);
     VecTrace::record(&mut generator, n)
 }
 
 /// Runs the detailed simulator over (a fresh replay of) `trace`.
 pub fn simulate(config: &MachineConfig, trace: &VecTrace) -> SimReport {
+    let _span = fosm_obs::span("simulate");
     Machine::new(config.clone()).run(&mut trace.replay())
 }
 
 /// Collects the functional-level profile the model consumes.
 pub fn profile(params: &ProcessorParams, name: &str, trace: &VecTrace) -> ProgramProfile {
+    let _span = fosm_obs::span("profile");
     ProfileCollector::new(params)
         .with_name(name)
         .collect(&mut trace.replay(), u64::MAX)
@@ -171,10 +223,26 @@ mod tests {
         assert_eq!(parse(&[], None).trace_len, DEFAULT_TRACE_LEN);
         assert_eq!(parse(&["12345"], None).trace_len, 12_345);
         assert_eq!(parse(&["--threads", "3"], None).threads, 3);
-        assert_eq!(parse(&["--threads=5", "777"], None), RunArgs {
-            trace_len: 777,
-            threads: 5,
-        });
+        assert_eq!(
+            parse(&["--threads=5", "777"], None),
+            RunArgs {
+                trace_len: 777,
+                threads: 5,
+                metrics: None,
+            }
+        );
+        assert_eq!(
+            parse(&["--metrics", "out.json"], None).metrics.as_deref(),
+            Some("out.json")
+        );
+        assert_eq!(
+            parse(&["--metrics=m.json", "400"], None),
+            RunArgs {
+                trace_len: 400,
+                threads: parse(&[], None).threads,
+                metrics: Some("m.json".to_string()),
+            }
+        );
         // CLI beats the environment; the environment beats detection.
         assert_eq!(parse(&["--threads", "2"], Some("9")).threads, 2);
         assert_eq!(parse(&[], Some("9")).threads, 9);

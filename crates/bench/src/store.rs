@@ -44,6 +44,7 @@ type TraceKey = (String, u64, u64);
 struct Counter {
     hits: AtomicU64,
     misses: AtomicU64,
+    inserts: AtomicU64,
 }
 
 impl Counter {
@@ -52,6 +53,9 @@ impl Counter {
     }
     fn miss(&self) {
         self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+    fn insert(&self) {
+        self.inserts.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -70,6 +74,39 @@ pub struct StoreStats {
     pub profile_hits: u64,
     /// Profile collections actually executed.
     pub profile_misses: u64,
+    /// Traces that won the insert race (misses minus discarded
+    /// duplicate computations).
+    pub trace_inserts: u64,
+    /// Simulator reports that won the insert race.
+    pub sim_inserts: u64,
+    /// Profiles that won the insert race.
+    pub profile_inserts: u64,
+}
+
+impl StoreStats {
+    /// Flushes the store's traffic counters into an observability
+    /// registry under `store.{trace,sim,profile}.{hits,misses,inserts}`.
+    pub fn observe_into(&self, registry: &fosm_obs::Registry) {
+        for (kind, hits, misses, inserts) in [
+            (
+                "trace",
+                self.trace_hits,
+                self.trace_misses,
+                self.trace_inserts,
+            ),
+            ("sim", self.sim_hits, self.sim_misses, self.sim_inserts),
+            (
+                "profile",
+                self.profile_hits,
+                self.profile_misses,
+                self.profile_inserts,
+            ),
+        ] {
+            registry.counter_add(&format!("store.{kind}.hits"), hits);
+            registry.counter_add(&format!("store.{kind}.misses"), misses);
+            registry.counter_add(&format!("store.{kind}.inserts"), inserts);
+        }
+    }
 }
 
 /// The memoizing artifact store. One global instance serves a whole
@@ -157,6 +194,9 @@ impl ArtifactStore {
             sim_misses: self.sim_traffic.misses.load(Ordering::Relaxed),
             profile_hits: self.profile_traffic.hits.load(Ordering::Relaxed),
             profile_misses: self.profile_traffic.misses.load(Ordering::Relaxed),
+            trace_inserts: self.trace_traffic.inserts.load(Ordering::Relaxed),
+            sim_inserts: self.sim_traffic.inserts.load(Ordering::Relaxed),
+            profile_inserts: self.profile_traffic.inserts.load(Ordering::Relaxed),
         }
     }
 }
@@ -184,13 +224,13 @@ where
     }
     traffic.miss();
     let v = Arc::new(compute());
-    Arc::clone(
-        table
-            .lock()
-            .expect("store lock")
-            .entry(key)
-            .or_insert(v),
-    )
+    match table.lock().expect("store lock").entry(key) {
+        std::collections::hash_map::Entry::Occupied(e) => Arc::clone(e.get()),
+        std::collections::hash_map::Entry::Vacant(e) => {
+            traffic.insert();
+            Arc::clone(e.insert(v))
+        }
+    }
 }
 
 #[cfg(test)]
@@ -206,7 +246,7 @@ mod tests {
         assert!(Arc::ptr_eq(&a, &b));
         assert_eq!(a.len(), 2_000);
         let s = store.stats();
-        assert_eq!((s.trace_hits, s.trace_misses), (1, 1));
+        assert_eq!((s.trace_hits, s.trace_misses, s.trace_inserts), (1, 1, 1));
     }
 
     #[test]
@@ -256,9 +296,8 @@ mod tests {
     fn concurrent_lookups_converge_on_one_value() {
         let store = ArtifactStore::new();
         let spec = BenchmarkSpec::gzip();
-        let traces: Vec<Arc<VecTrace>> = crate::par::par_map(&[0u32; 8], 8, |_| {
-            store.trace(&spec, 1_000, 3)
-        });
+        let traces: Vec<Arc<VecTrace>> =
+            crate::par::par_map(&[0u32; 8], 8, |_| store.trace(&spec, 1_000, 3));
         for t in &traces {
             assert!(Arc::ptr_eq(t, &traces[0]));
         }

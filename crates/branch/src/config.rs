@@ -68,9 +68,10 @@ impl PredictorConfig {
             PredictorConfig::Ideal => Box::new(Ideal::new()),
             PredictorConfig::Gshare { bits } => Box::new(Gshare::new(bits)),
             PredictorConfig::Bimodal { bits } => Box::new(Bimodal::new(bits)),
-            PredictorConfig::TwoLevel { pc_bits, history_bits } => {
-                Box::new(TwoLevelLocal::new(pc_bits, history_bits))
-            }
+            PredictorConfig::TwoLevel {
+                pc_bits,
+                history_bits,
+            } => Box::new(TwoLevelLocal::new(pc_bits, history_bits)),
             PredictorConfig::Tournament { bits } => Box::new(Tournament::new(bits)),
             PredictorConfig::Perceptron { bits, history } => {
                 Box::new(Perceptron::new(bits, history))
@@ -101,9 +102,15 @@ mod tests {
             PredictorConfig::Ideal,
             PredictorConfig::Gshare { bits: 13 },
             PredictorConfig::Bimodal { bits: 12 },
-            PredictorConfig::TwoLevel { pc_bits: 10, history_bits: 10 },
+            PredictorConfig::TwoLevel {
+                pc_bits: 10,
+                history_bits: 10,
+            },
             PredictorConfig::Tournament { bits: 12 },
-            PredictorConfig::Perceptron { bits: 9, history: 16 },
+            PredictorConfig::Perceptron {
+                bits: 9,
+                history: 16,
+            },
             PredictorConfig::AlwaysTaken,
             PredictorConfig::NeverTaken,
         ] {
@@ -113,7 +120,10 @@ mod tests {
 
     #[test]
     fn baseline_is_8k_gshare() {
-        assert_eq!(PredictorConfig::baseline(), PredictorConfig::Gshare { bits: 13 });
+        assert_eq!(
+            PredictorConfig::baseline(),
+            PredictorConfig::Gshare { bits: 13 }
+        );
         assert!(!PredictorConfig::baseline().is_ideal());
         assert!(PredictorConfig::Ideal.is_ideal());
     }

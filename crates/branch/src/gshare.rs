@@ -181,7 +181,10 @@ mod tests {
             }
         }
         let rate = correct as f64 / n as f64;
-        assert!((0.4..0.6).contains(&rate), "accuracy on noise should be ~0.5, got {rate}");
+        assert!(
+            (0.4..0.6).contains(&rate),
+            "accuracy on noise should be ~0.5, got {rate}"
+        );
     }
 
     #[test]

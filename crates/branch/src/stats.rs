@@ -106,6 +106,16 @@ impl MispredictStats {
         &self.mispredict_positions
     }
 
+    /// Flushes lookup/mispredict totals into an observability
+    /// registry as `<prefix>.lookups` / `<prefix>.mispredicts`.
+    ///
+    /// Called once per finished run; the per-branch hot path only
+    /// touches this struct's local counters.
+    pub fn observe_into(&self, registry: &fosm_obs::Registry, prefix: &str) {
+        registry.counter_add(&format!("{prefix}.lookups"), self.branches);
+        registry.counter_add(&format!("{prefix}.mispredicts"), self.mispredicts);
+    }
+
     /// Mean burst length: consecutive mispredictions within
     /// `threshold` instructions of their *predecessor* count as one
     /// burst (the `n` of paper eq. 3). Returns 0.0 with no
@@ -163,7 +173,7 @@ mod tests {
             s.record(false, pos);
         }
         assert!((s.mean_burst_length(20) - 2.0).abs() < 1e-12); // 4 mispredicts / 2 bursts
-        // Tiny threshold: every misprediction is its own burst.
+                                                                // Tiny threshold: every misprediction is its own burst.
         assert!((s.mean_burst_length(1) - 1.0).abs() < 1e-12);
     }
 

@@ -253,10 +253,7 @@ impl BurstDistribution {
 
     /// Largest observed cluster size (0 when empty).
     pub fn max_group_size(&self) -> usize {
-        self.group_counts
-            .iter()
-            .rposition(|&n| n > 0)
-            .unwrap_or(0)
+        self.group_counts.iter().rposition(|&n| n > 0).unwrap_or(0)
     }
 }
 

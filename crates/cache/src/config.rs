@@ -58,7 +58,9 @@ impl CacheConfig {
             return Err(CacheError::ZeroParameter { what: "size" });
         }
         if assoc == 0 {
-            return Err(CacheError::ZeroParameter { what: "associativity" });
+            return Err(CacheError::ZeroParameter {
+                what: "associativity",
+            });
         }
         if line_bytes == 0 {
             return Err(CacheError::ZeroParameter { what: "line size" });
@@ -96,8 +98,7 @@ impl CacheConfig {
     ///
     /// Used for both the instruction and the data L1 cache.
     pub fn l1_baseline() -> Self {
-        CacheConfig::new(4 * 1024, 4, 128, Replacement::Lru)
-            .expect("baseline L1 geometry is valid")
+        CacheConfig::new(4 * 1024, 4, 128, Replacement::Lru).expect("baseline L1 geometry is valid")
     }
 
     /// The paper's baseline unified L2: 512 KB, 4-way, 128 B lines, LRU.
@@ -163,7 +164,9 @@ mod tests {
         ));
         assert!(matches!(
             CacheConfig::new(4096, 0, 128, Replacement::Lru),
-            Err(CacheError::ZeroParameter { what: "associativity" })
+            Err(CacheError::ZeroParameter {
+                what: "associativity"
+            })
         ));
         assert!(matches!(
             CacheConfig::new(4096, 4, 0, Replacement::Lru),
@@ -175,12 +178,18 @@ mod tests {
     fn rejects_non_power_of_two_lines_and_sets() {
         assert!(matches!(
             CacheConfig::new(4096, 4, 96, Replacement::Lru),
-            Err(CacheError::NotPowerOfTwo { what: "line size", .. })
+            Err(CacheError::NotPowerOfTwo {
+                what: "line size",
+                ..
+            })
         ));
         // 3 sets: 4 ways * 128 B * 3 = 1536
         assert!(matches!(
             CacheConfig::new(1536, 4, 128, Replacement::Lru),
-            Err(CacheError::NotPowerOfTwo { what: "set count", .. })
+            Err(CacheError::NotPowerOfTwo {
+                what: "set count",
+                ..
+            })
         ));
     }
 

@@ -56,7 +56,10 @@ mod tests {
     fn display_messages_are_informative() {
         let e = CacheError::ZeroParameter { what: "line size" };
         assert!(e.to_string().contains("line size"));
-        let e = CacheError::NotPowerOfTwo { what: "set count", value: 3 };
+        let e = CacheError::NotPowerOfTwo {
+            what: "set count",
+            value: 3,
+        };
         assert!(e.to_string().contains("power of two"));
         let e = CacheError::InconsistentGeometry {
             size_bytes: 100,

@@ -229,9 +229,24 @@ impl Hierarchy {
         self.l2.as_ref().map(|c| c.stats())
     }
 
+    /// Flushes every level's access/miss totals into `registry`
+    /// under `<prefix>.l1i`, `<prefix>.l1d`, and `<prefix>.l2`.
+    pub fn observe_into(&self, registry: &fosm_obs::Registry, prefix: &str) {
+        self.ifetch_stats
+            .observe_into(registry, &format!("{prefix}.l1i"));
+        self.data_stats
+            .observe_into(registry, &format!("{prefix}.l1d"));
+        if let Some(l2) = self.l2_stats() {
+            l2.observe_into(registry, &format!("{prefix}.l2"));
+        }
+    }
+
     /// Invalidates all levels and resets statistics.
     pub fn flush(&mut self) {
-        for c in [&mut self.l1i, &mut self.l1d, &mut self.l2].into_iter().flatten() {
+        for c in [&mut self.l1i, &mut self.l1d, &mut self.l2]
+            .into_iter()
+            .flatten()
+        {
             c.flush();
         }
         self.ifetch_stats.reset();

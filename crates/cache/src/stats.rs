@@ -65,6 +65,16 @@ impl MissStats {
     pub fn reset(&mut self) {
         *self = MissStats::default();
     }
+
+    /// Flushes these totals into an observability registry as
+    /// `<name>.accesses` / `<name>.misses`.
+    ///
+    /// Called once per finished run (hot paths only touch the local
+    /// counters), so the registry cost never scales with trace length.
+    pub fn observe_into(&self, registry: &fosm_obs::Registry, name: &str) {
+        registry.counter_add(&format!("{name}.accesses"), self.accesses);
+        registry.counter_add(&format!("{name}.misses"), self.misses);
+    }
 }
 
 #[cfg(test)]

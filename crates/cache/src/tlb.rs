@@ -39,7 +39,9 @@ impl TlbConfig {
     /// power of two.
     pub fn validate(&self) -> Result<(), CacheError> {
         if self.entries == 0 {
-            return Err(CacheError::ZeroParameter { what: "TLB entries" });
+            return Err(CacheError::ZeroParameter {
+                what: "TLB entries",
+            });
         }
         if self.page_bytes == 0 {
             return Err(CacheError::ZeroParameter { what: "page size" });
@@ -51,7 +53,9 @@ impl TlbConfig {
             });
         }
         if self.walk_latency == 0 {
-            return Err(CacheError::ZeroParameter { what: "walk latency" });
+            return Err(CacheError::ZeroParameter {
+                what: "walk latency",
+            });
         }
         Ok(())
     }
@@ -109,6 +113,12 @@ impl Tlb {
     /// Access statistics.
     pub fn stats(&self) -> &MissStats {
         &self.stats
+    }
+
+    /// Flushes access/miss totals into `registry` under `<prefix>`
+    /// (e.g. `profile.cache.dtlb.accesses`).
+    pub fn observe_into(&self, registry: &fosm_obs::Registry, prefix: &str) {
+        self.stats.observe_into(registry, prefix);
     }
 
     /// Translates `addr`, returning `true` on a TLB hit. Misses install
@@ -182,11 +192,13 @@ mod tests {
         for i in 0..100u64 {
             t.access(i * 4096);
         }
-        let resident = (0..100u64).filter(|i| {
-            // probe without counting: check then restore via access? A
-            // second access of a resident page hits.
-            t.access(i * 4096)
-        }).count();
+        let resident = (0..100u64)
+            .filter(|i| {
+                // probe without counting: check then restore via access? A
+                // second access of a resident page hits.
+                t.access(i * 4096)
+            })
+            .count();
         // At most the last 2 pages plus those re-installed by the
         // probing sweep itself can hit; the sweep reinstalls pages, so
         // only consecutive re-probes of the 2 newest hit.
@@ -195,9 +207,27 @@ mod tests {
 
     #[test]
     fn validation() {
-        assert!(TlbConfig { entries: 0, page_bytes: 4096, walk_latency: 30 }.validate().is_err());
-        assert!(TlbConfig { entries: 4, page_bytes: 3000, walk_latency: 30 }.validate().is_err());
-        assert!(TlbConfig { entries: 4, page_bytes: 4096, walk_latency: 0 }.validate().is_err());
+        assert!(TlbConfig {
+            entries: 0,
+            page_bytes: 4096,
+            walk_latency: 30
+        }
+        .validate()
+        .is_err());
+        assert!(TlbConfig {
+            entries: 4,
+            page_bytes: 3000,
+            walk_latency: 30
+        }
+        .validate()
+        .is_err());
+        assert!(TlbConfig {
+            entries: 4,
+            page_bytes: 4096,
+            walk_latency: 0
+        }
+        .validate()
+        .is_err());
         assert!(TlbConfig::baseline().validate().is_ok());
     }
 

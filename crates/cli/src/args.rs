@@ -110,6 +110,9 @@ mod tests {
     #[test]
     fn missing_positional_reports_description() {
         let p = parse(&[]);
-        assert!(p.positional(0, "trace file").unwrap_err().contains("trace file"));
+        assert!(p
+            .positional(0, "trace file")
+            .unwrap_err()
+            .contains("trace file"));
     }
 }

@@ -84,12 +84,17 @@ pub fn stats(args: Parsed) -> Result<(), String> {
         return Err(format!("trace file {path}: {e}"));
     }
     println!("{path}: {} instructions", stats.instructions());
-    println!("  conditional branches: {} ({:.1}% of instructions, {:.1}% taken)",
+    println!(
+        "  conditional branches: {} ({:.1}% of instructions, {:.1}% taken)",
         stats.cond_branches(),
         stats.branch_fraction() * 100.0,
-        stats.taken_fraction() * 100.0);
+        stats.taken_fraction() * 100.0
+    );
     println!("  loads: {:.1}%", stats.load_fraction() * 100.0);
-    println!("  mean dependence distance: {:.1} instructions", stats.dependences().mean());
+    println!(
+        "  mean dependence distance: {:.1} instructions",
+        stats.dependences().mean()
+    );
     println!(
         "  operands within 4 insts of their producer: {:.1}%",
         stats.dependences().cumulative(4) * 100.0
@@ -128,9 +133,11 @@ pub fn profile(args: Parsed) -> Result<(), String> {
     }
     match args.flag("out") {
         Some(out) => {
-            serde_json::to_writer_pretty(open_out(out)?, &profile)
-                .map_err(|e| e.to_string())?;
-            println!("wrote profile of {} instructions to {out}", profile.instructions);
+            serde_json::to_writer_pretty(open_out(out)?, &profile).map_err(|e| e.to_string())?;
+            println!(
+                "wrote profile of {} instructions to {out}",
+                profile.instructions
+            );
         }
         None => {
             serde_json::to_writer_pretty(std::io::stdout().lock(), &profile)
@@ -154,7 +161,12 @@ pub fn model(args: Parsed) -> Result<(), String> {
     for (component, cpi) in est.cpi_stack() {
         println!("  {component:<10} {cpi:>7.4} CPI");
     }
-    println!("  {:<10} {:>7.4} CPI   ({:.3} IPC)", "total", est.total_cpi(), est.total_ipc());
+    println!(
+        "  {:<10} {:>7.4} CPI   ({:.3} IPC)",
+        "total",
+        est.total_cpi(),
+        est.total_ipc()
+    );
     println!(
         "  penalties: branch {:.1}, icache {:.1}, dcache/miss {:.1} cycles",
         est.branch_penalty, est.icache_penalty, est.dcache_penalty_per_miss
@@ -210,7 +222,10 @@ pub fn simulate(args: Parsed) -> Result<(), String> {
     if let Some(e) = reader.take_error() {
         return Err(format!("trace file {path}: {e}"));
     }
-    println!("simulated {} instructions in {} cycles", report.instructions, report.cycles);
+    println!(
+        "simulated {} instructions in {} cycles",
+        report.instructions, report.cycles
+    );
     println!("  IPC {:.3}   CPI {:.3}", report.ipc(), report.cpi());
     println!(
         "  mispredicts {} ({:.1}% of {} branches)",

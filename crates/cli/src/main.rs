@@ -21,8 +21,10 @@ mod args;
 mod commands;
 
 fn main() -> ExitCode {
-    let argv: Vec<String> = std::env::args().skip(1).collect();
-    match run(argv) {
+    let argv = strip_metrics_flag(std::env::args().skip(1).collect());
+    let result = run(argv);
+    fosm_obs::emit("fosm");
+    match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
@@ -31,11 +33,34 @@ fn main() -> ExitCode {
     }
 }
 
+/// Removes a global `--metrics <path>` / `--metrics=<path>` flag from
+/// the command line (any position) and points the observability sink
+/// at it. Handled here so every subcommand accepts the flag without
+/// threading it through the per-command parsers.
+fn strip_metrics_flag(argv: Vec<String>) -> Vec<String> {
+    let mut rest = Vec::with_capacity(argv.len());
+    let mut iter = argv.into_iter();
+    while let Some(arg) = iter.next() {
+        if let Some(path) = arg.strip_prefix("--metrics=") {
+            fosm_obs::set_sink(fosm_obs::Sink::JsonFile(path.into()));
+        } else if arg == "--metrics" {
+            if let Some(path) = iter.next() {
+                fosm_obs::set_sink(fosm_obs::Sink::JsonFile(path.into()));
+            }
+        } else {
+            rest.push(arg);
+        }
+    }
+    rest
+}
+
 fn run(argv: Vec<String>) -> Result<(), String> {
     let Some(command) = argv.first() else {
         print_usage();
         return Err("no command given".into());
     };
+    fosm_obs::meta_set("command", command);
+    let _span = fosm_obs::span(&format!("cli.{command}"));
     let rest = &argv[1..];
     match command.as_str() {
         "record" => commands::record(args::Parsed::new(rest)?),
@@ -63,6 +88,10 @@ USAGE:
     fosm model   <profile.json> [machine flags]
     fosm simulate <trace.trc> [machine flags] [--ideal]
     fosm bench-list
+
+    Any command also accepts --metrics <path> to write a JSON run
+    manifest (counters, span timings) there; FOSM_METRICS=human|json
+    selects a stderr sink instead.
 
 MACHINE FLAGS (default: the paper's baseline):
     --width N     issue width            (4)

@@ -21,8 +21,14 @@ fn full_pipeline_record_profile_model_simulate() {
     let trace = tmp("pipe.trc");
     let profile = tmp("pipe.json");
 
-    let out = fosm(&["record", "--bench", "gzip", "--insts", "30000", "-o", &trace]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = fosm(&[
+        "record", "--bench", "gzip", "--insts", "30000", "-o", &trace,
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("30000 instructions"));
 
     let out = fosm(&["stats", &trace]);
@@ -31,7 +37,11 @@ fn full_pipeline_record_profile_model_simulate() {
     assert!(text.contains("conditional branches"));
 
     let out = fosm(&["profile", &trace, "-o", &profile]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     let out = fosm(&["model", &profile]);
     assert!(out.status.success());
@@ -56,7 +66,10 @@ fn bench_list_names_all_twelve() {
     let out = fosm(&["bench-list"]);
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout).into_owned();
-    for name in ["bzip", "crafty", "eon", "gap", "gcc", "gzip", "mcf", "parser", "perl", "twolf", "vortex", "vpr"] {
+    for name in [
+        "bzip", "crafty", "eon", "gap", "gcc", "gzip", "mcf", "parser", "perl", "twolf", "vortex",
+        "vpr",
+    ] {
         assert!(text.contains(name), "missing {name} in:\n{text}");
     }
 }
@@ -97,21 +110,40 @@ fn invalid_machine_flags_are_rejected() {
 #[test]
 fn extension_flags_flow_through() {
     let trace = tmp("ext.trc");
-    let out = fosm(&["record", "--bench", "twolf", "--insts", "20000", "-o", &trace]);
+    let out = fosm(&[
+        "record", "--bench", "twolf", "--insts", "20000", "-o", &trace,
+    ]);
     assert!(out.status.success());
 
     // Extended simulation runs and reports TLB misses.
     let out = fosm(&[
-        "simulate", &trace, "--clusters", "2", "--fu", "--buffer", "16", "--tlb", "32",
-        "--prefetch", "1",
+        "simulate",
+        &trace,
+        "--clusters",
+        "2",
+        "--fu",
+        "--buffer",
+        "16",
+        "--tlb",
+        "32",
+        "--prefetch",
+        "1",
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     // Sampled profiling with warm-up.
     let out = fosm(&[
         "profile", &trace, "--sample", "2000", "--warmup", "4000", "--period", "10000",
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("\"instructions\": 4000"));
 
     // Invalid cluster geometry is caught.

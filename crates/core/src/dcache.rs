@@ -94,8 +94,7 @@ pub fn cpi(
     if instructions == 0 {
         return 0.0;
     }
-    penalty_per_miss(iw, params, distribution) * distribution.misses() as f64
-        / instructions as f64
+    penalty_per_miss(iw, params, distribution) * distribution.misses() as f64 / instructions as f64
 }
 
 #[cfg(test)]
@@ -115,7 +114,10 @@ mod tests {
         let paper = isolated_penalty_paper(&sqrt_iw(), &ProcessorParams::baseline());
         assert!((198.0..=202.0).contains(&paper), "paper penalty {paper}");
         let refined = isolated_penalty(&sqrt_iw(), &ProcessorParams::baseline());
-        assert!((165.0..=185.0).contains(&refined), "refined penalty {refined}");
+        assert!(
+            (165.0..=185.0).contains(&refined),
+            "refined penalty {refined}"
+        );
         assert!(refined < paper);
     }
 

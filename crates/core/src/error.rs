@@ -49,6 +49,8 @@ mod tests {
         assert!(e.to_string().contains("fit failed"));
         assert!(e.source().is_some());
         assert!(ModelError::EmptyTrace.source().is_none());
-        assert!(ModelError::InvalidParams("x".into()).to_string().contains("x"));
+        assert!(ModelError::InvalidParams("x".into())
+            .to_string()
+            .contains("x"));
     }
 }

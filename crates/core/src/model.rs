@@ -290,7 +290,8 @@ impl FirstOrderModel {
                 };
                 (profile.dtlb_walk_latency as f64 - fill - drain + ramp).max(0.0)
             };
-            walk_isolated * profile.dtlb_miss_distribution.overlap_factor()
+            walk_isolated
+                * profile.dtlb_miss_distribution.overlap_factor()
                 * profile.dtlb_miss_distribution.misses() as f64
                 / n as f64
         } else {
@@ -320,11 +321,7 @@ mod tests {
     use fosm_cache::BurstDistribution;
     use fosm_depgraph::{IwCharacteristic, PowerLaw};
 
-    fn profile(
-        mispredicts: u64,
-        icache_short: u64,
-        long_misses: u64,
-    ) -> ProgramProfile {
+    fn profile(mispredicts: u64, icache_short: u64, long_misses: u64) -> ProgramProfile {
         ProgramProfile {
             name: "synthetic".into(),
             instructions: 1_000_000,
@@ -361,8 +358,8 @@ mod tests {
         let only_br = model.evaluate(&profile(10_000, 0, 0)).unwrap();
         let only_ic = model.evaluate(&profile(0, 5_000, 0)).unwrap();
         let only_dc = model.evaluate(&profile(0, 0, 1_000)).unwrap();
-        let sum = only_br.branch_cpi + only_ic.icache_l1_cpi + only_dc.dcache_cpi
-            + both.steady_state_cpi;
+        let sum =
+            only_br.branch_cpi + only_ic.icache_l1_cpi + only_dc.dcache_cpi + both.steady_state_cpi;
         assert!((both.total_cpi() - sum).abs() < 1e-12);
     }
 
@@ -373,8 +370,16 @@ mod tests {
             .unwrap();
         // §5: branch ≈ 7.5 cycles, icache ≈ 8; dcache ≈ ∆D = 200 minus
         // the eq. 6 rob_fill absorption (~27 cycles on the baseline).
-        assert!((6.8..=8.2).contains(&est.branch_penalty), "{}", est.branch_penalty);
-        assert!((6.5..=9.5).contains(&est.icache_penalty), "{}", est.icache_penalty);
+        assert!(
+            (6.8..=8.2).contains(&est.branch_penalty),
+            "{}",
+            est.branch_penalty
+        );
+        assert!(
+            (6.5..=9.5).contains(&est.icache_penalty),
+            "{}",
+            est.icache_penalty
+        );
         assert!(
             (160.0..=200.0).contains(&est.dcache_penalty_per_miss),
             "{}",

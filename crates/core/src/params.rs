@@ -110,7 +110,10 @@ mod tests {
     #[test]
     fn baseline_matches_the_paper() {
         let p = ProcessorParams::baseline();
-        assert_eq!((p.width, p.win_size, p.rob_size, p.pipe_depth), (4, 48, 128, 5));
+        assert_eq!(
+            (p.width, p.win_size, p.rob_size, p.pipe_depth),
+            (4, 48, 128, 5)
+        );
         assert_eq!((p.l2_latency, p.mem_latency), (8, 200));
         p.validate().unwrap();
     }

@@ -257,6 +257,7 @@ impl ProfileCollector {
         plan: SamplingPlan,
         max_counted: u64,
     ) -> Result<ProgramProfile, ModelError> {
+        let _collect_span = fosm_obs::span("profile.collect");
         self.params.validate().map_err(ModelError::InvalidParams)?;
         if plan.sample != u64::MAX {
             plan.validate().map_err(ModelError::InvalidParams)?;
@@ -309,8 +310,7 @@ impl Worker {
             .map_err(|e| ModelError::InvalidParams(format!("cache hierarchy: {e}")))?;
         let dtlb = match &collector.dtlb {
             Some(cfg) => Some(
-                Tlb::new(*cfg)
-                    .map_err(|e| ModelError::InvalidParams(format!("data TLB: {e}")))?,
+                Tlb::new(*cfg).map_err(|e| ModelError::InvalidParams(format!("data TLB: {e}")))?,
             ),
             None => None,
         };
@@ -397,6 +397,16 @@ impl Worker {
         counted: &[fosm_isa::Inst],
     ) -> Result<ProgramProfile, ModelError> {
         self.bstats.set_total_instructions(counted.len() as u64);
+
+        // One bulk flush of the functional structures' counters per
+        // profile; the per-instruction stream stays uninstrumented.
+        let registry = fosm_obs::global();
+        self.hierarchy.observe_into(registry, "profile.cache");
+        if let Some(tlb) = &self.dtlb {
+            tlb.observe_into(registry, "profile.cache.dtlb");
+        }
+        self.bstats.observe_into(registry, "profile.branch");
+        registry.counter_add("profile.instructions", counted.len() as u64);
 
         // Short misses lengthen the average load latency (paper §4.3).
         let hit_latency = collector.params.latencies.latency(Op::Load) as f64;
@@ -565,8 +575,7 @@ mod tests {
         };
         let cold = collect(0);
         let warm = collect(60_000);
-        let long_misses =
-            |p: &ProgramProfile| p.dcache_long_misses() + p.icache_long_misses;
+        let long_misses = |p: &ProgramProfile| p.dcache_long_misses() + p.icache_long_misses;
         assert!(
             long_misses(&warm) < long_misses(&cold),
             "warm {} vs cold {}",
@@ -586,8 +595,18 @@ mod tests {
         };
         let err = ProfileCollector::new(&params).collect_sampled(&mut gen, plan, 1_000);
         assert!(matches!(err, Err(ModelError::InvalidParams(_))));
-        assert!(crate::SamplingPlan { sample: 0, warmup: 0, period: 10 }.validate().is_err());
-        let ok = crate::SamplingPlan { sample: 10, warmup: 20, period: 100 };
+        assert!(crate::SamplingPlan {
+            sample: 0,
+            warmup: 0,
+            period: 10
+        }
+        .validate()
+        .is_err());
+        let ok = crate::SamplingPlan {
+            sample: 10,
+            warmup: 20,
+            period: 100,
+        };
         assert!(ok.validate().is_ok());
         assert!((ok.touched_ratio() - 0.3).abs() < 1e-12);
     }

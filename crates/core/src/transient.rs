@@ -197,7 +197,11 @@ mod tests {
             ramp.penalty
         );
         // The branch issues ~6 cycles after the drain starts (paper).
-        assert!((5..=8).contains(&drain.duration()), "duration {}", drain.duration());
+        assert!(
+            (5..=8).contains(&drain.duration()),
+            "duration {}",
+            drain.duration()
+        );
     }
 
     #[test]
@@ -248,9 +252,7 @@ mod tests {
         let slow = IwCharacteristic::new(PowerLaw::square_root(), 2.0).unwrap();
         let fast = sqrt_iw();
         // With L = 2 the steady rate halves, and the drain lasts longer.
-        assert!(
-            win_drain(&slow, 4, 48).duration() > win_drain(&fast, 4, 48).duration()
-        );
+        assert!(win_drain(&slow, 4, 48).duration() > win_drain(&fast, 4, 48).duration());
     }
 
     #[test]

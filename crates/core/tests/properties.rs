@@ -10,9 +10,8 @@ use fosm_depgraph::{IwCharacteristic, PowerLaw};
 use proptest::prelude::*;
 
 fn iw_strategy() -> impl Strategy<Value = IwCharacteristic> {
-    (0.8f64..2.2, 0.2f64..0.9, 1.0f64..2.5).prop_map(|(a, b, l)| {
-        IwCharacteristic::new(PowerLaw::new(a, b).unwrap(), l).unwrap()
-    })
+    (0.8f64..2.2, 0.2f64..0.9, 1.0f64..2.5)
+        .prop_map(|(a, b, l)| IwCharacteristic::new(PowerLaw::new(a, b).unwrap(), l).unwrap())
 }
 
 fn profile_strategy() -> impl Strategy<Value = ProgramProfile> {
@@ -23,22 +22,24 @@ fn profile_strategy() -> impl Strategy<Value = ProgramProfile> {
         0u64..200,
         0u64..5_000,
     )
-        .prop_map(|(iw, mispredicts, ic_short, ic_long, longs)| ProgramProfile {
-            name: "prop".into(),
-            instructions: 1_000_000,
-            iw,
-            cond_branches: 200_000,
-            mispredicts,
-            mispredict_burst_mean: 1.0,
-            icache_short_misses: ic_short,
-            icache_long_misses: ic_long,
-            dcache_short_misses: 0,
-            long_miss_distribution: BurstDistribution::all_isolated(longs),
-            long_miss_distribution_paper: BurstDistribution::all_isolated(longs),
-            dtlb_miss_distribution: BurstDistribution::default(),
-            dtlb_walk_latency: 0,
-            fu_mix: [0; 5],
-        })
+        .prop_map(
+            |(iw, mispredicts, ic_short, ic_long, longs)| ProgramProfile {
+                name: "prop".into(),
+                instructions: 1_000_000,
+                iw,
+                cond_branches: 200_000,
+                mispredicts,
+                mispredict_burst_mean: 1.0,
+                icache_short_misses: ic_short,
+                icache_long_misses: ic_long,
+                dcache_short_misses: 0,
+                long_miss_distribution: BurstDistribution::all_isolated(longs),
+                long_miss_distribution_paper: BurstDistribution::all_isolated(longs),
+                dtlb_miss_distribution: BurstDistribution::default(),
+                dtlb_walk_latency: 0,
+                fu_mix: [0; 5],
+            },
+        )
 }
 
 proptest! {

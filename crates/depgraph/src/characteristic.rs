@@ -297,8 +297,14 @@ mod tests {
         // A law that deliberately disagrees with the points: inside the
         // measured range the points win; outside, the law extrapolates.
         let points = vec![
-            crate::IwPoint { window: 4, ipc: 3.0 },
-            crate::IwPoint { window: 16, ipc: 6.0 },
+            crate::IwPoint {
+                window: 4,
+                ipc: 3.0,
+            },
+            crate::IwPoint {
+                window: 16,
+                ipc: 6.0,
+            },
         ];
         let law = PowerLaw::new(1.0, 0.5).unwrap(); // predicts 2 and 4
         let iw = IwCharacteristic::with_points(law, 1.0, points).unwrap();
@@ -313,23 +319,37 @@ mod tests {
     #[test]
     fn saturation_window_bisects_the_measured_curve() {
         let points = vec![
-            crate::IwPoint { window: 4, ipc: 2.0 },
-            crate::IwPoint { window: 64, ipc: 8.0 },
+            crate::IwPoint {
+                window: 4,
+                ipc: 2.0,
+            },
+            crate::IwPoint {
+                window: 64,
+                ipc: 8.0,
+            },
         ];
-        let iw =
-            IwCharacteristic::with_points(PowerLaw::square_root(), 1.0, points).unwrap();
+        let iw = IwCharacteristic::with_points(PowerLaw::square_root(), 1.0, points).unwrap();
         let w = iw.saturation_window(4);
         assert!((iw.unlimited_issue_rate(w) - 4.0).abs() < 1e-6, "w = {w}");
     }
 
     #[test]
     fn with_points_rejects_and_repairs_bad_data() {
-        let bad = vec![crate::IwPoint { window: 0, ipc: 1.0 }];
+        let bad = vec![crate::IwPoint {
+            window: 0,
+            ipc: 1.0,
+        }];
         assert!(IwCharacteristic::with_points(PowerLaw::square_root(), 1.0, bad).is_err());
         // Non-monotone measurement noise is clamped upward.
         let noisy = vec![
-            crate::IwPoint { window: 2, ipc: 2.0 },
-            crate::IwPoint { window: 4, ipc: 1.5 },
+            crate::IwPoint {
+                window: 2,
+                ipc: 2.0,
+            },
+            crate::IwPoint {
+                window: 4,
+                ipc: 1.5,
+            },
         ];
         let iw = IwCharacteristic::with_points(PowerLaw::square_root(), 1.0, noisy).unwrap();
         assert!(iw.unlimited_issue_rate(4.0) >= iw.unlimited_issue_rate(2.0));
@@ -338,11 +358,16 @@ mod tests {
     #[test]
     fn with_avg_latency_preserves_points() {
         let points = vec![
-            crate::IwPoint { window: 4, ipc: 3.0 },
-            crate::IwPoint { window: 16, ipc: 6.0 },
+            crate::IwPoint {
+                window: 4,
+                ipc: 3.0,
+            },
+            crate::IwPoint {
+                window: 16,
+                ipc: 6.0,
+            },
         ];
-        let iw =
-            IwCharacteristic::with_points(PowerLaw::square_root(), 1.0, points).unwrap();
+        let iw = IwCharacteristic::with_points(PowerLaw::square_root(), 1.0, points).unwrap();
         let slow = iw.with_avg_latency(2.0).unwrap();
         assert_eq!(slow.points(), iw.points());
         assert!((slow.unlimited_issue_rate(4.0) - 1.5).abs() < 1e-9);

@@ -31,7 +31,10 @@ impl std::fmt::Display for FitError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             FitError::TooFewPoints { got } => {
-                write!(f, "power-law fit needs at least 2 distinct points, got {got}")
+                write!(
+                    f,
+                    "power-law fit needs at least 2 distinct points, got {got}"
+                )
             }
             FitError::NonPositivePoint { window, ipc } => {
                 write!(f, "IW point (W={window}, I={ipc}) is not log-transformable")
@@ -51,12 +54,20 @@ mod tests {
 
     #[test]
     fn messages_mention_the_problem() {
-        assert!(FitError::TooFewPoints { got: 1 }.to_string().contains("2 distinct"));
-        assert!(FitError::NonPositivePoint { window: 0, ipc: 1.0 }
+        assert!(FitError::TooFewPoints { got: 1 }
             .to_string()
-            .contains("W=0"));
-        assert!(FitError::InvalidParameter { what: "alpha", value: -1.0 }
-            .to_string()
-            .contains("alpha"));
+            .contains("2 distinct"));
+        assert!(FitError::NonPositivePoint {
+            window: 0,
+            ipc: 1.0
+        }
+        .to_string()
+        .contains("W=0"));
+        assert!(FitError::InvalidParameter {
+            what: "alpha",
+            value: -1.0
+        }
+        .to_string()
+        .contains("alpha"));
     }
 }

@@ -107,7 +107,14 @@ pub fn characteristic(
             })
             .collect();
     }
-    let dataflow = resolve_dataflow(insts, latencies);
+    let _sweep = fosm_obs::span("iw.characteristic");
+    fosm_obs::counter_add("iw.sweep.instructions", insts.len() as u64);
+    fosm_obs::counter_add("iw.sweep.windows", window_sizes.len() as u64);
+    let dataflow = {
+        let _resolve = fosm_obs::span("resolve-dataflow");
+        resolve_dataflow(insts, latencies)
+    };
+    let _windows = fosm_obs::span("window-sweep");
     window_sizes
         .iter()
         .map(|&wsize| IwPoint {
@@ -178,9 +185,7 @@ fn total_cycles(df: &Dataflow, window: u32) -> u64 {
     let mut max_issue = 0u64;
     for i in 0..n {
         let [p0, p1] = df.prods[i];
-        let t = (s + 1)
-            .max(finish[p0 as usize])
-            .max(finish[p1 as usize]);
+        let t = (s + 1).max(finish[p0 as usize]).max(finish[p1 as usize]);
         let ti = t as usize;
         if ti >= hist.len() {
             hist.resize(ti + ti / 2, 0);
@@ -285,7 +290,15 @@ mod tests {
     /// n independent single-source-free ALU ops.
     fn independent(n: usize) -> Vec<Inst> {
         (0..n)
-            .map(|i| Inst::alu(i as u64 * 4, Op::IntAlu, Reg::new((i % 48) as u8), None, None))
+            .map(|i| {
+                Inst::alu(
+                    i as u64 * 4,
+                    Op::IntAlu,
+                    Reg::new((i % 48) as u8),
+                    None,
+                    None,
+                )
+            })
             .collect()
     }
 

@@ -137,7 +137,9 @@ pub fn fit(points: &[IwPoint]) -> Result<PowerLaw, FitError> {
         distinct.sort_by(f64::total_cmp);
         distinct.dedup();
         if distinct.len() < 2 {
-            return Err(FitError::TooFewPoints { got: distinct.len() });
+            return Err(FitError::TooFewPoints {
+                got: distinct.len(),
+            });
         }
     }
     let mean_x: f64 = xs.iter().sum::<f64>() / n as f64;
@@ -214,16 +216,37 @@ mod tests {
     #[test]
     fn fit_rejects_degenerate_inputs() {
         assert!(matches!(fit(&[]), Err(FitError::TooFewPoints { .. })));
-        let single = [IwPoint { window: 8, ipc: 2.0 }, IwPoint { window: 8, ipc: 2.1 }];
+        let single = [
+            IwPoint {
+                window: 8,
+                ipc: 2.0,
+            },
+            IwPoint {
+                window: 8,
+                ipc: 2.1,
+            },
+        ];
         assert!(matches!(fit(&single), Err(FitError::TooFewPoints { .. })));
         let bad = [
-            IwPoint { window: 0, ipc: 2.0 },
-            IwPoint { window: 4, ipc: 2.0 },
+            IwPoint {
+                window: 0,
+                ipc: 2.0,
+            },
+            IwPoint {
+                window: 4,
+                ipc: 2.0,
+            },
         ];
         assert!(matches!(fit(&bad), Err(FitError::NonPositivePoint { .. })));
         let neg = [
-            IwPoint { window: 2, ipc: -1.0 },
-            IwPoint { window: 4, ipc: 2.0 },
+            IwPoint {
+                window: 2,
+                ipc: -1.0,
+            },
+            IwPoint {
+                window: 4,
+                ipc: 2.0,
+            },
         ];
         assert!(matches!(fit(&neg), Err(FitError::NonPositivePoint { .. })));
     }
@@ -232,8 +255,14 @@ mod tests {
     fn fit_rejects_flat_data() {
         // IPC independent of window -> beta = 0, out of domain.
         let flat = [
-            IwPoint { window: 2, ipc: 1.0 },
-            IwPoint { window: 64, ipc: 1.0 },
+            IwPoint {
+                window: 2,
+                ipc: 1.0,
+            },
+            IwPoint {
+                window: 64,
+                ipc: 1.0,
+            },
         ];
         assert!(matches!(fit(&flat), Err(FitError::InvalidParameter { .. })));
     }

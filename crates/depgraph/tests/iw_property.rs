@@ -42,7 +42,13 @@ fn build_trace(raw: &[(usize, u8, Option<u8>, Option<u8>)]) -> Vec<Inst> {
             if op == Op::Load {
                 Inst::load(pc, Reg::new(dest), src1.map(Reg::new), 0x1000 + pc)
             } else {
-                Inst::alu(pc, op, Reg::new(dest), src1.map(Reg::new), src2.map(Reg::new))
+                Inst::alu(
+                    pc,
+                    op,
+                    Reg::new(dest),
+                    src1.map(Reg::new),
+                    src2.map(Reg::new),
+                )
             }
         })
         .collect()

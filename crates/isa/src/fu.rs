@@ -125,7 +125,10 @@ impl FuPool {
     pub fn validate(&self) -> Result<(), String> {
         for class in FuClass::ALL {
             if self.count(class) == 0 {
-                return Err(format!("functional-unit class {} has no units", class.label()));
+                return Err(format!(
+                    "functional-unit class {} has no units",
+                    class.label()
+                ));
             }
         }
         Ok(())

@@ -121,7 +121,10 @@ impl Inst {
     ///
     /// Panics if `op` is not a branch class.
     pub fn branch(pc: u64, op: Op, cond_src: Option<Reg>, taken: bool, target: u64) -> Self {
-        assert!(op.is_branch(), "Inst::branch used with non-branch op {op:?}");
+        assert!(
+            op.is_branch(),
+            "Inst::branch used with non-branch op {op:?}"
+        );
         Inst {
             pc,
             op,
@@ -177,7 +180,12 @@ impl std::fmt::Display for Inst {
             write!(f, " [{a:#x}]")?;
         }
         if let Some(b) = self.branch {
-            write!(f, " -> {:#x} ({})", b.target, if b.taken { "T" } else { "N" })?;
+            write!(
+                f,
+                " -> {:#x} ({})",
+                b.target,
+                if b.taken { "T" } else { "N" }
+            )?;
         }
         Ok(())
     }
@@ -191,7 +199,13 @@ mod tests {
     fn constructors_build_well_formed_instructions() {
         let insts = [
             Inst::alu(0, Op::IntAlu, Reg::new(1), Some(Reg::new(2)), None),
-            Inst::alu(4, Op::FpMul, Reg::new(3), Some(Reg::new(4)), Some(Reg::new(5))),
+            Inst::alu(
+                4,
+                Op::FpMul,
+                Reg::new(3),
+                Some(Reg::new(4)),
+                Some(Reg::new(5)),
+            ),
             Inst::nop(8),
             Inst::load(12, Reg::new(6), Some(Reg::new(7)), 0x100),
             Inst::store(16, Reg::new(8), None, 0x200),

@@ -36,7 +36,9 @@ impl LatencyTable {
     /// This is the configuration used when extracting the
     /// implementation-independent IW characteristic (paper §3).
     pub fn unit() -> Self {
-        LatencyTable { cycles: [1; NUM_OPS] }
+        LatencyTable {
+            cycles: [1; NUM_OPS],
+        }
     }
 
     /// The execution latency of `op`, in cycles (always ≥ 1).

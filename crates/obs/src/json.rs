@@ -1,0 +1,67 @@
+//! Minimal JSON string/number rendering.
+//!
+//! `fosm-obs` is intentionally dependency-free (even of the vendored
+//! serde shims), so manifest emission hand-rolls the tiny JSON subset
+//! it needs: escaped strings, `u64` integers, and finite `f64`s.
+
+/// Appends `s` as a JSON string literal (with quotes) to `out`.
+pub fn push_str_literal(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends `v` as a JSON number to `out`. Non-finite values (which
+/// JSON cannot represent) become `null`.
+pub fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // `{:?}` is Rust's shortest round-trip rendering, and always
+        // includes a decimal point or exponent — valid JSON either way.
+        out.push_str(&format!("{v:?}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(s: &str) -> String {
+        let mut out = String::new();
+        push_str_literal(&mut out, s);
+        out
+    }
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(lit("plain"), "\"plain\"");
+        assert_eq!(lit("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(lit("line\nbreak\ttab"), "\"line\\nbreak\\ttab\"");
+        assert_eq!(lit("\u{1}"), "\"\\u0001\"");
+        assert_eq!(lit("ünïcøde"), "\"ünïcøde\"");
+    }
+
+    #[test]
+    fn numbers_round_trip_and_nonfinite_is_null() {
+        let mut out = String::new();
+        push_f64(&mut out, 2.5);
+        out.push(' ');
+        push_f64(&mut out, 3.0);
+        out.push(' ');
+        push_f64(&mut out, f64::NAN);
+        assert_eq!(out, "2.5 3.0 null");
+    }
+}

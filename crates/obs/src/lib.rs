@@ -1,0 +1,113 @@
+//! `fosm-obs` — zero-dependency structured observability.
+//!
+//! Every other crate in the workspace produces *results* (reports,
+//! profiles, figures); this crate is where their *run metrics* go:
+//! what was executed, how long each phase took, and how often each
+//! cache, predictor, or memo table hit. It deliberately depends on
+//! nothing — not even the vendored serde shims — so it can sit at the
+//! bottom of the dependency graph and be instrumented into every
+//! crate without cycles.
+//!
+//! Three primitives, all aggregated in a [`Registry`]:
+//!
+//! * **Counters** — named monotonic `u64` totals
+//!   ([`Registry::counter_add`]). Naming scheme:
+//!   `component.object.event`, e.g. `cache.l1d.misses`,
+//!   `store.trace.hits`, `sim.retired`.
+//! * **Gauges** — named `f64` point-in-time values
+//!   ([`Registry::gauge_set`]), e.g. `report.wall_s`.
+//! * **Spans** — hierarchical wall-clock timings ([`Registry::span`]).
+//!   A span guard pushes its name onto a thread-local stack; nested
+//!   guards produce `/`-joined paths (`report.table1/simulate`), and
+//!   repeated executions of the same path aggregate into one
+//!   `{count, total_ns}` entry.
+//!
+//! At the end of a run, [`emit`] assembles a [`Manifest`] (binary
+//! name + registry snapshot) and hands it to the process-wide
+//! [`Sink`]:
+//!
+//! * [`Sink::Noop`] (the default) — drop everything. The hot paths
+//!   only touch local stats structs and flush into the registry at
+//!   run boundaries, so the cost of the whole layer under the no-op
+//!   sink is a handful of map inserts per *run*, not per instruction.
+//! * [`Sink::Human`] — aligned key/value lines on stderr
+//!   (`FOSM_METRICS=human`).
+//! * [`Sink::Json`] — a single-line JSON run manifest on stderr
+//!   (`FOSM_METRICS=json`), or to a file
+//!   (`FOSM_METRICS=json:<path>`, or the figure binaries'
+//!   `--metrics <path>` flag).
+//!
+//! Metrics never touch **stdout**: figure output stays byte-identical
+//! at any thread count and under any sink.
+//!
+//! # Examples
+//!
+//! ```
+//! use fosm_obs::Registry;
+//!
+//! let r = Registry::new();
+//! {
+//!     let _outer = r.span("sweep");
+//!     let _inner = r.span("resolve");
+//!     r.counter_add("iw.instructions", 50_000);
+//! }
+//! let snap = r.snapshot();
+//! assert_eq!(snap.counters["iw.instructions"], 50_000);
+//! assert_eq!(snap.spans["sweep/resolve"].count, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+
+mod json;
+mod manifest;
+mod registry;
+mod sink;
+mod span;
+
+pub use manifest::Manifest;
+pub use registry::{Registry, Snapshot, SpanStat};
+pub use sink::{set_sink, sink, Sink};
+pub use span::SpanGuard;
+
+/// The process-wide registry the free functions below write to.
+pub fn global() -> &'static Registry {
+    Registry::global()
+}
+
+/// Adds `delta` to the global counter `name`.
+pub fn counter_add(name: &str, delta: u64) {
+    Registry::global().counter_add(name, delta);
+}
+
+/// Sets the global gauge `name` to `value`.
+pub fn gauge_set(name: &str, value: f64) {
+    Registry::global().gauge_set(name, value);
+}
+
+/// Records run metadata (config, seed, …) in the global registry.
+pub fn meta_set(name: &str, value: impl std::fmt::Display) {
+    Registry::global().meta_set(name, value);
+}
+
+/// Opens a span on the global registry; the returned guard records
+/// the elapsed wall-clock time when dropped.
+pub fn span(name: &str) -> SpanGuard<'static> {
+    Registry::global().span(name)
+}
+
+/// Emits the global registry as a run manifest through the
+/// process-wide sink. Call once, at the end of `main`.
+///
+/// Under [`Sink::Noop`] this returns immediately without even
+/// snapshotting the registry. Emission failures (e.g. an unwritable
+/// `--metrics` path) are reported on stderr, never panicked on.
+pub fn emit(binary: &str) {
+    let sink = sink();
+    if sink == Sink::Noop {
+        return;
+    }
+    let manifest = Manifest::new(binary, Registry::global().snapshot());
+    if let Err(e) = sink.emit(&manifest) {
+        eprintln!("fosm-obs: could not emit metrics: {e}");
+    }
+}

@@ -1,0 +1,179 @@
+//! The run manifest: one binary's metrics, rendered for a sink.
+
+use crate::json;
+use crate::registry::Snapshot;
+
+/// Version tag of the JSON manifest schema (the `fosm_obs` field).
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// A finished run's metrics: the binary's name plus a registry
+/// snapshot. This is what a [`Sink`](crate::Sink) receives.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Manifest {
+    /// Name of the binary (or logical command) that ran.
+    pub binary: String,
+    /// The metrics recorded during the run.
+    pub snapshot: Snapshot,
+}
+
+impl Manifest {
+    /// Wraps a snapshot for emission.
+    pub fn new(binary: &str, snapshot: Snapshot) -> Self {
+        Manifest {
+            binary: binary.to_string(),
+            snapshot,
+        }
+    }
+
+    /// Renders the single-line JSON form:
+    ///
+    /// ```json
+    /// {"fosm_obs":1,"binary":"report","meta":{"seed":"42",…},
+    ///  "counters":{"store.trace.hits":16,…},"gauges":{…},
+    ///  "spans":{"report.table1":{"count":1,"total_ns":9,"mean_ns":9.0},…}}
+    /// ```
+    ///
+    /// (shown wrapped here; the rendering contains no newlines). Maps
+    /// are sorted by key, so the layout is stable run to run.
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"fosm_obs\":");
+        out.push_str(&SCHEMA_VERSION.to_string());
+        out.push_str(",\"binary\":");
+        json::push_str_literal(&mut out, &self.binary);
+        out.push_str(",\"meta\":{");
+        for (i, (k, v)) in self.snapshot.meta.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::push_str_literal(&mut out, k);
+            out.push(':');
+            json::push_str_literal(&mut out, v);
+        }
+        out.push_str("},\"counters\":{");
+        for (i, (k, v)) in self.snapshot.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::push_str_literal(&mut out, k);
+            out.push(':');
+            out.push_str(&v.to_string());
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (k, v)) in self.snapshot.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::push_str_literal(&mut out, k);
+            out.push(':');
+            json::push_f64(&mut out, *v);
+        }
+        out.push_str("},\"spans\":{");
+        for (i, (path, stat)) in self.snapshot.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::push_str_literal(&mut out, path);
+            out.push_str(":{\"count\":");
+            out.push_str(&stat.count.to_string());
+            out.push_str(",\"total_ns\":");
+            out.push_str(&stat.total_ns.to_string());
+            out.push_str(",\"mean_ns\":");
+            json::push_f64(&mut out, stat.mean_ns());
+            out.push('}');
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Renders the human-readable multi-line form used by
+    /// [`Sink::Human`](crate::Sink::Human).
+    pub fn to_human(&self) -> String {
+        let mut out = format!("fosm-obs · {}\n", self.binary);
+        for (k, v) in &self.snapshot.meta {
+            out.push_str(&format!("  meta     {k} = {v}\n"));
+        }
+        for (k, v) in &self.snapshot.counters {
+            out.push_str(&format!("  counter  {k} = {v}\n"));
+        }
+        for (k, v) in &self.snapshot.gauges {
+            out.push_str(&format!("  gauge    {k} = {v}\n"));
+        }
+        for (path, stat) in &self.snapshot.spans {
+            out.push_str(&format!(
+                "  span     {path}: {}× total {} (mean {})\n",
+                stat.count,
+                format_ns(stat.total_ns as f64),
+                format_ns(stat.mean_ns()),
+            ));
+        }
+        out
+    }
+}
+
+/// Human-scale duration rendering (`1.234 s`, `56.7 ms`, …).
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn sample() -> Manifest {
+        let r = Registry::new();
+        r.counter_add("store.trace.hits", 16);
+        r.counter_add("store.trace.misses", 8);
+        r.gauge_set("wall_s", 2.5);
+        r.meta_set("threads", 8);
+        r.record_span("report.table1", 1_500);
+        Manifest::new("report", r.snapshot())
+    }
+
+    #[test]
+    fn json_is_single_line_with_expected_fields() {
+        let line = sample().to_json_line();
+        assert!(!line.contains('\n'));
+        assert!(line.starts_with("{\"fosm_obs\":1,\"binary\":\"report\""));
+        assert!(line.contains("\"store.trace.hits\":16"));
+        assert!(line.contains("\"threads\":\"8\""));
+        assert!(
+            line.contains("\"report.table1\":{\"count\":1,\"total_ns\":1500,\"mean_ns\":1500.0}")
+        );
+        assert!(line.ends_with("}}"));
+    }
+
+    #[test]
+    fn empty_manifest_is_valid_shape() {
+        let m = Manifest::new("x", Snapshot::default());
+        assert_eq!(
+            m.to_json_line(),
+            "{\"fosm_obs\":1,\"binary\":\"x\",\"meta\":{},\"counters\":{},\"gauges\":{},\"spans\":{}}"
+        );
+    }
+
+    #[test]
+    fn human_form_lists_every_kind() {
+        let text = sample().to_human();
+        assert!(text.contains("counter  store.trace.misses = 8"));
+        assert!(text.contains("meta     threads = 8"));
+        assert!(text.contains("span     report.table1: 1× total 1.500 µs"));
+    }
+
+    #[test]
+    fn duration_formatting_scales() {
+        assert_eq!(format_ns(12.0), "12 ns");
+        assert_eq!(format_ns(1.5e3), "1.500 µs");
+        assert_eq!(format_ns(2.5e6), "2.500 ms");
+        assert_eq!(format_ns(3.25e9), "3.250 s");
+    }
+}

@@ -1,0 +1,231 @@
+//! The metric registry: named counters, gauges, metadata, and
+//! aggregated span timings.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use crate::span::SpanGuard;
+
+/// Aggregated timing of one span path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SpanStat {
+    /// Completed executions of this path.
+    pub count: u64,
+    /// Total wall-clock nanoseconds across all executions.
+    pub total_ns: u64,
+}
+
+impl SpanStat {
+    /// Mean nanoseconds per execution (0.0 before any completed).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.count as f64
+        }
+    }
+}
+
+/// An immutable copy of a registry's contents, taken by
+/// [`Registry::snapshot`]. `BTreeMap` keeps every view sorted by
+/// name, so emitted manifests are stable run to run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Snapshot {
+    /// Monotonic counter totals.
+    pub counters: BTreeMap<String, u64>,
+    /// Last-written gauge values.
+    pub gauges: BTreeMap<String, f64>,
+    /// Run metadata (binary arguments, seed, thread count, …).
+    pub meta: BTreeMap<String, String>,
+    /// Aggregated span timings keyed by `/`-joined path.
+    pub spans: BTreeMap<String, SpanStat>,
+}
+
+impl Snapshot {
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.meta.is_empty()
+            && self.spans.is_empty()
+    }
+}
+
+/// A set of named metrics. Most code uses the process-wide
+/// [`Registry::global`] through the crate-level free functions; tests
+/// and embedders can keep private instances.
+///
+/// All methods take `&self` and are safe to call from any thread;
+/// aggregation is a short critical section per call, which is why
+/// instrumented crates flush *aggregated* stats at run boundaries
+/// instead of counting per instruction here.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, u64>>,
+    gauges: Mutex<BTreeMap<String, f64>>,
+    meta: Mutex<BTreeMap<String, String>>,
+    spans: Mutex<BTreeMap<String, SpanStat>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub const fn new() -> Self {
+        Registry {
+            counters: Mutex::new(BTreeMap::new()),
+            gauges: Mutex::new(BTreeMap::new()),
+            meta: Mutex::new(BTreeMap::new()),
+            spans: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// The process-wide registry.
+    pub fn global() -> &'static Registry {
+        static GLOBAL: Registry = Registry::new();
+        &GLOBAL
+    }
+
+    /// Adds `delta` to counter `name` (creating it at zero).
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        let mut counters = self.counters.lock().expect("obs counters lock");
+        match counters.get_mut(name) {
+            Some(v) => *v = v.saturating_add(delta),
+            None => {
+                counters.insert(name.to_string(), delta);
+            }
+        }
+    }
+
+    /// Current value of counter `name` (0 if never written).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .lock()
+            .expect("obs counters lock")
+            .get(name)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Sets gauge `name` to `value`.
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        self.gauges
+            .lock()
+            .expect("obs gauges lock")
+            .insert(name.to_string(), value);
+    }
+
+    /// Current value of gauge `name`.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges
+            .lock()
+            .expect("obs gauges lock")
+            .get(name)
+            .copied()
+    }
+
+    /// Records run metadata `name = value` (last write wins).
+    pub fn meta_set(&self, name: &str, value: impl std::fmt::Display) {
+        self.meta
+            .lock()
+            .expect("obs meta lock")
+            .insert(name.to_string(), value.to_string());
+    }
+
+    /// Opens a span named `name`, nested under any span already open
+    /// on this thread. Dropping the guard records the elapsed time.
+    pub fn span(&self, name: &str) -> SpanGuard<'_> {
+        SpanGuard::begin(self, name)
+    }
+
+    /// Folds `elapsed_ns` into the aggregate for span `path`.
+    /// (Normally called by [`SpanGuard`]'s `Drop`.)
+    pub fn record_span(&self, path: &str, elapsed_ns: u64) {
+        let mut spans = self.spans.lock().expect("obs spans lock");
+        let stat = spans.entry(path.to_string()).or_default();
+        stat.count += 1;
+        stat.total_ns = stat.total_ns.saturating_add(elapsed_ns);
+    }
+
+    /// Copies the current contents out for emission or inspection.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            counters: self.counters.lock().expect("obs counters lock").clone(),
+            gauges: self.gauges.lock().expect("obs gauges lock").clone(),
+            meta: self.meta.lock().expect("obs meta lock").clone(),
+            spans: self.spans.lock().expect("obs spans lock").clone(),
+        }
+    }
+
+    /// Clears every table (used by tests sharing the global registry).
+    pub fn reset(&self) {
+        self.counters.lock().expect("obs counters lock").clear();
+        self.gauges.lock().expect("obs gauges lock").clear();
+        self.meta.lock().expect("obs meta lock").clear();
+        self.spans.lock().expect("obs spans lock").clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_saturate() {
+        let r = Registry::new();
+        r.counter_add("a", 2);
+        r.counter_add("a", 3);
+        assert_eq!(r.counter("a"), 5);
+        assert_eq!(r.counter("missing"), 0);
+        r.counter_add("a", u64::MAX);
+        assert_eq!(r.counter("a"), u64::MAX);
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let r = Registry::new();
+        assert_eq!(r.gauge("g"), None);
+        r.gauge_set("g", 1.5);
+        r.gauge_set("g", 2.5);
+        assert_eq!(r.gauge("g"), Some(2.5));
+    }
+
+    #[test]
+    fn meta_renders_via_display() {
+        let r = Registry::new();
+        r.meta_set("threads", 8);
+        r.meta_set("bench", "gzip");
+        let snap = r.snapshot();
+        assert_eq!(snap.meta["threads"], "8");
+        assert_eq!(snap.meta["bench"], "gzip");
+    }
+
+    #[test]
+    fn snapshot_is_detached() {
+        let r = Registry::new();
+        r.counter_add("a", 1);
+        let snap = r.snapshot();
+        r.counter_add("a", 1);
+        assert_eq!(snap.counters["a"], 1);
+        assert_eq!(r.counter("a"), 2);
+    }
+
+    #[test]
+    fn reset_empties_everything() {
+        let r = Registry::new();
+        r.counter_add("a", 1);
+        r.gauge_set("g", 0.0);
+        r.meta_set("m", "v");
+        r.record_span("s", 10);
+        assert!(!r.snapshot().is_empty());
+        r.reset();
+        assert!(r.snapshot().is_empty());
+    }
+
+    #[test]
+    fn span_stat_mean() {
+        let mut s = SpanStat::default();
+        assert_eq!(s.mean_ns(), 0.0);
+        s.count = 4;
+        s.total_ns = 100;
+        assert!((s.mean_ns() - 25.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,138 @@
+//! Pluggable metric sinks and process-wide sink selection.
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+use crate::manifest::Manifest;
+
+/// Where an emitted [`Manifest`] goes.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum Sink {
+    /// Discard everything (the default).
+    #[default]
+    Noop,
+    /// Human-readable key/value lines on stderr.
+    Human,
+    /// A single-line JSON manifest on stderr.
+    Json,
+    /// A single-line JSON manifest written to a file.
+    JsonFile(PathBuf),
+}
+
+impl Sink {
+    /// Resolves the sink from the `FOSM_METRICS` environment
+    /// variable:
+    ///
+    /// * unset, empty, `off`, `none`, `0` → [`Sink::Noop`]
+    /// * `human` or `stderr` → [`Sink::Human`]
+    /// * `json` → [`Sink::Json`]
+    /// * `json:<path>` → [`Sink::JsonFile`]
+    /// * anything else → [`Sink::Noop`] (with a stderr warning)
+    pub fn from_env() -> Sink {
+        match std::env::var("FOSM_METRICS") {
+            Err(_) => Sink::Noop,
+            Ok(value) => Sink::from_spec(&value),
+        }
+    }
+
+    /// Parses a `FOSM_METRICS`-style sink specification.
+    pub fn from_spec(spec: &str) -> Sink {
+        match spec {
+            "" | "off" | "none" | "0" => Sink::Noop,
+            "human" | "stderr" => Sink::Human,
+            "json" => Sink::Json,
+            other => match other.strip_prefix("json:") {
+                Some(path) if !path.is_empty() => Sink::JsonFile(PathBuf::from(path)),
+                _ => {
+                    eprintln!(
+                        "fosm-obs: unrecognized FOSM_METRICS value `{other}` \
+                         (expected off|human|json|json:<path>); metrics disabled"
+                    );
+                    Sink::Noop
+                }
+            },
+        }
+    }
+
+    /// Writes `manifest` to this sink.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures of the underlying stream or file.
+    pub fn emit(&self, manifest: &Manifest) -> std::io::Result<()> {
+        match self {
+            Sink::Noop => Ok(()),
+            Sink::Human => std::io::stderr()
+                .lock()
+                .write_all(manifest.to_human().as_bytes()),
+            Sink::Json => {
+                let mut line = manifest.to_json_line();
+                line.push('\n');
+                std::io::stderr().lock().write_all(line.as_bytes())
+            }
+            Sink::JsonFile(path) => {
+                let mut line = manifest.to_json_line();
+                line.push('\n');
+                std::fs::write(path, line)
+            }
+        }
+    }
+}
+
+/// The process-wide sink choice. `None` until something asks, then
+/// latched from the environment (or an explicit [`set_sink`]).
+static SINK: Mutex<Option<Sink>> = Mutex::new(None);
+
+/// Overrides the process-wide sink (e.g. from a `--metrics <path>`
+/// command-line flag, which beats `FOSM_METRICS`).
+pub fn set_sink(sink: Sink) {
+    *SINK.lock().expect("obs sink lock") = Some(sink);
+}
+
+/// The process-wide sink, resolving `FOSM_METRICS` on first use.
+pub fn sink() -> Sink {
+    let mut slot = SINK.lock().expect("obs sink lock");
+    slot.get_or_insert_with(Sink::from_env).clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Snapshot;
+
+    #[test]
+    fn spec_parsing() {
+        assert_eq!(Sink::from_spec(""), Sink::Noop);
+        assert_eq!(Sink::from_spec("off"), Sink::Noop);
+        assert_eq!(Sink::from_spec("none"), Sink::Noop);
+        assert_eq!(Sink::from_spec("0"), Sink::Noop);
+        assert_eq!(Sink::from_spec("human"), Sink::Human);
+        assert_eq!(Sink::from_spec("stderr"), Sink::Human);
+        assert_eq!(Sink::from_spec("json"), Sink::Json);
+        assert_eq!(
+            Sink::from_spec("json:/tmp/m.json"),
+            Sink::JsonFile(PathBuf::from("/tmp/m.json"))
+        );
+        // Unknown values fail safe to Noop.
+        assert_eq!(Sink::from_spec("csv"), Sink::Noop);
+        assert_eq!(Sink::from_spec("json:"), Sink::Noop);
+    }
+
+    #[test]
+    fn json_file_sink_writes_one_line() {
+        let path = std::env::temp_dir().join("fosm_obs_sink_test.json");
+        let manifest = Manifest::new("t", Snapshot::default());
+        Sink::JsonFile(path.clone()).emit(&manifest).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(body, manifest.to_json_line() + "\n");
+    }
+
+    #[test]
+    fn noop_emit_is_ok() {
+        Sink::Noop
+            .emit(&Manifest::new("t", Snapshot::default()))
+            .unwrap();
+    }
+}

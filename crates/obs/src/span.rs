@@ -1,0 +1,125 @@
+//! Hierarchical wall-clock spans.
+//!
+//! A [`SpanGuard`] is an RAII timer: creating it pushes its name onto
+//! a thread-local path stack, dropping it pops the stack and folds the
+//! elapsed time into the owning [`Registry`] under the `/`-joined
+//! path of every span open on this thread at creation time.
+//!
+//! The stack is per *thread*, so worker threads (e.g. the bench
+//! harness's `par_map` fan-out) start their own roots: a `simulate`
+//! span opened on a worker records as `simulate`, not under the main
+//! thread's current phase. This keeps span paths scheduling-
+//! independent at the cost of flattening cross-thread nesting.
+//!
+//! Guards are expected to drop on the thread that created them and in
+//! LIFO order (the natural shape of scoped RAII usage). A leaked
+//! guard leaks its stack entry for the remainder of that thread.
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+use crate::registry::Registry;
+
+thread_local! {
+    /// Names of the spans currently open on this thread.
+    static SPAN_STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// An open span; records its elapsed wall-clock time on drop.
+#[derive(Debug)]
+#[must_use = "a span guard records time when dropped; binding it to `_` drops it immediately"]
+pub struct SpanGuard<'a> {
+    registry: &'a Registry,
+    /// Full `/`-joined path, resolved at creation.
+    path: String,
+    /// Stack depth to restore on drop (robust to a leaked inner guard).
+    depth: usize,
+    start: Instant,
+}
+
+impl<'a> SpanGuard<'a> {
+    pub(crate) fn begin(registry: &'a Registry, name: &str) -> SpanGuard<'a> {
+        let (path, depth) = SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let depth = stack.len();
+            stack.push(name.to_string());
+            (stack.join("/"), depth)
+        });
+        SpanGuard {
+            registry,
+            path,
+            depth,
+            start: Instant::now(),
+        }
+    }
+
+    /// The `/`-joined path this guard will record under.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let elapsed_ns = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        SPAN_STACK.with(|stack| stack.borrow_mut().truncate(self.depth));
+        self.registry.record_span(&self.path, elapsed_ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_paths_join_with_slash() {
+        let r = Registry::new();
+        {
+            let outer = r.span("outer");
+            assert_eq!(outer.path(), "outer");
+            let inner = r.span("inner");
+            assert_eq!(inner.path(), "outer/inner");
+        }
+        let snap = r.snapshot();
+        assert_eq!(snap.spans["outer"].count, 1);
+        assert_eq!(snap.spans["outer/inner"].count, 1);
+    }
+
+    #[test]
+    fn sequential_spans_of_same_name_aggregate() {
+        let r = Registry::new();
+        for _ in 0..3 {
+            let _s = r.span("step");
+        }
+        assert_eq!(r.snapshot().spans["step"].count, 3);
+    }
+
+    #[test]
+    fn stack_recovers_after_guard_drops() {
+        let r = Registry::new();
+        {
+            let _a = r.span("a");
+        }
+        {
+            let b = r.span("b");
+            // "a" closed; "b" is a fresh root, not "a/b".
+            assert_eq!(b.path(), "b");
+        }
+    }
+
+    #[test]
+    fn distinct_registries_share_the_thread_stack() {
+        // The path stack is thread-local and registry-agnostic; each
+        // guard still records into the registry that opened it.
+        let r1 = Registry::new();
+        let r2 = Registry::new();
+        {
+            let _a = r1.span("a");
+            let b = r2.span("b");
+            assert_eq!(b.path(), "a/b");
+        }
+        assert_eq!(r1.snapshot().spans["a"].count, 1);
+        assert_eq!(r2.snapshot().spans["a/b"].count, 1);
+        assert!(!r1.snapshot().spans.contains_key("a/b"));
+    }
+}

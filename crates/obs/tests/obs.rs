@@ -1,0 +1,185 @@
+//! Integration tests for `fosm-obs`: span nesting and timing
+//! monotonicity, counter aggregation across threads, and the JSON
+//! sink's schema round-tripping through `serde_json`.
+
+use std::time::Duration;
+
+use fosm_obs::{Manifest, Registry, Sink};
+use serde::Value;
+
+// ------------------------------------------------------------- spans
+
+#[test]
+fn span_nesting_produces_slash_paths_at_any_depth() {
+    let r = Registry::new();
+    {
+        let _a = r.span("a");
+        {
+            let _b = r.span("b");
+            let _c = r.span("c");
+        }
+        let _d = r.span("d");
+    }
+    let spans = r.snapshot().spans;
+    let paths: Vec<&str> = spans.keys().map(String::as_str).collect();
+    assert_eq!(paths, ["a", "a/b", "a/b/c", "a/d"]);
+    for stat in spans.values() {
+        assert_eq!(stat.count, 1);
+    }
+}
+
+#[test]
+fn span_timings_are_monotone_with_nesting() {
+    // A parent span's wall-clock time must dominate any child's: the
+    // child's interval is strictly contained in the parent's.
+    let r = Registry::new();
+    {
+        let _outer = r.span("outer");
+        std::thread::sleep(Duration::from_millis(2));
+        {
+            let _inner = r.span("outer-inner");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let spans = r.snapshot().spans;
+    let outer = spans["outer"];
+    let inner = spans["outer/outer-inner"];
+    assert!(inner.total_ns >= 2_000_000, "inner ran for >= its sleep");
+    assert!(
+        outer.total_ns >= inner.total_ns,
+        "outer {} < inner {}",
+        outer.total_ns,
+        inner.total_ns
+    );
+}
+
+#[test]
+fn repeated_spans_accumulate_monotonically() {
+    let r = Registry::new();
+    let mut last_total = 0;
+    for i in 1..=5u64 {
+        {
+            let _s = r.span("step");
+        }
+        let stat = r.snapshot().spans["step"];
+        assert_eq!(stat.count, i);
+        assert!(stat.total_ns >= last_total, "totals never decrease");
+        last_total = stat.total_ns;
+    }
+}
+
+// ---------------------------------------------------------- counters
+
+#[test]
+fn counters_aggregate_across_threads() {
+    let r = Registry::new();
+    std::thread::scope(|scope| {
+        for t in 0..8u64 {
+            let r = &r;
+            scope.spawn(move || {
+                for _ in 0..1_000 {
+                    r.counter_add("shared", 1);
+                }
+                r.counter_add(&format!("worker.{t}"), t);
+            });
+        }
+    });
+    assert_eq!(r.counter("shared"), 8_000);
+    for t in 0..8u64 {
+        assert_eq!(r.counter(&format!("worker.{t}")), t);
+    }
+}
+
+#[test]
+fn spans_recorded_on_worker_threads_merge_into_one_registry() {
+    let r = Registry::new();
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let r = &r;
+            scope.spawn(move || {
+                // Each worker's stack is fresh: "work" is a root path.
+                let _s = r.span("work");
+            });
+        }
+    });
+    assert_eq!(r.snapshot().spans["work"].count, 4);
+}
+
+// --------------------------------------------------------- JSON sink
+
+/// Builds a representative registry exercising every manifest table.
+fn populated_registry() -> Registry {
+    let r = Registry::new();
+    r.meta_set("seed", 42);
+    r.meta_set("threads", 8);
+    r.meta_set("binary-args", "300000 --threads 8");
+    r.counter_add("store.trace.hits", 16);
+    r.counter_add("store.trace.misses", 8);
+    r.counter_add("cache.l1d.accesses", 123_456);
+    r.gauge_set("wall_s", 2.125);
+    r.record_span("report.table1", 1_000_000);
+    r.record_span("report.table1/simulate", 900_000);
+    r
+}
+
+#[test]
+fn json_manifest_round_trips_through_serde_json() {
+    let manifest = Manifest::new("report", populated_registry().snapshot());
+    let line = manifest.to_json_line();
+
+    // Parse with the workspace JSON parser — proves the hand-rolled
+    // emitter produces well-formed JSON, not just JSON-looking text.
+    let v: Value = serde_json::from_str(&line).expect("manifest parses");
+    assert_eq!(v.get("fosm_obs"), Some(&Value::Num("1".into())));
+    assert_eq!(v.get("binary"), Some(&Value::Str("report".into())));
+    let meta = v.get("meta").expect("meta table");
+    assert_eq!(meta.get("threads"), Some(&Value::Str("8".into())));
+    let counters = v.get("counters").expect("counters table");
+    assert_eq!(
+        counters.get("store.trace.hits"),
+        Some(&Value::Num("16".into()))
+    );
+    let spans = v.get("spans").expect("spans table");
+    let t1 = spans.get("report.table1/simulate").expect("span entry");
+    assert_eq!(t1.get("count"), Some(&Value::Num("1".into())));
+    assert_eq!(t1.get("total_ns"), Some(&Value::Num("900000".into())));
+
+    // Round trip: serialize the parsed tree and parse again; the
+    // value trees must agree exactly (order and number text included).
+    let reserialized = serde_json::to_string(&v).expect("value re-serializes");
+    let v2: Value = serde_json::from_str(&reserialized).expect("round trip parses");
+    assert_eq!(v, v2);
+}
+
+#[test]
+fn json_escaping_survives_hostile_names() {
+    let r = Registry::new();
+    r.meta_set("path", "C:\\traces\n\"quoted\"");
+    r.counter_add("weird \"name\"\twith\\escapes", 7);
+    let line = Manifest::new("bin\"name", r.snapshot()).to_json_line();
+    let v: Value = serde_json::from_str(&line).expect("escaped manifest parses");
+    assert_eq!(v.get("binary"), Some(&Value::Str("bin\"name".into())));
+    let counters = v.get("counters").expect("counters");
+    assert_eq!(
+        counters.get("weird \"name\"\twith\\escapes"),
+        Some(&Value::Num("7".into()))
+    );
+    let meta = v.get("meta").expect("meta");
+    assert_eq!(
+        meta.get("path"),
+        Some(&Value::Str("C:\\traces\n\"quoted\"".into()))
+    );
+}
+
+#[test]
+fn file_sink_manifest_parses_from_disk() {
+    let path = std::env::temp_dir().join("fosm_obs_roundtrip.json");
+    let manifest = Manifest::new("fig15", populated_registry().snapshot());
+    Sink::JsonFile(path.clone()).emit(&manifest).unwrap();
+    let body = std::fs::read_to_string(&path).unwrap();
+    std::fs::remove_file(&path).unwrap();
+    assert_eq!(body.lines().count(), 1, "single-line JSON");
+    let v: Value = serde_json::from_str(body.trim_end()).expect("file manifest parses");
+    assert_eq!(v.get("binary"), Some(&Value::Str("fig15".into())));
+}

@@ -121,6 +121,7 @@ impl Machine {
     /// Bound unbounded sources with [`TraceSource::take`] before
     /// passing them in.
     pub fn run<S: TraceSource>(&mut self, trace: &mut S) -> SimReport {
+        let _run_span = fosm_obs::span("sim.run");
         let cfg = &self.config;
         let width = cfg.width as usize;
         let mut report = SimReport::default();
@@ -190,13 +191,12 @@ impl Machine {
                     p == NO_PRODUCER
                         || done_by_seq.get(p as usize).is_some_and(|&d| {
                             // Cross-cluster results arrive late.
-                            let extra = if num_clusters > 1
-                                && cluster_by_seq[p as usize] != e.cluster
-                            {
-                                forward_delay
-                            } else {
-                                0
-                            };
+                            let extra =
+                                if num_clusters > 1 && cluster_by_seq[p as usize] != e.cluster {
+                                    forward_delay
+                                } else {
+                                    0
+                                };
                             d.saturating_add(extra) <= cycle
                         })
                 });
@@ -364,7 +364,9 @@ impl Machine {
             if let Some(fb) = cfg.fetch_buffer {
                 let mut fed = 0;
                 while fed < width {
-                    let Some((inst, mispredicted)) = prefetch.pop_front() else { break };
+                    let Some((inst, mispredicted)) = prefetch.pop_front() else {
+                        break;
+                    };
                     let seq = next_seq;
                     next_seq += 1;
                     pipe.push_back(PipeEntry {
@@ -377,8 +379,7 @@ impl Machine {
                 }
                 if !blocked_on_branch && cycle >= fetch_stall_until && !trace_done {
                     let mut prefetched = 0;
-                    while prefetched < fb.bandwidth as usize
-                        && prefetch.len() < fb.entries as usize
+                    while prefetched < fb.bandwidth as usize && prefetch.len() < fb.entries as usize
                     {
                         let inst = match pending_inst.take() {
                             Some(i) => i,
@@ -492,6 +493,7 @@ impl Machine {
         }
 
         report.cycles = cycle;
+        report.observe_into(fosm_obs::global(), "sim");
         report
     }
 }
@@ -499,14 +501,22 @@ impl Machine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::PredictorConfig;
     use fosm_cache::{CacheConfig, HierarchyConfig, Replacement};
     use fosm_isa::Reg;
     use fosm_trace::VecTrace;
-    use crate::PredictorConfig;
 
     fn independents(n: usize) -> Vec<Inst> {
         (0..n)
-            .map(|i| Inst::alu(i as u64 * 4, Op::IntAlu, Reg::new((i % 32) as u8), None, None))
+            .map(|i| {
+                Inst::alu(
+                    i as u64 * 4,
+                    Op::IntAlu,
+                    Reg::new((i % 32) as u8),
+                    None,
+                    None,
+                )
+            })
             .collect()
     }
 
@@ -623,10 +633,13 @@ mod tests {
             next_line_prefetch: 0,
         };
         let r = Machine::new(cfg).run(&mut VecTrace::new(independents(3200)));
-        assert!(r.icache_short_misses > 100, "misses {}", r.icache_short_misses);
+        assert!(
+            r.icache_short_misses > 100,
+            "misses {}",
+            r.icache_short_misses
+        );
         let ideal = run_ideal(independents(3200));
-        let per_miss =
-            (r.cycles as f64 - ideal.cycles as f64) / r.icache_short_misses as f64;
+        let per_miss = (r.cycles as f64 - ideal.cycles as f64) / r.icache_short_misses as f64;
         // Paper §4.2: the I-cache miss penalty approximately equals the
         // miss delay (8 cycles here).
         assert!(
@@ -661,7 +674,11 @@ mod tests {
         assert!(r.cycles >= 340, "cycles {}", r.cycles);
         assert!(r.cycles <= 380, "cycles {}", r.cycles);
         // While blocked, the ROB should have filled.
-        assert!(r.mean_rob_occupancy() > 60.0, "rob occ {}", r.mean_rob_occupancy());
+        assert!(
+            r.mean_rob_occupancy() > 60.0,
+            "rob occ {}",
+            r.mean_rob_occupancy()
+        );
     }
 
     #[test]

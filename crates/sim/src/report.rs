@@ -119,6 +119,33 @@ impl SimReport {
             self.rob_occupancy_sum as f64 / self.cycles as f64
         }
     }
+
+    /// Flushes this run's retire/flush and miss-event totals into an
+    /// observability registry under `<prefix>.…` (one bulk update per
+    /// simulation, so the cycle loop stays uninstrumented).
+    pub fn observe_into(&self, registry: &fosm_obs::Registry, prefix: &str) {
+        registry.counter_add(&format!("{prefix}.cycles"), self.cycles);
+        registry.counter_add(&format!("{prefix}.retired"), self.instructions);
+        registry.counter_add(&format!("{prefix}.branches"), self.cond_branches);
+        registry.counter_add(&format!("{prefix}.flushes"), self.mispredicts);
+        registry.counter_add(
+            &format!("{prefix}.icache.short_misses"),
+            self.icache_short_misses,
+        );
+        registry.counter_add(
+            &format!("{prefix}.icache.long_misses"),
+            self.icache_long_misses,
+        );
+        registry.counter_add(
+            &format!("{prefix}.dcache.short_misses"),
+            self.dcache_short_misses,
+        );
+        registry.counter_add(
+            &format!("{prefix}.dcache.long_misses"),
+            self.dcache_long_misses,
+        );
+        registry.counter_add(&format!("{prefix}.dtlb.misses"), self.dtlb_misses);
+    }
 }
 
 #[cfg(test)]

@@ -7,7 +7,15 @@ use fosm_trace::VecTrace;
 
 fn independents(n: usize) -> Vec<Inst> {
     (0..n)
-        .map(|i| Inst::alu(i as u64 * 4, Op::IntAlu, Reg::new((i % 32) as u8), None, None))
+        .map(|i| {
+            Inst::alu(
+                i as u64 * 4,
+                Op::IntAlu,
+                Reg::new((i % 32) as u8),
+                None,
+                None,
+            )
+        })
         .collect()
 }
 
@@ -43,12 +51,16 @@ fn forwarding_delay_slows_cross_cluster_chains() {
             )
         })
         .collect();
-    let no_delay = Machine::new(two_clusters(0, Steering::RoundRobin))
-        .run(&mut VecTrace::new(chain.clone()));
-    let with_delay = Machine::new(two_clusters(2, Steering::RoundRobin))
-        .run(&mut VecTrace::new(chain.clone()));
+    let no_delay =
+        Machine::new(two_clusters(0, Steering::RoundRobin)).run(&mut VecTrace::new(chain.clone()));
+    let with_delay =
+        Machine::new(two_clusters(2, Steering::RoundRobin)).run(&mut VecTrace::new(chain.clone()));
     // Every hop pays +2 cycles: IPC drops from ~1 to ~1/3.
-    assert!((no_delay.ipc() - 1.0).abs() < 0.05, "ipc {}", no_delay.ipc());
+    assert!(
+        (no_delay.ipc() - 1.0).abs() < 0.05,
+        "ipc {}",
+        no_delay.ipc()
+    );
     assert!(
         (with_delay.ipc() - 1.0 / 3.0).abs() < 0.05,
         "ipc {}",
@@ -59,8 +71,8 @@ fn forwarding_delay_slows_cross_cluster_chains() {
     // per-cluster window fills with waiting chain instructions and
     // spills a fraction to the other cluster, so the result sits just
     // below the penalty-free 1.0 but far above round-robin's 1/3.
-    let steered = Machine::new(two_clusters(2, Steering::Dependence))
-        .run(&mut VecTrace::new(chain));
+    let steered =
+        Machine::new(two_clusters(2, Steering::Dependence)).run(&mut VecTrace::new(chain));
     assert!(steered.ipc() > 0.85, "ipc {}", steered.ipc());
 }
 
@@ -97,5 +109,9 @@ fn four_clusters_divide_the_window_evenly() {
     });
     cfg.validate().expect("8 and 64 divide by 4");
     let r = Machine::new(cfg).run(&mut VecTrace::new(independents(4000)));
-    assert!(r.ipc() > 7.0, "independent work saturates all clusters: {}", r.ipc());
+    assert!(
+        r.ipc() > 7.0,
+        "independent work saturates all clusters: {}",
+        r.ipc()
+    );
 }

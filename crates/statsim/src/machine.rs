@@ -135,8 +135,7 @@ impl StatMachine {
                     break;
                 }
                 let ready = e.producers.iter().all(|&p| {
-                    p == u64::MAX
-                        || done_by_seq.get(p as usize).is_some_and(|&d| d <= cycle)
+                    p == u64::MAX || done_by_seq.get(p as usize).is_some_and(|&d| d <= cycle)
                 });
                 if !ready {
                     continue;

@@ -105,7 +105,8 @@ impl SynthesizedTrace {
 
     fn sample_cdf<T: Copy>(cdf: &[(f64, T)], u: f64) -> Option<T> {
         let idx = cdf.partition_point(|&(c, _)| c < u);
-        cdf.get(idx.min(cdf.len().saturating_sub(1))).map(|&(_, v)| v)
+        cdf.get(idx.min(cdf.len().saturating_sub(1)))
+            .map(|&(_, v)| v)
     }
 
     fn draw_distance(&mut self) -> u32 {
@@ -140,8 +141,7 @@ impl SynthesizedTrace {
                 dcache_short = true;
             }
         }
-        let mispredicted =
-            op.is_cond_branch() && self.rng.gen::<f64>() < self.mispredict_rate;
+        let mispredicted = op.is_cond_branch() && self.rng.gen::<f64>() < self.mispredict_rate;
         SynthInst {
             op,
             dep_distance: [d1, d2],

@@ -17,7 +17,10 @@ pub struct Take<'a, S> {
 
 impl<'a, S: TraceSource> Take<'a, S> {
     pub(crate) fn new(inner: &'a mut S, n: u64) -> Self {
-        Take { inner, remaining: n }
+        Take {
+            inner,
+            remaining: n,
+        }
     }
 
     /// Instructions still allowed through this adapter.

@@ -249,12 +249,21 @@ impl<R: Read> TraceFileReader<R> {
         let mut reg = |src: &mut R| -> io::Result<Reg> {
             src.read_exact(&mut byte)?;
             Reg::try_new(byte[0]).ok_or_else(|| {
-                io::Error::new(io::ErrorKind::InvalidData, format!("bad register {}", byte[0]))
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("bad register {}", byte[0]),
+                )
             })
         };
-        let dest = (flags & F_DEST != 0).then(|| reg(&mut self.source)).transpose()?;
-        let src0 = (flags & F_SRC0 != 0).then(|| reg(&mut self.source)).transpose()?;
-        let src1 = (flags & F_SRC1 != 0).then(|| reg(&mut self.source)).transpose()?;
+        let dest = (flags & F_DEST != 0)
+            .then(|| reg(&mut self.source))
+            .transpose()?;
+        let src0 = (flags & F_SRC0 != 0)
+            .then(|| reg(&mut self.source))
+            .transpose()?;
+        let src1 = (flags & F_SRC1 != 0)
+            .then(|| reg(&mut self.source))
+            .transpose()?;
         let mem_addr = (flags & F_MEM != 0)
             .then(|| read_varint(&mut self.source))
             .transpose()?;
@@ -345,7 +354,13 @@ mod tests {
     fn sample() -> Vec<Inst> {
         vec![
             Inst::alu(0x1000, Op::IntAlu, Reg::new(1), Some(Reg::new(2)), None),
-            Inst::alu(0x1004, Op::FpMul, Reg::new(3), Some(Reg::new(1)), Some(Reg::new(2))),
+            Inst::alu(
+                0x1004,
+                Op::FpMul,
+                Reg::new(3),
+                Some(Reg::new(1)),
+                Some(Reg::new(2)),
+            ),
             Inst::load(0x1008, Reg::new(4), Some(Reg::new(1)), 0xdead_beef),
             Inst::store(0x100c, Reg::new(4), None, 0x1234_5678_9abc),
             Inst::branch(0x1010, Op::CondBranch, Some(Reg::new(4)), true, 0x1000),

@@ -127,7 +127,9 @@ impl TraceStats {
         let mut stats = TraceStats::new();
         let mut last_writer = [u64::MAX; NUM_REGS];
         for _ in 0..max_insts {
-            let Some(inst) = source.next_inst() else { break };
+            let Some(inst) = source.next_inst() else {
+                break;
+            };
             stats.observe(&inst, &mut last_writer);
         }
         stats
@@ -230,7 +232,15 @@ mod tests {
     fn chain(n: usize) -> VecTrace {
         // r1 <- r1 every instruction: every operand has distance 1.
         (0..n)
-            .map(|i| Inst::alu(i as u64 * 4, Op::IntAlu, Reg::new(1), Some(Reg::new(1)), None))
+            .map(|i| {
+                Inst::alu(
+                    i as u64 * 4,
+                    Op::IntAlu,
+                    Reg::new(1),
+                    Some(Reg::new(1)),
+                    None,
+                )
+            })
             .collect()
     }
 

@@ -6,14 +6,28 @@ use proptest::prelude::*;
 
 fn inst_strategy() -> impl Strategy<Value = Inst> {
     prop_oneof![
-        (0u8..48, prop::option::of(0u8..48), prop::option::of(0u8..48)).prop_map(|(d, a, b)| {
-            Inst::alu(0, Op::IntAlu, Reg::new(d), a.map(Reg::new), b.map(Reg::new))
-        }),
-        (0u8..48, prop::option::of(0u8..48), 0u64..1 << 20)
-            .prop_map(|(d, b, addr)| Inst::load(0, Reg::new(d), b.map(Reg::new), addr)),
+        (
+            0u8..48,
+            prop::option::of(0u8..48),
+            prop::option::of(0u8..48)
+        )
+            .prop_map(|(d, a, b)| {
+                Inst::alu(0, Op::IntAlu, Reg::new(d), a.map(Reg::new), b.map(Reg::new))
+            }),
+        (0u8..48, prop::option::of(0u8..48), 0u64..1 << 20).prop_map(|(d, b, addr)| Inst::load(
+            0,
+            Reg::new(d),
+            b.map(Reg::new),
+            addr
+        )),
         (0u8..48, 0u64..1 << 20).prop_map(|(v, addr)| Inst::store(0, Reg::new(v), None, addr)),
-        (any::<bool>(), 0u64..1 << 20)
-            .prop_map(|(taken, target)| Inst::branch(0, Op::CondBranch, None, taken, target)),
+        (any::<bool>(), 0u64..1 << 20).prop_map(|(taken, target)| Inst::branch(
+            0,
+            Op::CondBranch,
+            None,
+            taken,
+            target
+        )),
     ]
 }
 

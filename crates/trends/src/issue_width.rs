@@ -81,7 +81,9 @@ impl IssueWidthStudy {
         // walk generously.
         let max_cycles = (2.0 * distance / width as f64) as usize + 16 * self.win_size as usize;
         for _ in 0..max_cycles {
-            let dispatch = (width as f64).min(to_dispatch).min(self.win_size as f64 - w);
+            let dispatch = (width as f64)
+                .min(to_dispatch)
+                .min(self.win_size as f64 - w);
             w += dispatch;
             to_dispatch -= dispatch;
             let rate = self.iw.issue_rate(w, Some(width)).min(w);
@@ -171,7 +173,11 @@ mod tests {
         // Starts with the dead refill (zeros).
         assert_eq!(e.rates[0], 0.0);
         // Issues (nearly) all useful instructions of the epoch.
-        assert!((e.instructions - 200.0).abs() < 4.5, "issued {}", e.instructions);
+        assert!(
+            (e.instructions - 200.0).abs() < 4.5,
+            "issued {}",
+            e.instructions
+        );
         // Gets essentially to full width somewhere in the middle (the
         // occupancy approaches its fixed point asymptotically).
         assert!(e.rates.iter().any(|&r| r > 3.9));

@@ -197,7 +197,10 @@ mod tests {
         let s = PipelineStudy::paper();
         let d2 = s.optimal_depth(2, 1..=140).unwrap();
         let d8 = s.optimal_depth(8, 1..=140).unwrap();
-        assert!(d8 < d2, "width 8 optimum {d8} should be below width 2 optimum {d2}");
+        assert!(
+            d8 < d2,
+            "width 8 optimum {d8} should be below width 2 optimum {d2}"
+        );
     }
 
     #[test]

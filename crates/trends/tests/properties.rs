@@ -6,9 +6,8 @@ use fosm_trends::pipeline::PipelineStudy;
 use proptest::prelude::*;
 
 fn iw_strategy() -> impl Strategy<Value = IwCharacteristic> {
-    (0.8f64..2.0, 0.25f64..0.85, 1.0f64..2.2).prop_map(|(a, b, l)| {
-        IwCharacteristic::new(PowerLaw::new(a, b).unwrap(), l).unwrap()
-    })
+    (0.8f64..2.0, 0.25f64..0.85, 1.0f64..2.2)
+        .prop_map(|(a, b, l)| IwCharacteristic::new(PowerLaw::new(a, b).unwrap(), l).unwrap())
 }
 
 proptest! {

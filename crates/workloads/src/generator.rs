@@ -166,13 +166,10 @@ impl WorkloadGenerator {
                 let share = (self.spec.data_footprint / self.spec.num_streams as u64).max(64);
                 let s = stream as usize;
                 let addr = DATA_BASE + stream as u64 * share + self.stream_pos[s];
-                self.stream_pos[s] =
-                    (self.stream_pos[s] + self.spec.stream_stride as u64) % share;
+                self.stream_pos[s] = (self.stream_pos[s] + self.spec.stream_stride as u64) % share;
                 addr
             }
-            MemClass::Random => {
-                DATA_BASE + (self.rng.gen_range(0..self.spec.data_footprint) & !7)
-            }
+            MemClass::Random => DATA_BASE + (self.rng.gen_range(0..self.spec.data_footprint) & !7),
         }
     }
 
@@ -242,8 +239,13 @@ impl WorkloadGenerator {
                 let cond = self.pick_source();
                 if remaining > 1 {
                     self.loop_remaining = Some(remaining - 1);
-                    self.pending
-                        .push_back(Inst::branch(term_pc, Op::CondBranch, cond, true, block_pc));
+                    self.pending.push_back(Inst::branch(
+                        term_pc,
+                        Op::CondBranch,
+                        cond,
+                        true,
+                        block_pc,
+                    ));
                     // stay on this block
                 } else {
                     self.loop_remaining = None;
@@ -257,7 +259,9 @@ impl WorkloadGenerator {
                     self.cur_block += 1;
                 }
             }
-            Terminator::Skip { p_taken, period, .. } => {
+            Terminator::Skip {
+                p_taken, period, ..
+            } => {
                 let taken = if period > 0 {
                     let phase = self.skip_phase.entry(term_pc).or_insert(0);
                     let t = *phase == period - 1;
@@ -368,7 +372,11 @@ mod tests {
         let hi = CODE_BASE + g.program().code_bytes();
         let insts = sample(&spec, 20_000);
         for i in &insts {
-            assert!(i.pc >= CODE_BASE && i.pc < hi, "pc {:#x} out of code segment", i.pc);
+            assert!(
+                i.pc >= CODE_BASE && i.pc < hi,
+                "pc {:#x} out of code segment",
+                i.pc
+            );
         }
     }
 
@@ -382,7 +390,11 @@ mod tests {
         for w in insts.windows(2) {
             let (a, b) = (&w[0], &w[1]);
             if let Some(info) = a.branch {
-                assert_eq!(b.pc, info.target, "branch at {:#x} lied about its target", a.pc);
+                assert_eq!(
+                    b.pc, info.target,
+                    "branch at {:#x} lied about its target",
+                    a.pc
+                );
             }
         }
     }
@@ -433,7 +445,10 @@ mod tests {
                 }
             }
         }
-        assert!(taken_backward > 100, "expected loop back-edges, got {taken_backward}");
+        assert!(
+            taken_backward > 100,
+            "expected loop back-edges, got {taken_backward}"
+        );
     }
 
     #[test]
@@ -445,7 +460,10 @@ mod tests {
                 let in_data = (DATA_BASE..DATA_BASE + spec.data_footprint + spec.data_footprint)
                     .contains(&addr);
                 let in_stack = addr >= STACK_BASE;
-                assert!(in_data || in_stack, "address {addr:#x} outside data segments");
+                assert!(
+                    in_data || in_stack,
+                    "address {addr:#x} outside data segments"
+                );
             }
         }
     }

@@ -87,13 +87,8 @@ mod tests {
 
     #[test]
     fn phases_alternate_on_schedule() {
-        let mut g = PhasedGenerator::new(
-            &BenchmarkSpec::gzip(),
-            &BenchmarkSpec::mcf(),
-            100,
-            1,
-        )
-        .unwrap();
+        let mut g =
+            PhasedGenerator::new(&BenchmarkSpec::gzip(), &BenchmarkSpec::mcf(), 100, 1).unwrap();
         assert_eq!(g.current_phase(), 0);
         for _ in 0..100 {
             g.next_inst();
@@ -124,9 +119,8 @@ mod tests {
 
     #[test]
     fn determinism() {
-        let mk = || {
-            PhasedGenerator::new(&BenchmarkSpec::gzip(), &BenchmarkSpec::vpr(), 77, 3).unwrap()
-        };
+        let mk =
+            || PhasedGenerator::new(&BenchmarkSpec::gzip(), &BenchmarkSpec::vpr(), 77, 3).unwrap();
         let a: Vec<_> = (0..500).filter_map(|_| mk().next_inst()).collect();
         let mut g = mk();
         let b: Vec<_> = (0..500).filter_map(|_| g.next_inst()).collect();

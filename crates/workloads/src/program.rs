@@ -220,8 +220,11 @@ impl SyntheticProgram {
         let can_call = spec.num_functions > 1;
         if r < spec.frac_loop_blocks {
             // Static trip count around the mean, at least 2.
-            let trips = geometric(rng, spec.loop_trip_mean as f64).clamp(2, 4 * spec.loop_trip_mean as u64);
-            Terminator::Loop { trips: trips as u32 }
+            let trips =
+                geometric(rng, spec.loop_trip_mean as f64).clamp(2, 4 * spec.loop_trip_mean as u64);
+            Terminator::Loop {
+                trips: trips as u32,
+            }
         } else if r < spec.frac_loop_blocks + spec.frac_call_blocks && can_call {
             // Any function other than the caller may be a target;
             // recursion through cycles is bounded by max_call_depth.
@@ -242,18 +245,30 @@ impl SyntheticProgram {
                 } else {
                     spec.hard_branch_bias
                 };
-                Terminator::Skip { p_taken, hard: true, period: 0 }
+                Terminator::Skip {
+                    p_taken,
+                    hard: true,
+                    period: 0,
+                }
             } else if kind < spec.frac_hard_branches + spec.frac_pattern_branches {
                 // History-correlated periodic branch (e.g. the inner
                 // conditional of an unrolled or strided loop).
                 let period = rng.gen_range(2..=6);
-                Terminator::Skip { p_taken: 0.5, hard: false, period }
+                Terminator::Skip {
+                    p_taken: 0.5,
+                    hard: false,
+                    period,
+                }
             } else {
                 // Highly-biased, predictor-friendly branch; mostly
                 // not-taken, as forward conditionals are in real code.
                 let p = rng.gen_range(0.004..0.04);
                 let p_taken = if rng.gen::<f64>() < 0.8 { p } else { 1.0 - p };
-                Terminator::Skip { p_taken, hard: false, period: 0 }
+                Terminator::Skip {
+                    p_taken,
+                    hard: false,
+                    period: 0,
+                }
             }
         } else {
             Terminator::FallThrough

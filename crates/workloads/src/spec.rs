@@ -59,7 +59,13 @@ impl MixSpec {
 
     /// Sum of all non-ALU fractions (must stay below 1.0).
     pub fn non_alu_total(&self) -> f64 {
-        self.load + self.store + self.int_mul + self.int_div + self.fp_add + self.fp_mul + self.fp_div
+        self.load
+            + self.store
+            + self.int_mul
+            + self.int_div
+            + self.fp_add
+            + self.fp_mul
+            + self.fp_div
     }
 }
 
@@ -551,7 +557,8 @@ mod tests {
     #[test]
     fn all_presets_validate() {
         for spec in BenchmarkSpec::all() {
-            spec.validate().unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+            spec.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
         }
     }
 

@@ -19,7 +19,10 @@ fn main() {
         let s = iw::reference::ipc_at_window(&insts, w, &lat);
         let ts = t0.elapsed();
         assert_eq!(f.to_bits(), s.to_bits());
-        println!("w={w:>3}  new {tf:>12?}  ref {ts:>12?}  ({:.1}x)", ts.as_secs_f64()/tf.as_secs_f64());
+        println!(
+            "w={w:>3}  new {tf:>12?}  ref {ts:>12?}  ({:.1}x)",
+            ts.as_secs_f64() / tf.as_secs_f64()
+        );
     }
 
     let t0 = Instant::now();

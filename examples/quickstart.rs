@@ -24,7 +24,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .with_name(&spec.name)
         .collect(&mut trace.clone(), u64::MAX)?;
 
-    println!("profile of `{}` over {} instructions:", profile.name, profile.instructions);
+    println!(
+        "profile of `{}` over {} instructions:",
+        profile.name, profile.instructions
+    );
     println!(
         "  IW characteristic: I = {:.2}·W^{:.2}, average latency L = {:.2}",
         profile.iw.law().alpha(),
@@ -50,11 +53,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (component, cpi) in estimate.cpi_stack() {
         println!("  {component:<10} {cpi:>6.3} CPI");
     }
-    println!("  {:<10} {:>6.3} CPI  ({:.2} IPC)", "total", estimate.total_cpi(), estimate.total_ipc());
+    println!(
+        "  {:<10} {:>6.3} CPI  ({:.2} IPC)",
+        "total",
+        estimate.total_cpi(),
+        estimate.total_ipc()
+    );
 
     // 4. Ground truth: the detailed cycle-level simulator.
     let report = Machine::new(MachineConfig::baseline()).run(&mut trace.clone());
-    println!("\ndetailed simulation: {:.3} CPI  ({:.2} IPC)", report.cpi(), report.ipc());
+    println!(
+        "\ndetailed simulation: {:.3} CPI  ({:.2} IPC)",
+        report.cpi(),
+        report.ipc()
+    );
     println!(
         "model error: {:+.1}%",
         100.0 * (estimate.total_cpi() - report.cpi()) / report.cpi()

@@ -60,9 +60,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 3. The statistical-simulation baseline from the same trace.
     let decoded = read_trace(Cursor::new(&bytes))?;
     let stat_profile = StatProfile::from_trace(decoded.insts(), CollectorConfig::default());
-    let stat = StatMachine::baseline()
-        .run(&mut SynthesizedTrace::new(&stat_profile, 42), 200_000);
-    println!("statistical simulation of the same statistics: {:.3} CPI", stat.cpi());
+    let stat = StatMachine::baseline().run(&mut SynthesizedTrace::new(&stat_profile, 42), 200_000);
+    println!(
+        "statistical simulation of the same statistics: {:.3} CPI",
+        stat.cpi()
+    );
     println!("(all three should agree to first order)");
     Ok(())
 }

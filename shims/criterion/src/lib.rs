@@ -15,9 +15,16 @@
 //! the directory named by `FOSM_BENCH_OUT_DIR` (default: the current
 //! working directory), giving the repo a machine-readable perf
 //! trajectory across PRs.
+//!
+//! Passing `--check <baseline.json>` after `--` turns the run into a
+//! regression gate: results are measured as usual but compared against
+//! the named baseline instead of overwriting it, and the process exits
+//! non-zero if any benchmark is more than [`REGRESSION_LIMIT_PCT`]
+//! slower than its baseline entry.
 
 #![forbid(unsafe_code)]
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -217,9 +224,37 @@ impl BenchmarkGroup<'_> {
         });
     }
 
-    /// Finishes the group, flushing its JSON baseline.
+    /// Finishes the group: in check mode, compares against the chosen
+    /// baseline; otherwise flushes a fresh JSON baseline.
     pub fn finish(self) {
         if self.criterion.mode != Mode::Measure {
+            return;
+        }
+        if let Some(baseline) = self.criterion.check_against.clone() {
+            let body = match std::fs::read_to_string(&baseline) {
+                Ok(body) => body,
+                Err(e) => {
+                    eprintln!("check: cannot read {}: {e}", baseline.display());
+                    CHECK_FAILED.store(true, Ordering::Relaxed);
+                    return;
+                }
+            };
+            let mut ok = true;
+            for line in check_report(&self.records, &body) {
+                if line.starts_with("REGRESSION") {
+                    ok = false;
+                }
+                println!("{}: {line}", self.name);
+            }
+            if ok {
+                println!(
+                    "{}: check passed (within {REGRESSION_LIMIT_PCT:.0}% of {})",
+                    self.name,
+                    baseline.display()
+                );
+            } else {
+                CHECK_FAILED.store(true, Ordering::Relaxed);
+            }
             return;
         }
         let dir = std::env::var("FOSM_BENCH_OUT_DIR").unwrap_or_else(|_| ".".to_string());
@@ -247,6 +282,87 @@ impl BenchmarkGroup<'_> {
             println!("(baseline written to {})", path.display());
         }
     }
+}
+
+/// Allowed slowdown versus the baseline before `--check` fails.
+pub const REGRESSION_LIMIT_PCT: f64 = 25.0;
+
+/// Set when any group's `--check` comparison finds a regression.
+static CHECK_FAILED: AtomicBool = AtomicBool::new(false);
+
+/// Whether any `--check` comparison failed so far (used by
+/// `criterion_main!` to derive the process exit code).
+pub fn check_failed() -> bool {
+    CHECK_FAILED.load(Ordering::Relaxed)
+}
+
+/// Compares measured records against a baseline file body (the format
+/// written by [`BenchmarkGroup::finish`]) and renders one verdict line
+/// per benchmark. Entries absent on either side are reported but are
+/// not regressions — a benchmark suite is allowed to grow.
+fn check_report(records: &[Record], baseline_body: &str) -> Vec<String> {
+    let baseline = parse_baseline(baseline_body);
+    let mut lines = Vec::new();
+    for r in records {
+        match baseline.iter().find(|(id, _)| id == &r.id) {
+            None => lines.push(format!("{}: new benchmark, no baseline entry", r.id)),
+            Some((_, base_ns)) => {
+                let delta_pct = 100.0 * (r.ns_per_iter - base_ns) / base_ns;
+                if delta_pct > REGRESSION_LIMIT_PCT {
+                    lines.push(format!(
+                        "REGRESSION {}: {} vs baseline {} ({delta_pct:+.1}%, limit +{REGRESSION_LIMIT_PCT:.0}%)",
+                        r.id,
+                        format_ns(r.ns_per_iter),
+                        format_ns(*base_ns)
+                    ));
+                } else {
+                    lines.push(format!(
+                        "{}: {} vs baseline {} ({delta_pct:+.1}%)",
+                        r.id,
+                        format_ns(r.ns_per_iter),
+                        format_ns(*base_ns)
+                    ));
+                }
+            }
+        }
+    }
+    for (id, _) in &baseline {
+        if !records.iter().any(|r| &r.id == id) {
+            lines.push(format!("{id}: in baseline but not measured this run"));
+        }
+    }
+    lines
+}
+
+/// Extracts `(id, ns_per_iter)` pairs from a baseline file. The format
+/// is the shim's own output — one benchmark per line, e.g.
+/// `    "record/gzip": {"ns_per_iter": 1234.5, "per_iter": 50000},` —
+/// so a line-oriented scan is exact.
+fn parse_baseline(body: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in body.lines() {
+        let Some(rest) = line.trim_start().strip_prefix('"') else {
+            continue;
+        };
+        let Some((id, rest)) = rest.split_once('"') else {
+            continue;
+        };
+        if id == "group" {
+            continue;
+        }
+        let Some(rest) = rest.split_once("\"ns_per_iter\":").map(|(_, v)| v) else {
+            continue;
+        };
+        let number: String = rest
+            .trim_start()
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+            .collect();
+        if let Ok(ns) = number.parse() {
+            out.push((id.to_string(), ns));
+        }
+    }
+    out
 }
 
 fn format_ns(ns: f64) -> String {
@@ -278,6 +394,9 @@ fn format_rate(per_iter: u64, ns: f64) -> String {
 pub struct Criterion {
     mode: Mode,
     sample_size: usize,
+    /// Baseline to compare against (`--check <path>`) instead of
+    /// writing a new one.
+    check_against: Option<std::path::PathBuf>,
 }
 
 impl Default for Criterion {
@@ -285,10 +404,26 @@ impl Default for Criterion {
         // cargo bench passes `--bench` to the target binary; anything
         // else (notably `cargo test`, which also builds and runs
         // harness=false bench targets) gets a fast smoke pass.
-        let measure = std::env::args().any(|a| a == "--bench");
+        let mut measure = false;
+        let mut check_against = None;
+        let mut args = std::env::args();
+        while let Some(arg) = args.next() {
+            if arg == "--bench" {
+                measure = true;
+            } else if let Some(path) = arg.strip_prefix("--check=") {
+                check_against = Some(path.into());
+            } else if arg == "--check" {
+                check_against = args.next().map(Into::into);
+            }
+        }
+        // A check run must measure, whatever the harness passed.
+        if check_against.is_some() {
+            measure = true;
+        }
         Criterion {
             mode: if measure { Mode::Measure } else { Mode::Smoke },
             sample_size: 10,
+            check_against,
         }
     }
 }
@@ -362,6 +497,9 @@ macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            if $crate::check_failed() {
+                std::process::exit(1);
+            }
         }
     };
 }
@@ -374,6 +512,7 @@ mod tests {
         Criterion {
             mode: Mode::Smoke,
             sample_size: 3,
+            check_against: None,
         }
     }
 
@@ -393,6 +532,7 @@ mod tests {
         let mut c = Criterion {
             mode: Mode::Measure,
             sample_size: 3,
+            check_against: None,
         };
         std::env::set_var("FOSM_BENCH_OUT_DIR", std::env::temp_dir());
         let mut acc = 0u64;
@@ -418,5 +558,57 @@ mod tests {
     fn benchmark_ids_format() {
         assert_eq!(BenchmarkId::new("baseline", "gzip").id, "baseline/gzip");
         assert_eq!(BenchmarkId::from_parameter(32).id, "32");
+    }
+
+    const BASELINE: &str = r#"{
+  "group": "functional",
+  "benchmarks": {
+    "record/gzip": {"ns_per_iter": 1000.0, "per_iter": 50000},
+    "simulate/gzip": {"ns_per_iter": 2000.0}
+  }
+}
+"#;
+
+    #[test]
+    fn baseline_parsing_extracts_all_entries() {
+        let parsed = parse_baseline(BASELINE);
+        assert_eq!(
+            parsed,
+            vec![
+                ("record/gzip".to_string(), 1000.0),
+                ("simulate/gzip".to_string(), 2000.0),
+            ]
+        );
+    }
+
+    fn record(id: &str, ns: f64) -> Record {
+        Record {
+            id: id.to_string(),
+            ns_per_iter: ns,
+            throughput: None,
+        }
+    }
+
+    #[test]
+    fn check_flags_only_regressions_beyond_limit() {
+        let records = [
+            record("record/gzip", 1200.0),   // +20%: within the limit
+            record("simulate/gzip", 2600.0), // +30%: regression
+            record("profile/gzip", 99.0),    // not in the baseline
+        ];
+        let report = check_report(&records, BASELINE);
+        assert_eq!(report.len(), 3);
+        assert!(!report[0].starts_with("REGRESSION"), "{}", report[0]);
+        assert!(report[1].starts_with("REGRESSION"), "{}", report[1]);
+        assert!(report[2].contains("no baseline entry"), "{}", report[2]);
+    }
+
+    #[test]
+    fn check_reports_baseline_entries_that_were_not_measured() {
+        let report = check_report(&[record("record/gzip", 900.0)], BASELINE);
+        assert!(report.iter().all(|l| !l.starts_with("REGRESSION")));
+        assert!(report
+            .iter()
+            .any(|l| l.contains("simulate/gzip") && l.contains("not measured")));
     }
 }

@@ -439,8 +439,8 @@ impl<T> Strategy for Union<T> {
 /// Everything a property test file needs (`use proptest::prelude::*`).
 pub mod prelude {
     pub use crate::{
-        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof,
-        proptest, BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError,
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError,
     };
 }
 
@@ -507,12 +507,7 @@ macro_rules! prop_assert_eq {
 macro_rules! prop_assert_ne {
     ($left:expr, $right:expr) => {{
         let (l, r) = (&$left, &$right);
-        prop_assert!(
-            *l != *r,
-            "assertion failed: `{:?}` != `{:?}`",
-            l,
-            r
-        );
+        prop_assert!(*l != *r, "assertion failed: `{:?}` != `{:?}`", l, r);
     }};
 }
 
@@ -599,7 +594,7 @@ mod tests {
             prop_assert!(v.iter().all(|&x| x < 10));
             if let Some(x) = o { prop_assert!((1..4).contains(&x)); }
             prop_assert!(pick == "a" || pick == "b");
-            prop_assert!(anyb == true || anyb == false);
+            let _: bool = anyb; // any::<bool>() type-checks as a bool strategy
             prop_assert_eq!(mapped % 2, 0);
             prop_assert!(choice == 1 || (10..20).contains(&choice));
         }

@@ -152,6 +152,18 @@ macro_rules! impl_float {
 }
 impl_float!(f32, f64);
 
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
 impl Serialize for bool {
     fn to_value(&self) -> Value {
         Value::Bool(*self)
@@ -307,7 +319,7 @@ mod tests {
     fn primitives_round_trip() {
         assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
         assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
-        assert_eq!(bool::from_value(&true.to_value()).unwrap(), true);
+        assert!(bool::from_value(&true.to_value()).unwrap());
         let s = "hi".to_string();
         assert_eq!(String::from_value(&s.to_value()).unwrap(), s);
         let v: Vec<u32> = vec![1, 2, 3];

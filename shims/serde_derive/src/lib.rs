@@ -30,8 +30,14 @@ struct Variant {
 }
 
 enum Item {
-    Struct { name: String, fields: Fields },
-    Enum { name: String, variants: Vec<Variant> },
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
 }
 
 /// Derives `serde::Serialize` (shim data model) for a type.
@@ -49,7 +55,9 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
 fn expand(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
     match parse_item(input) {
         Ok(item) => gen(&item).parse().expect("generated impl parses"),
-        Err(msg) => format!("compile_error!({msg:?});").parse().expect("error parses"),
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("error parses"),
     }
 }
 
@@ -70,10 +78,7 @@ fn attr_is_serde_default(attr: &Group) -> bool {
         return false;
     }
     toks.iter().any(|t| match t {
-        TokenTree::Group(inner) => inner
-            .stream()
-            .into_iter()
-            .any(|t| is_ident(&t, "default")),
+        TokenTree::Group(inner) => inner.stream().into_iter().any(|t| is_ident(&t, "default")),
         _ => false,
     })
 }
@@ -308,8 +313,7 @@ fn gen_serialize(item: &Item) -> String {
                         v = v.name
                     ),
                     Fields::Named(fs) => {
-                        let binds: Vec<String> =
-                            fs.iter().map(|f| f.name.clone()).collect();
+                        let binds: Vec<String> = fs.iter().map(|f| f.name.clone()).collect();
                         let entries: Vec<String> = fs
                             .iter()
                             .map(|f| {

@@ -130,15 +130,17 @@ fn write_value(out: &mut String, v: &Value, indent: Option<&str>, depth: usize) 
         Value::Seq(items) => write_block(out, indent, depth, '[', ']', items.len(), |out, i| {
             write_value(out, &items[i], indent, depth + 1);
         }),
-        Value::Map(entries) => write_block(out, indent, depth, '{', '}', entries.len(), |out, i| {
-            let (k, val) = &entries[i];
-            write_string(out, k);
-            out.push(':');
-            if indent.is_some() {
-                out.push(' ');
-            }
-            write_value(out, val, indent, depth + 1);
-        }),
+        Value::Map(entries) => {
+            write_block(out, indent, depth, '{', '}', entries.len(), |out, i| {
+                let (k, val) = &entries[i];
+                write_string(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, val, indent, depth + 1);
+            })
+        }
     }
 }
 
@@ -381,7 +383,7 @@ mod tests {
         assert_eq!(to_string(&42u64).unwrap(), "42");
         assert_eq!(from_str::<u64>("42").unwrap(), 42);
         assert_eq!(to_string(&true).unwrap(), "true");
-        assert_eq!(from_str::<bool>("false").unwrap(), false);
+        assert!(!from_str::<bool>("false").unwrap());
         assert_eq!(to_string(&"a\"b").unwrap(), "\"a\\\"b\"");
         assert_eq!(from_str::<String>("\"a\\\"b\"").unwrap(), "a\"b");
         let x = 0.30000000000000004f64;

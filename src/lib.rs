@@ -56,15 +56,16 @@
 
 #![forbid(unsafe_code)]
 
-pub use fosm_isa as isa;
-pub use fosm_trace as trace;
-pub use fosm_workloads as workloads;
-pub use fosm_cache as cache;
 pub use fosm_branch as branch;
+pub use fosm_cache as cache;
 pub use fosm_depgraph as depgraph;
+pub use fosm_isa as isa;
+pub use fosm_obs as obs;
 pub use fosm_sim as sim;
-pub use fosm_trends as trends;
 pub use fosm_statsim as statsim;
+pub use fosm_trace as trace;
+pub use fosm_trends as trends;
+pub use fosm_workloads as workloads;
 
 /// The first-order analytical model (re-export of `fosm-core`'s model layer).
 pub mod model {

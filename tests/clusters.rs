@@ -84,8 +84,8 @@ fn model_tracks_the_clustered_machine() {
         forward_delay: 2,
         steering: Steering::RoundRobin,
     };
-    let sim = Machine::new(MachineConfig::baseline().with_clusters(cluster))
-        .run(&mut trace.clone());
+    let sim =
+        Machine::new(MachineConfig::baseline().with_clusters(cluster)).run(&mut trace.clone());
 
     let params = ProcessorParams::baseline();
     let profile = ProfileCollector::new(&params)
@@ -120,13 +120,19 @@ fn invalid_cluster_geometry_is_rejected() {
         forward_delay: 1,
         steering: Steering::RoundRobin,
     };
-    assert!(MachineConfig::baseline().with_clusters(bad).validate().is_err());
+    assert!(MachineConfig::baseline()
+        .with_clusters(bad)
+        .validate()
+        .is_err());
     let one = ClusterConfig {
         clusters: 1,
         forward_delay: 1,
         steering: Steering::RoundRobin,
     };
-    assert!(MachineConfig::baseline().with_clusters(one).validate().is_err());
+    assert!(MachineConfig::baseline()
+        .with_clusters(one)
+        .validate()
+        .is_err());
     assert!(MachineConfig::baseline()
         .with_clusters(ClusterConfig::two_cluster())
         .validate()

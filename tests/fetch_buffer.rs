@@ -84,8 +84,8 @@ fn model_tracks_the_buffered_machine() {
         entries: 24,
         bandwidth: 16,
     };
-    let sim = Machine::new(MachineConfig::baseline().with_fetch_buffer(buffer))
-        .run(&mut trace.clone());
+    let sim =
+        Machine::new(MachineConfig::baseline().with_fetch_buffer(buffer)).run(&mut trace.clone());
     let est = FirstOrderModel::new(params)
         .with_fetch_buffer(buffer.entries)
         .evaluate(&profile)
@@ -112,12 +112,18 @@ fn buffer_validation_rejects_insufficient_bandwidth() {
         entries: 16,
         bandwidth: 4, // equal to the width: can never accumulate slack
     };
-    assert!(MachineConfig::baseline().with_fetch_buffer(bad).validate().is_err());
+    assert!(MachineConfig::baseline()
+        .with_fetch_buffer(bad)
+        .validate()
+        .is_err());
     let zero = FetchBufferConfig {
         entries: 0,
         bandwidth: 16,
     };
-    assert!(MachineConfig::baseline().with_fetch_buffer(zero).validate().is_err());
+    assert!(MachineConfig::baseline()
+        .with_fetch_buffer(zero)
+        .validate()
+        .is_err());
     assert!(MachineConfig::baseline()
         .with_fetch_buffer(FetchBufferConfig::baseline())
         .validate()

@@ -69,7 +69,7 @@ fn model_predicts_the_fu_saturation_level() {
         .expect("estimate");
     // Effective width = min over classes of units/fraction, below the
     // machine width with one memory port at ~25% memory ops.
-    assert!(est.effective_width < 4.0+ 1e-12);
+    assert!(est.effective_width < 4.0 + 1e-12);
     let expected = 1.0 / profile.fu_fraction(FuClass::Mem);
     assert!(
         (est.effective_width - expected.min(4.0)).abs() < 0.5,
@@ -78,8 +78,7 @@ fn model_predicts_the_fu_saturation_level() {
     );
 
     // Model total tracks the FU-limited simulator.
-    let sim = Machine::new(MachineConfig::baseline().with_fu_limits(pool))
-        .run(&mut trace.clone());
+    let sim = Machine::new(MachineConfig::baseline().with_fu_limits(pool)).run(&mut trace.clone());
     let err = (est.total_cpi() - sim.cpi()).abs() / sim.cpi();
     assert!(
         err < 0.25,
@@ -90,7 +89,9 @@ fn model_predicts_the_fu_saturation_level() {
     );
 
     // And the unlimited model underestimates the limited machine.
-    let unlimited = FirstOrderModel::new(params).evaluate(&profile).expect("estimate");
+    let unlimited = FirstOrderModel::new(params)
+        .evaluate(&profile)
+        .expect("estimate");
     assert!(unlimited.total_cpi() < est.total_cpi());
     assert_eq!(unlimited.effective_width, 4.0);
 }

@@ -29,7 +29,10 @@ fn branch_penalty_exceeds_pipeline_depth() {
         penalty > 5.0,
         "penalty {penalty:.1} must exceed the 5-stage front end"
     );
-    assert!(penalty < 15.0, "penalty {penalty:.1} should stay first-order");
+    assert!(
+        penalty < 15.0,
+        "penalty {penalty:.1} should stay first-order"
+    );
 }
 
 /// Observation 2: "Instruction cache penalty is independent of the
@@ -39,7 +42,10 @@ fn icache_penalty_tracks_miss_delay_not_depth() {
     let trace = record(&BenchmarkSpec::gcc());
     let mut penalties = Vec::new();
     for depth in [5u32, 9] {
-        let real = run(MachineConfig::only_real_icache().with_pipe_depth(depth), &trace);
+        let real = run(
+            MachineConfig::only_real_icache().with_pipe_depth(depth),
+            &trace,
+        );
         let ideal = run(MachineConfig::ideal().with_pipe_depth(depth), &trace);
         assert!(real.icache_short_misses > 300, "need a meaningful sample");
         let adjusted = (real.cycles as i64 - ideal.cycles as i64) as f64

@@ -21,7 +21,9 @@ fn model_and_sim_cpi(spec: &BenchmarkSpec) -> (f64, f64) {
         .with_name(&spec.name)
         .collect(&mut trace.clone(), u64::MAX)
         .expect("profile");
-    let est = FirstOrderModel::new(params).evaluate(&profile).expect("estimate");
+    let est = FirstOrderModel::new(params)
+        .evaluate(&profile)
+        .expect("estimate");
     let sim = Machine::new(MachineConfig::baseline()).run(&mut trace.clone());
     (est.total_cpi(), sim.cpi())
 }
@@ -74,7 +76,9 @@ fn steady_state_matches_ideal_simulation() {
         let profile = ProfileCollector::new(&params)
             .collect(&mut trace.clone(), u64::MAX)
             .expect("profile");
-        let est = FirstOrderModel::new(params).evaluate(&profile).expect("estimate");
+        let est = FirstOrderModel::new(params)
+            .evaluate(&profile)
+            .expect("estimate");
         let ideal = Machine::new(MachineConfig::ideal()).run(&mut trace.clone());
         let model_ipc = 1.0 / est.steady_state_cpi;
         let err = (model_ipc - ideal.ipc()).abs() / ideal.ipc();

@@ -21,7 +21,9 @@ fn profile_round_trips_through_json() {
     assert_eq!(back, profile);
 
     // The deserialized profile evaluates identically.
-    let a = FirstOrderModel::new(params.clone()).evaluate(&profile).unwrap();
+    let a = FirstOrderModel::new(params.clone())
+        .evaluate(&profile)
+        .unwrap();
     let b = FirstOrderModel::new(params).evaluate(&back).unwrap();
     assert_eq!(a, b);
 }

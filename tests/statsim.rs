@@ -15,21 +15,27 @@ const TRACE_LEN: u64 = 100_000;
 fn statistical_simulation_and_model_agree_with_detailed_simulation() {
     let mut stat_err = 0.0;
     let mut model_err = 0.0;
-    let specs = [BenchmarkSpec::gzip(), BenchmarkSpec::gcc(), BenchmarkSpec::eon()];
+    let specs = [
+        BenchmarkSpec::gzip(),
+        BenchmarkSpec::gcc(),
+        BenchmarkSpec::eon(),
+    ];
     for spec in &specs {
         let mut generator = WorkloadGenerator::new(spec, 42);
         let trace = VecTrace::record(&mut generator, TRACE_LEN);
         let sim = Machine::new(MachineConfig::baseline()).run(&mut trace.clone());
 
         let stat_profile = StatProfile::from_trace(trace.insts(), CollectorConfig::default());
-        let stat = StatMachine::baseline()
-            .run(&mut SynthesizedTrace::new(&stat_profile, 42), TRACE_LEN);
+        let stat =
+            StatMachine::baseline().run(&mut SynthesizedTrace::new(&stat_profile, 42), TRACE_LEN);
 
         let params = ProcessorParams::baseline();
         let profile = ProfileCollector::new(&params)
             .collect(&mut trace.clone(), u64::MAX)
             .expect("profile");
-        let est = FirstOrderModel::new(params).evaluate(&profile).expect("estimate");
+        let est = FirstOrderModel::new(params)
+            .evaluate(&profile)
+            .expect("estimate");
 
         stat_err += (stat.cpi() - sim.cpi()).abs() / sim.cpi();
         model_err += (est.total_cpi() - sim.cpi()).abs() / sim.cpi();
@@ -37,7 +43,11 @@ fn statistical_simulation_and_model_agree_with_detailed_simulation() {
     stat_err /= specs.len() as f64;
     model_err /= specs.len() as f64;
     // Both methods land in the same accuracy class.
-    assert!(stat_err < 0.2, "statistical simulation error {:.1}%", stat_err * 100.0);
+    assert!(
+        stat_err < 0.2,
+        "statistical simulation error {:.1}%",
+        stat_err * 100.0
+    );
     assert!(model_err < 0.2, "model error {:.1}%", model_err * 100.0);
 }
 

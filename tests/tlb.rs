@@ -25,8 +25,8 @@ fn tlb_misses_cost_time_in_the_simulator() {
     let trace = VecTrace::record(&mut generator, TRACE_LEN);
 
     let without = Machine::new(MachineConfig::baseline()).run(&mut trace.clone());
-    let with = Machine::new(MachineConfig::baseline().with_dtlb(tiny_tlb()))
-        .run(&mut trace.clone());
+    let with =
+        Machine::new(MachineConfig::baseline().with_dtlb(tiny_tlb())).run(&mut trace.clone());
     assert!(with.dtlb_misses > 1_000, "mcf must thrash a 16-entry TLB");
     assert_eq!(without.dtlb_misses, 0);
     assert!(
@@ -51,11 +51,12 @@ fn model_tracks_the_tlb_extension() {
     assert!(profile.dtlb_miss_distribution.misses() > 1_000);
     assert_eq!(profile.dtlb_walk_latency, 120);
 
-    let est = FirstOrderModel::new(params).evaluate(&profile).expect("estimate");
+    let est = FirstOrderModel::new(params)
+        .evaluate(&profile)
+        .expect("estimate");
     assert!(est.dtlb_cpi > 0.0, "TLB component must be charged");
 
-    let sim = Machine::new(MachineConfig::baseline().with_dtlb(tiny_tlb()))
-        .run(&mut trace.clone());
+    let sim = Machine::new(MachineConfig::baseline().with_dtlb(tiny_tlb())).run(&mut trace.clone());
     let err = (est.total_cpi() - sim.cpi()).abs() / sim.cpi();
     assert!(
         err < 0.25,
@@ -74,6 +75,8 @@ fn without_a_tlb_the_component_is_zero() {
         .collect(&mut generator, 30_000)
         .expect("profile");
     assert_eq!(profile.dtlb_miss_distribution.misses(), 0);
-    let est = FirstOrderModel::new(params).evaluate(&profile).expect("estimate");
+    let est = FirstOrderModel::new(params)
+        .evaluate(&profile)
+        .expect("estimate");
     assert_eq!(est.dtlb_cpi, 0.0);
 }

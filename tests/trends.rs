@@ -24,7 +24,9 @@ fn wider_issue_prefers_shorter_pipelines() {
     let study = PipelineStudy::paper();
     let mut previous = u32::MAX;
     for width in [2u32, 3, 4, 8] {
-        let best = study.optimal_depth(width, 1..=140).expect("non-empty sweep");
+        let best = study
+            .optimal_depth(width, 1..=140)
+            .expect("non-empty sweep");
         assert!(
             best <= previous,
             "width {width}: optimum {best} should not exceed the narrower machine's {previous}"
