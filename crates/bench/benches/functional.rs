@@ -56,8 +56,13 @@ fn functional_toolchain(c: &mut Criterion) {
             let mut p = Gshare::new(13);
             let mut correct = 0u64;
             for inst in trace.insts() {
-                if inst.op.is_cond_branch() && p.observe(inst.pc, inst.branch.unwrap().taken) {
-                    correct += 1;
+                // Conditional branches without an outcome record are
+                // skipped, not unwrapped: a malformed trace must not
+                // panic the benchmark harness.
+                if let (true, Some(branch)) = (inst.op.is_cond_branch(), inst.branch) {
+                    if p.observe(inst.pc, branch.taken) {
+                        correct += 1;
+                    }
                 }
             }
             black_box(correct)

@@ -1,5 +1,7 @@
 //! Shared plumbing for the figure-regeneration binaries.
 
+use fosm_branch::PredictorConfig;
+use fosm_cache::HierarchyConfig;
 use fosm_core::model::{Estimate, FirstOrderModel};
 use fosm_core::params::ProcessorParams;
 use fosm_core::profile::{ProfileCollector, ProgramProfile};
@@ -142,10 +144,32 @@ pub fn simulate(config: &MachineConfig, trace: &VecTrace) -> SimReport {
     Machine::new(config.clone()).run(&mut trace.replay())
 }
 
-/// Collects the functional-level profile the model consumes.
+/// Collects the functional-level profile the model consumes, under the
+/// paper's baseline cache hierarchy and predictor.
 pub fn profile(params: &ProcessorParams, name: &str, trace: &VecTrace) -> ProgramProfile {
+    profile_with(
+        params,
+        &HierarchyConfig::baseline(),
+        PredictorConfig::baseline(),
+        name,
+        trace,
+    )
+}
+
+/// Collects a profile under an explicit cache hierarchy and branch
+/// predictor — the differential-validation harness profiles each
+/// machine variant (ideal, branch-only, …) on identical inputs.
+pub fn profile_with(
+    params: &ProcessorParams,
+    hierarchy: &HierarchyConfig,
+    predictor: PredictorConfig,
+    name: &str,
+    trace: &VecTrace,
+) -> ProgramProfile {
     let _span = fosm_obs::span("profile");
     ProfileCollector::new(params)
+        .with_hierarchy(*hierarchy)
+        .with_predictor(predictor)
         .with_name(name)
         .collect(&mut trace.replay(), u64::MAX)
         .expect("profile collection on a recorded trace succeeds")

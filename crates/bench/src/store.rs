@@ -28,6 +28,8 @@ use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
+use fosm_branch::PredictorConfig;
+use fosm_cache::HierarchyConfig;
 use fosm_core::params::ProcessorParams;
 use fosm_core::profile::ProgramProfile;
 use fosm_sim::{MachineConfig, SimReport};
@@ -162,11 +164,36 @@ impl ArtifactStore {
         )
     }
 
-    /// The functional profile for `(trace, params, name)`, collecting
-    /// it on first use.
+    /// The functional profile for `(trace, params, name)` under the
+    /// baseline hierarchy and predictor, collecting it on first use.
     pub fn profile(
         &self,
         params: &ProcessorParams,
+        name: &str,
+        spec: &BenchmarkSpec,
+        n: u64,
+        seed: u64,
+    ) -> Arc<ProgramProfile> {
+        self.profile_with(
+            params,
+            &HierarchyConfig::baseline(),
+            PredictorConfig::baseline(),
+            name,
+            spec,
+            n,
+            seed,
+        )
+    }
+
+    /// The functional profile under an explicit cache hierarchy and
+    /// branch predictor, keyed by the full functional configuration so
+    /// machine variants (ideal, branch-only, …) never collide.
+    #[allow(clippy::too_many_arguments)]
+    pub fn profile_with(
+        &self,
+        params: &ProcessorParams,
+        hierarchy: &HierarchyConfig,
+        predictor: PredictorConfig,
         name: &str,
         spec: &BenchmarkSpec,
         n: u64,
@@ -178,10 +205,10 @@ impl ArtifactStore {
             &self.profile_traffic,
             (
                 trace_key(spec, n, seed),
-                format!("{params:?}"),
+                format!("{params:?}|{hierarchy:?}|{predictor:?}"),
                 name.to_string(),
             ),
-            || harness::profile(params, name, &trace),
+            || harness::profile_with(params, hierarchy, predictor, name, &trace),
         )
     }
 

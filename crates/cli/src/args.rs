@@ -4,6 +4,9 @@
 use std::collections::BTreeMap;
 use std::str::FromStr;
 
+/// Flags that take no value (`--ideal` style).
+const BOOLEAN_FLAGS: &[&str] = &["ideal", "fu", "check", "statsim"];
+
 /// Parsed command-line arguments: positionals in order, flags by name.
 #[derive(Debug, Clone, Default)]
 pub struct Parsed {
@@ -19,8 +22,7 @@ impl Parsed {
         let mut iter = args.iter().peekable();
         while let Some(arg) = iter.next() {
             if let Some(name) = arg.strip_prefix("--") {
-                if name == "ideal" || name == "fu" {
-                    // Boolean flags.
+                if BOOLEAN_FLAGS.contains(&name) {
                     parsed.flags.insert(name.to_string(), "true".into());
                     continue;
                 }
@@ -92,6 +94,14 @@ mod tests {
         let p = parse(&["t.trc", "--ideal"]);
         assert!(p.has("ideal"));
         assert_eq!(p.positional(0, "trace").unwrap(), "t.trc");
+    }
+
+    #[test]
+    fn boolean_validate_flags_take_no_value() {
+        let p = parse(&["--check", "--statsim", "--insts", "5000"]);
+        assert!(p.has("check"));
+        assert!(p.has("statsim"));
+        assert_eq!(p.flag_or("insts", 0u64).unwrap(), 5_000);
     }
 
     #[test]

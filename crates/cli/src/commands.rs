@@ -8,6 +8,7 @@ use fosm_isa::FuPool;
 use fosm_sim::{ClusterConfig, FetchBufferConfig, Machine, MachineConfig, Steering};
 use fosm_trace::io::{TraceFileReader, TraceFileWriter};
 use fosm_trace::{TraceSource, TraceStats};
+use fosm_validate::ToleranceSpec;
 use fosm_workloads::{BenchmarkSpec, WorkloadGenerator};
 
 use crate::args::Parsed;
@@ -257,4 +258,190 @@ pub fn bench_list() -> Result<(), String> {
         );
     }
     Ok(())
+}
+
+/// `fosm validate [--insts N] [--seed S] [--threads N] [--bench name]
+/// [--tol overrides] [--baseline tolerances.json] [--check]
+/// [--report out.json] [--statsim] [--fuzz N] [--fuzz-seed S]
+/// [machine flags]`
+///
+/// Runs the differential validation harness: the analytical model, the
+/// detailed simulator's idealization variants, and (with `--statsim`)
+/// the statistical simulator on identical inputs, gating each CPI
+/// component against tolerance bands. `--check` turns violations into
+/// a non-zero exit (the CI accuracy gate); `--fuzz N` runs the
+/// differential fuzzer for `N` random machines instead of the sweep.
+pub fn validate(args: Parsed) -> Result<(), String> {
+    let params = machine_params(&args)?;
+    let config = MachineConfig {
+        width: params.width,
+        win_size: params.win_size,
+        rob_size: params.rob_size,
+        pipe_depth: params.pipe_depth,
+        l2_latency: params.l2_latency,
+        mem_latency: params.mem_latency,
+        ..MachineConfig::baseline()
+    };
+    config.validate()?;
+    let insts: u64 = args.flag_or("insts", 120_000u64)?;
+    let seed: u64 = args.flag_or("seed", 42u64)?;
+    let threads: usize = args
+        .flag_or("threads", fosm_bench::par::available_threads())?
+        .max(1);
+    let store = fosm_bench::store::ArtifactStore::global();
+    if let Some(json) = args.flag("fuzz-repro") {
+        return fuzz_repro(store, json, insts);
+    }
+
+    // Tolerances: the committed baseline file (or the built-in gate),
+    // then ad-hoc `--tol` overrides on top.
+    let mut tol = match args.flag("baseline") {
+        Some(path) => {
+            let json = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read tolerance baseline {path}: {e}"))?;
+            serde_json::from_str::<ToleranceSpec>(&json)
+                .map_err(|e| format!("malformed tolerance baseline {path}: {e}"))?
+        }
+        None => ToleranceSpec::gate(),
+    };
+    if let Some(fuzz_cases) = args.flag("fuzz") {
+        let cases: u64 = fuzz_cases.parse().map_err(|e| format!("bad --fuzz: {e}"))?;
+        let mut fuzz_tol = ToleranceSpec::fuzz();
+        if let Some(overrides) = args.flag("tol") {
+            fuzz_tol.apply_overrides(overrides)?;
+        }
+        return run_fuzz(store, &args, cases, insts, fuzz_tol);
+    }
+    if let Some(overrides) = args.flag("tol") {
+        tol.apply_overrides(overrides)?;
+    }
+
+    let cases = match args.flag("bench") {
+        Some(name) => vec![fosm_validate::CaseSpec {
+            config: config.clone(),
+            bench: find_benchmark(name)?,
+            trace_len: insts,
+            seed,
+        }],
+        None => fosm_validate::CaseSpec::suite(&config, insts, seed),
+    };
+    let options = fosm_validate::differential::SweepOptions {
+        threads,
+        statsim: args.has("statsim"),
+    };
+    let results = fosm_validate::differential::sweep(store, &cases, &tol, options);
+    let report = fosm_validate::ValidationReport::new(insts, seed, tol, results);
+    report.observe_into(fosm_obs::global());
+
+    print!("{}", report.render_table());
+    if args.has("statsim") {
+        print_statsim_comparison(&report);
+    }
+    if let Some(path) = args.flag("report") {
+        let json = report.to_json().map_err(|e| e.to_string())?;
+        std::fs::write(path, json).map_err(|e| format!("cannot write report {path}: {e}"))?;
+        println!("report written to {path}");
+    }
+    if args.has("check") && !report.passed() {
+        let violations = report.violations();
+        for v in &violations {
+            eprintln!(
+                "VIOLATION {}/{}: model {:.4} vs sim {:.4} (allowed ±{:.4})",
+                v.bench,
+                v.component.name(),
+                v.model,
+                v.sim,
+                v.allowed
+            );
+        }
+        return Err(format!(
+            "accuracy gate failed: {} component(s) outside tolerance",
+            violations.len()
+        ));
+    }
+    Ok(())
+}
+
+fn run_fuzz(
+    store: &fosm_bench::store::ArtifactStore,
+    args: &Parsed,
+    cases: u64,
+    insts: u64,
+    tol: ToleranceSpec,
+) -> Result<(), String> {
+    let fuzz_seed: u64 = args.flag_or("fuzz-seed", 0xF05Au64)?;
+    println!(
+        "fuzzing {cases} random machine/workload draws ({insts} insts each, seed {fuzz_seed:#x})"
+    );
+    match fosm_validate::fuzz::run(store, cases, insts, fuzz_seed, &tol) {
+        fosm_validate::FuzzOutcome::Clean { cases } => {
+            println!("fuzz clean: {cases} cases within invariants");
+            Ok(())
+        }
+        fosm_validate::FuzzOutcome::Failed(failure) => {
+            eprintln!(
+                "fuzz failure after {} passing case(s): {}",
+                failure.cases_passed, failure.reason
+            );
+            eprintln!("  original: {:?}", failure.case);
+            eprintln!("  shrunk:   {:?}", failure.shrunk);
+            eprintln!(
+                "  reproduce with: fosm validate --fuzz-repro '{}'",
+                serde_json::to_string(&failure.shrunk).map_err(|e| e.to_string())?
+            );
+            Err("differential fuzzing found an invariant violation".into())
+        }
+    }
+}
+
+/// `fosm validate --fuzz-repro '<json>'` support: replays one fuzz
+/// case (as printed by a failing fuzz run) and reports its status.
+fn fuzz_repro(
+    store: &fosm_bench::store::ArtifactStore,
+    json: &str,
+    insts: u64,
+) -> Result<(), String> {
+    let case: fosm_validate::FuzzCase =
+        serde_json::from_str(json).map_err(|e| format!("malformed fuzz case: {e}"))?;
+    let tol = ToleranceSpec::fuzz();
+    match fosm_validate::fuzz::check(store, &case, insts, &tol) {
+        Ok(()) => {
+            println!("case passes all invariants: {case:?}");
+            Ok(())
+        }
+        Err(reason) => Err(format!("case fails: {reason}")),
+    }
+}
+
+fn print_statsim_comparison(report: &fosm_validate::ValidationReport) {
+    use fosm_validate::Component;
+    println!("\nrelated-work baseline (statistical simulation) on the same inputs:");
+    println!(
+        "{:<8} {:>8} {:>9} {:>7} {:>9} {:>7}",
+        "bench", "sim CPI", "stat CPI", "err%", "model CPI", "err%"
+    );
+    let mut stat_pairs = Vec::new();
+    let mut model_pairs = Vec::new();
+    for case in &report.cases {
+        let Some(stat_cpi) = case.statsim_cpi else {
+            continue;
+        };
+        let total = case.row(Component::Total);
+        println!(
+            "{:<8} {:>8.3} {:>9.3} {:>6.1}% {:>9.3} {:>6.1}%",
+            case.bench,
+            total.sim,
+            stat_cpi,
+            100.0 * (stat_cpi - total.sim) / total.sim,
+            total.model,
+            total.error_pct()
+        );
+        stat_pairs.push((total.sim, stat_cpi));
+        model_pairs.push((total.sim, total.model));
+    }
+    println!(
+        "\navg |error|: statistical simulation {:.1}%, first-order model {:.1}%",
+        fosm_bench::harness::mean_abs_error_pct(&stat_pairs),
+        fosm_bench::harness::mean_abs_error_pct(&model_pairs)
+    );
 }

@@ -68,6 +68,7 @@ fn run(argv: Vec<String>) -> Result<(), String> {
         "profile" => commands::profile(args::Parsed::new(rest)?),
         "model" => commands::model(args::Parsed::new(rest)?),
         "simulate" => commands::simulate(args::Parsed::new(rest)?),
+        "validate" => commands::validate(args::Parsed::new(rest)?),
         "bench-list" => commands::bench_list(),
         "help" | "--help" | "-h" => {
             print_usage();
@@ -87,6 +88,7 @@ USAGE:
     fosm profile <trace.trc> [-o <profile.json>] [machine flags]
     fosm model   <profile.json> [machine flags]
     fosm simulate <trace.trc> [machine flags] [--ideal]
+    fosm validate [validation flags] [machine flags]
     fosm bench-list
 
     Any command also accepts --metrics <path> to write a JSON run
@@ -100,6 +102,20 @@ MACHINE FLAGS (default: the paper's baseline):
     --depth N     front-end stages       (5)
     --l2 N        L2 latency, cycles     (8)
     --mem N       memory latency, cycles (200)
+
+VALIDATION FLAGS (fosm validate):
+    --insts N       trace length per workload          (120000)
+    --seed S        workload generator seed            (42)
+    --threads N     parallel validation workers        (all cores)
+    --bench NAME    validate one workload only         (all 12)
+    --tol SPEC      tolerance overrides, e.g. branch=0.3:0.05,total=0.1
+    --baseline P    load tolerance bands from a JSON file
+    --check         exit non-zero on any out-of-band component
+    --report P      write the full JSON validation report to P
+    --statsim       also run the statistical-simulation baseline
+    --fuzz N        differential-fuzz N random machines instead
+    --fuzz-seed S   fuzzer RNG seed
+    --fuzz-repro J  replay one fuzz case from its JSON form
 
 EXTENSION FLAGS (paper §7 features):
     --prefetch N  next-line data prefetch lines      (profile, simulate)

@@ -153,6 +153,145 @@ fn extension_flags_flow_through() {
 }
 
 #[test]
+fn validate_runs_the_differential_harness() {
+    // One benchmark at a short trace keeps this fast; the full
+    // 12-workload sweep at the tuned length is the CI accuracy gate.
+    let out = fosm(&[
+        "validate",
+        "--bench",
+        "gzip",
+        "--insts",
+        "30000",
+        "--threads",
+        "1",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(text.contains("component status"), "{text}");
+    assert!(text.contains("gzip"), "{text}");
+    assert!(text.contains("mean |total CPI error|"), "{text}");
+}
+
+#[test]
+fn validate_check_gates_on_tolerance() {
+    // An absurdly tight band must trip the gate and exit non-zero...
+    let out = fosm(&[
+        "validate",
+        "--bench",
+        "gzip",
+        "--insts",
+        "30000",
+        "--threads",
+        "1",
+        "--tol",
+        "all=0.0001:0",
+        "--check",
+    ]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(err.contains("accuracy gate failed"), "{err}");
+    assert!(err.contains("VIOLATION"), "{err}");
+
+    // ...and a wide-open band must pass.
+    let out = fosm(&[
+        "validate",
+        "--bench",
+        "gzip",
+        "--insts",
+        "30000",
+        "--threads",
+        "1",
+        "--tol",
+        "all=10:10",
+        "--check",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn validate_writes_schema_versioned_reports() {
+    let report = tmp("validate-report.json");
+    let out = fosm(&[
+        "validate",
+        "--bench",
+        "mcf",
+        "--insts",
+        "30000",
+        "--threads",
+        "1",
+        "--report",
+        &report,
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json = std::fs::read_to_string(&report).expect("report written");
+    let parsed =
+        fosm_validate::ValidationReport::from_json(&json).expect("schema-versioned report parses");
+    assert_eq!(parsed.cases.len(), 1);
+    assert_eq!(parsed.cases[0].bench, "mcf");
+    assert!(!parsed.cases[0].components.is_empty());
+    let _ = std::fs::remove_file(&report);
+}
+
+#[test]
+fn validate_reads_tolerance_baselines() {
+    // The committed CI baseline must parse and drive the gate.
+    let baseline = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../validation/tolerances.json"
+    );
+    let out = fosm(&[
+        "validate",
+        "--bench",
+        "gzip",
+        "--insts",
+        "30000",
+        "--threads",
+        "1",
+        "--baseline",
+        baseline,
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // A missing or malformed baseline is a hard error.
+    let out = fosm(&["validate", "--baseline", "/nope/missing.json"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read tolerance baseline"));
+}
+
+#[test]
+fn validate_replays_fuzz_reproducers() {
+    // The checked-in regression reproducer passes post-fix.
+    let case = r#"{"width":1,"win_size":48,"rob_size":180,"pipe_depth":5,"l2_latency":8,"mem_latency":200,"bench_index":6,"seed":0}"#;
+    let out = fosm(&["validate", "--fuzz-repro", case, "--insts", "30000"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("passes all invariants"));
+
+    // Garbage JSON is rejected with a parse error, not a panic.
+    let out = fosm(&["validate", "--fuzz-repro", "{not json"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("malformed fuzz case"));
+}
+
+#[test]
 fn stats_rejects_garbage_files() {
     let path = tmp("garbage.trc");
     std::fs::write(&path, b"this is not a trace").unwrap();

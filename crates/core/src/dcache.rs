@@ -23,20 +23,60 @@ pub fn isolated_penalty_with_fill(
     (params.mem_latency as f64 - rob_fill - drain + ramp).max(0.0)
 }
 
-/// First-order estimate of `rob_fill`: the time to finish filling the
-/// ROB behind a missing load that issues at steady state.
+/// First-order estimate of `rob_fill`: the time dispatch keeps going
+/// behind a missing load that issues at steady state.
 ///
 /// At the miss, the ROB holds roughly the steady-state residency
 /// population — the issue-window occupancy plus the completed-but-
 /// unretired instructions behind the in-order retire lag (≈ one
 /// average latency's worth of issue) — and dispatch fills the rest at
 /// the machine width.
+///
+/// Dispatch stalls at whichever structure fills first, and that is not
+/// always the ROB: instructions that depend on the outstanding load
+/// cannot issue, so they accumulate in the issue window. Without that
+/// cap a narrow machine with a large ROB (say width 1, ROB 180) would
+/// claim `(180 − occ)/1 ≈ 178` cycles of a 200-cycle miss hidden —
+/// differential fuzzing against the detailed simulator showed the
+/// window clogs an order of magnitude sooner on dependence-heavy code.
+///
+/// How fast the window clogs depends on the load's dependence chain's
+/// share of the stream, for which the IW characteristic gives a
+/// first-order proxy: a program with issue-rate slack
+/// `rate(win)/width > 1` keeps issuing much of the refilled
+/// independent work at dispatch speed, so less of each dispatched
+/// group sticks in the window and the clog horizon stretches with the
+/// slack. The stretch is sublinear (`√slack` here) because the fit's
+/// latency-1 ILP overstates what is issuable behind a *miss* — the
+/// load's pointer-chasing dependents and any overlapping misses'
+/// dependents don't show up in it. (The same fuzzer flagged a linear
+/// stretch as 5× optimistic on mcf and no stretch as 2.6× pessimistic
+/// on a high-ILP workload, both at width 1.)
 pub fn estimated_rob_fill(iw: &IwCharacteristic, params: &ProcessorParams) -> f64 {
     let steady = iw.steady_state_ipc(params.win_size, params.width);
-    let occupancy = (steady_occupancy(iw, params.width, params.win_size)
-        + steady * iw.avg_latency())
-    .min(params.rob_size as f64);
-    (params.rob_size as f64 - occupancy) / params.width as f64
+    let win_occupancy = steady_occupancy(iw, params.width, params.win_size);
+    let rob_occupancy = (win_occupancy + steady * iw.avg_latency()).min(params.rob_size as f64);
+    let rob_room = params.rob_size as f64 - rob_occupancy;
+    // Dispatch room before the window clogs: the initially free slots
+    // plus those the (non-replenished) drain walk frees by issuing,
+    // stretched by the ILP slack.
+    let slack = (iw.unlimited_issue_rate(params.win_size as f64) / params.width as f64)
+        .max(1.0)
+        .sqrt();
+    let win_room = ((params.win_size as f64 - win_occupancy).max(0.0)
+        + win_drain(iw, params.width, params.win_size).issued)
+        * slack;
+    // Post-miss dispatch never hides more than half the miss delay:
+    // past that point the dispatched stream is dominated by work that
+    // is itself waiting on the miss cluster (subsequent missing loads,
+    // their dependents), which is deferral, not progress. Without this
+    // ceiling a large-ROB narrow machine (width 1, ROB 233, ∆ 200)
+    // computes fill > ∆ and calls long misses free, while the detailed
+    // simulator still pays ~¼ of ∆ per miss there — and across every
+    // geometry the differential fuzzer explored, the simulator never
+    // hid much beyond half the delay.
+    let fill = rob_room.min(win_room) / params.width as f64;
+    fill.min(params.mem_latency as f64 / 2.0)
 }
 
 /// Penalty for an isolated long miss by eq. (6), with [`estimated_rob_fill`]
@@ -76,6 +116,7 @@ pub fn isolated_penalty_paper(iw: &IwCharacteristic, params: &ProcessorParams) -
 /// Misses that overlap within a ROB's worth of instructions pay the
 /// memory latency once per *cluster*, so the average per-miss penalty
 /// shrinks by the distribution's overlap factor.
+///
 pub fn penalty_per_miss(
     iw: &IwCharacteristic,
     params: &ProcessorParams,
@@ -110,29 +151,44 @@ mod tests {
     fn isolated_is_approximately_memory_latency() {
         // Paper observation 3: the isolated long-miss penalty is
         // essentially the miss delay — the rob_fill absorption takes a
-        // first-order bite of (rob_size - occupancy)/width ≈ 27 cycles.
+        // first-order bite (window-capped, ≈ a dozen cycles on the
+        // baseline geometry).
         let paper = isolated_penalty_paper(&sqrt_iw(), &ProcessorParams::baseline());
         assert!((198.0..=202.0).contains(&paper), "paper penalty {paper}");
         let refined = isolated_penalty(&sqrt_iw(), &ProcessorParams::baseline());
         assert!(
-            (165.0..=185.0).contains(&refined),
+            (175.0..=195.0).contains(&refined),
             "refined penalty {refined}"
         );
         assert!(refined < paper);
     }
 
     #[test]
-    fn rob_fill_estimate_shrinks_with_occupancy() {
-        // On an unsaturated machine the window is the occupancy; a
-        // bigger window leaves less of the ROB to fill behind the load.
+    fn rob_fill_is_window_capped() {
+        // Dispatch behind a blocked load stalls when the issue window
+        // clogs with its dependents, so a bigger window buys more fill
+        // time, and a huge ROB on a narrow machine does not translate
+        // into a near-total hiding of the miss (the width-1/ROB-180
+        // geometry the differential fuzzer flagged).
         let iw = sqrt_iw();
         let mut small = ProcessorParams::baseline();
         small.win_size = 9; // sqrt(9) = 3 < width 4: unsaturated
         let mut big = ProcessorParams::baseline();
         big.win_size = 16;
-        assert!(estimated_rob_fill(&iw, &big) < estimated_rob_fill(&iw, &small));
-        // Both leave most of the 128-entry ROB to fill.
-        assert!(estimated_rob_fill(&iw, &small) > 20.0);
+        assert!(estimated_rob_fill(&iw, &big) > estimated_rob_fill(&iw, &small));
+        assert!(estimated_rob_fill(&iw, &small) > 0.0);
+
+        // A dependence-limited program (issue rate barely above 1
+        // regardless of window size) on a narrow machine with a large
+        // ROB: the window clogs with the load's dependents long before
+        // the ROB fills.
+        let dep_limited = IwCharacteristic::new(PowerLaw::new(1.0, 0.05).unwrap(), 1.0).unwrap();
+        let mut narrow = ProcessorParams::baseline();
+        narrow.width = 1;
+        narrow.rob_size = 180;
+        let fill = estimated_rob_fill(&dep_limited, &narrow);
+        let uncapped = (180.0 - steady_occupancy(&dep_limited, 1, narrow.win_size)) / 1.0;
+        assert!(fill < uncapped / 2.0, "fill {fill} vs uncapped {uncapped}");
     }
 
     #[test]

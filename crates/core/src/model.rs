@@ -95,6 +95,7 @@ pub struct FirstOrderModel {
     use_measured_bursts: bool,
     paper_rob_fill: bool,
     independent_grouping: bool,
+    paper_icache: bool,
     fu: Option<FuPool>,
     fetch_buffer_entries: u32,
     cluster_penalty: f64,
@@ -111,6 +112,7 @@ impl FirstOrderModel {
             use_measured_bursts: false,
             paper_rob_fill: false,
             independent_grouping: false,
+            paper_icache: false,
             fu: None,
             fetch_buffer_entries: 0,
             cluster_penalty: 0.0,
@@ -155,6 +157,7 @@ impl FirstOrderModel {
     pub fn with_paper_simplifications(mut self) -> Self {
         self.paper_rob_fill = true;
         self.independent_grouping = true;
+        self.paper_icache = true;
         self
     }
 
@@ -169,6 +172,15 @@ impl FirstOrderModel {
     /// `rob_fill`).
     pub fn with_independent_grouping(mut self) -> Self {
         self.independent_grouping = true;
+        self
+    }
+
+    /// Uses the paper's eq. 4 I-cache penalty (`≈ ∆`) instead of the
+    /// refined form that subtracts the steady-time equivalent of the
+    /// work buffered in the window and front-end pipe at stall onset
+    /// (see [`crate::icache`]).
+    pub fn with_paper_icache_penalty(mut self) -> Self {
+        self.paper_icache = true;
         self
     }
 
@@ -252,13 +264,19 @@ impl FirstOrderModel {
         let branch_penalty = branch::penalty(iw, params, burst);
         let branch_cpi = branch_penalty * profile.mispredicts as f64 / n as f64;
 
-        // 3) Instruction-cache penalties (eq. 4): ≈ the miss delay,
-        // minus any slack hidden by a fetch buffer (§7 extension).
+        // 3) Instruction-cache penalties (eq. 4, refined: the work
+        // buffered ahead of the stall hides part of the delay), minus
+        // any slack hidden by a fetch buffer (§7 extension).
+        let ic_isolated = |delta: u32| {
+            if self.paper_icache {
+                icache::isolated_penalty_paper(iw, params, delta)
+            } else {
+                icache::isolated_penalty(iw, params, delta)
+            }
+        };
         let buffer_hide = self.fetch_buffer_entries as f64 / params.width as f64;
-        let icache_penalty =
-            (icache::isolated_penalty(iw, params, params.l2_latency) - buffer_hide).max(0.0);
-        let icache_long_penalty =
-            (icache::isolated_penalty(iw, params, params.mem_latency) - buffer_hide).max(0.0);
+        let icache_penalty = (ic_isolated(params.l2_latency) - buffer_hide).max(0.0);
+        let icache_long_penalty = (ic_isolated(params.mem_latency) - buffer_hide).max(0.0);
         let icache_l1_cpi = icache_penalty * profile.icache_short_misses as f64 / n as f64;
         let icache_l2_cpi = icache_long_penalty * profile.icache_long_misses as f64 / n as f64;
 
@@ -296,6 +314,34 @@ impl FirstOrderModel {
                 / n as f64
         } else {
             0.0
+        };
+
+        // 6) Cross-event overlap: the paper's eq. 1 stack is linear,
+        // but in the full machine an instruction fetch stall that
+        // lands inside a long data-miss stall is already paid for —
+        // fetch was going to starve behind the blocked ROB anyway.
+        // To first order, data stalls occupy `(dcache + dtlb)/total`
+        // of all cycles, so that fraction of the I-cache adder comes
+        // off. The correction vanishes where the components are
+        // measured in isolation (an ideal data hierarchy has
+        // dcache_cpi = 0), keeping per-component differential
+        // validation untouched; on the full machine it recovers the
+        // non-additivity the detailed simulator shows when both miss
+        // sources are heavy.
+        let (icache_l1_cpi, icache_l2_cpi) = if self.paper_icache {
+            (icache_l1_cpi, icache_l2_cpi)
+        } else {
+            let linear_total = steady_state_cpi
+                + branch_cpi
+                + icache_l1_cpi
+                + icache_l2_cpi
+                + dcache_cpi
+                + dtlb_cpi;
+            let data_share = ((dcache_cpi + dtlb_cpi) / linear_total).clamp(0.0, 1.0);
+            (
+                icache_l1_cpi * (1.0 - data_share),
+                icache_l2_cpi * (1.0 - data_share),
+            )
         };
 
         Ok(Estimate {
@@ -353,7 +399,11 @@ mod tests {
 
     #[test]
     fn components_add_linearly() {
-        let model = FirstOrderModel::new(ProcessorParams::baseline());
+        // Paper eq. 1 is a strictly linear stack; the refined model
+        // discounts the I-cache adder by the data-stall share, so the
+        // exact-additivity contract holds for the paper-faithful
+        // configuration.
+        let model = FirstOrderModel::new(ProcessorParams::baseline()).with_paper_icache_penalty();
         let both = model.evaluate(&profile(10_000, 5_000, 1_000)).unwrap();
         let only_br = model.evaluate(&profile(10_000, 0, 0)).unwrap();
         let only_ic = model.evaluate(&profile(0, 5_000, 0)).unwrap();
@@ -364,8 +414,29 @@ mod tests {
     }
 
     #[test]
+    fn icache_stalls_inside_data_stalls_are_discounted() {
+        // The refined model charges less for I-cache misses when long
+        // data misses occupy a share of the cycles (the stack is
+        // sub-additive, as the detailed simulator shows), and exactly
+        // the isolated amount when the data hierarchy is clean.
+        let model = FirstOrderModel::new(ProcessorParams::baseline());
+        let alone = model.evaluate(&profile(0, 5_000, 0)).unwrap();
+        let with_data = model.evaluate(&profile(0, 5_000, 1_000)).unwrap();
+        assert!(
+            with_data.icache_l1_cpi < alone.icache_l1_cpi,
+            "{} !< {}",
+            with_data.icache_l1_cpi,
+            alone.icache_l1_cpi
+        );
+        // The discount never exceeds the data-stall share itself.
+        let share = (with_data.dcache_cpi + with_data.dtlb_cpi) / with_data.total_cpi();
+        assert!(with_data.icache_l1_cpi >= alone.icache_l1_cpi * (1.0 - share) - 1e-12);
+    }
+
+    #[test]
     fn penalties_match_paper_magnitudes() {
         let est = FirstOrderModel::new(ProcessorParams::baseline())
+            .with_paper_icache_penalty()
             .evaluate(&profile(10_000, 5_000, 1_000))
             .unwrap();
         // §5: branch ≈ 7.5 cycles, icache ≈ 8; dcache ≈ ∆D = 200 minus
@@ -385,6 +456,24 @@ mod tests {
             "{}",
             est.dcache_penalty_per_miss
         );
+    }
+
+    #[test]
+    fn refined_icache_penalty_hides_buffered_work() {
+        // The default model subtracts the steady-time equivalent of
+        // the window + front-end pipe reserve from each I-miss stall,
+        // so its penalty is at most the paper's `≈ ∆` form.
+        let prof = profile(0, 5_000, 0);
+        let refined = FirstOrderModel::new(ProcessorParams::baseline())
+            .evaluate(&prof)
+            .unwrap();
+        let paper = FirstOrderModel::new(ProcessorParams::baseline())
+            .with_paper_icache_penalty()
+            .evaluate(&prof)
+            .unwrap();
+        assert!(refined.icache_penalty <= paper.icache_penalty);
+        assert!(refined.icache_l1_cpi <= paper.icache_l1_cpi);
+        assert!(refined.icache_l1_cpi >= 0.0);
     }
 
     #[test]

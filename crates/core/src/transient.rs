@@ -54,14 +54,39 @@ pub fn steady_occupancy(iw: &IwCharacteristic, width: u32, win_size: u32) -> f64
     iw.saturation_window(width).min(win_size as f64)
 }
 
+/// An empty transient: zero cycles, zero penalty. Returned for
+/// degenerate machines (no window, no width, or a steady rate that is
+/// zero or non-finite) where a walk would divide by the steady rate.
+fn degenerate() -> TransientProfile {
+    TransientProfile {
+        rates: Vec::new(),
+        penalty: 0.0,
+        issued: 0.0,
+    }
+}
+
+/// Whether a transient walk of this machine is well-defined: both
+/// structural parameters non-zero and a strictly positive, finite
+/// steady-state issue rate to normalize against.
+fn walkable(steady: f64, width: u32, win_size: u32) -> bool {
+    width > 0 && win_size > 0 && steady.is_finite() && steady > 0.0
+}
+
 /// Walks the window drain after useful fetch stops (paper §4.1).
 ///
 /// Starting from the steady occupancy, each cycle issues `I(W)`
 /// instructions and removes them from the window, until only the
 /// resolving instruction remains. The penalty is
 /// `cycles − issued / steady_rate`.
+///
+/// Degenerate machines (`win_size == 0`, `width == 0`, or a steady
+/// rate of zero) have no transient to walk and yield a zero-cycle,
+/// zero-penalty profile instead of `NaN` from the normalization.
 pub fn win_drain(iw: &IwCharacteristic, width: u32, win_size: u32) -> TransientProfile {
     let steady = iw.steady_state_ipc(win_size, width);
+    if !walkable(steady, width, win_size) {
+        return degenerate();
+    }
     let mut w = steady_occupancy(iw, width, win_size);
     let mut rates = Vec::new();
     let mut issued = 0.0;
@@ -90,8 +115,14 @@ pub fn win_drain(iw: &IwCharacteristic, width: u32, win_size: u32) -> TransientP
 /// Each cycle dispatch inserts up to `width` instructions (bounded by
 /// the window size) and issue removes `I(W)`; the penalty accumulates
 /// the shortfall `steady_rate − I(W)` until the rate converges.
+///
+/// Degenerate machines yield a zero-penalty profile, as in
+/// [`win_drain`].
 pub fn ramp_up(iw: &IwCharacteristic, width: u32, win_size: u32) -> TransientProfile {
     let steady = iw.steady_state_ipc(win_size, width);
+    if !walkable(steady, width, win_size) {
+        return degenerate();
+    }
     let mut w = 0.0f64;
     let mut rates = Vec::new();
     let mut issued = 0.0;
@@ -276,6 +307,32 @@ mod tests {
         // Dead time = ∆I − drain overlap, nonzero for an 8-cycle miss.
         assert!((1..=8).contains(&zeros), "zeros {zeros}");
         assert!((curve.last().unwrap() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_machines_yield_finite_zero_penalties() {
+        let iw = sqrt_iw();
+        // No window, no width: nothing to walk, and — crucially — no
+        // NaN from the `issued / steady` normalization.
+        for (width, win) in [(4u32, 0u32), (0, 48), (0, 0)] {
+            for walk in [win_drain(&iw, width, win), ramp_up(&iw, width, win)] {
+                assert_eq!(walk.penalty, 0.0, "width {width} win {win}");
+                assert!(walk.penalty.is_finite());
+                assert_eq!(walk.duration(), 0);
+                assert_eq!(walk.issued, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn one_entry_window_still_walks_cleanly() {
+        // The smallest non-degenerate machine: steady rate is I(1) and
+        // the walks terminate immediately with finite penalties.
+        let iw = sqrt_iw();
+        let drain = win_drain(&iw, 1, 1);
+        let ramp = ramp_up(&iw, 1, 1);
+        assert!(drain.penalty.is_finite() && drain.penalty >= 0.0);
+        assert!(ramp.penalty.is_finite() && ramp.penalty >= 0.0);
     }
 
     #[test]

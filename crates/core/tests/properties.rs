@@ -86,19 +86,26 @@ proptest! {
         prop_assert!(burst <= iso + 1e-9);
     }
 
-    /// The icache penalty is within drain/ramp of the miss delay and
-    /// completely independent of the pipeline depth.
+    /// The paper-form icache penalty is within drain/ramp of the miss
+    /// delay and completely independent of the pipeline depth; the
+    /// refined penalty never exceeds it and shrinks (weakly) as the
+    /// front-end pipe deepens, since a deeper pipe buffers more work.
     #[test]
     fn icache_penalty_properties(iw in iw_strategy(), delta in 2u32..64) {
         let p5 = ProcessorParams::baseline();
         let p40 = ProcessorParams::baseline().with_pipe_depth(40);
-        let a = icache::isolated_penalty(&iw, &p5, delta);
-        let b = icache::isolated_penalty(&iw, &p40, delta);
+        let a = icache::isolated_penalty_paper(&iw, &p5, delta);
+        let b = icache::isolated_penalty_paper(&iw, &p40, delta);
         prop_assert!((a - b).abs() < 1e-9, "pipe depth must not matter");
         let drain = win_drain(&iw, p5.width, p5.win_size).penalty;
         let ramp = ramp_up(&iw, p5.width, p5.win_size).penalty;
         prop_assert!(a <= delta as f64 + ramp + 1e-9);
         prop_assert!(a >= (delta as f64 - drain).max(0.0) - 1e-9);
+        let r5 = icache::isolated_penalty(&iw, &p5, delta);
+        let r40 = icache::isolated_penalty(&iw, &p40, delta);
+        prop_assert!(r5 <= a + 1e-9, "refined must not exceed the paper form");
+        prop_assert!(r40 <= r5 + 1e-9, "deeper pipes hide more");
+        prop_assert!(r5 >= 0.0 && r40 >= 0.0);
     }
 
     /// The dcache penalty per miss never exceeds the memory latency and

@@ -126,7 +126,14 @@ impl Machine {
         let width = cfg.width as usize;
         let mut report = SimReport::default();
 
-        // Front end.
+        // Front end. The pipe holds `pipe_depth` stages of `width`
+        // slots each; when dispatch backs up (window or ROB full) the
+        // stages fill and fetch stalls. Without this bound the front
+        // end acts as an unbounded implicit fetch buffer, silently
+        // hiding I-cache-miss and branch-resolution stalls behind a
+        // cushion no real machine has (an *explicit* cushion is the
+        // opt-in `FetchBufferConfig` extension).
+        let pipe_cap = cfg.pipe_depth as usize * width;
         let mut pipe: VecDeque<PipeEntry> = VecDeque::new();
         let mut pending_inst: Option<Inst> = None;
         let mut fetch_stall_until: u64 = 0;
@@ -363,7 +370,7 @@ impl Machine {
             // pipe, as in the paper's baseline.
             if let Some(fb) = cfg.fetch_buffer {
                 let mut fed = 0;
-                while fed < width {
+                while fed < width && pipe.len() < pipe_cap {
                     let Some((inst, mispredicted)) = prefetch.pop_front() else {
                         break;
                     };
@@ -425,7 +432,7 @@ impl Machine {
                 }
             } else if !blocked_on_branch && cycle >= fetch_stall_until && !trace_done {
                 let mut fetched = 0;
-                while fetched < width {
+                while fetched < width && pipe.len() < pipe_cap {
                     let inst = match pending_inst.take() {
                         Some(i) => i,
                         None => {

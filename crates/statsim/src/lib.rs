@@ -7,7 +7,7 @@
 //! simulator. The paper positions its model as "statistical simulation,
 //! without the simulation", claiming similar overall accuracy; this
 //! crate implements the baseline so the claim can be tested (see the
-//! `statsim_compare` binary in `fosm-bench`).
+//! `statsim_compare` binary in `fosm-validate`).
 //!
 //! The flow:
 //!

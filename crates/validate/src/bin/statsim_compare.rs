@@ -1,0 +1,64 @@
+//! Related-work comparison (paper §1.2): statistical simulation vs the
+//! first-order model, both validated against detailed simulation of the
+//! real trace. The paper claims its model "performs statistical
+//! simulation, without the simulation, and overall accuracy is
+//! similar" — this binary tests that claim on top of the differential
+//! validation harness, so the detailed-simulator references, the model
+//! evaluations, and the statistical-simulation runs all share one
+//! memoizing artifact store and identical inputs.
+
+use fosm_bench::harness;
+use fosm_bench::store::ArtifactStore;
+use fosm_sim::MachineConfig;
+use fosm_validate::differential::{sweep, SweepOptions};
+use fosm_validate::{CaseSpec, Component, ToleranceSpec};
+
+fn main() {
+    let args = harness::run_args();
+    let _obs = harness::obs_session("statsim_compare", &args);
+    let n = args.trace_len;
+
+    let store = ArtifactStore::new();
+    let cases = CaseSpec::suite(&MachineConfig::baseline(), n, harness::SEED);
+    let results = sweep(
+        &store,
+        &cases,
+        &ToleranceSpec::gate(),
+        SweepOptions {
+            threads: args.threads,
+            statsim: true,
+        },
+    );
+
+    println!("Statistical simulation vs first-order model ({n} insts/benchmark)");
+    println!(
+        "{:<8} {:>8} {:>9} {:>7} {:>9} {:>7}",
+        "bench", "sim CPI", "stat CPI", "err%", "model CPI", "err%"
+    );
+    let mut stat_pairs = Vec::new();
+    let mut model_pairs = Vec::new();
+    for case in &results {
+        let total = case.row(Component::Total);
+        let stat_cpi = case
+            .statsim_cpi
+            .expect("sweep ran with SweepOptions::statsim");
+        println!(
+            "{:<8} {:>8.3} {:>9.3} {:>6.1}% {:>9.3} {:>6.1}%",
+            case.bench,
+            total.sim,
+            stat_cpi,
+            100.0 * (stat_cpi - total.sim) / total.sim,
+            total.model,
+            total.error_pct()
+        );
+        stat_pairs.push((total.sim, stat_cpi));
+        model_pairs.push((total.sim, total.model));
+    }
+    println!(
+        "\navg |error|: statistical simulation {:.1}%, first-order model {:.1}%",
+        harness::mean_abs_error_pct(&stat_pairs),
+        harness::mean_abs_error_pct(&model_pairs)
+    );
+    println!("\n(the paper's claim: the model is statistical simulation *without* the");
+    println!(" simulation step, at similar accuracy — and ~1000x faster to evaluate)");
+}

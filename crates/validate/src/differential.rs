@@ -1,0 +1,517 @@
+//! Per-component model-vs-simulator differencing.
+//!
+//! The detailed simulator reports one CPI number; the paper validates
+//! the model *per component* by simulating machine variants with
+//! exactly one miss-event source left real (its "simulation sets",
+//! §5). This module derives those variants from an arbitrary
+//! [`MachineConfig`] — not just the baseline — so every validation
+//! case, fuzz case, and CI gate uses the same methodology:
+//!
+//! | component | model value                             | simulator reference            |
+//! |-----------|-----------------------------------------|--------------------------------|
+//! | base      | steady-state CPI (ideal-cache profile)  | all-ideal variant CPI          |
+//! | branch    | eq. 2–5 branch adder                    | (bp-only − ideal) CPI          |
+//! | icache    | L1 + L2 I-miss adders                   | (icache-only − ideal) CPI      |
+//! | dcache    | eq. 6–8 long-miss adder + short-miss    | (dcache-only − ideal) CPI      |
+//! |           | `L`-folding + dTLB adder                |                                |
+//! | total     | eq. 1 total CPI                         | full-machine CPI               |
+//!
+//! The short-miss folding term needs care: the model folds short data
+//! misses into the background latency `L` (paper §4.3), so its
+//! "steady-state" CPI under a real hierarchy already contains part of
+//! what the simulator's data-cache-only variant measures as the
+//! d-cache delta. Differencing two profiles — one under the real
+//! hierarchy, one under an ideal hierarchy — splits that folding back
+//! out and attributes it to the d-cache component where the simulator
+//! puts it.
+
+use serde::{Deserialize, Serialize};
+
+use fosm_bench::harness;
+use fosm_bench::par;
+use fosm_bench::store::ArtifactStore;
+use fosm_branch::PredictorConfig;
+use fosm_cache::HierarchyConfig;
+use fosm_core::model::FirstOrderModel;
+use fosm_sim::MachineConfig;
+use fosm_workloads::BenchmarkSpec;
+
+use crate::tolerance::ToleranceSpec;
+
+/// A validated CPI component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Component {
+    /// Steady-state (background) CPI.
+    Base,
+    /// Branch-misprediction adder.
+    Branch,
+    /// Instruction-cache adder (L1 + L2).
+    ICache,
+    /// Long data-cache adder (plus short-miss folding and dTLB).
+    DCache,
+    /// Total CPI.
+    Total,
+}
+
+impl Component {
+    /// Every component, in report order.
+    pub const ALL: [Component; 5] = [
+        Component::Base,
+        Component::Branch,
+        Component::ICache,
+        Component::DCache,
+        Component::Total,
+    ];
+
+    /// Stable lower-case name (used in flags, reports, and metrics).
+    pub fn name(self) -> &'static str {
+        match self {
+            Component::Base => "base",
+            Component::Branch => "branch",
+            Component::ICache => "icache",
+            Component::DCache => "dcache",
+            Component::Total => "total",
+        }
+    }
+
+    /// Parses the stable name back to a component.
+    pub fn parse(name: &str) -> Option<Component> {
+        Component::ALL.into_iter().find(|c| c.name() == name)
+    }
+}
+
+/// One validation case: a machine configuration against one workload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CaseSpec {
+    /// Full machine configuration (the real one; idealized variants are
+    /// derived from it).
+    pub config: MachineConfig,
+    /// Workload to drive the comparison with.
+    pub bench: BenchmarkSpec,
+    /// Dynamic trace length.
+    pub trace_len: u64,
+    /// Workload generator seed.
+    pub seed: u64,
+}
+
+impl CaseSpec {
+    /// The standard sweep: one case per synthetic SPEC workload under
+    /// a shared machine configuration.
+    pub fn suite(config: &MachineConfig, trace_len: u64, seed: u64) -> Vec<CaseSpec> {
+        BenchmarkSpec::all()
+            .into_iter()
+            .map(|bench| CaseSpec {
+                config: config.clone(),
+                bench,
+                trace_len,
+                seed,
+            })
+            .collect()
+    }
+
+    /// The all-ideal variant (simulation set 1): perfect caches,
+    /// perfect branch prediction, perfect TLB.
+    pub fn ideal_variant(&self) -> MachineConfig {
+        MachineConfig {
+            hierarchy: HierarchyConfig::ideal(),
+            predictor: PredictorConfig::Ideal,
+            dtlb: None,
+            ..self.config.clone()
+        }
+    }
+
+    /// Only the branch predictor real (simulation set 3).
+    pub fn branch_variant(&self) -> MachineConfig {
+        MachineConfig {
+            predictor: self.config.predictor,
+            ..self.ideal_variant()
+        }
+    }
+
+    /// Only the instruction cache real (simulation set 4).
+    pub fn icache_variant(&self) -> MachineConfig {
+        MachineConfig {
+            hierarchy: HierarchyConfig {
+                l1i: self.config.hierarchy.l1i,
+                l1d: None,
+                l2: self.config.hierarchy.l2,
+                next_line_prefetch: 0,
+            },
+            ..self.ideal_variant()
+        }
+    }
+
+    /// Only the data side real (simulation set 5): data cache plus the
+    /// data TLB, whose misses the simulator also charges to loads.
+    pub fn dcache_variant(&self) -> MachineConfig {
+        MachineConfig {
+            hierarchy: HierarchyConfig {
+                l1i: None,
+                l1d: self.config.hierarchy.l1d,
+                l2: self.config.hierarchy.l2,
+                next_line_prefetch: self.config.hierarchy.next_line_prefetch,
+            },
+            dtlb: self.config.dtlb,
+            ..self.ideal_variant()
+        }
+    }
+}
+
+/// One component's model-vs-simulator comparison.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ComponentRow {
+    /// Which component this row measures.
+    pub component: Component,
+    /// The model's CPI contribution.
+    pub model: f64,
+    /// The simulator's reference CPI contribution.
+    pub sim: f64,
+    /// Absolute error allowed by the tolerance band.
+    pub allowed: f64,
+    /// Whether the model value is inside the band.
+    pub within: bool,
+}
+
+impl ComponentRow {
+    /// Absolute model − simulator error.
+    pub fn error(&self) -> f64 {
+        self.model - self.sim
+    }
+
+    /// Relative error in percent (0 when the reference is ~0).
+    pub fn error_pct(&self) -> f64 {
+        if self.sim.abs() < 1e-12 {
+            0.0
+        } else {
+            100.0 * (self.model - self.sim) / self.sim
+        }
+    }
+}
+
+/// The full per-component comparison for one case.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CaseResult {
+    /// Workload name.
+    pub bench: String,
+    /// Per-component rows in [`Component::ALL`] order.
+    pub components: Vec<ComponentRow>,
+    /// The statistical simulator's CPI on the same inputs, when the
+    /// sweep was asked to run it (the related-work accuracy baseline).
+    #[serde(default)]
+    pub statsim_cpi: Option<f64>,
+}
+
+impl CaseResult {
+    /// The row for `component` (all five are always present).
+    pub fn row(&self, component: Component) -> &ComponentRow {
+        self.components
+            .iter()
+            .find(|r| r.component == component)
+            .expect("every CaseResult carries all five component rows")
+    }
+
+    /// Whether every component is inside its band.
+    pub fn within_tolerance(&self) -> bool {
+        self.components.iter().all(|r| r.within)
+    }
+}
+
+/// Options for [`sweep`].
+#[derive(Debug, Clone, Copy)]
+pub struct SweepOptions {
+    /// Worker threads for the case fan-out.
+    pub threads: usize,
+    /// Also run the statistical simulator per case (slower; used by the
+    /// related-work comparison, not the CI gate).
+    pub statsim: bool,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions {
+            threads: 1,
+            statsim: false,
+        }
+    }
+}
+
+/// Runs one validation case: five simulator variants, five matched
+/// functional profiles, five model evaluations, five component
+/// comparisons.
+pub fn run_case(store: &ArtifactStore, case: &CaseSpec, tol: &ToleranceSpec) -> CaseResult {
+    run_case_with(store, case, tol, false)
+}
+
+fn run_case_with(
+    store: &ArtifactStore,
+    case: &CaseSpec,
+    tol: &ToleranceSpec,
+    statsim: bool,
+) -> CaseResult {
+    let _span = fosm_obs::span("validate_case");
+    let (spec, n, seed) = (&case.bench, case.trace_len, case.seed);
+
+    // Detailed-simulator references: the full machine and the four
+    // idealization variants, all config-derived.
+    let sim_full = store.simulate(&case.config, spec, n, seed);
+    let sim_ideal = store.simulate(&case.ideal_variant(), spec, n, seed);
+    let sim_branch = store.simulate(&case.branch_variant(), spec, n, seed);
+    let sim_icache = store.simulate(&case.icache_variant(), spec, n, seed);
+    let sim_dcache = store.simulate(&case.dcache_variant(), spec, n, seed);
+
+    // Model inputs, matched to the simulation sets: each component's
+    // model value is computed from a profile collected under *that
+    // component's* variant machine, exactly as the paper feeds each
+    // simulation set's validation from the same isolated
+    // configuration. (Profiling under the full hierarchy instead
+    // conflates components — e.g. data traffic evicts instruction
+    // lines from the shared L2, inflating the I-cache adder with
+    // misses the icache-only reference machine never sees.) The total
+    // row still uses the full-machine profile, so cross-component
+    // interactions the first-order model ignores show up there, not
+    // smeared over the per-component rows.
+    let params = harness::params_of(&case.config);
+    let profile_for = |config: &fosm_sim::MachineConfig| {
+        store.profile_with(
+            &params,
+            &config.hierarchy,
+            config.predictor,
+            &spec.name,
+            spec,
+            n,
+            seed,
+        )
+    };
+    let profile_full = profile_for(&case.config);
+    let profile_ideal = profile_for(&case.ideal_variant());
+    let profile_branch = profile_for(&case.branch_variant());
+    let profile_icache = profile_for(&case.icache_variant());
+    let profile_dcache = profile_for(&case.dcache_variant());
+    let model = FirstOrderModel::new(params);
+    let estimate = |profile: &fosm_core::profile::ProgramProfile| {
+        model
+            .evaluate(profile)
+            .expect("model evaluation on a recorded profile succeeds")
+    };
+    let est_full = estimate(&profile_full);
+    let est_ideal = estimate(&profile_ideal);
+    let est_branch = estimate(&profile_branch);
+    let est_icache = estimate(&profile_icache);
+    let est_dcache = estimate(&profile_dcache);
+
+    // Short data misses are folded into `L` (paper §4.3), so a real
+    // D-cache's steady state exceeds the ideal hierarchy's by the
+    // folded amount; the simulator's dcache-only delta contains it.
+    let short_fold = est_dcache.steady_state_cpi - est_ideal.steady_state_cpi;
+
+    let pairs = [
+        (Component::Base, est_ideal.steady_state_cpi, sim_ideal.cpi()),
+        (
+            Component::Branch,
+            est_branch.branch_cpi,
+            sim_branch.cpi() - sim_ideal.cpi(),
+        ),
+        (
+            Component::ICache,
+            est_icache.icache_l1_cpi + est_icache.icache_l2_cpi,
+            sim_icache.cpi() - sim_ideal.cpi(),
+        ),
+        (
+            Component::DCache,
+            est_dcache.dcache_cpi + est_dcache.dtlb_cpi + short_fold,
+            sim_dcache.cpi() - sim_ideal.cpi(),
+        ),
+        (Component::Total, est_full.total_cpi(), sim_full.cpi()),
+    ];
+    let components = pairs
+        .into_iter()
+        .map(|(component, model, sim)| {
+            let band = tol.band(component);
+            ComponentRow {
+                component,
+                model,
+                sim,
+                allowed: band.allowed(sim),
+                within: band.accepts(model, sim),
+            }
+        })
+        .collect();
+
+    let statsim_cpi = statsim.then(|| {
+        use fosm_statsim::{CollectorConfig, StatMachine, StatProfile, SynthesizedTrace};
+        let trace = store.trace(spec, n, seed);
+        let stat_profile = StatProfile::from_trace(trace.insts(), CollectorConfig::default());
+        let mut synth = SynthesizedTrace::new(&stat_profile, seed);
+        StatMachine::baseline().run(&mut synth, n).cpi()
+    });
+
+    CaseResult {
+        bench: spec.name.clone(),
+        components,
+        statsim_cpi,
+    }
+}
+
+/// Fans [`run_case`] over a case list, preserving input order.
+pub fn sweep(
+    store: &ArtifactStore,
+    cases: &[CaseSpec],
+    tol: &ToleranceSpec,
+    options: SweepOptions,
+) -> Vec<CaseResult> {
+    par::par_map(cases, options.threads, |case| {
+        run_case_with(store, case, tol, options.statsim)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn component_names_round_trip() {
+        for c in Component::ALL {
+            assert_eq!(Component::parse(c.name()), Some(c));
+        }
+        assert_eq!(Component::parse("bogus"), None);
+    }
+
+    #[test]
+    fn suite_covers_every_benchmark_once() {
+        let cases = CaseSpec::suite(&MachineConfig::baseline(), 1_000, 1);
+        let names: Vec<&str> = cases.iter().map(|c| c.bench.name.as_str()).collect();
+        assert_eq!(names.len(), BenchmarkSpec::all().len());
+        let mut deduped = names.clone();
+        deduped.dedup();
+        assert_eq!(deduped, names);
+    }
+
+    #[test]
+    fn variants_idealize_exactly_one_source() {
+        let case = CaseSpec {
+            config: MachineConfig::baseline(),
+            bench: BenchmarkSpec::gzip(),
+            trace_len: 1_000,
+            seed: 1,
+        };
+        let ideal = case.ideal_variant();
+        assert!(ideal.predictor.is_ideal());
+        assert!(ideal.hierarchy.l1i.is_none() && ideal.hierarchy.l1d.is_none());
+
+        let bp = case.branch_variant();
+        assert!(!bp.predictor.is_ideal());
+        assert!(bp.hierarchy.l1i.is_none() && bp.hierarchy.l1d.is_none());
+
+        let ic = case.icache_variant();
+        assert!(ic.predictor.is_ideal());
+        assert!(ic.hierarchy.l1i.is_some() && ic.hierarchy.l1d.is_none());
+
+        let dc = case.dcache_variant();
+        assert!(dc.predictor.is_ideal());
+        assert!(dc.hierarchy.l1i.is_none() && dc.hierarchy.l1d.is_some());
+
+        // Structural parameters are preserved in every variant.
+        for v in [&ideal, &bp, &ic, &dc] {
+            assert_eq!(v.width, case.config.width);
+            assert_eq!(v.win_size, case.config.win_size);
+            assert_eq!(v.mem_latency, case.config.mem_latency);
+            v.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn variants_follow_a_non_baseline_config() {
+        let case = CaseSpec {
+            config: MachineConfig::baseline().with_width(8).with_pipe_depth(9),
+            bench: BenchmarkSpec::gzip(),
+            trace_len: 1_000,
+            seed: 1,
+        };
+        for v in [
+            case.ideal_variant(),
+            case.branch_variant(),
+            case.icache_variant(),
+            case.dcache_variant(),
+        ] {
+            assert_eq!(v.width, 8);
+            assert_eq!(v.pipe_depth, 9);
+        }
+    }
+
+    #[test]
+    fn run_case_produces_all_components_and_orders_them() {
+        let store = ArtifactStore::new();
+        let case = CaseSpec {
+            config: MachineConfig::baseline(),
+            bench: BenchmarkSpec::gzip(),
+            trace_len: 20_000,
+            seed: harness::SEED,
+        };
+        let result = run_case(&store, &case, &ToleranceSpec::gate());
+        let order: Vec<Component> = result.components.iter().map(|r| r.component).collect();
+        assert_eq!(order, Component::ALL.to_vec());
+        for row in &result.components {
+            assert!(row.model.is_finite(), "{:?}", row);
+            assert!(row.sim.is_finite(), "{:?}", row);
+            assert!(row.allowed >= 0.0);
+        }
+        // The total row really is the full model vs the full simulator.
+        let total = result.row(Component::Total);
+        assert!(total.model > 0.0 && total.sim > 0.0);
+        assert!(result.statsim_cpi.is_none());
+    }
+
+    #[test]
+    fn sweep_preserves_case_order_at_any_thread_count() {
+        let store = ArtifactStore::new();
+        let cases: Vec<CaseSpec> = CaseSpec::suite(&MachineConfig::baseline(), 5_000, 1)
+            .into_iter()
+            .take(3)
+            .collect();
+        let serial = sweep(
+            &store,
+            &cases,
+            &ToleranceSpec::gate(),
+            SweepOptions::default(),
+        );
+        let parallel = sweep(
+            &store,
+            &cases,
+            &ToleranceSpec::gate(),
+            SweepOptions {
+                threads: 3,
+                statsim: false,
+            },
+        );
+        let names = |rs: &[CaseResult]| rs.iter().map(|r| r.bench.clone()).collect::<Vec<_>>();
+        assert_eq!(names(&serial), names(&parallel));
+        for (a, b) in serial.iter().zip(&parallel) {
+            for (ra, rb) in a.components.iter().zip(&b.components) {
+                assert_eq!(ra.model.to_bits(), rb.model.to_bits());
+                assert_eq!(ra.sim.to_bits(), rb.sim.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn statsim_option_populates_the_baseline_cpi() {
+        let store = ArtifactStore::new();
+        let cases = [CaseSpec {
+            config: MachineConfig::baseline(),
+            bench: BenchmarkSpec::gzip(),
+            trace_len: 10_000,
+            seed: 1,
+        }];
+        let results = sweep(
+            &store,
+            &cases,
+            &ToleranceSpec::gate(),
+            SweepOptions {
+                threads: 1,
+                statsim: true,
+            },
+        );
+        let cpi = results[0].statsim_cpi.expect("statsim ran");
+        assert!(cpi.is_finite() && cpi > 0.0);
+    }
+}

@@ -1,0 +1,43 @@
+//! Differential validation harness for the first-order model.
+//!
+//! The model's accuracy claims (paper §5, Figs. 9–13) are *per
+//! component*: the steady-state base, the branch-misprediction adder,
+//! the I-cache adder, and the long-D-cache adder are each validated
+//! against the detailed simulator's "simulation sets" — machine
+//! variants with exactly one miss-event source left real. This crate
+//! systematizes that methodology so accuracy bugs are found, gated,
+//! and fixed instead of hiding inside an aggregate CPI number:
+//!
+//! * [`differential`] — runs model, detailed simulator, and (optionally)
+//!   the statistical simulator on identical inputs through the
+//!   memoizing artifact store, and measures per-component error using
+//!   config-derived idealization variants.
+//! * [`tolerance`] — per-component tolerance bands
+//!   (`max(rel × |sim|, abs)`), with CLI-flag and JSON round-trips so
+//!   the committed gate baseline and ad-hoc overrides share one parser.
+//! * [`report`] — the schema-versioned [`report::ValidationReport`]:
+//!   violation extraction, a human-readable table, JSON serialization,
+//!   and observability export through `fosm-obs`.
+//! * [`fuzz`] — a differential fuzzer over random valid machine
+//!   configurations and workload seeds, asserting model-vs-simulator
+//!   invariants and shrinking any violation to a minimal reproducer.
+//!
+//! The `fosm-cli validate` subcommand and the repository's CI accuracy
+//! gate are thin wrappers over these pieces.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod differential;
+pub mod fuzz;
+pub mod report;
+pub mod tolerance;
+
+pub use differential::{CaseResult, CaseSpec, Component, ComponentRow};
+pub use fuzz::{FuzzCase, FuzzFailure, FuzzOutcome};
+pub use report::{ValidationReport, SCHEMA_VERSION};
+pub use tolerance::{Band, ToleranceSpec};
+
+// Re-exported so harness callers (tests, binaries) need only this
+// crate to run a sweep end to end.
+pub use fosm_bench::store::ArtifactStore;

@@ -1,0 +1,296 @@
+//! The schema-versioned validation report.
+//!
+//! A report captures one full sweep — the tolerance spec it was gated
+//! against, every per-component comparison, and enough run metadata to
+//! reproduce it — and renders three ways: a human table for terminals,
+//! JSON for the committed CI baseline and ad-hoc diffing, and
+//! `fosm-obs` gauges/counters for the run manifest.
+
+use serde::{Deserialize, Serialize};
+
+use crate::differential::{CaseResult, Component, ComponentRow};
+use crate::tolerance::ToleranceSpec;
+
+/// Report schema version; bump on any incompatible field change so a
+/// stale committed baseline fails loudly instead of comparing garbage.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// One out-of-band component, with its provenance.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Violation {
+    /// Workload the violation occurred on.
+    pub bench: String,
+    /// Component outside its band.
+    pub component: Component,
+    /// Model CPI contribution.
+    pub model: f64,
+    /// Simulator reference CPI contribution.
+    pub sim: f64,
+    /// Allowed absolute error.
+    pub allowed: f64,
+}
+
+impl Violation {
+    fn from_row(bench: &str, row: &ComponentRow) -> Self {
+        Violation {
+            bench: bench.to_string(),
+            component: row.component,
+            model: row.model,
+            sim: row.sim,
+            allowed: row.allowed,
+        }
+    }
+}
+
+/// A full validation sweep's results.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ValidationReport {
+    /// Schema version of this report ([`SCHEMA_VERSION`] when written).
+    pub schema_version: u32,
+    /// Dynamic trace length per workload.
+    pub trace_len: u64,
+    /// Workload generator seed.
+    pub seed: u64,
+    /// The tolerance bands the sweep was gated against.
+    pub tolerances: ToleranceSpec,
+    /// Per-case comparisons, in sweep order.
+    pub cases: Vec<CaseResult>,
+}
+
+impl ValidationReport {
+    /// Assembles a report from a finished sweep.
+    pub fn new(
+        trace_len: u64,
+        seed: u64,
+        tolerances: ToleranceSpec,
+        cases: Vec<CaseResult>,
+    ) -> Self {
+        ValidationReport {
+            schema_version: SCHEMA_VERSION,
+            trace_len,
+            seed,
+            tolerances,
+            cases,
+        }
+    }
+
+    /// Every component outside its band, in sweep order.
+    pub fn violations(&self) -> Vec<Violation> {
+        self.cases
+            .iter()
+            .flat_map(|case| {
+                case.components
+                    .iter()
+                    .filter(|row| !row.within)
+                    .map(|row| Violation::from_row(&case.bench, row))
+            })
+            .collect()
+    }
+
+    /// Whether every component of every case is inside its band.
+    pub fn passed(&self) -> bool {
+        self.cases.iter().all(CaseResult::within_tolerance)
+    }
+
+    /// Mean absolute relative error of total CPI across cases, percent.
+    pub fn mean_abs_total_error_pct(&self) -> f64 {
+        if self.cases.is_empty() {
+            return 0.0;
+        }
+        let total: f64 = self
+            .cases
+            .iter()
+            .map(|c| {
+                let row = c.row(Component::Total);
+                (row.error() / row.sim).abs()
+            })
+            .sum();
+        100.0 * total / self.cases.len() as f64
+    }
+
+    /// Serializes to pretty JSON (the committed-baseline format).
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialization failures (practically unreachable for
+    /// this type).
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Parses a report, rejecting schema mismatches.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the JSON is malformed or was written
+    /// by a different schema version.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        let report: ValidationReport =
+            serde_json::from_str(json).map_err(|e| format!("malformed validation report: {e}"))?;
+        if report.schema_version != SCHEMA_VERSION {
+            return Err(format!(
+                "validation report schema v{} does not match this binary's v{SCHEMA_VERSION}; \
+                 regenerate the baseline",
+                report.schema_version
+            ));
+        }
+        Ok(report)
+    }
+
+    /// Renders the human-readable per-component error table.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<8} {:>9} {:>9} {:>8}  {}\n",
+            "bench", "model", "sim", "err%", "component status"
+        ));
+        for case in &self.cases {
+            let total = case.row(Component::Total);
+            let status: Vec<String> = case
+                .components
+                .iter()
+                .map(|row| {
+                    format!(
+                        "{}{}{:+.1}%",
+                        row.component.name(),
+                        if row.within { " " } else { "!" },
+                        row.error_pct()
+                    )
+                })
+                .collect();
+            out.push_str(&format!(
+                "{:<8} {:>9.3} {:>9.3} {:>+7.1}%  {}\n",
+                case.bench,
+                total.model,
+                total.sim,
+                total.error_pct(),
+                status.join("  ")
+            ));
+        }
+        out.push_str(&format!(
+            "\nmean |total CPI error|: {:.1}%  ({} case(s), {} violation(s))\n",
+            self.mean_abs_total_error_pct(),
+            self.cases.len(),
+            self.violations().len()
+        ));
+        out
+    }
+
+    /// Flushes per-case errors and the violation count into an
+    /// observability registry under `validate.*`.
+    pub fn observe_into(&self, registry: &fosm_obs::Registry) {
+        for case in &self.cases {
+            for row in &case.components {
+                registry.gauge_set(
+                    &format!("validate.{}.{}.err", case.bench, row.component.name()),
+                    row.error(),
+                );
+            }
+        }
+        registry.counter_add("validate.cases", self.cases.len() as u64);
+        registry.counter_add("validate.violations", self.violations().len() as u64);
+        registry.gauge_set(
+            "validate.mean_abs_total_err_pct",
+            self.mean_abs_total_error_pct(),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tolerance::Band;
+
+    fn row(component: Component, model: f64, sim: f64, band: Band) -> ComponentRow {
+        ComponentRow {
+            component,
+            model,
+            sim,
+            allowed: band.allowed(sim),
+            within: band.accepts(model, sim),
+        }
+    }
+
+    fn sample_report(branch_model: f64) -> ValidationReport {
+        let tol = ToleranceSpec::gate();
+        let case = CaseResult {
+            bench: "gzip".to_string(),
+            components: vec![
+                row(Component::Base, 0.40, 0.41, tol.base),
+                row(Component::Branch, branch_model, 0.20, tol.branch),
+                row(Component::ICache, 0.05, 0.05, tol.icache),
+                row(Component::DCache, 0.30, 0.28, tol.dcache),
+                row(Component::Total, 1.00, 0.95, tol.total),
+            ],
+            statsim_cpi: None,
+        };
+        ValidationReport::new(120_000, 42, tol, vec![case])
+    }
+
+    #[test]
+    fn clean_report_passes_and_renders() {
+        let report = sample_report(0.21);
+        assert!(report.passed());
+        assert!(report.violations().is_empty());
+        let table = report.render_table();
+        assert!(table.contains("gzip"));
+        assert!(table.contains("0 violation(s)"));
+        assert!(!table.contains("branch!"));
+    }
+
+    #[test]
+    fn violations_are_extracted_with_provenance() {
+        let report = sample_report(0.50); // way outside branch band
+        assert!(!report.passed());
+        let violations = report.violations();
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].bench, "gzip");
+        assert_eq!(violations[0].component, Component::Branch);
+        assert!(report.render_table().contains("branch!"));
+    }
+
+    #[test]
+    fn json_round_trip_preserves_everything() {
+        let report = sample_report(0.21);
+        let json = report.to_json().unwrap();
+        let back = ValidationReport::from_json(&json).unwrap();
+        assert_eq!(back.schema_version, SCHEMA_VERSION);
+        assert_eq!(back.trace_len, report.trace_len);
+        assert_eq!(back.cases.len(), 1);
+        assert_eq!(back.cases[0].components.len(), 5);
+        assert_eq!(
+            back.cases[0].row(Component::Total).model,
+            report.cases[0].row(Component::Total).model
+        );
+    }
+
+    #[test]
+    fn schema_mismatch_is_rejected() {
+        let mut report = sample_report(0.21);
+        report.schema_version = SCHEMA_VERSION + 1;
+        let json = serde_json::to_string(&report).unwrap();
+        let err = ValidationReport::from_json(&json).unwrap_err();
+        assert!(err.contains("schema"), "{err}");
+        assert!(ValidationReport::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn mean_total_error_matches_hand_computation() {
+        let report = sample_report(0.21);
+        // |1.00 - 0.95| / 0.95 = 5.263…%
+        assert!((report.mean_abs_total_error_pct() - 100.0 * 0.05 / 0.95).abs() < 1e-9);
+        let empty = ValidationReport::new(0, 0, ToleranceSpec::gate(), Vec::new());
+        assert_eq!(empty.mean_abs_total_error_pct(), 0.0);
+        assert!(empty.passed());
+    }
+
+    #[test]
+    fn observe_into_records_violation_count() {
+        let registry = fosm_obs::Registry::new();
+        sample_report(0.50).observe_into(&registry);
+        let snapshot = registry.snapshot();
+        assert_eq!(snapshot.counters.get("validate.violations"), Some(&1));
+        assert_eq!(snapshot.counters.get("validate.cases"), Some(&1));
+        assert!(snapshot.gauges.contains_key("validate.gzip.branch.err"));
+    }
+}

@@ -1,0 +1,276 @@
+//! Per-component tolerance bands.
+//!
+//! A band accepts a model value `m` against a simulator reference `s`
+//! when `|m − s| ≤ max(rel × |s|, abs_cpi)`. The relative term is the
+//! headline accuracy claim (the paper reports single-digit-percent CPI
+//! error); the absolute floor keeps near-zero components — an I-cache
+//! adder of 0.003 CPI, say — from demanding impossible relative
+//! precision on noise-sized quantities.
+
+use serde::{Deserialize, Serialize};
+
+use crate::differential::Component;
+
+/// One component's acceptance band.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Band {
+    /// Relative tolerance against the simulator reference (0.10 = 10%).
+    pub rel: f64,
+    /// Absolute CPI floor below which differences are accepted
+    /// regardless of relative error.
+    pub abs_cpi: f64,
+}
+
+impl Band {
+    /// A band with the given relative tolerance and absolute floor.
+    pub fn new(rel: f64, abs_cpi: f64) -> Self {
+        Band { rel, abs_cpi }
+    }
+
+    /// The absolute error allowed against a simulator reference value.
+    pub fn allowed(&self, sim: f64) -> f64 {
+        (self.rel * sim.abs()).max(self.abs_cpi)
+    }
+
+    /// Whether a model value is acceptable against the reference. A
+    /// non-finite model value never passes (NaN must not slip through
+    /// a `<=` comparison).
+    pub fn accepts(&self, model: f64, sim: f64) -> bool {
+        model.is_finite() && sim.is_finite() && (model - sim).abs() <= self.allowed(sim)
+    }
+}
+
+/// A full per-component tolerance specification.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ToleranceSpec {
+    /// Steady-state (base) CPI vs the all-ideal simulation.
+    pub base: Band,
+    /// Branch-misprediction CPI adder.
+    pub branch: Band,
+    /// Instruction-cache CPI adder (L1 + L2 combined).
+    pub icache: Band,
+    /// Long data-cache CPI adder (includes short-miss `L` folding and
+    /// the dTLB adder, matching the data-cache-only simulation set).
+    pub dcache: Band,
+    /// Total CPI vs the full baseline simulation.
+    pub total: Band,
+}
+
+impl ToleranceSpec {
+    /// The committed accuracy gate for the paper's baseline machine and
+    /// the 12 synthetic SPEC workloads. These bands bound the errors
+    /// the current model actually achieves (max observed at 120k insts,
+    /// seed 42: base 16.6%, branch 22.1%, icache 21.7%, dcache 18.5%,
+    /// total 5.6%, mean |total| 2.9%) with ~1.3× headroom, and they are
+    /// intentionally much tighter than "the model is roughly right": a
+    /// regression that doubles a component's error should trip them.
+    /// The base band is the widest relative one because the
+    /// IW-characteristic fit is optimistic about dependence-limited
+    /// steady state (twolf, vpr) — a known first-order limitation,
+    /// banded honestly rather than hidden; the icache band covers
+    /// twolf, where the fetch-surplus damping of the buffered-reserve
+    /// hiding slightly overshoots on a small absolute adder.
+    pub fn gate() -> Self {
+        ToleranceSpec {
+            base: Band::new(0.20, 0.02),
+            branch: Band::new(0.28, 0.03),
+            icache: Band::new(0.28, 0.02),
+            dcache: Band::new(0.25, 0.04),
+            total: Band::new(0.08, 0.03),
+        }
+    }
+
+    /// Looser bands for the differential fuzzer, which explores machine
+    /// geometries far from the paper's baseline (tiny windows, shallow
+    /// pipes, near-L2 memory latencies) where first-order assumptions
+    /// degrade gracefully rather than precisely. The total band is the
+    /// loosest relative one because component errors compound at the
+    /// extremes: on a width-1 machine running the pointer-chasing
+    /// workload the base, branch, and dcache adders all undershoot
+    /// together, so a total band much under 0.45 flags geometry
+    /// degradation rather than a bug.
+    pub fn fuzz() -> Self {
+        ToleranceSpec {
+            base: Band::new(0.25, 0.10),
+            branch: Band::new(0.60, 0.12),
+            icache: Band::new(0.70, 0.12),
+            dcache: Band::new(0.80, 0.25),
+            total: Band::new(0.45, 0.25),
+        }
+    }
+
+    /// The band gating `component`.
+    pub fn band(&self, component: Component) -> Band {
+        match component {
+            Component::Base => self.base,
+            Component::Branch => self.branch,
+            Component::ICache => self.icache,
+            Component::DCache => self.dcache,
+            Component::Total => self.total,
+        }
+    }
+
+    /// Mutable access to `component`'s band.
+    pub fn band_mut(&mut self, component: Component) -> &mut Band {
+        match component {
+            Component::Base => &mut self.base,
+            Component::Branch => &mut self.branch,
+            Component::ICache => &mut self.icache,
+            Component::DCache => &mut self.dcache,
+            Component::Total => &mut self.total,
+        }
+    }
+
+    /// Applies a `--tol` override string:
+    /// `component=rel[:abs],component=rel[:abs],…`, where `component`
+    /// is one of `base`, `branch`, `icache`, `dcache`, `total`, or
+    /// `all`. An omitted absolute floor keeps the band's current floor.
+    ///
+    /// ```
+    /// use fosm_validate::{Component, ToleranceSpec};
+    ///
+    /// let mut tol = ToleranceSpec::gate();
+    /// tol.apply_overrides("branch=0.5:0.1,total=0.2").unwrap();
+    /// assert_eq!(tol.branch.rel, 0.5);
+    /// assert_eq!(tol.branch.abs_cpi, 0.1);
+    /// assert_eq!(tol.total.rel, 0.2);
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed entry: an unknown
+    /// component name, a missing `=`, or an unparsable / negative
+    /// number.
+    pub fn apply_overrides(&mut self, overrides: &str) -> Result<(), String> {
+        for entry in overrides.split(',').filter(|e| !e.trim().is_empty()) {
+            let entry = entry.trim();
+            let (name, value) = entry.split_once('=').ok_or_else(|| {
+                format!("tolerance override '{entry}' is not component=rel[:abs]")
+            })?;
+            let (rel_s, abs_s) = match value.split_once(':') {
+                Some((r, a)) => (r, Some(a)),
+                None => (value, None),
+            };
+            let rel: f64 = parse_tolerance_number(rel_s)
+                .map_err(|e| format!("bad relative tolerance in '{entry}': {e}"))?;
+            let abs_cpi: Option<f64> = match abs_s {
+                Some(a) => Some(
+                    parse_tolerance_number(a)
+                        .map_err(|e| format!("bad absolute floor in '{entry}': {e}"))?,
+                ),
+                None => None,
+            };
+            let targets: Vec<Component> = match name.trim() {
+                "all" => Component::ALL.to_vec(),
+                other => vec![Component::parse(other).ok_or_else(|| {
+                    format!(
+                        "unknown component '{other}' in tolerance override \
+                         (expected base|branch|icache|dcache|total|all)"
+                    )
+                })?],
+            };
+            for component in targets {
+                let band = self.band_mut(component);
+                band.rel = rel;
+                if let Some(abs_cpi) = abs_cpi {
+                    band.abs_cpi = abs_cpi;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for ToleranceSpec {
+    fn default() -> Self {
+        ToleranceSpec::gate()
+    }
+}
+
+fn parse_tolerance_number(s: &str) -> Result<f64, String> {
+    let v: f64 = s
+        .trim()
+        .parse()
+        .map_err(|_| format!("'{}' is not a number", s.trim()))?;
+    if !v.is_finite() || v < 0.0 {
+        return Err(format!("'{v}' must be finite and non-negative"));
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allowed_takes_the_larger_of_rel_and_abs() {
+        let band = Band::new(0.10, 0.05);
+        assert!((band.allowed(2.0) - 0.20).abs() < 1e-12); // rel wins
+        assert!((band.allowed(0.1) - 0.05).abs() < 1e-12); // floor wins
+        assert!((band.allowed(-2.0) - 0.20).abs() < 1e-12); // magnitude
+    }
+
+    #[test]
+    fn accepts_is_symmetric_and_nan_safe() {
+        let band = Band::new(0.10, 0.0);
+        assert!(band.accepts(1.05, 1.0));
+        assert!(band.accepts(0.95, 1.0));
+        assert!(!band.accepts(1.2, 1.0));
+        assert!(!band.accepts(f64::NAN, 1.0));
+        assert!(!band.accepts(1.0, f64::NAN));
+        assert!(!band.accepts(f64::INFINITY, 1.0));
+    }
+
+    #[test]
+    fn overrides_parse_and_apply() {
+        let mut tol = ToleranceSpec::gate();
+        tol.apply_overrides("branch=0.5:0.1, total=0.2").unwrap();
+        assert_eq!(tol.branch, Band::new(0.5, 0.1));
+        assert_eq!(tol.total.rel, 0.2);
+        // Omitted floor keeps the gate's floor.
+        assert_eq!(tol.total.abs_cpi, ToleranceSpec::gate().total.abs_cpi);
+        // Untouched components keep the gate bands.
+        assert_eq!(tol.base, ToleranceSpec::gate().base);
+    }
+
+    #[test]
+    fn all_override_hits_every_band() {
+        let mut tol = ToleranceSpec::gate();
+        tol.apply_overrides("all=0.4:0.2").unwrap();
+        for c in Component::ALL {
+            assert_eq!(tol.band(c), Band::new(0.4, 0.2));
+        }
+    }
+
+    #[test]
+    fn malformed_overrides_are_rejected() {
+        let mut tol = ToleranceSpec::gate();
+        assert!(tol.apply_overrides("branch0.5").is_err());
+        assert!(tol.apply_overrides("bogus=0.5").is_err());
+        assert!(tol.apply_overrides("branch=lots").is_err());
+        assert!(tol.apply_overrides("branch=-0.5").is_err());
+        assert!(tol.apply_overrides("branch=0.5:nope").is_err());
+        // Errors leave earlier entries applied but never panic; the
+        // caller treats any Err as fatal.
+        assert!(tol.apply_overrides("").is_ok()); // empty = no-op
+        assert!(tol.apply_overrides(" , ,").is_ok());
+    }
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        let tol = ToleranceSpec::gate();
+        let json = serde_json::to_string(&tol).unwrap();
+        let back: ToleranceSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, tol);
+    }
+
+    #[test]
+    fn fuzz_bands_are_looser_than_the_gate() {
+        let gate = ToleranceSpec::gate();
+        let fuzz = ToleranceSpec::fuzz();
+        for c in Component::ALL {
+            assert!(fuzz.band(c).rel >= gate.band(c).rel, "{c:?}");
+            assert!(fuzz.band(c).abs_cpi >= gate.band(c).abs_cpi, "{c:?}");
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! The committed tolerance baseline (`validation/tolerances.json`,
+//! consumed by the CI accuracy gate via `fosm validate --baseline`)
+//! must stay in sync with the built-in gate bands — otherwise CI and
+//! `cargo test` would enforce different accuracy contracts.
+
+use fosm_validate::ToleranceSpec;
+
+#[test]
+fn committed_baseline_matches_the_builtin_gate() {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../validation/tolerances.json"
+    );
+    let json = std::fs::read_to_string(path).expect("validation/tolerances.json is committed");
+    let committed: ToleranceSpec =
+        serde_json::from_str(&json).expect("baseline parses as a ToleranceSpec");
+    assert_eq!(
+        committed,
+        ToleranceSpec::gate(),
+        "validation/tolerances.json has drifted from ToleranceSpec::gate(); \
+         regenerate it from the gate bands"
+    );
+}

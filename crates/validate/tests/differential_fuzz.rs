@@ -1,0 +1,70 @@
+//! Proptest-driven differential fuzzing: random valid machines drawn
+//! through the property-test strategy layer, checked against every
+//! fuzz invariant (structural validity, finiteness, monotonicity,
+//! tolerance bands) via [`fosm_validate::fuzz::check`].
+//!
+//! The vendored `proptest` shim generates but cannot shrink, so on a
+//! failure this test hands the case to the harness's own deterministic
+//! shrinker ([`fosm_validate::fuzz::shrink`]) and reports the minimal
+//! reproducer — paste it into `fosm validate --fuzz-repro '<json>'` to
+//! replay, then check it in as a regression test (see
+//! `tests/regressions.rs`).
+
+use proptest::prelude::*;
+
+use fosm_validate::fuzz::{self, FuzzCase};
+use fosm_validate::{ArtifactStore, ToleranceSpec};
+
+/// The trace length the tolerance bands were tuned at.
+const TRACE_LEN: u64 = 120_000;
+
+/// Mirrors [`FuzzCase::arbitrary`]'s constraints: `rob_size ≥ win_size`
+/// and `mem_latency > l2_latency` by construction, so every draw is a
+/// structurally valid machine.
+fn machine_strategy() -> impl Strategy<Value = FuzzCase> {
+    (
+        1u32..=8,    // width
+        4u32..=128,  // win_size
+        0u32..=128,  // rob headroom over win_size
+        1u32..=12,   // pipe_depth
+        2u32..=16,   // l2_latency
+        1u32..=384,  // mem headroom over l2_latency
+        0u32..=11,   // bench_index
+        0u64..=1024, // workload seed
+    )
+        .prop_map(
+            |(width, win, rob_extra, pipe, l2, mem_extra, bench, seed)| FuzzCase {
+                width,
+                win_size: win,
+                rob_size: win + rob_extra,
+                pipe_depth: pipe,
+                l2_latency: l2,
+                mem_latency: l2 + mem_extra,
+                bench_index: bench,
+                seed,
+            },
+        )
+}
+
+proptest! {
+    // Deliberately few cases: each one runs five detailed simulations
+    // plus five functional profiles. The broad sweep is `fosm validate
+    // --fuzz 64` in CI; this keeps a sample of it in `cargo test`.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn random_machines_satisfy_every_fuzz_invariant(case in machine_strategy()) {
+        prop_assert!(case.is_valid(), "strategy drew an invalid machine: {:?}", case);
+        let store = ArtifactStore::new();
+        let tol = ToleranceSpec::fuzz();
+        if let Err(reason) = fuzz::check(&store, &case, TRACE_LEN, &tol) {
+            let shrunk = fuzz::shrink(&store, &case, TRACE_LEN, &tol);
+            let json = serde_json::to_string(&shrunk).expect("FuzzCase serializes");
+            return Err(TestCaseError::fail(format!(
+                "invariant violated: {reason}\n\
+                 shrunk reproducer: {json}\n\
+                 replay with: fosm validate --fuzz-repro '{json}'"
+            )));
+        }
+    }
+}

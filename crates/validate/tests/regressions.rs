@@ -1,0 +1,102 @@
+//! Shrunk reproducers from differential fuzzing, checked in as
+//! regression tests.
+//!
+//! Each case below was found by `fosm validate --fuzz`, automatically
+//! shrunk to a minimal reproducer, and traced to a real model bug that
+//! has since been fixed. The cases run through the same
+//! [`fosm_validate::fuzz::check`] the fuzzer uses, so a regression in
+//! any fixed equation trips the exact case that exposed it.
+
+use fosm_validate::fuzz::{self, FuzzCase};
+use fosm_validate::{ArtifactStore, ToleranceSpec};
+
+/// The trace length the fuzzer (and the tolerance bands) were tuned at.
+const TRACE_LEN: u64 = 120_000;
+
+fn assert_passes(case: FuzzCase) {
+    assert!(case.is_valid(), "reproducer no longer valid: {case:?}");
+    let store = ArtifactStore::new();
+    if let Err(reason) = fuzz::check(&store, &case, TRACE_LEN, &ToleranceSpec::fuzz()) {
+        panic!("regression reproducer failed again: {reason}\ncase: {case:?}");
+    }
+}
+
+#[test]
+fn unbounded_rob_fill_credit_on_narrow_machines() {
+    // Found by `fosm validate --fuzz`: width 1 with a large ROB let
+    // eq. 6's rob_fill term claim ~178 of a 200-cycle miss hidden, so
+    // the model reported mcf's long-miss adder at 0.168 CPI where the
+    // detailed simulator measured 0.898. Fixed by capping rob_fill at
+    // the issue-window clog horizon (`dcache::estimated_rob_fill`).
+    assert_passes(FuzzCase {
+        width: 1,
+        win_size: 48,
+        rob_size: 180,
+        pipe_depth: 5,
+        l2_latency: 8,
+        mem_latency: 200,
+        bench_index: 6, // mcf: dependence-heavy, miss-clustered
+        seed: 0,
+    });
+}
+
+#[test]
+fn window_clog_cap_must_not_overcorrect_high_ilp_code() {
+    // Found while fixing the case above: capping rob_fill at the raw
+    // window-drain horizon (no ILP-slack stretch) was ~2.6x pessimistic
+    // on a high-ILP workload at width 1 — independent work keeps the
+    // window from clogging. Fixed by stretching the horizon by
+    // sqrt(rate(win)/width).
+    assert_passes(FuzzCase {
+        width: 1,
+        win_size: 48,
+        rob_size: 158,
+        pipe_depth: 5,
+        l2_latency: 8,
+        mem_latency: 200,
+        bench_index: 1, // crafty: high latency-1 ILP
+        seed: 0,
+    });
+}
+
+#[test]
+fn deep_pipes_hide_nothing_without_fetch_surplus() {
+    // Found by `fosm validate --fuzz` (the CI seed): gap saturates the
+    // 4-wide machine (steady IPC = width), so fetch has no surplus
+    // bandwidth to rebuild the front-end reserve after a stall — yet
+    // the refined I-cache penalty subtracted an unconditional
+    // `pipe_depth × width` reserve, calling short misses free on a
+    // 12-deep pipe while the simulator paid almost the full paper
+    // penalty (model 0.046 vs sim 0.175 CPI). Fixed by scaling the
+    // hiding with the fetch-surplus fraction `1 − IPC/width`.
+    assert_passes(FuzzCase {
+        width: 4,
+        win_size: 48,
+        rob_size: 128,
+        pipe_depth: 12,
+        l2_latency: 8,
+        mem_latency: 36,
+        bench_index: 3, // gap: width-bound on the baseline geometry
+        seed: 0,
+    });
+}
+
+#[test]
+fn rob_fill_never_makes_long_misses_free() {
+    // Found by a second fuzz round after the clog-horizon fix: mcf's
+    // synthetic IW characteristic has high latency-1 ILP (its mcf-ness
+    // is in the miss clustering), so with a big enough window the
+    // slack-stretched horizon computed fill > the miss delay and the
+    // model called long misses free; the simulator still paid ~1/4 of
+    // the delay per miss. Fixed by ceiling rob_fill at mem_latency/2.
+    assert_passes(FuzzCase {
+        width: 1,
+        win_size: 80,
+        rob_size: 233,
+        pipe_depth: 5,
+        l2_latency: 8,
+        mem_latency: 200,
+        bench_index: 6, // mcf
+        seed: 0,
+    });
+}

@@ -15,7 +15,9 @@
 //! 3. **The model and its validation** — the first-order analytical
 //!    model itself ([`model`], re-exported from `fosm-core`), a detailed
 //!    cycle-level out-of-order simulator used as ground truth ([`sim`]),
-//!    and the paper's microarchitecture trend studies ([`trends`]).
+//!    the differential validation harness that gates model-vs-simulator
+//!    accuracy per CPI component ([`validate`]), and the paper's
+//!    microarchitecture trend studies ([`trends`]).
 //!
 //! Beyond the paper's evaluation, every §7 extension is implemented
 //! and validated: limited functional units ([`isa::FuPool`]),
@@ -79,3 +81,4 @@ pub mod profile {
 }
 
 pub use fosm_core as core;
+pub use fosm_validate as validate;
