@@ -93,6 +93,21 @@ fn functional_toolchain(c: &mut Criterion) {
         })
     });
 
+    // Tracer overhead budget: with the global tracer disabled (the
+    // default here — benches never set FOSM_TRACE), the detailed
+    // simulator pays one relaxed atomic load per run, so this must
+    // track the pre-tracer baseline within the noop budget. The traced
+    // variant collects every miss event and bounds the enabled cost.
+    group.bench_function("detailed-sim-tracer-off", |b| {
+        let config = MachineConfig::baseline();
+        b.iter(|| black_box(harness::simulate(&config, &trace)))
+    });
+
+    group.bench_function("detailed-sim-traced", |b| {
+        let config = MachineConfig::baseline();
+        b.iter(|| black_box(harness::simulate_traced(&config, &trace)))
+    });
+
     group.bench_function("full-profile-collection", |b| {
         b.iter(|| {
             black_box(

@@ -27,12 +27,15 @@ pub struct RunArgs {
     /// Run-manifest destination (`--metrics <path>`); beats the
     /// `FOSM_METRICS` environment variable when present.
     pub metrics: Option<String>,
+    /// Miss-event trace destination (`--trace <path>`); beats the
+    /// `FOSM_TRACE` environment variable when present.
+    pub trace: Option<String>,
 }
 
 /// Parses the standard figure-binary command line:
 ///
 /// ```text
-/// <binary> [TRACE_LEN] [--threads N] [--metrics <path>]
+/// <binary> [TRACE_LEN] [--threads N] [--metrics <path>] [--trace <path>]
 /// ```
 ///
 /// Unrecognized arguments are ignored, so individual binaries can
@@ -58,6 +61,7 @@ fn parse_args(
     let mut trace_len = default_len;
     let mut threads: Option<usize> = None;
     let mut metrics: Option<String> = None;
+    let mut trace: Option<String> = None;
     let mut args = args.peekable();
     while let Some(arg) = args.next() {
         if let Some(value) = arg.strip_prefix("--threads=") {
@@ -68,6 +72,10 @@ fn parse_args(
             metrics = Some(value.to_string());
         } else if arg == "--metrics" {
             metrics = args.next();
+        } else if let Some(value) = arg.strip_prefix("--trace=") {
+            trace = Some(value.to_string());
+        } else if arg == "--trace" {
+            trace = args.next();
         } else if let Ok(n) = arg.parse() {
             trace_len = n;
         }
@@ -80,6 +88,7 @@ fn parse_args(
         trace_len,
         threads,
         metrics,
+        trace,
     }
 }
 
@@ -97,6 +106,9 @@ pub fn trace_len_from_args() -> u64 {
 pub fn obs_session(binary: &'static str, args: &RunArgs) -> ObsSession {
     if let Some(path) = &args.metrics {
         fosm_obs::set_sink(fosm_obs::Sink::JsonFile(path.into()));
+    }
+    if let Some(path) = &args.trace {
+        fosm_obs::tracer().enable_to(Some(path.into()));
     }
     fosm_obs::meta_set("binary", binary);
     fosm_obs::meta_set("seed", SEED);
@@ -117,6 +129,17 @@ pub struct ObsSession {
 
 impl Drop for ObsSession {
     fn drop(&mut self) {
+        let tracer = fosm_obs::tracer();
+        if tracer.enabled() {
+            if let Some(path) = tracer.path() {
+                if let Err(e) = tracer.flush_to_path(&path) {
+                    eprintln!(
+                        "warning: cannot write miss-event trace {}: {e}",
+                        path.display()
+                    );
+                }
+            }
+        }
         let registry = fosm_obs::global();
         crate::store::ArtifactStore::global()
             .stats()
@@ -142,6 +165,16 @@ pub fn record_seeded(spec: &BenchmarkSpec, n: u64, seed: u64) -> VecTrace {
 pub fn simulate(config: &MachineConfig, trace: &VecTrace) -> SimReport {
     let _span = fosm_obs::span("simulate");
     Machine::new(config.clone()).run(&mut trace.replay())
+}
+
+/// Runs the detailed simulator collecting its miss-event stream (the
+/// report is identical to [`simulate`]'s).
+pub fn simulate_traced(
+    config: &MachineConfig,
+    trace: &VecTrace,
+) -> (SimReport, Vec<fosm_sim::TraceEvent>) {
+    let _span = fosm_obs::span("simulate");
+    Machine::new(config.clone()).run_traced(&mut trace.replay())
 }
 
 /// Collects the functional-level profile the model consumes, under the
@@ -253,6 +286,7 @@ mod tests {
                 trace_len: 777,
                 threads: 5,
                 metrics: None,
+                trace: None,
             }
         );
         assert_eq!(
@@ -265,7 +299,16 @@ mod tests {
                 trace_len: 400,
                 threads: parse(&[], None).threads,
                 metrics: Some("m.json".to_string()),
+                trace: None,
             }
+        );
+        assert_eq!(
+            parse(&["--trace", "t.json"], None).trace.as_deref(),
+            Some("t.json")
+        );
+        assert_eq!(
+            parse(&["--trace=x.json", "400"], None).trace.as_deref(),
+            Some("x.json")
         );
         // CLI beats the environment; the environment beats detection.
         assert_eq!(parse(&["--threads", "2"], Some("9")).threads, 2);

@@ -35,6 +35,11 @@ pub fn available_threads() -> usize {
 /// independent of scheduling. `threads <= 1` (or a single item) runs
 /// inline with no thread machinery at all.
 ///
+/// The caller's current observability span path is adopted by every
+/// worker, so spans opened inside `f` aggregate under the fan-out
+/// site (`report.table1/simulate`) exactly as the inline path would,
+/// at any thread count.
+///
 /// # Panics
 ///
 /// Propagates the first panic raised inside `f`.
@@ -49,11 +54,13 @@ where
         return items.iter().map(f).collect();
     }
 
+    let parent_span = fosm_obs::current_span_path();
     let next = AtomicUsize::new(0);
     let mut indexed: Vec<(usize, R)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(|| {
+                    let _adopt = parent_span.as_deref().map(fosm_obs::adopt_span_parent);
                     let mut out = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
@@ -135,6 +142,29 @@ mod tests {
             i
         });
         assert_eq!(got, items);
+    }
+
+    #[test]
+    fn worker_spans_nest_under_the_fanout_span() {
+        // Same workload at 1 thread (inline) and many threads must
+        // produce identically-pathed span aggregates.
+        let items: Vec<u32> = (0..16).collect();
+        for threads in [1, 6] {
+            let r = fosm_obs::global();
+            let before = r.snapshot().spans.get("outer.phase/work").map(|s| s.count);
+            {
+                let _outer = fosm_obs::span("outer.phase");
+                par_map(&items, threads, |_| {
+                    let _s = fosm_obs::span("work");
+                });
+            }
+            let after = r.snapshot().spans["outer.phase/work"].count;
+            assert_eq!(
+                after - before.unwrap_or(0),
+                items.len() as u64,
+                "threads={threads}"
+            );
+        }
     }
 
     #[test]

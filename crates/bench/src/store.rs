@@ -111,6 +111,9 @@ impl StoreStats {
     }
 }
 
+/// A traced simulation artifact: the report plus its miss-event stream.
+type TracedRun = (SimReport, Vec<fosm_sim::TraceEvent>);
+
 /// The memoizing artifact store. One global instance serves a whole
 /// process (see [`ArtifactStore::global`]); independent instances can
 /// be created for tests.
@@ -118,6 +121,7 @@ impl StoreStats {
 pub struct ArtifactStore {
     traces: Mutex<HashMap<TraceKey, Arc<VecTrace>>>,
     reports: Mutex<HashMap<(TraceKey, String), Arc<SimReport>>>,
+    traced: Mutex<HashMap<(TraceKey, String), Arc<TracedRun>>>,
     profiles: Mutex<HashMap<(TraceKey, String, String), Arc<ProgramProfile>>>,
     trace_traffic: Counter,
     sim_traffic: Counter,
@@ -156,11 +160,49 @@ impl ArtifactStore {
         seed: u64,
     ) -> Arc<SimReport> {
         let trace = self.trace(spec, n, seed);
+        let key = (trace_key(spec, n, seed), format!("{config:?}"));
+        let tracer = fosm_obs::tracer();
+        if !tracer.enabled() {
+            return memo(&self.reports, &self.sim_traffic, key, || {
+                harness::simulate(config, &trace)
+            });
+        }
+        // With the global tracer on, events are collected locally and
+        // published only by the thread that wins the insert race —
+        // otherwise a concurrent duplicate computation (discarded by
+        // the memo) would double-record its events and the trace file
+        // would stop being byte-equal across thread counts.
+        let mut collected: Option<Vec<fosm_sim::TraceEvent>> = None;
+        let (report, won) = memo_entry(&self.reports, &self.sim_traffic, key, || {
+            let (report, events) = harness::simulate_traced(config, &trace);
+            collected = Some(events);
+            report
+        });
+        if won {
+            if let Some(mut events) = collected {
+                tracer.record_batch(&mut events);
+            }
+        }
+        report
+    }
+
+    /// The detailed simulator's report *plus its miss-event stream*
+    /// for `(trace, config)`, memoized in its own table (keys never
+    /// collide with the untraced reports; the reports themselves are
+    /// identical — [`fosm_sim::Machine::run_traced`] is exact).
+    pub fn simulate_traced(
+        &self,
+        config: &MachineConfig,
+        spec: &BenchmarkSpec,
+        n: u64,
+        seed: u64,
+    ) -> Arc<TracedRun> {
+        let trace = self.trace(spec, n, seed);
         memo(
-            &self.reports,
+            &self.traced,
             &self.sim_traffic,
             (trace_key(spec, n, seed), format!("{config:?}")),
-            || harness::simulate(config, &trace),
+            || harness::simulate_traced(config, &trace),
         )
     }
 
@@ -245,17 +287,32 @@ fn memo<K, V>(
 where
     K: Eq + Hash,
 {
+    memo_entry(table, traffic, key, compute).0
+}
+
+/// Like [`memo`], also reporting whether this call's computation won
+/// the insert race (`false` on a hit or a discarded duplicate) — for
+/// side effects that must happen exactly once per key.
+fn memo_entry<K, V>(
+    table: &Mutex<HashMap<K, Arc<V>>>,
+    traffic: &Counter,
+    key: K,
+    compute: impl FnOnce() -> V,
+) -> (Arc<V>, bool)
+where
+    K: Eq + Hash,
+{
     if let Some(v) = table.lock().expect("store lock").get(&key) {
         traffic.hit();
-        return Arc::clone(v);
+        return (Arc::clone(v), false);
     }
     traffic.miss();
     let v = Arc::new(compute());
     match table.lock().expect("store lock").entry(key) {
-        std::collections::hash_map::Entry::Occupied(e) => Arc::clone(e.get()),
+        std::collections::hash_map::Entry::Occupied(e) => (Arc::clone(e.get()), false),
         std::collections::hash_map::Entry::Vacant(e) => {
             traffic.insert();
-            Arc::clone(e.insert(v))
+            (Arc::clone(e.insert(v)), true)
         }
     }
 }
@@ -317,6 +374,20 @@ mod tests {
         let memoized = store.profile(&params, &spec.name, &spec, 3_000, harness::SEED);
         assert_eq!(*memoized, direct);
         assert_eq!(store.stats().profile_misses, 1);
+    }
+
+    #[test]
+    fn traced_simulation_matches_untraced_report() {
+        let store = ArtifactStore::new();
+        let spec = BenchmarkSpec::gzip();
+        let config = MachineConfig::baseline();
+        let untraced = store.simulate(&config, &spec, 3_000, harness::SEED);
+        let traced = store.simulate_traced(&config, &spec, 3_000, harness::SEED);
+        assert_eq!(*untraced, traced.0);
+        assert!(!traced.1.is_empty(), "baseline gzip run produces events");
+        // Second lookup hits the traced table's own entry.
+        let again = store.simulate_traced(&config, &spec, 3_000, harness::SEED);
+        assert!(Arc::ptr_eq(&traced, &again));
     }
 
     #[test]

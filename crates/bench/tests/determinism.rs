@@ -19,6 +19,7 @@ fn run(exe: &str, extra: &[&str]) -> Output {
         .args(extra)
         .env_remove("FOSM_THREADS")
         .env_remove("FOSM_METRICS")
+        .env_remove("FOSM_TRACE")
         .output()
         .expect("binary runs");
     assert!(
@@ -50,6 +51,59 @@ fn fig15_stdout_is_thread_invariant() {
 #[test]
 fn report_stdout_is_thread_invariant() {
     assert_thread_invariant(env!("CARGO_BIN_EXE_report"));
+}
+
+/// `--trace <path>` must write byte-identical Chrome trace-event JSON
+/// at any thread count: events are recorded once per unique simulation
+/// (the artifact store publishes a racing duplicate's events exactly
+/// once) and the exporter sorts by cycle extent, so neither scheduling
+/// nor thread identity can leak into the file.
+#[test]
+fn trace_files_are_thread_invariant() {
+    let exe = env!("CARGO_BIN_EXE_fig15");
+    let dir = std::env::temp_dir().join(format!("fosm-trace-det-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path_1 = dir.join("threads1.trace.json");
+    let path_8 = dir.join("threads8.trace.json");
+
+    let serial = run(
+        exe,
+        &[
+            TRACE_LEN,
+            "--threads",
+            "1",
+            "--trace",
+            path_1.to_str().unwrap(),
+        ],
+    );
+    let parallel = run(
+        exe,
+        &[
+            TRACE_LEN,
+            "--threads",
+            "8",
+            "--trace",
+            path_8.to_str().unwrap(),
+        ],
+    );
+    assert_eq!(
+        serial.stdout, parallel.stdout,
+        "--trace changed stdout across thread counts"
+    );
+
+    let a = std::fs::read(&path_1).expect("trace written at --threads 1");
+    let b = std::fs::read(&path_8).expect("trace written at --threads 8");
+    assert!(!a.is_empty(), "trace file is empty");
+    assert!(
+        a == b,
+        "trace files differ between --threads 1 ({} bytes) and --threads 8 ({} bytes)",
+        a.len(),
+        b.len()
+    );
+    let text = String::from_utf8(a).expect("trace is UTF-8");
+    assert!(text.starts_with("{\"traceEvents\":["), "not a Chrome trace");
+    assert!(text.contains("\"ph\":\"X\""), "no complete events recorded");
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// `--metrics <path>` must leave stdout untouched and write exactly

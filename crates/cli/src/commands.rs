@@ -354,6 +354,12 @@ pub fn validate(args: Parsed) -> Result<(), String> {
                 v.allowed
             );
         }
+        // Attach the per-event error histogram so a failing gate names
+        // the event class behind the residual, not just the component.
+        let summary = report.render_event_summary();
+        if !summary.is_empty() {
+            eprintln!("\n{summary}");
+        }
         return Err(format!(
             "accuracy gate failed: {} component(s) outside tolerance",
             violations.len()
@@ -411,6 +417,267 @@ fn fuzz_repro(
         }
         Err(reason) => Err(format!("case fails: {reason}")),
     }
+}
+
+/// `fosm trace <bench> [--insts N] [--seed S] [--top K]
+/// [--chrome <out.json>] [machine flags]`
+///
+/// Runs the detailed simulator with event tracing on one synthetic
+/// workload, prices every traced miss event with the analytical
+/// model's per-event penalties, and prints the per-class error
+/// histogram plus a top-K table of worst-attributed events. With
+/// `--chrome`, also writes the annotated event stream as Chrome
+/// trace-event JSON (loadable in Perfetto / `about://tracing`).
+pub fn trace(args: Parsed) -> Result<(), String> {
+    let bench = args.positional(0, "benchmark name (see `fosm bench-list`)")?;
+    let spec = find_benchmark(bench)?;
+    let params = machine_params(&args)?;
+    let config = MachineConfig {
+        width: params.width,
+        win_size: params.win_size,
+        rob_size: params.rob_size,
+        pipe_depth: params.pipe_depth,
+        l2_latency: params.l2_latency,
+        mem_latency: params.mem_latency,
+        ..MachineConfig::baseline()
+    };
+    config.validate()?;
+    let insts: u64 = args.flag_or("insts", 120_000u64)?;
+    let seed: u64 = args.flag_or("seed", 42u64)?;
+    let top: usize = args.flag_or("top", 10usize)?;
+
+    let trace = fosm_bench::harness::record_seeded(&spec, insts, seed);
+    let (report, events) = fosm_bench::harness::simulate_traced(&config, &trace);
+    let profile = fosm_bench::harness::profile_with(
+        &params,
+        &config.hierarchy,
+        config.predictor,
+        &spec.name,
+        &trace,
+    );
+    let (est, penalties) = FirstOrderModel::new(params.clone())
+        .event_penalties(&profile)
+        .map_err(|e| e.to_string())?;
+    let diffs = fosm_validate::events::diff(&events, &penalties, &profile, &params);
+
+    println!(
+        "traced `{}`: {} instructions, {} cycles (sim CPI {:.4}, model CPI {:.4})",
+        spec.name,
+        report.instructions,
+        report.cycles,
+        report.cpi(),
+        est.total_cpi()
+    );
+    print!("{}", fosm_validate::events::render(&diffs));
+
+    // The per-class model CPIs are the estimate's adders re-expressed
+    // per event, so this reconciles exactly; it is printed as the
+    // visible contract with `fosm validate`'s aggregate rows.
+    let per_class: f64 = diffs.iter().map(|d| d.model_cpi).sum();
+    let adders = est.total_cpi() - est.steady_state_cpi - est.dtlb_cpi;
+    println!(
+        "\nreconciliation: per-class model CPI {per_class:.6} vs aggregate adders {adders:.6} \
+         (|Δ| {:.2e})",
+        (per_class - adders).abs()
+    );
+
+    let mut worst: Vec<fosm_obs::TraceEvent> = events
+        .iter()
+        .filter(|e| e.kind != fosm_obs::EventKind::IntervalBoundary)
+        .map(|e| e.annotate(penalties.for_event(e, &params)))
+        .collect();
+    worst.sort_by(|a, b| {
+        let score = |e: &fosm_obs::TraceEvent| (e.extent() as f64 - e.predicted).abs();
+        score(b)
+            .total_cmp(&score(a))
+            .then(a.sort_key().cmp(&b.sort_key()))
+    });
+    println!(
+        "\ntop {} worst-attributed events (|sim extent − predicted| cycles):",
+        top.min(worst.len())
+    );
+    println!(
+        "{:<18} {:>10} {:>10} {:>10} {:>8} {:>10} {:>8}",
+        "event", "inst", "start", "end", "extent", "predicted", "error"
+    );
+    for e in worst.iter().take(top) {
+        println!(
+            "{:<18} {:>10} {:>10} {:>10} {:>8} {:>10.1} {:>+8.1}",
+            e.kind.name(),
+            e.inst,
+            e.start,
+            e.end,
+            e.extent(),
+            e.predicted,
+            e.extent() as f64 - e.predicted
+        );
+    }
+
+    if let Some(path) = args.flag("chrome") {
+        let annotated: Vec<fosm_obs::TraceEvent> = events
+            .iter()
+            .map(|e| e.annotate(penalties.for_event(e, &params)))
+            .collect();
+        fosm_obs::chrome::write_to(std::path::Path::new(path), &annotated, 0)
+            .map_err(|e| format!("cannot write chrome trace {path}: {e}"))?;
+        println!(
+            "\nchrome trace written to {path} ({} events)",
+            annotated.len()
+        );
+    }
+    Ok(())
+}
+
+/// `fosm metrics diff <a.json> <b.json> [--max-regress PCT]`
+///
+/// Compares two run manifests written via `--metrics`/`FOSM_METRICS`:
+/// counter deltas, gauge deltas, and span `total_ns` ratios. With
+/// `--max-regress`, exits non-zero when any counter or span timing
+/// grew by more than the given percentage (gauges are informational).
+pub fn metrics(args: Parsed) -> Result<(), String> {
+    match args.positional(0, "metrics subcommand (try `diff`)")? {
+        "diff" => metrics_diff(&args),
+        other => Err(format!("unknown metrics subcommand `{other}` (try `diff`)")),
+    }
+}
+
+fn metrics_diff(args: &Parsed) -> Result<(), String> {
+    let path_a = args.positional(1, "first manifest (a.json)")?;
+    let path_b = args.positional(2, "second manifest (b.json)")?;
+    let a = load_manifest(path_a)?;
+    let b = load_manifest(path_b)?;
+    let max_regress: Option<f64> = match args.flag("max-regress") {
+        Some(raw) => Some(
+            raw.parse()
+                .map_err(|e| format!("bad value for --max-regress: {e}"))?,
+        ),
+        None => None,
+    };
+
+    let mut regressions: Vec<String> = Vec::new();
+    let mut changed = 0usize;
+    for (section, gated) in [("counters", true), ("gauges", false)] {
+        let rows = merged_numbers(num_map(&a, section), num_map(&b, section));
+        if rows.is_empty() {
+            continue;
+        }
+        println!("{section}:");
+        for (key, va, vb) in rows {
+            if va == vb {
+                continue;
+            }
+            changed += 1;
+            let pct = if va != 0.0 {
+                100.0 * (vb - va) / va
+            } else {
+                f64::INFINITY
+            };
+            println!("  {key:<40} {va:>14} -> {vb:<14} ({pct:+.1}%)");
+            if gated && vb > va && exceeds(pct, max_regress) {
+                regressions.push(format!("{section}.{key} grew {pct:+.1}%"));
+            }
+        }
+    }
+    let rows = merged_numbers(span_totals(&a), span_totals(&b));
+    if !rows.is_empty() {
+        println!("spans (total_ns):");
+        for (key, va, vb) in rows {
+            if va == vb {
+                continue;
+            }
+            changed += 1;
+            let pct = if va != 0.0 {
+                100.0 * (vb - va) / va
+            } else {
+                f64::INFINITY
+            };
+            let ratio = if va != 0.0 { vb / va } else { f64::INFINITY };
+            println!("  {key:<40} {va:>14} -> {vb:<14} (x{ratio:.2})");
+            if vb > va && exceeds(pct, max_regress) {
+                regressions.push(format!("spans.{key} grew {pct:+.1}% (x{ratio:.2})"));
+            }
+        }
+    }
+    if changed == 0 {
+        println!("no differences in counters, gauges, or span totals");
+    }
+    if !regressions.is_empty() {
+        for r in &regressions {
+            eprintln!("REGRESSION {r}");
+        }
+        return Err(format!(
+            "{} regression(s) above --max-regress {}%",
+            regressions.len(),
+            max_regress.unwrap_or(0.0)
+        ));
+    }
+    Ok(())
+}
+
+fn exceeds(pct: f64, max_regress: Option<f64>) -> bool {
+    matches!(max_regress, Some(max) if pct > max)
+}
+
+/// Parses the last manifest line of a `--metrics` output file (the
+/// JSON sink writes one manifest per line; the last one wins).
+fn load_manifest(path: &str) -> Result<serde::Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let line = text
+        .lines()
+        .rev()
+        .find(|l| !l.trim().is_empty())
+        .ok_or_else(|| format!("{path}: empty manifest file"))?;
+    serde_json::from_str(line).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Flattens a `"counters"`/`"gauges"`-style object of numbers.
+fn num_map(manifest: &serde::Value, section: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    if let Some(serde::Value::Map(entries)) = manifest.get(section) {
+        for (key, value) in entries {
+            if let serde::Value::Num(raw) = value {
+                if let Ok(v) = raw.parse() {
+                    out.push((key.clone(), v));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Extracts each span's `total_ns` from the `"spans"` object.
+fn span_totals(manifest: &serde::Value) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    if let Some(serde::Value::Map(entries)) = manifest.get("spans") {
+        for (key, value) in entries {
+            if let Some(serde::Value::Num(raw)) = value.get("total_ns") {
+                if let Ok(v) = raw.parse() {
+                    out.push((key.clone(), v));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Key-unions two `(name, value)` lists; a missing side reads as 0.
+fn merged_numbers(a: Vec<(String, f64)>, b: Vec<(String, f64)>) -> Vec<(String, f64, f64)> {
+    let mut keys: Vec<&String> = a
+        .iter()
+        .map(|(k, _)| k)
+        .chain(b.iter().map(|(k, _)| k))
+        .collect();
+    keys.sort();
+    keys.dedup();
+    let find = |list: &[(String, f64)], key: &str| {
+        list.iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| *v)
+            .unwrap_or(0.0)
+    };
+    keys.iter()
+        .map(|k| (k.to_string(), find(&a, k), find(&b, k)))
+        .collect()
 }
 
 fn print_statsim_comparison(report: &fosm_validate::ValidationReport) {

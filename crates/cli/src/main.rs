@@ -21,8 +21,19 @@ mod args;
 mod commands;
 
 fn main() -> ExitCode {
-    let argv = strip_metrics_flag(std::env::args().skip(1).collect());
+    let argv = strip_global_flags(std::env::args().skip(1).collect());
     let result = run(argv);
+    let tracer = fosm_obs::tracer();
+    if tracer.enabled() {
+        if let Some(path) = tracer.path() {
+            if let Err(e) = tracer.flush_to_path(&path) {
+                eprintln!(
+                    "warning: cannot write miss-event trace {}: {e}",
+                    path.display()
+                );
+            }
+        }
+    }
     fosm_obs::emit("fosm");
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -33,11 +44,12 @@ fn main() -> ExitCode {
     }
 }
 
-/// Removes a global `--metrics <path>` / `--metrics=<path>` flag from
-/// the command line (any position) and points the observability sink
-/// at it. Handled here so every subcommand accepts the flag without
-/// threading it through the per-command parsers.
-fn strip_metrics_flag(argv: Vec<String>) -> Vec<String> {
+/// Removes the global `--metrics <path>` and `--trace <path>` flags
+/// (either `--flag value` or `--flag=value`, any position) from the
+/// command line, pointing the observability sink / miss-event tracer
+/// at them. Handled here so every subcommand accepts the flags without
+/// threading them through the per-command parsers.
+fn strip_global_flags(argv: Vec<String>) -> Vec<String> {
     let mut rest = Vec::with_capacity(argv.len());
     let mut iter = argv.into_iter();
     while let Some(arg) = iter.next() {
@@ -46,6 +58,12 @@ fn strip_metrics_flag(argv: Vec<String>) -> Vec<String> {
         } else if arg == "--metrics" {
             if let Some(path) = iter.next() {
                 fosm_obs::set_sink(fosm_obs::Sink::JsonFile(path.into()));
+            }
+        } else if let Some(path) = arg.strip_prefix("--trace=") {
+            fosm_obs::tracer().enable_to(Some(path.into()));
+        } else if arg == "--trace" {
+            if let Some(path) = iter.next() {
+                fosm_obs::tracer().enable_to(Some(path.into()));
             }
         } else {
             rest.push(arg);
@@ -69,6 +87,8 @@ fn run(argv: Vec<String>) -> Result<(), String> {
         "model" => commands::model(args::Parsed::new(rest)?),
         "simulate" => commands::simulate(args::Parsed::new(rest)?),
         "validate" => commands::validate(args::Parsed::new(rest)?),
+        "trace" => commands::trace(args::Parsed::new(rest)?),
+        "metrics" => commands::metrics(args::Parsed::new(rest)?),
         "bench-list" => commands::bench_list(),
         "help" | "--help" | "-h" => {
             print_usage();
@@ -89,11 +109,15 @@ USAGE:
     fosm model   <profile.json> [machine flags]
     fosm simulate <trace.trc> [machine flags] [--ideal]
     fosm validate [validation flags] [machine flags]
+    fosm trace   <bench> [--insts N] [--seed S] [--top K]
+                 [--chrome <out.json>] [machine flags]
+    fosm metrics diff <a.json> <b.json> [--max-regress PCT]
     fosm bench-list
 
     Any command also accepts --metrics <path> to write a JSON run
     manifest (counters, span timings) there; FOSM_METRICS=human|json
-    selects a stderr sink instead.
+    selects a stderr sink instead. --trace <path> (or FOSM_TRACE)
+    records detailed-simulator miss events to Chrome trace-event JSON.
 
 MACHINE FLAGS (default: the paper's baseline):
     --width N     issue width            (4)
@@ -116,6 +140,12 @@ VALIDATION FLAGS (fosm validate):
     --fuzz N        differential-fuzz N random machines instead
     --fuzz-seed S   fuzzer RNG seed
     --fuzz-repro J  replay one fuzz case from its JSON form
+
+TRACE FLAGS (fosm trace):
+    --insts N     trace length                         (120000)
+    --seed S      workload generator seed              (42)
+    --top K       worst-attributed events to print     (10)
+    --chrome P    write Chrome trace-event JSON to P (Perfetto-loadable)
 
 EXTENSION FLAGS (paper §7 features):
     --prefetch N  next-line data prefetch lines      (profile, simulate)

@@ -292,6 +292,89 @@ fn validate_replays_fuzz_reproducers() {
 }
 
 #[test]
+fn trace_attributes_events_and_writes_chrome_json() {
+    let chrome = tmp("trace-chrome.json");
+    let out = fosm(&[
+        "trace", "gzip", "--insts", "30000", "--top", "5", "--chrome", &chrome,
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    // The per-class table, the exact-reconciliation contract line, and
+    // the worst-attributed-events table are all part of the output.
+    assert!(text.contains("branch"), "{text}");
+    assert!(text.contains("reconciliation"), "{text}");
+    assert!(text.contains("|Δ| 0.00e0"), "{text}");
+    assert!(text.contains("top 5 worst-attributed events"), "{text}");
+
+    let json = std::fs::read_to_string(&chrome).expect("chrome trace written");
+    assert!(json.starts_with("{\"traceEvents\":["), "{json}");
+    assert!(json.contains("\"ph\":\"X\""));
+    assert!(json.contains("\"predicted\""));
+    let _ = std::fs::remove_file(&chrome);
+
+    // Unknown benchmarks are rejected up front.
+    let out = fosm(&["trace", "nonexistent"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown benchmark"));
+}
+
+#[test]
+fn metrics_diff_gates_on_counter_growth() {
+    let a = tmp("manifest-a.json");
+    let b = tmp("manifest-b.json");
+    std::fs::write(
+        &a,
+        r#"{"fosm_obs":1,"binary":"x","meta":{},"counters":{"sim.retired":1000},"gauges":{},"spans":{"run":{"count":1,"total_ns":100,"mean_ns":100.0}}}"#,
+    )
+    .unwrap();
+    std::fs::write(
+        &b,
+        r#"{"fosm_obs":1,"binary":"x","meta":{},"counters":{"sim.retired":1500},"gauges":{},"spans":{"run":{"count":1,"total_ns":110,"mean_ns":110.0}}}"#,
+    )
+    .unwrap();
+
+    // Ungated: report-only, exits zero.
+    let out = fosm(&["metrics", "diff", &a, &b]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(text.contains("sim.retired"), "{text}");
+    assert!(text.contains("+50.0%"), "{text}");
+
+    // Gated at 10%: the 50% counter growth must fail the run.
+    let out = fosm(&["metrics", "diff", &a, &b, "--max-regress", "10"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(err.contains("REGRESSION counters.sim.retired"), "{err}");
+
+    // A generous bound passes (span growth is 10%, counter gate at 60%).
+    let out = fosm(&["metrics", "diff", &a, &b, "--max-regress", "60"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Identical manifests: no differences, no gate.
+    let out = fosm(&["metrics", "diff", &a, &a, "--max-regress", "0"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("no differences"));
+
+    let out = fosm(&["metrics", "frobnicate"]);
+    assert!(!out.status.success());
+
+    let _ = std::fs::remove_file(&a);
+    let _ = std::fs::remove_file(&b);
+}
+
+#[test]
 fn stats_rejects_garbage_files() {
     let path = tmp("garbage.trc");
     std::fs::write(&path, b"this is not a trace").unwrap();

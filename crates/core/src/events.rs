@@ -1,0 +1,202 @@
+//! Per-event-class predicted penalties.
+//!
+//! [`crate::model::FirstOrderModel::evaluate`] reports *CPI adders* —
+//! each miss-event class's total contribution spread over all
+//! instructions (paper eq. 1). Event-level tooling (the `fosm trace`
+//! attribution tables, the per-event validation diff) needs the dual
+//! view: the model's *per-event* penalty for each class, after every
+//! refinement the model applied — burst averaging, fetch-buffer hiding,
+//! the cross-event overlap discount — not the raw isolated penalties
+//! also present on [`Estimate`].
+//!
+//! [`EventPenalties`] derives that view from a finished estimate by
+//! inverting the adder arithmetic: `per_event = adder × n / count`.
+//! This makes the reconciliation identity exact *by construction*:
+//!
+//! ```text
+//! Σ_class per_event(class) × count(class) / n  ==  Σ_class adder(class)
+//! ```
+//!
+//! so per-event sums always match the aggregate CPI stack (to floating
+//! point), and any disagreement a consumer observes is between model
+//! and *simulator*, never between two renderings of the model. For a
+//! class the profile never observed, the isolated penalty is reported
+//! instead (the model's answer to "what would one such event cost?").
+
+use fosm_obs::event::{EventKind, TraceEvent};
+
+use crate::model::Estimate;
+use crate::params::ProcessorParams;
+use crate::profile::ProgramProfile;
+
+/// The model's effective predicted penalty per event, by class
+/// (cycles). See the module docs for the construction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EventPenalties {
+    /// Per mispredicted conditional branch.
+    pub branch: f64,
+    /// Per L1 instruction miss that hits in L2.
+    pub icache_l1: f64,
+    /// Per instruction miss that goes to memory.
+    pub icache_l2: f64,
+    /// Per long data-cache miss.
+    pub dcache: f64,
+    /// Per data-TLB miss (0 when no TLB was profiled).
+    pub dtlb: f64,
+}
+
+impl EventPenalties {
+    /// Derives per-event penalties from an estimate and the profile it
+    /// was evaluated on.
+    pub fn from_estimate(est: &Estimate, profile: &ProgramProfile) -> Self {
+        let n = profile.instructions as f64;
+        let per = |cpi: f64, count: u64, fallback: f64| {
+            if count > 0 {
+                cpi * n / count as f64
+            } else {
+                fallback
+            }
+        };
+        EventPenalties {
+            branch: per(est.branch_cpi, profile.mispredicts, est.branch_penalty),
+            icache_l1: per(
+                est.icache_l1_cpi,
+                profile.icache_short_misses,
+                est.icache_penalty,
+            ),
+            icache_l2: per(
+                est.icache_l2_cpi,
+                profile.icache_long_misses,
+                est.icache_penalty,
+            ),
+            dcache: per(
+                est.dcache_cpi,
+                profile.long_miss_distribution.misses(),
+                est.dcache_penalty_per_miss,
+            ),
+            dtlb: per(est.dtlb_cpi, profile.dtlb_miss_distribution.misses(), 0.0),
+        }
+    }
+
+    /// The predicted penalty for a traced event: branch and long-data
+    /// events map directly; I-fetch misses split by their charged miss
+    /// delay (`delta` = L2 latency → L1 miss class, otherwise the
+    /// memory class). Interval boundaries carry no penalty (0).
+    pub fn for_event(&self, event: &TraceEvent, params: &ProcessorParams) -> f64 {
+        match event.kind {
+            EventKind::BranchMispredict => self.branch,
+            EventKind::ICacheMiss => {
+                if event.delta <= params.l2_latency as u64 {
+                    self.icache_l1
+                } else {
+                    self.icache_l2
+                }
+            }
+            EventKind::LongDCacheMiss => self.dcache,
+            EventKind::IntervalBoundary => 0.0,
+        }
+    }
+
+    /// Reassembles the miss-event CPI adders from the per-event view:
+    /// `Σ per_event × count / n`. Equals
+    /// `est.total_cpi() - est.steady_state_cpi` to floating point for
+    /// the profile the penalties were derived from.
+    pub fn miss_cpi(&self, profile: &ProgramProfile) -> f64 {
+        let n = profile.instructions as f64;
+        (self.branch * profile.mispredicts as f64
+            + self.icache_l1 * profile.icache_short_misses as f64
+            + self.icache_l2 * profile.icache_long_misses as f64
+            + self.dcache * profile.long_miss_distribution.misses() as f64
+            + self.dtlb * profile.dtlb_miss_distribution.misses() as f64)
+            / n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FirstOrderModel;
+    use fosm_cache::BurstDistribution;
+    use fosm_depgraph::{IwCharacteristic, PowerLaw};
+
+    fn profile(mispredicts: u64, icache_short: u64, long_misses: u64) -> ProgramProfile {
+        ProgramProfile {
+            name: "synthetic".into(),
+            instructions: 1_000_000,
+            iw: IwCharacteristic::new(PowerLaw::square_root(), 1.0).unwrap(),
+            cond_branches: 200_000,
+            mispredicts,
+            mispredict_burst_mean: 1.0,
+            icache_short_misses: icache_short,
+            icache_long_misses: 0,
+            dcache_short_misses: 0,
+            long_miss_distribution: BurstDistribution::all_isolated(long_misses),
+            long_miss_distribution_paper: BurstDistribution::all_isolated(long_misses),
+            dtlb_miss_distribution: BurstDistribution::default(),
+            dtlb_walk_latency: 0,
+            fu_mix: [0; 5],
+        }
+    }
+
+    #[test]
+    fn per_event_sums_reconcile_with_the_adders() {
+        let p = profile(10_000, 5_000, 1_000);
+        let model = FirstOrderModel::new(ProcessorParams::baseline());
+        let est = model.evaluate(&p).unwrap();
+        let pen = EventPenalties::from_estimate(&est, &p);
+        let miss_adders = est.total_cpi() - est.steady_state_cpi;
+        assert!(
+            (pen.miss_cpi(&p) - miss_adders).abs() < 1e-12,
+            "{} vs {}",
+            pen.miss_cpi(&p),
+            miss_adders
+        );
+    }
+
+    #[test]
+    fn overlap_discount_shows_up_per_event() {
+        // With heavy data misses, the effective per-I-miss penalty is
+        // smaller than the isolated one (the cross-event discount);
+        // without them, the two agree.
+        let model = FirstOrderModel::new(ProcessorParams::baseline());
+        let clean = profile(0, 5_000, 0);
+        let est = model.evaluate(&clean).unwrap();
+        let pen = EventPenalties::from_estimate(&est, &clean);
+        assert!((pen.icache_l1 - est.icache_penalty).abs() < 1e-12);
+
+        let heavy = profile(0, 5_000, 2_000);
+        let est = model.evaluate(&heavy).unwrap();
+        let pen = EventPenalties::from_estimate(&est, &heavy);
+        assert!(pen.icache_l1 < est.icache_penalty);
+    }
+
+    #[test]
+    fn unseen_classes_fall_back_to_isolated_penalties() {
+        let p = profile(0, 0, 0);
+        let est = FirstOrderModel::new(ProcessorParams::baseline())
+            .evaluate(&p)
+            .unwrap();
+        let pen = EventPenalties::from_estimate(&est, &p);
+        assert_eq!(pen.branch, est.branch_penalty);
+        assert_eq!(pen.icache_l1, est.icache_penalty);
+        assert_eq!(pen.dcache, est.dcache_penalty_per_miss);
+        assert_eq!(pen.dtlb, 0.0);
+        assert_eq!(pen.miss_cpi(&p), 0.0);
+    }
+
+    #[test]
+    fn event_mapping_distinguishes_icache_levels() {
+        let p = profile(100, 100, 100);
+        let params = ProcessorParams::baseline();
+        let est = FirstOrderModel::new(params.clone()).evaluate(&p).unwrap();
+        let pen = EventPenalties::from_estimate(&est, &p);
+        let short = TraceEvent::new(EventKind::ICacheMiss, 1, 10, 18, params.l2_latency as u64);
+        let long = TraceEvent::new(EventKind::ICacheMiss, 1, 10, 210, params.mem_latency as u64);
+        assert_eq!(pen.for_event(&short, &params), pen.icache_l1);
+        assert_eq!(pen.for_event(&long, &params), pen.icache_l2);
+        let b = TraceEvent::new(EventKind::BranchMispredict, 1, 10, 20, 0);
+        assert_eq!(pen.for_event(&b, &params), pen.branch);
+        let i = TraceEvent::new(EventKind::IntervalBoundary, 1, 0, 10, 0);
+        assert_eq!(pen.for_event(&i, &params), 0.0);
+    }
+}

@@ -53,6 +53,7 @@
 pub mod branch;
 pub mod dcache;
 mod error;
+pub mod events;
 pub mod icache;
 pub mod model;
 pub mod params;
@@ -60,6 +61,7 @@ pub mod profile;
 pub mod transient;
 
 pub use error::ModelError;
+pub use events::EventPenalties;
 pub use model::{Estimate, FirstOrderModel};
 pub use params::ProcessorParams;
 pub use profile::{ProfileCollector, ProgramProfile, SamplingPlan};

@@ -204,6 +204,23 @@ impl FirstOrderModel {
         &self.params
     }
 
+    /// Evaluates the model and derives the per-event-class penalty
+    /// view (see [`crate::events`]): the estimate's CPI adders plus
+    /// the effective penalty the model attributes to *one* event of
+    /// each class, guaranteed to reconcile with the adders.
+    ///
+    /// # Errors
+    ///
+    /// As [`evaluate`](FirstOrderModel::evaluate).
+    pub fn event_penalties(
+        &self,
+        profile: &ProgramProfile,
+    ) -> Result<(Estimate, crate::events::EventPenalties), ModelError> {
+        let est = self.evaluate(profile)?;
+        let penalties = crate::events::EventPenalties::from_estimate(&est, profile);
+        Ok((est, penalties))
+    }
+
     /// Evaluates the model on a program profile (the paper's §5 recipe).
     ///
     /// # Errors

@@ -1,0 +1,428 @@
+//! Typed miss-event tracing.
+//!
+//! The first-order model decomposes CPI into a steady-state background
+//! plus per-miss-event transient penalties (paper eq. 1). This module
+//! is the observability counterpart of that decomposition: the
+//! detailed simulator emits one [`TraceEvent`] per miss event — branch
+//! mispredict, I-cache miss, long D-cache miss — carrying the dynamic
+//! instruction index and the cycle extent of the transient, plus an
+//! [`EventKind::IntervalBoundary`] marker closing the interval that
+//! the event terminates. Consumers (the `fosm trace` subcommand, the
+//! per-event validation diff, the Chrome exporter in
+//! [`crate::chrome`]) later annotate each event with the analytical
+//! model's predicted penalty for its class.
+//!
+//! # Cost model
+//!
+//! Tracing is **off by default** and must stay invisible when off:
+//!
+//! * The simulator checks [`Tracer::enabled`] — one relaxed atomic
+//!   load — *once per run*, not per instruction or per event. When
+//!   disabled it never allocates an event buffer.
+//! * When enabled, events accumulate in a run-local `Vec` owned by the
+//!   machine loop (no locking per event; miss events are rare by
+//!   construction) and are flushed into the global ring in one
+//!   [`Tracer::record_batch`] call at the end of the run.
+//!
+//! # Bounding and drop accounting
+//!
+//! The global buffer is bounded ([`Tracer::set_capacity`], default
+//! [`DEFAULT_CAPACITY`]). Once full, further events are *dropped, not
+//! wrapped*: for interval attribution the oldest events are the ones
+//! that anchor the timeline, and a truncated-tail trace with an honest
+//! drop counter beats a silently rotated one. Drops are counted in
+//! [`TracerStats::dropped`] and reported by every exporter.
+//!
+//! Enabling: set `FOSM_TRACE=<path>` in the environment, or pass
+//! `--trace <path>` to a figure binary / `fosm trace` (which call
+//! [`Tracer::enable_to`]). `FOSM_TRACE_CAP=<n>` overrides the
+//! capacity.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Default global event-buffer capacity. At roughly one miss event
+/// per 30 instructions on the paper benchmarks this holds the full
+/// event stream of a ~30M-instruction run; longer runs drop the tail
+/// and say so.
+pub const DEFAULT_CAPACITY: usize = 1 << 20;
+
+/// The classes of miss event the simulator distinguishes, mirroring
+/// the model's CPI decomposition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EventKind {
+    /// A mispredicted conditional branch: the front-end fetched down
+    /// the wrong path from `start` until the branch resolved and the
+    /// refilled pipeline reached the window again at `end`.
+    BranchMispredict,
+    /// An instruction-fetch miss: fetch stalled from `start` to `end`;
+    /// `delta` is the miss delay charged (L2 or memory latency).
+    ICacheMiss,
+    /// A load that missed to main memory: issued at `start`, data back
+    /// at `end`. Overlapping long misses each get their own event.
+    LongDCacheMiss,
+    /// Closes the interval ending at this miss event: `start`/`end`
+    /// span the interval's cycles, `inst` is the cumulative retired
+    /// instruction count at the boundary.
+    IntervalBoundary,
+}
+
+impl EventKind {
+    /// All kinds, in track order.
+    pub const ALL: [EventKind; 4] = [
+        EventKind::BranchMispredict,
+        EventKind::ICacheMiss,
+        EventKind::LongDCacheMiss,
+        EventKind::IntervalBoundary,
+    ];
+
+    /// Stable lowercase name (used in exports and tables).
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::BranchMispredict => "branch_mispredict",
+            EventKind::ICacheMiss => "icache_miss",
+            EventKind::LongDCacheMiss => "long_dcache_miss",
+            EventKind::IntervalBoundary => "interval",
+        }
+    }
+
+    /// Track index for trace viewers (one lane per event class).
+    pub fn track(self) -> u64 {
+        match self {
+            EventKind::BranchMispredict => 1,
+            EventKind::ICacheMiss => 2,
+            EventKind::LongDCacheMiss => 3,
+            EventKind::IntervalBoundary => 4,
+        }
+    }
+}
+
+/// One traced miss event (or interval boundary).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEvent {
+    /// Event class.
+    pub kind: EventKind,
+    /// Dynamic instruction index the event is attributed to (fetch
+    /// sequence number; cumulative retired count for boundaries).
+    pub inst: u64,
+    /// First cycle of the transient (inclusive).
+    pub start: u64,
+    /// Cycle at which the transient resolves (exclusive).
+    pub end: u64,
+    /// Miss delay charged by the machine, in cycles (L2/memory latency
+    /// for cache events; 0 where not applicable).
+    pub delta: u64,
+    /// The analytical model's predicted penalty for this event's
+    /// class, in cycles. The simulator cannot know it and records
+    /// `NaN`; consumers annotate it via
+    /// [`annotate`](fn@crate::event::TraceEvent::annotate)d copies.
+    pub predicted: f64,
+}
+
+impl TraceEvent {
+    /// A fresh, un-annotated event (predicted penalty = `NaN`).
+    pub fn new(kind: EventKind, inst: u64, start: u64, end: u64, delta: u64) -> Self {
+        TraceEvent {
+            kind,
+            inst,
+            start,
+            end,
+            delta,
+            predicted: f64::NAN,
+        }
+    }
+
+    /// The event's cycle extent (`end - start`, saturating).
+    pub fn extent(&self) -> u64 {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// A copy carrying the model's predicted penalty.
+    pub fn annotate(mut self, predicted: f64) -> Self {
+        self.predicted = predicted;
+        self
+    }
+
+    /// Deterministic ordering key: by onset, then extent, then
+    /// instruction, then track. Thread-count independent because the
+    /// simulator itself is.
+    pub fn sort_key(&self) -> (u64, u64, u64, u64) {
+        (self.start, self.end, self.inst, self.kind.track())
+    }
+}
+
+/// Aggregate tracer accounting, surfaced in exports and the run
+/// manifest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TracerStats {
+    /// Events accepted into the buffer since the last [`Tracer::take`].
+    pub recorded: u64,
+    /// Events rejected because the buffer was full.
+    pub dropped: u64,
+    /// Current buffer capacity.
+    pub capacity: usize,
+}
+
+#[derive(Debug)]
+struct Inner {
+    events: Vec<TraceEvent>,
+    capacity: usize,
+    recorded: u64,
+    dropped: u64,
+    path: Option<PathBuf>,
+}
+
+/// The bounded event buffer. One global instance ([`Tracer::global`])
+/// serves the whole process; tests construct their own with
+/// [`Tracer::new`].
+#[derive(Debug)]
+pub struct Tracer {
+    enabled: AtomicBool,
+    inner: Mutex<Inner>,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::new()
+    }
+}
+
+impl Tracer {
+    /// A fresh, disabled tracer with the default capacity.
+    pub fn new() -> Self {
+        Tracer {
+            enabled: AtomicBool::new(false),
+            inner: Mutex::new(Inner {
+                events: Vec::new(),
+                capacity: DEFAULT_CAPACITY,
+                recorded: 0,
+                dropped: 0,
+                path: None,
+            }),
+        }
+    }
+
+    /// The process-wide tracer. First use reads `FOSM_TRACE` (export
+    /// path; enables tracing) and `FOSM_TRACE_CAP` (capacity).
+    pub fn global() -> &'static Tracer {
+        static TRACER: OnceLock<Tracer> = OnceLock::new();
+        TRACER.get_or_init(|| {
+            let t = Tracer::new();
+            if let Some(cap) = std::env::var("FOSM_TRACE_CAP")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+            {
+                t.set_capacity(cap);
+            }
+            if let Ok(path) = std::env::var("FOSM_TRACE") {
+                if !path.is_empty() {
+                    t.enable_to(Some(PathBuf::from(path)));
+                }
+            }
+            t
+        })
+    }
+
+    /// Whether tracing is on. One relaxed atomic load; the simulator
+    /// checks this once per run.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Enables tracing, optionally bound to an export path (written by
+    /// [`flush_to_path`](Tracer::flush_to_path) at session end).
+    pub fn enable_to(&self, path: Option<PathBuf>) {
+        {
+            let mut inner = self.inner.lock().expect("tracer lock");
+            if path.is_some() {
+                inner.path = path;
+            }
+        }
+        self.enabled.store(true, Ordering::Relaxed);
+    }
+
+    /// Disables tracing (buffered events are kept until taken).
+    pub fn disable(&self) {
+        self.enabled.store(false, Ordering::Relaxed);
+    }
+
+    /// The export path bound by [`enable_to`](Tracer::enable_to), if any.
+    pub fn path(&self) -> Option<PathBuf> {
+        self.inner.lock().expect("tracer lock").path.clone()
+    }
+
+    /// Rebounds the buffer. Shrinking below the current fill drops the
+    /// tail (counted as dropped).
+    pub fn set_capacity(&self, capacity: usize) {
+        let mut inner = self.inner.lock().expect("tracer lock");
+        inner.capacity = capacity;
+        if inner.events.len() > capacity {
+            let excess = (inner.events.len() - capacity) as u64;
+            inner.events.truncate(capacity);
+            inner.recorded -= excess;
+            inner.dropped += excess;
+        }
+    }
+
+    /// Moves a run-local batch into the buffer, draining `batch`.
+    /// Events past capacity are dropped and counted.
+    pub fn record_batch(&self, batch: &mut Vec<TraceEvent>) {
+        let mut inner = self.inner.lock().expect("tracer lock");
+        let room = inner.capacity.saturating_sub(inner.events.len());
+        let take = batch.len().min(room);
+        inner.recorded += take as u64;
+        inner.dropped += (batch.len() - take) as u64;
+        inner.events.extend(batch.drain(..take));
+        batch.clear();
+    }
+
+    /// Records a single event (convenience for tests and consumers).
+    pub fn record(&self, event: TraceEvent) {
+        let mut inner = self.inner.lock().expect("tracer lock");
+        if inner.events.len() < inner.capacity {
+            inner.events.push(event);
+            inner.recorded += 1;
+        } else {
+            inner.dropped += 1;
+        }
+    }
+
+    /// Current accounting without draining.
+    pub fn stats(&self) -> TracerStats {
+        let inner = self.inner.lock().expect("tracer lock");
+        TracerStats {
+            recorded: inner.recorded,
+            dropped: inner.dropped,
+            capacity: inner.capacity,
+        }
+    }
+
+    /// A copy of the buffered events, in recorded order.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        self.inner.lock().expect("tracer lock").events.clone()
+    }
+
+    /// Drains the buffer, returning the events and the accounting for
+    /// the drained window, and resets both counters.
+    pub fn take(&self) -> (Vec<TraceEvent>, TracerStats) {
+        let mut inner = self.inner.lock().expect("tracer lock");
+        let stats = TracerStats {
+            recorded: inner.recorded,
+            dropped: inner.dropped,
+            capacity: inner.capacity,
+        };
+        inner.recorded = 0;
+        inner.dropped = 0;
+        (std::mem::take(&mut inner.events), stats)
+    }
+
+    /// Drains the buffer and writes a Chrome trace-event JSON file to
+    /// `path`. Counters `trace.events` / `trace.dropped` land in the
+    /// global registry so the run manifest accounts for the trace.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O error when `path` is unwritable.
+    pub fn flush_to_path(&self, path: &Path) -> std::io::Result<()> {
+        let (events, stats) = self.take();
+        crate::counter_add("trace.events", events.len() as u64);
+        crate::counter_add("trace.dropped", stats.dropped);
+        let json = crate::chrome::export(&events, stats.dropped);
+        std::fs::write(path, json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(inst: u64) -> TraceEvent {
+        TraceEvent::new(
+            EventKind::BranchMispredict,
+            inst,
+            inst * 10,
+            inst * 10 + 5,
+            0,
+        )
+    }
+
+    #[test]
+    fn disabled_by_default_and_extent_saturates() {
+        let t = Tracer::new();
+        assert!(!t.enabled());
+        assert_eq!(
+            t.stats(),
+            TracerStats {
+                recorded: 0,
+                dropped: 0,
+                capacity: DEFAULT_CAPACITY
+            }
+        );
+        let e = TraceEvent::new(EventKind::ICacheMiss, 1, 9, 3, 0);
+        assert_eq!(e.extent(), 0);
+        assert!(e.predicted.is_nan());
+        assert_eq!(e.annotate(2.5).predicted, 2.5);
+    }
+
+    #[test]
+    fn batch_respects_capacity_with_drop_accounting() {
+        let t = Tracer::new();
+        t.set_capacity(3);
+        let mut batch: Vec<TraceEvent> = (0..5).map(ev).collect();
+        t.record_batch(&mut batch);
+        assert!(batch.is_empty());
+        let stats = t.stats();
+        assert_eq!(stats.recorded, 3);
+        assert_eq!(stats.dropped, 2);
+        let (events, taken) = t.take();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].inst, 0);
+        assert_eq!(taken.dropped, 2);
+        // Drained: counters reset, buffer reusable.
+        assert_eq!(
+            t.stats(),
+            TracerStats {
+                recorded: 0,
+                dropped: 0,
+                capacity: 3
+            }
+        );
+    }
+
+    #[test]
+    fn single_record_and_shrink() {
+        let t = Tracer::new();
+        for i in 0..4 {
+            t.record(ev(i));
+        }
+        assert_eq!(t.snapshot().len(), 4);
+        t.set_capacity(2);
+        let stats = t.stats();
+        assert_eq!(stats.recorded, 2);
+        assert_eq!(stats.dropped, 2);
+        assert_eq!(t.snapshot().len(), 2);
+        t.record(ev(9));
+        assert_eq!(t.stats().dropped, 3);
+    }
+
+    #[test]
+    fn enable_binds_path_once() {
+        let t = Tracer::new();
+        t.enable_to(Some(PathBuf::from("/tmp/a.json")));
+        assert!(t.enabled());
+        // Enabling again without a path keeps the old one.
+        t.enable_to(None);
+        assert_eq!(t.path(), Some(PathBuf::from("/tmp/a.json")));
+        t.disable();
+        assert!(!t.enabled());
+    }
+
+    #[test]
+    fn sort_key_orders_by_onset_first() {
+        let a = TraceEvent::new(EventKind::LongDCacheMiss, 7, 100, 400, 200);
+        let b = TraceEvent::new(EventKind::BranchMispredict, 3, 120, 140, 0);
+        assert!(a.sort_key() < b.sort_key());
+    }
+}

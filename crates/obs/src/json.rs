@@ -64,4 +64,93 @@ mod tests {
         push_f64(&mut out, f64::NAN);
         assert_eq!(out, "2.5 3.0 null");
     }
+
+    #[test]
+    fn every_control_char_is_escaped() {
+        for code in 0u32..0x20 {
+            let c = char::from_u32(code).unwrap();
+            let rendered = lit(&c.to_string());
+            // No raw control byte may survive into the literal.
+            assert!(
+                rendered.chars().all(|r| r as u32 >= 0x20),
+                "U+{code:04X} leaked raw into {rendered:?}"
+            );
+            let back: String = serde_json::from_str(&rendered)
+                .unwrap_or_else(|e| panic!("U+{code:04X} rendered invalid JSON {rendered:?}: {e}"));
+            assert_eq!(back, c.to_string());
+        }
+    }
+
+    #[test]
+    fn nonfinite_variants_all_null() {
+        for v in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let mut out = String::new();
+            push_f64(&mut out, v);
+            assert_eq!(out, "null");
+        }
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn hostile_string() -> impl Strategy<Value = String> {
+            // Bias towards the troublesome region: controls, quotes,
+            // backslashes, plus a unicode spread.
+            prop::collection::vec(
+                prop_oneof![
+                    0u32..0x20,
+                    Just('"' as u32),
+                    Just('\\' as u32),
+                    0x20u32..0x7f,
+                    0xa0u32..0x2500,
+                    Just(0x1f600), // outside the BMP
+                ],
+                0..48,
+            )
+            .prop_map(|codes| codes.into_iter().filter_map(char::from_u32).collect())
+        }
+
+        proptest! {
+            /// Any string renders as a JSON literal that `serde_json`
+            /// parses back to the original.
+            #[test]
+            fn string_literals_round_trip(s in hostile_string()) {
+                let rendered = lit(&s);
+                let back: String = serde_json::from_str(&rendered).map_err(|e| {
+                    TestCaseError::fail(
+                        format!("{s:?} rendered invalid JSON {rendered:?}: {e}"),
+                    )
+                })?;
+                prop_assert_eq!(back, s);
+            }
+
+            /// Any `f64` renders as a valid JSON token: a number that
+            /// parses back exactly, or `null` for non-finite values.
+            #[test]
+            fn floats_render_valid_json(
+                v in prop_oneof![
+                    -1.0e300f64..1.0e300,
+                    Just(f64::NAN),
+                    Just(f64::INFINITY),
+                    Just(f64::NEG_INFINITY),
+                    Just(-0.0f64),
+                    Just(f64::MIN_POSITIVE),
+                ],
+            ) {
+                let mut out = String::new();
+                push_f64(&mut out, v);
+                if v.is_finite() {
+                    let back: f64 = serde_json::from_str(&out).map_err(|e| {
+                        TestCaseError::fail(
+                            format!("{v:?} rendered invalid JSON {out:?}: {e}"),
+                        )
+                    })?;
+                    prop_assert_eq!(back, v);
+                } else {
+                    prop_assert_eq!(out.as_str(), "null");
+                }
+            }
+        }
+    }
 }

@@ -40,6 +40,14 @@
 //! Metrics never touch **stdout**: figure output stays byte-identical
 //! at any thread count and under any sink.
 //!
+//! Beyond the aggregate registry, the [`event`] module adds *typed
+//! miss-event tracing* — a bounded buffer of per-event records
+//! (mispredicts, I-misses, long D-misses, interval boundaries) the
+//! detailed simulator fills when `FOSM_TRACE`/`--trace` is set, and
+//! [`chrome`] exports as Perfetto-loadable Chrome trace-event JSON.
+//! Like the sinks, tracing is strictly opt-in: disabled, it costs one
+//! atomic load per simulator run.
+//!
 //! # Examples
 //!
 //! ```
@@ -58,16 +66,19 @@
 
 #![forbid(unsafe_code)]
 
+pub mod chrome;
+pub mod event;
 mod json;
 mod manifest;
 mod registry;
 mod sink;
 mod span;
 
+pub use event::{EventKind, TraceEvent, Tracer, TracerStats};
 pub use manifest::Manifest;
 pub use registry::{Registry, Snapshot, SpanStat};
 pub use sink::{set_sink, sink, Sink};
-pub use span::SpanGuard;
+pub use span::{AdoptGuard, SpanGuard};
 
 /// The process-wide registry the free functions below write to.
 pub fn global() -> &'static Registry {
@@ -93,6 +104,28 @@ pub fn meta_set(name: &str, value: impl std::fmt::Display) {
 /// the elapsed wall-clock time when dropped.
 pub fn span(name: &str) -> SpanGuard<'static> {
     Registry::global().span(name)
+}
+
+/// The `/`-joined path of the spans open on the current thread, or
+/// `None` outside any span. See [`adopt_span_parent`].
+pub fn current_span_path() -> Option<String> {
+    span::current_path()
+}
+
+/// Roots this thread's span stack under `parent` while the returned
+/// guard lives, so spans opened on a worker thread aggregate under the
+/// fan-out site's path (e.g. `report.table1/simulate`) instead of at
+/// top level. The guard records no time of its own.
+pub fn adopt_span_parent(parent: &str) -> AdoptGuard {
+    span::adopt(parent)
+}
+
+/// The process-wide miss-event tracer (disabled unless `FOSM_TRACE`
+/// is set or [`Tracer::enable_to`] was called). The simulator checks
+/// `tracer().enabled()` once per run and flushes its run-local event
+/// batch here.
+pub fn tracer() -> &'static Tracer {
+    Tracer::global()
 }
 
 /// Emits the global registry as a run manifest through the

@@ -6,10 +6,15 @@
 //! path of every span open on this thread at creation time.
 //!
 //! The stack is per *thread*, so worker threads (e.g. the bench
-//! harness's `par_map` fan-out) start their own roots: a `simulate`
-//! span opened on a worker records as `simulate`, not under the main
-//! thread's current phase. This keeps span paths scheduling-
-//! independent at the cost of flattening cross-thread nesting.
+//! harness's `par_map` fan-out) would start their own roots: a
+//! `simulate` span opened on a worker records as `simulate`, not under
+//! the main thread's current phase. Fan-out code fixes that by
+//! capturing [`current_path`] on the spawning thread and opening an
+//! [`AdoptGuard`] on each worker: the parent path becomes the worker
+//! stack's root (without recording any time itself), so worker spans
+//! aggregate as `report.table1/simulate` regardless of which thread
+//! ran them. Paths stay scheduling-independent because the adopted
+//! prefix comes from program structure, not thread identity.
 //!
 //! Guards are expected to drop on the thread that created them and in
 //! LIFO order (the natural shape of scoped RAII usage). A leaked
@@ -67,6 +72,49 @@ impl Drop for SpanGuard<'_> {
     }
 }
 
+/// The `/`-joined path of the spans currently open on this thread, or
+/// `None` outside any span. Capture this before spawning workers and
+/// hand it to [`adopt`] inside each of them.
+pub fn current_path() -> Option<String> {
+    SPAN_STACK.with(|stack| {
+        let stack = stack.borrow();
+        if stack.is_empty() {
+            None
+        } else {
+            Some(stack.join("/"))
+        }
+    })
+}
+
+/// Roots this thread's span stack under `parent` for the guard's
+/// lifetime. Unlike [`SpanGuard`] it records no time of its own — it
+/// only prefixes the paths of spans opened while it is alive.
+#[derive(Debug)]
+#[must_use = "an adopt guard prefixes span paths only while it is alive"]
+pub struct AdoptGuard {
+    /// Stack depth to restore on drop.
+    depth: usize,
+}
+
+/// Adopts `parent` (an already-`/`-joined path) as this thread's span
+/// root. Intended for worker threads, whose stacks are empty; on a
+/// thread with open spans the parent path nests under them.
+pub fn adopt(parent: &str) -> AdoptGuard {
+    let depth = SPAN_STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        let depth = stack.len();
+        stack.push(parent.to_string());
+        depth
+    });
+    AdoptGuard { depth }
+}
+
+impl Drop for AdoptGuard {
+    fn drop(&mut self) {
+        SPAN_STACK.with(|stack| stack.borrow_mut().truncate(self.depth));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -105,6 +153,43 @@ mod tests {
             // "a" closed; "b" is a fresh root, not "a/b".
             assert_eq!(b.path(), "b");
         }
+    }
+
+    #[test]
+    fn adopted_parent_prefixes_worker_spans() {
+        let r = Registry::new();
+        let parent = {
+            let _outer = r.span("sweep");
+            current_path().expect("inside a span")
+        };
+        assert_eq!(parent, "sweep");
+        assert_eq!(current_path(), None);
+
+        // Simulate a worker thread: empty stack, adopt, open spans.
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let _adopt = adopt(&parent);
+                let _inner = r.span("simulate");
+            });
+        });
+        let snap = r.snapshot();
+        assert_eq!(snap.spans["sweep/simulate"].count, 1);
+        // Only the original guard recorded "sweep"; the adopt guard
+        // itself added nothing.
+        assert_eq!(snap.spans["sweep"].count, 1);
+    }
+
+    #[test]
+    fn adopt_guard_restores_the_stack() {
+        let r = Registry::new();
+        {
+            let _adopt = adopt("phase");
+            let s = r.span("work");
+            assert_eq!(s.path(), "phase/work");
+        }
+        // After the guard drops, new spans root at top level again.
+        let s = r.span("work");
+        assert_eq!(s.path(), "work");
     }
 
     #[test]

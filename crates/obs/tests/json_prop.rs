@@ -1,0 +1,94 @@
+//! Property tests for the public JSON surfaces: arbitrary hostile
+//! metric names/values must always yield well-formed, round-trippable
+//! manifests and Chrome trace exports. The unit-level properties of
+//! the string/number emitters live in `src/json.rs`; these go through
+//! [`Manifest::to_json_line`] and [`fosm_obs::chrome::export`] the
+//! way real runs do.
+
+use fosm_obs::event::{EventKind, TraceEvent};
+use fosm_obs::{Manifest, Registry};
+use proptest::prelude::*;
+use serde::Value;
+
+/// Strings biased toward JSON-hostile content: control characters,
+/// quotes, backslashes, and multi-byte unicode.
+fn hostile_string() -> impl Strategy<Value = String> {
+    prop::collection::vec(
+        prop_oneof![
+            0u32..0x20,
+            Just('"' as u32),
+            Just('\\' as u32),
+            Just('/' as u32),
+            0x20u32..0x7f,
+            0xa0u32..0x800,
+        ],
+        0..24,
+    )
+    .prop_map(|codes| codes.into_iter().filter_map(char::from_u32).collect())
+}
+
+fn arb_event() -> impl Strategy<Value = TraceEvent> {
+    (
+        prop::sample::select(EventKind::ALL.to_vec()),
+        any::<u64>(),
+        0u64..1 << 40,
+        0u64..1 << 12,
+        prop_oneof![Just(f64::NAN), -1.0e6f64..1.0e6],
+    )
+        .prop_map(|(kind, inst, start, extent, predicted)| {
+            TraceEvent::new(kind, inst, start, start + extent, extent).annotate(predicted)
+        })
+}
+
+proptest! {
+    /// A manifest built from hostile names, values, and non-finite
+    /// gauges always parses, and the hostile strings survive intact.
+    #[test]
+    fn manifest_is_valid_json_under_hostile_input(
+        binary in hostile_string(),
+        key in hostile_string(),
+        value in hostile_string(),
+        gauge in prop_oneof![Just(f64::NAN), Just(f64::INFINITY), -1.0e12f64..1.0e12],
+    ) {
+        let r = Registry::new();
+        r.meta_set(&key, &value);
+        r.counter_add(&key, 3);
+        r.gauge_set("g", gauge);
+        r.record_span(&key, 1234);
+        let line = Manifest::new(&binary, r.snapshot()).to_json_line();
+        let v: Value = serde_json::from_str(&line).map_err(|e| {
+            TestCaseError::fail(format!("manifest not valid JSON: {e}\n{line}"))
+        })?;
+        prop_assert_eq!(v.get("binary"), Some(&Value::Str(binary)));
+        let meta = v.get("meta").expect("meta table");
+        prop_assert_eq!(meta.get(&key), Some(&Value::Str(value)));
+        if !gauge.is_finite() {
+            prop_assert_eq!(
+                v.get("gauges").and_then(|g| g.get("g")),
+                Some(&Value::Null)
+            );
+        }
+    }
+
+    /// Chrome exports of arbitrary event soups are well-formed JSON
+    /// and keep their event count and drop accounting.
+    #[test]
+    fn chrome_export_is_valid_json(
+        events in prop::collection::vec(arb_event(), 0..32),
+        dropped in 0u64..1000,
+    ) {
+        let out = fosm_obs::chrome::export(&events, dropped);
+        let v: Value = serde_json::from_str(&out).map_err(|e| {
+            TestCaseError::fail(format!("export not valid JSON: {e}"))
+        })?;
+        let Some(Value::Seq(entries)) = v.get("traceEvents") else {
+            return Err(TestCaseError::fail("traceEvents missing"));
+        };
+        // 9 metadata records precede the event records.
+        prop_assert_eq!(entries.len(), 9 + events.len());
+        prop_assert_eq!(
+            v.get("otherData").and_then(|d| d.get("dropped")),
+            Some(&Value::Str(dropped.to_string()))
+        );
+    }
+}

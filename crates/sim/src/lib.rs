@@ -43,5 +43,6 @@ mod report;
 
 pub use config::{ClusterConfig, FetchBufferConfig, MachineConfig, Steering};
 pub use fosm_branch::PredictorConfig;
+pub use fosm_obs::event::{EventKind, TraceEvent};
 pub use machine::Machine;
 pub use report::SimReport;

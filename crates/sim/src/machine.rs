@@ -5,6 +5,7 @@ use std::collections::VecDeque;
 use fosm_branch::Predictor;
 use fosm_cache::{AccessKind, AccessOutcome, Hierarchy, Tlb};
 use fosm_isa::{FuClass, Inst, Op, NUM_REGS};
+use fosm_obs::event::{EventKind, TraceEvent};
 use fosm_trace::TraceSource;
 
 use crate::{MachineConfig, SimReport};
@@ -32,6 +33,9 @@ struct WinEntry {
     mispredicted: bool,
     long_miss_load: bool,
     issued: bool,
+    /// Cycle the instruction entered the front-end pipe; anchors the
+    /// cycle extent of a traced mispredict (fetch stops here).
+    fetch_cycle: u64,
 }
 
 /// An instruction in the reorder buffer.
@@ -39,6 +43,35 @@ struct WinEntry {
 struct RobEntry {
     issued: bool,
     done: u64,
+}
+
+/// Records an I-fetch miss event plus the interval boundary it
+/// terminates (shared by the fetch-buffer and direct fetch paths).
+fn push_icache_event(
+    buf: &mut Vec<TraceEvent>,
+    last_boundary_cycle: &mut u64,
+    retired: u64,
+    seq: u64,
+    cycle: u64,
+    stall_until: u64,
+    delta: u64,
+) {
+    let onset = cycle.max(*last_boundary_cycle);
+    buf.push(TraceEvent::new(
+        EventKind::IntervalBoundary,
+        retired,
+        *last_boundary_cycle,
+        onset,
+        0,
+    ));
+    *last_boundary_cycle = onset;
+    buf.push(TraceEvent::new(
+        EventKind::ICacheMiss,
+        seq,
+        cycle,
+        stall_until,
+        delta,
+    ));
 }
 
 /// The detailed out-of-order machine (see the crate docs for the
@@ -118,10 +151,41 @@ impl Machine {
     /// Runs the machine over `trace` until the trace is exhausted and
     /// the pipeline drains, returning the report.
     ///
+    /// When the global miss-event tracer is enabled (`FOSM_TRACE` /
+    /// `--trace`), the run's events are flushed into it in one batch
+    /// at the end; disabled (the default), the only tracing cost is a
+    /// single atomic load per run.
+    ///
     /// Bound unbounded sources with [`TraceSource::take`] before
     /// passing them in.
     pub fn run<S: TraceSource>(&mut self, trace: &mut S) -> SimReport {
         let _run_span = fosm_obs::span("sim.run");
+        let tracer = fosm_obs::tracer();
+        if tracer.enabled() {
+            let mut events = Vec::new();
+            let report = self.run_impl(trace, Some(&mut events));
+            tracer.record_batch(&mut events);
+            report
+        } else {
+            self.run_impl(trace, None)
+        }
+    }
+
+    /// Like [`run`](Machine::run), but always collects this run's
+    /// miss events and returns them to the caller instead of the
+    /// global tracer. The report is identical to the untraced run's.
+    pub fn run_traced<S: TraceSource>(&mut self, trace: &mut S) -> (SimReport, Vec<TraceEvent>) {
+        let _run_span = fosm_obs::span("sim.run");
+        let mut events = Vec::new();
+        let report = self.run_impl(trace, Some(&mut events));
+        (report, events)
+    }
+
+    fn run_impl<S: TraceSource>(
+        &mut self,
+        trace: &mut S,
+        mut events: Option<&mut Vec<TraceEvent>>,
+    ) -> SimReport {
         let cfg = &self.config;
         let width = cfg.width as usize;
         let mut report = SimReport::default();
@@ -160,6 +224,9 @@ impl Machine {
         let mut steer_cursor = 0usize;
 
         let mut cycle: u64 = 0;
+        // Cycle the last traced interval closed at (monotonic; a miss
+        // event whose onset precedes it clamps forward).
+        let mut last_boundary_cycle: u64 = 0;
         loop {
             // ---- retire (in order, up to `width`) ----
             let mut retired = 0;
@@ -232,10 +299,49 @@ impl Machine {
                     let remaining = window.iter().filter(|w| !w.issued).count() as u64;
                     report.window_insts_at_mispredict_sum += remaining;
                     report.window_insts_at_mispredict_count += 1;
+                    if let Some(buf) = events.as_deref_mut() {
+                        // Fetch stopped when the branch entered the
+                        // pipe; useful instructions reach the window
+                        // again a pipe refill after it resolves.
+                        let onset = e.fetch_cycle.max(last_boundary_cycle);
+                        buf.push(TraceEvent::new(
+                            EventKind::IntervalBoundary,
+                            report.instructions,
+                            last_boundary_cycle,
+                            onset,
+                            0,
+                        ));
+                        last_boundary_cycle = onset;
+                        buf.push(TraceEvent::new(
+                            EventKind::BranchMispredict,
+                            e.seq,
+                            e.fetch_cycle,
+                            done + cfg.pipe_depth as u64,
+                            0,
+                        ));
+                    }
                 }
                 if e.long_miss_load {
                     report.rob_ahead_of_long_miss_sum += rob_idx as u64;
                     report.rob_ahead_of_long_miss_count += 1;
+                    if let Some(buf) = events.as_deref_mut() {
+                        let onset = cycle.max(last_boundary_cycle);
+                        buf.push(TraceEvent::new(
+                            EventKind::IntervalBoundary,
+                            report.instructions,
+                            last_boundary_cycle,
+                            onset,
+                            0,
+                        ));
+                        last_boundary_cycle = onset;
+                        buf.push(TraceEvent::new(
+                            EventKind::LongDCacheMiss,
+                            e.seq,
+                            cycle,
+                            done,
+                            cfg.mem_latency as u64,
+                        ));
+                    }
                 }
             }
             if issued > 0 {
@@ -357,6 +463,7 @@ impl Machine {
                     mispredicted: pe.mispredicted,
                     long_miss_load,
                     issued: false,
+                    fetch_cycle: pe.ready.saturating_sub(cfg.pipe_depth as u64),
                 });
                 dispatched += 1;
             }
@@ -401,12 +508,34 @@ impl Machine {
                                         report.icache_short_misses += 1;
                                         fetch_stall_until = cycle + cfg.l2_latency as u64;
                                         pending_inst = Some(i);
+                                        if let Some(buf) = events.as_deref_mut() {
+                                            push_icache_event(
+                                                buf,
+                                                &mut last_boundary_cycle,
+                                                report.instructions,
+                                                next_seq,
+                                                cycle,
+                                                fetch_stall_until,
+                                                cfg.l2_latency as u64,
+                                            );
+                                        }
                                         break;
                                     }
                                     AccessOutcome::Memory => {
                                         report.icache_long_misses += 1;
                                         fetch_stall_until = cycle + cfg.mem_latency as u64;
                                         pending_inst = Some(i);
+                                        if let Some(buf) = events.as_deref_mut() {
+                                            push_icache_event(
+                                                buf,
+                                                &mut last_boundary_cycle,
+                                                report.instructions,
+                                                next_seq,
+                                                cycle,
+                                                fetch_stall_until,
+                                                cfg.mem_latency as u64,
+                                            );
+                                        }
                                         break;
                                     }
                                 }
@@ -446,12 +575,34 @@ impl Machine {
                                     report.icache_short_misses += 1;
                                     fetch_stall_until = cycle + cfg.l2_latency as u64;
                                     pending_inst = Some(i);
+                                    if let Some(buf) = events.as_deref_mut() {
+                                        push_icache_event(
+                                            buf,
+                                            &mut last_boundary_cycle,
+                                            report.instructions,
+                                            next_seq,
+                                            cycle,
+                                            fetch_stall_until,
+                                            cfg.l2_latency as u64,
+                                        );
+                                    }
                                     break;
                                 }
                                 AccessOutcome::Memory => {
                                     report.icache_long_misses += 1;
                                     fetch_stall_until = cycle + cfg.mem_latency as u64;
                                     pending_inst = Some(i);
+                                    if let Some(buf) = events.as_deref_mut() {
+                                        push_icache_event(
+                                            buf,
+                                            &mut last_boundary_cycle,
+                                            report.instructions,
+                                            next_seq,
+                                            cycle,
+                                            fetch_stall_until,
+                                            cfg.mem_latency as u64,
+                                        );
+                                    }
                                     break;
                                 }
                             }
@@ -500,6 +651,17 @@ impl Machine {
         }
 
         report.cycles = cycle;
+        if let Some(buf) = events {
+            // Close the trailing interval (the steady-state tail after
+            // the last miss event).
+            buf.push(TraceEvent::new(
+                EventKind::IntervalBoundary,
+                report.instructions,
+                last_boundary_cycle,
+                cycle,
+                0,
+            ));
+        }
         report.observe_into(fosm_obs::global(), "sim");
         report
     }
@@ -724,6 +886,78 @@ mod tests {
         let r = Machine::new(MachineConfig::ideal()).run(&mut VecTrace::default());
         assert_eq!(r.instructions, 0);
         assert!(r.cycles <= 2);
+    }
+
+    #[test]
+    fn traced_run_reports_identically_and_collects_events() {
+        let mut insts = independents(800);
+        insts[400] = Inst::branch(400 * 4, Op::CondBranch, None, true, 401 * 4);
+        let mut cfg = MachineConfig::ideal();
+        cfg.predictor = PredictorConfig::NeverTaken;
+        let untraced = Machine::new(cfg.clone()).run(&mut VecTrace::new(insts.clone()));
+        let (traced, events) = Machine::new(cfg).run_traced(&mut VecTrace::new(insts));
+        // Tracing must not perturb the simulation.
+        assert_eq!(untraced, traced);
+        let branches: Vec<_> = events
+            .iter()
+            .filter(|e| e.kind == EventKind::BranchMispredict)
+            .collect();
+        assert_eq!(branches.len() as u64, traced.mispredicts);
+        let b = branches[0];
+        assert_eq!(b.inst, 400);
+        assert!(b.end > b.start, "mispredict extent must be positive");
+        assert!(b.predicted.is_nan(), "sim must not invent predictions");
+        // Every miss event terminates an interval; plus the tail.
+        let boundaries = events
+            .iter()
+            .filter(|e| e.kind == EventKind::IntervalBoundary)
+            .count();
+        assert_eq!(boundaries, branches.len() + 1);
+    }
+
+    #[test]
+    fn traced_event_counts_match_report_counters() {
+        // Tiny caches force both I-misses and a long D-miss.
+        let l1i = CacheConfig::new(128, 2, 64, Replacement::Lru).unwrap();
+        let l1d = CacheConfig::new(128, 2, 64, Replacement::Lru).unwrap();
+        let l2 = CacheConfig::new(256, 2, 64, Replacement::Lru).unwrap();
+        let mut insts = vec![Inst::load(0, Reg::new(40), None, 0x9000)];
+        insts.extend(independents(600).into_iter().map(|mut i| {
+            i.pc += 4;
+            i
+        }));
+        let mut cfg = MachineConfig::ideal();
+        cfg.hierarchy = HierarchyConfig {
+            l1i: Some(l1i),
+            l1d: Some(l1d),
+            l2: Some(l2),
+            next_line_prefetch: 0,
+        };
+        let (r, events) = Machine::new(cfg.clone()).run_traced(&mut VecTrace::new(insts));
+        let count = |kind: EventKind| events.iter().filter(|e| e.kind == kind).count() as u64;
+        assert_eq!(
+            count(EventKind::ICacheMiss),
+            r.icache_short_misses + r.icache_long_misses
+        );
+        assert_eq!(count(EventKind::LongDCacheMiss), r.dcache_long_misses);
+        assert!(r.dcache_long_misses >= 1);
+        // The long miss is charged the memory latency.
+        let d = events
+            .iter()
+            .find(|e| e.kind == EventKind::LongDCacheMiss)
+            .unwrap();
+        assert_eq!(d.delta, cfg.mem_latency as u64);
+        assert!(d.extent() >= cfg.mem_latency as u64);
+        // Intervals tile the run: boundaries are monotonic and the
+        // last one ends at the final cycle.
+        let bounds: Vec<_> = events
+            .iter()
+            .filter(|e| e.kind == EventKind::IntervalBoundary)
+            .collect();
+        for pair in bounds.windows(2) {
+            assert!(pair[0].end == pair[1].start, "intervals must tile");
+        }
+        assert_eq!(bounds.last().unwrap().end, r.cycles);
     }
 
     #[test]

@@ -36,6 +36,7 @@ use fosm_core::model::FirstOrderModel;
 use fosm_sim::MachineConfig;
 use fosm_workloads::BenchmarkSpec;
 
+use crate::events::{self, EventClassDiff};
 use crate::tolerance::ToleranceSpec;
 
 /// A validated CPI component.
@@ -199,6 +200,11 @@ pub struct CaseResult {
     /// sweep was asked to run it (the related-work accuracy baseline).
     #[serde(default)]
     pub statsim_cpi: Option<f64>,
+    /// Per-event-class sim-vs-model penalty diff on the full machine,
+    /// from the traced simulator run (one entry per
+    /// [`events::CLASSES`] entry, in that order).
+    #[serde(default)]
+    pub event_diff: Vec<EventClassDiff>,
 }
 
 impl CaseResult {
@@ -252,8 +258,10 @@ fn run_case_with(
     let (spec, n, seed) = (&case.bench, case.trace_len, case.seed);
 
     // Detailed-simulator references: the full machine and the four
-    // idealization variants, all config-derived.
-    let sim_full = store.simulate(&case.config, spec, n, seed);
+    // idealization variants, all config-derived. The full machine runs
+    // traced so its miss-event stream feeds the per-event diff below.
+    let traced_full = store.simulate_traced(&case.config, spec, n, seed);
+    let sim_full = &traced_full.0;
     let sim_ideal = store.simulate(&case.ideal_variant(), spec, n, seed);
     let sim_branch = store.simulate(&case.branch_variant(), spec, n, seed);
     let sim_icache = store.simulate(&case.icache_variant(), spec, n, seed);
@@ -287,7 +295,7 @@ fn run_case_with(
     let profile_branch = profile_for(&case.branch_variant());
     let profile_icache = profile_for(&case.icache_variant());
     let profile_dcache = profile_for(&case.dcache_variant());
-    let model = FirstOrderModel::new(params);
+    let model = FirstOrderModel::new(params.clone());
     let estimate = |profile: &fosm_core::profile::ProgramProfile| {
         model
             .evaluate(profile)
@@ -337,6 +345,11 @@ fn run_case_with(
         })
         .collect();
 
+    // Per-event diff: the model's effective per-event penalties (from
+    // the full-machine estimate) against the traced event stream.
+    let penalties = fosm_core::EventPenalties::from_estimate(&est_full, &profile_full);
+    let event_diff = events::diff(&traced_full.1, &penalties, &profile_full, &params);
+
     let statsim_cpi = statsim.then(|| {
         use fosm_statsim::{CollectorConfig, StatMachine, StatProfile, SynthesizedTrace};
         let trace = store.trace(spec, n, seed);
@@ -349,6 +362,7 @@ fn run_case_with(
         bench: spec.name.clone(),
         components,
         statsim_cpi,
+        event_diff,
     }
 }
 
@@ -459,6 +473,52 @@ mod tests {
         let total = result.row(Component::Total);
         assert!(total.model > 0.0 && total.sim > 0.0);
         assert!(result.statsim_cpi.is_none());
+    }
+
+    #[test]
+    fn event_diff_reconciles_with_the_model_adders() {
+        let store = ArtifactStore::new();
+        let case = CaseSpec {
+            config: MachineConfig::baseline(),
+            bench: BenchmarkSpec::gzip(),
+            trace_len: 20_000,
+            seed: harness::SEED,
+        };
+        let result = run_case(&store, &case, &ToleranceSpec::gate());
+        let classes: Vec<&str> = result.event_diff.iter().map(|d| d.class.as_str()).collect();
+        assert_eq!(classes, crate::events::CLASSES.to_vec());
+
+        // The model-side per-class CPI sums must reconcile with the
+        // estimate's aggregate miss adders (the ISSUE's 1e-6 gate). The
+        // four diffed classes exclude the dTLB adder, which has no
+        // traced event kind.
+        let params = harness::params_of(&case.config);
+        let trace = harness::record_seeded(&case.bench, case.trace_len, case.seed);
+        let profile = harness::profile_with(
+            &params,
+            &case.config.hierarchy,
+            case.config.predictor,
+            &case.bench.name,
+            &trace,
+        );
+        let est = harness::estimate(&params, &profile);
+        let model_sum: f64 = result.event_diff.iter().map(|d| d.model_cpi).sum();
+        let adders = est.total_cpi() - est.steady_state_cpi - est.dtlb_cpi;
+        assert!(
+            (model_sum - adders).abs() < 1e-6,
+            "per-class sum {model_sum} vs adders {adders}"
+        );
+
+        // The sim side saw real events and attributed real cycles.
+        for d in &result.event_diff {
+            assert!(d.sim_cpi.is_finite() && d.sim_cpi >= 0.0);
+            assert_eq!(d.histogram.len(), crate::events::HISTOGRAM_LABELS.len());
+            let bucketed: u64 =
+                d.histogram.iter().sum::<u64>() + d.histogram_overlapped.iter().sum::<u64>();
+            assert_eq!(bucketed, d.sim_events, "{}", d.class);
+        }
+        let branch = &result.event_diff[0];
+        assert!(branch.sim_events > 0, "gzip mispredicts under the baseline");
     }
 
     #[test]

@@ -12,6 +12,9 @@
 //!   the statistical simulator on identical inputs through the
 //!   memoizing artifact store, and measures per-component error using
 //!   config-derived idealization variants.
+//! * [`events`] — the per-event diff pass: buckets sim-vs-model
+//!   penalty error by miss-event class and by interval overlap, from
+//!   the detailed simulator's typed event trace.
 //! * [`tolerance`] — per-component tolerance bands
 //!   (`max(rel × |sim|, abs)`), with CLI-flag and JSON round-trips so
 //!   the committed gate baseline and ad-hoc overrides share one parser.
@@ -29,11 +32,13 @@
 #![warn(missing_docs)]
 
 pub mod differential;
+pub mod events;
 pub mod fuzz;
 pub mod report;
 pub mod tolerance;
 
 pub use differential::{CaseResult, CaseSpec, Component, ComponentRow};
+pub use events::EventClassDiff;
 pub use fuzz::{FuzzCase, FuzzFailure, FuzzOutcome};
 pub use report::{ValidationReport, SCHEMA_VERSION};
 pub use tolerance::{Band, ToleranceSpec};

@@ -13,7 +13,8 @@ use crate::tolerance::ToleranceSpec;
 
 /// Report schema version; bump on any incompatible field change so a
 /// stale committed baseline fails loudly instead of comparing garbage.
-pub const SCHEMA_VERSION: u32 = 1;
+/// v2: per-case `event_diff` (per-event-class penalty comparison).
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// One out-of-band component, with its provenance.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -176,6 +177,30 @@ impl ValidationReport {
         out
     }
 
+    /// Renders the sweep-wide per-event-class penalty diff: every
+    /// case's `event_diff` merged class-wise, then the table and error
+    /// histograms from [`crate::events::render`]. Empty when no case
+    /// carried an event diff (e.g. a report parsed from an old
+    /// baseline). The CI accuracy gate prints this on failure.
+    pub fn render_event_summary(&self) -> String {
+        let per_case: Vec<_> = self
+            .cases
+            .iter()
+            .map(|c| c.event_diff.clone())
+            .filter(|d| !d.is_empty())
+            .collect();
+        if per_case.is_empty() {
+            return String::new();
+        }
+        let instructions = self.trace_len * per_case.len() as u64;
+        let merged = crate::events::merge(&per_case, instructions);
+        format!(
+            "per-event diff across {} case(s):\n{}",
+            per_case.len(),
+            crate::events::render(&merged)
+        )
+    }
+
     /// Flushes per-case errors and the violation count into an
     /// observability registry under `validate.*`.
     pub fn observe_into(&self, registry: &fosm_obs::Registry) {
@@ -223,6 +248,7 @@ mod tests {
                 row(Component::Total, 1.00, 0.95, tol.total),
             ],
             statsim_cpi: None,
+            event_diff: Vec::new(),
         };
         ValidationReport::new(120_000, 42, tol, vec![case])
     }
@@ -282,6 +308,33 @@ mod tests {
         let empty = ValidationReport::new(0, 0, ToleranceSpec::gate(), Vec::new());
         assert_eq!(empty.mean_abs_total_error_pct(), 0.0);
         assert!(empty.passed());
+    }
+
+    #[test]
+    fn event_summary_is_empty_without_diffs_and_renders_with_them() {
+        let mut report = sample_report(0.21);
+        assert_eq!(report.render_event_summary(), "");
+        report.cases[0].event_diff = vec![crate::events::EventClassDiff {
+            class: "branch".to_string(),
+            sim_events: 10,
+            model_events: 11,
+            overlapped: 2,
+            sim_cycles: 120,
+            sim_per_event: 12.0,
+            model_per_event: 11.5,
+            sim_cpi: 0.01,
+            model_cpi: 0.011,
+            histogram: vec![0, 0, 0, 8, 0, 0, 0],
+            histogram_overlapped: vec![0, 0, 0, 2, 0, 0, 0],
+        }];
+        let summary = report.render_event_summary();
+        assert!(summary.contains("1 case(s)"));
+        assert!(summary.contains("branch"));
+        // Schema round-trips the event diff.
+        let back = ValidationReport::from_json(&report.to_json().unwrap()).unwrap();
+        assert_eq!(back.cases[0].event_diff.len(), 1);
+        assert_eq!(back.cases[0].event_diff[0].sim_events, 10);
+        assert_eq!(back.cases[0].event_diff[0].histogram.len(), 7);
     }
 
     #[test]
