@@ -4,9 +4,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use fosm_bench::harness;
-use fosm_branch::{Gshare, Predictor};
+use fosm_branch::{Gshare, Predictor, PredictorConfig};
 use fosm_cache::{AccessKind, Hierarchy, HierarchyConfig};
-use fosm_core::profile::ProfileCollector;
+use fosm_core::profile::{Probe, ProbeBank, ProfileCollector};
 use fosm_depgraph::iw;
 use fosm_isa::LatencyTable;
 use fosm_sim::MachineConfig;
@@ -16,9 +16,44 @@ use std::hint::black_box;
 
 const TRACE_LEN: u64 = 50_000;
 
+/// The five probe variants a validation case profiles (full machine
+/// plus the four single-source idealizations) — the workload the fused
+/// collector was built to accelerate.
+fn validation_bank(name: &str) -> ProbeBank {
+    let base = HierarchyConfig::baseline();
+    [
+        Probe::new(name),
+        Probe::new(name)
+            .with_hierarchy(HierarchyConfig::ideal())
+            .with_predictor(PredictorConfig::Ideal),
+        Probe::new(name)
+            .with_hierarchy(HierarchyConfig::ideal())
+            .with_predictor(PredictorConfig::baseline()),
+        Probe::new(name)
+            .with_hierarchy(HierarchyConfig {
+                l1i: base.l1i,
+                l1d: None,
+                l2: base.l2,
+                next_line_prefetch: 0,
+            })
+            .with_predictor(PredictorConfig::Ideal),
+        Probe::new(name)
+            .with_hierarchy(HierarchyConfig {
+                l1i: None,
+                l1d: base.l1d,
+                l2: base.l2,
+                next_line_prefetch: base.next_line_prefetch,
+            })
+            .with_predictor(PredictorConfig::Ideal),
+    ]
+    .into_iter()
+    .collect()
+}
+
 fn functional_toolchain(c: &mut Criterion) {
     let spec = BenchmarkSpec::gzip();
     let trace = harness::record(&spec, TRACE_LEN);
+    let insts = trace.decode();
     let params = harness::params_of(&MachineConfig::baseline());
 
     let mut group = c.benchmark_group("functional");
@@ -39,7 +74,7 @@ fn functional_toolchain(c: &mut Criterion) {
         b.iter(|| {
             let mut h = Hierarchy::new(HierarchyConfig::baseline()).unwrap();
             let mut hits = 0u64;
-            for inst in trace.insts() {
+            for inst in &insts {
                 if h.access(AccessKind::IFetch, inst.pc).is_l1_hit() {
                     hits += 1;
                 }
@@ -55,7 +90,7 @@ fn functional_toolchain(c: &mut Criterion) {
         b.iter(|| {
             let mut p = Gshare::new(13);
             let mut correct = 0u64;
-            for inst in trace.insts() {
+            for inst in &insts {
                 // Conditional branches without an outcome record are
                 // skipped, not unwrapped: a malformed trace must not
                 // panic the benchmark harness.
@@ -70,13 +105,13 @@ fn functional_toolchain(c: &mut Criterion) {
     });
 
     group.bench_function("iw-analysis-w64", |b| {
-        b.iter(|| black_box(iw::ipc_at_window(trace.insts(), 64, &LatencyTable::unit())))
+        b.iter(|| black_box(iw::ipc_at_window(&insts, 64, &LatencyTable::unit())))
     });
 
     group.bench_function("iw-analysis-w64-reference", |b| {
         b.iter(|| {
             black_box(iw::reference::ipc_at_window(
-                trace.insts(),
+                &insts,
                 64,
                 &LatencyTable::unit(),
             ))
@@ -86,7 +121,7 @@ fn functional_toolchain(c: &mut Criterion) {
     group.bench_function("iw-characteristic-all-windows", |b| {
         b.iter(|| {
             black_box(iw::characteristic(
-                trace.insts(),
+                &insts,
                 &iw::DEFAULT_WINDOW_SIZES,
                 &LatencyTable::unit(),
             ))
@@ -113,6 +148,36 @@ fn functional_toolchain(c: &mut Criterion) {
             black_box(
                 ProfileCollector::new(&params)
                     .collect(&mut trace.replay(), u64::MAX)
+                    .unwrap(),
+            )
+        })
+    });
+
+    // The five-variant validation workload, both ways: five sequential
+    // replays (the pre-fusion shape of `run_case`) vs one fused replay
+    // through the probe bank. The fused entry is the PR's headline
+    // number; the gate requires >= 2.5x between the two.
+    let bank = validation_bank(&spec.name);
+    group.bench_function("full-profile-sequential-x5", |b| {
+        b.iter(|| {
+            for probe in bank.probes() {
+                black_box(
+                    ProfileCollector::new(&params)
+                        .with_hierarchy(probe.hierarchy)
+                        .with_predictor(probe.predictor)
+                        .with_name(probe.name.clone())
+                        .collect(&mut trace.replay(), u64::MAX)
+                        .unwrap(),
+                );
+            }
+        })
+    });
+
+    group.bench_function("full-profile-fused-x5", |b| {
+        b.iter(|| {
+            black_box(
+                ProfileCollector::new(&params)
+                    .collect_many(&mut trace.replay(), &bank, u64::MAX)
                     .unwrap(),
             )
         })

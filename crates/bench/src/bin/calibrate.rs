@@ -60,14 +60,14 @@ fn calibrate_row(
     let generator = WorkloadGenerator::new(spec, 42);
     let code_kb = generator.program().code_bytes() / 1024;
     let trace = store.trace(spec, n, 42);
-    let insts = trace.insts();
+    let insts = trace.decode();
 
     // IW characteristic.
-    let pts = iw::characteristic(insts, &[4, 8, 16, 32, 64, 128], &LatencyTable::unit());
+    let pts = iw::characteristic(&insts, &[4, 8, 16, 32, 64, 128], &LatencyTable::unit());
     let law = powerlaw::fit(&pts).map_err(|e| format!("IW fit failed: {e}"))?;
 
     // Mix -> L (plus short-miss adjustment computed below).
-    let stats = TraceStats::from_source(&mut SliceTrace::new(insts), usize::MAX);
+    let stats = TraceStats::from_source(&mut SliceTrace::new(&insts), usize::MAX);
     let l_fu = stats.average_latency(&config.latencies);
 
     // Caches + predictor, built from the evaluation config.

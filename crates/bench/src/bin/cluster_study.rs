@@ -45,7 +45,7 @@ fn main() {
                     steering,
                 };
                 let sim = Machine::new(MachineConfig::baseline().with_clusters(cfg))
-                    .run(&mut trace.clone());
+                    .run(&mut trace.replay());
                 // First-order crossing fractions: round-robin crosses
                 // (k-1)/k of edges; dependence steering empirically
                 // crosses about a third of that.

@@ -21,8 +21,8 @@ fn main() {
     println!();
     let rows = par::par_map_benchmarks(&BenchmarkSpec::all(), |spec| {
         let trace = store.trace(spec, n, harness::SEED);
-        let points =
-            iw::characteristic(trace.insts(), &DEFAULT_WINDOW_SIZES, &LatencyTable::unit());
+        let insts = trace.decode();
+        let points = iw::characteristic(&insts, &DEFAULT_WINDOW_SIZES, &LatencyTable::unit());
         (spec.name.clone(), points)
     });
     for (name, points) in rows {

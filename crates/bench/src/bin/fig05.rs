@@ -15,8 +15,8 @@ fn main() {
     println!("Figure 5: linear (log-log) IW curve fit, illustrative benchmarks ({n} insts)");
     for spec in BenchmarkSpec::illustrative() {
         let trace = harness::record(&spec, n);
-        let points =
-            iw::characteristic(trace.insts(), &DEFAULT_WINDOW_SIZES, &LatencyTable::unit());
+        let insts = trace.decode();
+        let points = iw::characteristic(&insts, &DEFAULT_WINDOW_SIZES, &LatencyTable::unit());
         let law = powerlaw::fit(&points).expect("IW curves are power-law-like");
         let r2 = powerlaw::r_squared(&law, &points).unwrap_or(f64::NAN);
         println!(

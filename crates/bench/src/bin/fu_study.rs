@@ -46,7 +46,7 @@ fn main() {
         let profile = harness::profile(&params, &spec.name, &trace);
         for (label, pool) in &pools {
             let sim = Machine::new(MachineConfig::baseline().with_fu_limits(*pool))
-                .run(&mut trace.clone());
+                .run(&mut trace.replay());
             let est = FirstOrderModel::new(params.clone())
                 .with_fu_limits(*pool)
                 .evaluate(&profile)

@@ -10,7 +10,7 @@
 use fosm_bench::harness;
 use fosm_core::profile::ProfileCollector;
 use fosm_sim::{Machine, MachineConfig};
-use fosm_trace::VecTrace;
+use fosm_trace::{PackedTrace, VecTrace};
 use fosm_workloads::{BenchmarkSpec, PhasedGenerator};
 
 fn main() {
@@ -34,8 +34,8 @@ fn main() {
     for (a, b) in pairs {
         let mut generator =
             PhasedGenerator::new(&a, &b, phase_len, harness::SEED).expect("valid phases");
-        let trace = VecTrace::record(&mut generator, n);
-        let sim = Machine::new(config.clone()).run(&mut trace.clone());
+        let trace = PackedTrace::record(&mut generator, n);
+        let sim = Machine::new(config.clone()).run(&mut trace.replay());
 
         // Whole-trace: one profile of the mixed stream.
         let whole = harness::estimate(
@@ -46,7 +46,7 @@ fn main() {
 
         // Per-phase: split the recorded trace at phase boundaries and
         // profile each phase's instructions separately.
-        let insts = trace.insts();
+        let insts = trace.decode();
         let mut phase_cpis = [0.0f64; 2];
         let mut phase_weights = [0.0f64; 2];
         for phase in 0..2usize {

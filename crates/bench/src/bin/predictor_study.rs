@@ -6,7 +6,7 @@
 
 use fosm_bench::harness;
 use fosm_branch::PredictorConfig;
-use fosm_core::profile::ProfileCollector;
+use fosm_core::profile::{Probe, ProbeBank};
 use fosm_sim::MachineConfig;
 use fosm_workloads::BenchmarkSpec;
 
@@ -44,15 +44,15 @@ fn main() {
     for spec in BenchmarkSpec::all() {
         let trace = harness::record(&spec, n);
         print!("{:<8}", spec.name);
-        for (_, cfg) in &predictors {
-            let mut replay = trace.clone();
-            replay.reset();
-            let profile = ProfileCollector::new(&params)
-                .with_predictor(*cfg)
-                .with_name(&spec.name)
-                .collect(&mut replay, u64::MAX)
-                .expect("profile");
-            let est = harness::estimate(&params, &profile);
+        // All five predictors ride one fused replay: the caches, mix,
+        // and IW analysis are shared, only the predictors differ.
+        let bank: ProbeBank = predictors
+            .iter()
+            .map(|(_, cfg)| Probe::new(spec.name.clone()).with_predictor(*cfg))
+            .collect();
+        let profiles = harness::profile_many(&params, &bank, &trace).expect("profiles");
+        for profile in &profiles {
+            let est = harness::estimate(&params, profile);
             print!(
                 " {:>8.1}%/{:>6.3}",
                 profile.mispredict_rate() * 100.0,

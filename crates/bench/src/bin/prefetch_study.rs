@@ -8,9 +8,8 @@
 //! pointer-chasing ones barely at all.
 
 use fosm_bench::harness;
-use fosm_branch::PredictorConfig;
 use fosm_cache::HierarchyConfig;
-use fosm_core::profile::ProfileCollector;
+use fosm_core::profile::{Probe, ProbeBank};
 use fosm_sim::{Machine, MachineConfig};
 use fosm_workloads::BenchmarkSpec;
 
@@ -31,20 +30,24 @@ fn main() {
         BenchmarkSpec::twolf(),
     ] {
         let trace = harness::record(&spec, n);
-        for lines in [0u32, 1, 2] {
+        let depths = [0u32, 1, 2];
+        // One fused replay profiles every prefetch depth at once.
+        let bank: ProbeBank = depths
+            .iter()
+            .map(|&lines| {
+                Probe::new(spec.name.clone())
+                    .with_hierarchy(HierarchyConfig::baseline().with_next_line_prefetch(lines))
+            })
+            .collect();
+        let profiles = harness::profile_many(&params, &bank, &trace).expect("profiles");
+        for (lines, profile) in depths.into_iter().zip(&profiles) {
             let hierarchy = HierarchyConfig::baseline().with_next_line_prefetch(lines);
             let cfg = MachineConfig {
                 hierarchy,
                 ..MachineConfig::baseline()
             };
-            let sim = Machine::new(cfg).run(&mut trace.clone());
-            let profile = ProfileCollector::new(&params)
-                .with_hierarchy(hierarchy)
-                .with_predictor(PredictorConfig::baseline())
-                .with_name(&spec.name)
-                .collect(&mut trace.clone(), u64::MAX)
-                .expect("profile");
-            let est = harness::estimate(&params, &profile);
+            let sim = Machine::new(cfg).run(&mut trace.replay());
+            let est = harness::estimate(&params, profile);
             println!(
                 "{:<8} {:>9} {:>10.2} {:>10.3} {:>10.3} {:>7.1}%",
                 spec.name,

@@ -6,7 +6,7 @@
 use fosm_bench::harness;
 use fosm_cache::TlbConfig;
 use fosm_core::model::FirstOrderModel;
-use fosm_core::profile::ProfileCollector;
+use fosm_core::profile::{Probe, ProbeBank};
 use fosm_sim::{Machine, MachineConfig};
 use fosm_workloads::BenchmarkSpec;
 
@@ -26,21 +26,23 @@ fn main() {
         BenchmarkSpec::parser(),
     ] {
         let trace = harness::record(&spec, n);
-        for entries in [16u32, 64, 256] {
-            let tlb = TlbConfig {
-                entries,
-                page_bytes: 4096,
-                walk_latency: 120,
-            };
+        let sizes = [16u32, 64, 256];
+        let tlbs = sizes.map(|entries| TlbConfig {
+            entries,
+            page_bytes: 4096,
+            walk_latency: 120,
+        });
+        // One fused replay profiles every TLB size at once.
+        let bank: ProbeBank = tlbs
+            .iter()
+            .map(|&tlb| Probe::new(spec.name.clone()).with_dtlb(tlb))
+            .collect();
+        let profiles = harness::profile_many(&params, &bank, &trace).expect("profiles");
+        for ((entries, tlb), profile) in sizes.into_iter().zip(tlbs).zip(&profiles) {
             let sim =
-                Machine::new(MachineConfig::baseline().with_dtlb(tlb)).run(&mut trace.clone());
-            let profile = ProfileCollector::new(&params)
-                .with_dtlb(tlb)
-                .with_name(&spec.name)
-                .collect(&mut trace.clone(), u64::MAX)
-                .expect("profile");
+                Machine::new(MachineConfig::baseline().with_dtlb(tlb)).run(&mut trace.replay());
             let est = FirstOrderModel::new(params.clone())
-                .evaluate(&profile)
+                .evaluate(profile)
                 .expect("estimate");
             println!(
                 "{:<8} {:>8} {:>9.2} {:>9.3} {:>9.3} {:>6.1}%",

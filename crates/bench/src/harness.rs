@@ -4,9 +4,10 @@ use fosm_branch::PredictorConfig;
 use fosm_cache::HierarchyConfig;
 use fosm_core::model::{Estimate, FirstOrderModel};
 use fosm_core::params::ProcessorParams;
-use fosm_core::profile::{ProfileCollector, ProgramProfile};
+use fosm_core::profile::{ProbeBank, ProfileCollector, ProgramProfile};
+use fosm_core::ModelError;
 use fosm_sim::{Machine, MachineConfig, SimReport};
-use fosm_trace::VecTrace;
+use fosm_trace::PackedTrace;
 use fosm_workloads::{BenchmarkSpec, WorkloadGenerator};
 
 /// Default dynamic trace length per benchmark. Override with the first
@@ -149,20 +150,21 @@ impl Drop for ObsSession {
     }
 }
 
-/// Records `n` instructions of the benchmark's dynamic stream.
-pub fn record(spec: &BenchmarkSpec, n: u64) -> VecTrace {
+/// Records `n` instructions of the benchmark's dynamic stream into the
+/// packed SoA layout (see [`PackedTrace`]).
+pub fn record(spec: &BenchmarkSpec, n: u64) -> PackedTrace {
     record_seeded(spec, n, SEED)
 }
 
 /// Records `n` instructions with an explicit dynamic seed.
-pub fn record_seeded(spec: &BenchmarkSpec, n: u64, seed: u64) -> VecTrace {
+pub fn record_seeded(spec: &BenchmarkSpec, n: u64, seed: u64) -> PackedTrace {
     let _span = fosm_obs::span("record");
     let mut generator = WorkloadGenerator::new(spec, seed);
-    VecTrace::record(&mut generator, n)
+    PackedTrace::record(&mut generator, n)
 }
 
 /// Runs the detailed simulator over (a fresh replay of) `trace`.
-pub fn simulate(config: &MachineConfig, trace: &VecTrace) -> SimReport {
+pub fn simulate(config: &MachineConfig, trace: &PackedTrace) -> SimReport {
     let _span = fosm_obs::span("simulate");
     Machine::new(config.clone()).run(&mut trace.replay())
 }
@@ -171,7 +173,7 @@ pub fn simulate(config: &MachineConfig, trace: &VecTrace) -> SimReport {
 /// report is identical to [`simulate`]'s).
 pub fn simulate_traced(
     config: &MachineConfig,
-    trace: &VecTrace,
+    trace: &PackedTrace,
 ) -> (SimReport, Vec<fosm_sim::TraceEvent>) {
     let _span = fosm_obs::span("simulate");
     Machine::new(config.clone()).run_traced(&mut trace.replay())
@@ -179,7 +181,7 @@ pub fn simulate_traced(
 
 /// Collects the functional-level profile the model consumes, under the
 /// paper's baseline cache hierarchy and predictor.
-pub fn profile(params: &ProcessorParams, name: &str, trace: &VecTrace) -> ProgramProfile {
+pub fn profile(params: &ProcessorParams, name: &str, trace: &PackedTrace) -> ProgramProfile {
     profile_with(
         params,
         &HierarchyConfig::baseline(),
@@ -187,25 +189,48 @@ pub fn profile(params: &ProcessorParams, name: &str, trace: &VecTrace) -> Progra
         name,
         trace,
     )
+    .expect("baseline profile collection on a recorded trace succeeds")
 }
 
 /// Collects a profile under an explicit cache hierarchy and branch
 /// predictor — the differential-validation harness profiles each
 /// machine variant (ideal, branch-only, …) on identical inputs.
+///
+/// # Errors
+///
+/// Propagates [`ModelError`] from collection: arbitrary (e.g. fuzzed)
+/// configurations can legitimately fail — an invalid hierarchy, or a
+/// trace too degenerate to fit an IW characteristic.
 pub fn profile_with(
     params: &ProcessorParams,
     hierarchy: &HierarchyConfig,
     predictor: PredictorConfig,
     name: &str,
-    trace: &VecTrace,
-) -> ProgramProfile {
+    trace: &PackedTrace,
+) -> Result<ProgramProfile, ModelError> {
     let _span = fosm_obs::span("profile");
     ProfileCollector::new(params)
         .with_hierarchy(*hierarchy)
         .with_predictor(predictor)
         .with_name(name)
         .collect(&mut trace.replay(), u64::MAX)
-        .expect("profile collection on a recorded trace succeeds")
+}
+
+/// Collects one profile per probe in `bank` from a **single** fused
+/// replay of `trace` (see [`ProfileCollector::collect_many`]): the
+/// stream, mix, and IW analysis are shared; results are bit-identical
+/// to per-probe [`profile_with`] calls at roughly `1/N` the cost.
+///
+/// # Errors
+///
+/// As [`profile_with`].
+pub fn profile_many(
+    params: &ProcessorParams,
+    bank: &ProbeBank,
+    trace: &PackedTrace,
+) -> Result<Vec<ProgramProfile>, ModelError> {
+    let _span = fosm_obs::span("profile");
+    ProfileCollector::new(params).collect_many(&mut trace.replay(), bank, u64::MAX)
 }
 
 /// Evaluates the first-order model on a profile.

@@ -31,9 +31,10 @@ use std::sync::{Arc, Mutex, OnceLock};
 use fosm_branch::PredictorConfig;
 use fosm_cache::HierarchyConfig;
 use fosm_core::params::ProcessorParams;
-use fosm_core::profile::ProgramProfile;
+use fosm_core::profile::{Probe, ProbeBank, ProgramProfile};
+use fosm_core::ModelError;
 use fosm_sim::{MachineConfig, SimReport};
-use fosm_trace::VecTrace;
+use fosm_trace::PackedTrace;
 use fosm_workloads::BenchmarkSpec;
 
 use crate::harness;
@@ -119,7 +120,7 @@ type TracedRun = (SimReport, Vec<fosm_sim::TraceEvent>);
 /// be created for tests.
 #[derive(Default)]
 pub struct ArtifactStore {
-    traces: Mutex<HashMap<TraceKey, Arc<VecTrace>>>,
+    traces: Mutex<HashMap<TraceKey, Arc<PackedTrace>>>,
     reports: Mutex<HashMap<(TraceKey, String), Arc<SimReport>>>,
     traced: Mutex<HashMap<(TraceKey, String), Arc<TracedRun>>>,
     profiles: Mutex<HashMap<(TraceKey, String, String), Arc<ProgramProfile>>>,
@@ -140,8 +141,9 @@ impl ArtifactStore {
         GLOBAL.get_or_init(ArtifactStore::new)
     }
 
-    /// The benchmark's recorded trace, recording it on first use.
-    pub fn trace(&self, spec: &BenchmarkSpec, n: u64, seed: u64) -> Arc<VecTrace> {
+    /// The benchmark's recorded trace (packed SoA layout), recording
+    /// it on first use.
+    pub fn trace(&self, spec: &BenchmarkSpec, n: u64, seed: u64) -> Arc<PackedTrace> {
         memo(
             &self.traces,
             &self.trace_traffic,
@@ -225,11 +227,17 @@ impl ArtifactStore {
             n,
             seed,
         )
+        .expect("baseline profile collection on a recorded trace succeeds")
     }
 
     /// The functional profile under an explicit cache hierarchy and
     /// branch predictor, keyed by the full functional configuration so
     /// machine variants (ideal, branch-only, …) never collide.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ModelError`] from collection (arbitrary fuzzed
+    /// configurations can legitimately fail); errors are not memoized.
     #[allow(clippy::too_many_arguments)]
     pub fn profile_with(
         &self,
@@ -240,18 +248,80 @@ impl ArtifactStore {
         spec: &BenchmarkSpec,
         n: u64,
         seed: u64,
-    ) -> Arc<ProgramProfile> {
-        let trace = self.trace(spec, n, seed);
-        memo(
-            &self.profiles,
-            &self.profile_traffic,
-            (
-                trace_key(spec, n, seed),
-                format!("{params:?}|{hierarchy:?}|{predictor:?}"),
-                name.to_string(),
-            ),
-            || harness::profile_with(params, hierarchy, predictor, name, &trace),
-        )
+    ) -> Result<Arc<ProgramProfile>, ModelError> {
+        let probe = Probe {
+            hierarchy: *hierarchy,
+            predictor,
+            dtlb: None,
+            name: name.to_string(),
+        };
+        let bank = ProbeBank::from(vec![probe]);
+        let mut profiles = self.profile_many(params, &bank, spec, n, seed)?;
+        Ok(profiles.pop().expect("one probe yields one profile"))
+    }
+
+    /// One functional profile per probe in `bank` (bank order), keyed
+    /// individually: memoized probes are served from the store, and
+    /// all missing probes are collected together in a **single fused
+    /// replay** (see [`harness::profile_many`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`profile_with`](Self::profile_with).
+    pub fn profile_many(
+        &self,
+        params: &ProcessorParams,
+        bank: &ProbeBank,
+        spec: &BenchmarkSpec,
+        n: u64,
+        seed: u64,
+    ) -> Result<Vec<Arc<ProgramProfile>>, ModelError> {
+        if bank.is_empty() {
+            return Ok(Vec::new());
+        }
+        let keys: Vec<_> = bank
+            .probes()
+            .iter()
+            .map(|probe| {
+                (
+                    trace_key(spec, n, seed),
+                    probe_config_key(params, probe),
+                    probe.name.clone(),
+                )
+            })
+            .collect();
+        let mut slots: Vec<Option<Arc<ProgramProfile>>> = {
+            let table = self.profiles.lock().expect("store lock");
+            keys.iter().map(|key| table.get(key).cloned()).collect()
+        };
+        let missing: Vec<usize> = (0..slots.len()).filter(|&i| slots[i].is_none()).collect();
+        for slot in &slots {
+            if slot.is_some() {
+                self.profile_traffic.hit();
+            } else {
+                self.profile_traffic.miss();
+            }
+        }
+        if !missing.is_empty() {
+            let trace = self.trace(spec, n, seed);
+            let sub_bank: ProbeBank = missing.iter().map(|&i| bank.probes()[i].clone()).collect();
+            let computed = harness::profile_many(params, &sub_bank, &trace)?;
+            let mut table = self.profiles.lock().expect("store lock");
+            for (&i, profile) in missing.iter().zip(computed) {
+                let arc = match table.entry(keys[i].clone()) {
+                    std::collections::hash_map::Entry::Occupied(e) => Arc::clone(e.get()),
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        self.profile_traffic.insert();
+                        Arc::clone(e.insert(Arc::new(profile)))
+                    }
+                };
+                slots[i] = Some(arc);
+            }
+        }
+        Ok(slots
+            .into_iter()
+            .map(|slot| slot.expect("every probe resolved"))
+            .collect())
     }
 
     /// Current hit/miss counts.
@@ -272,6 +342,16 @@ impl ArtifactStore {
 
 fn trace_key(spec: &BenchmarkSpec, n: u64, seed: u64) -> TraceKey {
     (format!("{spec:?}"), seed, n)
+}
+
+/// Configuration half of a profile key: the full functional setup,
+/// including the optional data TLB, so no two probe configurations can
+/// share an entry.
+fn probe_config_key(params: &ProcessorParams, probe: &Probe) -> String {
+    format!(
+        "{params:?}|{:?}|{:?}|{:?}",
+        probe.hierarchy, probe.predictor, probe.dtlb
+    )
 }
 
 /// Double-checked memoization: the value is computed *outside* the
@@ -342,7 +422,7 @@ mod tests {
         let c = store.trace(&spec, 1_500, 7); // different length
         assert!(!Arc::ptr_eq(&a, &b));
         assert!(!Arc::ptr_eq(&a, &c));
-        assert_ne!(a.insts(), b.insts());
+        assert_ne!(&*a, &*b);
     }
 
     #[test]
@@ -394,10 +474,49 @@ mod tests {
     fn concurrent_lookups_converge_on_one_value() {
         let store = ArtifactStore::new();
         let spec = BenchmarkSpec::gzip();
-        let traces: Vec<Arc<VecTrace>> =
+        let traces: Vec<Arc<PackedTrace>> =
             crate::par::par_map(&[0u32; 8], 8, |_| store.trace(&spec, 1_000, 3));
         for t in &traces {
             assert!(Arc::ptr_eq(t, &traces[0]));
         }
+    }
+
+    #[test]
+    fn profile_many_serves_hits_and_fuses_the_rest() {
+        let store = ArtifactStore::new();
+        let spec = BenchmarkSpec::gzip();
+        let params = harness::params_of(&MachineConfig::baseline());
+        // Warm one probe through the single-probe path.
+        let warm = store
+            .profile_with(
+                &params,
+                &HierarchyConfig::ideal(),
+                PredictorConfig::Ideal,
+                &spec.name,
+                &spec,
+                3_000,
+                harness::SEED,
+            )
+            .expect("profile");
+        let bank = ProbeBank::from(vec![
+            Probe::new(spec.name.clone())
+                .with_hierarchy(HierarchyConfig::ideal())
+                .with_predictor(PredictorConfig::Ideal),
+            Probe::new(spec.name.clone()),
+        ]);
+        let profiles = store
+            .profile_many(&params, &bank, &spec, 3_000, harness::SEED)
+            .expect("fused profiles");
+        assert_eq!(profiles.len(), 2);
+        // First probe is the memoized allocation; second was collected
+        // in the fused fill and matches a direct computation.
+        assert!(Arc::ptr_eq(&profiles[0], &warm));
+        let trace = store.trace(&spec, 3_000, harness::SEED);
+        let direct = harness::profile(&params, &spec.name, &trace);
+        assert_eq!(*profiles[1], direct);
+        let s = store.stats();
+        assert_eq!(s.profile_hits, 1);
+        assert_eq!(s.profile_misses, 2);
+        assert_eq!(s.profile_inserts, 2);
     }
 }

@@ -1,9 +1,10 @@
 //! The CLI subcommands.
 
+use fosm_branch::PredictorConfig;
 use fosm_cache::{HierarchyConfig, TlbConfig};
 use fosm_core::model::FirstOrderModel;
 use fosm_core::params::ProcessorParams;
-use fosm_core::profile::{ProfileCollector, ProgramProfile, SamplingPlan};
+use fosm_core::profile::{Probe, ProbeBank, ProfileCollector, ProgramProfile, SamplingPlan};
 use fosm_isa::FuPool;
 use fosm_sim::{ClusterConfig, FetchBufferConfig, Machine, MachineConfig, Steering};
 use fosm_trace::io::{TraceFileReader, TraceFileWriter};
@@ -103,31 +104,130 @@ pub fn stats(args: Parsed) -> Result<(), String> {
     Ok(())
 }
 
-/// `fosm profile <trace.trc> [-o out.json] [machine flags]`
+/// The systematic sampling plan from `--sample/--warmup/--period`, or
+/// `None` when `--sample` was not given.
+fn sampling_plan_from(args: &Parsed) -> Result<Option<SamplingPlan>, String> {
+    let Some(sample) = args.flag("sample") else {
+        return Ok(None);
+    };
+    let sample: u64 = sample.parse().map_err(|e| format!("bad --sample: {e}"))?;
+    Ok(Some(SamplingPlan {
+        sample,
+        warmup: args.flag_or("warmup", 0u64)?,
+        period: args.flag_or("period", 10 * sample)?,
+    }))
+}
+
+/// Builds one named probe variant for `fosm profile --probes`. The
+/// variant names mirror the validation suite's simulation sets: the
+/// full machine plus the four single-source idealizations.
+fn probe_variant(
+    name: &str,
+    trace: &str,
+    hierarchy: HierarchyConfig,
+    dtlb: Option<TlbConfig>,
+) -> Result<Probe, String> {
+    let probe = Probe::new(format!("{trace}:{name}"));
+    let ideal = HierarchyConfig::ideal();
+    Ok(match name {
+        "full" => {
+            let mut p = probe.with_hierarchy(hierarchy);
+            if let Some(tlb) = dtlb {
+                p = p.with_dtlb(tlb);
+            }
+            p
+        }
+        "ideal" => probe
+            .with_hierarchy(ideal)
+            .with_predictor(PredictorConfig::Ideal),
+        "branch" => probe.with_hierarchy(ideal),
+        "icache" => probe
+            .with_hierarchy(HierarchyConfig {
+                l1i: hierarchy.l1i,
+                l1d: None,
+                l2: hierarchy.l2,
+                next_line_prefetch: 0,
+            })
+            .with_predictor(PredictorConfig::Ideal),
+        "dcache" => {
+            let mut p = probe
+                .with_hierarchy(HierarchyConfig {
+                    l1i: None,
+                    l1d: hierarchy.l1d,
+                    l2: hierarchy.l2,
+                    next_line_prefetch: hierarchy.next_line_prefetch,
+                })
+                .with_predictor(PredictorConfig::Ideal);
+            if let Some(tlb) = dtlb {
+                p = p.with_dtlb(tlb);
+            }
+            p
+        }
+        other => {
+            return Err(format!(
+                "unknown probe `{other}` (expected full, ideal, branch, icache, or dcache)"
+            ))
+        }
+    })
+}
+
+/// `fosm profile <trace.trc> [-o out.json] [--probes LIST] [machine flags]`
 pub fn profile(args: Parsed) -> Result<(), String> {
     let path = args.positional(0, "trace file")?;
     let params = machine_params(&args)?;
+    let hierarchy = hierarchy_from(&args)?;
+    let dtlb = tlb_from(&args)?;
+    let plan = sampling_plan_from(&args)?;
     let mut reader = TraceFileReader::new(open_in(path)?).map_err(|e| e.to_string())?;
+
+    if let Some(list) = args.flag("probes") {
+        // One fused replay profiles every requested variant at once.
+        let bank: ProbeBank = list
+            .split(',')
+            .map(|name| probe_variant(name.trim(), path, hierarchy, dtlb))
+            .collect::<Result<Vec<Probe>, String>>()?
+            .into();
+        let collector = ProfileCollector::new(&params);
+        let profiles = match plan {
+            Some(plan) => collector.collect_many_sampled(&mut reader, &bank, plan, u64::MAX),
+            None => collector.collect_many(&mut reader, &bank, u64::MAX),
+        }
+        .map_err(|e| e.to_string())?;
+        if let Some(e) = reader.take_error() {
+            return Err(format!("trace file {path}: {e}"));
+        }
+        match args.flag("out") {
+            Some(out) => {
+                serde_json::to_writer_pretty(open_out(out)?, &profiles)
+                    .map_err(|e| e.to_string())?;
+                println!(
+                    "wrote {} fused profiles ({} instructions each) to {out}",
+                    profiles.len(),
+                    profiles.first().map_or(0, |p| p.instructions)
+                );
+            }
+            None => {
+                serde_json::to_writer_pretty(std::io::stdout().lock(), &profiles)
+                    .map_err(|e| e.to_string())?;
+                println!();
+            }
+        }
+        return Ok(());
+    }
+
     let mut collector = ProfileCollector::new(&params)
-        .with_hierarchy(hierarchy_from(&args)?)
+        .with_hierarchy(hierarchy)
         .with_name(path);
-    if let Some(tlb) = tlb_from(&args)? {
+    if let Some(tlb) = dtlb {
         collector = collector.with_dtlb(tlb);
     }
-    let profile = if let Some(sample) = args.flag("sample") {
-        let sample: u64 = sample.parse().map_err(|e| format!("bad --sample: {e}"))?;
-        let plan = SamplingPlan {
-            sample,
-            warmup: args.flag_or("warmup", 0u64)?,
-            period: args.flag_or("period", 10 * sample)?,
-        };
-        collector
+    let profile = match plan {
+        Some(plan) => collector
             .collect_sampled(&mut reader, plan, u64::MAX)
-            .map_err(|e| e.to_string())?
-    } else {
-        collector
+            .map_err(|e| e.to_string())?,
+        None => collector
             .collect(&mut reader, u64::MAX)
-            .map_err(|e| e.to_string())?
+            .map_err(|e| e.to_string())?,
     };
     if let Some(e) = reader.take_error() {
         return Err(format!("trace file {path}: {e}"));
@@ -329,7 +429,8 @@ pub fn validate(args: Parsed) -> Result<(), String> {
         threads,
         statsim: args.has("statsim"),
     };
-    let results = fosm_validate::differential::sweep(store, &cases, &tol, options);
+    let results = fosm_validate::differential::sweep(store, &cases, &tol, options)
+        .map_err(|e| format!("validation sweep failed: {e}"))?;
     let report = fosm_validate::ValidationReport::new(insts, seed, tol, results);
     report.observe_into(fosm_obs::global());
 
@@ -454,7 +555,8 @@ pub fn trace(args: Parsed) -> Result<(), String> {
         config.predictor,
         &spec.name,
         &trace,
-    );
+    )
+    .map_err(|e| format!("profile collection failed: {e}"))?;
     let (est, penalties) = FirstOrderModel::new(params.clone())
         .event_penalties(&profile)
         .map_err(|e| e.to_string())?;

@@ -105,7 +105,7 @@ fn print_usage() {
 USAGE:
     fosm record  --bench <name> [--insts N] [--seed S] -o <trace.trc>
     fosm stats   <trace.trc>
-    fosm profile <trace.trc> [-o <profile.json>] [machine flags]
+    fosm profile <trace.trc> [-o <profile.json>] [--probes LIST] [machine flags]
     fosm model   <profile.json> [machine flags]
     fosm simulate <trace.trc> [machine flags] [--ideal]
     fosm validate [validation flags] [machine flags]
@@ -154,7 +154,11 @@ EXTENSION FLAGS (paper §7 features):
     --forward D   inter-cluster forwarding, cycles   (simulate; default 1)
     --fu          alpha-like functional-unit limits  (simulate)
     --buffer N    N-entry instruction fetch buffer   (simulate)
-    --sample S --warmup W --period P   sampled profiling (profile)"
+    --sample S --warmup W --period P   sampled profiling (profile)
+    --probes LIST  comma list of probe variants profiled from ONE fused
+                   trace replay (profile): full, ideal, branch, icache,
+                   dcache — e.g. --probes full,ideal,branch; emits a
+                   JSON array in list order"
     );
 }
 

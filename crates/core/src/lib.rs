@@ -64,4 +64,4 @@ pub use error::ModelError;
 pub use events::EventPenalties;
 pub use model::{Estimate, FirstOrderModel};
 pub use params::ProcessorParams;
-pub use profile::{ProfileCollector, ProgramProfile, SamplingPlan};
+pub use profile::{Probe, ProbeBank, ProfileCollector, ProgramProfile, SamplingPlan};

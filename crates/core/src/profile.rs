@@ -13,7 +13,7 @@ use fosm_cache::{
     AccessKind, AccessOutcome, BurstDistribution, Hierarchy, HierarchyConfig, LongMissRecorder,
     Tlb, TlbConfig,
 };
-use fosm_depgraph::IwCharacteristic;
+use fosm_depgraph::{IwAnalysis, IwCharacteristic, IwSweep};
 use fosm_isa::{FuClass, Op, NUM_REGS};
 use fosm_trace::TraceSource;
 use serde::{Deserialize, Serialize};
@@ -257,17 +257,89 @@ impl ProfileCollector {
         plan: SamplingPlan,
         max_counted: u64,
     ) -> Result<ProgramProfile, ModelError> {
+        let bank = ProbeBank::from(vec![self.probe()]);
+        let mut profiles = self.collect_many_sampled(trace, &bank, plan, max_counted)?;
+        Ok(profiles.pop().expect("one probe yields one profile"))
+    }
+
+    /// The collector's own configuration as a standalone [`Probe`].
+    pub fn probe(&self) -> Probe {
+        Probe {
+            hierarchy: self.hierarchy,
+            predictor: self.predictor,
+            dtlb: self.dtlb,
+            name: self.name.clone(),
+        }
+    }
+
+    /// Profiles every probe in `bank` from **one** replay of `trace`.
+    ///
+    /// The instruction stream, functional-unit mix, and idealized IW
+    /// sweep are shared across the bank; each probe keeps its own
+    /// caches, predictor, TLB, and miss bookkeeping. The returned
+    /// profiles (in bank order) are bit-identical to running
+    /// [`collect`](Self::collect) once per probe against fresh replays
+    /// of the same trace — fusion changes the cost, not the answer.
+    ///
+    /// An empty bank returns no profiles without consuming the trace.
+    ///
+    /// # Errors
+    ///
+    /// As [`collect`](Self::collect).
+    pub fn collect_many<S: TraceSource>(
+        &self,
+        trace: &mut S,
+        bank: &ProbeBank,
+        max_insts: u64,
+    ) -> Result<Vec<ProgramProfile>, ModelError> {
+        let plan = SamplingPlan {
+            sample: u64::MAX,
+            warmup: 0,
+            period: u64::MAX,
+        };
+        self.collect_many_sampled(trace, bank, plan, max_insts)
+    }
+
+    /// [`collect_many`](Self::collect_many) under a [`SamplingPlan`]:
+    /// one replay, shared skip/warm-up/sample phases, per-probe
+    /// functional structures.
+    ///
+    /// # Errors
+    ///
+    /// As [`collect_sampled`](Self::collect_sampled).
+    pub fn collect_many_sampled<S: TraceSource>(
+        &self,
+        trace: &mut S,
+        bank: &ProbeBank,
+        plan: SamplingPlan,
+        max_counted: u64,
+    ) -> Result<Vec<ProgramProfile>, ModelError> {
         let _collect_span = fosm_obs::span("profile.collect");
         self.params.validate().map_err(ModelError::InvalidParams)?;
         if plan.sample != u64::MAX {
             plan.validate().map_err(ModelError::InvalidParams)?;
         }
-        // Gather the counted instructions (for the IW analysis) while
-        // streaming everything through the functional structures.
-        let mut counted: Vec<fosm_isa::Inst> = Vec::new();
-        let mut worker = Worker::new(self)?;
+        let mut states = bank
+            .probes()
+            .iter()
+            .map(ProbeState::new)
+            .collect::<Result<Vec<_>, _>>()?;
+        if states.is_empty() {
+            return Ok(Vec::new());
+        }
+        fosm_obs::counter_add("profile.probes", states.len() as u64);
+        if states.len() > 1 {
+            // Replays the old sequential path would have needed.
+            fosm_obs::counter_add("profile.fused_passes_saved", states.len() as u64 - 1);
+        }
+
+        // Stream the trace once: every probe sees every touched
+        // instruction; the IW sweep and mix see only counted ones.
+        let mut sweep = IwSweep::paper_default();
+        let mut fu_mix = [0u64; 5];
+        let mut counted: u64 = 0;
         let mut position: u64 = 0;
-        while (counted.len() as u64) < max_counted {
+        while counted < max_counted {
             let Some(inst) = trace.next_inst() else { break };
             let in_period = position % plan.period;
             position += 1;
@@ -276,20 +348,127 @@ impl ProfileCollector {
                 continue; // fast-forward
             }
             let counting = in_period >= skip_len + plan.warmup;
-            worker.observe(&inst, counting, counted.len() as u64);
+            for state in &mut states {
+                state.observe(&inst, counting, counted);
+            }
             if counting {
-                counted.push(inst);
+                fu_mix[inst.op.fu_class().index()] += 1;
+                sweep.push(&inst);
+                counted += 1;
             }
         }
-        if counted.is_empty() {
+        if counted == 0 {
             return Err(ModelError::EmptyTrace);
         }
-        worker.finish(self, &counted)
+        let analysis = sweep.finish();
+        states
+            .into_iter()
+            .zip(bank.probes())
+            .map(|(state, probe)| state.finish(&self.params, probe, &analysis, counted, fu_mix))
+            .collect()
     }
 }
 
-/// Streaming profile state shared by full and sampled collection.
-struct Worker {
+/// One functional-simulation configuration inside a [`ProbeBank`]: the
+/// cache hierarchy, branch predictor, and optional data TLB a profile
+/// should be measured against, plus the profile's name.
+///
+/// Probes deliberately exclude the trace-dependent analyses (mix, IW
+/// characteristic): those are identical for every probe and computed
+/// once per fused pass.
+#[derive(Debug, Clone)]
+pub struct Probe {
+    /// Cache hierarchy simulated for this probe.
+    pub hierarchy: HierarchyConfig,
+    /// Branch predictor simulated for this probe.
+    pub predictor: PredictorConfig,
+    /// Optional data TLB (paper §7 extension).
+    pub dtlb: Option<TlbConfig>,
+    /// Name given to the resulting profile.
+    pub name: String,
+}
+
+impl Probe {
+    /// A probe with the paper's baseline hierarchy and predictor.
+    pub fn new(name: impl Into<String>) -> Self {
+        Probe {
+            hierarchy: HierarchyConfig::baseline(),
+            predictor: PredictorConfig::baseline(),
+            dtlb: None,
+            name: name.into(),
+        }
+    }
+
+    /// Sets the cache hierarchy.
+    pub fn with_hierarchy(mut self, hierarchy: HierarchyConfig) -> Self {
+        self.hierarchy = hierarchy;
+        self
+    }
+
+    /// Sets the branch predictor.
+    pub fn with_predictor(mut self, predictor: PredictorConfig) -> Self {
+        self.predictor = predictor;
+        self
+    }
+
+    /// Adds a data TLB.
+    pub fn with_dtlb(mut self, tlb: TlbConfig) -> Self {
+        self.dtlb = Some(tlb);
+        self
+    }
+}
+
+/// An ordered collection of [`Probe`]s fed from one trace replay by
+/// [`ProfileCollector::collect_many`].
+#[derive(Debug, Clone, Default)]
+pub struct ProbeBank {
+    probes: Vec<Probe>,
+}
+
+impl ProbeBank {
+    /// An empty bank.
+    pub fn new() -> Self {
+        ProbeBank::default()
+    }
+
+    /// Appends a probe.
+    pub fn push(&mut self, probe: Probe) {
+        self.probes.push(probe);
+    }
+
+    /// The probes, in profile-output order.
+    pub fn probes(&self) -> &[Probe] {
+        &self.probes
+    }
+
+    /// Number of probes in the bank.
+    pub fn len(&self) -> usize {
+        self.probes.len()
+    }
+
+    /// Returns `true` if the bank holds no probes.
+    pub fn is_empty(&self) -> bool {
+        self.probes.is_empty()
+    }
+}
+
+impl From<Vec<Probe>> for ProbeBank {
+    fn from(probes: Vec<Probe>) -> Self {
+        ProbeBank { probes }
+    }
+}
+
+impl FromIterator<Probe> for ProbeBank {
+    fn from_iter<I: IntoIterator<Item = Probe>>(iter: I) -> Self {
+        ProbeBank {
+            probes: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// Per-probe streaming state: the functional structures and miss
+/// bookkeeping one probe owns during a fused pass.
+struct ProbeState {
     hierarchy: Hierarchy,
     predictor: Box<dyn fosm_branch::Predictor>,
     dtlb: Option<Tlb>,
@@ -301,22 +480,21 @@ struct Worker {
     dcache_short: u64,
     loads: u64,
     reg_taint: [Option<u64>; NUM_REGS],
-    fu_mix: [u64; 5],
 }
 
-impl Worker {
-    fn new(collector: &ProfileCollector) -> Result<Self, ModelError> {
-        let hierarchy = Hierarchy::new(collector.hierarchy)
+impl ProbeState {
+    fn new(probe: &Probe) -> Result<Self, ModelError> {
+        let hierarchy = Hierarchy::new(probe.hierarchy)
             .map_err(|e| ModelError::InvalidParams(format!("cache hierarchy: {e}")))?;
-        let dtlb = match &collector.dtlb {
+        let dtlb = match &probe.dtlb {
             Some(cfg) => Some(
                 Tlb::new(*cfg).map_err(|e| ModelError::InvalidParams(format!("data TLB: {e}")))?,
             ),
             None => None,
         };
-        Ok(Worker {
+        Ok(ProbeState {
             hierarchy,
-            predictor: collector.predictor.build(),
+            predictor: probe.predictor.build(),
             dtlb,
             bstats: MispredictStats::new(),
             longs: LongMissRecorder::new(),
@@ -326,7 +504,6 @@ impl Worker {
             dcache_short: 0,
             loads: 0,
             reg_taint: [None; NUM_REGS],
-            fu_mix: [0; 5],
         })
     }
 
@@ -334,9 +511,6 @@ impl Worker {
     /// statistics are recorded only when `counting`. `counted_idx` is
     /// the index the instruction will have in the counted stream.
     fn observe(&mut self, inst: &fosm_isa::Inst, counting: bool, counted_idx: u64) {
-        if counting {
-            self.fu_mix[inst.op.fu_class().index()] += 1;
-        }
         let ic = self.hierarchy.access(AccessKind::IFetch, inst.pc);
         if counting {
             match ic {
@@ -393,10 +567,13 @@ impl Worker {
 
     fn finish(
         mut self,
-        collector: &ProfileCollector,
-        counted: &[fosm_isa::Inst],
+        params: &ProcessorParams,
+        probe: &Probe,
+        analysis: &IwAnalysis,
+        counted: u64,
+        fu_mix: [u64; 5],
     ) -> Result<ProgramProfile, ModelError> {
-        self.bstats.set_total_instructions(counted.len() as u64);
+        self.bstats.set_total_instructions(counted);
 
         // One bulk flush of the functional structures' counters per
         // profile; the per-instruction stream stays uninstrumented.
@@ -406,26 +583,27 @@ impl Worker {
             tlb.observe_into(registry, "profile.cache.dtlb");
         }
         self.bstats.observe_into(registry, "profile.branch");
-        registry.counter_add("profile.instructions", counted.len() as u64);
+        registry.counter_add("profile.instructions", counted);
 
-        // Short misses lengthen the average load latency (paper §4.3).
-        let hit_latency = collector.params.latencies.latency(Op::Load) as f64;
+        // Short misses lengthen the average load latency (paper §4.3);
+        // this is the only probe-dependent input to the shared IW
+        // analysis, folded in at finalization.
+        let hit_latency = params.latencies.latency(Op::Load) as f64;
         let extra_load_latency = if self.loads == 0 {
             0.0
         } else {
-            (collector.params.l2_latency as f64 - hit_latency).max(0.0) * self.dcache_short as f64
+            (params.l2_latency as f64 - hit_latency).max(0.0) * self.dcache_short as f64
                 / self.loads as f64
         };
-        let iw =
-            IwCharacteristic::from_trace(counted, &collector.params.latencies, extra_load_latency)?;
+        let iw = analysis.characteristic(&params.latencies, extra_load_latency)?;
 
         // Mispredictions within one pipeline refill of instructions
         // form a burst (they share one drain/ramp bracket, eq. 3).
-        let burst_threshold = (collector.params.pipe_depth * collector.params.width) as u64;
+        let burst_threshold = (params.pipe_depth * params.width) as u64;
 
         Ok(ProgramProfile {
-            name: collector.name.clone(),
-            instructions: counted.len() as u64,
+            name: probe.name.clone(),
+            instructions: counted,
             iw,
             cond_branches: self.bstats.branches(),
             mispredicts: self.bstats.mispredicts(),
@@ -433,11 +611,11 @@ impl Worker {
             icache_short_misses: self.icache_short,
             icache_long_misses: self.icache_long,
             dcache_short_misses: self.dcache_short,
-            long_miss_distribution: self.longs.distribution(collector.params.rob_size),
-            long_miss_distribution_paper: self.longs.distribution_paper(collector.params.rob_size),
-            dtlb_miss_distribution: self.tlb_longs.distribution(collector.params.rob_size),
-            dtlb_walk_latency: collector.dtlb.map_or(0, |t| t.walk_latency),
-            fu_mix: self.fu_mix,
+            long_miss_distribution: self.longs.distribution(params.rob_size),
+            long_miss_distribution_paper: self.longs.distribution_paper(params.rob_size),
+            dtlb_miss_distribution: self.tlb_longs.distribution(params.rob_size),
+            dtlb_walk_latency: probe.dtlb.map_or(0, |t| t.walk_latency),
+            fu_mix,
         })
     }
 }

@@ -1,12 +1,15 @@
 //! Property-based tests for the first-order model's invariants.
 
-use fosm_cache::BurstDistribution;
+use fosm_branch::PredictorConfig;
+use fosm_cache::{BurstDistribution, HierarchyConfig, TlbConfig};
 use fosm_core::branch::BurstAssumption;
 use fosm_core::model::FirstOrderModel;
 use fosm_core::profile::ProgramProfile;
 use fosm_core::transient::{ramp_up, win_drain};
-use fosm_core::{branch, dcache, icache, ProcessorParams};
+use fosm_core::{branch, dcache, icache, Probe, ProbeBank, ProcessorParams, ProfileCollector};
 use fosm_depgraph::{IwCharacteristic, PowerLaw};
+use fosm_trace::VecTrace;
+use fosm_workloads::{BenchmarkSpec, WorkloadGenerator};
 use proptest::prelude::*;
 
 fn iw_strategy() -> impl Strategy<Value = IwCharacteristic> {
@@ -40,6 +43,135 @@ fn profile_strategy() -> impl Strategy<Value = ProgramProfile> {
                 fu_mix: [0; 5],
             },
         )
+}
+
+fn hierarchy_strategy() -> impl Strategy<Value = HierarchyConfig> {
+    prop_oneof![
+        Just(HierarchyConfig::baseline()),
+        Just(HierarchyConfig::ideal()),
+        (1u32..4).prop_map(|depth| {
+            let mut h = HierarchyConfig::baseline();
+            h.next_line_prefetch = depth;
+            h
+        }),
+        Just(HierarchyConfig {
+            l1d: None,
+            l2: None,
+            ..HierarchyConfig::baseline()
+        }),
+    ]
+}
+
+fn predictor_strategy() -> impl Strategy<Value = PredictorConfig> {
+    prop_oneof![
+        Just(PredictorConfig::Ideal),
+        Just(PredictorConfig::baseline()),
+        (6u32..13).prop_map(|bits| PredictorConfig::Gshare { bits }),
+        (6u32..12).prop_map(|bits| PredictorConfig::Bimodal { bits }),
+    ]
+}
+
+fn probe_strategy() -> impl Strategy<Value = Probe> {
+    (
+        hierarchy_strategy(),
+        predictor_strategy(),
+        prop::option::of(Just(TlbConfig::baseline())),
+    )
+        .prop_map(|(hierarchy, predictor, dtlb)| Probe {
+            hierarchy,
+            predictor,
+            dtlb,
+            name: "prop".into(),
+        })
+}
+
+fn bench_of(idx: usize) -> BenchmarkSpec {
+    [
+        BenchmarkSpec::gzip(),
+        BenchmarkSpec::gcc(),
+        BenchmarkSpec::mcf(),
+        BenchmarkSpec::vpr(),
+    ][idx % 4]
+        .clone()
+}
+
+/// Runs the probe's configuration through the sequential (single-probe)
+/// collector against a fresh replay.
+fn collect_one(
+    params: &ProcessorParams,
+    probe: &Probe,
+    trace: &VecTrace,
+    plan: Option<fosm_core::SamplingPlan>,
+    max_counted: u64,
+) -> ProgramProfile {
+    let mut collector = ProfileCollector::new(params)
+        .with_name(probe.name.clone())
+        .with_hierarchy(probe.hierarchy)
+        .with_predictor(probe.predictor);
+    if let Some(tlb) = probe.dtlb {
+        collector = collector.with_dtlb(tlb);
+    }
+    match plan {
+        Some(plan) => collector.collect_sampled(&mut trace.replay(), plan, max_counted),
+        None => collector.collect(&mut trace.replay(), max_counted),
+    }
+    .expect("sequential collection succeeds")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The tentpole invariant: `collect_many` over an arbitrary probe
+    /// bank produces exactly the profiles `collect` produces one probe
+    /// at a time — fusion changes the cost, never the answer.
+    #[test]
+    fn collect_many_matches_sequential_collect(
+        probes in prop::collection::vec(probe_strategy(), 1..5),
+        seed in 1u64..1000,
+        bench in 0usize..4,
+    ) {
+        let params = ProcessorParams::baseline();
+        let trace = VecTrace::record(&mut WorkloadGenerator::new(&bench_of(bench), seed), 6_000);
+        let bank = ProbeBank::from(probes.clone());
+        let fused = ProfileCollector::new(&params)
+            .collect_many(&mut trace.replay(), &bank, u64::MAX)
+            .expect("fused collection succeeds");
+        prop_assert_eq!(fused.len(), probes.len());
+        for (probe, fused_profile) in probes.iter().zip(&fused) {
+            let sequential = collect_one(&params, probe, &trace, None, u64::MAX);
+            prop_assert_eq!(&sequential, fused_profile);
+        }
+    }
+
+    /// The same invariant under systematic sampling plans, including
+    /// warm-up-silent phases (structures updated, statistics frozen)
+    /// and a counted-instruction budget.
+    #[test]
+    fn collect_many_sampled_matches_sequential(
+        probes in prop::collection::vec(probe_strategy(), 1..4),
+        seed in 1u64..1000,
+        bench in 0usize..4,
+        sample in 1u64..800,
+        warmup in 0u64..800,
+        slack in 0u64..800,
+        budget in 1u64..4_000,
+    ) {
+        let params = ProcessorParams::baseline();
+        let plan = fosm_core::SamplingPlan {
+            sample,
+            warmup,
+            period: sample + warmup + slack,
+        };
+        let trace = VecTrace::record(&mut WorkloadGenerator::new(&bench_of(bench), seed), 10_000);
+        let bank = ProbeBank::from(probes.clone());
+        let fused = ProfileCollector::new(&params)
+            .collect_many_sampled(&mut trace.replay(), &bank, plan, budget)
+            .expect("fused sampled collection succeeds");
+        for (probe, fused_profile) in probes.iter().zip(&fused) {
+            let sequential = collect_one(&params, probe, &trace, Some(plan), budget);
+            prop_assert_eq!(&sequential, fused_profile);
+        }
+    }
 }
 
 proptest! {

@@ -3,7 +3,7 @@
 use fosm_isa::{Inst, LatencyTable};
 use serde::{Deserialize, Serialize};
 
-use crate::{iw, powerlaw, FitError, IwPoint, PowerLaw};
+use crate::{FitError, IwPoint, PowerLaw};
 
 /// The fitted IW characteristic of a program on a machine with average
 /// functional-unit latency `L` (paper §3).
@@ -164,23 +164,11 @@ impl IwCharacteristic {
         latencies: &LatencyTable,
         extra_load_latency: f64,
     ) -> Result<Self, FitError> {
-        let points = iw::characteristic(insts, &iw::DEFAULT_WINDOW_SIZES, &LatencyTable::unit());
-        let law = powerlaw::fit(&points)?;
-        let measured = points.clone();
-        let mut mix = [0u64; fosm_isa::NUM_OP_CLASSES];
-        let mut loads = 0u64;
+        let mut sweep = crate::IwSweep::paper_default();
         for inst in insts {
-            mix[inst.op.index()] += 1;
-            if inst.op == fosm_isa::Op::Load {
-                loads += 1;
-            }
+            sweep.push(inst);
         }
-        let total: u64 = mix.iter().sum();
-        let mut avg = latencies.average_over(&mix);
-        if total > 0 {
-            avg += extra_load_latency * loads as f64 / total as f64;
-        }
-        IwCharacteristic::with_points(law, avg.max(1.0), measured)
+        sweep.finish().characteristic(latencies, extra_load_latency)
     }
 
     /// The underlying unit-latency power law.

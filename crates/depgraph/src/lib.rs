@@ -39,8 +39,10 @@ mod characteristic;
 mod error;
 pub mod iw;
 pub mod powerlaw;
+pub mod streaming;
 
 pub use characteristic::IwCharacteristic;
 pub use error::FitError;
 pub use iw::IwPoint;
 pub use powerlaw::PowerLaw;
+pub use streaming::{IwAnalysis, IwSweep};

@@ -8,6 +8,8 @@
 //! * [`TraceSource`] — the streaming interface every trace producer
 //!   (synthetic workload generators, recorded traces) implements,
 //! * [`VecTrace`] — an owned, replayable trace buffer,
+//! * [`PackedTrace`] — the same trace in packed structure-of-arrays
+//!   columns (~4x smaller), with zero-copy replay cursors,
 //! * [`SliceTrace`] — a borrowing replay cursor over recorded
 //!   instructions, for cloneless concurrent replays,
 //! * [`TraceStats`] — one-pass statistics over a trace (instruction
@@ -34,6 +36,7 @@
 
 mod adapters;
 pub mod io;
+mod packed;
 mod sampling;
 mod slice_trace;
 mod source;
@@ -41,6 +44,7 @@ mod stats;
 mod vec_trace;
 
 pub use adapters::{Iter, Take};
+pub use packed::{PackedReplay, PackedTrace};
 pub use sampling::Sampler;
 pub use slice_trace::SliceTrace;
 pub use source::TraceSource;

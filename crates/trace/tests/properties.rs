@@ -1,7 +1,7 @@
 //! Property-based tests for the trace layer.
 
 use fosm_isa::{Inst, Op, Reg};
-use fosm_trace::{TraceSource, TraceStats, VecTrace};
+use fosm_trace::{PackedTrace, TraceSource, TraceStats, VecTrace};
 use proptest::prelude::*;
 
 fn inst_strategy() -> impl Strategy<Value = Inst> {
@@ -104,6 +104,22 @@ proptest! {
         prop_assert_eq!(back.insts(), insts.as_slice());
         // Compactness: bounded well below a naive fixed encoding.
         prop_assert!(bytes.len() <= 8 + insts.len() * 24 + 16);
+    }
+
+    /// The packed SoA layout round-trips arbitrary well-formed
+    /// instruction sequences exactly — same structs, same slot
+    /// structure — and independent replay cursors agree.
+    #[test]
+    fn packed_trace_roundtrip(insts in trace_strategy()) {
+        let packed = PackedTrace::from_insts(&insts);
+        prop_assert_eq!(packed.len(), insts.len());
+        prop_assert_eq!(packed.decode(), insts.clone());
+        let replayed: Vec<Inst> = packed.replay().iter().collect();
+        prop_assert_eq!(replayed, insts.clone());
+        // Recording through the streaming interface matches packing
+        // the buffered slice.
+        let mut origin = VecTrace::new(insts);
+        prop_assert_eq!(PackedTrace::record(&mut origin, u64::MAX), packed);
     }
 
     /// Reset makes replays identical.

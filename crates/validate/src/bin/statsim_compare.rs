@@ -28,7 +28,8 @@ fn main() {
             threads: args.threads,
             statsim: true,
         },
-    );
+    )
+    .expect("validation sweep succeeds on recorded traces");
 
     println!("Statistical simulation vs first-order model ({n} insts/benchmark)");
     println!(

@@ -33,6 +33,8 @@ use fosm_bench::store::ArtifactStore;
 use fosm_branch::PredictorConfig;
 use fosm_cache::HierarchyConfig;
 use fosm_core::model::FirstOrderModel;
+use fosm_core::profile::{Probe, ProbeBank};
+use fosm_core::ModelError;
 use fosm_sim::MachineConfig;
 use fosm_workloads::BenchmarkSpec;
 
@@ -242,9 +244,18 @@ impl Default for SweepOptions {
 }
 
 /// Runs one validation case: five simulator variants, five matched
-/// functional profiles, five model evaluations, five component
-/// comparisons.
-pub fn run_case(store: &ArtifactStore, case: &CaseSpec, tol: &ToleranceSpec) -> CaseResult {
+/// functional profiles (collected in a single fused trace replay),
+/// five model evaluations, five component comparisons.
+///
+/// # Errors
+///
+/// Propagates [`ModelError`] from profile collection or model
+/// evaluation (e.g. an empty trace or a degenerate IW fit).
+pub fn run_case(
+    store: &ArtifactStore,
+    case: &CaseSpec,
+    tol: &ToleranceSpec,
+) -> Result<CaseResult, ModelError> {
     run_case_with(store, case, tol, false)
 }
 
@@ -253,7 +264,7 @@ fn run_case_with(
     case: &CaseSpec,
     tol: &ToleranceSpec,
     statsim: bool,
-) -> CaseResult {
+) -> Result<CaseResult, ModelError> {
     let _span = fosm_obs::span("validate_case");
     let (spec, n, seed) = (&case.bench, case.trace_len, case.seed);
 
@@ -279,33 +290,32 @@ fn run_case_with(
     // interactions the first-order model ignores show up there, not
     // smeared over the per-component rows.
     let params = harness::params_of(&case.config);
-    let profile_for = |config: &fosm_sim::MachineConfig| {
-        store.profile_with(
-            &params,
-            &config.hierarchy,
-            config.predictor,
-            &spec.name,
-            spec,
-            n,
-            seed,
-        )
+    let probe_of = |config: &fosm_sim::MachineConfig| Probe {
+        hierarchy: config.hierarchy,
+        predictor: config.predictor,
+        dtlb: None,
+        name: spec.name.clone(),
     };
-    let profile_full = profile_for(&case.config);
-    let profile_ideal = profile_for(&case.ideal_variant());
-    let profile_branch = profile_for(&case.branch_variant());
-    let profile_icache = profile_for(&case.icache_variant());
-    let profile_dcache = profile_for(&case.dcache_variant());
+    let bank: ProbeBank = [
+        probe_of(&case.config),
+        probe_of(&case.ideal_variant()),
+        probe_of(&case.branch_variant()),
+        probe_of(&case.icache_variant()),
+        probe_of(&case.dcache_variant()),
+    ]
+    .into_iter()
+    .collect();
+    let profiles = store.profile_many(&params, &bank, spec, n, seed)?;
+    let [profile_full, profile_ideal, profile_branch, profile_icache, profile_dcache]: [_; 5] =
+        profiles
+            .try_into()
+            .expect("profile_many returns one profile per probe");
     let model = FirstOrderModel::new(params.clone());
-    let estimate = |profile: &fosm_core::profile::ProgramProfile| {
-        model
-            .evaluate(profile)
-            .expect("model evaluation on a recorded profile succeeds")
-    };
-    let est_full = estimate(&profile_full);
-    let est_ideal = estimate(&profile_ideal);
-    let est_branch = estimate(&profile_branch);
-    let est_icache = estimate(&profile_icache);
-    let est_dcache = estimate(&profile_dcache);
+    let est_full = model.evaluate(&profile_full)?;
+    let est_ideal = model.evaluate(&profile_ideal)?;
+    let est_branch = model.evaluate(&profile_branch)?;
+    let est_icache = model.evaluate(&profile_icache)?;
+    let est_dcache = model.evaluate(&profile_dcache)?;
 
     // Short data misses are folded into `L` (paper §4.3), so a real
     // D-cache's steady state exceeds the ideal hierarchy's by the
@@ -353,29 +363,36 @@ fn run_case_with(
     let statsim_cpi = statsim.then(|| {
         use fosm_statsim::{CollectorConfig, StatMachine, StatProfile, SynthesizedTrace};
         let trace = store.trace(spec, n, seed);
-        let stat_profile = StatProfile::from_trace(trace.insts(), CollectorConfig::default());
+        let insts = trace.decode();
+        let stat_profile = StatProfile::from_trace(&insts, CollectorConfig::default());
         let mut synth = SynthesizedTrace::new(&stat_profile, seed);
         StatMachine::baseline().run(&mut synth, n).cpi()
     });
 
-    CaseResult {
+    Ok(CaseResult {
         bench: spec.name.clone(),
         components,
         statsim_cpi,
         event_diff,
-    }
+    })
 }
 
 /// Fans [`run_case`] over a case list, preserving input order.
+///
+/// # Errors
+///
+/// Returns the first case's error (in input order) if any case fails.
 pub fn sweep(
     store: &ArtifactStore,
     cases: &[CaseSpec],
     tol: &ToleranceSpec,
     options: SweepOptions,
-) -> Vec<CaseResult> {
+) -> Result<Vec<CaseResult>, ModelError> {
     par::par_map(cases, options.threads, |case| {
         run_case_with(store, case, tol, options.statsim)
     })
+    .into_iter()
+    .collect()
 }
 
 #[cfg(test)]
@@ -461,7 +478,7 @@ mod tests {
             trace_len: 20_000,
             seed: harness::SEED,
         };
-        let result = run_case(&store, &case, &ToleranceSpec::gate());
+        let result = run_case(&store, &case, &ToleranceSpec::gate()).expect("case runs");
         let order: Vec<Component> = result.components.iter().map(|r| r.component).collect();
         assert_eq!(order, Component::ALL.to_vec());
         for row in &result.components {
@@ -484,7 +501,7 @@ mod tests {
             trace_len: 20_000,
             seed: harness::SEED,
         };
-        let result = run_case(&store, &case, &ToleranceSpec::gate());
+        let result = run_case(&store, &case, &ToleranceSpec::gate()).expect("case runs");
         let classes: Vec<&str> = result.event_diff.iter().map(|d| d.class.as_str()).collect();
         assert_eq!(classes, crate::events::CLASSES.to_vec());
 
@@ -500,7 +517,8 @@ mod tests {
             case.config.predictor,
             &case.bench.name,
             &trace,
-        );
+        )
+        .expect("profile collection succeeds");
         let est = harness::estimate(&params, &profile);
         let model_sum: f64 = result.event_diff.iter().map(|d| d.model_cpi).sum();
         let adders = est.total_cpi() - est.steady_state_cpi - est.dtlb_cpi;
@@ -533,7 +551,8 @@ mod tests {
             &cases,
             &ToleranceSpec::gate(),
             SweepOptions::default(),
-        );
+        )
+        .expect("serial sweep runs");
         let parallel = sweep(
             &store,
             &cases,
@@ -542,7 +561,8 @@ mod tests {
                 threads: 3,
                 statsim: false,
             },
-        );
+        )
+        .expect("parallel sweep runs");
         let names = |rs: &[CaseResult]| rs.iter().map(|r| r.bench.clone()).collect::<Vec<_>>();
         assert_eq!(names(&serial), names(&parallel));
         for (a, b) in serial.iter().zip(&parallel) {
@@ -570,7 +590,8 @@ mod tests {
                 threads: 1,
                 statsim: true,
             },
-        );
+        )
+        .expect("statsim sweep runs");
         let cpi = results[0].statsim_cpi.expect("statsim ran");
         assert!(cpi.is_finite() && cpi > 0.0);
     }

@@ -245,7 +245,8 @@ pub fn check(
         .map_err(|e| format!("invalid machine: {e}"))?;
 
     let case_spec = case.case_spec(trace_len);
-    let result = crate::differential::run_case(store, &case_spec, tol);
+    let result = crate::differential::run_case(store, &case_spec, tol)
+        .map_err(|e| format!("differential case failed: {e}"))?;
 
     // 2: finiteness and sign of the model side.
     for row in &result.components {
@@ -271,15 +272,17 @@ pub fn check(
 
     // 3–4: model-only invariants on the case's own profile.
     let params = fosm_bench::harness::params_of(&case_spec.config);
-    let profile = store.profile_with(
-        &params,
-        &case_spec.config.hierarchy,
-        case_spec.config.predictor,
-        &case_spec.bench.name,
-        &case_spec.bench,
-        trace_len,
-        case_spec.seed,
-    );
+    let profile = store
+        .profile_with(
+            &params,
+            &case_spec.config.hierarchy,
+            case_spec.config.predictor,
+            &case_spec.bench.name,
+            &case_spec.bench,
+            trace_len,
+            case_spec.seed,
+        )
+        .map_err(|e| format!("profile collection failed: {e}"))?;
     let model = FirstOrderModel::new(params);
     let est = model
         .evaluate(&profile)

@@ -1,0 +1,54 @@
+//! Determinism gate for the fused-profiler validation pipeline: the
+//! serialized [`ValidationReport`] must be byte-identical at any
+//! thread count.
+//!
+//! Each validation case collects its five variant profiles in one
+//! fused trace replay (`ArtifactStore::profile_many`), and the sweep
+//! fans cases across worker threads — so this test pins down both that
+//! the fused collector is deterministic and that scheduling cannot
+//! leak into the report (ordering, memoization races, float
+//! accumulation).
+
+use fosm_bench::harness;
+use fosm_bench::store::ArtifactStore;
+use fosm_sim::MachineConfig;
+use fosm_validate::differential::{sweep, SweepOptions};
+use fosm_validate::{CaseSpec, ToleranceSpec, ValidationReport};
+
+/// Short traces keep the gate fast; determinism does not depend on
+/// trace length.
+const TRACE_LEN: u64 = 8_000;
+
+#[test]
+fn fused_validation_report_is_byte_identical_across_thread_counts() {
+    let cases: Vec<CaseSpec> =
+        CaseSpec::suite(&MachineConfig::baseline(), TRACE_LEN, harness::SEED)
+            .into_iter()
+            .take(4)
+            .collect();
+    let report_at = |threads: usize| {
+        // A fresh store per run: nothing is memoized across thread
+        // counts, so every profile really is re-collected.
+        let store = ArtifactStore::new();
+        let results = sweep(
+            &store,
+            &cases,
+            &ToleranceSpec::gate(),
+            SweepOptions {
+                threads,
+                statsim: false,
+            },
+        )
+        .expect("validation sweep succeeds on recorded traces");
+        ValidationReport::new(TRACE_LEN, harness::SEED, ToleranceSpec::gate(), results)
+            .to_json()
+            .expect("report serializes")
+    };
+    let serial = report_at(1);
+    let parallel = report_at(8);
+    assert!(!serial.is_empty(), "report is empty");
+    assert_eq!(
+        serial, parallel,
+        "validation report differs between --threads 1 and --threads 8"
+    );
+}

@@ -40,7 +40,8 @@ fn components_stay_within_the_gate_bands_per_benchmark() {
         BenchmarkSpec::vpr(),
     ] {
         let name = spec.name.clone();
-        let result = fosm::validate::differential::run_case(&store, &case_for(spec), &tol);
+        let result = fosm::validate::differential::run_case(&store, &case_for(spec), &tol)
+            .expect("validation case runs on a recorded trace");
         for row in &result.components {
             assert!(
                 row.within,
@@ -62,8 +63,10 @@ fn model_ranks_benchmarks_like_the_simulator() {
     let store = ArtifactStore::new();
     let tol = ToleranceSpec::gate();
     let gzip =
-        fosm::validate::differential::run_case(&store, &case_for(BenchmarkSpec::gzip()), &tol);
-    let mcf = fosm::validate::differential::run_case(&store, &case_for(BenchmarkSpec::mcf()), &tol);
+        fosm::validate::differential::run_case(&store, &case_for(BenchmarkSpec::gzip()), &tol)
+            .expect("gzip case runs");
+    let mcf = fosm::validate::differential::run_case(&store, &case_for(BenchmarkSpec::mcf()), &tol)
+        .expect("mcf case runs");
     let total = fosm::validate::Component::Total;
     let (gzip_m, gzip_s) = (gzip.row(total).model, gzip.row(total).sim);
     let (mcf_m, mcf_s) = (mcf.row(total).model, mcf.row(total).sim);
