@@ -6,8 +6,11 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use fosm_bench::harness;
 use fosm_branch::{Gshare, Predictor, PredictorConfig};
 use fosm_cache::{AccessKind, Hierarchy, HierarchyConfig};
+use fosm_core::model::FirstOrderModel;
 use fosm_core::profile::{Probe, ProbeBank, ProfileCollector};
 use fosm_depgraph::iw;
+use fosm_explore::engine::{sweep_profile, ShardTag};
+use fosm_explore::grid::{HardwareAxes, MachineGrid};
 use fosm_isa::LatencyTable;
 use fosm_sim::MachineConfig;
 use fosm_trace::TraceSource;
@@ -181,6 +184,42 @@ fn functional_toolchain(c: &mut Criterion) {
                     .unwrap(),
             )
         })
+    });
+
+    // Model evaluation, both paths: the scalar reference
+    // (`Model::evaluate`, which redoes every transient walk per call)
+    // vs the explore engine streaming a 1000-config grid — 5 widths ×
+    // 5 windows × 40 depths — through one prepared workload. The
+    // recorded baselines embody the batch >= 10x scalar throughput
+    // gate: `--check` fails if either side drifts.
+    let profile = ProfileCollector::new(&params)
+        .collect(&mut trace.replay(), u64::MAX)
+        .unwrap();
+    let model = FirstOrderModel::new(params.clone());
+
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("model-eval-scalar", |b| {
+        b.iter(|| black_box(model.evaluate(&profile).unwrap()))
+    });
+
+    let grid = MachineGrid {
+        widths: vec![1, 2, 4, 8, 16],
+        win_sizes: vec![16, 32, 48, 64, 96],
+        rob_sizes: vec![128],
+        pipe_depths: (1..=40).collect(),
+        l2_latencies: vec![8],
+        mem_latencies: vec![200],
+    };
+    grid.validate().unwrap();
+    assert_eq!(grid.len(), 1000);
+    let variant = HardwareAxes::baseline_only().variants()[0];
+    let tag = ShardTag {
+        workload: 0,
+        variant: 0,
+    };
+    group.throughput(Throughput::Elements(grid.len()));
+    group.bench_function("model-eval-batch-x1k", |b| {
+        b.iter(|| black_box(sweep_profile(&model, &profile, &grid, &variant, tag).unwrap()))
     });
 
     group.finish();

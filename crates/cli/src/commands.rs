@@ -171,12 +171,25 @@ fn probe_variant(
     })
 }
 
+/// Parses the per-invocation machine setup (params + hierarchy + TLB)
+/// exactly once; every `--probes` variant borrows this single parse.
+/// The counter lets the regression tests pin the
+/// one-parse-per-invocation contract.
+fn machine_setup(
+    args: &Parsed,
+) -> Result<(ProcessorParams, HierarchyConfig, Option<TlbConfig>), String> {
+    fosm_obs::counter_add("cli.profile.config_loads", 1);
+    Ok((
+        machine_params(args)?,
+        hierarchy_from(args)?,
+        tlb_from(args)?,
+    ))
+}
+
 /// `fosm profile <trace.trc> [-o out.json] [--probes LIST] [machine flags]`
 pub fn profile(args: Parsed) -> Result<(), String> {
     let path = args.positional(0, "trace file")?;
-    let params = machine_params(&args)?;
-    let hierarchy = hierarchy_from(&args)?;
-    let dtlb = tlb_from(&args)?;
+    let (params, hierarchy, dtlb) = machine_setup(&args)?;
     let plan = sampling_plan_from(&args)?;
     let mut reader = TraceFileReader::new(open_in(path)?).map_err(|e| e.to_string())?;
 
@@ -360,6 +373,22 @@ pub fn bench_list() -> Result<(), String> {
     Ok(())
 }
 
+/// Loads the gate tolerance bands (committed baseline file or the
+/// built-in gate) exactly once per invocation. The counter lets the
+/// regression tests pin the one-parse-per-invocation contract.
+fn tolerance_from(args: &Parsed) -> Result<ToleranceSpec, String> {
+    fosm_obs::counter_add("cli.validate.tolerance_loads", 1);
+    match args.flag("baseline") {
+        Some(path) => {
+            let json = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read tolerance baseline {path}: {e}"))?;
+            serde_json::from_str::<ToleranceSpec>(&json)
+                .map_err(|e| format!("malformed tolerance baseline {path}: {e}"))
+        }
+        None => Ok(ToleranceSpec::gate()),
+    }
+}
+
 /// `fosm validate [--insts N] [--seed S] [--threads N] [--bench name]
 /// [--tol overrides] [--baseline tolerances.json] [--check]
 /// [--report out.json] [--statsim] [--fuzz N] [--fuzz-seed S]
@@ -393,17 +422,6 @@ pub fn validate(args: Parsed) -> Result<(), String> {
         return fuzz_repro(store, json, insts);
     }
 
-    // Tolerances: the committed baseline file (or the built-in gate),
-    // then ad-hoc `--tol` overrides on top.
-    let mut tol = match args.flag("baseline") {
-        Some(path) => {
-            let json = std::fs::read_to_string(path)
-                .map_err(|e| format!("cannot read tolerance baseline {path}: {e}"))?;
-            serde_json::from_str::<ToleranceSpec>(&json)
-                .map_err(|e| format!("malformed tolerance baseline {path}: {e}"))?
-        }
-        None => ToleranceSpec::gate(),
-    };
     if let Some(fuzz_cases) = args.flag("fuzz") {
         let cases: u64 = fuzz_cases.parse().map_err(|e| format!("bad --fuzz: {e}"))?;
         let mut fuzz_tol = ToleranceSpec::fuzz();
@@ -412,6 +430,12 @@ pub fn validate(args: Parsed) -> Result<(), String> {
         }
         return run_fuzz(store, &args, cases, insts, fuzz_tol);
     }
+
+    // Tolerances: the committed baseline file (or the built-in gate),
+    // then ad-hoc `--tol` overrides on top. Loaded after the fuzz
+    // early-returns so those paths never pay for (or fail on) a
+    // baseline parse they do not use.
+    let mut tol = tolerance_from(&args)?;
     if let Some(overrides) = args.flag("tol") {
         tol.apply_overrides(overrides)?;
     }
@@ -813,4 +837,311 @@ fn print_statsim_comparison(report: &fosm_validate::ValidationReport) {
         fosm_bench::harness::mean_abs_error_pct(&stat_pairs),
         fosm_bench::harness::mean_abs_error_pct(&model_pairs)
     );
+}
+
+// ---------------------------------------------------------------------
+// `fosm explore` — design-space exploration over the batched model.
+// ---------------------------------------------------------------------
+
+/// Parses a comma-separated `--{name}` list of `u32` axis values, or
+/// returns `default` when the flag is absent.
+fn u32_list(args: &Parsed, name: &str, default: &[u32]) -> Result<Vec<u32>, String> {
+    match args.flag(name) {
+        None => Ok(default.to_vec()),
+        Some(raw) => raw
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse::<u32>()
+                    .map_err(|e| format!("bad value in --{name}: {e}"))
+            })
+            .collect(),
+    }
+}
+
+/// Builds the machine grid from the plural axis flags, defaulting every
+/// unspecified axis to the baseline sweep, and validates it once —
+/// the streaming evaluator itself has no `Result` in the hot path.
+fn grid_from(args: &Parsed) -> Result<fosm_explore::MachineGrid, String> {
+    let base = fosm_explore::MachineGrid::baseline_sweep();
+    let grid = fosm_explore::MachineGrid {
+        widths: u32_list(args, "widths", &base.widths)?,
+        win_sizes: u32_list(args, "windows", &base.win_sizes)?,
+        rob_sizes: u32_list(args, "robs", &base.rob_sizes)?,
+        pipe_depths: u32_list(args, "depths", &base.pipe_depths)?,
+        l2_latencies: u32_list(args, "l2s", &base.l2_latencies)?,
+        mem_latencies: u32_list(args, "mems", &base.mem_latencies)?,
+    };
+    grid.validate().map_err(|e| e.to_string())?;
+    Ok(grid)
+}
+
+/// Builds the hardware axes (`--icaches`/`--dcaches` geometry lists,
+/// `--predictors` labels) and validates them once.
+fn hardware_axes_from(args: &Parsed) -> Result<fosm_explore::HardwareAxes, String> {
+    let base = fosm_explore::HardwareAxes::baseline_only();
+    let geometries = |name: &str,
+                      default: Vec<fosm_explore::CacheGeometry>|
+     -> Result<Vec<fosm_explore::CacheGeometry>, String> {
+        match args.flag(name) {
+            None => Ok(default),
+            Some(raw) => raw
+                .split(',')
+                .map(|s| fosm_explore::CacheGeometry::parse(s.trim()).map_err(|e| e.to_string()))
+                .collect(),
+        }
+    };
+    let axes = fosm_explore::HardwareAxes {
+        icaches: geometries("icaches", base.icaches)?,
+        dcaches: geometries("dcaches", base.dcaches)?,
+        predictors: match args.flag("predictors") {
+            None => base.predictors,
+            Some(raw) => raw
+                .split(',')
+                .map(|s| fosm_explore::parse_predictor(s.trim()).map_err(|e| e.to_string()))
+                .collect::<Result<_, _>>()?,
+        },
+    };
+    axes.validate().map_err(|e| e.to_string())?;
+    Ok(axes)
+}
+
+/// A compact `icache/dcache/predictor` label for one hardware variant.
+fn variant_label(v: &fosm_explore::HardwareVariant) -> String {
+    format!(
+        "{}/{}/{}",
+        v.icache,
+        v.dcache,
+        fosm_explore::predictor_label(v.predictor)
+    )
+}
+
+/// The cache hierarchy a hardware variant's profiles are collected
+/// with (and its corner points simulated with).
+fn variant_hierarchy(v: &fosm_explore::HardwareVariant) -> Result<HierarchyConfig, String> {
+    Ok(HierarchyConfig {
+        l1i: Some(v.icache.to_config().map_err(|e| e.to_string())?),
+        l1d: Some(v.dcache.to_config().map_err(|e| e.to_string())?),
+        ..HierarchyConfig::baseline()
+    })
+}
+
+/// The full simulator machine a frontier point corresponds to, for
+/// `--sim-check` re-simulation.
+fn corner_config(
+    point: &fosm_explore::DesignPoint,
+    variants: &[fosm_explore::HardwareVariant],
+) -> Result<MachineConfig, String> {
+    let variant = &variants[point.variant as usize];
+    let config = MachineConfig {
+        width: point.config.width,
+        win_size: point.config.win_size,
+        rob_size: point.config.rob_size,
+        pipe_depth: point.config.pipe_depth,
+        l2_latency: point.config.l2_latency,
+        mem_latency: point.config.mem_latency,
+        hierarchy: variant_hierarchy(variant)?,
+        predictor: variant.predictor,
+        ..MachineConfig::baseline()
+    };
+    config.validate()?;
+    Ok(config)
+}
+
+/// `fosm explore [--bench name|all] [--insts N] [--seed S] [--threads N]
+/// [--widths L] [--windows L] [--robs L] [--depths L] [--l2s L]
+/// [--mems L] [--icaches L] [--dcaches L] [--predictors L] [--top K]
+/// [--frontier] [--export out.{csv,json}] [--sim-check N]`
+///
+/// Sweeps the machine grid for every (workload, hardware-variant) pair
+/// through the batched evaluator and prints the global Pareto frontier
+/// of IPC against the area/energy proxy. Timing goes to stderr only, so
+/// stdout is byte-identical across `--threads` settings.
+pub fn explore(args: Parsed) -> Result<(), String> {
+    let grid = grid_from(&args)?;
+    let axes = hardware_axes_from(&args)?;
+    let insts: u64 = args.flag_or("insts", 120_000u64)?;
+    let seed: u64 = args.flag_or("seed", 42u64)?;
+    let threads: usize = args
+        .flag_or("threads", fosm_bench::par::available_threads())?
+        .max(1);
+    let top: usize = args.flag_or("top", 10usize)?;
+
+    let specs: Vec<BenchmarkSpec> = match args.flag("bench") {
+        None => vec![BenchmarkSpec::gzip()],
+        Some("all") => BenchmarkSpec::all(),
+        Some(name) => vec![find_benchmark(name)?],
+    };
+    let workload_names: Vec<String> = specs.iter().map(|s| s.name.to_string()).collect();
+    let variants = axes.variants();
+    let variant_labels: Vec<String> = variants.iter().map(variant_label).collect();
+    let variant_setups = variants
+        .iter()
+        .map(variant_hierarchy)
+        .collect::<Result<Vec<_>, _>>()?;
+
+    // One fused replay per workload profiles every hardware variant at
+    // once; the memoizing store shares traces across invocations.
+    let store = fosm_bench::store::ArtifactStore::global();
+    let params = ProcessorParams::baseline();
+    let profiles = fosm_bench::par::par_map(&specs, threads, |spec| {
+        let bank: ProbeBank = variants
+            .iter()
+            .enumerate()
+            .map(|(v, variant)| {
+                Probe::new(format!("{}:{}", spec.name, variant_labels[v]))
+                    .with_hierarchy(variant_setups[v])
+                    .with_predictor(variant.predictor)
+            })
+            .collect::<Vec<Probe>>()
+            .into();
+        store
+            .profile_many(&params, &bank, spec, insts, seed)
+            .map_err(|e| e.to_string())
+    })
+    .into_iter()
+    .collect::<Result<Vec<_>, String>>()?;
+
+    // The model sweep itself: one shard per (workload, variant) pair,
+    // order-preserving fan-out so the merge is deterministic.
+    let mut shard_inputs = Vec::new();
+    for (w, per_variant) in profiles.iter().enumerate() {
+        for (v, profile) in per_variant.iter().enumerate() {
+            let tag = fosm_explore::ShardTag {
+                workload: w as u32,
+                variant: v as u32,
+            };
+            shard_inputs.push((tag, profile.clone()));
+        }
+    }
+    let model = FirstOrderModel::new(params.clone());
+    let t0 = std::time::Instant::now();
+    let shards = fosm_bench::par::par_map(&shard_inputs, threads, |(tag, profile)| {
+        fosm_explore::sweep_profile(
+            &model,
+            profile,
+            &grid,
+            &variants[tag.variant as usize],
+            *tag,
+        )
+        .map_err(|e| e.to_string())
+    })
+    .into_iter()
+    .collect::<Result<Vec<_>, String>>()?;
+    let elapsed = t0.elapsed().as_secs_f64();
+    let configs: u64 = shards.iter().map(|s| s.configs).sum();
+    // Timing is machine-dependent: stderr only, never in the report.
+    eprintln!(
+        "evaluated {configs} configs in {elapsed:.3}s ({:.2}M evals/sec)",
+        configs as f64 / elapsed / 1e6
+    );
+
+    let frontier = fosm_explore::merge_frontiers(&shards);
+    println!(
+        "explored {configs} configs: {} workload(s) x {} hardware variant(s) x {} grid points",
+        specs.len(),
+        variants.len(),
+        grid.len()
+    );
+    println!("pareto frontier: {} point(s)", frontier.len());
+
+    let corner_rows = fosm_explore::frontier_rows(
+        &frontier.corners(top.min(frontier.len())),
+        &workload_names,
+        &variants,
+    );
+    println!(
+        "{:<8} {:>5} {:>6} {:>5} {:>5} {:>4} {:>5} {:>8} {:>9}  {:<10} {:<10} predictor",
+        "bench", "width", "window", "rob", "depth", "l2", "mem", "ipc", "cost", "icache", "dcache"
+    );
+    for r in &corner_rows {
+        println!(
+            "{:<8} {:>5} {:>6} {:>5} {:>5} {:>4} {:>5} {:>8.4} {:>9.2}  {:<10} {:<10} {}",
+            r.workload,
+            r.width,
+            r.window,
+            r.rob,
+            r.depth,
+            r.l2,
+            r.mem,
+            r.ipc,
+            r.cost,
+            r.icache,
+            r.dcache,
+            r.predictor
+        );
+    }
+
+    let all_rows = || fosm_explore::frontier_rows(frontier.points(), &workload_names, &variants);
+    if args.has("frontier") {
+        print!("{}", fosm_explore::frontier_csv(&all_rows()));
+    }
+    if let Some(path) = args.flag("export") {
+        let rows = all_rows();
+        let rendered = if path.ends_with(".json") {
+            fosm_explore::report_json(&fosm_explore::ExploreReport {
+                schema_version: fosm_explore::SCHEMA_VERSION,
+                configs,
+                workloads: workload_names.clone(),
+                variants: variant_labels.clone(),
+                frontier: rows,
+            })
+        } else {
+            fosm_explore::frontier_csv(&rows)
+        };
+        std::fs::write(path, rendered).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("frontier written to {path}");
+    }
+
+    let sim_check: usize = args.flag_or("sim-check", 0usize)?;
+    if sim_check > 0 {
+        let mut corners = Vec::new();
+        for point in frontier.corners(sim_check) {
+            let c = &point.config;
+            corners.push(fosm_validate::CornerSpec {
+                label: format!(
+                    "{} w{}/win{}/rob{}/d{}/l2-{}/mem{}",
+                    workload_names[point.workload as usize],
+                    c.width,
+                    c.win_size,
+                    c.rob_size,
+                    c.pipe_depth,
+                    c.l2_latency,
+                    c.mem_latency
+                ),
+                config: corner_config(&point, &variants)?,
+                bench: specs[point.workload as usize].clone(),
+            });
+        }
+        let results = fosm_validate::check_corners(
+            store,
+            &corners,
+            insts,
+            seed,
+            &ToleranceSpec::fuzz(),
+            threads,
+        )
+        .map_err(|e| format!("sim-check failed to run: {e}"))?;
+        let mut failed = 0usize;
+        for r in &results {
+            let total = r.result.row(fosm_validate::Component::Total);
+            let status = if r.passed() {
+                "ok"
+            } else {
+                failed += 1;
+                "FAIL"
+            };
+            println!(
+                "sim-check {}: {status} (model {:.4} vs sim {:.4} CPI)",
+                r.label, total.model, total.sim
+            );
+        }
+        if failed > 0 {
+            return Err(format!(
+                "sim-check: {failed} of {} corner(s) outside tolerance",
+                results.len()
+            ));
+        }
+    }
+    Ok(())
 }

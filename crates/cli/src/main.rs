@@ -87,6 +87,7 @@ fn run(argv: Vec<String>) -> Result<(), String> {
         "model" => commands::model(args::Parsed::new(rest)?),
         "simulate" => commands::simulate(args::Parsed::new(rest)?),
         "validate" => commands::validate(args::Parsed::new(rest)?),
+        "explore" => commands::explore(args::Parsed::new(rest)?),
         "trace" => commands::trace(args::Parsed::new(rest)?),
         "metrics" => commands::metrics(args::Parsed::new(rest)?),
         "bench-list" => commands::bench_list(),
@@ -109,6 +110,7 @@ USAGE:
     fosm model   <profile.json> [machine flags]
     fosm simulate <trace.trc> [machine flags] [--ideal]
     fosm validate [validation flags] [machine flags]
+    fosm explore [explore flags]
     fosm trace   <bench> [--insts N] [--seed S] [--top K]
                  [--chrome <out.json>] [machine flags]
     fosm metrics diff <a.json> <b.json> [--max-regress PCT]
@@ -140,6 +142,20 @@ VALIDATION FLAGS (fosm validate):
     --fuzz N        differential-fuzz N random machines instead
     --fuzz-seed S   fuzzer RNG seed
     --fuzz-repro J  replay one fuzz case from its JSON form
+
+EXPLORE FLAGS (fosm explore):
+    --bench NAME    workload to sweep; `all` for the suite    (gzip)
+    --insts N       trace length per workload                 (120000)
+    --seed S        workload generator seed                   (42)
+    --threads N     parallel sweep shards                     (all cores)
+    --widths L --windows L --robs L --depths L --l2s L --mems L
+                    comma-separated machine-grid axes (baseline sweep)
+    --icaches L --dcaches L   cache geometries, e.g. 8k:4:64,16k:2:64
+    --predictors L  predictor axis, e.g. gshare:13,bimodal:10
+    --top K         frontier corner points to print           (10)
+    --frontier      print the full frontier as CSV on stdout
+    --export P      write the frontier to P (.json report or CSV)
+    --sim-check N   re-simulate N frontier corners and gate them
 
 TRACE FLAGS (fosm trace):
     --insts N     trace length                         (120000)

@@ -383,3 +383,169 @@ fn stats_rejects_garbage_files() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("magic"));
     let _ = std::fs::remove_file(&path);
 }
+
+#[test]
+fn explore_small_grid_prints_a_frontier_and_passes_sim_check() {
+    // A small grid well inside the simulator-validated envelope, so the
+    // frontier corners survive the `--sim-check` accuracy gate.
+    let out = fosm(&[
+        "explore",
+        "--insts",
+        "30000",
+        "--widths",
+        "2,4",
+        "--windows",
+        "16,32",
+        "--robs",
+        "64",
+        "--depths",
+        "3,5",
+        "--l2s",
+        "8",
+        "--mems",
+        "200",
+        "--sim-check",
+        "2",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(text.contains("explored 8 configs"), "{text}");
+    assert!(!text.contains("pareto frontier: 0 point(s)"), "{text}");
+    assert!(text.contains("sim-check"), "{text}");
+    assert!(!text.contains("FAIL"), "{text}");
+    // Timing (machine-dependent) stays off stdout.
+    assert!(!text.contains("evals/sec"), "{text}");
+}
+
+#[test]
+fn explore_report_is_byte_identical_across_thread_counts() {
+    let run = |threads: &str, export: &str| {
+        let out = fosm(&[
+            "explore",
+            "--insts",
+            "30000",
+            "--threads",
+            threads,
+            "--widths",
+            "2,4",
+            "--windows",
+            "16,32",
+            "--robs",
+            "64,128",
+            "--depths",
+            "3,5",
+            "--l2s",
+            "8",
+            "--mems",
+            "200",
+            "--frontier",
+            "--export",
+            export,
+        ]);
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    let a = tmp("explore-t1.json");
+    let b = tmp("explore-t8.json");
+    // The only line allowed to differ is the one naming the export path.
+    let strip_path_line = |s: String| {
+        s.lines()
+            .filter(|l| !l.starts_with("frontier written to"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    let stdout_1 = strip_path_line(run("1", &a));
+    let stdout_8 = strip_path_line(run("8", &b));
+    assert_eq!(stdout_1, stdout_8, "stdout must not depend on --threads");
+    let report_1 = std::fs::read_to_string(&a).unwrap();
+    let report_8 = std::fs::read_to_string(&b).unwrap();
+    assert_eq!(report_1, report_8, "exported report must be byte-equal");
+    assert!(report_1.contains("\"schema_version\": 1"));
+    let _ = std::fs::remove_file(&a);
+    let _ = std::fs::remove_file(&b);
+}
+
+#[test]
+fn explore_rejects_invalid_grids_up_front() {
+    // window > rob is invalid at the extremes: caught before the sweep.
+    let out = fosm(&[
+        "explore",
+        "--windows",
+        "256",
+        "--robs",
+        "128",
+        "--insts",
+        "5000",
+    ]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(err.contains("window"), "{err}");
+}
+
+#[test]
+fn validate_loads_tolerances_once_per_invocation() {
+    let metrics = tmp("validate-tol-loads.json");
+    let out = fosm(&[
+        "validate",
+        "--bench",
+        "gzip",
+        "--insts",
+        "20000",
+        "--metrics",
+        &metrics,
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let manifest = std::fs::read_to_string(&metrics).unwrap();
+    assert!(
+        manifest.contains("\"cli.validate.tolerance_loads\":1"),
+        "tolerance bands must be parsed exactly once: {manifest}"
+    );
+    let _ = std::fs::remove_file(&metrics);
+}
+
+#[test]
+fn profile_probes_parse_the_machine_setup_once() {
+    let trace = tmp("probes-once.trc");
+    let out = fosm(&[
+        "record", "--bench", "gzip", "--insts", "20000", "-o", &trace,
+    ]);
+    assert!(out.status.success());
+
+    let metrics = tmp("probes-once.json");
+    let profile = tmp("probes-once-profile.json");
+    let out = fosm(&[
+        "profile",
+        &trace,
+        "--probes",
+        "full,ideal,branch,icache,dcache",
+        "-o",
+        &profile,
+        "--metrics",
+        &metrics,
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let manifest = std::fs::read_to_string(&metrics).unwrap();
+    assert!(
+        manifest.contains("\"cli.profile.config_loads\":1"),
+        "five probe variants must share one machine-flag parse: {manifest}"
+    );
+    let _ = std::fs::remove_file(&trace);
+    let _ = std::fs::remove_file(&profile);
+    let _ = std::fs::remove_file(&metrics);
+}

@@ -25,7 +25,11 @@ pub enum BurstAssumption {
 }
 
 impl BurstAssumption {
-    fn effective_n(self) -> f64 {
+    /// The burst length `n` this assumption amortizes the transient
+    /// penalties over (eq. 3); used by [`penalty`] and by the batched
+    /// evaluator ([`crate::batch`]), which resolves it once per
+    /// prepared workload.
+    pub fn effective_n(self) -> f64 {
         match self {
             BurstAssumption::Isolated => 1.0,
             BurstAssumption::Bursts(n) => n.max(1.0),

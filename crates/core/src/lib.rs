@@ -50,6 +50,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod branch;
 pub mod dcache;
 mod error;
@@ -60,6 +61,7 @@ pub mod params;
 pub mod profile;
 pub mod transient;
 
+pub use batch::{PreparedModel, StructuralContext};
 pub use error::ModelError;
 pub use events::EventPenalties;
 pub use model::{Estimate, FirstOrderModel};

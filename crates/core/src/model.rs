@@ -90,15 +90,15 @@ impl Estimate {
 /// example.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FirstOrderModel {
-    params: ProcessorParams,
-    burst: BurstAssumption,
-    use_measured_bursts: bool,
-    paper_rob_fill: bool,
-    independent_grouping: bool,
-    paper_icache: bool,
-    fu: Option<FuPool>,
-    fetch_buffer_entries: u32,
-    cluster_penalty: f64,
+    pub(crate) params: ProcessorParams,
+    pub(crate) burst: BurstAssumption,
+    pub(crate) use_measured_bursts: bool,
+    pub(crate) paper_rob_fill: bool,
+    pub(crate) independent_grouping: bool,
+    pub(crate) paper_icache: bool,
+    pub(crate) fu: Option<FuPool>,
+    pub(crate) fetch_buffer_entries: u32,
+    pub(crate) cluster_penalty: f64,
 }
 
 impl FirstOrderModel {

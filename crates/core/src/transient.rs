@@ -47,22 +47,37 @@ impl TransientProfile {
     }
 }
 
+/// Allocation-free result of a drain or ramp walk: the same penalty
+/// and issued totals as [`TransientProfile`], without materializing the
+/// per-cycle rate timeline. Produced by [`win_drain_summary`] and
+/// [`ramp_up_summary`] for hot paths (the batched evaluator) that only
+/// need the scalars; bit-identical to the full walks because both run
+/// the exact same accumulation loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransientSummary {
+    /// Number of cycles the transient lasted.
+    pub cycles: usize,
+    /// Penalty in cycles relative to steady-state issue (≥ 0).
+    pub penalty: f64,
+    /// Total instructions issued during the transient.
+    pub issued: f64,
+}
+
+impl TransientSummary {
+    fn degenerate() -> Self {
+        TransientSummary {
+            cycles: 0,
+            penalty: 0.0,
+            issued: 0.0,
+        }
+    }
+}
+
 /// The steady-state window occupancy the paper drains from: the point
 /// on the IW curve where the issue rate first reaches the steady rate
 /// (the saturation occupancy), capped at the window size.
 pub fn steady_occupancy(iw: &IwCharacteristic, width: u32, win_size: u32) -> f64 {
     iw.saturation_window(width).min(win_size as f64)
-}
-
-/// An empty transient: zero cycles, zero penalty. Returned for
-/// degenerate machines (no window, no width, or a steady rate that is
-/// zero or non-finite) where a walk would divide by the steady rate.
-fn degenerate() -> TransientProfile {
-    TransientProfile {
-        rates: Vec::new(),
-        penalty: 0.0,
-        issued: 0.0,
-    }
 }
 
 /// Whether a transient walk of this machine is well-defined: both
@@ -83,28 +98,55 @@ fn walkable(steady: f64, width: u32, win_size: u32) -> bool {
 /// rate of zero) have no transient to walk and yield a zero-cycle,
 /// zero-penalty profile instead of `NaN` from the normalization.
 pub fn win_drain(iw: &IwCharacteristic, width: u32, win_size: u32) -> TransientProfile {
+    let mut rates = Vec::new();
+    let summary = drain_walk(iw, width, win_size, |rate| rates.push(rate));
+    TransientProfile {
+        rates,
+        penalty: summary.penalty,
+        issued: summary.issued,
+    }
+}
+
+/// [`win_drain`] without the per-cycle rate timeline: runs the exact
+/// same walk, but only accumulates the cycle count, penalty, and
+/// issued total, so batched evaluation can memoize drains without
+/// allocating.
+pub fn win_drain_summary(iw: &IwCharacteristic, width: u32, win_size: u32) -> TransientSummary {
+    drain_walk(iw, width, win_size, |_| {})
+}
+
+/// The one drain loop behind [`win_drain`] and [`win_drain_summary`]:
+/// the sink observes each cycle's rate (the `Vec` push of the full
+/// walk), keeping both presentations on a single accumulation order.
+fn drain_walk(
+    iw: &IwCharacteristic,
+    width: u32,
+    win_size: u32,
+    mut on_rate: impl FnMut(f64),
+) -> TransientSummary {
     let steady = iw.steady_state_ipc(win_size, width);
     if !walkable(steady, width, win_size) {
-        return degenerate();
+        return TransientSummary::degenerate();
     }
     let mut w = steady_occupancy(iw, width, win_size);
-    let mut rates = Vec::new();
+    let mut cycles = 0usize;
     let mut issued = 0.0;
     // The walk terminates: the issue rate at W >= DRAIN_FLOOR is
     // bounded below by I(DRAIN_FLOOR) > 0, so W strictly decreases by
     // at least that amount each cycle.
     while w > DRAIN_FLOOR {
         let rate = iw.issue_rate(w, Some(width)).min(w);
-        rates.push(rate);
+        on_rate(rate);
+        cycles += 1;
         issued += rate;
         w -= rate;
         if rate <= f64::EPSILON {
             break;
         }
     }
-    let penalty = (rates.len() as f64 - issued / steady).max(0.0);
-    TransientProfile {
-        rates,
+    let penalty = (cycles as f64 - issued / steady).max(0.0);
+    TransientSummary {
+        cycles,
         penalty,
         issued,
     }
@@ -119,12 +161,34 @@ pub fn win_drain(iw: &IwCharacteristic, width: u32, win_size: u32) -> TransientP
 /// Degenerate machines yield a zero-penalty profile, as in
 /// [`win_drain`].
 pub fn ramp_up(iw: &IwCharacteristic, width: u32, win_size: u32) -> TransientProfile {
+    let mut rates = Vec::new();
+    let summary = ramp_walk(iw, width, win_size, |rate| rates.push(rate));
+    TransientProfile {
+        rates,
+        penalty: summary.penalty,
+        issued: summary.issued,
+    }
+}
+
+/// [`ramp_up`] without the per-cycle rate timeline; see
+/// [`win_drain_summary`].
+pub fn ramp_up_summary(iw: &IwCharacteristic, width: u32, win_size: u32) -> TransientSummary {
+    ramp_walk(iw, width, win_size, |_| {})
+}
+
+/// The one ramp loop behind [`ramp_up`] and [`ramp_up_summary`].
+fn ramp_walk(
+    iw: &IwCharacteristic,
+    width: u32,
+    win_size: u32,
+    mut on_rate: impl FnMut(f64),
+) -> TransientSummary {
     let steady = iw.steady_state_ipc(win_size, width);
     if !walkable(steady, width, win_size) {
-        return degenerate();
+        return TransientSummary::degenerate();
     }
     let mut w = 0.0f64;
-    let mut rates = Vec::new();
+    let mut cycles = 0usize;
     let mut issued = 0.0;
     // Convergence is monotone (W grows toward its fixed point), but cap
     // the walk defensively; the truncated tail is below RAMP_EPS/cycle.
@@ -132,7 +196,8 @@ pub fn ramp_up(iw: &IwCharacteristic, width: u32, win_size: u32) -> TransientPro
     for _ in 0..max_cycles {
         w = (w + width as f64).min(win_size as f64);
         let rate = iw.issue_rate(w, Some(width)).min(w);
-        rates.push(rate);
+        on_rate(rate);
+        cycles += 1;
         issued += rate;
         w -= rate;
         if steady - rate <= RAMP_EPS * steady {
@@ -141,10 +206,57 @@ pub fn ramp_up(iw: &IwCharacteristic, width: u32, win_size: u32) -> TransientPro
     }
     // Same accounting as the drain: extra cycles relative to issuing
     // the same instructions at the steady rate.
-    let penalty = (rates.len() as f64 - issued / steady).max(0.0);
+    let penalty = (cycles as f64 - issued / steady).max(0.0);
+    TransientSummary {
+        cycles,
+        penalty,
+        issued,
+    }
+}
+
+/// The issue-rate timeline of one dispatch-limited epoch: after
+/// `pipe_depth` dead refill cycles, dispatch inserts up to `width`
+/// instructions per cycle until `distance` of them have entered the
+/// window, while issue follows the IW characteristic; once dispatch
+/// stops, the window drains. This is the inter-misprediction epoch
+/// walk of the paper's Fig. 19 (see `fosm-trends`' issue-width study),
+/// hosted here so every IW-characteristic walk shares one code path.
+///
+/// Callers are expected to pass a non-zero `width` and a positive,
+/// finite `distance` (the issue-width study validates both). The
+/// returned profile's `penalty` is 0: an epoch has no steady-state
+/// reference to normalize against.
+pub fn dispatch_epoch(
+    iw: &IwCharacteristic,
+    width: u32,
+    win_size: u32,
+    pipe_depth: u32,
+    distance: f64,
+) -> TransientProfile {
+    let mut rates = vec![0.0; pipe_depth as usize];
+    let mut w = 0.0f64;
+    let mut to_dispatch = distance;
+    let mut issued = 0.0;
+    // Dispatch phase completes in distance/width cycles; the drain
+    // tail shrinks the residual occupancy geometrically, so cap the
+    // walk generously.
+    let max_cycles = (2.0 * distance / width as f64) as usize + 16 * win_size as usize;
+    for _ in 0..max_cycles {
+        let dispatch = (width as f64).min(to_dispatch).min(win_size as f64 - w);
+        w += dispatch;
+        to_dispatch -= dispatch;
+        let rate = iw.issue_rate(w, Some(width)).min(w);
+        rates.push(rate);
+        issued += rate;
+        w -= rate;
+        // Epoch ends when only the resolving branch remains.
+        if to_dispatch <= 0.0 && w <= 1.0 {
+            break;
+        }
+    }
     TransientProfile {
         rates,
-        penalty,
+        penalty: 0.0,
         issued,
     }
 }
@@ -333,6 +445,39 @@ mod tests {
         let ramp = ramp_up(&iw, 1, 1);
         assert!(drain.penalty.is_finite() && drain.penalty >= 0.0);
         assert!(ramp.penalty.is_finite() && ramp.penalty >= 0.0);
+    }
+
+    #[test]
+    fn summary_walks_are_bit_identical_to_full_walks() {
+        let laws = [
+            IwCharacteristic::new(PowerLaw::square_root(), 1.0).unwrap(),
+            IwCharacteristic::new(PowerLaw::new(1.3, 0.42).unwrap(), 1.7).unwrap(),
+        ];
+        for iw in &laws {
+            for (width, win) in [(1u32, 1u32), (2, 16), (4, 48), (8, 256), (4, 0), (0, 48)] {
+                let drain = win_drain(iw, width, win);
+                let drain_s = win_drain_summary(iw, width, win);
+                assert_eq!(drain.penalty.to_bits(), drain_s.penalty.to_bits());
+                assert_eq!(drain.issued.to_bits(), drain_s.issued.to_bits());
+                assert_eq!(drain.duration(), drain_s.cycles);
+                let ramp = ramp_up(iw, width, win);
+                let ramp_s = ramp_up_summary(iw, width, win);
+                assert_eq!(ramp.penalty.to_bits(), ramp_s.penalty.to_bits());
+                assert_eq!(ramp.issued.to_bits(), ramp_s.issued.to_bits());
+                assert_eq!(ramp.duration(), ramp_s.cycles);
+            }
+        }
+    }
+
+    #[test]
+    fn dispatch_epoch_walks_the_fig19_shape() {
+        let iw = sqrt_iw();
+        let epoch = dispatch_epoch(&iw, 4, 1024, 5, 200.0);
+        // Dead refill cycles first, then a ramp toward the full width.
+        assert_eq!(epoch.rates[..5], [0.0; 5]);
+        assert!((epoch.issued - 200.0).abs() < 4.5);
+        assert!(epoch.rates.iter().any(|&r| r > 3.9));
+        assert_eq!(epoch.penalty, 0.0);
     }
 
     #[test]

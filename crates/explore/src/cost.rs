@@ -1,0 +1,132 @@
+//! The area/energy proxy the Pareto frontier trades IPC against.
+//!
+//! This is deliberately a *proxy*, not a calibrated area model: a
+//! monotone, dimensionless score in "cost units" that grows with the
+//! structures known to dominate out-of-order core area and energy.
+//! Relative ordering is all the frontier needs.
+//!
+//! ```text
+//! cost = w²·WIN/64          wakeup/select CAM: width² broadcast ports
+//!                           across WIN entries (Palacharla-style)
+//!      + ROB/4              ROB payload SRAM
+//!      + w·∆P/2             pipeline latches: width lanes × depth stages
+//!      + I$KiB + D$KiB      L1 capacities in KiB
+//!      + entries/1024       predictor state
+//! ```
+//!
+//! The latency axes (`l2`, `mem`) are free: they describe the memory
+//! system the core sits in, not the core. Two configs differing only in
+//! latency tie on cost, so only the better-IPC one can reach the
+//! frontier.
+
+use fosm_branch::PredictorConfig;
+
+use crate::grid::{ConfigPoint, HardwareVariant};
+
+/// State entries a predictor configuration implies, for the cost proxy.
+pub fn predictor_entries(predictor: PredictorConfig) -> u64 {
+    match predictor {
+        PredictorConfig::Ideal | PredictorConfig::AlwaysTaken | PredictorConfig::NeverTaken => 0,
+        PredictorConfig::Gshare { bits } | PredictorConfig::Bimodal { bits } => 1u64 << bits,
+        PredictorConfig::TwoLevel {
+            pc_bits,
+            history_bits,
+        } => (1u64 << pc_bits) + (1u64 << history_bits),
+        // Selector plus two component tables.
+        PredictorConfig::Tournament { bits } => 3 * (1u64 << bits),
+        // One weight vector (history + bias) per table entry.
+        PredictorConfig::Perceptron { bits, history } => (1u64 << bits) * (history as u64 + 1),
+    }
+}
+
+/// The core-structure share of the proxy: depends only on the machine
+/// axes, recomputed per config in the hot loop (~6 flops).
+#[inline]
+pub fn machine_cost(config: &ConfigPoint) -> f64 {
+    let w = config.width as f64;
+    w * w * config.win_size as f64 / 64.0
+        + config.rob_size as f64 / 4.0
+        + w * config.pipe_depth as f64 / 2.0
+}
+
+/// The hardware-variant share of the proxy: fixed per profile, resolved
+/// once outside the hot loop.
+pub fn hardware_cost(variant: &HardwareVariant) -> f64 {
+    variant.icache.kib()
+        + variant.dcache.kib()
+        + predictor_entries(variant.predictor) as f64 / 1024.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::CacheGeometry;
+
+    fn point(width: u32, win: u32, rob: u32, depth: u32) -> ConfigPoint {
+        ConfigPoint {
+            width,
+            win_size: win,
+            rob_size: rob,
+            pipe_depth: depth,
+            l2_latency: 8,
+            mem_latency: 200,
+        }
+    }
+
+    #[test]
+    fn cost_grows_with_every_core_structure() {
+        let base = machine_cost(&point(4, 48, 128, 5));
+        assert!(machine_cost(&point(8, 48, 128, 5)) > base);
+        assert!(machine_cost(&point(4, 96, 128, 5)) > base);
+        assert!(machine_cost(&point(4, 48, 256, 5)) > base);
+        assert!(machine_cost(&point(4, 48, 128, 20)) > base);
+    }
+
+    #[test]
+    fn latency_axes_are_cost_free() {
+        let a = machine_cost(&point(4, 48, 128, 5));
+        let b = machine_cost(&ConfigPoint {
+            l2_latency: 30,
+            mem_latency: 400,
+            ..point(4, 48, 128, 5)
+        });
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+
+    #[test]
+    fn predictor_entries_match_table_shapes() {
+        assert_eq!(predictor_entries(PredictorConfig::Ideal), 0);
+        assert_eq!(
+            predictor_entries(PredictorConfig::Gshare { bits: 13 }),
+            8192
+        );
+        assert_eq!(
+            predictor_entries(PredictorConfig::TwoLevel {
+                pc_bits: 10,
+                history_bits: 8
+            }),
+            1024 + 256
+        );
+        assert_eq!(
+            predictor_entries(PredictorConfig::Tournament { bits: 12 }),
+            3 * 4096
+        );
+        assert_eq!(
+            predictor_entries(PredictorConfig::Perceptron {
+                bits: 8,
+                history: 15
+            }),
+            256 * 16
+        );
+    }
+
+    #[test]
+    fn hardware_cost_counts_caches_in_kib() {
+        let variant = HardwareVariant {
+            icache: CacheGeometry::parse("8k:4:64").unwrap(),
+            dcache: CacheGeometry::parse("16k:4:64").unwrap(),
+            predictor: PredictorConfig::Gshare { bits: 13 },
+        };
+        assert!((hardware_cost(&variant) - (8.0 + 16.0 + 8.0)).abs() < 1e-12);
+    }
+}

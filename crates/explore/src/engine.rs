@@ -1,0 +1,253 @@
+//! The streaming evaluator: millions of configs through the batched
+//! model with no per-config allocation and no `Result` in the hot path.
+//!
+//! Axis ordering is chosen so the expensive derived state is reused
+//! across the cheap axes. A [`StructuralContext`] costs two transient
+//! walks (microseconds); [`PreparedModel::evaluate_at`] costs ~20 flops
+//! (tens of nanoseconds). So `(width, win)` — the only axes the walks
+//! depend on — sit outermost, and one context serves the whole
+//! `rob × l2 × mem × depth` inner block.
+
+use fosm_core::profile::ProgramProfile;
+use fosm_core::{FirstOrderModel, ModelError, PreparedModel, ProcessorParams, StructuralContext};
+
+use crate::cost::{hardware_cost, machine_cost};
+use crate::grid::{ConfigPoint, HardwareVariant, MachineGrid};
+use crate::pareto::{DesignPoint, ParetoFrontier};
+
+/// Identifies which (workload, hardware-variant) pair a shard's points
+/// belong to, so frontier entries can be labelled after the sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardTag {
+    /// Index into the sweep's workload list.
+    pub workload: u32,
+    /// Index into the sweep's hardware-variant list.
+    pub variant: u32,
+}
+
+/// The result of sweeping one profile: configs evaluated, the shard's
+/// local frontier, and the single best-IPC point (for reports).
+#[derive(Debug, Clone)]
+pub struct ShardResult {
+    /// Which (workload, variant) pair this shard covered.
+    pub tag: ShardTag,
+    /// Machine configurations evaluated.
+    pub configs: u64,
+    /// The shard-local Pareto frontier.
+    pub frontier: ParetoFrontier,
+    /// The best-IPC point regardless of cost.
+    pub best_ipc: Option<DesignPoint>,
+}
+
+/// Prepares `model` for `profile` and streams the whole `grid` through
+/// the batched evaluator into a shard-local frontier.
+///
+/// The grid must already be validated ([`MachineGrid::validate`]); the
+/// sweep itself cannot fail. `variant` only contributes its fixed cost
+/// share — the profile is assumed to have been collected with that
+/// hardware.
+pub fn sweep_profile(
+    model: &FirstOrderModel,
+    profile: &ProgramProfile,
+    grid: &MachineGrid,
+    variant: &HardwareVariant,
+    tag: ShardTag,
+) -> Result<ShardResult, ModelError> {
+    let prepared = model.prepare(profile)?;
+    let base_cost = hardware_cost(variant);
+    let _span = fosm_obs::span("explore.sweep");
+    let mut frontier = ParetoFrontier::new();
+    let mut best_ipc: Option<DesignPoint> = None;
+    let mut configs = 0u64;
+    for &width in &grid.widths {
+        for &win_size in &grid.win_sizes {
+            let ctx = prepared.structural(width, win_size);
+            for &rob_size in &grid.rob_sizes {
+                for &l2_latency in &grid.l2_latencies {
+                    for &mem_latency in &grid.mem_latencies {
+                        for &pipe_depth in &grid.pipe_depths {
+                            let point = evaluate_point(
+                                &prepared,
+                                &ctx,
+                                ConfigPoint {
+                                    width,
+                                    win_size,
+                                    rob_size,
+                                    pipe_depth,
+                                    l2_latency,
+                                    mem_latency,
+                                },
+                                base_cost,
+                                tag,
+                            );
+                            configs += 1;
+                            frontier.offer(point);
+                            match best_ipc {
+                                Some(best) if best.ipc >= point.ipc => {}
+                                _ => best_ipc = Some(point),
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    fosm_obs::counter_add("explore.configs", configs);
+    Ok(ShardResult {
+        tag,
+        configs,
+        frontier,
+        best_ipc,
+    })
+}
+
+#[inline]
+fn evaluate_point(
+    prepared: &PreparedModel,
+    ctx: &StructuralContext,
+    config: ConfigPoint,
+    base_cost: f64,
+    tag: ShardTag,
+) -> DesignPoint {
+    let estimate = prepared.evaluate_at(
+        ctx,
+        config.rob_size,
+        config.pipe_depth,
+        config.l2_latency,
+        config.mem_latency,
+    );
+    DesignPoint {
+        config,
+        variant: tag.variant,
+        workload: tag.workload,
+        ipc: 1.0 / estimate.total_cpi(),
+        cost: base_cost + machine_cost(&config),
+    }
+}
+
+/// Merges shard-local frontiers into one global frontier.
+///
+/// Offering in shard order keeps the result deterministic: ties keep
+/// the first arrival, and the shard list's order is fixed by the
+/// sweep's (workload, variant) enumeration, not by thread scheduling.
+pub fn merge_frontiers(shards: &[ShardResult]) -> ParetoFrontier {
+    let mut global = ParetoFrontier::new();
+    for shard in shards {
+        for &point in shard.frontier.points() {
+            global.offer(point);
+        }
+    }
+    fosm_obs::gauge_set("explore.frontier_size", global.len() as f64);
+    global
+}
+
+/// The [`ProcessorParams`] a design point corresponds to, for
+/// re-evaluation through the scalar model or the simulator.
+pub fn params_of(config: &ConfigPoint) -> ProcessorParams {
+    ProcessorParams {
+        width: config.width,
+        win_size: config.win_size,
+        rob_size: config.rob_size,
+        pipe_depth: config.pipe_depth,
+        l2_latency: config.l2_latency,
+        mem_latency: config.mem_latency,
+        ..ProcessorParams::baseline()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::HardwareAxes;
+    use fosm_core::profile::ProfileCollector;
+    use fosm_workloads::{BenchmarkSpec, WorkloadGenerator};
+
+    fn gzip_profile() -> ProgramProfile {
+        let params = ProcessorParams::baseline();
+        let mut trace = WorkloadGenerator::new(&BenchmarkSpec::gzip(), 42);
+        ProfileCollector::new(&params)
+            .collect(&mut trace, 50_000)
+            .unwrap()
+    }
+
+    #[test]
+    fn sweep_covers_the_grid_and_matches_scalar_at_every_frontier_point() {
+        let grid = MachineGrid::baseline_sweep();
+        grid.validate().unwrap();
+        let profile = gzip_profile();
+        let model = FirstOrderModel::new(ProcessorParams::baseline());
+        let variant = HardwareAxes::baseline_only().variants()[0];
+        let tag = ShardTag {
+            workload: 0,
+            variant: 0,
+        };
+        let shard = sweep_profile(&model, &profile, &grid, &variant, tag).unwrap();
+        assert_eq!(shard.configs, grid.len());
+        assert!(!shard.frontier.is_empty());
+        assert!(shard.best_ipc.is_some());
+
+        // Every frontier point must reproduce bit-identically through
+        // the scalar reference path.
+        for point in shard.frontier.points() {
+            let params = params_of(&point.config);
+            let scalar = FirstOrderModel::new(params).evaluate(&profile).unwrap();
+            let scalar_ipc = 1.0 / scalar.total_cpi();
+            assert_eq!(scalar_ipc.to_bits(), point.ipc.to_bits());
+        }
+    }
+
+    #[test]
+    fn frontier_ipc_never_exceeds_the_best_and_grows_with_cost() {
+        let grid = MachineGrid::baseline_sweep();
+        let profile = gzip_profile();
+        let model = FirstOrderModel::new(ProcessorParams::baseline());
+        let variant = HardwareAxes::baseline_only().variants()[0];
+        let shard = sweep_profile(
+            &model,
+            &profile,
+            &grid,
+            &variant,
+            ShardTag {
+                workload: 0,
+                variant: 0,
+            },
+        )
+        .unwrap();
+        let best = shard.best_ipc.unwrap();
+        let points = shard.frontier.points();
+        for pair in points.windows(2) {
+            assert!(pair[0].cost < pair[1].cost);
+            assert!(pair[0].ipc < pair[1].ipc);
+        }
+        assert_eq!(
+            points.last().unwrap().ipc.to_bits(),
+            best.ipc.to_bits(),
+            "the costliest frontier point is the best-IPC design"
+        );
+    }
+
+    #[test]
+    fn merge_is_order_deterministic() {
+        let grid = MachineGrid::baseline_sweep();
+        let profile = gzip_profile();
+        let model = FirstOrderModel::new(ProcessorParams::baseline());
+        let variant = HardwareAxes::baseline_only().variants()[0];
+        let mk = |workload| {
+            sweep_profile(
+                &model,
+                &profile,
+                &grid,
+                &variant,
+                ShardTag {
+                    workload,
+                    variant: 0,
+                },
+            )
+            .unwrap()
+        };
+        let shards = vec![mk(0), mk(1)];
+        let merged = merge_frontiers(&shards);
+        // Identical shards: every tie keeps workload 0.
+        assert!(merged.points().iter().all(|p| p.workload == 0));
+    }
+}

@@ -1,0 +1,241 @@
+//! Frontier export: deterministic CSV and JSON renderings.
+//!
+//! Floats are rendered with Rust's shortest-roundtrip `Display`, so a
+//! byte-equal report means bit-equal results — the determinism test
+//! compares `--threads 1` against `--threads 8` output directly.
+
+use fosm_branch::PredictorConfig;
+use serde::{Deserialize, Serialize};
+
+use crate::grid::{GridError, HardwareVariant};
+use crate::pareto::DesignPoint;
+
+/// Schema version of the JSON report.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// A compact, stable label for a predictor axis value; parseable back
+/// via [`parse_predictor`].
+pub fn predictor_label(predictor: PredictorConfig) -> String {
+    match predictor {
+        PredictorConfig::Ideal => "ideal".into(),
+        PredictorConfig::AlwaysTaken => "always".into(),
+        PredictorConfig::NeverTaken => "never".into(),
+        PredictorConfig::Gshare { bits } => format!("gshare:{bits}"),
+        PredictorConfig::Bimodal { bits } => format!("bimodal:{bits}"),
+        PredictorConfig::TwoLevel {
+            pc_bits,
+            history_bits,
+        } => format!("twolevel:{pc_bits}:{history_bits}"),
+        PredictorConfig::Tournament { bits } => format!("tournament:{bits}"),
+        PredictorConfig::Perceptron { bits, history } => format!("perceptron:{bits}:{history}"),
+    }
+}
+
+/// Parses a predictor axis value produced by [`predictor_label`].
+pub fn parse_predictor(s: &str) -> Result<PredictorConfig, GridError> {
+    let bad = || GridError::BadGeometry(format!("unknown predictor `{s}`"));
+    let mut parts = s.split(':');
+    let kind = parts.next().ok_or_else(bad)?;
+    let mut num = || -> Result<u32, GridError> {
+        parts
+            .next()
+            .ok_or_else(bad)?
+            .parse::<u32>()
+            .map_err(|_| bad())
+    };
+    let config = match kind {
+        "ideal" => PredictorConfig::Ideal,
+        "always" => PredictorConfig::AlwaysTaken,
+        "never" => PredictorConfig::NeverTaken,
+        "gshare" => PredictorConfig::Gshare { bits: num()? },
+        "bimodal" => PredictorConfig::Bimodal { bits: num()? },
+        "twolevel" => PredictorConfig::TwoLevel {
+            pc_bits: num()?,
+            history_bits: num()?,
+        },
+        "tournament" => PredictorConfig::Tournament { bits: num()? },
+        "perceptron" => PredictorConfig::Perceptron {
+            bits: num()?,
+            history: num()?,
+        },
+        _ => return Err(bad()),
+    };
+    if parts.next().is_some() {
+        return Err(bad());
+    }
+    Ok(config)
+}
+
+/// One fully-labelled frontier row, ready for serialization.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrontierRow {
+    /// Workload name.
+    pub workload: String,
+    /// I-cache geometry label (`size:assoc:line`).
+    pub icache: String,
+    /// D-cache geometry label.
+    pub dcache: String,
+    /// Predictor label ([`predictor_label`]).
+    pub predictor: String,
+    /// Issue width.
+    pub width: u32,
+    /// Issue-window entries.
+    pub window: u32,
+    /// Reorder-buffer entries.
+    pub rob: u32,
+    /// Front-end pipeline depth.
+    pub depth: u32,
+    /// L2 access latency.
+    pub l2: u32,
+    /// Main-memory latency.
+    pub mem: u32,
+    /// Predicted instructions per cycle.
+    pub ipc: f64,
+    /// Area/energy proxy.
+    pub cost: f64,
+}
+
+/// The JSON report: counts plus the labelled frontier.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExploreReport {
+    /// Schema version ([`SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Total machine configurations evaluated across all shards.
+    pub configs: u64,
+    /// Workloads swept, in shard order.
+    pub workloads: Vec<String>,
+    /// Hardware variants swept, in shard order.
+    pub variants: Vec<String>,
+    /// The global Pareto frontier, sorted by increasing cost.
+    pub frontier: Vec<FrontierRow>,
+}
+
+fn row(point: &DesignPoint, workloads: &[String], variants: &[HardwareVariant]) -> FrontierRow {
+    let variant = &variants[point.variant as usize];
+    FrontierRow {
+        workload: workloads[point.workload as usize].clone(),
+        icache: variant.icache.to_string(),
+        dcache: variant.dcache.to_string(),
+        predictor: predictor_label(variant.predictor),
+        width: point.config.width,
+        window: point.config.win_size,
+        rob: point.config.rob_size,
+        depth: point.config.pipe_depth,
+        l2: point.config.l2_latency,
+        mem: point.config.mem_latency,
+        ipc: point.ipc,
+        cost: point.cost,
+    }
+}
+
+/// Labels design points (a whole frontier, or a `corners` subset) for
+/// export.
+pub fn frontier_rows(
+    points: &[DesignPoint],
+    workloads: &[String],
+    variants: &[HardwareVariant],
+) -> Vec<FrontierRow> {
+    points.iter().map(|p| row(p, workloads, variants)).collect()
+}
+
+/// Renders the frontier as CSV (header + one row per point).
+pub fn frontier_csv(rows: &[FrontierRow]) -> String {
+    let mut out =
+        String::from("workload,icache,dcache,predictor,width,window,rob,depth,l2,mem,ipc,cost\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{}\n",
+            r.workload,
+            r.icache,
+            r.dcache,
+            r.predictor,
+            r.width,
+            r.window,
+            r.rob,
+            r.depth,
+            r.l2,
+            r.mem,
+            r.ipc,
+            r.cost
+        ));
+    }
+    out
+}
+
+/// Renders the full report as pretty JSON.
+pub fn report_json(report: &ExploreReport) -> String {
+    serde_json::to_string_pretty(report).expect("report serialization is infallible")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::{CacheGeometry, ConfigPoint};
+    use crate::pareto::ParetoFrontier;
+
+    #[test]
+    fn predictor_labels_round_trip() {
+        let all = [
+            PredictorConfig::Ideal,
+            PredictorConfig::AlwaysTaken,
+            PredictorConfig::NeverTaken,
+            PredictorConfig::Gshare { bits: 13 },
+            PredictorConfig::Bimodal { bits: 10 },
+            PredictorConfig::TwoLevel {
+                pc_bits: 10,
+                history_bits: 8,
+            },
+            PredictorConfig::Tournament { bits: 12 },
+            PredictorConfig::Perceptron {
+                bits: 8,
+                history: 15,
+            },
+        ];
+        for p in all {
+            assert_eq!(parse_predictor(&predictor_label(p)).unwrap(), p);
+        }
+        assert!(parse_predictor("gshare").is_err());
+        assert!(parse_predictor("gshare:13:9").is_err());
+        assert!(parse_predictor("magic:3").is_err());
+    }
+
+    #[test]
+    fn csv_is_deterministic_and_headered() {
+        let mut frontier = ParetoFrontier::new();
+        frontier.offer(DesignPoint {
+            config: ConfigPoint {
+                width: 4,
+                win_size: 48,
+                rob_size: 128,
+                pipe_depth: 5,
+                l2_latency: 8,
+                mem_latency: 200,
+            },
+            variant: 0,
+            workload: 0,
+            ipc: 1.5,
+            cost: 60.25,
+        });
+        let variants = vec![HardwareVariant {
+            icache: CacheGeometry::l1_baseline(),
+            dcache: CacheGeometry::l1_baseline(),
+            predictor: PredictorConfig::baseline(),
+        }];
+        let rows = frontier_rows(frontier.points(), &["gzip".into()], &variants);
+        let csv = frontier_csv(&rows);
+        assert_eq!(
+            csv,
+            "workload,icache,dcache,predictor,width,window,rob,depth,l2,mem,ipc,cost\n\
+             gzip,4k:4:128,4k:4:128,gshare:13,4,48,128,5,8,200,1.5,60.25\n"
+        );
+        let json = report_json(&ExploreReport {
+            schema_version: SCHEMA_VERSION,
+            configs: 1,
+            workloads: vec!["gzip".into()],
+            variants: vec!["4k:4:128/4k:4:128/gshare:13".into()],
+            frontier: rows,
+        });
+        assert!(json.contains("\"schema_version\": 1"));
+        assert!(json.contains("\"ipc\": 1.5"));
+    }
+}

@@ -1,0 +1,61 @@
+//! # Design-space exploration for the first-order model
+//!
+//! The point of an *analytical* processor model (Karkhanis & Smith,
+//! ISCA 2004, §7) is that it is cheap enough to sweep: where a detailed
+//! simulator spends minutes per configuration, the first-order model
+//! spends nanoseconds, so an entire design space — width × window ×
+//! ROB × depth × latencies × cache geometry × predictor — fits in one
+//! interactive command.
+//!
+//! This crate is the sweep engine behind `fosm explore`:
+//!
+//! * [`grid`] — the axes and their one-shot validation,
+//! * [`engine`] — the streaming evaluator over
+//!   [`fosm_core::PreparedModel`] (no allocation, no `Result` in the
+//!   hot loop; ≥1M config evaluations/sec on one core),
+//! * [`cost`] — the area/energy proxy that IPC is traded against,
+//! * [`pareto`] — incremental Pareto-frontier extraction,
+//! * [`export`] — deterministic CSV/JSON renderings.
+//!
+//! # Examples
+//!
+//! ```
+//! use fosm_core::{FirstOrderModel, ProcessorParams};
+//! use fosm_core::profile::ProfileCollector;
+//! use fosm_explore::engine::{sweep_profile, ShardTag};
+//! use fosm_explore::grid::{HardwareAxes, MachineGrid};
+//! use fosm_workloads::{BenchmarkSpec, WorkloadGenerator};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let params = ProcessorParams::baseline();
+//! let mut trace = WorkloadGenerator::new(&BenchmarkSpec::gzip(), 42);
+//! let profile = ProfileCollector::new(&params).collect(&mut trace, 50_000)?;
+//!
+//! let grid = MachineGrid::baseline_sweep();
+//! grid.validate()?;
+//! let variant = HardwareAxes::baseline_only().variants()[0];
+//! let model = FirstOrderModel::new(params);
+//! let tag = ShardTag { workload: 0, variant: 0 };
+//! let shard = sweep_profile(&model, &profile, &grid, &variant, tag)?;
+//! assert_eq!(shard.configs, grid.len());
+//! println!("frontier: {} of {} configs", shard.frontier.len(), shard.configs);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod engine;
+pub mod export;
+pub mod grid;
+pub mod pareto;
+
+pub use engine::{merge_frontiers, params_of, sweep_profile, ShardResult, ShardTag};
+pub use export::{
+    frontier_csv, frontier_rows, parse_predictor, predictor_label, report_json, ExploreReport,
+    FrontierRow, SCHEMA_VERSION,
+};
+pub use grid::{CacheGeometry, ConfigPoint, GridError, HardwareAxes, HardwareVariant, MachineGrid};
+pub use pareto::{DesignPoint, ParetoFrontier};

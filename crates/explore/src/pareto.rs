@@ -1,0 +1,193 @@
+//! Incremental Pareto-frontier extraction: maximize IPC, minimize the
+//! area/energy proxy.
+//!
+//! The frontier is kept sorted by cost with IPC strictly increasing
+//! along it, so an [`offer`](ParetoFrontier::offer) is a binary search
+//! plus (rarely) a splice — `O(log F)` for the millions of dominated
+//! points, amortized `O(F)` only when the frontier actually changes.
+//! Exactly-equal points keep the first arrival, which makes sweep
+//! results independent of how workload shards are interleaved.
+
+use serde::{Deserialize, Serialize};
+
+use crate::grid::ConfigPoint;
+
+/// One evaluated design: a machine config, the hardware variant and
+/// workload it was evaluated against, and its (IPC, cost) coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DesignPoint {
+    /// The machine configuration.
+    pub config: ConfigPoint,
+    /// Index into the sweep's hardware-variant list.
+    pub variant: u32,
+    /// Index into the sweep's workload list.
+    pub workload: u32,
+    /// Instructions per cycle predicted by the model.
+    pub ipc: f64,
+    /// Area/energy proxy ([`crate::cost`]).
+    pub cost: f64,
+}
+
+/// The non-dominated set under (IPC ↑, cost ↓), built incrementally.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ParetoFrontier {
+    /// Invariant: sorted by strictly increasing cost AND strictly
+    /// increasing IPC (any violation would mean a dominated point).
+    points: Vec<DesignPoint>,
+}
+
+impl ParetoFrontier {
+    /// An empty frontier.
+    pub fn new() -> Self {
+        ParetoFrontier::default()
+    }
+
+    /// Offers a point; returns `true` if it joined the frontier
+    /// (evicting any points it dominates), `false` if it was dominated.
+    ///
+    /// Dominance is weak: a point is rejected if some existing point
+    /// has `cost <=` and `ipc >=` it. An exact (cost, ipc) tie is a
+    /// rejection — the first arrival stays.
+    pub fn offer(&mut self, point: DesignPoint) -> bool {
+        if !(point.ipc.is_finite() && point.cost.is_finite()) {
+            return false;
+        }
+        // First index with cost strictly greater than the candidate's.
+        let hi = self.points.partition_point(|q| q.cost <= point.cost);
+        // IPC increases along the frontier, so points[hi-1] holds the
+        // best IPC among everything at least as cheap.
+        if hi > 0 && self.points[hi - 1].ipc >= point.ipc {
+            return false;
+        }
+        // The candidate dominates: equal-cost points with lower IPC
+        // (a suffix of [..hi]) and costlier points with no more IPC
+        // (a prefix of [hi..]).
+        let lo = self.points[..hi].partition_point(|q| q.cost < point.cost);
+        let end = hi + self.points[hi..].partition_point(|q| q.ipc <= point.ipc);
+        self.points.splice(lo..end, std::iter::once(point));
+        true
+    }
+
+    /// The frontier, sorted by increasing cost (and thus IPC).
+    pub fn points(&self) -> &[DesignPoint] {
+        &self.points
+    }
+
+    /// Number of points on the frontier.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the frontier is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// `n` spread-out frontier points (always including both extremes
+    /// when `n >= 2`) — the corner points `--sim-check` re-simulates.
+    pub fn corners(&self, n: usize) -> Vec<DesignPoint> {
+        if self.points.is_empty() || n == 0 {
+            return Vec::new();
+        }
+        if n >= self.points.len() {
+            return self.points.clone();
+        }
+        let mut out = Vec::with_capacity(n);
+        let last = (self.points.len() - 1) as f64;
+        for k in 0..n {
+            let idx = if n == 1 {
+                0
+            } else {
+                (last * k as f64 / (n - 1) as f64).round() as usize
+            };
+            let p = self.points[idx];
+            if out.last() != Some(&p) {
+                out.push(p);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(ipc: f64, cost: f64) -> DesignPoint {
+        DesignPoint {
+            config: ConfigPoint {
+                width: 4,
+                win_size: 48,
+                rob_size: 128,
+                pipe_depth: 5,
+                l2_latency: 8,
+                mem_latency: 200,
+            },
+            variant: 0,
+            workload: 0,
+            ipc,
+            cost,
+        }
+    }
+
+    #[test]
+    fn keeps_only_non_dominated_points() {
+        let mut f = ParetoFrontier::new();
+        assert!(f.offer(pt(1.0, 10.0)));
+        assert!(f.offer(pt(2.0, 20.0)));
+        // Dominated: worse IPC at higher cost.
+        assert!(!f.offer(pt(0.5, 15.0)));
+        // Dominates the cost-20 point: same IPC, cheaper.
+        assert!(f.offer(pt(2.0, 12.0)));
+        let ipcs: Vec<f64> = f.points().iter().map(|p| p.ipc).collect();
+        assert_eq!(ipcs, vec![1.0, 2.0]);
+        let costs: Vec<f64> = f.points().iter().map(|p| p.cost).collect();
+        assert_eq!(costs, vec![10.0, 12.0]);
+    }
+
+    #[test]
+    fn exact_ties_keep_the_first_arrival() {
+        let mut f = ParetoFrontier::new();
+        let first = DesignPoint {
+            workload: 7,
+            ..pt(1.5, 10.0)
+        };
+        assert!(f.offer(first));
+        assert!(!f.offer(pt(1.5, 10.0)));
+        assert_eq!(f.points()[0].workload, 7);
+    }
+
+    #[test]
+    fn non_finite_points_are_rejected() {
+        let mut f = ParetoFrontier::new();
+        assert!(!f.offer(pt(f64::NAN, 1.0)));
+        assert!(!f.offer(pt(1.0, f64::INFINITY)));
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn a_sweeping_point_evicts_a_whole_range() {
+        let mut f = ParetoFrontier::new();
+        for (ipc, cost) in [(1.0, 10.0), (2.0, 20.0), (3.0, 30.0), (4.0, 40.0)] {
+            assert!(f.offer(pt(ipc, cost)));
+        }
+        // Beats everything but the cost-10 point.
+        assert!(f.offer(pt(4.5, 15.0)));
+        let costs: Vec<f64> = f.points().iter().map(|p| p.cost).collect();
+        assert_eq!(costs, vec![10.0, 15.0]);
+    }
+
+    #[test]
+    fn corners_span_the_frontier() {
+        let mut f = ParetoFrontier::new();
+        for i in 1..=9 {
+            assert!(f.offer(pt(i as f64, 10.0 * i as f64)));
+        }
+        let corners = f.corners(4);
+        assert_eq!(corners.first().unwrap().cost, 10.0);
+        assert_eq!(corners.last().unwrap().cost, 90.0);
+        assert_eq!(corners.len(), 4);
+        assert_eq!(f.corners(100).len(), 9);
+        assert!(f.corners(0).is_empty());
+    }
+}

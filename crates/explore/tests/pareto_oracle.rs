@@ -1,0 +1,90 @@
+//! Property test: the incremental Pareto frontier equals a brute-force
+//! O(n²) oracle on random point sets.
+
+use fosm_explore::grid::ConfigPoint;
+use fosm_explore::pareto::{DesignPoint, ParetoFrontier};
+use proptest::prelude::*;
+
+fn point(id: u32, ipc: f64, cost: f64) -> DesignPoint {
+    DesignPoint {
+        config: ConfigPoint {
+            width: 4,
+            win_size: 48,
+            rob_size: 128,
+            pipe_depth: 5,
+            l2_latency: 8,
+            mem_latency: 200,
+        },
+        // Smuggle the arrival index through the workload tag so the
+        // oracle can express "keep the first of exact ties".
+        workload: id,
+        variant: 0,
+        ipc,
+        cost,
+    }
+}
+
+/// Brute force: point `i` survives iff no other point weakly dominates
+/// it, where exact (ipc, cost) ties are broken in favor of the earlier
+/// arrival. Result sorted by cost, matching the frontier's order.
+fn oracle(points: &[DesignPoint]) -> Vec<DesignPoint> {
+    let mut kept: Vec<DesignPoint> = points
+        .iter()
+        .enumerate()
+        .filter(|&(i, p)| {
+            points.iter().enumerate().all(|(j, q)| {
+                if i == j {
+                    return true;
+                }
+                let strictly_better =
+                    (q.cost < p.cost && q.ipc >= p.ipc) || (q.cost <= p.cost && q.ipc > p.ipc);
+                let earlier_twin = q.cost == p.cost && q.ipc == p.ipc && j < i;
+                !(strictly_better || earlier_twin)
+            })
+        })
+        .map(|(_, p)| *p)
+        .collect();
+    kept.sort_by(|a, b| a.cost.total_cmp(&b.cost));
+    kept
+}
+
+fn points_strategy() -> impl Strategy<Value = Vec<DesignPoint>> {
+    // A coarse value lattice makes ties and exact duplicates common —
+    // the cases where incremental maintenance is easiest to get wrong.
+    prop::collection::vec((0u32..8, 0u32..8), 0..60).prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (ipc, cost))| point(i as u32, ipc as f64 / 2.0 + 0.5, cost as f64 * 3.0))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(1024))]
+
+    #[test]
+    fn incremental_frontier_matches_the_oracle(points in points_strategy()) {
+        let mut frontier = ParetoFrontier::new();
+        for &p in &points {
+            frontier.offer(p);
+        }
+        let expected = oracle(&points);
+        prop_assert_eq!(frontier.points(), expected.as_slice());
+    }
+
+    #[test]
+    fn frontier_is_invariant_under_dominated_insertions(points in points_strategy()) {
+        let mut frontier = ParetoFrontier::new();
+        for &p in &points {
+            frontier.offer(p);
+        }
+        let snapshot = frontier.clone();
+        // Re-offering every original point must change nothing: each is
+        // either on the frontier (an exact tie, first kept) or
+        // dominated by it.
+        for &p in &points {
+            prop_assert!(!frontier.offer(p));
+        }
+        prop_assert_eq!(frontier, snapshot);
+    }
+}

@@ -1,5 +1,6 @@
 //! Issue-width study (paper §6.2, Fig. 18–19).
 
+use fosm_core::transient::dispatch_epoch;
 use fosm_core::ModelError;
 use fosm_depgraph::IwCharacteristic;
 use serde::{Deserialize, Serialize};
@@ -72,35 +73,16 @@ impl IssueWidthStudy {
                 "distance {distance} must be positive"
             )));
         }
-        let mut rates = vec![0.0; self.pipe_depth as usize];
-        let mut w = 0.0f64;
-        let mut to_dispatch = distance;
-        let mut issued = 0.0;
-        // Dispatch phase completes in distance/width cycles; the drain
-        // tail shrinks the residual occupancy geometrically, so cap the
-        // walk generously.
-        let max_cycles = (2.0 * distance / width as f64) as usize + 16 * self.win_size as usize;
-        for _ in 0..max_cycles {
-            let dispatch = (width as f64)
-                .min(to_dispatch)
-                .min(self.win_size as f64 - w);
-            w += dispatch;
-            to_dispatch -= dispatch;
-            let rate = self.iw.issue_rate(w, Some(width)).min(w);
-            rates.push(rate);
-            issued += rate;
-            w -= rate;
-            // Epoch ends when only the resolving branch remains.
-            if to_dispatch <= 0.0 && w <= 1.0 {
-                break;
-            }
-        }
+        // The walk itself lives beside the drain/ramp walks in
+        // `fosm_core::transient`, shared with the explore engine's
+        // batched evaluation path.
+        let walk = dispatch_epoch(&self.iw, width, self.win_size, self.pipe_depth, distance);
         let threshold = (1.0 - self.closeness) * width as f64;
-        let near = rates.iter().filter(|&&r| r >= threshold).count();
+        let near = walk.rates.iter().filter(|&&r| r >= threshold).count();
         Ok(EpochProfile {
-            fraction_near_max: near as f64 / rates.len() as f64,
-            instructions: issued,
-            rates,
+            fraction_near_max: near as f64 / walk.rates.len() as f64,
+            instructions: walk.issued,
+            rates: walk.rates,
         })
     }
 

@@ -1,8 +1,7 @@
 //! Pipeline-depth study (paper §6.1, Fig. 17).
 
-use fosm_core::branch::{self, BurstAssumption};
-use fosm_core::transient::{ramp_up, win_drain};
-use fosm_core::{ModelError, ProcessorParams};
+use fosm_core::branch::BurstAssumption;
+use fosm_core::{ModelError, StructuralContext};
 use fosm_depgraph::{IwCharacteristic, PowerLaw};
 use serde::{Deserialize, Serialize};
 
@@ -86,33 +85,46 @@ impl PipelineStudy {
                 "width and depth must be non-zero".into(),
             ));
         }
-        let params = ProcessorParams {
-            width,
-            win_size: self.win_size,
-            rob_size: self.rob_size.max(self.win_size),
-            pipe_depth: depth,
-            ..ProcessorParams::baseline()
-        };
-        let steady = self.iw.steady_state_ipc(self.win_size, width);
-        let penalty = branch::penalty(&self.iw, &params, self.burst);
-        let cpi = 1.0 / steady + self.mispredicts_per_inst() * penalty;
-        Ok(1.0 / cpi)
+        let ctx = StructuralContext::walk(&self.iw, width, self.win_size);
+        Ok(self.ipc_at(&ctx, depth))
     }
 
-    /// Sweeps depths for one width (one curve of Fig. 17a/b).
+    /// The study's CPI recipe on a prepared structural context — the
+    /// same drain/ramp/steady-state quantities the explore engine
+    /// batches, so the study and the sweep share one evaluation path.
+    fn ipc_at(&self, ctx: &StructuralContext, depth: u32) -> f64 {
+        let steady = ctx.steady_ipc();
+        let penalty = ctx.branch_penalty(depth, self.burst);
+        let cpi = 1.0 / steady + self.mispredicts_per_inst() * penalty;
+        1.0 / cpi
+    }
+
+    /// Sweeps depths for one width (one curve of Fig. 17a/b). The
+    /// structural walk happens once; the depth axis reuses it.
     ///
     /// # Errors
     ///
-    /// Propagates [`ModelError::InvalidParams`] from [`ipc`](Self::ipc).
+    /// [`ModelError::InvalidParams`] if width or any depth is zero.
     pub fn sweep(
         &self,
         width: u32,
         depths: impl IntoIterator<Item = u32>,
     ) -> Result<Vec<DepthPoint>, ModelError> {
+        if width == 0 {
+            return Err(ModelError::InvalidParams(
+                "width and depth must be non-zero".into(),
+            ));
+        }
+        let ctx = StructuralContext::walk(&self.iw, width, self.win_size);
         depths
             .into_iter()
             .map(|depth| {
-                let ipc = self.ipc(width, depth)?;
+                if depth == 0 {
+                    return Err(ModelError::InvalidParams(
+                        "width and depth must be non-zero".into(),
+                    ));
+                }
+                let ipc = self.ipc_at(&ctx, depth);
                 let frequency_ghz = self.frequency_ghz(depth);
                 Ok(DepthPoint {
                     depth,
@@ -146,9 +158,8 @@ impl PipelineStudy {
     /// Per-misprediction penalty at one (width, depth) point — exposes
     /// the drain/ramp/refill decomposition for reporting.
     pub fn penalty_parts(&self, width: u32, depth: u32) -> (f64, f64, f64) {
-        let drain = win_drain(&self.iw, width, self.win_size).penalty;
-        let ramp = ramp_up(&self.iw, width, self.win_size).penalty;
-        (drain, depth as f64, ramp)
+        let ctx = StructuralContext::walk(&self.iw, width, self.win_size);
+        (ctx.win_drain(), depth as f64, ctx.ramp_up())
     }
 }
 

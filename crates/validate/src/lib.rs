@@ -24,6 +24,9 @@
 //! * [`fuzz`] — a differential fuzzer over random valid machine
 //!   configurations and workload seeds, asserting model-vs-simulator
 //!   invariants and shrinking any violation to a minimal reproducer.
+//! * [`sim_check`] — frontier spot-checks: re-simulates design-space
+//!   exploration corner points (`fosm explore --sim-check`) through the
+//!   same per-component gates.
 //!
 //! The `fosm-cli validate` subcommand and the repository's CI accuracy
 //! gate are thin wrappers over these pieces.
@@ -35,12 +38,14 @@ pub mod differential;
 pub mod events;
 pub mod fuzz;
 pub mod report;
+pub mod sim_check;
 pub mod tolerance;
 
 pub use differential::{CaseResult, CaseSpec, Component, ComponentRow};
 pub use events::EventClassDiff;
 pub use fuzz::{FuzzCase, FuzzFailure, FuzzOutcome};
 pub use report::{ValidationReport, SCHEMA_VERSION};
+pub use sim_check::{check_corners, CornerResult, CornerSpec};
 pub use tolerance::{Band, ToleranceSpec};
 
 // Re-exported so harness callers (tests, binaries) need only this

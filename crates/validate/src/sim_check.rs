@@ -1,0 +1,99 @@
+//! Frontier spot-checks: re-simulate explore corner points.
+//!
+//! A design-space sweep evaluates millions of configurations through
+//! the analytical model alone; this module closes the loop by running
+//! a handful of *frontier corner points* — the extreme and evenly
+//! spaced designs an exploration would actually surface — through the
+//! detailed simulator and the existing per-component tolerance gates.
+//! `fosm explore --sim-check N` wires it to the CLI.
+
+use fosm_core::ModelError;
+use fosm_sim::MachineConfig;
+use fosm_workloads::BenchmarkSpec;
+
+use crate::differential::{run_case, CaseResult, CaseSpec};
+use crate::tolerance::ToleranceSpec;
+use crate::ArtifactStore;
+use fosm_bench::par;
+
+/// One corner point to re-simulate: a full machine configuration plus
+/// the workload the frontier point was evaluated against.
+#[derive(Debug, Clone)]
+pub struct CornerSpec {
+    /// Label for reports (e.g. `w4/win48/rob128/d5`).
+    pub label: String,
+    /// The machine to simulate.
+    pub config: MachineConfig,
+    /// The workload to drive it with.
+    pub bench: BenchmarkSpec,
+}
+
+/// The differential result for one corner, with its label.
+#[derive(Debug, Clone)]
+pub struct CornerResult {
+    /// The corner's label.
+    pub label: String,
+    /// Full per-component differential comparison.
+    pub result: CaseResult,
+}
+
+impl CornerResult {
+    /// Whether every CPI component landed inside its tolerance band.
+    pub fn passed(&self) -> bool {
+        self.result.within_tolerance()
+    }
+}
+
+/// Runs every corner through the differential harness (simulator +
+/// model + per-component bands), fanning out across `threads`.
+///
+/// # Errors
+///
+/// Propagates the first [`ModelError`] from any corner's profile
+/// collection or model evaluation.
+pub fn check_corners(
+    store: &ArtifactStore,
+    corners: &[CornerSpec],
+    trace_len: u64,
+    seed: u64,
+    tol: &ToleranceSpec,
+    threads: usize,
+) -> Result<Vec<CornerResult>, ModelError> {
+    let results = par::par_map(corners, threads.max(1), |corner| {
+        let case = CaseSpec {
+            config: corner.config.clone(),
+            bench: corner.bench.clone(),
+            trace_len,
+            seed,
+        };
+        run_case(store, &case, tol).map(|result| CornerResult {
+            label: corner.label.clone(),
+            result,
+        })
+    });
+    results.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_corner_passes_the_fuzz_bands() {
+        let store = ArtifactStore::new();
+        let corners = vec![CornerSpec {
+            label: "baseline".into(),
+            config: MachineConfig::baseline(),
+            bench: BenchmarkSpec::gzip(),
+        }];
+        let results =
+            check_corners(&store, &corners, 50_000, 42, &ToleranceSpec::fuzz(), 1).unwrap();
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].label, "baseline");
+        assert!(
+            results[0].passed(),
+            "baseline corner should be inside the fuzz bands: {:?}",
+            results[0].result.components
+        );
+    }
+}

@@ -81,4 +81,5 @@ pub mod profile {
 }
 
 pub use fosm_core as core;
+pub use fosm_explore as explore;
 pub use fosm_validate as validate;
