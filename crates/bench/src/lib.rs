@@ -5,6 +5,7 @@
 //! shared plumbing (trace recording, simulation runs, model runs,
 //! text plotting).
 
+pub mod disk;
 pub mod harness;
 pub mod par;
 pub mod plot;

@@ -37,10 +37,15 @@ use fosm_sim::{MachineConfig, SimReport};
 use fosm_trace::PackedTrace;
 use fosm_workloads::BenchmarkSpec;
 
+use crate::disk::DiskCache;
 use crate::harness;
 
 /// Key of a recorded trace: exact spec rendering, seed, length.
 type TraceKey = (String, u64, u64);
+
+/// Key of a functional profile: trace key, full probe configuration
+/// rendering, probe name.
+type ProfileKey = (TraceKey, String, String);
 
 /// Hit/miss counters for one artifact kind.
 #[derive(Debug, Default)]
@@ -123,10 +128,16 @@ pub struct ArtifactStore {
     traces: Mutex<HashMap<TraceKey, Arc<PackedTrace>>>,
     reports: Mutex<HashMap<(TraceKey, String), Arc<SimReport>>>,
     traced: Mutex<HashMap<(TraceKey, String), Arc<TracedRun>>>,
-    profiles: Mutex<HashMap<(TraceKey, String, String), Arc<ProgramProfile>>>,
+    profiles: Mutex<HashMap<ProfileKey, Arc<ProgramProfile>>>,
     trace_traffic: Counter,
     sim_traffic: Counter,
     profile_traffic: Counter,
+    /// Optional persistence layer: traces and profiles missing from the
+    /// in-memory tables are read through it before being recomputed,
+    /// and written through it after computation, so the warm state
+    /// survives process restarts (the serve daemon's cache-reuse
+    /// contract). Attached at most once.
+    disk: OnceLock<Arc<DiskCache>>,
 }
 
 impl ArtifactStore {
@@ -135,21 +146,52 @@ impl ArtifactStore {
         ArtifactStore::default()
     }
 
-    /// The process-wide store shared by the figure binaries.
+    /// The process-wide store shared by the figure binaries. When
+    /// `FOSM_CACHE_DIR` is set, the store is backed by an on-disk
+    /// cache rooted there (budget `FOSM_CACHE_MAX_BYTES`, default
+    /// 1 GiB).
     pub fn global() -> &'static ArtifactStore {
         static GLOBAL: OnceLock<ArtifactStore> = OnceLock::new();
-        GLOBAL.get_or_init(ArtifactStore::new)
+        GLOBAL.get_or_init(|| {
+            let store = ArtifactStore::new();
+            if let Some(disk) = DiskCache::from_env() {
+                store.attach_disk(Arc::new(disk));
+            }
+            store
+        })
+    }
+
+    /// Backs this store with an on-disk cache. Has no effect if a
+    /// cache is already attached (the first one wins).
+    pub fn attach_disk(&self, disk: Arc<DiskCache>) {
+        let _ = self.disk.set(disk);
+    }
+
+    /// The attached on-disk cache, if any.
+    pub fn disk(&self) -> Option<&Arc<DiskCache>> {
+        self.disk.get()
     }
 
     /// The benchmark's recorded trace (packed SoA layout), recording
-    /// it on first use.
+    /// it on first use. With a disk cache attached, a trace missing
+    /// from memory is loaded from disk before being re-recorded, and
+    /// written through after recording.
     pub fn trace(&self, spec: &BenchmarkSpec, n: u64, seed: u64) -> Arc<PackedTrace> {
-        memo(
-            &self.traces,
-            &self.trace_traffic,
-            trace_key(spec, n, seed),
-            || harness::record_seeded(spec, n, seed),
-        )
+        let key = trace_key(spec, n, seed);
+        let disk_key = disk_trace_key(&key);
+        let disk = self.disk.get();
+        memo(&self.traces, &self.trace_traffic, key, || {
+            if let Some(disk) = disk {
+                if let Some(trace) = disk.load::<PackedTrace>("trace", &disk_key) {
+                    return trace;
+                }
+            }
+            let trace = harness::record_seeded(spec, n, seed);
+            if let Some(disk) = disk {
+                disk.store("trace", &disk_key, &trace);
+            }
+            trace
+        })
     }
 
     /// The detailed simulator's report for `(trace, config)`, running
@@ -294,7 +336,7 @@ impl ArtifactStore {
             let table = self.profiles.lock().expect("store lock");
             keys.iter().map(|key| table.get(key).cloned()).collect()
         };
-        let missing: Vec<usize> = (0..slots.len()).filter(|&i| slots[i].is_none()).collect();
+        let mut missing: Vec<usize> = (0..slots.len()).filter(|&i| slots[i].is_none()).collect();
         for slot in &slots {
             if slot.is_some() {
                 self.profile_traffic.hit();
@@ -302,26 +344,48 @@ impl ArtifactStore {
                 self.profile_traffic.miss();
             }
         }
+        // Read memory-missing probes through the disk cache before
+        // paying for a replay; only probes absent from both layers join
+        // the fused pass.
+        if let Some(disk) = self.disk.get() {
+            let mut still_missing = Vec::with_capacity(missing.len());
+            for &i in &missing {
+                let disk_key = disk_profile_key(&keys[i]);
+                match disk.load::<ProgramProfile>("profile", &disk_key) {
+                    Some(profile) => slots[i] = Some(self.insert_profile(&keys[i], profile)),
+                    None => still_missing.push(i),
+                }
+            }
+            missing = still_missing;
+        }
         if !missing.is_empty() {
             let trace = self.trace(spec, n, seed);
             let sub_bank: ProbeBank = missing.iter().map(|&i| bank.probes()[i].clone()).collect();
             let computed = harness::profile_many(params, &sub_bank, &trace)?;
-            let mut table = self.profiles.lock().expect("store lock");
             for (&i, profile) in missing.iter().zip(computed) {
-                let arc = match table.entry(keys[i].clone()) {
-                    std::collections::hash_map::Entry::Occupied(e) => Arc::clone(e.get()),
-                    std::collections::hash_map::Entry::Vacant(e) => {
-                        self.profile_traffic.insert();
-                        Arc::clone(e.insert(Arc::new(profile)))
-                    }
-                };
-                slots[i] = Some(arc);
+                if let Some(disk) = self.disk.get() {
+                    disk.store("profile", &disk_profile_key(&keys[i]), &profile);
+                }
+                slots[i] = Some(self.insert_profile(&keys[i], profile));
             }
         }
         Ok(slots
             .into_iter()
             .map(|slot| slot.expect("every probe resolved"))
             .collect())
+    }
+
+    /// Inserts a computed (or disk-loaded) profile into the in-memory
+    /// table, keeping the first inserted allocation on a race.
+    fn insert_profile(&self, key: &ProfileKey, profile: ProgramProfile) -> Arc<ProgramProfile> {
+        let mut table = self.profiles.lock().expect("store lock");
+        match table.entry(key.clone()) {
+            std::collections::hash_map::Entry::Occupied(e) => Arc::clone(e.get()),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                self.profile_traffic.insert();
+                Arc::clone(e.insert(Arc::new(profile)))
+            }
+        }
     }
 
     /// Current hit/miss counts.
@@ -342,6 +406,18 @@ impl ArtifactStore {
 
 fn trace_key(spec: &BenchmarkSpec, n: u64, seed: u64) -> TraceKey {
     (format!("{spec:?}"), seed, n)
+}
+
+/// Renders a trace key as the disk cache's logical key string. The
+/// rendering embeds the full spec `Debug` output, so distinct specs
+/// can never alias on disk any more than they can in memory.
+fn disk_trace_key(key: &TraceKey) -> String {
+    format!("{key:?}")
+}
+
+/// Renders a profile key as the disk cache's logical key string.
+fn disk_profile_key(key: &ProfileKey) -> String {
+    format!("{key:?}")
 }
 
 /// Configuration half of a profile key: the full functional setup,
@@ -479,6 +555,70 @@ mod tests {
         for t in &traces {
             assert!(Arc::ptr_eq(t, &traces[0]));
         }
+    }
+
+    fn temp_disk(name: &str) -> Arc<DiskCache> {
+        let root = std::env::temp_dir().join(format!(
+            "fosm-store-disk-test-{}-{name}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        Arc::new(DiskCache::new(root, u64::MAX).expect("temp disk cache"))
+    }
+
+    #[test]
+    fn warm_store_restart_serves_traces_and_profiles_from_disk() {
+        let disk = temp_disk("restart");
+        let spec = BenchmarkSpec::gzip();
+        let params = harness::params_of(&MachineConfig::baseline());
+
+        // Cold process: everything computed, written through to disk.
+        let cold_store = ArtifactStore::new();
+        cold_store.attach_disk(Arc::clone(&disk));
+        let cold_trace = cold_store.trace(&spec, 2_000, 7);
+        let cold_profile = cold_store.profile(&params, &spec.name, &spec, 2_000, 7);
+        assert_eq!(disk.stats().inserts, 2, "trace + profile written through");
+
+        // "Restart": a fresh store sharing only the disk directory.
+        let warm_store = ArtifactStore::new();
+        warm_store.attach_disk(Arc::clone(&disk));
+        let warm_trace = warm_store.trace(&spec, 2_000, 7);
+        let warm_profile = warm_store.profile(&params, &spec.name, &spec, 2_000, 7);
+        assert_eq!(*warm_trace, *cold_trace);
+        assert_eq!(*warm_profile, *cold_profile);
+        let stats = disk.stats();
+        assert_eq!(stats.hits, 2, "warm run must be served from disk");
+        assert_eq!(stats.inserts, 2, "warm run must not recompute");
+        let _ = std::fs::remove_dir_all(disk.root());
+    }
+
+    #[test]
+    fn corrupted_disk_entry_is_recomputed_identically() {
+        let disk = temp_disk("corrupt");
+        let spec = BenchmarkSpec::gzip();
+        let cold_store = ArtifactStore::new();
+        cold_store.attach_disk(Arc::clone(&disk));
+        let original = cold_store.trace(&spec, 1_500, 11);
+
+        // Truncate the one blob on disk mid-payload.
+        let kind_dir = disk.root().join("trace");
+        let entry = std::fs::read_dir(&kind_dir)
+            .expect("trace dir")
+            .flatten()
+            .next()
+            .expect("one entry")
+            .path();
+        let bytes = std::fs::read(&entry).expect("entry readable");
+        std::fs::write(&entry, &bytes[..bytes.len() / 3]).expect("truncate");
+
+        let warm_store = ArtifactStore::new();
+        warm_store.attach_disk(Arc::clone(&disk));
+        let recomputed = warm_store.trace(&spec, 1_500, 11);
+        assert_eq!(*recomputed, *original, "recompute must be deterministic");
+        let stats = disk.stats();
+        assert_eq!(stats.corruptions, 1);
+        assert_eq!(stats.inserts, 2, "recomputed trace re-written through");
+        let _ = std::fs::remove_dir_all(disk.root());
     }
 
     #[test]

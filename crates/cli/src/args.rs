@@ -5,7 +5,9 @@ use std::collections::BTreeMap;
 use std::str::FromStr;
 
 /// Flags that take no value (`--ideal` style).
-const BOOLEAN_FLAGS: &[&str] = &["ideal", "fu", "check", "statsim", "frontier"];
+const BOOLEAN_FLAGS: &[&str] = &[
+    "ideal", "fu", "check", "statsim", "frontier", "local", "seq", "verify",
+];
 
 /// Parsed command-line arguments: positionals in order, flags by name.
 #[derive(Debug, Clone, Default)]

@@ -19,6 +19,7 @@ use std::process::ExitCode;
 
 mod args;
 mod commands;
+mod serve_cmd;
 
 fn main() -> ExitCode {
     let argv = strip_global_flags(std::env::args().skip(1).collect());
@@ -90,6 +91,9 @@ fn run(argv: Vec<String>) -> Result<(), String> {
         "explore" => commands::explore(args::Parsed::new(rest)?),
         "trace" => commands::trace(args::Parsed::new(rest)?),
         "metrics" => commands::metrics(args::Parsed::new(rest)?),
+        "serve" => serve_cmd::serve(args::Parsed::new(rest)?),
+        "client" => serve_cmd::client(args::Parsed::new(rest)?),
+        "loadgen" => serve_cmd::loadgen(args::Parsed::new(rest)?),
         "bench-list" => commands::bench_list(),
         "help" | "--help" | "-h" => {
             print_usage();
@@ -114,6 +118,9 @@ USAGE:
     fosm trace   <bench> [--insts N] [--seed S] [--top K]
                  [--chrome <out.json>] [machine flags]
     fosm metrics diff <a.json> <b.json> [--max-regress PCT]
+    fosm serve   [serve flags]
+    fosm client  <action> (--addr HOST:PORT | --local) [request flags]
+    fosm loadgen --addr HOST:PORT [loadgen flags]
     fosm bench-list
 
     Any command also accepts --metrics <path> to write a JSON run
@@ -156,6 +163,39 @@ EXPLORE FLAGS (fosm explore):
     --frontier      print the full frontier as CSV on stdout
     --export P      write the frontier to P (.json report or CSV)
     --sim-check N   re-simulate N frontier corners and gate them
+
+SERVE FLAGS (fosm serve — model-as-a-service daemon):
+    --addr A          listen address            (127.0.0.1:0 = any port)
+    --workers N       worker-pool threads       (all cores)
+    --batch-window MS request-batching window   (2)
+    --port-file P     write the bound address to P
+    Set FOSM_CACHE_DIR to persist trace/profile artifacts on disk
+    across restarts (FOSM_CACHE_MAX_BYTES caps the cache size).
+
+CLIENT ACTIONS (fosm client — one request per invocation):
+    ping | stats | shutdown
+    profile | model      [--bench NAME] [--insts N] [--seed S]
+                         [--probe full|ideal|branch|icache|dcache]
+                         [machine flags]
+    validate             [--bench NAME] [--insts N] [--seed S] [machine flags]
+    explore              [--bench NAME] [--insts N] [--seed S]
+                         [--widths L --windows L --robs L --depths L
+                          --l2s L --mems L]
+    --local executes the request in-process through the exact daemon
+    code path (byte-identical output, no server needed).
+
+LOADGEN FLAGS (fosm loadgen — daemon latency/throughput):
+    --clients N       concurrent client connections      (8)
+    --requests M      requests per client                (8)
+    --insts N         trace length per request           (20000)
+    --seed S          workload generator seed            (42)
+    --verify          byte-compare every response to in-process execution
+    --seq             also time the stream as sequential one-shot
+                      subprocesses and report the daemon's speedup
+    --min-speedup X   fail below X-fold speedup (with --seq)
+    -o P              write BENCH_serve.json-format baseline to P
+    --baseline P      compare against a committed baseline
+    --check           exit non-zero on any >25% latency regression
 
 TRACE FLAGS (fosm trace):
     --insts N     trace length                         (120000)

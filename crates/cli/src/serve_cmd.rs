@@ -1,0 +1,321 @@
+//! The daemon-facing subcommands: `fosm serve`, `fosm client`, and
+//! `fosm loadgen`.
+//!
+//! `serve` runs the model-as-a-service daemon from `fosm-serve`;
+//! `client` speaks its protocol (or, with `--local`, executes the same
+//! request in-process through the identical `Service` code path, which
+//! is what makes daemon responses byte-comparable to one-shot runs);
+//! `loadgen` drives a daemon with concurrent clients and records
+//! latency/throughput into `BENCH_serve.json`.
+
+use std::io::Write;
+use std::sync::Arc;
+use std::time::Duration;
+
+use fosm_bench::disk::DiskCache;
+use fosm_bench::store::ArtifactStore;
+use fosm_serve::proto::{
+    ExploreRequest, MachineSpec, ProfileRequest, Request, Response, ValidateRequest,
+};
+use fosm_serve::service::Service;
+
+use crate::args::Parsed;
+
+/// The daemon's artifact store: fresh, and disk-backed when
+/// `FOSM_CACHE_DIR` is set (the cache-reuse contract).
+fn env_store() -> Arc<ArtifactStore> {
+    let store = ArtifactStore::new();
+    if let Some(disk) = DiskCache::from_env() {
+        store.attach_disk(Arc::new(disk));
+    }
+    Arc::new(store)
+}
+
+/// `fosm serve [--addr A] [--workers N] [--batch-window MS]
+/// [--port-file P]`
+///
+/// Runs until a client sends `shutdown`. Prints `listening on <addr>`
+/// (with the real port when `--addr` ends in `:0`) before accepting,
+/// and optionally writes the address to `--port-file` for scripts.
+pub fn serve(args: Parsed) -> Result<(), String> {
+    let addr = args.flag("addr").unwrap_or("127.0.0.1:0");
+    let workers: usize = args
+        .flag_or("workers", fosm_bench::par::available_threads())?
+        .max(1);
+    let window_ms: u64 = args.flag_or("batch-window", 2u64)?;
+    let service = Arc::new(Service::new(
+        env_store(),
+        workers,
+        Duration::from_millis(window_ms),
+    ));
+    let handle =
+        fosm_serve::server::start(service, addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    println!("listening on {}", handle.addr());
+    std::io::stdout()
+        .flush()
+        .map_err(|e| format!("cannot flush stdout: {e}"))?;
+    if let Some(path) = args.flag("port-file") {
+        std::fs::write(path, handle.addr().to_string())
+            .map_err(|e| format!("cannot write port file {path}: {e}"))?;
+    }
+    handle.join();
+    println!("daemon stopped");
+    Ok(())
+}
+
+/// The machine spec from the standard machine flags (same names and
+/// defaults as every other subcommand).
+fn machine_spec(args: &Parsed) -> Result<MachineSpec, String> {
+    let base = MachineSpec::default();
+    Ok(MachineSpec {
+        width: args.flag_or("width", base.width)?,
+        window: args.flag_or("window", base.window)?,
+        rob: args.flag_or("rob", base.rob)?,
+        depth: args.flag_or("depth", base.depth)?,
+        l2: args.flag_or("l2", base.l2)?,
+        mem: args.flag_or("mem", base.mem)?,
+    })
+}
+
+fn profile_request(args: &Parsed) -> Result<ProfileRequest, String> {
+    Ok(ProfileRequest {
+        bench: args.flag("bench").unwrap_or("gzip").to_string(),
+        insts: args.flag_or("insts", 120_000u64)?,
+        seed: args.flag_or("seed", 42u64)?,
+        machine: machine_spec(args)?,
+        probe: args.flag("probe").unwrap_or("full").to_string(),
+    })
+}
+
+/// Parses a comma-separated `--{name}` u32 list; absent means empty
+/// (the daemon substitutes its baseline-sweep values).
+fn u32_list(args: &Parsed, name: &str) -> Result<Vec<u32>, String> {
+    match args.flag(name) {
+        None => Ok(Vec::new()),
+        Some(raw) => raw
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse::<u32>()
+                    .map_err(|e| format!("bad value in --{name}: {e}"))
+            })
+            .collect(),
+    }
+}
+
+/// Builds the request a `fosm client <action>` invocation describes.
+fn build_request(action: &str, args: &Parsed) -> Result<Request, String> {
+    Ok(match action {
+        "ping" => Request::Ping,
+        "stats" => Request::Stats,
+        "shutdown" => Request::Shutdown,
+        "profile" => Request::Profile(profile_request(args)?),
+        "model" => Request::Model(profile_request(args)?),
+        "validate" => Request::Validate(ValidateRequest {
+            bench: args.flag("bench").unwrap_or("gzip").to_string(),
+            insts: args.flag_or("insts", 120_000u64)?,
+            seed: args.flag_or("seed", 42u64)?,
+            machine: machine_spec(args)?,
+        }),
+        "explore" => Request::Explore(ExploreRequest {
+            bench: args.flag("bench").unwrap_or("gzip").to_string(),
+            insts: args.flag_or("insts", 120_000u64)?,
+            seed: args.flag_or("seed", 42u64)?,
+            widths: u32_list(args, "widths")?,
+            windows: u32_list(args, "windows")?,
+            robs: u32_list(args, "robs")?,
+            depths: u32_list(args, "depths")?,
+            l2s: u32_list(args, "l2s")?,
+            mems: u32_list(args, "mems")?,
+        }),
+        other => {
+            return Err(format!(
+                "unknown client action `{other}` (expected ping, stats, shutdown, \
+                 profile, model, validate, or explore)"
+            ))
+        }
+    })
+}
+
+/// `fosm client <action> (--addr A | --local) [request flags]`
+///
+/// Sends one request and prints the response body. With `--local` the
+/// request is executed in-process through the same `Service` code the
+/// daemon runs, so the printed bytes are identical either way.
+pub fn client(args: Parsed) -> Result<(), String> {
+    let action = args.positional(
+        0,
+        "client action (ping|stats|shutdown|profile|model|validate|explore)",
+    )?;
+    let req = build_request(action, &args)?;
+    let response = if args.has("local") {
+        let service = Service::local();
+        let response = service.execute(&req);
+        service.shutdown();
+        response
+    } else {
+        let addr = args
+            .flag("addr")
+            .ok_or("--addr <host:port> is required (or use --local)")?;
+        fosm_serve::client::call(addr, &req)?
+    };
+    match response {
+        Response::Ok { body } => {
+            print!("{body}");
+            Ok(())
+        }
+        Response::Err { code, message } => Err(format!("{code}: {message}")),
+    }
+}
+
+/// Runs one request as a fresh `fosm client --local` subprocess — the
+/// honest one-shot baseline (new process, cold in-memory store). The
+/// disk cache env is scrubbed so the baseline cannot warm itself.
+fn one_shot_subprocess(req: &Request) -> Result<Response, String> {
+    let exe = std::env::current_exe().map_err(|e| format!("cannot find own binary: {e}"))?;
+    let p = match req {
+        Request::Profile(p) | Request::Model(p) => p,
+        other => return Err(format!("one-shot baseline cannot run {other:?}")),
+    };
+    let action = if matches!(req, Request::Profile(_)) {
+        "profile"
+    } else {
+        "model"
+    };
+    let output = std::process::Command::new(exe)
+        .args([
+            "client",
+            action,
+            "--local",
+            "--bench",
+            &p.bench,
+            "--insts",
+            &p.insts.to_string(),
+            "--seed",
+            &p.seed.to_string(),
+            "--probe",
+            &p.probe,
+        ])
+        .env_remove("FOSM_CACHE_DIR")
+        .output()
+        .map_err(|e| format!("cannot spawn one-shot client: {e}"))?;
+    if !output.status.success() {
+        return Err(format!(
+            "one-shot client failed: {}",
+            String::from_utf8_lossy(&output.stderr)
+        ));
+    }
+    Ok(Response::ok(
+        String::from_utf8_lossy(&output.stdout).into_owned(),
+    ))
+}
+
+/// `fosm loadgen --addr A [--clients N] [--requests M] [--insts N]
+/// [--seed S] [--verify] [--seq] [--min-speedup X] [-o BENCH.json]
+/// [--baseline BENCH.json] [--check]`
+///
+/// Drives the daemon with N concurrent clients sending M requests
+/// each. `--verify` cross-checks every response byte-for-byte against
+/// in-process execution; `--seq` also times the identical request
+/// stream as sequential one-shot subprocesses and reports the speedup
+/// (gated by `--min-speedup`). `-o` writes the criterion-format
+/// baseline; `--baseline` + `--check` gate against a committed one.
+pub fn loadgen(args: Parsed) -> Result<(), String> {
+    use fosm_serve::loadgen;
+
+    let addr = args.flag("addr").ok_or("--addr <host:port> is required")?;
+    let clients: usize = args.flag_or("clients", 8usize)?.max(1);
+    let per_client: usize = args.flag_or("requests", 8usize)?.max(1);
+    let insts: u64 = args.flag_or("insts", 20_000u64)?;
+    let seed: u64 = args.flag_or("seed", 42u64)?;
+    let plan = loadgen::plan(clients, per_client, insts, seed);
+
+    let oracle_service = if args.has("verify") {
+        Some(Service::local())
+    } else {
+        None
+    };
+    let oracle_fn = oracle_service
+        .as_ref()
+        .map(|service| move |req: &Request| service.execute(req));
+    let concurrent = loadgen::run_concurrent(
+        addr,
+        &plan,
+        oracle_fn
+            .as_ref()
+            .map(|f| f as &(dyn Fn(&Request) -> Response + Sync)),
+    )?;
+    if let Some(service) = &oracle_service {
+        service.shutdown();
+    }
+
+    let p50 = concurrent.percentile(50.0);
+    let p99 = concurrent.percentile(99.0);
+    println!(
+        "concurrent: {} requests over {clients} clients in {:.3}s ({:.1} req/s{})",
+        concurrent.requests,
+        concurrent.wall.as_secs_f64(),
+        concurrent.requests as f64 / concurrent.wall.as_secs_f64(),
+        if args.has("verify") {
+            ", all responses verified"
+        } else {
+            ""
+        }
+    );
+    println!(
+        "  latency p50 {:.1} ms, p99 {:.1} ms",
+        p50.as_secs_f64() * 1e3,
+        p99.as_secs_f64() * 1e3
+    );
+
+    let mut entries = vec![
+        ("serve/p50".to_string(), p50.as_nanos() as f64),
+        ("serve/p99".to_string(), p99.as_nanos() as f64),
+        ("serve/ns_per_req".to_string(), concurrent.ns_per_request()),
+    ];
+
+    if args.has("seq") {
+        let sequential = loadgen::run_sequential(&plan, &one_shot_subprocess)?;
+        let speedup = sequential.wall.as_secs_f64() / concurrent.wall.as_secs_f64();
+        println!(
+            "sequential one-shot: {} requests in {:.3}s ({:.1} req/s); speedup {speedup:.2}x",
+            sequential.requests,
+            sequential.wall.as_secs_f64(),
+            sequential.requests as f64 / sequential.wall.as_secs_f64(),
+        );
+        entries.push((
+            "oneshot/ns_per_req".to_string(),
+            sequential.ns_per_request(),
+        ));
+        let min_speedup: f64 = args.flag_or("min-speedup", 0.0f64)?;
+        if speedup < min_speedup {
+            return Err(format!(
+                "daemon speedup {speedup:.2}x is below the required {min_speedup:.2}x"
+            ));
+        }
+    }
+
+    if let Some(path) = args.flag("out") {
+        std::fs::write(path, loadgen::bench_json("serve", &entries))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("baseline written to {path}");
+    }
+
+    if let Some(baseline) = args.flag("baseline") {
+        let body = std::fs::read_to_string(baseline)
+            .map_err(|e| format!("cannot read baseline {baseline}: {e}"))?;
+        let lines = loadgen::check_report(&entries, &body);
+        let mut regressed = false;
+        for line in &lines {
+            regressed |= line.starts_with("REGRESSION");
+            println!("serve: {line}");
+        }
+        if regressed && args.has("check") {
+            return Err(format!(
+                "serve latency regressed beyond {:.0}% of {baseline}",
+                criterion::REGRESSION_LIMIT_PCT
+            ));
+        }
+    }
+    Ok(())
+}

@@ -71,39 +71,58 @@ pub mod event;
 mod json;
 mod manifest;
 mod registry;
+mod scope;
 mod sink;
 mod span;
 
 pub use event::{EventKind, TraceEvent, Tracer, TracerStats};
 pub use manifest::Manifest;
 pub use registry::{Registry, Snapshot, SpanStat};
+pub use scope::{scoped_registry, RegistryScope};
 pub use sink::{set_sink, sink, Sink};
 pub use span::{AdoptGuard, SpanGuard};
 
-/// The process-wide registry the free functions below write to.
+/// The process-wide registry the free functions below write to when no
+/// [`scoped_registry`] override is installed on the calling thread.
 pub fn global() -> &'static Registry {
     Registry::global()
 }
 
-/// Adds `delta` to the global counter `name`.
+/// Adds `delta` to counter `name` in the current thread's registry
+/// (the innermost [`scoped_registry`], or the global one).
 pub fn counter_add(name: &str, delta: u64) {
-    Registry::global().counter_add(name, delta);
+    match scope::current() {
+        Some(r) => r.counter_add(name, delta),
+        None => Registry::global().counter_add(name, delta),
+    }
 }
 
-/// Sets the global gauge `name` to `value`.
+/// Sets gauge `name` to `value` in the current thread's registry.
 pub fn gauge_set(name: &str, value: f64) {
-    Registry::global().gauge_set(name, value);
+    match scope::current() {
+        Some(r) => r.gauge_set(name, value),
+        None => Registry::global().gauge_set(name, value),
+    }
 }
 
-/// Records run metadata (config, seed, …) in the global registry.
+/// Records run metadata (config, seed, …) in the current thread's
+/// registry.
 pub fn meta_set(name: &str, value: impl std::fmt::Display) {
-    Registry::global().meta_set(name, value);
+    match scope::current() {
+        Some(r) => r.meta_set(name, value),
+        None => Registry::global().meta_set(name, value),
+    }
 }
 
-/// Opens a span on the global registry; the returned guard records
-/// the elapsed wall-clock time when dropped.
+/// Opens a span on the current thread's registry; the returned guard
+/// records the elapsed wall-clock time when dropped. Under a
+/// [`scoped_registry`] the guard shares ownership of the scoped
+/// registry, so it stays valid even if the scope is popped first.
 pub fn span(name: &str) -> SpanGuard<'static> {
-    Registry::global().span(name)
+    match scope::current() {
+        Some(r) => SpanGuard::begin_shared(r, name),
+        None => Registry::global().span(name),
+    }
 }
 
 /// The `/`-joined path of the spans open on the current thread, or
@@ -140,6 +159,20 @@ pub fn emit(binary: &str) {
         return;
     }
     let manifest = Manifest::new(binary, Registry::global().snapshot());
+    if let Err(e) = sink.emit(&manifest) {
+        eprintln!("fosm-obs: could not emit metrics: {e}");
+    }
+}
+
+/// Emits an explicit registry (e.g. one request's scoped registry in a
+/// long-running daemon) as a run manifest through the process-wide
+/// sink. Like [`emit`], a no-op under [`Sink::Noop`].
+pub fn emit_registry(binary: &str, registry: &Registry) {
+    let sink = sink();
+    if sink == Sink::Noop {
+        return;
+    }
+    let manifest = Manifest::new(binary, registry.snapshot());
     if let Err(e) = sink.emit(&manifest) {
         eprintln!("fosm-obs: could not emit metrics: {e}");
     }

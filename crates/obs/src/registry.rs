@@ -145,6 +145,39 @@ impl Registry {
         stat.total_ns = stat.total_ns.saturating_add(elapsed_ns);
     }
 
+    /// Folds a snapshot of another registry into this one: counters
+    /// and span stats accumulate, gauges and metadata take the
+    /// snapshot's values (last write wins). A daemon uses this to
+    /// aggregate finished per-request registries into its process-wide
+    /// totals.
+    pub fn absorb(&self, snap: &Snapshot) {
+        {
+            let mut counters = self.counters.lock().expect("obs counters lock");
+            for (name, delta) in &snap.counters {
+                let slot = counters.entry(name.clone()).or_insert(0);
+                *slot = slot.saturating_add(*delta);
+            }
+        }
+        {
+            let mut spans = self.spans.lock().expect("obs spans lock");
+            for (path, stat) in &snap.spans {
+                let slot = spans.entry(path.clone()).or_default();
+                slot.count += stat.count;
+                slot.total_ns = slot.total_ns.saturating_add(stat.total_ns);
+            }
+        }
+        {
+            let mut gauges = self.gauges.lock().expect("obs gauges lock");
+            for (name, value) in &snap.gauges {
+                gauges.insert(name.clone(), *value);
+            }
+        }
+        let mut meta = self.meta.lock().expect("obs meta lock");
+        for (name, value) in &snap.meta {
+            meta.insert(name.clone(), value.clone());
+        }
+    }
+
     /// Copies the current contents out for emission or inspection.
     pub fn snapshot(&self) -> Snapshot {
         Snapshot {

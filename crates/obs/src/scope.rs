@@ -1,0 +1,188 @@
+//! Request-scoped metric registries for long-lived worker threads.
+//!
+//! A one-shot binary has exactly one run in flight, so every crate can
+//! write to the process-global [`Registry`] and the manifest emitted
+//! at the end of `main` describes that run. A long-running daemon
+//! breaks that model: many requests execute concurrently on persistent
+//! worker threads, and interleaving them through one global registry
+//! would mix their counters and span timings into a single corrupted
+//! manifest.
+//!
+//! [`scoped_registry`] fixes this with a *thread-local override*:
+//! while the returned guard is alive, every crate-level free function
+//! ([`crate::counter_add`], [`crate::span`], …) called **on this
+//! thread** records into the scoped registry instead of the global
+//! one. A request handler installs a fresh registry at the top of its
+//! job, runs arbitrary instrumented library code, and ends up with a
+//! manifest containing exactly its own activity; the server then folds
+//! the request registry into the global one with
+//! [`Registry::absorb`], so process-wide aggregates still accumulate.
+//!
+//! Scopes nest (a stack, innermost wins) and are strictly
+//! thread-local: worker threads never see each other's scopes, and a
+//! thread with no scope installed falls back to the global registry,
+//! so existing one-shot binaries are unaffected.
+
+use std::cell::RefCell;
+use std::sync::Arc;
+
+use crate::registry::Registry;
+
+thread_local! {
+    /// The registries scoped onto this thread, innermost last.
+    static SCOPED: RefCell<Vec<Arc<Registry>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Routes this thread's crate-level metric calls into `registry`
+/// while the returned guard is alive.
+pub fn scoped_registry(registry: Arc<Registry>) -> RegistryScope {
+    let depth = SCOPED.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        stack.push(registry);
+        stack.len() - 1
+    });
+    RegistryScope { depth }
+}
+
+/// The registry currently scoped onto this thread, if any.
+pub(crate) fn current() -> Option<Arc<Registry>> {
+    SCOPED.with(|stack| stack.borrow().last().cloned())
+}
+
+/// Guard returned by [`scoped_registry`]; restores the previous
+/// routing (outer scope or the global registry) on drop.
+#[derive(Debug)]
+#[must_use = "the registry scope only routes metrics while the guard is alive"]
+pub struct RegistryScope {
+    /// Stack depth to restore on drop (robust to a leaked inner scope).
+    depth: usize,
+}
+
+impl Drop for RegistryScope {
+    fn drop(&mut self) {
+        SCOPED.with(|stack| stack.borrow_mut().truncate(self.depth));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_routes_free_functions_and_restores() {
+        let request = Arc::new(Registry::new());
+        let global_before = Registry::global().counter("scope.test.routed");
+        {
+            let _scope = scoped_registry(Arc::clone(&request));
+            crate::counter_add("scope.test.routed", 3);
+            let _span = crate::span("scope.test.work");
+        }
+        assert_eq!(request.counter("scope.test.routed"), 3);
+        assert_eq!(request.snapshot().spans["scope.test.work"].count, 1);
+        // Global untouched while scoped; writes after the guard drops
+        // go global again.
+        assert_eq!(
+            Registry::global().counter("scope.test.routed"),
+            global_before
+        );
+        crate::counter_add("scope.test.routed", 1);
+        assert_eq!(
+            Registry::global().counter("scope.test.routed"),
+            global_before + 1
+        );
+        // Clean up the global counter we just bumped? Counters are
+        // monotonic; tests only assert deltas, so leaving it is fine.
+    }
+
+    #[test]
+    fn scopes_nest_innermost_wins() {
+        let outer = Arc::new(Registry::new());
+        let inner = Arc::new(Registry::new());
+        let _outer_scope = scoped_registry(Arc::clone(&outer));
+        crate::counter_add("n", 1);
+        {
+            let _inner_scope = scoped_registry(Arc::clone(&inner));
+            crate::counter_add("n", 10);
+        }
+        crate::counter_add("n", 100);
+        assert_eq!(outer.counter("n"), 101);
+        assert_eq!(inner.counter("n"), 10);
+    }
+
+    #[test]
+    fn scopes_are_thread_local() {
+        let mine = Arc::new(Registry::new());
+        let _scope = scoped_registry(Arc::clone(&mine));
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                // The spawned thread has no scope: current() is None.
+                assert!(current().is_none());
+            });
+        });
+        assert!(current().is_some());
+    }
+
+    #[test]
+    fn span_guard_keeps_scoped_registry_alive() {
+        // The guard may outlive the scope that selected the registry;
+        // the recording must still land in the scoped registry.
+        let request = Arc::new(Registry::new());
+        let span = {
+            let _scope = scoped_registry(Arc::clone(&request));
+            crate::span("outlives.scope")
+        };
+        drop(span);
+        assert_eq!(request.snapshot().spans["outlives.scope"].count, 1);
+    }
+
+    #[test]
+    fn two_overlapping_requests_do_not_interleave() {
+        // Regression test for the serve daemon: two requests running
+        // concurrently on different worker threads, each under its own
+        // scoped registry, must end up with disjoint manifests even
+        // though both run the same instrumented code paths.
+        let a = Arc::new(Registry::new());
+        let b = Arc::new(Registry::new());
+        let barrier = std::sync::Barrier::new(2);
+        let run = |registry: &Arc<Registry>, tag: u64| {
+            let _scope = scoped_registry(Arc::clone(registry));
+            let _root = crate::span("request");
+            barrier.wait(); // both requests are now mid-flight
+            crate::counter_add("request.tag", tag);
+            {
+                let _inner = crate::span("profile");
+                crate::counter_add("profile.probes", tag);
+            }
+            barrier.wait(); // hold both open until each has written
+        };
+        std::thread::scope(|s| {
+            s.spawn(|| run(&a, 1));
+            s.spawn(|| run(&b, 100));
+        });
+        let sa = a.snapshot();
+        let sb = b.snapshot();
+        assert_eq!(sa.counters["request.tag"], 1);
+        assert_eq!(sb.counters["request.tag"], 100);
+        assert_eq!(sa.counters["profile.probes"], 1);
+        assert_eq!(sb.counters["profile.probes"], 100);
+        assert_eq!(sa.spans["request/profile"].count, 1);
+        assert_eq!(sb.spans["request/profile"].count, 1);
+    }
+
+    #[test]
+    fn absorb_merges_request_registry_into_aggregate() {
+        let aggregate = Registry::new();
+        let request = Registry::new();
+        request.counter_add("serve.requests", 1);
+        request.record_span("request/profile", 500);
+        request.gauge_set("g", 2.0);
+        aggregate.counter_add("serve.requests", 4);
+        aggregate.record_span("request/profile", 100);
+        aggregate.absorb(&request.snapshot());
+        let snap = aggregate.snapshot();
+        assert_eq!(snap.counters["serve.requests"], 5);
+        assert_eq!(snap.spans["request/profile"].count, 2);
+        assert_eq!(snap.spans["request/profile"].total_ns, 600);
+        assert_eq!(snap.gauges["g"], 2.0);
+    }
+}

@@ -21,6 +21,7 @@
 //! guard leaks its stack entry for the remainder of that thread.
 
 use std::cell::RefCell;
+use std::sync::Arc;
 use std::time::Instant;
 
 use crate::registry::Registry;
@@ -30,11 +31,30 @@ thread_local! {
     static SPAN_STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
 }
 
+/// The registry a span guard records into: either a plain borrow (the
+/// global registry, or a caller-owned instance) or a shared handle to
+/// a request-scoped registry (see [`crate::scoped_registry`]) that
+/// must outlive the guard even if the scope is popped first.
+#[derive(Debug)]
+enum Owner<'a> {
+    Borrowed(&'a Registry),
+    Shared(Arc<Registry>),
+}
+
+impl Owner<'_> {
+    fn registry(&self) -> &Registry {
+        match self {
+            Owner::Borrowed(r) => r,
+            Owner::Shared(r) => r,
+        }
+    }
+}
+
 /// An open span; records its elapsed wall-clock time on drop.
 #[derive(Debug)]
 #[must_use = "a span guard records time when dropped; binding it to `_` drops it immediately"]
 pub struct SpanGuard<'a> {
-    registry: &'a Registry,
+    registry: Owner<'a>,
     /// Full `/`-joined path, resolved at creation.
     path: String,
     /// Stack depth to restore on drop (robust to a leaked inner guard).
@@ -44,6 +64,16 @@ pub struct SpanGuard<'a> {
 
 impl<'a> SpanGuard<'a> {
     pub(crate) fn begin(registry: &'a Registry, name: &str) -> SpanGuard<'a> {
+        SpanGuard::begin_owner(Owner::Borrowed(registry), name)
+    }
+
+    /// Begins a span recording into a shared (request-scoped)
+    /// registry; the guard keeps the registry alive on its own.
+    pub(crate) fn begin_shared(registry: Arc<Registry>, name: &str) -> SpanGuard<'static> {
+        SpanGuard::begin_owner(Owner::Shared(registry), name)
+    }
+
+    fn begin_owner(registry: Owner<'a>, name: &str) -> SpanGuard<'a> {
         let (path, depth) = SPAN_STACK.with(|stack| {
             let mut stack = stack.borrow_mut();
             let depth = stack.len();
@@ -68,7 +98,7 @@ impl Drop for SpanGuard<'_> {
     fn drop(&mut self) {
         let elapsed_ns = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
         SPAN_STACK.with(|stack| stack.borrow_mut().truncate(self.depth));
-        self.registry.record_span(&self.path, elapsed_ns);
+        self.registry.registry().record_span(&self.path, elapsed_ns);
     }
 }
 

@@ -1,0 +1,73 @@
+//! A small blocking client for the daemon's protocol.
+//!
+//! Used by `fosm client`, the load generator, and the serve tests.
+//! [`call`] is the one-shot path (connect, one request, one response);
+//! [`Connection`] keeps a connection open for request pipelines, and
+//! exposes [`Connection::send_raw`] so tests can put arbitrary bytes
+//! on the wire and observe the server's structured error handling.
+
+use std::net::TcpStream;
+use std::time::Duration;
+
+use crate::proto::{decode_response, encode_request, read_frame, write_frame, Request, Response};
+
+/// How long connecting may take before the client gives up.
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// One-shot request: connect to `addr`, send `req`, await the response.
+///
+/// # Errors
+///
+/// A description of the connection, framing, or decoding failure.
+pub fn call(addr: &str, req: &Request) -> Result<Response, String> {
+    Connection::open(addr)?.send(req)
+}
+
+/// A persistent connection to a daemon.
+#[derive(Debug)]
+pub struct Connection {
+    stream: TcpStream,
+}
+
+impl Connection {
+    /// Connects to `addr` (`host:port`).
+    ///
+    /// # Errors
+    ///
+    /// A description of why the connection failed.
+    pub fn open(addr: &str) -> Result<Connection, String> {
+        let sock_addr: std::net::SocketAddr = addr
+            .parse()
+            .map_err(|e| format!("bad address `{addr}`: {e}"))?;
+        let stream = TcpStream::connect_timeout(&sock_addr, CONNECT_TIMEOUT)
+            .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+        stream
+            .set_nodelay(true)
+            .map_err(|e| format!("cannot configure socket: {e}"))?;
+        Ok(Connection { stream })
+    }
+
+    /// Sends one request and blocks for its response.
+    ///
+    /// # Errors
+    ///
+    /// A description of the framing or decoding failure (including the
+    /// server closing the connection without answering).
+    pub fn send(&mut self, req: &Request) -> Result<Response, String> {
+        self.send_raw(&encode_request(req))
+    }
+
+    /// Sends an arbitrary payload as one frame and blocks for the
+    /// response frame. The protocol-abuse entry point for tests.
+    ///
+    /// # Errors
+    ///
+    /// As [`send`](Self::send).
+    pub fn send_raw(&mut self, payload: &[u8]) -> Result<Response, String> {
+        write_frame(&mut self.stream, payload).map_err(|e| format!("send failed: {e}"))?;
+        match read_frame(&mut self.stream).map_err(|e| format!("receive failed: {e}"))? {
+            Some(frame) => decode_response(&frame),
+            None => Err("server closed the connection without answering".into()),
+        }
+    }
+}

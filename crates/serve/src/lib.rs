@@ -1,0 +1,42 @@
+//! Model-as-a-service daemon for the fosm toolchain.
+//!
+//! Everything else in this workspace is batch-shaped: one process, one
+//! request, exit. That shape wastes the two most expensive artifacts in
+//! the pipeline — recorded traces and functional profiles — whenever a
+//! workflow issues many small model queries (interactive exploration,
+//! CI matrices, parameter sweeps driven by external tools). `fosm
+//! serve` keeps one process resident and makes the artifacts shared:
+//!
+//! * [`proto`] — the wire protocol: length-prefixed JSON frames over
+//!   TCP, with structured errors for oversized, truncated, and
+//!   malformed input;
+//! * [`pool`] — a work-stealing worker pool (per-worker LIFO deques, a
+//!   shared injector, FIFO stealing) that executes requests and
+//!   explore shards;
+//! * [`batch`] — leader–follower request batching that coalesces
+//!   concurrent same-trace probe requests into one fused
+//!   `profile_many` replay;
+//! * [`service`] — the request handlers, shared verbatim between the
+//!   daemon and the in-process `fosm client --local` path so responses
+//!   are byte-identical either way;
+//! * [`server`] — the TCP accept loop, connection handling, and
+//!   graceful shutdown;
+//! * [`client`] — a small blocking client used by `fosm client` and
+//!   the load generator;
+//! * [`loadgen`] — a closed-loop load generator recording latency
+//!   percentiles and throughput into `BENCH_serve.json`.
+//!
+//! Durability across restarts comes from `fosm-bench`'s disk-backed
+//! artifact store; per-request observability comes from `fosm-obs`
+//! scoped registries. This crate adds no new model code — it is purely
+//! a concurrency and transport layer over the existing pipeline.
+
+#![forbid(unsafe_code)]
+
+pub mod batch;
+pub mod client;
+pub mod loadgen;
+pub mod pool;
+pub mod proto;
+pub mod server;
+pub mod service;

@@ -1,0 +1,332 @@
+//! Closed-loop load generator for the daemon.
+//!
+//! Drives N concurrent clients, each with its own connection and a
+//! deterministic mixed request stream (profile and model requests over
+//! two workloads and all five probe variants), and records per-request
+//! latency plus wall-clock throughput. The numbers land in
+//! `BENCH_serve.json` in exactly the vendored criterion shim's
+//! baseline format, so the same `--check` semantics (fail above
+//! [`criterion::REGRESSION_LIMIT_PCT`]% slowdown) gate daemon latency
+//! that already gate the micro-benchmarks.
+//!
+//! Two comparison hooks keep the numbers honest:
+//!
+//! * **verify** — every daemon response can be compared byte-for-byte
+//!   against a caller-supplied oracle (the CLI passes an in-process
+//!   [`Service`](crate::service::Service), the same code the daemon
+//!   runs);
+//! * **sequential baseline** — [`run_sequential`] times the identical
+//!   flattened request stream through a caller-supplied one-shot
+//!   runner (the CLI spawns `fosm client --local` subprocesses), which
+//!   is what the daemon's speedup is measured against.
+
+use std::time::{Duration, Instant};
+
+use crate::client::Connection;
+use crate::proto::{MachineSpec, ProfileRequest, Request, Response};
+
+/// Benchmarks the generated stream cycles through.
+const BENCHES: [&str; 2] = ["gzip", "gcc"];
+
+/// Probe variants the generated stream cycles through.
+const PROBES: [&str; 5] = ["full", "ideal", "branch", "icache", "dcache"];
+
+/// The deterministic request stream: `clients` lists of `per_client`
+/// requests each. Consecutive requests of one client cycle through
+/// probe variants and alternate profile/model, while different clients
+/// start at different offsets — so at any instant the daemon sees a
+/// mix of identical-trace requests (batching fodder) and distinct
+/// ones.
+pub fn plan(clients: usize, per_client: usize, insts: u64, seed: u64) -> Vec<Vec<Request>> {
+    (0..clients)
+        .map(|c| {
+            (0..per_client)
+                .map(|i| {
+                    let k = c + i * clients;
+                    let p = ProfileRequest {
+                        bench: BENCHES[(i / PROBES.len()) % BENCHES.len()].to_string(),
+                        insts,
+                        seed,
+                        machine: MachineSpec::default(),
+                        probe: PROBES[k % PROBES.len()].to_string(),
+                    };
+                    if k.is_multiple_of(2) {
+                        Request::Profile(p)
+                    } else {
+                        Request::Model(p)
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// One phase's measurements.
+#[derive(Debug, Clone)]
+pub struct RunStats {
+    /// Requests completed.
+    pub requests: usize,
+    /// Wall-clock time for the whole phase.
+    pub wall: Duration,
+    /// Per-request latencies, unordered.
+    pub latencies: Vec<Duration>,
+}
+
+impl RunStats {
+    /// The `q`-th latency percentile (0–100), by nearest-rank over the
+    /// sorted samples.
+    pub fn percentile(&self, q: f64) -> Duration {
+        let mut sorted = self.latencies.clone();
+        sorted.sort();
+        if sorted.is_empty() {
+            return Duration::ZERO;
+        }
+        let rank = ((q / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+        sorted[rank.min(sorted.len() - 1)]
+    }
+
+    /// Mean nanoseconds per request, by wall clock (the throughput
+    /// figure: total work over total time, not mean latency).
+    pub fn ns_per_request(&self) -> f64 {
+        self.wall.as_nanos() as f64 / self.requests.max(1) as f64
+    }
+}
+
+/// Runs `plan` against the daemon at `addr`: one thread and one
+/// connection per client, requests pipelined in order. With `verify`,
+/// every response is compared byte-for-byte against the oracle and any
+/// mismatch fails the run.
+///
+/// # Errors
+///
+/// Connection or protocol failures, an error response from the daemon,
+/// or a verification mismatch.
+pub fn run_concurrent(
+    addr: &str,
+    plan: &[Vec<Request>],
+    verify: Option<&(dyn Fn(&Request) -> Response + Sync)>,
+) -> Result<RunStats, String> {
+    let start = Instant::now();
+    let per_client: Vec<Result<Vec<Duration>, String>> = std::thread::scope(|s| {
+        plan.iter()
+            .map(|requests| {
+                s.spawn(move || {
+                    let mut conn = Connection::open(addr)?;
+                    let mut latencies = Vec::with_capacity(requests.len());
+                    for req in requests {
+                        let t0 = Instant::now();
+                        let resp = conn.send(req)?;
+                        latencies.push(t0.elapsed());
+                        if let Response::Err { code, message } = &resp {
+                            return Err(format!("daemon answered {code}: {message}"));
+                        }
+                        if let Some(oracle) = verify {
+                            let expected = oracle(req);
+                            if resp != expected {
+                                return Err(format!(
+                                    "response mismatch for {req:?}: daemon and local \
+                                     execution disagree"
+                                ));
+                            }
+                        }
+                    }
+                    Ok(latencies)
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("loadgen client thread"))
+            .collect()
+    });
+    let wall = start.elapsed();
+    let mut latencies = Vec::new();
+    for result in per_client {
+        latencies.extend(result?);
+    }
+    Ok(RunStats {
+        requests: latencies.len(),
+        wall,
+        latencies,
+    })
+}
+
+/// Times the same requests run strictly one after another through a
+/// caller-supplied one-shot runner (the daemon-less baseline).
+///
+/// # Errors
+///
+/// The first runner failure.
+pub fn run_sequential(
+    plan: &[Vec<Request>],
+    one_shot: &dyn Fn(&Request) -> Result<Response, String>,
+) -> Result<RunStats, String> {
+    let start = Instant::now();
+    let mut latencies = Vec::new();
+    for requests in plan {
+        for req in requests {
+            let t0 = Instant::now();
+            let resp = one_shot(req)?;
+            latencies.push(t0.elapsed());
+            if let Response::Err { code, message } = resp {
+                return Err(format!("one-shot run answered {code}: {message}"));
+            }
+        }
+    }
+    Ok(RunStats {
+        requests: latencies.len(),
+        wall: start.elapsed(),
+        latencies,
+    })
+}
+
+/// Renders a `BENCH_<group>.json` body in the criterion shim's exact
+/// baseline format, so the shim's `--check` tooling and this file are
+/// interchangeable.
+pub fn bench_json(group: &str, entries: &[(String, f64)]) -> String {
+    let mut body = String::from("{\n");
+    body.push_str(&format!("  \"group\": \"{group}\",\n"));
+    body.push_str("  \"benchmarks\": {\n");
+    for (i, (id, ns)) in entries.iter().enumerate() {
+        let sep = if i + 1 == entries.len() { "" } else { "," };
+        body.push_str(&format!(
+            "    \"{id}\": {{\"ns_per_iter\": {ns:.1}}}{sep}\n"
+        ));
+    }
+    body.push_str("  }\n}\n");
+    body
+}
+
+/// Extracts `(id, ns_per_iter)` pairs from a baseline body (same
+/// line-oriented scan as the criterion shim: the format is our own
+/// output, so this is exact).
+pub fn parse_bench_json(body: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in body.lines() {
+        let Some(rest) = line.trim_start().strip_prefix('"') else {
+            continue;
+        };
+        let Some((id, rest)) = rest.split_once('"') else {
+            continue;
+        };
+        if id == "group" {
+            continue;
+        }
+        let Some(rest) = rest.split_once("\"ns_per_iter\":").map(|(_, v)| v) else {
+            continue;
+        };
+        let number: String = rest
+            .trim_start()
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+            .collect();
+        if let Ok(ns) = number.parse() {
+            out.push((id.to_string(), ns));
+        }
+    }
+    out
+}
+
+/// Compares current entries against a baseline body with the criterion
+/// shim's `--check` semantics: one verdict line per entry, prefixed
+/// `REGRESSION` when more than [`criterion::REGRESSION_LIMIT_PCT`]%
+/// slower. Entries missing on either side are reported, not failed.
+pub fn check_report(current: &[(String, f64)], baseline_body: &str) -> Vec<String> {
+    let limit = criterion::REGRESSION_LIMIT_PCT;
+    let baseline = parse_bench_json(baseline_body);
+    let mut lines = Vec::new();
+    for (id, ns) in current {
+        match baseline.iter().find(|(base_id, _)| base_id == id) {
+            None => lines.push(format!("{id}: new benchmark, no baseline entry")),
+            Some((_, base_ns)) => {
+                let delta_pct = 100.0 * (ns - base_ns) / base_ns;
+                if delta_pct > limit {
+                    lines.push(format!(
+                        "REGRESSION {id}: {ns:.1} ns vs baseline {base_ns:.1} ns \
+                         ({delta_pct:+.1}%, limit +{limit:.0}%)"
+                    ));
+                } else {
+                    lines.push(format!(
+                        "{id}: {ns:.1} ns vs baseline {base_ns:.1} ns ({delta_pct:+.1}%)"
+                    ));
+                }
+            }
+        }
+    }
+    for (id, _) in &baseline {
+        if !current.iter().any(|(cur_id, _)| cur_id == id) {
+            lines.push(format!("{id}: in baseline but not measured this run"));
+        }
+    }
+    lines
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_is_deterministic_and_mixed() {
+        let a = plan(8, 8, 20_000, 42);
+        let b = plan(8, 8, 20_000, 42);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 8);
+        assert!(a.iter().all(|c| c.len() == 8));
+        let flat: Vec<&Request> = a.iter().flatten().collect();
+        assert!(flat.iter().any(|r| matches!(r, Request::Profile(_))));
+        assert!(flat.iter().any(|r| matches!(r, Request::Model(_))));
+        // Concurrent first requests cover several probe variants, so
+        // batching sees a same-trace mix, not 8 copies of one probe.
+        let first_probes: std::collections::BTreeSet<&str> = a
+            .iter()
+            .map(|c| match &c[0] {
+                Request::Profile(p) | Request::Model(p) => p.probe.as_str(),
+                _ => unreachable!("plan only emits profile/model"),
+            })
+            .collect();
+        assert!(first_probes.len() >= 4, "got {first_probes:?}");
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let stats = RunStats {
+            requests: 100,
+            wall: Duration::from_secs(1),
+            latencies: (1..=100).map(Duration::from_millis).collect(),
+        };
+        // Rank 0.5 * 99 = 49.5 rounds up to index 50.
+        assert_eq!(stats.percentile(50.0), Duration::from_millis(51));
+        assert_eq!(stats.percentile(99.0), Duration::from_millis(99));
+        assert_eq!(stats.percentile(100.0), Duration::from_millis(100));
+    }
+
+    #[test]
+    fn bench_json_round_trips_through_the_parser() {
+        let entries = vec![
+            ("serve/p50".to_string(), 1234.5),
+            ("serve/p99".to_string(), 9876.5),
+            ("oneshot/ns_per_req".to_string(), 55555.0),
+        ];
+        let parsed = parse_bench_json(&bench_json("serve", &entries));
+        assert_eq!(parsed, entries);
+    }
+
+    #[test]
+    fn check_report_flags_only_regressions_beyond_the_limit() {
+        let baseline = bench_json(
+            "serve",
+            &[("a".to_string(), 1000.0), ("b".to_string(), 1000.0)],
+        );
+        let lines = check_report(
+            &[
+                (
+                    "a".to_string(),
+                    1000.0 * (1.0 + criterion::REGRESSION_LIMIT_PCT / 100.0) + 1.0,
+                ),
+                ("b".to_string(), 1100.0),
+            ],
+            &baseline,
+        );
+        assert!(lines[0].starts_with("REGRESSION a:"), "{lines:?}");
+        assert!(!lines[1].starts_with("REGRESSION"), "{lines:?}");
+    }
+}

@@ -1,0 +1,391 @@
+//! The TCP daemon: accept loop, per-connection framing, shutdown.
+//!
+//! Threading model: one accept thread, one lightweight thread per
+//! connection, and all actual work on the shared
+//! [`WorkerPool`](crate::pool::WorkerPool). A connection thread only
+//! frames bytes — it decodes a request, submits it to the pool, blocks
+//! on the result, and writes the response frame — so a slow request
+//! never stalls the accept loop, and concurrency is bounded by the
+//! pool, not the connection count.
+//!
+//! Each request job runs under its own `fosm_obs` scoped registry
+//! (per-request span roots and counters, no cross-request bleed) and
+//! merges its instrumentation into the process-global registry when it
+//! finishes, so long-lived workers never share mutable observability
+//! state between overlapping requests.
+//!
+//! Shutdown is cooperative and complete: a `shutdown` request (or
+//! [`ServerHandle::stop`]) sets the stop flag, pokes the accept loop
+//! awake with a loopback connection, and [`ServerHandle::join`] then
+//! joins the accept thread, every connection thread, and the worker
+//! pool — exiting with no leaked threads is part of the CI smoke
+//! contract.
+
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::proto::{
+    decode_request, encode_response, parse_len, write_frame, FrameError, Request, Response,
+    HEADER_LEN,
+};
+use crate::service::Service;
+
+/// How often an idle connection read wakes up to check the stop flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(250);
+
+/// A running daemon.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    service: Arc<Service>,
+    accept: Option<std::thread::JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+}
+
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerHandle")
+            .field("addr", &self.addr)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and starts
+/// accepting connections against `service`.
+///
+/// # Errors
+///
+/// Whatever binding the listener fails with.
+pub fn start(service: Arc<Service>, addr: &str) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let conns = Arc::new(Mutex::new(Vec::new()));
+
+    let accept = {
+        let service = Arc::clone(&service);
+        let stop = Arc::clone(&stop);
+        let conns = Arc::clone(&conns);
+        std::thread::Builder::new()
+            .name("fosm-serve-accept".into())
+            .spawn(move || accept_loop(&listener, &service, &stop, &conns, addr))
+            .expect("spawn accept thread")
+    };
+
+    Ok(ServerHandle {
+        addr,
+        stop,
+        service,
+        accept: Some(accept),
+        conns,
+    })
+}
+
+impl ServerHandle {
+    /// The bound address (with the actual port when `:0` was asked).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Asks the daemon to stop: no new connections, existing ones
+    /// drain. Returns immediately; pair with [`ServerHandle::join`].
+    pub fn stop(&self) {
+        request_stop(&self.stop, self.addr);
+    }
+
+    /// Blocks until the daemon has fully stopped: accept thread,
+    /// every connection thread, and the worker pool all joined.
+    pub fn join(mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        let handles: Vec<_> = self.conns.lock().expect("server conns").drain(..).collect();
+        for handle in handles {
+            let _ = handle.join();
+        }
+        self.service.shutdown();
+    }
+
+    /// Convenience: [`stop`](Self::stop) then [`join`](Self::join).
+    pub fn stop_and_join(self) {
+        self.stop();
+        self.join();
+    }
+}
+
+/// Sets the stop flag and pokes the accept loop awake with a loopback
+/// connection so it observes the flag immediately.
+fn request_stop(stop: &AtomicBool, addr: SocketAddr) {
+    stop.store(true, Ordering::SeqCst);
+    let _ = TcpStream::connect_timeout(&addr, POLL_INTERVAL);
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    service: &Arc<Service>,
+    stop: &Arc<AtomicBool>,
+    conns: &Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+    addr: SocketAddr,
+) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if stop.load(Ordering::SeqCst) {
+                    // The stream may be the shutdown poke itself;
+                    // either way, no new conversations.
+                    drop(stream);
+                    return;
+                }
+                let service = Arc::clone(service);
+                let stop = Arc::clone(stop);
+                let handle = std::thread::Builder::new()
+                    .name("fosm-serve-conn".into())
+                    .spawn(move || serve_connection(stream, &service, &stop, addr))
+                    .expect("spawn connection thread");
+                conns.lock().expect("server conns").push(handle);
+            }
+            Err(_) if stop.load(Ordering::SeqCst) => return,
+            Err(_) => continue,
+        }
+    }
+}
+
+/// What one idle-tolerant frame read produced.
+enum ConnRead {
+    /// A complete frame payload.
+    Frame(Vec<u8>),
+    /// Clean end of stream at a frame boundary.
+    Closed,
+    /// The stop flag went up while the connection was idle (or
+    /// mid-frame during shutdown); drop the connection.
+    Stopping,
+    /// Framing violation or transport failure.
+    Failed(FrameError),
+}
+
+/// Reads one frame with a poll-interval read timeout so an idle
+/// connection notices shutdown, without ever mis-reading a slow
+/// writer's frame as truncated.
+fn read_frame_idle(stream: &mut TcpStream, stop: &AtomicBool) -> ConnRead {
+    let mut header = [0u8; HEADER_LEN];
+    match fill(stream, &mut header, stop) {
+        Fill::Done => {}
+        Fill::Eof(0) => return ConnRead::Closed,
+        Fill::Eof(got) => {
+            return ConnRead::Failed(FrameError::Truncated {
+                missing: HEADER_LEN - got,
+            })
+        }
+        Fill::Stopping => return ConnRead::Stopping,
+        Fill::Failed(e) => return ConnRead::Failed(FrameError::Io(e)),
+    }
+    let len = match parse_len(&header) {
+        Ok(len) => len,
+        Err(e) => return ConnRead::Failed(e),
+    };
+    let mut payload = vec![0u8; len as usize];
+    match fill(stream, &mut payload, stop) {
+        Fill::Done => ConnRead::Frame(payload),
+        Fill::Eof(got) => ConnRead::Failed(FrameError::Truncated {
+            missing: payload.len() - got,
+        }),
+        Fill::Stopping => ConnRead::Stopping,
+        Fill::Failed(e) => ConnRead::Failed(FrameError::Io(e)),
+    }
+}
+
+/// Outcome of filling a buffer under the poll-interval timeout.
+enum Fill {
+    Done,
+    /// Stream ended after this many bytes.
+    Eof(usize),
+    Stopping,
+    Failed(std::io::Error),
+}
+
+fn fill(stream: &mut TcpStream, buf: &mut [u8], stop: &AtomicBool) -> Fill {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => return Fill::Eof(filled),
+            Ok(n) => filled += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if stop.load(Ordering::SeqCst) {
+                    return Fill::Stopping;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Fill::Failed(e),
+        }
+    }
+    Fill::Done
+}
+
+fn serve_connection(
+    mut stream: TcpStream,
+    service: &Arc<Service>,
+    stop: &Arc<AtomicBool>,
+    addr: SocketAddr,
+) {
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let _ = stream.set_nodelay(true);
+    loop {
+        let payload = match read_frame_idle(&mut stream, stop) {
+            ConnRead::Frame(payload) => payload,
+            ConnRead::Closed | ConnRead::Stopping => return,
+            ConnRead::Failed(e) => {
+                // A garbage header gets a structured answer before the
+                // connection closes (the remaining bytes are
+                // unframeable, so it cannot stay open); a truncated or
+                // broken stream has nobody left to answer.
+                if let FrameError::Oversized { .. } = e {
+                    respond(
+                        &mut stream,
+                        &Response::err("oversized-frame", e.to_string()),
+                    );
+                }
+                return;
+            }
+        };
+        let response = match decode_request(&payload) {
+            // Malformed JSON is an *answer*, not a disconnect: framing
+            // is intact, so the connection stays usable.
+            Err(why) => Response::err("malformed-request", why),
+            Ok(Request::Shutdown) => {
+                let response = service.execute(&Request::Shutdown);
+                respond(&mut stream, &response);
+                request_stop(stop, addr);
+                return;
+            }
+            Ok(_) if stop.load(Ordering::SeqCst) => {
+                Response::err("shutting-down", "daemon is shutting down")
+            }
+            Ok(req) => {
+                // Run on the pool under a per-request registry; merge
+                // the request's instrumentation into the global
+                // registry once it completes.
+                let service = Arc::clone(service);
+                let pool = Arc::clone(service.pool());
+                let task = pool.submit(move || {
+                    let registry = Arc::new(fosm_obs::Registry::new());
+                    let response = {
+                        let _scope = fosm_obs::scoped_registry(Arc::clone(&registry));
+                        service.execute(&req)
+                    };
+                    fosm_obs::global().absorb(&registry.snapshot());
+                    response
+                });
+                task.wait()
+            }
+        };
+        if !respond(&mut stream, &response) {
+            return;
+        }
+    }
+}
+
+/// Writes one response frame; `false` when the peer is gone.
+fn respond(stream: &mut TcpStream, response: &Response) -> bool {
+    write_frame(stream, &encode_response(response)).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client;
+    use crate::proto::{MachineSpec, ProfileRequest};
+    use fosm_bench::store::ArtifactStore;
+
+    fn start_test_server() -> ServerHandle {
+        let service = Arc::new(Service::new(
+            Arc::new(ArtifactStore::new()),
+            2,
+            Duration::ZERO,
+        ));
+        start(service, "127.0.0.1:0").expect("bind test server")
+    }
+
+    fn profile_req() -> Request {
+        Request::Profile(ProfileRequest {
+            bench: "gzip".into(),
+            insts: 3_000,
+            seed: 7,
+            machine: MachineSpec::default(),
+            probe: "full".into(),
+        })
+    }
+
+    #[test]
+    fn ping_over_the_wire() {
+        let server = start_test_server();
+        let resp = client::call(&server.addr().to_string(), &Request::Ping).expect("ping");
+        assert_eq!(resp, Response::ok("pong\n"));
+        server.stop_and_join();
+    }
+
+    #[test]
+    fn daemon_response_matches_in_process_execution() {
+        let server = start_test_server();
+        let over_wire = client::call(&server.addr().to_string(), &profile_req()).expect("profile");
+        server.stop_and_join();
+        let local =
+            Service::new(Arc::new(ArtifactStore::new()), 1, Duration::ZERO).execute(&profile_req());
+        assert_eq!(over_wire, local, "wire and local bodies must be identical");
+    }
+
+    #[test]
+    fn malformed_json_gets_an_error_and_the_connection_survives() {
+        let server = start_test_server();
+        let mut conn = client::Connection::open(&server.addr().to_string()).expect("connect");
+        let resp = conn.send_raw(b"this is not json").expect("raw send");
+        assert!(
+            matches!(&resp, Response::Err { code, .. } if code == "malformed-request"),
+            "got {resp:?}"
+        );
+        // Same connection still answers real requests.
+        let resp = conn.send(&Request::Ping).expect("ping after garbage");
+        assert_eq!(resp, Response::ok("pong\n"));
+        server.stop_and_join();
+    }
+
+    #[test]
+    fn shutdown_request_stops_the_daemon_cleanly() {
+        let server = start_test_server();
+        let addr = server.addr().to_string();
+        let resp = client::call(&addr, &Request::Shutdown).expect("shutdown");
+        assert_eq!(resp, Response::ok("shutting down\n"));
+        server.join();
+        // The port no longer answers.
+        assert!(client::call(&addr, &Request::Ping).is_err());
+    }
+
+    #[test]
+    fn concurrent_clients_all_get_correct_answers() {
+        let server = start_test_server();
+        let addr = server.addr().to_string();
+        let expected = client::call(&addr, &profile_req()).expect("reference response");
+        let responses: Vec<_> = std::thread::scope(|s| {
+            (0..8)
+                .map(|_| {
+                    let addr = addr.clone();
+                    s.spawn(move || client::call(&addr, &profile_req()).expect("profile"))
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().expect("client thread"))
+                .collect()
+        });
+        for resp in responses {
+            assert_eq!(resp, expected);
+        }
+        server.stop_and_join();
+    }
+}

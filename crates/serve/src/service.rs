@@ -1,0 +1,498 @@
+//! Request handlers, shared by the daemon and the in-process client.
+//!
+//! [`Service::execute`] is the single entry point for every request,
+//! whether it arrived over a socket (`fosm serve`) or in-process
+//! (`fosm client --local`). That sharing is the byte-identity
+//! contract: a response body is exactly what the equivalent one-shot
+//! invocation prints, because both paths run this code — there is no
+//! separate "daemon rendering" to drift.
+//!
+//! The handlers themselves are thin: they translate protocol types
+//! into the existing pipeline (workload specs, probes, the memoizing
+//! artifact store, the first-order model) and render with the same
+//! format strings as `crates/cli`. Concurrency lives in the layers
+//! this service composes — the [`Batcher`](crate::batch::Batcher)
+//! coalesces same-trace profile work, and `explore` fans its grid
+//! shards out over the [`WorkerPool`](crate::pool::WorkerPool).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use fosm_bench::store::ArtifactStore;
+use fosm_branch::PredictorConfig;
+use fosm_cache::HierarchyConfig;
+use fosm_core::model::FirstOrderModel;
+use fosm_core::params::ProcessorParams;
+use fosm_core::profile::{Probe, ProgramProfile};
+use fosm_sim::MachineConfig;
+use fosm_validate::ToleranceSpec;
+use fosm_workloads::BenchmarkSpec;
+
+use crate::batch::{BatchStats, Batcher};
+use crate::pool::{PoolStats, WorkerPool};
+use crate::proto::{ExploreRequest, ProfileRequest, Request, Response, ValidateRequest};
+
+/// The request executor: artifact store + batcher + worker pool.
+pub struct Service {
+    store: Arc<ArtifactStore>,
+    batcher: Arc<Batcher>,
+    pool: Arc<WorkerPool>,
+    requests: AtomicU64,
+}
+
+impl std::fmt::Debug for Service {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Service")
+            .field("pool", &self.pool)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Service {
+    /// A service over `store` with `workers` pool threads and the
+    /// given batching window.
+    pub fn new(store: Arc<ArtifactStore>, workers: usize, window: Duration) -> Service {
+        Service {
+            store,
+            batcher: Arc::new(Batcher::new(window)),
+            pool: Arc::new(WorkerPool::new(workers)),
+            requests: AtomicU64::new(0),
+        }
+    }
+
+    /// A single-threaded service over a fresh store (the
+    /// `fosm client --local` path): no batching window, one worker.
+    /// With `FOSM_CACHE_DIR` set, the store is disk-backed, so local
+    /// runs share artifacts with a daemon pointed at the same
+    /// directory.
+    pub fn local() -> Service {
+        let store = ArtifactStore::new();
+        if let Some(disk) = fosm_bench::disk::DiskCache::from_env() {
+            store.attach_disk(Arc::new(disk));
+        }
+        Service::new(Arc::new(store), 1, Duration::ZERO)
+    }
+
+    /// The worker pool, for the server's request dispatch.
+    pub fn pool(&self) -> &Arc<WorkerPool> {
+        &self.pool
+    }
+
+    /// The artifact store backing this service.
+    pub fn store(&self) -> &Arc<ArtifactStore> {
+        &self.store
+    }
+
+    /// Stops the worker pool (drains queued work, joins threads).
+    pub fn shutdown(&self) {
+        self.pool.shutdown();
+    }
+
+    /// Executes one request to completion and renders the response.
+    /// Never panics on malformed input — every failure is a structured
+    /// [`Response::Err`].
+    pub fn execute(&self, req: &Request) -> Response {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        fosm_obs::counter_add("serve.requests", 1);
+        let result = match req {
+            Request::Ping => Ok("pong\n".to_string()),
+            Request::Profile(p) => self.profile(p),
+            Request::Model(p) => self.model(p),
+            Request::Validate(v) => self.validate(v),
+            Request::Explore(e) => self.explore(e),
+            Request::Stats => Ok(self.stats_body()),
+            Request::Shutdown => Ok("shutting down\n".to_string()),
+        };
+        match result {
+            Ok(body) => Response::ok(body),
+            Err(resp) => resp,
+        }
+    }
+
+    /// Resolves a profile request down to validated pipeline inputs.
+    fn resolve(
+        &self,
+        p: &ProfileRequest,
+    ) -> Result<(BenchmarkSpec, ProcessorParams, Probe), Response> {
+        let spec = find_benchmark(&p.bench).map_err(|e| Response::err("bad-request", e))?;
+        let params = p
+            .machine
+            .to_params()
+            .map_err(|e| Response::err("bad-request", e))?;
+        let probe =
+            probe_variant(&p.probe, &p.bench).map_err(|e| Response::err("bad-request", e))?;
+        Ok((spec, params, probe))
+    }
+
+    /// The profile this request describes, through the batcher.
+    fn collect(
+        &self,
+        p: &ProfileRequest,
+    ) -> Result<(ProcessorParams, Arc<ProgramProfile>), Response> {
+        let (spec, params, probe) = self.resolve(p)?;
+        let profile = self
+            .batcher
+            .profile(&self.store, &params, probe, &spec, p.insts, p.seed)
+            .map_err(|e| Response::err("model-error", e))?;
+        Ok((params, profile))
+    }
+
+    /// `profile`: the functional profile as pretty-printed JSON (the
+    /// same serialization `fosm profile` writes).
+    fn profile(&self, p: &ProfileRequest) -> Result<String, Response> {
+        let (_, profile) = self.collect(p)?;
+        let json = serde_json::to_string_pretty(&*profile)
+            .map_err(|e| Response::err("model-error", e.to_string()))?;
+        Ok(format!("{json}\n"))
+    }
+
+    /// `model`: profile + first-order evaluation, rendered with the
+    /// same format strings as `fosm model`.
+    fn model(&self, p: &ProfileRequest) -> Result<String, Response> {
+        let (params, profile) = self.collect(p)?;
+        let est = FirstOrderModel::new(params)
+            .evaluate(&profile)
+            .map_err(|e| Response::err("model-error", e.to_string()))?;
+        let mut out = format!("first-order model estimate for `{}`:\n", profile.name);
+        for (component, cpi) in est.cpi_stack() {
+            out.push_str(&format!("  {component:<10} {cpi:>7.4} CPI\n"));
+        }
+        out.push_str(&format!(
+            "  {:<10} {:>7.4} CPI   ({:.3} IPC)\n",
+            "total",
+            est.total_cpi(),
+            est.total_ipc()
+        ));
+        out.push_str(&format!(
+            "  penalties: branch {:.1}, icache {:.1}, dcache/miss {:.1} cycles\n",
+            est.branch_penalty, est.icache_penalty, est.dcache_penalty_per_miss
+        ));
+        Ok(out)
+    }
+
+    /// `validate`: one workload's differential comparison, rendered
+    /// as `fosm validate --bench <name>`'s component table.
+    fn validate(&self, v: &ValidateRequest) -> Result<String, Response> {
+        let spec = find_benchmark(&v.bench).map_err(|e| Response::err("bad-request", e))?;
+        let params = v
+            .machine
+            .to_params()
+            .map_err(|e| Response::err("bad-request", e))?;
+        let config = MachineConfig {
+            width: params.width,
+            win_size: params.win_size,
+            rob_size: params.rob_size,
+            pipe_depth: params.pipe_depth,
+            l2_latency: params.l2_latency,
+            mem_latency: params.mem_latency,
+            ..MachineConfig::baseline()
+        };
+        config
+            .validate()
+            .map_err(|e| Response::err("bad-request", e))?;
+        let cases = vec![fosm_validate::CaseSpec {
+            config,
+            bench: spec,
+            trace_len: v.insts,
+            seed: v.seed,
+        }];
+        let tol = ToleranceSpec::gate();
+        // One case; the sweep's own fan-out would fight the request
+        // pool for cores, so it runs single-threaded here.
+        let options = fosm_validate::differential::SweepOptions {
+            threads: 1,
+            statsim: false,
+        };
+        let results = fosm_validate::differential::sweep(&self.store, &cases, &tol, options)
+            .map_err(|e| Response::err("model-error", format!("validation sweep failed: {e}")))?;
+        let report = fosm_validate::ValidationReport::new(v.insts, v.seed, tol, results);
+        Ok(report.render_table())
+    }
+
+    /// `explore`: a grid sweep sharded over the worker pool (one shard
+    /// per width-axis value), answered as a frontier summary plus CSV.
+    fn explore(&self, e: &ExploreRequest) -> Result<String, Response> {
+        let spec = find_benchmark(&e.bench).map_err(|err| Response::err("bad-request", err))?;
+        let base = fosm_explore::MachineGrid::baseline_sweep();
+        let pick = |axis: &[u32], default: Vec<u32>| {
+            if axis.is_empty() {
+                default
+            } else {
+                axis.to_vec()
+            }
+        };
+        let grid = fosm_explore::MachineGrid {
+            widths: pick(&e.widths, base.widths),
+            win_sizes: pick(&e.windows, base.win_sizes),
+            rob_sizes: pick(&e.robs, base.rob_sizes),
+            pipe_depths: pick(&e.depths, base.pipe_depths),
+            l2_latencies: pick(&e.l2s, base.l2_latencies),
+            mem_latencies: pick(&e.mems, base.mem_latencies),
+        };
+        grid.validate()
+            .map_err(|err| Response::err("bad-request", err.to_string()))?;
+
+        let axes = fosm_explore::HardwareAxes::baseline_only();
+        let variants = axes.variants();
+        let variant = variants[0];
+        let params = ProcessorParams::baseline();
+        let probe = Probe::new(format!("{}:explore", e.bench))
+            .with_hierarchy(HierarchyConfig::baseline())
+            .with_predictor(PredictorConfig::baseline());
+        let profile = self
+            .batcher
+            .profile(&self.store, &params, probe, &spec, e.insts, e.seed)
+            .map_err(|err| Response::err("model-error", err))?;
+
+        // One shard per width-axis value: 'static thunks over Arc'd
+        // inputs, fanned out on the pool (the calling worker
+        // participates, so this is safe from inside a request job).
+        let model = FirstOrderModel::new(params);
+        let thunks: Vec<_> = grid
+            .widths
+            .iter()
+            .map(|&width| {
+                let model = model.clone();
+                let profile = Arc::clone(&profile);
+                let subgrid = fosm_explore::MachineGrid {
+                    widths: vec![width],
+                    ..grid.clone()
+                };
+                move || {
+                    fosm_explore::sweep_profile(
+                        &model,
+                        &profile,
+                        &subgrid,
+                        &variant,
+                        fosm_explore::ShardTag {
+                            workload: 0,
+                            variant: 0,
+                        },
+                    )
+                    .map_err(|err| err.to_string())
+                }
+            })
+            .collect();
+        let shards = self
+            .pool
+            .run_many(thunks)
+            .into_iter()
+            .collect::<Result<Vec<_>, String>>()
+            .map_err(|err| Response::err("model-error", err))?;
+
+        let configs: u64 = shards.iter().map(|s| s.configs).sum();
+        let frontier = fosm_explore::merge_frontiers(&shards);
+        let workload_names = vec![e.bench.clone()];
+        let rows = fosm_explore::frontier_rows(frontier.points(), &workload_names, &variants);
+        let mut out = format!(
+            "explored {configs} configs: 1 workload(s) x 1 hardware variant(s) x {} grid points\n",
+            grid.len()
+        );
+        out.push_str(&format!("pareto frontier: {} point(s)\n", frontier.len()));
+        out.push_str(&fosm_explore::frontier_csv(&rows));
+        Ok(out)
+    }
+
+    /// `stats`: deterministic key/value diagnostics. The CI cache-reuse
+    /// job greps `store.disk_hit` here, so the line set and spelling
+    /// are a stable interface.
+    fn stats_body(&self) -> String {
+        let pool: PoolStats = self.pool.stats();
+        let batch: BatchStats = self.batcher.stats();
+        let store = self.store.stats();
+        let disk = self.store.disk().map(|d| d.stats()).unwrap_or_default();
+        let mut out = String::new();
+        for (key, value) in [
+            ("serve.requests", self.requests.load(Ordering::Relaxed)),
+            ("pool.workers", pool.workers as u64),
+            ("pool.executed", pool.executed),
+            ("pool.steals", pool.steals),
+            ("batch.passes", batch.passes),
+            ("batch.coalesced", batch.coalesced),
+            ("store.trace_hit", store.trace_hits),
+            ("store.trace_miss", store.trace_misses),
+            ("store.profile_hit", store.profile_hits),
+            ("store.profile_miss", store.profile_misses),
+            ("store.disk_hit", disk.hits),
+            ("store.disk_miss", disk.misses),
+            ("store.disk_insert", disk.inserts),
+            ("store.disk_evict", disk.evictions),
+            ("store.disk_corrupt", disk.corruptions),
+        ] {
+            out.push_str(&format!("{key} {value}\n"));
+        }
+        out
+    }
+}
+
+/// Looks up a built-in benchmark by name (same error text as the CLI).
+pub fn find_benchmark(name: &str) -> Result<BenchmarkSpec, String> {
+    BenchmarkSpec::all()
+        .into_iter()
+        .find(|s| s.name == name)
+        .ok_or_else(|| format!("unknown benchmark `{name}` (see `fosm bench-list`)"))
+}
+
+/// Builds one named probe variant over the baseline hierarchy. Mirrors
+/// the CLI's `--probes` variants: the full machine plus the four
+/// single-source idealizations from the validation suite.
+///
+/// # Errors
+///
+/// An unknown variant name.
+pub fn probe_variant(name: &str, trace: &str) -> Result<Probe, String> {
+    let hierarchy = HierarchyConfig::baseline();
+    let ideal = HierarchyConfig::ideal();
+    let probe = Probe::new(format!("{trace}:{name}"));
+    Ok(match name {
+        "full" => probe.with_hierarchy(hierarchy),
+        "ideal" => probe
+            .with_hierarchy(ideal)
+            .with_predictor(PredictorConfig::Ideal),
+        "branch" => probe.with_hierarchy(ideal),
+        "icache" => probe
+            .with_hierarchy(HierarchyConfig {
+                l1i: hierarchy.l1i,
+                l1d: None,
+                l2: hierarchy.l2,
+                next_line_prefetch: 0,
+            })
+            .with_predictor(PredictorConfig::Ideal),
+        "dcache" => probe
+            .with_hierarchy(HierarchyConfig {
+                l1i: None,
+                l1d: hierarchy.l1d,
+                l2: hierarchy.l2,
+                next_line_prefetch: hierarchy.next_line_prefetch,
+            })
+            .with_predictor(PredictorConfig::Ideal),
+        other => {
+            return Err(format!(
+                "unknown probe `{other}` (expected full, ideal, branch, icache, or dcache)"
+            ))
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::MachineSpec;
+
+    fn test_service() -> Service {
+        Service::new(Arc::new(ArtifactStore::new()), 2, Duration::ZERO)
+    }
+
+    fn profile_req(probe: &str) -> ProfileRequest {
+        ProfileRequest {
+            bench: "gzip".into(),
+            insts: 3_000,
+            seed: 7,
+            machine: MachineSpec::default(),
+            probe: probe.into(),
+        }
+    }
+
+    fn body(resp: Response) -> String {
+        match resp {
+            Response::Ok { body } => body,
+            Response::Err { code, message } => panic!("unexpected error {code}: {message}"),
+        }
+    }
+
+    #[test]
+    fn ping_pongs() {
+        assert_eq!(body(test_service().execute(&Request::Ping)), "pong\n");
+    }
+
+    #[test]
+    fn profile_returns_pretty_json_with_trailing_newline() {
+        let out = body(test_service().execute(&Request::Profile(profile_req("full"))));
+        assert!(out.starts_with('{') && out.ends_with("}\n"));
+        let parsed: ProgramProfile =
+            serde_json::from_str(out.trim_end()).expect("body is a profile");
+        assert_eq!(parsed.name, "gzip:full");
+    }
+
+    #[test]
+    fn model_renders_the_cpi_stack() {
+        let out = body(test_service().execute(&Request::Model(profile_req("full"))));
+        assert!(out.starts_with("first-order model estimate for `gzip:full`:\n"));
+        assert!(out.contains(" CPI   ("));
+        assert!(out.contains("penalties: branch "));
+    }
+
+    #[test]
+    fn identical_requests_are_byte_identical_and_memoized() {
+        let service = test_service();
+        let first = body(service.execute(&Request::Model(profile_req("full"))));
+        let second = body(service.execute(&Request::Model(profile_req("full"))));
+        assert_eq!(first, second);
+        let stats = service.store.stats();
+        assert_eq!(stats.profile_hits, 1, "second request memoized");
+    }
+
+    #[test]
+    fn unknown_benchmark_and_probe_are_bad_requests() {
+        let service = test_service();
+        for req in [
+            Request::Profile(ProfileRequest {
+                bench: "nope".into(),
+                ..profile_req("full")
+            }),
+            Request::Profile(profile_req("bogus")),
+        ] {
+            match service.execute(&req) {
+                Response::Err { code, .. } => assert_eq!(code, "bad-request"),
+                Response::Ok { body } => panic!("unexpected success: {body}"),
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_machine_is_a_bad_request() {
+        let mut req = profile_req("full");
+        req.machine.width = 0;
+        match test_service().execute(&Request::Profile(req)) {
+            Response::Err { code, .. } => assert_eq!(code, "bad-request"),
+            Response::Ok { body } => panic!("unexpected success: {body}"),
+        }
+    }
+
+    #[test]
+    fn explore_returns_a_frontier_csv() {
+        let req = ExploreRequest {
+            bench: "gzip".into(),
+            insts: 3_000,
+            seed: 7,
+            widths: vec![2, 4],
+            windows: vec![16, 32],
+            robs: vec![128],
+            depths: vec![5],
+            l2s: vec![12],
+            mems: vec![200],
+        };
+        let out = body(test_service().execute(&Request::Explore(req)));
+        assert!(out.starts_with("explored 4 configs:"));
+        assert!(out
+            .contains("workload,icache,dcache,predictor,width,window,rob,depth,l2,mem,ipc,cost\n"));
+        assert!(out.contains("gzip,"));
+    }
+
+    #[test]
+    fn stats_lists_the_stable_counter_keys() {
+        let service = test_service();
+        service.execute(&Request::Ping);
+        let out = body(service.execute(&Request::Stats));
+        for key in [
+            "serve.requests ",
+            "pool.workers 2",
+            "batch.passes ",
+            "store.disk_hit 0",
+            "store.disk_corrupt 0",
+        ] {
+            assert!(out.contains(key), "stats missing `{key}`:\n{out}");
+        }
+    }
+}

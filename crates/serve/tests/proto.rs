@@ -1,0 +1,193 @@
+//! Protocol hardening tests: property-based framing round-trips, and
+//! raw-socket abuse against a live daemon. The unit-level happy paths
+//! live in `src/proto.rs`; these drive arbitrary payloads through the
+//! framing layer and put deliberately broken bytes on a real TCP
+//! connection, asserting the server always answers with a structured
+//! error (or drops the connection) and never panics, hangs, or leaks
+//! the failure into a later request.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use fosm_bench::store::ArtifactStore;
+use fosm_serve::proto::{
+    read_frame, write_frame, FrameError, Request, Response, HEADER_LEN, MAX_FRAME_LEN,
+};
+use fosm_serve::server::{start, ServerHandle};
+use fosm_serve::service::Service;
+use proptest::prelude::*;
+
+fn start_test_server() -> ServerHandle {
+    let service = Arc::new(Service::new(
+        Arc::new(ArtifactStore::new()),
+        2,
+        Duration::ZERO,
+    ));
+    start(service, "127.0.0.1:0").expect("bind test server")
+}
+
+proptest! {
+    /// Any payload (any bytes, any length up to well past typical
+    /// requests) survives a write/read round-trip bit-exactly, and
+    /// consecutive frames never bleed into each other.
+    #[test]
+    fn framing_round_trips_arbitrary_payloads(
+        payloads in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..4096), 1..8)
+    ) {
+        let mut wire = Vec::new();
+        for payload in &payloads {
+            write_frame(&mut wire, payload).expect("write");
+        }
+        let mut r = wire.as_slice();
+        for payload in &payloads {
+            let got = read_frame(&mut r).expect("read").expect("frame present");
+            prop_assert_eq!(&got, payload);
+        }
+        prop_assert!(read_frame(&mut r).expect("clean eof").is_none());
+    }
+
+    /// Truncating a valid stream at any byte boundary inside the final
+    /// frame reads as `Truncated` (never a hang, never a short frame).
+    #[test]
+    fn any_truncation_is_detected(
+        payload in prop::collection::vec(any::<u8>(), 1..512),
+        cut_fraction in 0.0f64..1.0,
+    ) {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload).expect("write");
+        let full = wire.len();
+        // Cut strictly inside the frame: [1, full - 1] bytes kept.
+        let keep = 1 + ((full - 2) as f64 * cut_fraction) as usize;
+        wire.truncate(keep);
+        let mut r = wire.as_slice();
+        let missing = full - keep;
+        match read_frame(&mut r) {
+            Err(FrameError::Truncated { missing: got }) => {
+                let expected = if keep < HEADER_LEN { HEADER_LEN - keep } else { missing };
+                prop_assert_eq!(got, expected);
+            }
+            other => prop_assert!(false, "expected Truncated, got {:?}", other.map(|_| ())),
+        }
+    }
+}
+
+/// An oversized header gets a structured `oversized-frame` answer
+/// before the connection closes, and the server stays up for the
+/// next client.
+#[test]
+fn oversized_header_is_answered_then_connection_closed() {
+    let server = start_test_server();
+    let addr = server.addr();
+
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(&(MAX_FRAME_LEN + 1).to_be_bytes())
+        .expect("send hostile header");
+    let frame = read_frame(&mut stream)
+        .expect("server answers before closing")
+        .expect("one response frame");
+    let resp = fosm_serve::proto::decode_response(&frame).expect("structured response");
+    assert!(
+        matches!(&resp, Response::Err { code, .. } if code == "oversized-frame"),
+        "got {resp:?}"
+    );
+    // The connection is closed afterwards (the remaining bytes are
+    // unframeable), but the server still accepts new clients.
+    let resp = fosm_serve::client::call(&addr.to_string(), &Request::Ping).expect("server alive");
+    assert_eq!(resp, Response::ok("pong\n"));
+    server.stop_and_join();
+}
+
+/// A client that sends half a frame and disconnects must not wedge the
+/// server.
+#[test]
+fn midframe_disconnect_does_not_wedge_the_server() {
+    let server = start_test_server();
+    let addr = server.addr();
+
+    for fragment in [&[0x00u8, 0x00][..], &[0x00, 0x00, 0x00, 0x10, 0xAA][..]] {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(fragment).expect("send fragment");
+        drop(stream);
+    }
+    let resp = fosm_serve::client::call(&addr.to_string(), &Request::Ping).expect("server alive");
+    assert_eq!(resp, Response::ok("pong\n"));
+    server.stop_and_join();
+}
+
+/// Malformed JSON inside a well-formed frame is answered with
+/// `malformed-request` and the *same connection* keeps working — a
+/// framing-level success must not poison the session.
+#[test]
+fn malformed_payloads_get_structured_errors_on_a_live_connection() {
+    let server = start_test_server();
+    let mut conn =
+        fosm_serve::client::Connection::open(&server.addr().to_string()).expect("connect");
+    for garbage in [
+        &b"not json at all"[..],
+        b"{\"Unknown\": {}}",
+        b"{\"Profile\": {\"bench\": 7}}",
+        b"\xff\xfe\xfd",
+        b"",
+    ] {
+        let resp = conn.send_raw(garbage).expect("server answers garbage");
+        assert!(
+            matches!(&resp, Response::Err { code, .. } if code == "malformed-request"),
+            "payload {garbage:?} got {resp:?}"
+        );
+    }
+    let resp = conn.send(&Request::Ping).expect("connection survives");
+    assert_eq!(resp, Response::ok("pong\n"));
+    server.stop_and_join();
+}
+
+/// A zero-length frame is valid framing (empty payload) and decodes to
+/// a malformed-request answer, not a protocol desync: the length
+/// prefix alone delimits frames.
+#[test]
+fn responses_stay_aligned_after_an_empty_frame() {
+    let server = start_test_server();
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    // Two frames back-to-back: empty, then a valid ping.
+    write_frame(&mut stream, b"").expect("empty frame");
+    write_frame(
+        &mut stream,
+        &fosm_serve::proto::encode_request(&Request::Ping),
+    )
+    .expect("ping frame");
+    let first = read_frame(&mut stream)
+        .expect("first answer")
+        .expect("frame");
+    let second = read_frame(&mut stream)
+        .expect("second answer")
+        .expect("frame");
+    let first = fosm_serve::proto::decode_response(&first).expect("decodes");
+    let second = fosm_serve::proto::decode_response(&second).expect("decodes");
+    assert!(matches!(&first, Response::Err { code, .. } if code == "malformed-request"));
+    assert_eq!(second, Response::ok("pong\n"));
+    // Close our half; the server should notice EOF, not block forever.
+    drop(stream);
+    server.stop_and_join();
+}
+
+/// Reading from a socket the server closed mid-stream must surface as
+/// a clean result on our side too (sanity check of the test helper).
+#[test]
+fn server_shutdown_closes_idle_connections() {
+    let server = start_test_server();
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    server.stop_and_join();
+    // After a full shutdown our idle connection reads EOF (len 0), not
+    // a hang.
+    let mut buf = [0u8; 1];
+    match stream.read(&mut buf) {
+        Ok(0) => {}
+        Ok(n) => panic!("unexpected {n} bytes from a stopped server"),
+        Err(e) => panic!("read after shutdown failed: {e}"),
+    }
+}

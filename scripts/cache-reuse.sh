@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# cache-reuse: prove the on-disk artifact cache survives daemon
+# restarts and never serves corrupt data. Three legs against one
+# FOSM_CACHE_DIR:
+#
+#   1. cold   — a fresh daemon computes and inserts every artifact;
+#   2. warm   — a restarted daemon answers byte-identically with a
+#               nonzero store.disk_hit counter;
+#   3. corrupt — every cache entry is truncated; the next daemon must
+#               detect the bad checksums (store.disk_corrupt), evict,
+#               recompute, and still answer byte-identically.
+#
+# Usage: scripts/cache-reuse.sh   (FOSM overrides the binary path)
+set -euo pipefail
+
+FOSM="${FOSM:-./target/release/fosm}"
+WORK="$(mktemp -d)"
+SERVE_PID=""
+cleanup() {
+  [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+export FOSM_CACHE_DIR="$WORK/cache"
+
+# Starts a daemon, runs a fixed request mix into $1, dumps stats into
+# $2, and shuts the daemon down (must exit 0).
+run_leg() {
+  rm -f "$WORK/port"
+  "$FOSM" serve --addr 127.0.0.1:0 --workers 2 --port-file "$WORK/port" &
+  SERVE_PID=$!
+  for _ in $(seq 1 150); do
+    [ -s "$WORK/port" ] && break
+    sleep 0.1
+  done
+  [ -s "$WORK/port" ] || { echo "daemon never published its port" >&2; exit 1; }
+  local addr
+  addr="$(cat "$WORK/port")"
+  timeout 300 "$FOSM" client profile --bench gzip --insts 20000 \
+    --probe full --addr "$addr" > "$1"
+  timeout 300 "$FOSM" client model --bench gcc --insts 20000 \
+    --probe branch --addr "$addr" >> "$1"
+  "$FOSM" client stats --addr "$addr" > "$2"
+  "$FOSM" client shutdown --addr "$addr" > /dev/null
+  wait "$SERVE_PID"
+  SERVE_PID=""
+}
+
+require_nonzero() {  # $1: stats key, $2: stats file, $3: failure text
+  grep -Eq "^$1 [1-9]" "$2" || {
+    echo "$3" >&2
+    cat "$2" >&2
+    exit 1
+  }
+}
+
+run_leg "$WORK/cold.txt" "$WORK/stats-cold.txt"
+require_nonzero "store\.disk_insert" "$WORK/stats-cold.txt" \
+  "cold run inserted nothing into $FOSM_CACHE_DIR"
+
+run_leg "$WORK/warm.txt" "$WORK/stats-warm.txt"
+cmp "$WORK/cold.txt" "$WORK/warm.txt"
+require_nonzero "store\.disk_hit" "$WORK/stats-warm.txt" \
+  "warm restart never hit the disk cache"
+
+entries=$(find "$FOSM_CACHE_DIR" -name '*.art' -type f)
+[ -n "$entries" ] || { echo "no cache entries found under $FOSM_CACHE_DIR" >&2; exit 1; }
+echo "$entries" | while read -r entry; do
+  truncate -s 8 "$entry"
+done
+
+run_leg "$WORK/repaired.txt" "$WORK/stats-corrupt.txt"
+cmp "$WORK/cold.txt" "$WORK/repaired.txt"
+require_nonzero "store\.disk_corrupt" "$WORK/stats-corrupt.txt" \
+  "truncated entries were not detected as corrupt"
+
+echo "cache-reuse OK"

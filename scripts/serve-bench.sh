@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# serve-bench: the daemon's advisory perf gate. Drives 8 concurrent
+# clients, times the identical request stream as sequential one-shot
+# CLI subprocesses, and requires the daemon to win by >= 3x wall-clock
+# throughput. p50/p99/throughput are then compared against the
+# committed BENCH_serve.json with the criterion shim's --check
+# semantics (> 25% regression fails).
+#
+# Usage: scripts/serve-bench.sh [baseline.json]
+#        scripts/serve-bench.sh --record [baseline.json]   # (re)write it
+set -euo pipefail
+
+FOSM="${FOSM:-./target/release/fosm}"
+MODE="check"
+if [ "${1:-}" = "--record" ]; then
+  MODE="record"
+  shift
+fi
+BASELINE="${1:-BENCH_serve.json}"
+WORK="$(mktemp -d)"
+SERVE_PID=""
+cleanup() {
+  [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+"$FOSM" serve --addr 127.0.0.1:0 --workers 4 --port-file "$WORK/port" &
+SERVE_PID=$!
+for _ in $(seq 1 150); do
+  [ -s "$WORK/port" ] && break
+  sleep 0.1
+done
+[ -s "$WORK/port" ] || { echo "daemon never published its port" >&2; exit 1; }
+ADDR="$(cat "$WORK/port")"
+
+if [ "$MODE" = "record" ]; then
+  timeout 600 "$FOSM" loadgen --addr "$ADDR" \
+    --clients 8 --requests 8 --insts 20000 \
+    --seq --min-speedup 3 -o "$BASELINE"
+else
+  timeout 600 "$FOSM" loadgen --addr "$ADDR" \
+    --clients 8 --requests 8 --insts 20000 \
+    --seq --min-speedup 3 --baseline "$BASELINE" --check
+fi
+
+"$FOSM" client shutdown --addr "$ADDR" > /dev/null
+wait "$SERVE_PID"
+SERVE_PID=""
+echo "serve-bench OK"

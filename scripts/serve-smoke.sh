@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# serve-smoke: start the `fosm serve` daemon, fire 32 concurrent mixed
+# profile/model requests with byte-identity verification against
+# in-process execution, spot-check wire vs one-shot CLI bytes, then
+# shut down cleanly — the daemon must join every thread and exit 0.
+#
+# Usage: scripts/serve-smoke.sh   (FOSM overrides the binary path)
+set -euo pipefail
+
+FOSM="${FOSM:-./target/release/fosm}"
+WORK="$(mktemp -d)"
+SERVE_PID=""
+cleanup() {
+  [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+"$FOSM" serve --addr 127.0.0.1:0 --workers 4 --port-file "$WORK/port" &
+SERVE_PID=$!
+for _ in $(seq 1 150); do
+  [ -s "$WORK/port" ] && break
+  sleep 0.1
+done
+[ -s "$WORK/port" ] || { echo "daemon never published its port" >&2; exit 1; }
+ADDR="$(cat "$WORK/port")"
+echo "daemon listening on $ADDR (pid $SERVE_PID)"
+
+# 32 concurrent mixed profile/model requests across 8 connections;
+# --verify byte-compares every daemon response against in-process
+# one-shot execution of the same request.
+timeout 300 "$FOSM" loadgen --addr "$ADDR" \
+  --clients 8 --requests 4 --insts 20000 --verify
+
+# Spot-check: the same request over the wire and as a one-shot
+# `--local` invocation must print identical bytes.
+for action in model profile; do
+  "$FOSM" client "$action" --bench gzip --insts 20000 \
+    --addr "$ADDR" > "$WORK/wire.txt"
+  "$FOSM" client "$action" --bench gzip --insts 20000 \
+    --local > "$WORK/local.txt"
+  cmp "$WORK/wire.txt" "$WORK/local.txt"
+done
+
+echo "--- daemon stats ---"
+"$FOSM" client stats --addr "$ADDR"
+
+# Clean shutdown: the daemon must exit 0 (it joins the accept loop,
+# every connection thread, and the worker pool before returning).
+"$FOSM" client shutdown --addr "$ADDR"
+for _ in $(seq 1 300); do
+  kill -0 "$SERVE_PID" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$SERVE_PID" 2>/dev/null; then
+  echo "daemon still running after shutdown request" >&2
+  exit 1
+fi
+wait "$SERVE_PID"
+SERVE_PID=""
+echo "serve-smoke OK"
