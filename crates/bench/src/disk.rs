@@ -30,9 +30,16 @@
 //!
 //! The cache is **eviction-aware**: after each insert the total size
 //! of the cache directory is compared against a byte budget, and
-//! oldest-modified entries are deleted until the budget holds (the
-//! entry just written is the newest, so it survives unless it alone
-//! exceeds the budget).
+//! oldest-modified entries are deleted until the budget holds. The
+//! entry just written is never evicted by its own insert: "newest by
+//! mtime" is not enough on coarse-timestamp filesystems (rapid writes
+//! land on identical mtimes, and the path tie-break could then delete
+//! the fresh entry), so eviction explicitly skips it.
+//!
+//! Payloads are serde-JSON by default ([`DiskCache::load`] /
+//! [`DiskCache::store`]); binary artifacts (e.g. the corpus replay
+//! sidecar) use [`DiskCache::load_bytes`] / [`DiskCache::store_bytes`]
+//! with the identical container, verification, and eviction behavior.
 //!
 //! Traffic is counted both in local atomics ([`DiskCache::stats`],
 //! served verbatim by `fosm client stats`) and as `store.disk_*`
@@ -150,27 +157,8 @@ impl DiskCache {
     /// miss, so the caller transparently recomputes.
     pub fn load<T: Deserialize>(&self, kind: &str, key: &str) -> Option<T> {
         let path = self.entry_path(kind, key);
-        let bytes = match std::fs::read(&path) {
-            Ok(bytes) => bytes,
-            Err(_) => {
-                self.miss();
-                return None;
-            }
-        };
-        let payload = match verify_entry(&bytes, key) {
-            Verified::Payload(payload) => payload,
-            Verified::ForeignKey => {
-                // A different key hashed to the same file name: not
-                // corruption — just not our entry.
-                self.miss();
-                return None;
-            }
-            Verified::Corrupt(why) => {
-                self.discard_corrupt(&path, key, why);
-                return None;
-            }
-        };
-        let text = match std::str::from_utf8(payload) {
+        let payload = self.read_verified(&path, key)?;
+        let text = match std::str::from_utf8(&payload) {
             Ok(text) => text,
             Err(_) => {
                 self.discard_corrupt(&path, key, "payload is not UTF-8");
@@ -179,14 +167,51 @@ impl DiskCache {
         };
         match serde_json::from_str::<T>(text) {
             Ok(value) => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                fosm_obs::counter_add("store.disk_hit", 1);
+                self.hit();
                 Some(value)
             }
             Err(_) => {
                 // The checksum held but the payload does not parse:
                 // a format drift or foreign writer. Same remedy.
                 self.discard_corrupt(&path, key, "payload does not deserialize");
+                None
+            }
+        }
+    }
+
+    /// Loads a raw binary payload stored under `(kind, key)` with
+    /// [`store_bytes`](Self::store_bytes): the same container,
+    /// checksum verification, and corrupt-entry self-healing as
+    /// [`load`](Self::load), minus the JSON layer.
+    pub fn load_bytes(&self, kind: &str, key: &str) -> Option<Vec<u8>> {
+        let path = self.entry_path(kind, key);
+        let payload = self.read_verified(&path, key)?;
+        self.hit();
+        Some(payload)
+    }
+
+    /// Reads and structurally verifies the entry at `path`, returning
+    /// its payload. Counts the miss / discards the corrupt entry
+    /// itself; the caller counts the hit once its own payload layer
+    /// accepts the bytes.
+    fn read_verified(&self, path: &Path, key: &str) -> Option<Vec<u8>> {
+        let bytes = match std::fs::read(path) {
+            Ok(bytes) => bytes,
+            Err(_) => {
+                self.miss();
+                return None;
+            }
+        };
+        match verify_entry(&bytes, key) {
+            Verified::Payload(payload) => Some(payload.to_vec()),
+            Verified::ForeignKey => {
+                // A different key hashed to the same file name: not
+                // corruption — just not our entry.
+                self.miss();
+                None
+            }
+            Verified::Corrupt(why) => {
+                self.discard_corrupt(path, key, why);
                 None
             }
         }
@@ -204,7 +229,12 @@ impl DiskCache {
                 return;
             }
         };
-        let payload = payload.as_bytes();
+        self.store_bytes(kind, key, payload.as_bytes());
+    }
+
+    /// Writes a raw binary payload under `(kind, key)` — identical
+    /// container and eviction behavior to [`store`](Self::store).
+    pub fn store_bytes(&self, kind: &str, key: &str, payload: &[u8]) {
         let mut entry = Vec::with_capacity(HEADER_LEN + key.len() + payload.len());
         entry.extend_from_slice(MAGIC);
         entry.extend_from_slice(&(key.len() as u32).to_le_bytes());
@@ -230,7 +260,7 @@ impl DiskCache {
         }
         self.inserts.fetch_add(1, Ordering::Relaxed);
         fosm_obs::counter_add("store.disk_insert", 1);
-        self.enforce_budget();
+        self.enforce_budget(&path);
     }
 
     /// Current traffic counts.
@@ -248,6 +278,11 @@ impl DiskCache {
         self.root
             .join(kind)
             .join(format!("{:016x}.art", fnv1a64(key.as_bytes())))
+    }
+
+    fn hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        fosm_obs::counter_add("store.disk_hit", 1);
     }
 
     fn miss(&self) {
@@ -268,9 +303,14 @@ impl DiskCache {
     }
 
     /// Deletes oldest-modified entries until the cache fits the byte
-    /// budget. Runs after each insert; the scan is a directory walk,
+    /// budget, never touching `just_written` (the entry whose insert
+    /// triggered this pass). Without that exclusion, filesystems with
+    /// coarse mtime granularity can stamp the fresh entry with the
+    /// same mtime as existing ones, and the deterministic path
+    /// tie-break may then evict the very entry the caller just paid to
+    /// compute. Runs after each insert; the scan is a directory walk,
     /// cheap at artifact granularity.
-    fn enforce_budget(&self) {
+    fn enforce_budget(&self, just_written: &Path) {
         let mut entries: Vec<(std::time::SystemTime, PathBuf, u64)> = Vec::new();
         let mut total: u64 = 0;
         let Ok(kinds) = std::fs::read_dir(&self.root) else {
@@ -298,6 +338,9 @@ impl DiskCache {
         for (_, path, len) in entries {
             if total <= self.max_bytes {
                 break;
+            }
+            if path == just_written {
+                continue;
             }
             if std::fs::remove_file(&path).is_ok() {
                 total = total.saturating_sub(len);
@@ -446,6 +489,83 @@ mod tests {
         );
         assert_eq!(cache.load::<Vec<u8>>("trace", "new"), Some(blob));
         assert!(cache.stats().evictions >= 1);
+        cleanup(&cache);
+    }
+
+    #[test]
+    fn bytes_round_trip_shares_container_and_verification() {
+        let cache = temp_cache("bytes", u64::MAX);
+        let blob: Vec<u8> = (0..=255).cycle().take(4096).collect();
+        assert_eq!(cache.load_bytes("sidecar", "k"), None);
+        cache.store_bytes("sidecar", "k", &blob);
+        assert_eq!(cache.load_bytes("sidecar", "k"), Some(blob.clone()));
+        // Same corruption self-healing as the JSON layer.
+        let path = entry_file(&cache, "sidecar");
+        let mut bytes = std::fs::read(&path).expect("entry readable");
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        std::fs::write(&path, &bytes).expect("tamper");
+        assert_eq!(cache.load_bytes("sidecar", "k"), None);
+        assert_eq!(cache.stats().corruptions, 1);
+        assert!(!path.exists());
+        cleanup(&cache);
+    }
+
+    /// Forces every pre-existing entry to a *newer* mtime than the
+    /// next insert can possibly get: without the just-written
+    /// exclusion, the budget pass would pick the fresh entry as
+    /// "oldest" and evict it — the exact failure mode of coarse
+    /// (tied) timestamps, made deterministic.
+    #[test]
+    fn eviction_never_removes_the_entry_just_written() {
+        // ~230 bytes per entry once the header, key, and JSON quotes
+        // are counted: the budget fits three entries, not four.
+        let blob = "x".repeat(200);
+        let cache = temp_cache("protect", 750);
+        for key in ["a", "b", "c"] {
+            cache.store("trace", key, &blob);
+        }
+        assert_eq!(cache.stats().evictions, 0, "three entries fit");
+        let future = std::time::SystemTime::now() + std::time::Duration::from_secs(3600);
+        for file in std::fs::read_dir(cache.root().join("trace"))
+            .expect("kind dir")
+            .flatten()
+        {
+            std::fs::File::options()
+                .write(true)
+                .open(file.path())
+                .expect("open entry")
+                .set_modified(future)
+                .expect("set mtime");
+        }
+        cache.store("trace", "d", &blob);
+        assert_eq!(
+            cache.load::<String>("trace", "d"),
+            Some(blob),
+            "the entry whose insert triggered eviction must survive it"
+        );
+        assert!(cache.stats().evictions >= 1, "budget still enforced");
+        cleanup(&cache);
+    }
+
+    /// Writes a burst of entries far faster than any filesystem mtime
+    /// granularity: after every store, the entry just written must be
+    /// loadable (the module-docs guarantee that used to fail when the
+    /// burst landed on tied mtimes).
+    #[test]
+    fn rapid_writes_always_keep_the_latest_entry() {
+        let blob = "y".repeat(200);
+        let cache = temp_cache("burst", 750);
+        for i in 0..24 {
+            let key = format!("k{i}");
+            cache.store("trace", &key, &blob);
+            assert_eq!(
+                cache.load::<String>("trace", &key),
+                Some(blob.clone()),
+                "entry {key} evicted by its own insert"
+            );
+        }
+        assert!(cache.stats().evictions >= 20, "budget held the whole burst");
         cleanup(&cache);
     }
 

@@ -165,8 +165,17 @@ pub fn record_seeded(spec: &BenchmarkSpec, n: u64, seed: u64) -> PackedTrace {
 
 /// Runs the detailed simulator over (a fresh replay of) `trace`.
 pub fn simulate(config: &MachineConfig, trace: &PackedTrace) -> SimReport {
+    simulate_from(config, &mut trace.replay())
+}
+
+/// Like [`simulate`], over any replay source — used by the corpus
+/// paths to simulate straight off a paged file cursor.
+pub fn simulate_from<S: fosm_trace::TraceSource>(
+    config: &MachineConfig,
+    source: &mut S,
+) -> SimReport {
     let _span = fosm_obs::span("simulate");
-    Machine::new(config.clone()).run(&mut trace.replay())
+    Machine::new(config.clone()).run(source)
 }
 
 /// Runs the detailed simulator collecting its miss-event stream (the
@@ -229,8 +238,23 @@ pub fn profile_many(
     bank: &ProbeBank,
     trace: &PackedTrace,
 ) -> Result<Vec<ProgramProfile>, ModelError> {
+    profile_many_from(params, bank, &mut trace.replay())
+}
+
+/// Like [`profile_many`], over any replay source — the corpus paths
+/// feed a paged [`fosm_trace::FileReplay`] or a pre-decoded
+/// [`fosm_trace::DecodedReplay`] here instead of an in-memory trace.
+///
+/// # Errors
+///
+/// As [`profile_with`].
+pub fn profile_many_from<S: fosm_trace::TraceSource>(
+    params: &ProcessorParams,
+    bank: &ProbeBank,
+    source: &mut S,
+) -> Result<Vec<ProgramProfile>, ModelError> {
     let _span = fosm_obs::span("profile");
-    ProfileCollector::new(params).collect_many(&mut trace.replay(), bank, u64::MAX)
+    ProfileCollector::new(params).collect_many(source, bank, u64::MAX)
 }
 
 /// Evaluates the first-order model on a profile.

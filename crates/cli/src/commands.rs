@@ -77,6 +77,100 @@ pub fn record(args: Parsed) -> Result<(), String> {
     Ok(())
 }
 
+/// `fosm corpus <build|info|verify> …` — the on-disk `FOSMTRC1`
+/// corpus-file toolchain (see DESIGN.md for the format).
+pub fn corpus(args: Parsed) -> Result<(), String> {
+    match args.positional(0, "corpus subcommand (build, info, or verify)")? {
+        "build" => corpus_build(&args),
+        "info" => corpus_info(&args),
+        "verify" => corpus_verify(&args),
+        other => Err(format!(
+            "unknown corpus subcommand `{other}` (expected build, info, or verify)"
+        )),
+    }
+}
+
+/// `fosm corpus build (--bench <name> [--insts N] [--seed S] |
+/// --from <trace.trc>) -o <corpus.fct>`
+fn corpus_build(args: &Parsed) -> Result<(), String> {
+    let out = args.flag("out").ok_or("-o <corpus.fct> is required")?;
+    let mut writer = fosm_trace::CorpusWriter::create(std::path::Path::new(out))
+        .map_err(|e| format!("cannot create {out}: {e}"))?;
+    let written = match (args.flag("bench"), args.flag("from")) {
+        (Some(bench), None) => {
+            let spec = find_benchmark(bench)?;
+            let insts: u64 = args.flag_or("insts", 500_000u64)?;
+            let seed: u64 = args.flag_or("seed", 42u64)?;
+            let mut generator = WorkloadGenerator::new(&spec, seed);
+            writer
+                .append_source(&mut generator, insts)
+                .map_err(|e| format!("cannot write {out}: {e}"))?
+        }
+        (None, Some(path)) => {
+            let mut reader = TraceFileReader::new(open_in(path)?).map_err(|e| e.to_string())?;
+            let written = writer
+                .append_source(&mut reader, u64::MAX)
+                .map_err(|e| format!("cannot write {out}: {e}"))?;
+            if let Some(e) = reader.take_error() {
+                return Err(format!("trace file {path}: {e}"));
+            }
+            written
+        }
+        _ => return Err("exactly one of --bench <name> or --from <trace.trc> is required".into()),
+    };
+    let summary = writer
+        .finish()
+        .map_err(|e| format!("cannot finish {out}: {e}"))?;
+    println!(
+        "wrote {written} instructions to {out} ({} bytes, digest {:016x})",
+        summary.file_bytes, summary.digest
+    );
+    Ok(())
+}
+
+/// `fosm corpus info <corpus.fct>`
+fn corpus_info(args: &Parsed) -> Result<(), String> {
+    let path = args.positional(1, "corpus file")?;
+    let corpus = fosm_trace::CorpusFile::open(std::path::Path::new(path))
+        .map_err(|e| format!("{path}: {e}"))?;
+    println!(
+        "{path}: {} instructions ({} mem records, {} branch records)",
+        corpus.len(),
+        corpus.mem_records(),
+        corpus.branch_records()
+    );
+    println!(
+        "  {} bytes on disk, digest {:016x}",
+        corpus.file_bytes(),
+        corpus.digest()
+    );
+    for (i, s) in corpus.sections().iter().enumerate() {
+        println!(
+            "  section {:<15} offset {:>12} len {:>12} checksum {:016x}",
+            fosm_trace::CorpusFile::section_name(i),
+            s.offset,
+            s.byte_len,
+            s.checksum
+        );
+    }
+    Ok(())
+}
+
+/// `fosm corpus verify <corpus.fct>` — re-reads every section and
+/// checks its checksum; exits non-zero on any corruption.
+fn corpus_verify(args: &Parsed) -> Result<(), String> {
+    let path = args.positional(1, "corpus file")?;
+    let corpus = fosm_trace::CorpusFile::open(std::path::Path::new(path))
+        .map_err(|e| format!("{path}: {e}"))?;
+    corpus.verify().map_err(|e| format!("{path}: {e}"))?;
+    println!(
+        "{path}: OK ({} instructions, digest {:016x})",
+        corpus.len(),
+        corpus.digest()
+    );
+    Ok(())
+}
+
 /// `fosm stats <trace.trc>`
 pub fn stats(args: Parsed) -> Result<(), String> {
     let path = args.positional(0, "trace file")?;
@@ -186,9 +280,96 @@ fn machine_setup(
     ))
 }
 
-/// `fosm profile <trace.trc> [-o out.json] [--probes LIST] [machine flags]`
+/// Whether `path` starts with the `FOSMTRC1` corpus magic (as opposed
+/// to the streaming trace format's `FOSMTRC\x01`) — an 8-byte sniff,
+/// so `fosm profile` can accept either format transparently.
+fn is_corpus_file(path: &str) -> bool {
+    use std::io::Read;
+    let mut magic = [0u8; 8];
+    std::fs::File::open(path)
+        .and_then(|mut f| f.read_exact(&mut magic))
+        .map(|()| magic == fosm_trace::corpus::CORPUS_MAGIC)
+        .unwrap_or(false)
+}
+
+/// `fosm profile` on a `FOSMTRC1` corpus file: profiles go through the
+/// artifact store's corpus path (paged replay + memoized pre-decoded
+/// sidecar, persisted when `FOSM_CACHE_DIR` is set) instead of the
+/// streaming reader.
+fn profile_corpus(args: &Parsed, path: &str) -> Result<(), String> {
+    if args.flag("sample").is_some() {
+        return Err("--sample is not supported for corpus files (profile the full corpus)".into());
+    }
+    let (params, hierarchy, dtlb) = machine_setup(args)?;
+    let corpus = fosm_trace::CorpusFile::open(std::path::Path::new(path))
+        .map_err(|e| format!("{path}: {e}"))?;
+    let store = fosm_bench::store::ArtifactStore::global();
+
+    let (bank, fused): (ProbeBank, bool) = match args.flag("probes") {
+        Some(list) => (
+            list.split(',')
+                .map(|name| probe_variant(name.trim(), path, hierarchy, dtlb))
+                .collect::<Result<Vec<Probe>, String>>()?
+                .into(),
+            true,
+        ),
+        None => {
+            let mut probe = Probe::new(path.to_string()).with_hierarchy(hierarchy);
+            if let Some(tlb) = dtlb {
+                probe = probe.with_dtlb(tlb);
+            }
+            (ProbeBank::from(vec![probe]), false)
+        }
+    };
+    let profiles = store
+        .profile_many_corpus(&params, &bank, &corpus)
+        .map_err(|e| format!("{path}: {e}"))?;
+
+    if fused {
+        let rendered: Vec<&ProgramProfile> = profiles.iter().map(|p| &**p).collect();
+        match args.flag("out") {
+            Some(out) => {
+                serde_json::to_writer_pretty(open_out(out)?, &rendered)
+                    .map_err(|e| e.to_string())?;
+                println!(
+                    "wrote {} fused profiles ({} instructions each) to {out}",
+                    rendered.len(),
+                    rendered.first().map_or(0, |p| p.instructions)
+                );
+            }
+            None => {
+                serde_json::to_writer_pretty(std::io::stdout().lock(), &rendered)
+                    .map_err(|e| e.to_string())?;
+                println!();
+            }
+        }
+    } else {
+        let profile = &*profiles[0];
+        match args.flag("out") {
+            Some(out) => {
+                serde_json::to_writer_pretty(open_out(out)?, profile).map_err(|e| e.to_string())?;
+                println!(
+                    "wrote profile of {} instructions to {out}",
+                    profile.instructions
+                );
+            }
+            None => {
+                serde_json::to_writer_pretty(std::io::stdout().lock(), profile)
+                    .map_err(|e| e.to_string())?;
+                println!();
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `fosm profile <trace.trc|corpus.fct> [-o out.json] [--probes LIST]
+/// [machine flags]`
 pub fn profile(args: Parsed) -> Result<(), String> {
     let path = args.positional(0, "trace file")?;
+    if is_corpus_file(path) {
+        return profile_corpus(&args, path);
+    }
     let (params, hierarchy, dtlb) = machine_setup(&args)?;
     let plan = sampling_plan_from(&args)?;
     let mut reader = TraceFileReader::new(open_in(path)?).map_err(|e| e.to_string())?;
@@ -440,6 +621,22 @@ pub fn validate(args: Parsed) -> Result<(), String> {
         tol.apply_overrides(overrides)?;
     }
 
+    // Corpus-file workloads: validate each listed `FOSMTRC1` file
+    // against the same machine configuration, sharded across the same
+    // worker pool as the synthetic sweep.
+    if let Some(list) = args.flag("corpus") {
+        let paths: Vec<std::path::PathBuf> = list
+            .split(',')
+            .map(|s| std::path::PathBuf::from(s.trim()))
+            .collect();
+        let results =
+            fosm_validate::differential::corpus_sweep(store, &config, &paths, &tol, threads)
+                .map_err(|e| format!("corpus validation sweep failed: {e}"))?;
+        let report = fosm_validate::ValidationReport::new(insts, seed, tol, results);
+        report.observe_into(fosm_obs::global());
+        return finish_validation(&args, &report);
+    }
+
     let cases = match args.flag("bench") {
         Some(name) => vec![fosm_validate::CaseSpec {
             config: config.clone(),
@@ -457,10 +654,19 @@ pub fn validate(args: Parsed) -> Result<(), String> {
         .map_err(|e| format!("validation sweep failed: {e}"))?;
     let report = fosm_validate::ValidationReport::new(insts, seed, tol, results);
     report.observe_into(fosm_obs::global());
+    finish_validation(&args, &report)
+}
 
+/// The shared tail of `fosm validate`: renders the table, writes the
+/// optional JSON report, and applies `--check` gate semantics. Used by
+/// both the synthetic sweep and the corpus-file sweep.
+fn finish_validation(
+    args: &Parsed,
+    report: &fosm_validate::ValidationReport,
+) -> Result<(), String> {
     print!("{}", report.render_table());
     if args.has("statsim") {
-        print_statsim_comparison(&report);
+        print_statsim_comparison(report);
     }
     if let Some(path) = args.flag("report") {
         let json = report.to_json().map_err(|e| e.to_string())?;

@@ -83,6 +83,7 @@ fn run(argv: Vec<String>) -> Result<(), String> {
     let rest = &argv[1..];
     match command.as_str() {
         "record" => commands::record(args::Parsed::new(rest)?),
+        "corpus" => commands::corpus(args::Parsed::new(rest)?),
         "stats" => commands::stats(args::Parsed::new(rest)?),
         "profile" => commands::profile(args::Parsed::new(rest)?),
         "model" => commands::model(args::Parsed::new(rest)?),
@@ -109,8 +110,13 @@ fn print_usage() {
 
 USAGE:
     fosm record  --bench <name> [--insts N] [--seed S] -o <trace.trc>
+    fosm corpus  build (--bench <name> [--insts N] [--seed S]
+                        | --from <trace.trc>) -o <corpus.fct>
+    fosm corpus  info <corpus.fct>
+    fosm corpus  verify <corpus.fct>
     fosm stats   <trace.trc>
-    fosm profile <trace.trc> [-o <profile.json>] [--probes LIST] [machine flags]
+    fosm profile <trace.trc|corpus.fct> [-o <profile.json>]
+                 [--probes LIST] [machine flags]
     fosm model   <profile.json> [machine flags]
     fosm simulate <trace.trc> [machine flags] [--ideal]
     fosm validate [validation flags] [machine flags]
@@ -146,6 +152,9 @@ VALIDATION FLAGS (fosm validate):
     --check         exit non-zero on any out-of-band component
     --report P      write the full JSON validation report to P
     --statsim       also run the statistical-simulation baseline
+    --corpus LIST   validate comma-separated FOSMTRC1 corpus files
+                    (sharded across --threads workers) instead of the
+                    synthetic workload suite
     --fuzz N        differential-fuzz N random machines instead
     --fuzz-seed S   fuzzer RNG seed
     --fuzz-repro J  replay one fuzz case from its JSON form

@@ -11,6 +11,9 @@ pub enum ModelError {
     EmptyTrace,
     /// A parameter set failed validation.
     InvalidParams(String),
+    /// A corpus-file trace source failed (I/O or corrupt contents);
+    /// the message names the file and the underlying cause.
+    Corpus(String),
 }
 
 impl std::fmt::Display for ModelError {
@@ -19,6 +22,7 @@ impl std::fmt::Display for ModelError {
             ModelError::Fit(e) => write!(f, "IW characteristic fit failed: {e}"),
             ModelError::EmptyTrace => write!(f, "trace contained no instructions"),
             ModelError::InvalidParams(msg) => write!(f, "invalid processor parameters: {msg}"),
+            ModelError::Corpus(msg) => write!(f, "corpus trace failed: {msg}"),
         }
     }
 }
@@ -52,5 +56,8 @@ mod tests {
         assert!(ModelError::InvalidParams("x".into())
             .to_string()
             .contains("x"));
+        assert!(ModelError::Corpus("gzip.fct: bad".into())
+            .to_string()
+            .contains("gzip.fct"));
     }
 }

@@ -48,6 +48,27 @@ use std::sync::{Mutex, OnceLock};
 /// and say so.
 pub const DEFAULT_CAPACITY: usize = 1 << 20;
 
+/// Parses a `FOSM_TRACE_CAP` environment value: `None` or an empty
+/// string means "not set" (`Ok(None)`); a positive integer is the
+/// capacity; anything else — zero (which would drop every event),
+/// non-numeric text, a value that overflows `usize` — is a structured
+/// error naming the problem, so callers can warn instead of silently
+/// mis-sizing the buffer.
+pub fn parse_trace_cap(raw: Option<&str>) -> Result<Option<usize>, String> {
+    let Some(raw) = raw else {
+        return Ok(None);
+    };
+    let raw = raw.trim();
+    if raw.is_empty() {
+        return Ok(None);
+    }
+    match raw.parse::<usize>() {
+        Ok(0) => Err("capacity 0 would drop every event".to_string()),
+        Ok(cap) => Ok(Some(cap)),
+        Err(e) => Err(format!("`{raw}` is not a valid event count: {e}")),
+    }
+}
+
 /// The classes of miss event the simulator distinguishes, mirroring
 /// the model's CPI decomposition.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -204,16 +225,24 @@ impl Tracer {
     }
 
     /// The process-wide tracer. First use reads `FOSM_TRACE` (export
-    /// path; enables tracing) and `FOSM_TRACE_CAP` (capacity).
+    /// path; enables tracing) and `FOSM_TRACE_CAP` (capacity). A
+    /// malformed capacity — zero, non-numeric, overflowing — is
+    /// reported on stderr and falls back to [`DEFAULT_CAPACITY`]
+    /// rather than being silently ignored (or, for `0`, silently
+    /// dropping every event).
     pub fn global() -> &'static Tracer {
         static TRACER: OnceLock<Tracer> = OnceLock::new();
         TRACER.get_or_init(|| {
             let t = Tracer::new();
-            if let Some(cap) = std::env::var("FOSM_TRACE_CAP")
-                .ok()
-                .and_then(|v| v.parse::<usize>().ok())
-            {
-                t.set_capacity(cap);
+            match parse_trace_cap(std::env::var("FOSM_TRACE_CAP").ok().as_deref()) {
+                Ok(Some(cap)) => t.set_capacity(cap),
+                Ok(None) => {}
+                Err(why) => {
+                    eprintln!(
+                        "warning: ignoring FOSM_TRACE_CAP ({why}); \
+                         using the default capacity of {DEFAULT_CAPACITY} events"
+                    );
+                }
             }
             if let Ok(path) = std::env::var("FOSM_TRACE") {
                 if !path.is_empty() {
@@ -337,6 +366,29 @@ impl Tracer {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn trace_cap_zero_is_a_structured_error() {
+        let err = parse_trace_cap(Some("0")).unwrap_err();
+        assert!(err.contains("drop every event"), "{err}");
+    }
+
+    #[test]
+    fn trace_cap_non_numeric_is_a_structured_error() {
+        for bad in ["lots", "1e6", "-3", "0x100"] {
+            let err = parse_trace_cap(Some(bad)).unwrap_err();
+            assert!(err.contains(bad), "{err}");
+        }
+    }
+
+    #[test]
+    fn trace_cap_absent_or_valid_values_parse() {
+        assert_eq!(parse_trace_cap(None), Ok(None));
+        assert_eq!(parse_trace_cap(Some("")), Ok(None));
+        assert_eq!(parse_trace_cap(Some("  ")), Ok(None));
+        assert_eq!(parse_trace_cap(Some("4096")), Ok(Some(4096)));
+        assert_eq!(parse_trace_cap(Some(" 17 ")), Ok(Some(17)));
+    }
 
     fn ev(inst: u64) -> TraceEvent {
         TraceEvent::new(

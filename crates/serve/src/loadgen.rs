@@ -75,12 +75,19 @@ pub struct RunStats {
 impl RunStats {
     /// The `q`-th latency percentile (0–100), by nearest-rank over the
     /// sorted samples.
+    ///
+    /// Defined for every input: with no samples the result is
+    /// [`Duration::ZERO`]; `q` is clamped into `[0, 100]` (so `q = 0`
+    /// is exactly the minimum, `q = 100` exactly the maximum, and
+    /// out-of-range values saturate rather than indexing out of
+    /// bounds); a NaN `q` reads as 0.
     pub fn percentile(&self, q: f64) -> Duration {
         let mut sorted = self.latencies.clone();
         sorted.sort();
         if sorted.is_empty() {
             return Duration::ZERO;
         }
+        let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 100.0) };
         let rank = ((q / 100.0) * (sorted.len() - 1) as f64).round() as usize;
         sorted[rank.min(sorted.len() - 1)]
     }
@@ -297,6 +304,44 @@ mod tests {
         assert_eq!(stats.percentile(50.0), Duration::from_millis(51));
         assert_eq!(stats.percentile(99.0), Duration::from_millis(99));
         assert_eq!(stats.percentile(100.0), Duration::from_millis(100));
+    }
+
+    #[test]
+    fn percentile_edges_are_defined_for_every_input() {
+        let empty = RunStats {
+            requests: 0,
+            wall: Duration::ZERO,
+            latencies: Vec::new(),
+        };
+        for q in [0.0, 50.0, 100.0, -5.0, 250.0, f64::NAN] {
+            assert_eq!(empty.percentile(q), Duration::ZERO);
+        }
+
+        let stats = RunStats {
+            requests: 3,
+            wall: Duration::from_secs(1),
+            latencies: vec![
+                Duration::from_millis(30),
+                Duration::from_millis(10),
+                Duration::from_millis(20),
+            ],
+        };
+        // q = 0 is exactly the minimum (unsorted input is sorted first).
+        assert_eq!(stats.percentile(0.0), Duration::from_millis(10));
+        // Out-of-range and NaN quantiles saturate instead of panicking.
+        assert_eq!(stats.percentile(-1.0), Duration::from_millis(10));
+        assert_eq!(stats.percentile(f64::NAN), Duration::from_millis(10));
+        assert_eq!(stats.percentile(101.0), Duration::from_millis(30));
+        assert_eq!(stats.percentile(f64::INFINITY), Duration::from_millis(30));
+
+        let single = RunStats {
+            requests: 1,
+            wall: Duration::from_secs(1),
+            latencies: vec![Duration::from_millis(7)],
+        };
+        for q in [0.0, 50.0, 100.0] {
+            assert_eq!(single.percentile(q), Duration::from_millis(7));
+        }
     }
 
     #[test]

@@ -1,0 +1,1079 @@
+//! On-disk trace corpus files (`FOSMTRC1`) with chunk-paged replay.
+//!
+//! [`PackedTrace`](crate::PackedTrace) keeps a whole trace resident;
+//! a corpus file is the same structure-of-arrays layout persisted to
+//! disk so that traces far larger than RAM can be profiled. The format
+//! is **versioned, sectioned, and checksummed**:
+//!
+//! ```text
+//! magic          8 bytes   b"FOSMTRC1"
+//! inst_count     u64       instructions in the trace
+//! mem_count      u64       entries in the mem_addrs side column
+//! branch_count   u64       entries in the branch_targets side column
+//! section table  7 x 24    {offset u64, byte_len u64, checksum u64}
+//! header_fnv     u64       FNV-1a 64 of every preceding header byte
+//! sections       ...       one contiguous byte run per SoA column
+//! ```
+//!
+//! All integers are little-endian. The seven sections mirror the
+//! packed columns in declaration order — `pcs`, `ops`, `dests`,
+//! `src0s`, `src1s`, `mem_addrs`, `branch_targets` — each carrying its
+//! own FNV-1a 64 checksum, so every byte of the file is covered either
+//! by the header checksum or by exactly one section checksum: any
+//! single-byte corruption is detectable by [`CorpusFile::verify`].
+//!
+//! * [`CorpusWriter`] builds a corpus **out of core**: each column is
+//!   streamed to its own spill file while checksums accumulate
+//!   incrementally, and `finish` assembles the final file atomically
+//!   (temp + rename) — peak memory stays at buffer size regardless of
+//!   trace length.
+//! * [`CorpusFile`] opens and validates a corpus (header checksum,
+//!   count/length consistency, section bounds) without reading the
+//!   payload.
+//! * [`FileReplay`] is the paged replay cursor: it implements
+//!   [`TraceSource`] by reading fixed-size column pages on demand, so
+//!   resident memory is O(page) — about 1 MiB — no matter how long the
+//!   trace is. Decoding is bit-identical to
+//!   [`PackedReplay`](crate::PackedReplay) over the same instructions.
+//!
+//! Observability: opening a corpus bumps the `corpus.open` counter and
+//! every page fetch bumps `corpus.pages`.
+
+use std::fs::File;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+use fosm_isa::{BranchInfo, Inst, Op, Reg};
+
+use crate::packed::{NO_REG, TAKEN_BIT};
+use crate::{PackedTrace, TraceSource};
+
+/// Corpus container magic. Distinct from the streaming trace file
+/// magic (`FOSMTRC\x01`, see [`crate::io::MAGIC`]) in the last byte,
+/// so the two formats can be told apart by sniffing 8 bytes.
+pub const CORPUS_MAGIC: [u8; 8] = *b"FOSMTRC1";
+
+/// Number of column sections in a corpus file.
+pub const NUM_SECTIONS: usize = 7;
+
+/// Fixed header size: magic + three counts + section table + header
+/// checksum.
+pub const HEADER_LEN: usize = 8 + 3 * 8 + NUM_SECTIONS * 24 + 8;
+
+/// Section display names, in file order.
+const SECTION_NAMES: [&str; NUM_SECTIONS] = [
+    "pcs",
+    "ops",
+    "dests",
+    "src0s",
+    "src1s",
+    "mem_addrs",
+    "branch_targets",
+];
+
+/// Section indices, in file order (mirroring the packed columns).
+const S_PCS: usize = 0;
+const S_OPS: usize = 1;
+const S_DESTS: usize = 2;
+const S_SRC0S: usize = 3;
+const S_SRC1S: usize = 4;
+const S_MEM: usize = 5;
+const S_BR: usize = 6;
+
+/// Instructions per main-column page of a [`FileReplay`].
+const PAGE_INSTS: u64 = 1 << 16;
+
+/// Records per side-column page of a [`FileReplay`].
+const SIDE_PAGE: u64 = 1 << 15;
+
+/// Chunk size used by [`CorpusFile::verify`]'s streaming re-read.
+const VERIFY_CHUNK: usize = 1 << 20;
+
+/// Incremental FNV-1a 64 state (same function as the disk cache's
+/// content addressing; see its published-vector tests).
+#[derive(Debug, Clone, Copy)]
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        let mut hash = self.0;
+        for &b in bytes {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self.0 = hash;
+    }
+
+    fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut f = Fnv::new();
+    f.update(bytes);
+    f.finish()
+}
+
+/// Why a corpus file could not be opened, read, or verified.
+#[derive(Debug)]
+pub enum CorpusError {
+    /// Underlying file I/O failed.
+    Io(io::Error),
+    /// The file is not a structurally valid `FOSMTRC1` corpus, or its
+    /// contents fail validation; the message says exactly why.
+    Format(String),
+}
+
+impl std::fmt::Display for CorpusError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CorpusError::Io(e) => write!(f, "corpus I/O error: {e}"),
+            CorpusError::Format(why) => write!(f, "corpus format error: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for CorpusError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CorpusError::Io(e) => Some(e),
+            CorpusError::Format(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for CorpusError {
+    fn from(e: io::Error) -> Self {
+        CorpusError::Io(e)
+    }
+}
+
+/// One section-table row: where a column lives and what it hashes to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Section {
+    /// Byte offset of the section from the start of the file.
+    pub offset: u64,
+    /// Section length in bytes.
+    pub byte_len: u64,
+    /// FNV-1a 64 of the section bytes.
+    pub checksum: u64,
+}
+
+/// Reads exactly `buf.len()` bytes at `offset` without disturbing any
+/// shared cursor (positional I/O on Unix; concurrent [`FileReplay`]
+/// cursors over one [`CorpusFile`] are safe there).
+#[cfg(unix)]
+fn read_exact_at(file: &File, buf: &mut [u8], offset: u64) -> io::Result<()> {
+    use std::os::unix::fs::FileExt;
+    file.read_exact_at(buf, offset)
+}
+
+/// Portable fallback: seek-and-read through the shared cursor (replay
+/// cursors must not be interleaved on one `CorpusFile` here).
+#[cfg(not(unix))]
+fn read_exact_at(file: &File, buf: &mut [u8], offset: u64) -> io::Result<()> {
+    use std::io::Seek;
+    let mut f = file;
+    f.seek(io::SeekFrom::Start(offset))?;
+    f.read_exact(buf)
+}
+
+/// Summary returned by [`CorpusWriter::finish`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorpusSummary {
+    /// Instructions written.
+    pub instructions: u64,
+    /// Entries in the memory-address side column.
+    pub mem_records: u64,
+    /// Entries in the branch-target side column.
+    pub branch_records: u64,
+    /// Final file size in bytes.
+    pub file_bytes: u64,
+    /// Content digest (the header checksum; see
+    /// [`CorpusFile::digest`]).
+    pub digest: u64,
+}
+
+/// One column being spilled to its own temp file during a build.
+#[derive(Debug)]
+struct SpillColumn {
+    path: PathBuf,
+    file: io::BufWriter<File>,
+    fnv: Fnv,
+    bytes: u64,
+}
+
+impl SpillColumn {
+    fn create(path: PathBuf) -> io::Result<SpillColumn> {
+        let file = io::BufWriter::new(File::create(&path)?);
+        Ok(SpillColumn {
+            path,
+            file,
+            fnv: Fnv::new(),
+            bytes: 0,
+        })
+    }
+
+    fn write(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.file.write_all(bytes)?;
+        self.fnv.update(bytes);
+        self.bytes += bytes.len() as u64;
+        Ok(())
+    }
+}
+
+/// Streaming, out-of-core corpus builder.
+///
+/// Instructions are encoded column-wise into per-section spill files
+/// as they arrive; [`finish`](CorpusWriter::finish) assembles the
+/// final `FOSMTRC1` file atomically (written to a temp name in the
+/// destination directory, then renamed). Peak resident memory is the
+/// write-buffer size — independent of trace length.
+///
+/// # Examples
+///
+/// ```no_run
+/// use fosm_isa::{Inst, Op, Reg};
+/// use fosm_trace::CorpusWriter;
+///
+/// let mut w = CorpusWriter::create("trace.fct").unwrap();
+/// w.push(&Inst::alu(0, Op::IntAlu, Reg::new(1), None, None)).unwrap();
+/// let summary = w.finish().unwrap();
+/// assert_eq!(summary.instructions, 1);
+/// ```
+#[derive(Debug)]
+pub struct CorpusWriter {
+    out: PathBuf,
+    spills: Vec<SpillColumn>,
+    insts: u64,
+    mems: u64,
+    branches: u64,
+    finished: bool,
+}
+
+impl CorpusWriter {
+    /// Starts a corpus build targeting `out`. Spill files named
+    /// `<out>.sN.<pid>` are created beside the destination and removed
+    /// by `finish` (or on drop).
+    ///
+    /// # Errors
+    ///
+    /// Propagates spill-file creation failures.
+    pub fn create(out: impl Into<PathBuf>) -> io::Result<CorpusWriter> {
+        let out = out.into();
+        let pid = std::process::id();
+        let mut spills = Vec::with_capacity(NUM_SECTIONS);
+        for i in 0..NUM_SECTIONS {
+            let mut name = out.as_os_str().to_os_string();
+            name.push(format!(".s{i}.{pid}"));
+            spills.push(SpillColumn::create(PathBuf::from(name))?);
+        }
+        Ok(CorpusWriter {
+            out,
+            spills,
+            insts: 0,
+            mems: 0,
+            branches: 0,
+            finished: false,
+        })
+    }
+
+    /// Instructions written so far.
+    pub fn len(&self) -> u64 {
+        self.insts
+    }
+
+    /// Returns `true` if nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.insts == 0
+    }
+
+    /// Appends one instruction, encoded exactly like
+    /// [`PackedTrace::push`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates spill-file write failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inst` is not well-formed — the packed layout infers
+    /// shape from the op class and cannot represent malformed records.
+    pub fn push(&mut self, inst: &Inst) -> io::Result<()> {
+        assert!(
+            inst.is_well_formed(),
+            "cannot pack malformed instruction {inst}"
+        );
+        self.spills[S_PCS].write(&inst.pc.to_le_bytes())?;
+        let mut op = inst.op.index() as u8;
+        if inst.branch.is_some_and(|b| b.taken) {
+            op |= TAKEN_BIT;
+        }
+        self.spills[S_OPS].write(&[op])?;
+        self.spills[S_DESTS].write(&[pack_reg(inst.dest)])?;
+        self.spills[S_SRC0S].write(&[pack_reg(inst.srcs[0])])?;
+        self.spills[S_SRC1S].write(&[pack_reg(inst.srcs[1])])?;
+        if let Some(addr) = inst.mem_addr {
+            self.spills[S_MEM].write(&addr.to_le_bytes())?;
+            self.mems += 1;
+        }
+        if let Some(b) = inst.branch {
+            self.spills[S_BR].write(&b.target.to_le_bytes())?;
+            self.branches += 1;
+        }
+        self.insts += 1;
+        Ok(())
+    }
+
+    /// Streams up to `n` instructions from `source` into the corpus,
+    /// returning how many were written.
+    ///
+    /// # Errors
+    ///
+    /// As [`push`](Self::push).
+    pub fn append_source<S: TraceSource>(&mut self, source: &mut S, n: u64) -> io::Result<u64> {
+        let mut written = 0;
+        for _ in 0..n {
+            match source.next_inst() {
+                Some(inst) => {
+                    self.push(&inst)?;
+                    written += 1;
+                }
+                None => break,
+            }
+        }
+        Ok(written)
+    }
+
+    /// Assembles the final file: header (with per-section and header
+    /// checksums), then each column section, written to `<out>.tmp.pid`
+    /// and renamed into place. Spill files are removed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates assembly I/O failures; spill files are still cleaned
+    /// up.
+    pub fn finish(mut self) -> io::Result<CorpusSummary> {
+        self.finished = true;
+        let result = self.assemble();
+        for spill in &self.spills {
+            let _ = std::fs::remove_file(&spill.path);
+        }
+        result
+    }
+
+    fn assemble(&mut self) -> io::Result<CorpusSummary> {
+        let mut header = Vec::with_capacity(HEADER_LEN);
+        header.extend_from_slice(&CORPUS_MAGIC);
+        header.extend_from_slice(&self.insts.to_le_bytes());
+        header.extend_from_slice(&self.mems.to_le_bytes());
+        header.extend_from_slice(&self.branches.to_le_bytes());
+        let mut offset = HEADER_LEN as u64;
+        for spill in &mut self.spills {
+            spill.file.flush()?;
+            header.extend_from_slice(&offset.to_le_bytes());
+            header.extend_from_slice(&spill.bytes.to_le_bytes());
+            header.extend_from_slice(&spill.fnv.finish().to_le_bytes());
+            offset += spill.bytes;
+        }
+        let digest = fnv1a64(&header);
+        header.extend_from_slice(&digest.to_le_bytes());
+        debug_assert_eq!(header.len(), HEADER_LEN);
+
+        let mut tmp_name = self.out.as_os_str().to_os_string();
+        tmp_name.push(format!(".tmp.{}", std::process::id()));
+        let tmp = PathBuf::from(tmp_name);
+        let write = (|| -> io::Result<()> {
+            let mut out = io::BufWriter::new(File::create(&tmp)?);
+            out.write_all(&header)?;
+            for spill in &self.spills {
+                let mut src = File::open(&spill.path)?;
+                io::copy(&mut src, &mut out)?;
+            }
+            out.flush()?;
+            Ok(())
+        })();
+        if let Err(e) = write {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(e);
+        }
+        std::fs::rename(&tmp, &self.out)?;
+        Ok(CorpusSummary {
+            instructions: self.insts,
+            mem_records: self.mems,
+            branch_records: self.branches,
+            file_bytes: offset,
+            digest,
+        })
+    }
+}
+
+impl Drop for CorpusWriter {
+    fn drop(&mut self) {
+        if !self.finished {
+            for spill in &self.spills {
+                let _ = std::fs::remove_file(&spill.path);
+            }
+        }
+    }
+}
+
+fn pack_reg(reg: Option<Reg>) -> u8 {
+    reg.map_or(NO_REG, |r| r.number())
+}
+
+/// Writes a whole in-memory [`PackedTrace`] as a corpus file at
+/// `path`. Convenience wrapper over [`CorpusWriter`].
+///
+/// # Errors
+///
+/// Propagates writer I/O failures.
+pub fn write_corpus(path: impl Into<PathBuf>, trace: &PackedTrace) -> io::Result<CorpusSummary> {
+    let mut writer = CorpusWriter::create(path)?;
+    let mut replay = trace.replay();
+    while let Some(inst) = replay.next_inst() {
+        writer.push(&inst)?;
+    }
+    writer.finish()
+}
+
+/// An opened, header-validated `FOSMTRC1` corpus file.
+///
+/// Opening validates the magic, the header checksum, the section
+/// table's bounds against the file size, and the column lengths
+/// against the instruction/record counts — without reading any column
+/// data. [`verify`](CorpusFile::verify) additionally re-reads every
+/// section in chunks and checks the content checksums.
+#[derive(Debug)]
+pub struct CorpusFile {
+    file: File,
+    path: PathBuf,
+    file_bytes: u64,
+    insts: u64,
+    mems: u64,
+    branches: u64,
+    sections: [Section; NUM_SECTIONS],
+    digest: u64,
+}
+
+impl CorpusFile {
+    /// Opens and structurally validates a corpus file.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, or [`CorpusError::Format`] when the header is not
+    /// a self-consistent `FOSMTRC1` header.
+    pub fn open(path: impl Into<PathBuf>) -> Result<CorpusFile, CorpusError> {
+        let path = path.into();
+        let file = File::open(&path)?;
+        let file_bytes = file.metadata()?.len();
+        if file_bytes < HEADER_LEN as u64 {
+            return Err(CorpusError::Format(format!(
+                "file is {file_bytes} bytes, shorter than the {HEADER_LEN}-byte header"
+            )));
+        }
+        let mut header = [0u8; HEADER_LEN];
+        read_exact_at(&file, &mut header, 0)?;
+        if header[..8] != CORPUS_MAGIC {
+            return Err(CorpusError::Format(format!(
+                "bad magic {:02x?} (want {:02x?} = b\"FOSMTRC1\")",
+                &header[..8],
+                CORPUS_MAGIC
+            )));
+        }
+        let digest = read_u64(&header, HEADER_LEN - 8);
+        if fnv1a64(&header[..HEADER_LEN - 8]) != digest {
+            return Err(CorpusError::Format(
+                "header checksum mismatch (corrupt or truncated header)".to_string(),
+            ));
+        }
+        let insts = read_u64(&header, 8);
+        let mems = read_u64(&header, 16);
+        let branches = read_u64(&header, 24);
+        let mut sections = [Section {
+            offset: 0,
+            byte_len: 0,
+            checksum: 0,
+        }; NUM_SECTIONS];
+        let mut expect_offset = HEADER_LEN as u64;
+        for (i, section) in sections.iter_mut().enumerate() {
+            let base = 32 + i * 24;
+            *section = Section {
+                offset: read_u64(&header, base),
+                byte_len: read_u64(&header, base + 8),
+                checksum: read_u64(&header, base + 16),
+            };
+            if section.offset != expect_offset {
+                return Err(CorpusError::Format(format!(
+                    "section {} ({}) starts at {} but the previous section ends at {}",
+                    i, SECTION_NAMES[i], section.offset, expect_offset
+                )));
+            }
+            expect_offset = section
+                .offset
+                .checked_add(section.byte_len)
+                .ok_or_else(|| {
+                    CorpusError::Format(format!(
+                        "section {} ({}) extent overflows",
+                        i, SECTION_NAMES[i]
+                    ))
+                })?;
+        }
+        if expect_offset != file_bytes {
+            return Err(CorpusError::Format(format!(
+                "sections end at {expect_offset} but the file is {file_bytes} bytes"
+            )));
+        }
+        for (i, want) in [
+            insts * 8, // pcs
+            insts,     // ops
+            insts,     // dests
+            insts,     // src0s
+            insts,     // src1s
+            mems * 8,
+            branches * 8,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            if sections[i].byte_len != want {
+                return Err(CorpusError::Format(format!(
+                    "section {} ({}) is {} bytes, but the counts require {}",
+                    i, SECTION_NAMES[i], sections[i].byte_len, want
+                )));
+            }
+        }
+        if mems > insts || branches > insts {
+            return Err(CorpusError::Format(format!(
+                "side-column counts ({mems} mem, {branches} branch) exceed {insts} instructions"
+            )));
+        }
+        fosm_obs::counter_add("corpus.open", 1);
+        Ok(CorpusFile {
+            file,
+            path,
+            file_bytes,
+            insts,
+            mems,
+            branches,
+            sections,
+            digest,
+        })
+    }
+
+    /// Instructions in the corpus.
+    pub fn len(&self) -> u64 {
+        self.insts
+    }
+
+    /// Returns `true` if the corpus holds no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.insts == 0
+    }
+
+    /// Entries in the memory-address side column.
+    pub fn mem_records(&self) -> u64 {
+        self.mems
+    }
+
+    /// Entries in the branch-target side column.
+    pub fn branch_records(&self) -> u64 {
+        self.branches
+    }
+
+    /// Total file size in bytes.
+    pub fn file_bytes(&self) -> u64 {
+        self.file_bytes
+    }
+
+    /// The path the corpus was opened from.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The section table, in file order.
+    pub fn sections(&self) -> &[Section; NUM_SECTIONS] {
+        &self.sections
+    }
+
+    /// Display name of section `i` (file order).
+    pub fn section_name(i: usize) -> &'static str {
+        SECTION_NAMES[i]
+    }
+
+    /// Content digest: the stored header checksum. Every header field
+    /// (counts, offsets, lengths, per-section checksums) is a pure
+    /// function of the trace content, so this one value identifies the
+    /// contents.
+    pub fn digest(&self) -> u64 {
+        self.digest
+    }
+
+    /// Cache identity for this corpus: path, size, and content digest.
+    /// Used by artifact-store keys so a replaced file can never serve
+    /// stale derived artifacts.
+    pub fn identity(&self) -> String {
+        format!(
+            "{}@{}#{:016x}",
+            self.path.display(),
+            self.file_bytes,
+            self.digest
+        )
+    }
+
+    /// Re-reads every section in chunks and checks each content
+    /// checksum, with O(chunk) resident memory.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, or [`CorpusError::Format`] naming the first
+    /// section whose checksum does not match.
+    pub fn verify(&self) -> Result<(), CorpusError> {
+        let mut buf = vec![0u8; VERIFY_CHUNK];
+        for (i, section) in self.sections.iter().enumerate() {
+            let mut fnv = Fnv::new();
+            let mut done = 0u64;
+            while done < section.byte_len {
+                let take = ((section.byte_len - done) as usize).min(VERIFY_CHUNK);
+                read_exact_at(&self.file, &mut buf[..take], section.offset + done)?;
+                fnv.update(&buf[..take]);
+                done += take as u64;
+            }
+            if fnv.finish() != section.checksum {
+                return Err(CorpusError::Format(format!(
+                    "section {} ({}) checksum mismatch: stored {:016x}, computed {:016x}",
+                    i,
+                    SECTION_NAMES[i],
+                    section.checksum,
+                    fnv.finish()
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// A fresh paged replay cursor over the whole corpus. Any number
+    /// of cursors can replay concurrently (positional reads share the
+    /// file handle without a shared seek position on Unix).
+    pub fn replay(&self) -> FileReplay<'_> {
+        FileReplay::new(self)
+    }
+
+    /// Decodes the whole corpus into an in-memory [`PackedTrace`]
+    /// (test/convenience path — the point of the format is that the
+    /// hot paths never need this).
+    ///
+    /// # Errors
+    ///
+    /// Any replay error (I/O or undecodable column bytes).
+    pub fn decode(&self) -> Result<PackedTrace, CorpusError> {
+        let mut replay = self.replay();
+        let mut trace = PackedTrace::new();
+        while let Some(inst) = replay.next_inst() {
+            trace.push(inst);
+        }
+        match replay.take_error() {
+            Some(e) => Err(e),
+            None => Ok(trace),
+        }
+    }
+
+    /// Reads `buf.len()` bytes from section `sec` starting `at` bytes
+    /// into the section.
+    fn read_section(&self, sec: usize, at: u64, buf: &mut [u8]) -> Result<(), CorpusError> {
+        debug_assert!(at + buf.len() as u64 <= self.sections[sec].byte_len);
+        read_exact_at(&self.file, buf, self.sections[sec].offset + at)?;
+        Ok(())
+    }
+}
+
+fn read_u64(bytes: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8 bytes"))
+}
+
+/// A paged cursor over one side column (`mem_addrs` or
+/// `branch_targets`), consumed positionally like
+/// [`PackedReplay`](crate::PackedReplay)'s side indices.
+#[derive(Debug)]
+struct SideCursor {
+    section: usize,
+    total: u64,
+    next: u64,
+    page_start: u64,
+    page_len: u64,
+    buf: Vec<u8>,
+}
+
+impl SideCursor {
+    fn new(section: usize, total: u64) -> SideCursor {
+        SideCursor {
+            section,
+            total,
+            next: 0,
+            page_start: 0,
+            page_len: 0,
+            buf: Vec::new(),
+        }
+    }
+
+    fn take(&mut self, corpus: &CorpusFile) -> Result<u64, CorpusError> {
+        let idx = self.next;
+        if idx >= self.total {
+            return Err(CorpusError::Format(format!(
+                "{} side column exhausted: the op stream demands more than {} records",
+                SECTION_NAMES[self.section], self.total
+            )));
+        }
+        if idx >= self.page_start + self.page_len || self.page_len == 0 {
+            let len = (self.total - idx).min(SIDE_PAGE);
+            self.buf.resize(len as usize * 8, 0);
+            corpus.read_section(self.section, idx * 8, &mut self.buf)?;
+            self.page_start = idx;
+            self.page_len = len;
+            fosm_obs::counter_add("corpus.pages", 1);
+        }
+        let k = (idx - self.page_start) as usize * 8;
+        self.next = idx + 1;
+        Ok(read_u64(&self.buf, k))
+    }
+}
+
+/// Chunk-paged replay cursor over a [`CorpusFile`].
+///
+/// Implements [`TraceSource`] with O(page) resident memory: the five
+/// per-instruction columns are fetched [`PAGE_INSTS`] instructions at
+/// a time, the two side columns [`SIDE_PAGE`] records at a time —
+/// about 1 MiB total, independent of trace length.
+///
+/// Errors (I/O failures, or column bytes that do not decode to a valid
+/// instruction) end the stream; check [`take_error`] after draining —
+/// the same contract as [`crate::io::TraceFileReader`].
+///
+/// [`PAGE_INSTS`]: self
+/// [`SIDE_PAGE`]: self
+/// [`take_error`]: FileReplay::take_error
+#[derive(Debug)]
+pub struct FileReplay<'a> {
+    corpus: &'a CorpusFile,
+    idx: u64,
+    page_start: u64,
+    page_len: u64,
+    pcs: Vec<u8>,
+    ops: Vec<u8>,
+    dests: Vec<u8>,
+    src0s: Vec<u8>,
+    src1s: Vec<u8>,
+    mem: SideCursor,
+    br: SideCursor,
+    error: Option<CorpusError>,
+}
+
+impl<'a> FileReplay<'a> {
+    fn new(corpus: &'a CorpusFile) -> FileReplay<'a> {
+        FileReplay {
+            corpus,
+            idx: 0,
+            page_start: 0,
+            page_len: 0,
+            pcs: Vec::new(),
+            ops: Vec::new(),
+            dests: Vec::new(),
+            src0s: Vec::new(),
+            src1s: Vec::new(),
+            mem: SideCursor::new(S_MEM, corpus.mems),
+            br: SideCursor::new(S_BR, corpus.branches),
+            error: None,
+        }
+    }
+
+    /// Instructions left to replay (zero after an error).
+    pub fn remaining(&self) -> u64 {
+        if self.error.is_some() {
+            0
+        } else {
+            self.corpus.insts - self.idx
+        }
+    }
+
+    /// Takes the error that ended the stream early, if any. A stream
+    /// that returned `None` with no error here was drained completely.
+    pub fn take_error(&mut self) -> Option<CorpusError> {
+        self.error.take()
+    }
+
+    fn refill(&mut self, at: u64) -> Result<(), CorpusError> {
+        let len = (self.corpus.insts - at).min(PAGE_INSTS);
+        self.pcs.resize(len as usize * 8, 0);
+        self.ops.resize(len as usize, 0);
+        self.dests.resize(len as usize, 0);
+        self.src0s.resize(len as usize, 0);
+        self.src1s.resize(len as usize, 0);
+        self.corpus.read_section(S_PCS, at * 8, &mut self.pcs)?;
+        self.corpus.read_section(S_OPS, at, &mut self.ops)?;
+        self.corpus.read_section(S_DESTS, at, &mut self.dests)?;
+        self.corpus.read_section(S_SRC0S, at, &mut self.src0s)?;
+        self.corpus.read_section(S_SRC1S, at, &mut self.src1s)?;
+        self.page_start = at;
+        self.page_len = len;
+        fosm_obs::counter_add("corpus.pages", 1);
+        Ok(())
+    }
+
+    fn decode_next(&mut self) -> Result<Option<Inst>, CorpusError> {
+        if self.idx >= self.corpus.insts {
+            return Ok(None);
+        }
+        if self.idx >= self.page_start + self.page_len || self.page_len == 0 {
+            self.refill(self.idx)?;
+        }
+        let k = (self.idx - self.page_start) as usize;
+        let raw = self.ops[k];
+        let op = *Op::ALL
+            .get((raw & !TAKEN_BIT) as usize)
+            .ok_or_else(|| bad_byte("op", self.idx, raw))?;
+        let mem_addr = if op.is_mem() {
+            Some(self.mem.take(self.corpus)?)
+        } else {
+            None
+        };
+        let branch = if op.is_branch() {
+            Some(BranchInfo {
+                taken: raw & TAKEN_BIT != 0,
+                target: self.br.take(self.corpus)?,
+            })
+        } else {
+            None
+        };
+        let inst = Inst {
+            pc: read_u64(&self.pcs, k * 8),
+            op,
+            dest: unpack_reg("dest", self.idx, self.dests[k])?,
+            srcs: [
+                unpack_reg("src0", self.idx, self.src0s[k])?,
+                unpack_reg("src1", self.idx, self.src1s[k])?,
+            ],
+            mem_addr,
+            branch,
+        };
+        self.idx += 1;
+        Ok(Some(inst))
+    }
+}
+
+fn bad_byte(column: &str, idx: u64, raw: u8) -> CorpusError {
+    CorpusError::Format(format!(
+        "instruction {idx}: {column} byte {raw:#04x} does not decode (corrupt column data)"
+    ))
+}
+
+fn unpack_reg(column: &str, idx: u64, byte: u8) -> Result<Option<Reg>, CorpusError> {
+    if byte == NO_REG {
+        return Ok(None);
+    }
+    match Reg::try_new(byte) {
+        Some(reg) => Ok(Some(reg)),
+        None => Err(bad_byte(column, idx, byte)),
+    }
+}
+
+impl TraceSource for FileReplay<'_> {
+    fn next_inst(&mut self) -> Option<Inst> {
+        if self.error.is_some() {
+            return None;
+        }
+        match self.decode_next() {
+            Ok(inst) => inst,
+            Err(e) => {
+                self.error = Some(e);
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VecTrace;
+
+    fn sample() -> Vec<Inst> {
+        vec![
+            Inst::nop(0),
+            Inst::alu(4, Op::IntAlu, Reg::new(1), None, Some(Reg::new(3))),
+            Inst::load(8, Reg::new(2), Some(Reg::new(1)), 0x100),
+            Inst::store(12, Reg::new(2), None, 0x108),
+            Inst::branch(16, Op::CondBranch, Some(Reg::new(2)), true, 0x40),
+            Inst::branch(20, Op::Jump, None, false, 0x44),
+        ]
+    }
+
+    fn temp_path(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "fosm-corpus-test-{}-{name}.fct",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn write_open_replay_round_trip() {
+        let insts = sample();
+        let path = temp_path("roundtrip");
+        let summary = write_corpus(&path, &PackedTrace::from_insts(&insts)).expect("write");
+        assert_eq!(summary.instructions, 6);
+        assert_eq!(summary.mem_records, 2);
+        assert_eq!(summary.branch_records, 2);
+
+        let corpus = CorpusFile::open(&path).expect("open");
+        assert_eq!(corpus.len(), 6);
+        assert_eq!(corpus.digest(), summary.digest);
+        assert_eq!(corpus.file_bytes(), summary.file_bytes);
+        corpus.verify().expect("verify");
+        let mut replay = corpus.replay();
+        let decoded: Vec<Inst> = replay.iter().collect();
+        assert!(replay.take_error().is_none());
+        assert_eq!(decoded, insts);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn empty_corpus_is_valid() {
+        let path = temp_path("empty");
+        let w = CorpusWriter::create(&path).expect("create");
+        assert!(w.is_empty());
+        w.finish().expect("finish");
+        let corpus = CorpusFile::open(&path).expect("open");
+        assert!(corpus.is_empty());
+        corpus.verify().expect("verify");
+        assert_eq!(corpus.replay().iter().count(), 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn streaming_build_matches_whole_trace_write() {
+        let insts: Vec<Inst> = sample().into_iter().cycle().take(1000).collect();
+        let a = temp_path("stream-a");
+        let b = temp_path("stream-b");
+        write_corpus(&a, &PackedTrace::from_insts(&insts)).expect("write");
+        let mut w = CorpusWriter::create(&b).expect("create");
+        let n = w
+            .append_source(&mut VecTrace::new(insts), u64::MAX)
+            .expect("append");
+        assert_eq!(n, 1000);
+        w.finish().expect("finish");
+        assert_eq!(
+            std::fs::read(&a).expect("a"),
+            std::fs::read(&b).expect("b"),
+            "the two build paths must produce identical bytes"
+        );
+        let _ = std::fs::remove_file(&a);
+        let _ = std::fs::remove_file(&b);
+    }
+
+    #[test]
+    fn paged_replay_crosses_page_boundaries_identically() {
+        // More instructions than one side page so the cursors repage.
+        let insts: Vec<Inst> = sample()
+            .into_iter()
+            .cycle()
+            .take(2 * SIDE_PAGE as usize + 7)
+            .collect();
+        let packed = PackedTrace::from_insts(&insts);
+        let path = temp_path("pages");
+        write_corpus(&path, &packed).expect("write");
+        let corpus = CorpusFile::open(&path).expect("open");
+        let mut file_replay = corpus.replay();
+        let mut mem_replay = packed.replay();
+        loop {
+            let a = file_replay.next_inst();
+            let b = mem_replay.next_inst();
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+        assert!(file_replay.take_error().is_none());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn open_rejects_wrong_magic_and_truncation() {
+        let path = temp_path("badmagic");
+        write_corpus(&path, &PackedTrace::from_insts(&sample())).expect("write");
+        let good = std::fs::read(&path).expect("read");
+
+        let mut bad = good.clone();
+        bad[7] = b'2';
+        std::fs::write(&path, &bad).expect("write bad");
+        assert!(matches!(
+            CorpusFile::open(&path),
+            Err(CorpusError::Format(why)) if why.contains("magic")
+        ));
+
+        std::fs::write(&path, &good[..good.len() - 3]).expect("truncate");
+        assert!(CorpusFile::open(&path).is_err(), "truncated file must fail");
+
+        std::fs::write(&path, &good[..40]).expect("behead");
+        assert!(matches!(
+            CorpusFile::open(&path),
+            Err(CorpusError::Format(why)) if why.contains("header")
+        ));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn verify_catches_a_flipped_section_byte() {
+        let path = temp_path("flip");
+        write_corpus(&path, &PackedTrace::from_insts(&sample())).expect("write");
+        let mut bytes = std::fs::read(&path).expect("read");
+        // Flip a bit in the first section's data (just past the header).
+        bytes[HEADER_LEN + 2] ^= 0x10;
+        std::fs::write(&path, &bytes).expect("tamper");
+        let corpus = CorpusFile::open(&path).expect("open still passes");
+        assert!(matches!(
+            corpus.verify(),
+            Err(CorpusError::Format(why)) if why.contains("checksum mismatch")
+        ));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn replay_reports_undecodable_bytes_instead_of_panicking() {
+        let path = temp_path("badop");
+        write_corpus(&path, &PackedTrace::from_insts(&sample())).expect("write");
+        let corpus = CorpusFile::open(&path).expect("open");
+        let ops_off = corpus.sections()[S_OPS].offset as usize;
+        drop(corpus);
+        let mut bytes = std::fs::read(&path).expect("read");
+        bytes[ops_off] = 0x7F; // op index 127: far out of range
+        std::fs::write(&path, &bytes).expect("tamper");
+        let corpus = CorpusFile::open(&path).expect("open");
+        let mut replay = corpus.replay();
+        assert_eq!(replay.next_inst(), None);
+        assert!(matches!(
+            replay.take_error(),
+            Some(CorpusError::Format(why)) if why.contains("op byte")
+        ));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn identity_changes_with_content() {
+        let path_a = temp_path("ident-a");
+        let path_b = temp_path("ident-b");
+        let mut insts = sample();
+        write_corpus(&path_a, &PackedTrace::from_insts(&insts)).expect("write");
+        insts[0].pc = 0x1234;
+        write_corpus(&path_b, &PackedTrace::from_insts(&insts)).expect("write");
+        let a = CorpusFile::open(&path_a).expect("open");
+        let b = CorpusFile::open(&path_b).expect("open");
+        assert_ne!(a.digest(), b.digest());
+        assert_ne!(a.identity(), b.identity());
+        let _ = std::fs::remove_file(&path_a);
+        let _ = std::fs::remove_file(&path_b);
+    }
+}

@@ -12,6 +12,11 @@
 //!   columns (~4x smaller), with zero-copy replay cursors,
 //! * [`SliceTrace`] — a borrowing replay cursor over recorded
 //!   instructions, for cloneless concurrent replays,
+//! * [`CorpusFile`]/[`FileReplay`] — versioned, checksummed on-disk
+//!   corpus files (`FOSMTRC1`) with a chunk-paged replay cursor whose
+//!   resident memory is O(page), not O(trace),
+//! * [`DecodedTrace`] — the pre-decoded replay sidecar (op, FU class,
+//!   latency, registers resolved once, replayed many times),
 //! * [`TraceStats`] — one-pass statistics over a trace (instruction
 //!   mix, branch demographics, register dependence distances),
 //! * adapters such as [`Take`] for bounding a stream.
@@ -35,17 +40,23 @@
 #![warn(missing_docs)]
 
 mod adapters;
+pub mod corpus;
 pub mod io;
 mod packed;
 mod sampling;
+pub mod sidecar;
 mod slice_trace;
 mod source;
 mod stats;
 mod vec_trace;
 
 pub use adapters::{Iter, Take};
+pub use corpus::{write_corpus, CorpusError, CorpusFile, CorpusSummary, CorpusWriter, FileReplay};
 pub use packed::{PackedReplay, PackedTrace};
 pub use sampling::Sampler;
+pub use sidecar::{
+    DecodedInst, DecodedReplay, DecodedTrace, DF_BRANCH, DF_COND, DF_LOAD, DF_STORE, DF_TAKEN,
+};
 pub use slice_trace::SliceTrace;
 pub use source::TraceSource;
 pub use stats::{DependenceHistogram, TraceStats};

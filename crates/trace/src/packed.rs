@@ -6,9 +6,9 @@ use serde::{Deserialize, Serialize};
 use crate::TraceSource;
 
 /// `ops` column bit marking a taken branch.
-const TAKEN_BIT: u8 = 0x80;
+pub(crate) const TAKEN_BIT: u8 = 0x80;
 /// `dests`/`src0s`/`src1s` sentinel for an absent register slot.
-const NO_REG: u8 = 0xFF;
+pub(crate) const NO_REG: u8 = 0xFF;
 
 /// An owned instruction trace in packed structure-of-arrays layout.
 ///

@@ -1,0 +1,433 @@
+//! Pre-decoded replay sidecar for corpus files.
+//!
+//! Replaying a corpus (or a packed trace) re-derives the same
+//! per-instruction facts on every pass: the op class from the packed
+//! byte, the functional-unit class and execution latency from the op,
+//! and the register slots from their sentinel encoding. A
+//! [`DecodedTrace`] is that work done **once**: flat, aligned columns
+//! of fully resolved per-instruction records ("translate once, replay
+//! many"). It is built from one paged pass over a
+//! [`CorpusFile`](crate::CorpusFile), serialized to a compact binary
+//! blob for the artifact-store disk cache, and replayed with
+//! [`DecodedReplay`] — a [`TraceSource`] with no file I/O, no paging
+//! checks, and no positional side-column bookkeeping, which is what
+//! makes warm re-replay much faster than a cold [`FileReplay`]
+//! (see `crates/bench/benches/functional.rs` for the enforced ratio).
+//!
+//! The sidecar never needs explicit invalidation: it is cached under
+//! the corpus *identity* (path + size + content digest), so a changed
+//! corpus file keys a different entry and the stale one simply ages
+//! out of the disk cache's LRU.
+
+use fosm_isa::{BranchInfo, Inst, LatencyTable, Op, Reg, NUM_OP_CLASSES};
+
+use crate::corpus::{CorpusError, CorpusFile};
+use crate::packed::NO_REG;
+use crate::TraceSource;
+
+/// Sidecar blob magic (bumped with any layout change).
+pub const SIDECAR_MAGIC: [u8; 8] = *b"FOSMSDC1";
+
+/// Flag bit: the instruction is a load.
+pub const DF_LOAD: u8 = 1 << 0;
+/// Flag bit: the instruction is a store.
+pub const DF_STORE: u8 = 1 << 1;
+/// Flag bit: the instruction is a branch (any kind).
+pub const DF_BRANCH: u8 = 1 << 2;
+/// Flag bit: the instruction is a *conditional* branch.
+pub const DF_COND: u8 = 1 << 3;
+/// Flag bit: the branch was taken.
+pub const DF_TAKEN: u8 = 1 << 4;
+
+/// All flag bits a valid record may carry.
+const DF_ALL: u8 = DF_LOAD | DF_STORE | DF_BRANCH | DF_COND | DF_TAKEN;
+
+/// One fully resolved instruction record, as yielded by
+/// [`DecodedTrace::records`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodedInst {
+    /// Program counter.
+    pub pc: u64,
+    /// Effective address (loads/stores) or branch target (branches);
+    /// zero otherwise. The two uses cannot collide: no op class is
+    /// both memory and branch.
+    pub aux: u64,
+    /// [`Op`] index.
+    pub op: u8,
+    /// Resolved functional-unit class index
+    /// ([`fosm_isa::FuClass::index`]).
+    pub fu: u8,
+    /// Execution latency under [`LatencyTable::default`], clamped to
+    /// 255. The op column stays authoritative for custom tables.
+    pub lat: u8,
+    /// Destination register number, `0xFF` when absent.
+    pub dest: u8,
+    /// First source register number, `0xFF` when absent.
+    pub src0: u8,
+    /// Second source register number, `0xFF` when absent.
+    pub src1: u8,
+    /// `DF_*` flag bits.
+    pub flags: u8,
+}
+
+/// The pre-decoded sidecar table: one resolved record per
+/// instruction, stored column-wise (23 bytes per instruction).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DecodedTrace {
+    pcs: Vec<u64>,
+    auxs: Vec<u64>,
+    ops: Vec<u8>,
+    fus: Vec<u8>,
+    lats: Vec<u8>,
+    dests: Vec<u8>,
+    src0s: Vec<u8>,
+    src1s: Vec<u8>,
+    flags: Vec<u8>,
+}
+
+impl DecodedTrace {
+    /// Decodes up to `n` instructions from any source.
+    pub fn from_source<S: TraceSource>(source: &mut S, n: u64) -> DecodedTrace {
+        let latencies = LatencyTable::default();
+        let mut t = DecodedTrace::default();
+        for _ in 0..n {
+            let Some(inst) = source.next_inst() else {
+                break;
+            };
+            t.push(&inst, &latencies);
+        }
+        t
+    }
+
+    /// Builds the sidecar from one paged pass over a corpus file.
+    ///
+    /// # Errors
+    ///
+    /// Any replay error (I/O or undecodable column bytes).
+    pub fn from_corpus(corpus: &CorpusFile) -> Result<DecodedTrace, CorpusError> {
+        let mut replay = corpus.replay();
+        let decoded = DecodedTrace::from_source(&mut replay, u64::MAX);
+        match replay.take_error() {
+            Some(e) => Err(e),
+            None if decoded.len() as u64 != corpus.len() => Err(CorpusError::Format(format!(
+                "decoded {} instructions but the header promises {}",
+                decoded.len(),
+                corpus.len()
+            ))),
+            None => Ok(decoded),
+        }
+    }
+
+    fn push(&mut self, inst: &Inst, latencies: &LatencyTable) {
+        self.pcs.push(inst.pc);
+        self.auxs
+            .push(inst.mem_addr.or(inst.branch.map(|b| b.target)).unwrap_or(0));
+        self.ops.push(inst.op.index() as u8);
+        self.fus.push(inst.op.fu_class().index() as u8);
+        self.lats.push(latencies.latency(inst.op).min(255) as u8);
+        self.dests.push(pack_reg(inst.dest));
+        self.src0s.push(pack_reg(inst.srcs[0]));
+        self.src1s.push(pack_reg(inst.srcs[1]));
+        let mut flags = 0u8;
+        if inst.op == Op::Load {
+            flags |= DF_LOAD;
+        }
+        if inst.op == Op::Store {
+            flags |= DF_STORE;
+        }
+        if inst.op.is_branch() {
+            flags |= DF_BRANCH;
+        }
+        if inst.op.is_cond_branch() {
+            flags |= DF_COND;
+        }
+        if inst.branch.is_some_and(|b| b.taken) {
+            flags |= DF_TAKEN;
+        }
+        self.flags.push(flags);
+    }
+
+    /// Instructions in the table.
+    pub fn len(&self) -> usize {
+        self.pcs.len()
+    }
+
+    /// Returns `true` if the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pcs.is_empty()
+    }
+
+    /// Heap footprint of the columns, in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        self.pcs.len() * 8 + self.auxs.len() * 8 + self.ops.len() * 7
+    }
+
+    /// A fresh replay cursor reconstructing [`Inst`]s — the fast
+    /// re-replay path: all columns are resident and index-aligned, so
+    /// each step is a handful of array reads.
+    pub fn replay(&self) -> DecodedReplay<'_> {
+        DecodedReplay {
+            trace: self,
+            idx: 0,
+        }
+    }
+
+    /// Iterates the flat resolved records without rebuilding `Inst`
+    /// structs — for consumers that only need the pre-decoded facts.
+    pub fn records(&self) -> impl Iterator<Item = DecodedInst> + '_ {
+        (0..self.len()).map(move |i| DecodedInst {
+            pc: self.pcs[i],
+            aux: self.auxs[i],
+            op: self.ops[i],
+            fu: self.fus[i],
+            lat: self.lats[i],
+            dest: self.dests[i],
+            src0: self.src0s[i],
+            src1: self.src1s[i],
+            flags: self.flags[i],
+        })
+    }
+
+    /// Serializes the table to the compact binary sidecar blob
+    /// (`FOSMSDC1`: magic, count, then each column contiguously).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let n = self.len();
+        let mut out = Vec::with_capacity(16 + n * 23);
+        out.extend_from_slice(&SIDECAR_MAGIC);
+        out.extend_from_slice(&(n as u64).to_le_bytes());
+        for &pc in &self.pcs {
+            out.extend_from_slice(&pc.to_le_bytes());
+        }
+        for &aux in &self.auxs {
+            out.extend_from_slice(&aux.to_le_bytes());
+        }
+        out.extend_from_slice(&self.ops);
+        out.extend_from_slice(&self.fus);
+        out.extend_from_slice(&self.lats);
+        out.extend_from_slice(&self.dests);
+        out.extend_from_slice(&self.src0s);
+        out.extend_from_slice(&self.src1s);
+        out.extend_from_slice(&self.flags);
+        out
+    }
+
+    /// Deserializes a sidecar blob, validating the magic, the exact
+    /// length, and every op/register/flag byte (a blob that passes
+    /// replays without panicking).
+    ///
+    /// # Errors
+    ///
+    /// A message describing the first structural problem.
+    pub fn from_bytes(bytes: &[u8]) -> Result<DecodedTrace, String> {
+        if bytes.len() < 16 {
+            return Err("sidecar blob shorter than its fixed header".to_string());
+        }
+        if bytes[..8] != SIDECAR_MAGIC {
+            return Err("sidecar blob has a foreign magic".to_string());
+        }
+        let n = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes")) as usize;
+        let want = 16usize
+            .checked_add(n.checked_mul(23).ok_or("sidecar count overflows")?)
+            .ok_or("sidecar count overflows")?;
+        if bytes.len() != want {
+            return Err(format!(
+                "sidecar blob is {} bytes but {n} records require {want}",
+                bytes.len()
+            ));
+        }
+        let mut at = 16;
+        let read_u64s = |at: &mut usize| {
+            let col: Vec<u64> = bytes[*at..*at + n * 8]
+                .chunks_exact(8)
+                .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+                .collect();
+            *at += n * 8;
+            col
+        };
+        let pcs = read_u64s(&mut at);
+        let auxs = read_u64s(&mut at);
+        let read_bytes = |at: &mut usize| {
+            let col = bytes[*at..*at + n].to_vec();
+            *at += n;
+            col
+        };
+        let ops = read_bytes(&mut at);
+        let fus = read_bytes(&mut at);
+        let lats = read_bytes(&mut at);
+        let dests = read_bytes(&mut at);
+        let src0s = read_bytes(&mut at);
+        let src1s = read_bytes(&mut at);
+        let flags = read_bytes(&mut at);
+        debug_assert_eq!(at, want);
+        for (i, &op) in ops.iter().enumerate() {
+            if op as usize >= NUM_OP_CLASSES {
+                return Err(format!("record {i}: op byte {op:#04x} out of range"));
+            }
+        }
+        for (name, col) in [("dest", &dests), ("src0", &src0s), ("src1", &src1s)] {
+            for (i, &b) in col.iter().enumerate() {
+                if b != NO_REG && Reg::try_new(b).is_none() {
+                    return Err(format!("record {i}: {name} byte {b:#04x} out of range"));
+                }
+            }
+        }
+        for (i, &f) in flags.iter().enumerate() {
+            if f & !DF_ALL != 0 {
+                return Err(format!("record {i}: unknown flag bits {f:#04x}"));
+            }
+        }
+        Ok(DecodedTrace {
+            pcs,
+            auxs,
+            ops,
+            fus,
+            lats,
+            dests,
+            src0s,
+            src1s,
+            flags,
+        })
+    }
+}
+
+fn pack_reg(reg: Option<Reg>) -> u8 {
+    reg.map_or(NO_REG, |r| r.number())
+}
+
+fn unpack_reg(byte: u8) -> Option<Reg> {
+    if byte == NO_REG {
+        None
+    } else {
+        Some(Reg::new(byte))
+    }
+}
+
+/// Replay cursor over a [`DecodedTrace`] — all columns resident and
+/// index-aligned, so reconstruction does no I/O and no positional
+/// bookkeeping.
+#[derive(Debug, Clone)]
+pub struct DecodedReplay<'a> {
+    trace: &'a DecodedTrace,
+    idx: usize,
+}
+
+impl DecodedReplay<'_> {
+    /// Instructions left to replay.
+    pub fn remaining(&self) -> usize {
+        self.trace.len() - self.idx
+    }
+}
+
+impl TraceSource for DecodedReplay<'_> {
+    fn next_inst(&mut self) -> Option<Inst> {
+        let t = self.trace;
+        let i = self.idx;
+        let &op = t.ops.get(i)?;
+        let op = Op::ALL[op as usize];
+        let flags = t.flags[i];
+        let aux = t.auxs[i];
+        let inst = Inst {
+            pc: t.pcs[i],
+            op,
+            dest: unpack_reg(t.dests[i]),
+            srcs: [unpack_reg(t.src0s[i]), unpack_reg(t.src1s[i])],
+            mem_addr: (flags & (DF_LOAD | DF_STORE) != 0).then_some(aux),
+            branch: (flags & DF_BRANCH != 0).then_some(BranchInfo {
+                taken: flags & DF_TAKEN != 0,
+                target: aux,
+            }),
+        };
+        self.idx = i + 1;
+        Some(inst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PackedTrace, VecTrace};
+
+    fn sample() -> Vec<Inst> {
+        vec![
+            Inst::nop(0),
+            Inst::alu(4, Op::IntAlu, Reg::new(1), None, Some(Reg::new(3))),
+            Inst::load(8, Reg::new(2), Some(Reg::new(1)), 0x100),
+            Inst::store(12, Reg::new(2), None, 0x108),
+            Inst::branch(16, Op::CondBranch, Some(Reg::new(2)), true, 0x40),
+            Inst::branch(20, Op::Jump, None, false, 0x44),
+        ]
+    }
+
+    #[test]
+    fn decoded_replay_is_bit_identical_to_the_source() {
+        let insts = sample();
+        let decoded = DecodedTrace::from_source(&mut VecTrace::new(insts.clone()), u64::MAX);
+        assert_eq!(decoded.len(), insts.len());
+        let replayed: Vec<Inst> = decoded.replay().iter().collect();
+        assert_eq!(replayed, insts);
+    }
+
+    #[test]
+    fn records_expose_resolved_facts() {
+        let decoded = DecodedTrace::from_source(&mut VecTrace::new(sample()), u64::MAX);
+        let records: Vec<DecodedInst> = decoded.records().collect();
+        let latencies = LatencyTable::default();
+        for (record, inst) in records.iter().zip(sample()) {
+            assert_eq!(record.op as usize, inst.op.index());
+            assert_eq!(record.fu as usize, inst.op.fu_class().index());
+            assert_eq!(record.lat as u32, latencies.latency(inst.op).min(255));
+            assert_eq!(record.flags & DF_LOAD != 0, inst.op == Op::Load);
+            assert_eq!(record.flags & DF_BRANCH != 0, inst.op.is_branch());
+            assert_eq!(
+                record.flags & DF_TAKEN != 0,
+                inst.branch.is_some_and(|b| b.taken)
+            );
+            if let Some(addr) = inst.mem_addr {
+                assert_eq!(record.aux, addr);
+            }
+            if let Some(b) = inst.branch {
+                assert_eq!(record.aux, b.target);
+            }
+        }
+    }
+
+    #[test]
+    fn blob_round_trip() {
+        let decoded = DecodedTrace::from_source(&mut VecTrace::new(sample()), u64::MAX);
+        let blob = decoded.to_bytes();
+        let back = DecodedTrace::from_bytes(&blob).expect("parses");
+        assert_eq!(back, decoded);
+    }
+
+    #[test]
+    fn from_bytes_rejects_malformed_blobs() {
+        let decoded = DecodedTrace::from_source(&mut VecTrace::new(sample()), u64::MAX);
+        let blob = decoded.to_bytes();
+        assert!(DecodedTrace::from_bytes(&blob[..blob.len() - 1]).is_err());
+        assert!(DecodedTrace::from_bytes(&blob[..4]).is_err());
+        let mut foreign = blob.clone();
+        foreign[0] = b'X';
+        assert!(DecodedTrace::from_bytes(&foreign).is_err());
+        // An op byte out of range must be caught, not replayed.
+        let mut bad_op = blob.clone();
+        bad_op[16 + 6 * 8 + 6 * 8] = 0xEE;
+        assert!(DecodedTrace::from_bytes(&bad_op)
+            .expect_err("bad op")
+            .contains("op byte"));
+    }
+
+    #[test]
+    fn from_corpus_matches_from_source() {
+        let insts: Vec<Inst> = sample().into_iter().cycle().take(500).collect();
+        let path = std::env::temp_dir().join(format!(
+            "fosm-sidecar-test-{}-corpus.fct",
+            std::process::id()
+        ));
+        crate::corpus::write_corpus(&path, &PackedTrace::from_insts(&insts)).expect("write");
+        let corpus = CorpusFile::open(&path).expect("open");
+        let from_corpus = DecodedTrace::from_corpus(&corpus).expect("sidecar");
+        let from_source = DecodedTrace::from_source(&mut VecTrace::new(insts), u64::MAX);
+        assert_eq!(from_corpus, from_source);
+        let _ = std::fs::remove_file(&path);
+    }
+}

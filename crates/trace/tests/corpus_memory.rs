@@ -1,0 +1,100 @@
+//! Resident-memory gate for the out-of-core data plane: replaying a
+//! corpus 10x longer than the default profiling length
+//! (`fosm-bench`'s `DEFAULT_TRACE_LEN` = 300k) must not grow the
+//! process high-water mark by more than a few page buffers — i.e. the
+//! paged `FileReplay` cursor really is O(page), with no decode-to-Vec
+//! anywhere on the path. Decoding this trace into memory would take
+//! ~45 MiB packed or ~170 MiB as `Inst` structs; the bound is far
+//! below either.
+//!
+//! Linux-only (reads `/proc/self/status`); kept as the only test in
+//! this binary so no sibling test inflates the measured peak.
+
+#![cfg(target_os = "linux")]
+
+use fosm_isa::{Inst, Op, Reg};
+use fosm_trace::{CorpusFile, CorpusWriter, TraceSource};
+
+/// 10x the bench harness's `DEFAULT_TRACE_LEN`.
+const TRACE_LEN: u64 = 3_000_000;
+
+/// Allowed VmHWM growth across the replay: a handful of page buffers
+/// (~1 MiB each for main + side pages) plus allocator slack.
+const MAX_GROWTH_KIB: u64 = 16 * 1024;
+
+/// Peak resident set size, in KiB, from `/proc/self/status`.
+fn vm_hwm_kib() -> u64 {
+    let status = std::fs::read_to_string("/proc/self/status").expect("/proc/self/status");
+    let line = status
+        .lines()
+        .find(|l| l.starts_with("VmHWM:"))
+        .expect("VmHWM line");
+    line.split_whitespace()
+        .nth(1)
+        .expect("VmHWM value")
+        .parse()
+        .expect("VmHWM parses")
+}
+
+/// A deterministic synthetic stream cycling through every instruction
+/// shape — no backing storage, so the writer's out-of-core build is
+/// exercised too.
+struct Synthetic {
+    i: u64,
+}
+
+impl TraceSource for Synthetic {
+    fn next_inst(&mut self) -> Option<Inst> {
+        let i = self.i;
+        self.i += 1;
+        let pc = i * 4;
+        let r = |n: u64| Reg::new((n % 48) as u8);
+        Some(match i % 5 {
+            0 => Inst::alu(pc, Op::IntAlu, r(i), Some(r(i + 1)), Some(r(i + 2))),
+            1 => Inst::load(pc, r(i), Some(r(i + 3)), (i * 8) & 0xFFFF),
+            2 => Inst::store(pc, r(i), None, (i * 8) & 0xFFFF),
+            3 => Inst::branch(pc, Op::CondBranch, Some(r(i)), i.is_multiple_of(3), pc + 64),
+            _ => Inst::alu(pc, Op::IntMul, r(i), Some(r(i + 1)), None),
+        })
+    }
+}
+
+#[test]
+fn paged_replay_of_a_10x_trace_keeps_memory_flat() {
+    let path = std::env::temp_dir().join(format!("fosm-corpus-rss-{}.fct", std::process::id()));
+
+    // Out-of-core build: stream 3M instructions straight to spills.
+    let mut writer = CorpusWriter::create(&path).expect("create writer");
+    let written = writer
+        .append_source(&mut Synthetic { i: 0 }, TRACE_LEN)
+        .expect("stream corpus");
+    assert_eq!(written, TRACE_LEN);
+    let summary = writer.finish().expect("finish corpus");
+    assert_eq!(summary.instructions, TRACE_LEN);
+
+    let corpus = CorpusFile::open(&path).expect("open corpus");
+    let before = vm_hwm_kib();
+
+    // Drain the paged cursor end to end, consuming every field so the
+    // decode cannot be optimized away.
+    let mut replay = corpus.replay();
+    let mut acc = 0u64;
+    let mut count = 0u64;
+    while let Some(inst) = replay.next_inst() {
+        acc ^= inst.pc ^ inst.mem_addr.unwrap_or(0) ^ inst.branch.map_or(0, |b| b.target);
+        count += 1;
+    }
+    assert!(replay.take_error().is_none());
+    assert_eq!(count, TRACE_LEN);
+    assert_ne!(acc, 0);
+
+    let after = vm_hwm_kib();
+    let growth = after.saturating_sub(before);
+    assert!(
+        growth <= MAX_GROWTH_KIB,
+        "replaying {TRACE_LEN} instructions grew VmHWM by {growth} KiB \
+         (bound {MAX_GROWTH_KIB} KiB): the cursor is not O(page)"
+    );
+
+    let _ = std::fs::remove_file(&path);
+}

@@ -115,48 +115,70 @@ impl CaseSpec {
     /// The all-ideal variant (simulation set 1): perfect caches,
     /// perfect branch prediction, perfect TLB.
     pub fn ideal_variant(&self) -> MachineConfig {
-        MachineConfig {
-            hierarchy: HierarchyConfig::ideal(),
-            predictor: PredictorConfig::Ideal,
-            dtlb: None,
-            ..self.config.clone()
-        }
+        ideal_variant_of(&self.config)
     }
 
     /// Only the branch predictor real (simulation set 3).
     pub fn branch_variant(&self) -> MachineConfig {
-        MachineConfig {
-            predictor: self.config.predictor,
-            ..self.ideal_variant()
-        }
+        branch_variant_of(&self.config)
     }
 
     /// Only the instruction cache real (simulation set 4).
     pub fn icache_variant(&self) -> MachineConfig {
-        MachineConfig {
-            hierarchy: HierarchyConfig {
-                l1i: self.config.hierarchy.l1i,
-                l1d: None,
-                l2: self.config.hierarchy.l2,
-                next_line_prefetch: 0,
-            },
-            ..self.ideal_variant()
-        }
+        icache_variant_of(&self.config)
     }
 
     /// Only the data side real (simulation set 5): data cache plus the
     /// data TLB, whose misses the simulator also charges to loads.
     pub fn dcache_variant(&self) -> MachineConfig {
-        MachineConfig {
-            hierarchy: HierarchyConfig {
-                l1i: None,
-                l1d: self.config.hierarchy.l1d,
-                l2: self.config.hierarchy.l2,
-                next_line_prefetch: self.config.hierarchy.next_line_prefetch,
-            },
-            dtlb: self.config.dtlb,
-            ..self.ideal_variant()
-        }
+        dcache_variant_of(&self.config)
+    }
+}
+
+/// The all-ideal variant of an arbitrary configuration (simulation
+/// set 1): perfect caches, perfect branch prediction, perfect TLB.
+pub fn ideal_variant_of(config: &MachineConfig) -> MachineConfig {
+    MachineConfig {
+        hierarchy: HierarchyConfig::ideal(),
+        predictor: PredictorConfig::Ideal,
+        dtlb: None,
+        ..config.clone()
+    }
+}
+
+/// Only the branch predictor real (simulation set 3).
+pub fn branch_variant_of(config: &MachineConfig) -> MachineConfig {
+    MachineConfig {
+        predictor: config.predictor,
+        ..ideal_variant_of(config)
+    }
+}
+
+/// Only the instruction cache real (simulation set 4).
+pub fn icache_variant_of(config: &MachineConfig) -> MachineConfig {
+    MachineConfig {
+        hierarchy: HierarchyConfig {
+            l1i: config.hierarchy.l1i,
+            l1d: None,
+            l2: config.hierarchy.l2,
+            next_line_prefetch: 0,
+        },
+        ..ideal_variant_of(config)
+    }
+}
+
+/// Only the data side real (simulation set 5): data cache plus the
+/// data TLB, whose misses the simulator also charges to loads.
+pub fn dcache_variant_of(config: &MachineConfig) -> MachineConfig {
+    MachineConfig {
+        hierarchy: HierarchyConfig {
+            l1i: None,
+            l1d: config.hierarchy.l1d,
+            l2: config.hierarchy.l2,
+            next_line_prefetch: config.hierarchy.next_line_prefetch,
+        },
+        dtlb: config.dtlb,
+        ..ideal_variant_of(config)
     }
 }
 
@@ -317,43 +339,17 @@ fn run_case_with(
     let est_icache = model.evaluate(&profile_icache)?;
     let est_dcache = model.evaluate(&profile_dcache)?;
 
-    // Short data misses are folded into `L` (paper §4.3), so a real
-    // D-cache's steady state exceeds the ideal hierarchy's by the
-    // folded amount; the simulator's dcache-only delta contains it.
-    let short_fold = est_dcache.steady_state_cpi - est_ideal.steady_state_cpi;
-
-    let pairs = [
-        (Component::Base, est_ideal.steady_state_cpi, sim_ideal.cpi()),
-        (
-            Component::Branch,
-            est_branch.branch_cpi,
-            sim_branch.cpi() - sim_ideal.cpi(),
-        ),
-        (
-            Component::ICache,
-            est_icache.icache_l1_cpi + est_icache.icache_l2_cpi,
-            sim_icache.cpi() - sim_ideal.cpi(),
-        ),
-        (
-            Component::DCache,
-            est_dcache.dcache_cpi + est_dcache.dtlb_cpi + short_fold,
-            sim_dcache.cpi() - sim_ideal.cpi(),
-        ),
-        (Component::Total, est_full.total_cpi(), sim_full.cpi()),
-    ];
-    let components = pairs
-        .into_iter()
-        .map(|(component, model, sim)| {
-            let band = tol.band(component);
-            ComponentRow {
-                component,
-                model,
-                sim,
-                allowed: band.allowed(sim),
-                within: band.accepts(model, sim),
-            }
-        })
-        .collect();
+    let components = compare_components(
+        [&est_full, &est_ideal, &est_branch, &est_icache, &est_dcache],
+        [
+            sim_full.cpi(),
+            sim_ideal.cpi(),
+            sim_branch.cpi(),
+            sim_icache.cpi(),
+            sim_dcache.cpi(),
+        ],
+        tol,
+    );
 
     // Per-event diff: the model's effective per-event penalties (from
     // the full-machine estimate) against the traced event stream.
@@ -375,6 +371,163 @@ fn run_case_with(
         statsim_cpi,
         event_diff,
     })
+}
+
+/// The per-component model-vs-simulator comparison shared by the
+/// workload and corpus case paths. Estimates and simulator CPIs are
+/// both ordered `[full, ideal, branch, icache, dcache]`.
+fn compare_components(
+    ests: [&fosm_core::model::Estimate; 5],
+    sims: [f64; 5],
+    tol: &ToleranceSpec,
+) -> Vec<ComponentRow> {
+    let [est_full, est_ideal, est_branch, est_icache, est_dcache] = ests;
+    let [sim_full, sim_ideal, sim_branch, sim_icache, sim_dcache] = sims;
+
+    // Short data misses are folded into `L` (paper §4.3), so a real
+    // D-cache's steady state exceeds the ideal hierarchy's by the
+    // folded amount; the simulator's dcache-only delta contains it.
+    let short_fold = est_dcache.steady_state_cpi - est_ideal.steady_state_cpi;
+
+    let pairs = [
+        (Component::Base, est_ideal.steady_state_cpi, sim_ideal),
+        (
+            Component::Branch,
+            est_branch.branch_cpi,
+            sim_branch - sim_ideal,
+        ),
+        (
+            Component::ICache,
+            est_icache.icache_l1_cpi + est_icache.icache_l2_cpi,
+            sim_icache - sim_ideal,
+        ),
+        (
+            Component::DCache,
+            est_dcache.dcache_cpi + est_dcache.dtlb_cpi + short_fold,
+            sim_dcache - sim_ideal,
+        ),
+        (Component::Total, est_full.total_cpi(), sim_full),
+    ];
+    pairs
+        .into_iter()
+        .map(|(component, model, sim)| {
+            let band = tol.band(component);
+            ComponentRow {
+                component,
+                model,
+                sim,
+                allowed: band.allowed(sim),
+                within: band.accepts(model, sim),
+            }
+        })
+        .collect()
+}
+
+/// One corpus-file validation case: a machine configuration against an
+/// on-disk `FOSMTRC1` corpus instead of a generated workload.
+#[derive(Debug, Clone)]
+pub struct CorpusCase {
+    /// Full machine configuration (variants are derived from it).
+    pub config: MachineConfig,
+    /// Path of the corpus file to validate against.
+    pub path: std::path::PathBuf,
+}
+
+/// Runs one corpus-file validation case: the same five simulator
+/// variants and five matched profiles as [`run_case`], but sourced
+/// from an on-disk corpus through the store's corpus paths (paged
+/// replay plus the memoized pre-decoded sidecar). The miss-event diff
+/// is omitted — the traced-run harness is workload-keyed — so
+/// `event_diff` is empty and the case is named after the file stem.
+///
+/// # Errors
+///
+/// [`ModelError::Corpus`] if the file cannot be opened or is corrupt,
+/// plus everything [`run_case`] can return.
+pub fn run_corpus_case(
+    store: &ArtifactStore,
+    case: &CorpusCase,
+    tol: &ToleranceSpec,
+) -> Result<CaseResult, ModelError> {
+    let _span = fosm_obs::span("validate_corpus_case");
+    let corpus = fosm_trace::CorpusFile::open(&case.path)
+        .map_err(|e| ModelError::Corpus(format!("{}: {e}", case.path.display())))?;
+    let bench = case
+        .path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| case.path.display().to_string());
+
+    let variants = [
+        case.config.clone(),
+        ideal_variant_of(&case.config),
+        branch_variant_of(&case.config),
+        icache_variant_of(&case.config),
+        dcache_variant_of(&case.config),
+    ];
+    let mut sims = [0.0f64; 5];
+    for (slot, config) in sims.iter_mut().zip(&variants) {
+        *slot = store.simulate_corpus(config, &corpus)?.cpi();
+    }
+
+    let params = harness::params_of(&case.config);
+    let bank: ProbeBank = variants
+        .iter()
+        .map(|config| Probe {
+            hierarchy: config.hierarchy,
+            predictor: config.predictor,
+            dtlb: None,
+            name: bench.clone(),
+        })
+        .collect();
+    let profiles = store.profile_many_corpus(&params, &bank, &corpus)?;
+    let model = FirstOrderModel::new(params);
+    let ests = [
+        model.evaluate(&profiles[0])?,
+        model.evaluate(&profiles[1])?,
+        model.evaluate(&profiles[2])?,
+        model.evaluate(&profiles[3])?,
+        model.evaluate(&profiles[4])?,
+    ];
+    let components = compare_components(
+        [&ests[0], &ests[1], &ests[2], &ests[3], &ests[4]],
+        sims,
+        tol,
+    );
+
+    Ok(CaseResult {
+        bench,
+        components,
+        statsim_cpi: None,
+        event_diff: Vec::new(),
+    })
+}
+
+/// Fans [`run_corpus_case`] over a list of corpus files under one
+/// shared configuration, preserving input order. Each worker opens its
+/// own [`fosm_trace::CorpusFile`] (its own file descriptor), so the
+/// paged cursors never contend on seek state.
+///
+/// # Errors
+///
+/// Returns the first case's error (in input order) if any case fails.
+pub fn corpus_sweep(
+    store: &ArtifactStore,
+    config: &MachineConfig,
+    paths: &[std::path::PathBuf],
+    tol: &ToleranceSpec,
+    threads: usize,
+) -> Result<Vec<CaseResult>, ModelError> {
+    let cases: Vec<CorpusCase> = paths
+        .iter()
+        .map(|path| CorpusCase {
+            config: config.clone(),
+            path: path.clone(),
+        })
+        .collect();
+    par::par_map(&cases, threads, |case| run_corpus_case(store, case, tol))
+        .into_iter()
+        .collect()
 }
 
 /// Fans [`run_case`] over a case list, preserving input order.
@@ -537,6 +690,76 @@ mod tests {
         }
         let branch = &result.event_diff[0];
         assert!(branch.sim_events > 0, "gzip mispredicts under the baseline");
+    }
+
+    #[test]
+    fn corpus_case_matches_the_workload_case_on_the_same_stream() {
+        // A corpus written from the workload's recorded trace must
+        // validate to bit-identical component rows: the file round
+        // trip and the sidecar replay are both exact.
+        let case = CaseSpec {
+            config: MachineConfig::baseline(),
+            bench: BenchmarkSpec::gzip(),
+            trace_len: 20_000,
+            seed: harness::SEED,
+        };
+        let path = std::env::temp_dir().join(format!(
+            "fosm-validate-corpus-{}-gzip.fct",
+            std::process::id()
+        ));
+        let trace = harness::record_seeded(&case.bench, case.trace_len, case.seed);
+        fosm_trace::write_corpus(&path, &trace).expect("write corpus");
+
+        let store = ArtifactStore::new();
+        let from_workload = run_case(&store, &case, &ToleranceSpec::gate()).expect("workload case");
+        let corpus_case = CorpusCase {
+            config: case.config.clone(),
+            path: path.clone(),
+        };
+        let from_corpus =
+            run_corpus_case(&store, &corpus_case, &ToleranceSpec::gate()).expect("corpus case");
+        for (a, b) in from_workload.components.iter().zip(&from_corpus.components) {
+            assert_eq!(a.component, b.component);
+            assert_eq!(a.model.to_bits(), b.model.to_bits(), "{:?}", a.component);
+            assert_eq!(a.sim.to_bits(), b.sim.to_bits(), "{:?}", a.component);
+        }
+        assert!(from_corpus.event_diff.is_empty());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corpus_sweep_shards_files_across_workers_in_order() {
+        let config = MachineConfig::baseline();
+        let mut paths = Vec::new();
+        for (i, spec) in [BenchmarkSpec::gzip(), BenchmarkSpec::gcc()]
+            .iter()
+            .enumerate()
+        {
+            let path = std::env::temp_dir().join(format!(
+                "fosm-validate-sweep-{}-{i}.fct",
+                std::process::id()
+            ));
+            let trace = harness::record_seeded(spec, 10_000, harness::SEED);
+            fosm_trace::write_corpus(&path, &trace).expect("write corpus");
+            paths.push(path);
+        }
+        let store = ArtifactStore::new();
+        let results = corpus_sweep(&store, &config, &paths, &ToleranceSpec::gate(), 2)
+            .expect("corpus sweep runs");
+        let names: Vec<&str> = results.iter().map(|r| r.bench.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                paths[0].file_stem().unwrap().to_str().unwrap(),
+                paths[1].file_stem().unwrap().to_str().unwrap(),
+            ]
+        );
+        for r in &results {
+            assert_eq!(r.components.len(), Component::ALL.len());
+        }
+        for path in &paths {
+            let _ = std::fs::remove_file(path);
+        }
     }
 
     #[test]
