@@ -265,6 +265,40 @@ fn functional_toolchain(c: &mut Criterion) {
         })
     });
 
+    // Telemetry primitive budget: histogram recording sits on the
+    // daemon's per-request path (six samples per request), so the
+    // per-sample cost must stay down at relaxed-atomic-increment
+    // scale; merge is the scoped-registry absorb path (64 saturating
+    // bucket adds), paid once per request per histogram.
+    let (hist_a, hist_b) = {
+        let a = fosm_obs::Histogram::new();
+        let b = fosm_obs::Histogram::new();
+        for i in 0..1_000u64 {
+            a.record(i * 37);
+            b.record(i * 91);
+        }
+        (a.snapshot(), b.snapshot())
+    };
+    group.throughput(Throughput::Elements(1_000));
+    group.bench_function("hist-record-x1k", |b| {
+        b.iter(|| {
+            let h = fosm_obs::Histogram::new();
+            for i in 0..1_000u64 {
+                h.record(black_box(i.wrapping_mul(0x9e37_79b9_7f4a_7c15)));
+            }
+            black_box(h.count())
+        })
+    });
+
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("hist-merge", |b| {
+        b.iter(|| {
+            let mut merged = hist_a;
+            merged.merge(black_box(&hist_b));
+            black_box(merged.count)
+        })
+    });
+
     group.finish();
     let _ = std::fs::remove_file(&corpus_path);
 }

@@ -405,8 +405,16 @@ impl ArtifactStore {
         for slot in &slots {
             if slot.is_some() {
                 self.profile_traffic.hit();
+                // Live scoped counters alongside the run-boundary
+                // `StoreStats::observe_into` flush (which uses the
+                // `store.profile.hits`/`misses` names): a daemon
+                // request's scoped registry sees its own memo traffic
+                // immediately, without double-counting the flushed
+                // aggregate.
+                fosm_obs::counter_add("store.profile.memo_hits", 1);
             } else {
                 self.profile_traffic.miss();
+                fosm_obs::counter_add("store.profile.memo_misses", 1);
             }
         }
         // Read memory-missing probes through the disk cache before

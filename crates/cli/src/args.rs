@@ -6,7 +6,17 @@ use std::str::FromStr;
 
 /// Flags that take no value (`--ideal` style).
 const BOOLEAN_FLAGS: &[&str] = &[
-    "ideal", "fu", "check", "statsim", "frontier", "local", "seq", "verify",
+    "ideal",
+    "fu",
+    "check",
+    "statsim",
+    "frontier",
+    "local",
+    "seq",
+    "verify",
+    "once",
+    "json",
+    "no-telemetry",
 ];
 
 /// Parsed command-line arguments: positionals in order, flags by name.
@@ -104,6 +114,19 @@ mod tests {
         assert!(p.has("check"));
         assert!(p.has("statsim"));
         assert_eq!(p.flag_or("insts", 0u64).unwrap(), 5_000);
+    }
+
+    #[test]
+    fn adjacent_boolean_flags_do_not_eat_each_other() {
+        // `fosm top --once --json` and `serve --no-telemetry --port-file P`
+        // both rely on boolean flags never consuming the next token.
+        let p = parse(&["--once", "--json", "--addr", "a:1"]);
+        assert!(p.has("once"));
+        assert!(p.has("json"));
+        assert_eq!(p.flag("addr"), Some("a:1"));
+        let p = parse(&["--no-telemetry", "--port-file", "p"]);
+        assert!(p.has("no-telemetry"));
+        assert_eq!(p.flag("port-file"), Some("p"));
     }
 
     #[test]

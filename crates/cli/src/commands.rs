@@ -863,9 +863,11 @@ pub fn trace(args: Parsed) -> Result<(), String> {
 /// `fosm metrics diff <a.json> <b.json> [--max-regress PCT]`
 ///
 /// Compares two run manifests written via `--metrics`/`FOSM_METRICS`:
-/// counter deltas, gauge deltas, and span `total_ns` ratios. With
-/// `--max-regress`, exits non-zero when any counter or span timing
-/// grew by more than the given percentage (gauges are informational).
+/// counter deltas, gauge deltas, span `total_ns` ratios, and histogram
+/// summaries (`count`/`p50`/`p99` per histogram). With `--max-regress`,
+/// exits non-zero when any counter, span timing, or histogram quantile
+/// grew by more than the given percentage (gauges and histogram counts
+/// are informational).
 pub fn metrics(args: Parsed) -> Result<(), String> {
     match args.positional(0, "metrics subcommand (try `diff`)")? {
         "diff" => metrics_diff(&args),
@@ -930,8 +932,30 @@ fn metrics_diff(args: &Parsed) -> Result<(), String> {
             }
         }
     }
+    let rows = merged_numbers(hist_summaries(&a), hist_summaries(&b));
+    if !rows.is_empty() {
+        println!("hists (count/p50/p99):");
+        for (key, va, vb) in rows {
+            if va == vb {
+                continue;
+            }
+            changed += 1;
+            let pct = if va != 0.0 {
+                100.0 * (vb - va) / va
+            } else {
+                f64::INFINITY
+            };
+            println!("  {key:<40} {va:>14} -> {vb:<14} ({pct:+.1}%)");
+            // Quantile growth is a latency regression; counts are
+            // informational (serving more requests is not slower).
+            let gated = key.ends_with(".p50") || key.ends_with(".p99");
+            if gated && vb > va && exceeds(pct, max_regress) {
+                regressions.push(format!("hists.{key} grew {pct:+.1}%"));
+            }
+        }
+    }
     if changed == 0 {
-        println!("no differences in counters, gauges, or span totals");
+        println!("no differences in counters, gauges, span totals, or hists");
     }
     if !regressions.is_empty() {
         for r in &regressions {
@@ -970,6 +994,24 @@ fn num_map(manifest: &serde::Value, section: &str) -> Vec<(String, f64)> {
             if let serde::Value::Num(raw) = value {
                 if let Ok(v) = raw.parse() {
                     out.push((key.clone(), v));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Flattens each histogram in the `"hists"` section into its summary
+/// numbers, keyed `{name}.count` / `{name}.p50` / `{name}.p99`.
+fn hist_summaries(manifest: &serde::Value) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    if let Some(serde::Value::Map(entries)) = manifest.get("hists") {
+        for (key, value) in entries {
+            for field in ["count", "p50", "p99"] {
+                if let Some(serde::Value::Num(raw)) = value.get(field) {
+                    if let Ok(v) = raw.parse() {
+                        out.push((format!("{key}.{field}"), v));
+                    }
                 }
             }
         }

@@ -95,6 +95,7 @@ fn run(argv: Vec<String>) -> Result<(), String> {
         "serve" => serve_cmd::serve(args::Parsed::new(rest)?),
         "client" => serve_cmd::client(args::Parsed::new(rest)?),
         "loadgen" => serve_cmd::loadgen(args::Parsed::new(rest)?),
+        "top" => serve_cmd::top(args::Parsed::new(rest)?),
         "bench-list" => commands::bench_list(),
         "help" | "--help" | "-h" => {
             print_usage();
@@ -127,6 +128,7 @@ USAGE:
     fosm serve   [serve flags]
     fosm client  <action> (--addr HOST:PORT | --local) [request flags]
     fosm loadgen --addr HOST:PORT [loadgen flags]
+    fosm top     --addr HOST:PORT [--interval MS] [--once] [--json]
     fosm bench-list
 
     Any command also accepts --metrics <path> to write a JSON run
@@ -178,11 +180,20 @@ SERVE FLAGS (fosm serve — model-as-a-service daemon):
     --workers N       worker-pool threads       (all cores)
     --batch-window MS request-batching window   (2)
     --port-file P     write the bound address to P
+    --no-telemetry    disable per-request histograms + flight recorder
     Set FOSM_CACHE_DIR to persist trace/profile artifacts on disk
     across restarts (FOSM_CACHE_MAX_BYTES caps the cache size).
+    FOSM_FLIGHT_CAP sets the flight-recorder ring size (default 256).
+
+TOP FLAGS (fosm top — live daemon telemetry):
+    --interval MS     refresh period in live mode        (1000)
+    --once            print one snapshot and exit
+    --json            print the raw schema-versioned telemetry JSON
+                      body instead of the table (--once --json is the
+                      CI-friendly form)
 
 CLIENT ACTIONS (fosm client — one request per invocation):
-    ping | stats | shutdown
+    ping | stats | telemetry | shutdown
     profile | model      [--bench NAME] [--insts N] [--seed S]
                          [--probe full|ideal|branch|icache|dcache]
                          [machine flags]

@@ -1,12 +1,14 @@
-//! The daemon-facing subcommands: `fosm serve`, `fosm client`, and
-//! `fosm loadgen`.
+//! The daemon-facing subcommands: `fosm serve`, `fosm client`,
+//! `fosm loadgen`, and `fosm top`.
 //!
 //! `serve` runs the model-as-a-service daemon from `fosm-serve`;
 //! `client` speaks its protocol (or, with `--local`, executes the same
 //! request in-process through the identical `Service` code path, which
 //! is what makes daemon responses byte-comparable to one-shot runs);
 //! `loadgen` drives a daemon with concurrent clients and records
-//! latency/throughput into `BENCH_serve.json`.
+//! latency/throughput into `BENCH_serve.json`; `top` polls the
+//! daemon's telemetry snapshot and renders the phase histograms, pool
+//! counters, and flight-recorder tail as a live table.
 
 use std::io::Write;
 use std::sync::Arc;
@@ -32,11 +34,13 @@ fn env_store() -> Arc<ArtifactStore> {
 }
 
 /// `fosm serve [--addr A] [--workers N] [--batch-window MS]
-/// [--port-file P]`
+/// [--port-file P] [--no-telemetry]`
 ///
 /// Runs until a client sends `shutdown`. Prints `listening on <addr>`
 /// (with the real port when `--addr` ends in `:0`) before accepting,
 /// and optionally writes the address to `--port-file` for scripts.
+/// `--no-telemetry` turns the per-request histograms and flight
+/// recorder off (the overhead-measurement baseline).
 pub fn serve(args: Parsed) -> Result<(), String> {
     let addr = args.flag("addr").unwrap_or("127.0.0.1:0");
     let workers: usize = args
@@ -48,6 +52,9 @@ pub fn serve(args: Parsed) -> Result<(), String> {
         workers,
         Duration::from_millis(window_ms),
     ));
+    if args.has("no-telemetry") {
+        service.telemetry().set_enabled(false);
+    }
     let handle =
         fosm_serve::server::start(service, addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
     println!("listening on {}", handle.addr());
@@ -108,6 +115,7 @@ fn build_request(action: &str, args: &Parsed) -> Result<Request, String> {
     Ok(match action {
         "ping" => Request::Ping,
         "stats" => Request::Stats,
+        "telemetry" => Request::Telemetry,
         "shutdown" => Request::Shutdown,
         "profile" => Request::Profile(profile_request(args)?),
         "model" => Request::Model(profile_request(args)?),
@@ -130,8 +138,8 @@ fn build_request(action: &str, args: &Parsed) -> Result<Request, String> {
         }),
         other => {
             return Err(format!(
-                "unknown client action `{other}` (expected ping, stats, shutdown, \
-                 profile, model, validate, or explore)"
+                "unknown client action `{other}` (expected ping, stats, telemetry, \
+                 shutdown, profile, model, validate, or explore)"
             ))
         }
     })
@@ -145,7 +153,7 @@ fn build_request(action: &str, args: &Parsed) -> Result<Request, String> {
 pub fn client(args: Parsed) -> Result<(), String> {
     let action = args.positional(
         0,
-        "client action (ping|stats|shutdown|profile|model|validate|explore)",
+        "client action (ping|stats|telemetry|shutdown|profile|model|validate|explore)",
     )?;
     let req = build_request(action, &args)?;
     let response = if args.has("local") {
@@ -267,6 +275,10 @@ pub fn loadgen(args: Parsed) -> Result<(), String> {
         p50.as_secs_f64() * 1e3,
         p99.as_secs_f64() * 1e3
     );
+    // The bucketed view next to the exact one, so drift between the
+    // shared histogram primitive and the oracle would show up right
+    // here in the bench log.
+    println!("  {}", concurrent.hist_summary("latency"));
 
     let mut entries = vec![
         ("serve/p50".to_string(), p50.as_nanos() as f64),
@@ -318,4 +330,192 @@ pub fn loadgen(args: Parsed) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// Reads a number out of the shim's JSON tree (the shim keeps numeric
+/// literals as text); absent or non-numeric reads as 0 so a partial
+/// snapshot degrades to zeros instead of failing the render.
+fn json_u64(v: Option<&serde::Value>) -> u64 {
+    match v {
+        Some(serde::Value::Num(text)) => text.parse().unwrap_or(0),
+        _ => 0,
+    }
+}
+
+/// Reads a string out of the shim's JSON tree; absent reads as `?`.
+fn json_str(v: Option<&serde::Value>) -> &str {
+    match v {
+        Some(serde::Value::Str(text)) => text.as_str(),
+        _ => "?",
+    }
+}
+
+/// Renders one telemetry snapshot as the `fosm top` table. Pure
+/// string-building so tests can assert on the output without a
+/// terminal.
+fn render_top(addr: &str, body: &str) -> Result<String, String> {
+    let v: serde::Value = serde_json::from_str(body.trim_end())
+        .map_err(|e| format!("daemon sent malformed telemetry JSON: {e:?}"))?;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "fosm top — {addr} (telemetry schema v{}, {} requests recorded{})\n",
+        json_u64(v.get("fosm_telemetry")),
+        json_u64(v.get("requests")),
+        if matches!(v.get("enabled"), Some(serde::Value::Bool(false))) {
+            ", TELEMETRY DISABLED"
+        } else {
+            ""
+        },
+    ));
+    if let Some(pool) = v.get("pool") {
+        out.push_str(&format!(
+            "pool : {} workers, {} executed, {} steals, {} parks, {} caller-runs, \
+             queue depth {}\n",
+            json_u64(pool.get("workers")),
+            json_u64(pool.get("executed")),
+            json_u64(pool.get("steals")),
+            json_u64(pool.get("parks")),
+            json_u64(pool.get("caller_runs")),
+            json_u64(pool.get("queue_depth")),
+        ));
+    }
+    if let Some(batch) = v.get("batch") {
+        out.push_str(&format!(
+            "batch: {} passes, {} requests coalesced\n",
+            json_u64(batch.get("passes")),
+            json_u64(batch.get("coalesced")),
+        ));
+    }
+    out.push_str(&format!(
+        "\n{:<32} {:>8} {:>12} {:>12} {:>12}\n",
+        "histogram", "count", "p50 <=", "p99 <=", "max"
+    ));
+    if let Some(serde::Value::Map(hists)) = v.get("hists") {
+        for (name, hist) in hists {
+            out.push_str(&format!(
+                "{:<32} {:>8} {:>12} {:>12} {:>12}\n",
+                name,
+                json_u64(hist.get("count")),
+                json_u64(hist.get("p50")),
+                json_u64(hist.get("p99")),
+                json_u64(hist.get("max")),
+            ));
+        }
+    }
+    if let Some(flight) = v.get("flight") {
+        out.push_str(&format!(
+            "\nflight recorder (capacity {}, {} dropped):\n",
+            json_u64(flight.get("capacity")),
+            json_u64(flight.get("dropped")),
+        ));
+        if let Some(serde::Value::Seq(records)) = flight.get("records") {
+            const TAIL: usize = 10;
+            for rec in records.iter().skip(records.len().saturating_sub(TAIL)) {
+                out.push_str(&format!(
+                    "  #{:<6} {:<10} {:<14} total {:>8} us \
+                     (queue {} + batch {} + exec {} us, {} B{})\n",
+                    json_u64(rec.get("seq")),
+                    json_str(rec.get("kind")),
+                    json_str(rec.get("outcome")),
+                    json_u64(rec.get("total_us")),
+                    json_u64(rec.get("queue_us")),
+                    json_u64(rec.get("batch_wait_us")),
+                    json_u64(rec.get("exec_us")),
+                    json_u64(rec.get("resp_bytes")),
+                    if matches!(rec.get("cache_hit"), Some(serde::Value::Bool(true))) {
+                        ", cache hit"
+                    } else {
+                        ""
+                    },
+                ));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// `fosm top --addr A [--interval MS] [--once] [--json]`
+///
+/// Polls the daemon's `telemetry` request and renders the per-kind
+/// phase histograms, pool/batch counters, and flight-recorder tail.
+/// Live mode redraws every `--interval` milliseconds until
+/// interrupted; `--once` prints a single snapshot and exits;
+/// `--json` prints the raw schema-versioned JSON body instead of the
+/// table (`--once --json` is the CI-friendly form — the body lands on
+/// stdout verbatim, ready for artifact upload).
+pub fn top(args: Parsed) -> Result<(), String> {
+    let addr = args.flag("addr").ok_or("--addr <host:port> is required")?;
+    let interval_ms: u64 = args.flag_or("interval", 1000u64)?;
+    let once = args.has("once");
+    let json = args.has("json");
+    loop {
+        let body = match fosm_serve::client::call(addr, &Request::Telemetry)? {
+            Response::Ok { body } => body,
+            Response::Err { code, message } => return Err(format!("{code}: {message}")),
+        };
+        if json {
+            print!("{body}");
+        } else {
+            let table = render_top(addr, &body)?;
+            if !once {
+                // ANSI clear + home, so live mode redraws in place.
+                print!("\x1b[2J\x1b[H");
+            }
+            print!("{table}");
+        }
+        std::io::stdout()
+            .flush()
+            .map_err(|e| format!("cannot flush stdout: {e}"))?;
+        if once {
+            return Ok(());
+        }
+        std::thread::sleep(Duration::from_millis(interval_ms.max(100)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_top_formats_every_section() {
+        let body = r#"{"fosm_telemetry":1,"enabled":true,"requests":3,
+            "pool":{"workers":4,"executed":7,"steals":2,"parks":9,
+                    "caller_runs":1,"queue_depth":0},
+            "batch":{"passes":5,"coalesced":2},
+            "hists":{"serve.total_us.ping":{"count":3,"sum":30,"min":8,
+                     "max":12,"p50":15,"p99":15,"buckets":{"4":3}}},
+            "flight":{"capacity":256,"dropped":0,"records":[
+                {"seq":1,"kind":"ping","outcome":"ok","queue_us":1,
+                 "batch_wait_us":0,"exec_us":2,"respond_us":1,
+                 "total_us":9,"resp_bytes":5,"cache_hit":true}]}}"#;
+        let table = render_top("127.0.0.1:9", body).expect("renders");
+        assert!(
+            table.starts_with("fosm top — 127.0.0.1:9 (telemetry schema v1, 3 requests"),
+            "{table}"
+        );
+        assert!(
+            table.contains("pool : 4 workers, 7 executed, 2 steals"),
+            "{table}"
+        );
+        assert!(
+            table.contains("batch: 5 passes, 2 requests coalesced"),
+            "{table}"
+        );
+        assert!(table.contains("serve.total_us.ping"), "{table}");
+        assert!(
+            table.contains("flight recorder (capacity 256, 0 dropped)"),
+            "{table}"
+        );
+        assert!(table.contains("cache hit"), "{table}");
+    }
+
+    #[test]
+    fn render_top_flags_disabled_telemetry_and_rejects_garbage() {
+        let body = r#"{"fosm_telemetry":1,"enabled":false,"requests":0,
+            "hists":{},"flight":{"capacity":256,"dropped":0,"records":[]}}"#;
+        let table = render_top("a:1", body).expect("renders");
+        assert!(table.contains("TELEMETRY DISABLED"), "{table}");
+        assert!(render_top("a:1", "not json").is_err());
+    }
 }

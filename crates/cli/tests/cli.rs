@@ -375,6 +375,51 @@ fn metrics_diff_gates_on_counter_growth() {
 }
 
 #[test]
+fn metrics_diff_gates_on_hist_quantile_growth() {
+    let a = tmp("manifest-hist-a.json");
+    let b = tmp("manifest-hist-b.json");
+    std::fs::write(
+        &a,
+        r#"{"fosm_obs":1,"binary":"x","meta":{},"counters":{},"gauges":{},"spans":{},"hists":{"serve.total_us.profile":{"count":10,"sum":100,"min":5,"max":31,"p50":15,"p99":31,"buckets":{"4":8,"5":2}}}}"#,
+    )
+    .unwrap();
+    std::fs::write(
+        &b,
+        r#"{"fosm_obs":1,"binary":"x","meta":{},"counters":{},"gauges":{},"spans":{},"hists":{"serve.total_us.profile":{"count":20,"sum":900,"min":5,"max":127,"p50":63,"p99":127,"buckets":{"4":8,"6":10,"7":2}}}}"#,
+    )
+    .unwrap();
+
+    // Ungated: the summary rows are reported, exit zero.
+    let out = fosm(&["metrics", "diff", &a, &b]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(text.contains("hists (count/p50/p99):"), "{text}");
+    assert!(text.contains("serve.total_us.profile.p99"), "{text}");
+
+    // Gated at 50%: p50 grew 320%, p99 grew ~310% — both must fail.
+    let out = fosm(&["metrics", "diff", &a, &b, "--max-regress", "50"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(
+        err.contains("REGRESSION hists.serve.total_us.profile.p50"),
+        "{err}"
+    );
+    assert!(
+        err.contains("REGRESSION hists.serve.total_us.profile.p99"),
+        "{err}"
+    );
+    // The doubled count is informational, never gated.
+    assert!(!err.contains("serve.total_us.profile.count grew"), "{err}");
+
+    let _ = std::fs::remove_file(&a);
+    let _ = std::fs::remove_file(&b);
+}
+
+#[test]
 fn stats_rejects_garbage_files() {
     let path = tmp("garbage.trc");
     std::fs::write(&path, b"this is not a trace").unwrap();

@@ -1,6 +1,7 @@
 //! End-to-end tests of the daemon subcommands: `fosm serve` as a real
-//! child process, `fosm client` over the wire and with `--local`, and
-//! a small `fosm loadgen` run with response verification.
+//! child process, `fosm client` over the wire and with `--local`, a
+//! small `fosm loadgen` run with response verification, and `fosm top`
+//! against the live telemetry endpoint.
 
 use std::process::{Child, Command, Output, Stdio};
 use std::time::{Duration, Instant};
@@ -207,5 +208,80 @@ fn loadgen_verifies_and_writes_a_criterion_baseline() {
     );
 
     let _ = std::fs::remove_file(&bench_path);
+    shutdown_daemon(child, &addr, &port_file);
+}
+
+#[test]
+fn top_once_json_returns_populated_telemetry_snapshot() {
+    let (child, addr, port_file) = start_daemon("top", &[]);
+
+    // Put traffic of two kinds (plus one error) on the wire so the
+    // per-kind histograms and the flight recorder have content.
+    assert!(fosm(&["client", "ping", "--addr", &addr]).status.success());
+    assert!(
+        fosm(&["client", "profile", "--addr", &addr, "--bench", "gzip", "--insts", "8000",])
+            .status
+            .success()
+    );
+    assert!(!fosm(&[
+        "client",
+        "profile",
+        "--addr",
+        &addr,
+        "--bench",
+        "no-such-bench",
+        "--insts",
+        "8000",
+    ])
+    .status
+    .success());
+
+    // The CI-friendly form: one raw schema-versioned JSON body.
+    let out = fosm(&["top", "--addr", &addr, "--once", "--json"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let body = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(body.contains("\"fosm_telemetry\":1"), "{body}");
+    assert!(body.contains("\"serve.total_us.ping\""), "{body}");
+    assert!(body.contains("\"serve.queue_us.profile\""), "{body}");
+    assert!(body.contains("\"kind\":\"ping\""), "{body}");
+    assert!(body.contains("\"outcome\":\"bad-request\""), "{body}");
+
+    // `fosm client telemetry` prints the identical body shape.
+    let out = fosm(&["client", "telemetry", "--addr", &addr]);
+    assert!(out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("\"fosm_telemetry\":1"),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+
+    // Table mode renders the histogram and flight sections.
+    let out = fosm(&["top", "--addr", &addr, "--once"]);
+    assert!(out.status.success());
+    let table = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(table.starts_with("fosm top —"), "{table}");
+    assert!(table.contains("serve.total_us.profile"), "{table}");
+    assert!(table.contains("flight recorder"), "{table}");
+
+    shutdown_daemon(child, &addr, &port_file);
+}
+
+#[test]
+fn no_telemetry_flag_disables_recording() {
+    let (child, addr, port_file) = start_daemon("notelem", &["--no-telemetry"]);
+    assert!(fosm(&["client", "ping", "--addr", &addr]).status.success());
+    let out = fosm(&["top", "--addr", &addr, "--once", "--json"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let body = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(body.contains("\"enabled\":false"), "{body}");
+    assert!(!body.contains("\"serve.total_us.ping\""), "{body}");
     shutdown_daemon(child, &addr, &port_file);
 }

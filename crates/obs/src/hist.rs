@@ -1,0 +1,409 @@
+//! Log2-bucketed histograms for latency-style distributions.
+//!
+//! A [`Histogram`] is a fixed array of 64 power-of-two buckets plus
+//! count/sum/min/max, all atomics: recording is a handful of relaxed
+//! atomic ops with no allocation and no lock, so it is safe on serve
+//! hot paths. Bucket `0` holds the value `0`; bucket `b ≥ 1` holds
+//! values in `[2^(b-1), 2^b)`, with bucket 63 absorbing everything
+//! from `2^62` up. Quantiles are nearest-rank over the cumulative
+//! bucket counts and return the chosen bucket's inclusive upper bound,
+//! so a reported quantile is never below the true nearest-rank value
+//! and never beyond the top of its bucket (a ≤2× relative error for
+//! values ≥ 1).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets in the fixed layout.
+pub const HIST_BUCKETS: usize = 64;
+
+/// The bucket index `value` falls into: 0 for 0, else
+/// `min(63, 64 - leading_zeros)`, i.e. one plus the position of the
+/// highest set bit.
+pub fn bucket_of(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        (64 - value.leading_zeros() as usize).min(HIST_BUCKETS - 1)
+    }
+}
+
+/// Inclusive upper bound of bucket `index` (what quantiles report).
+pub fn bucket_upper(index: usize) -> u64 {
+    match index {
+        0 => 0,
+        i if i >= HIST_BUCKETS - 1 => u64::MAX,
+        i => (1u64 << i) - 1,
+    }
+}
+
+/// Inclusive lower bound of bucket `index`.
+pub fn bucket_lower(index: usize) -> u64 {
+    match index {
+        0 => 0,
+        i => 1u64 << (i - 1),
+    }
+}
+
+/// A concurrent log2-bucketed histogram. See the module docs for the
+/// bucket layout. All methods take `&self`; recording uses relaxed
+/// atomics only.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    /// `u64::MAX` until the first record.
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub const fn new() -> Self {
+        Histogram {
+            buckets: [const { AtomicU64::new(0) }; HIST_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Folds a snapshot into this live histogram (the histogram-side
+    /// counterpart of [`Registry::absorb`](crate::Registry::absorb)).
+    pub fn absorb(&self, snap: &HistogramSnapshot) {
+        for (bucket, n) in self.buckets.iter().zip(&snap.buckets) {
+            if *n > 0 {
+                bucket.fetch_add(*n, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(snap.count, Ordering::Relaxed);
+        self.sum.fetch_add(snap.sum, Ordering::Relaxed);
+        self.min.fetch_min(snap.min_raw, Ordering::Relaxed);
+        self.max.fetch_max(snap.max, Ordering::Relaxed);
+    }
+
+    /// Copies the current contents out. Concurrent recorders may land
+    /// between field loads, so a snapshot taken during writes is only
+    /// approximately consistent — exact once writers quiesce.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; HIST_BUCKETS];
+        for (slot, bucket) in buckets.iter_mut().zip(&self.buckets) {
+            *slot = bucket.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            buckets,
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            min_raw: self.min.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An immutable copy of a [`Histogram`], mergeable and queryable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts (see [`bucket_of`]).
+    pub buckets: [u64; HIST_BUCKETS],
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Smallest observed value, `u64::MAX` when empty (use [`min`](Self::min)).
+    pub min_raw: u64,
+    /// Largest observed value (0 when empty).
+    pub max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            buckets: [0; HIST_BUCKETS],
+            count: 0,
+            sum: 0,
+            min_raw: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Smallest observed value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min_raw
+        }
+    }
+
+    /// Mean observed value (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Folds `other` into `self`: buckets, count and sum accumulate,
+    /// min/max widen.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (slot, v) in self.buckets.iter_mut().zip(&other.buckets) {
+            *slot = slot.saturating_add(*v);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min_raw = self.min_raw.min(other.min_raw);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Appends this snapshot as a JSON object: summary fields plus a
+    /// sparse `buckets` map (only non-zero buckets, keyed by index) so
+    /// empty tails cost nothing on the wire. Shared by the run
+    /// manifest and the serve daemon's telemetry response.
+    pub fn write_json(&self, out: &mut String) {
+        out.push_str("{\"count\":");
+        out.push_str(&self.count.to_string());
+        out.push_str(",\"sum\":");
+        out.push_str(&self.sum.to_string());
+        out.push_str(",\"min\":");
+        out.push_str(&self.min().to_string());
+        out.push_str(",\"max\":");
+        out.push_str(&self.max.to_string());
+        out.push_str(",\"p50\":");
+        out.push_str(&self.quantile(0.50).to_string());
+        out.push_str(",\"p99\":");
+        out.push_str(&self.quantile(0.99).to_string());
+        out.push_str(",\"buckets\":{");
+        let mut first = true;
+        for (index, n) in self.buckets.iter().enumerate() {
+            if *n == 0 {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push('"');
+            out.push_str(&index.to_string());
+            out.push_str("\":");
+            out.push_str(&n.to_string());
+        }
+        out.push_str("}}");
+    }
+
+    /// Nearest-rank quantile: for `q` in `[0, 1]`, the inclusive upper
+    /// bound of the bucket holding the `ceil(q · count)`-th smallest
+    /// observation (rank clamped to `[1, count]`). Returns 0 when
+    /// empty. The result is always in the same bucket as the exact
+    /// nearest-rank value, so the relative error is bounded by the
+    /// bucket width (< 2× for values ≥ 1).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (index, n) in self.buckets.iter().enumerate() {
+            seen = seen.saturating_add(*n);
+            if seen >= rank {
+                return bucket_upper(index);
+            }
+        }
+        // Unreachable when bucket counts sum to `count`; fall back to
+        // the widest answer for torn concurrent snapshots.
+        bucket_upper(HIST_BUCKETS - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exact nearest-rank quantile over raw values — the oracle the
+    /// bucketed quantile is checked against.
+    fn exact_nearest_rank(values: &[u64], q: f64) -> u64 {
+        assert!(!values.is_empty());
+        let mut sorted = values.to_vec();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    #[test]
+    fn bucket_layout_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 63);
+        for b in 0..HIST_BUCKETS {
+            assert_eq!(bucket_of(bucket_lower(b)), b, "lower bound of {b}");
+            assert_eq!(bucket_of(bucket_upper(b)), b, "upper bound of {b}");
+        }
+    }
+
+    #[test]
+    fn record_tracks_count_sum_min_max() {
+        let h = Histogram::new();
+        assert!(h.snapshot().is_empty());
+        assert_eq!(h.snapshot().min(), 0);
+        for v in [7, 0, 1_000_000] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 3);
+        assert_eq!(snap.sum, 1_000_007);
+        assert_eq!(snap.min(), 0);
+        assert_eq!(snap.max, 1_000_000);
+        assert!((snap.mean() - 1_000_007.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_hit_expected_buckets() {
+        let h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        // p50 → rank 50 → value 50 → bucket 6 ([32, 64)) → upper 63.
+        assert_eq!(snap.quantile(0.50), 63);
+        // p99 → rank 99 → value 99 → bucket 7 ([64, 128)) → upper 127.
+        assert_eq!(snap.quantile(0.99), 127);
+        assert_eq!(snap.quantile(0.0), bucket_upper(bucket_of(1)));
+        assert_eq!(snap.quantile(1.0), 127);
+    }
+
+    #[test]
+    fn empty_quantile_is_zero() {
+        assert_eq!(HistogramSnapshot::default().quantile(0.99), 0);
+    }
+
+    #[test]
+    fn merge_accumulates_and_widens() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.record(4);
+        a.record(9);
+        b.record(1);
+        b.record(1 << 40);
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.count, 4);
+        assert_eq!(merged.sum, 4 + 9 + 1 + (1 << 40));
+        assert_eq!(merged.min(), 1);
+        assert_eq!(merged.max, 1 << 40);
+        // Merging an empty snapshot changes nothing.
+        let before = merged;
+        merged.merge(&HistogramSnapshot::default());
+        assert_eq!(merged, before);
+    }
+
+    #[test]
+    fn concurrent_records_all_land() {
+        let h = std::sync::Arc::new(Histogram::new());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let h = std::sync::Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..1_000u64 {
+                        h.record(t * 1_000 + i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 4_000);
+        assert_eq!(snap.buckets.iter().sum::<u64>(), 4_000);
+        assert_eq!(snap.min(), 0);
+        assert_eq!(snap.max, 3_999);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// The bucketed quantile lands in exactly the bucket of the
+            /// true nearest-rank value, for any data and any q.
+            #[test]
+            fn quantile_matches_exact_oracle_bucket(
+                values in prop::collection::vec(
+                    prop_oneof![0u64..16, 0u64..4096, 0u64..=u64::MAX],
+                    1..200,
+                ),
+                q in 0.0f64..=1.0,
+            ) {
+                let h = Histogram::new();
+                for &v in &values {
+                    h.record(v);
+                }
+                let got = h.snapshot().quantile(q);
+                let exact = exact_nearest_rank(&values, q);
+                prop_assert_eq!(
+                    bucket_of(got),
+                    bucket_of(exact),
+                    "q={} got={} exact={}",
+                    q,
+                    got,
+                    exact
+                );
+                prop_assert!(got >= exact);
+            }
+
+            /// Merging two histograms equals recording everything into
+            /// one.
+            #[test]
+            fn merge_equals_union(
+                left in prop::collection::vec(0u64..1_000_000, 0..64),
+                right in prop::collection::vec(0u64..1_000_000, 0..64),
+            ) {
+                let a = Histogram::new();
+                let b = Histogram::new();
+                let whole = Histogram::new();
+                for &v in &left {
+                    a.record(v);
+                    whole.record(v);
+                }
+                for &v in &right {
+                    b.record(v);
+                    whole.record(v);
+                }
+                let mut merged = a.snapshot();
+                merged.merge(&b.snapshot());
+                prop_assert_eq!(merged, whole.snapshot());
+            }
+        }
+    }
+}

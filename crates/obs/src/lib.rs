@@ -8,7 +8,7 @@
 //! bottom of the dependency graph and be instrumented into every
 //! crate without cycles.
 //!
-//! Three primitives, all aggregated in a [`Registry`]:
+//! Four primitives, all aggregated in a [`Registry`]:
 //!
 //! * **Counters** — named monotonic `u64` totals
 //!   ([`Registry::counter_add`]). Naming scheme:
@@ -16,6 +16,10 @@
 //!   `store.trace.hits`, `sim.retired`.
 //! * **Gauges** — named `f64` point-in-time values
 //!   ([`Registry::gauge_set`]), e.g. `report.wall_s`.
+//! * **Histograms** — log2-bucketed value distributions
+//!   ([`Registry::hist_record`]), e.g. `serve.total_us.profile`.
+//!   Recording is lock-free relaxed atomics; see [`hist`] for the
+//!   bucket layout and quantile error bound.
 //! * **Spans** — hierarchical wall-clock timings ([`Registry::span`]).
 //!   A span guard pushes its name onto a thread-local stack; nested
 //!   guards produce `/`-joined paths (`report.table1/simulate`), and
@@ -68,7 +72,8 @@
 
 pub mod chrome;
 pub mod event;
-mod json;
+pub mod hist;
+pub mod json;
 mod manifest;
 mod registry;
 mod scope;
@@ -76,6 +81,7 @@ mod sink;
 mod span;
 
 pub use event::{EventKind, TraceEvent, Tracer, TracerStats};
+pub use hist::{Histogram, HistogramSnapshot};
 pub use manifest::Manifest;
 pub use registry::{Registry, Snapshot, SpanStat};
 pub use scope::{scoped_registry, RegistryScope};
@@ -102,6 +108,17 @@ pub fn gauge_set(name: &str, value: f64) {
     match scope::current() {
         Some(r) => r.gauge_set(name, value),
         None => Registry::global().gauge_set(name, value),
+    }
+}
+
+/// Records one observation into histogram `name` in the current
+/// thread's registry. Hot loops recording into one histogram should
+/// instead hold the handle from [`Registry::hist`] to skip the
+/// per-call name lookup.
+pub fn hist_record(name: &str, value: u64) {
+    match scope::current() {
+        Some(r) => r.hist_record(name, value),
+        None => Registry::global().hist_record(name, value),
     }
 }
 

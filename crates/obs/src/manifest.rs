@@ -82,6 +82,15 @@ impl Manifest {
             json::push_f64(&mut out, stat.mean_ns());
             out.push('}');
         }
+        out.push_str("},\"hists\":{");
+        for (i, (name, hist)) in self.snapshot.hists.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::push_str_literal(&mut out, name);
+            out.push(':');
+            hist.write_json(&mut out);
+        }
         out.push_str("}}");
         out
     }
@@ -105,6 +114,16 @@ impl Manifest {
                 stat.count,
                 format_ns(stat.total_ns as f64),
                 format_ns(stat.mean_ns()),
+            ));
+        }
+        for (name, hist) in &self.snapshot.hists {
+            out.push_str(&format!(
+                "  hist     {name}: {}× p50 ≤{} p99 ≤{} min {} max {}\n",
+                hist.count,
+                hist.quantile(0.50),
+                hist.quantile(0.99),
+                hist.min(),
+                hist.max,
             ));
         }
         out
@@ -136,6 +155,8 @@ mod tests {
         r.gauge_set("wall_s", 2.5);
         r.meta_set("threads", 8);
         r.record_span("report.table1", 1_500);
+        r.hist_record("serve.total_us", 100);
+        r.hist_record("serve.total_us", 3);
         Manifest::new("report", r.snapshot())
     }
 
@@ -149,6 +170,11 @@ mod tests {
         assert!(
             line.contains("\"report.table1\":{\"count\":1,\"total_ns\":1500,\"mean_ns\":1500.0}")
         );
+        // 100 → bucket 7 ([64, 128), upper 127); 3 → bucket 2 ([2, 4)).
+        assert!(line.contains(
+            "\"serve.total_us\":{\"count\":2,\"sum\":103,\"min\":3,\"max\":100,\
+             \"p50\":3,\"p99\":127,\"buckets\":{\"2\":1,\"7\":1}}"
+        ));
         assert!(line.ends_with("}}"));
     }
 
@@ -157,7 +183,8 @@ mod tests {
         let m = Manifest::new("x", Snapshot::default());
         assert_eq!(
             m.to_json_line(),
-            "{\"fosm_obs\":1,\"binary\":\"x\",\"meta\":{},\"counters\":{},\"gauges\":{},\"spans\":{}}"
+            "{\"fosm_obs\":1,\"binary\":\"x\",\"meta\":{},\"counters\":{},\"gauges\":{},\
+             \"spans\":{},\"hists\":{}}"
         );
     }
 
@@ -167,6 +194,7 @@ mod tests {
         assert!(text.contains("counter  store.trace.misses = 8"));
         assert!(text.contains("meta     threads = 8"));
         assert!(text.contains("span     report.table1: 1× total 1.500 µs"));
+        assert!(text.contains("hist     serve.total_us: 2× p50 ≤3 p99 ≤127 min 3 max 100"));
     }
 
     #[test]

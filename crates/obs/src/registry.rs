@@ -2,8 +2,9 @@
 //! aggregated span timings.
 
 use std::collections::BTreeMap;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
+use crate::hist::{Histogram, HistogramSnapshot};
 use crate::span::SpanGuard;
 
 /// Aggregated timing of one span path.
@@ -39,6 +40,8 @@ pub struct Snapshot {
     pub meta: BTreeMap<String, String>,
     /// Aggregated span timings keyed by `/`-joined path.
     pub spans: BTreeMap<String, SpanStat>,
+    /// Histogram snapshots keyed by name.
+    pub hists: BTreeMap<String, HistogramSnapshot>,
 }
 
 impl Snapshot {
@@ -48,6 +51,7 @@ impl Snapshot {
             && self.gauges.is_empty()
             && self.meta.is_empty()
             && self.spans.is_empty()
+            && self.hists.is_empty()
     }
 }
 
@@ -65,6 +69,7 @@ pub struct Registry {
     gauges: Mutex<BTreeMap<String, f64>>,
     meta: Mutex<BTreeMap<String, String>>,
     spans: Mutex<BTreeMap<String, SpanStat>>,
+    hists: Mutex<BTreeMap<String, Arc<Histogram>>>,
 }
 
 impl Registry {
@@ -75,6 +80,7 @@ impl Registry {
             gauges: Mutex::new(BTreeMap::new()),
             meta: Mutex::new(BTreeMap::new()),
             spans: Mutex::new(BTreeMap::new()),
+            hists: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -145,12 +151,41 @@ impl Registry {
         stat.total_ns = stat.total_ns.saturating_add(elapsed_ns);
     }
 
+    /// The histogram named `name`, created empty on first use. The
+    /// returned handle records lock-free, so hot loops should fetch it
+    /// once instead of calling [`hist_record`](Self::hist_record) per
+    /// observation.
+    pub fn hist(&self, name: &str) -> Arc<Histogram> {
+        let mut hists = self.hists.lock().expect("obs hists lock");
+        Arc::clone(hists.entry(name.to_string()).or_default())
+    }
+
+    /// Records one observation into histogram `name` (creating it).
+    pub fn hist_record(&self, name: &str, value: u64) {
+        self.hist(name).record(value);
+    }
+
+    /// Snapshot of histogram `name`, or `None` if never recorded to.
+    pub fn hist_snapshot(&self, name: &str) -> Option<HistogramSnapshot> {
+        self.hists
+            .lock()
+            .expect("obs hists lock")
+            .get(name)
+            .map(|h| h.snapshot())
+    }
+
     /// Folds a snapshot of another registry into this one: counters
-    /// and span stats accumulate, gauges and metadata take the
-    /// snapshot's values (last write wins). A daemon uses this to
+    /// span stats, and histograms accumulate, gauges and metadata take
+    /// the snapshot's values (last write wins). A daemon uses this to
     /// aggregate finished per-request registries into its process-wide
     /// totals.
     pub fn absorb(&self, snap: &Snapshot) {
+        {
+            let mut hists = self.hists.lock().expect("obs hists lock");
+            for (name, incoming) in &snap.hists {
+                hists.entry(name.clone()).or_default().absorb(incoming);
+            }
+        }
         {
             let mut counters = self.counters.lock().expect("obs counters lock");
             for (name, delta) in &snap.counters {
@@ -185,6 +220,13 @@ impl Registry {
             gauges: self.gauges.lock().expect("obs gauges lock").clone(),
             meta: self.meta.lock().expect("obs meta lock").clone(),
             spans: self.spans.lock().expect("obs spans lock").clone(),
+            hists: self
+                .hists
+                .lock()
+                .expect("obs hists lock")
+                .iter()
+                .map(|(name, h)| (name.clone(), h.snapshot()))
+                .collect(),
         }
     }
 
@@ -194,6 +236,7 @@ impl Registry {
         self.gauges.lock().expect("obs gauges lock").clear();
         self.meta.lock().expect("obs meta lock").clear();
         self.spans.lock().expect("obs spans lock").clear();
+        self.hists.lock().expect("obs hists lock").clear();
     }
 }
 
@@ -248,9 +291,38 @@ mod tests {
         r.gauge_set("g", 0.0);
         r.meta_set("m", "v");
         r.record_span("s", 10);
+        r.hist_record("h", 5);
         assert!(!r.snapshot().is_empty());
         r.reset();
         assert!(r.snapshot().is_empty());
+    }
+
+    #[test]
+    fn hists_record_and_snapshot() {
+        let r = Registry::new();
+        assert_eq!(r.hist_snapshot("lat"), None);
+        r.hist_record("lat", 100);
+        let handle = r.hist("lat");
+        handle.record(200);
+        let snap = r.hist_snapshot("lat").expect("recorded");
+        assert_eq!(snap.count, 2);
+        assert_eq!(snap.min(), 100);
+        assert_eq!(snap.max, 200);
+        assert_eq!(r.snapshot().hists["lat"], snap);
+    }
+
+    #[test]
+    fn absorb_merges_hists() {
+        let daemon = Registry::new();
+        daemon.hist_record("lat", 1);
+        let request = Registry::new();
+        request.hist_record("lat", 1 << 20);
+        request.hist_record("other", 7);
+        daemon.absorb(&request.snapshot());
+        let lat = daemon.hist_snapshot("lat").expect("merged");
+        assert_eq!(lat.count, 2);
+        assert_eq!(lat.max, 1 << 20);
+        assert_eq!(daemon.hist_snapshot("other").expect("created").count, 1);
     }
 
     #[test]

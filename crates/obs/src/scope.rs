@@ -95,6 +95,19 @@ mod tests {
     }
 
     #[test]
+    fn scope_routes_hist_record() {
+        let request = Arc::new(Registry::new());
+        {
+            let _scope = scoped_registry(Arc::clone(&request));
+            crate::hist_record("scope.test.lat_us", 42);
+        }
+        let snap = request.hist_snapshot("scope.test.lat_us").expect("scoped");
+        assert_eq!(snap.count, 1);
+        assert_eq!(snap.max, 42);
+        assert_eq!(Registry::global().hist_snapshot("scope.test.lat_us"), None);
+    }
+
+    #[test]
     fn scopes_nest_innermost_wins() {
         let outer = Arc::new(Registry::new());
         let inner = Arc::new(Registry::new());

@@ -222,16 +222,25 @@ impl Batcher {
                     }
                 }
             };
-            // Follower: wait for the leader's broadcast.
+            // Follower: wait for the leader's broadcast. The park time
+            // is charged to this request's `batch_wait` phase via the
+            // scoped registry.
+            let wait_start = std::time::Instant::now();
             let mut state = cell.state.lock().expect("batch cell");
             while state.result.is_none() {
                 state = cell.done.wait(state).expect("batch cell");
             }
             let result = state.result.as_ref().expect("checked above");
-            return match result {
+            let outcome = match result {
                 Ok(profiles) => Ok(Arc::clone(&profiles[my_index])),
                 Err(e) => Err(e.clone()),
             };
+            drop(state);
+            fosm_obs::counter_add(
+                "serve.batch_wait_ns",
+                u64::try_from(wait_start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            );
+            return outcome;
         }
     }
 
@@ -248,6 +257,7 @@ impl Batcher {
         key: &BatchKey,
         cell: &Arc<Cell>,
     ) -> Result<Arc<ProgramProfile>, String> {
+        let gate_start = std::time::Instant::now();
         match &self.gate {
             Gate::Window(window) => {
                 if !window.is_zero() {
@@ -263,6 +273,12 @@ impl Batcher {
                 *opened = false;
             }
         }
+        // The leader's window is wait, not compute: charge it to the
+        // request's `batch_wait` phase like a follower's park.
+        fosm_obs::counter_add(
+            "serve.batch_wait_ns",
+            u64::try_from(gate_start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+        );
         // Close: out of the map first, so arrivals after this point
         // start a new batch; then the cell, so arrivals that already
         // hold the Arc see `closed` and retry.
@@ -275,6 +291,7 @@ impl Batcher {
         let bank: ProbeBank = probes.into();
         self.passes.fetch_add(1, Ordering::Relaxed);
         fosm_obs::counter_add("serve.batch.passes", 1);
+        fosm_obs::hist_record("serve.batch.occupancy", bank.len() as u64);
         let result = store
             .profile_many(params, &bank, spec, insts, seed)
             .map_err(|e| e.to_string());
@@ -371,6 +388,15 @@ mod tests {
             registry.counter("profile.fused_passes_saved") as usize,
             K - 1
         );
+        // Telemetry: the one pass recorded its occupancy, and both the
+        // leader's gate wait and the followers' parks were charged to
+        // the batch_wait phase.
+        let occupancy = registry
+            .hist_snapshot("serve.batch.occupancy")
+            .expect("occupancy recorded");
+        assert_eq!(occupancy.count, 1);
+        assert_eq!(occupancy.max, K as u64);
+        assert!(registry.counter("serve.batch_wait_ns") > 0);
     }
 
     #[test]

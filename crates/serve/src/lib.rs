@@ -24,7 +24,9 @@
 //! * [`client`] — a small blocking client used by `fosm client` and
 //!   the load generator;
 //! * [`loadgen`] — a closed-loop load generator recording latency
-//!   percentiles and throughput into `BENCH_serve.json`.
+//!   percentiles and throughput into `BENCH_serve.json`;
+//! * [`telemetry`] — request-lifecycle phase histograms and the
+//!   bounded flight recorder behind `Request::Telemetry` / `fosm top`.
 //!
 //! Durability across restarts comes from `fosm-bench`'s disk-backed
 //! artifact store; per-request observability comes from `fosm-obs`
@@ -40,3 +42,4 @@ pub mod pool;
 pub mod proto;
 pub mod server;
 pub mod service;
+pub mod telemetry;

@@ -22,6 +22,8 @@
 
 use std::time::{Duration, Instant};
 
+use fosm_obs::{Histogram, HistogramSnapshot};
+
 use crate::client::Connection;
 use crate::proto::{MachineSpec, ProfileRequest, Request, Response};
 
@@ -96,6 +98,40 @@ impl RunStats {
     /// figure: total work over total time, not mean latency).
     pub fn ns_per_request(&self) -> f64 {
         self.wall.as_nanos() as f64 / self.requests.max(1) as f64
+    }
+
+    /// The latencies folded into the shared log2-bucketed
+    /// [`HistogramSnapshot`] (nanoseconds) — the same mergeable
+    /// primitive the daemon's telemetry and `fosm top` report on, so
+    /// loadgen summaries and server-side phase histograms read on one
+    /// scale and can be merged or diffed by the same tooling.
+    ///
+    /// Quantiles from the snapshot are bucket upper bounds: they land
+    /// in the same power-of-two bucket as the exact nearest-rank
+    /// [`Self::percentile`], which stays the oracle behind the
+    /// `BENCH_serve.json` entries (bucket quantization would make a
+    /// percentage regression gate flaky).
+    pub fn latency_hist(&self) -> HistogramSnapshot {
+        let hist = Histogram::new();
+        for latency in &self.latencies {
+            hist.record(u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX));
+        }
+        hist.snapshot()
+    }
+
+    /// One human line summarising the phase from the histogram:
+    /// request count plus bucketed p50/p99 upper bounds in
+    /// microseconds. Rendered next to the exact `BENCH_serve.json`
+    /// numbers so drift between the two summaries would be visible in
+    /// the bench log itself.
+    pub fn hist_summary(&self, label: &str) -> String {
+        let snap = self.latency_hist();
+        format!(
+            "{label}: {} requests, hist p50 <= {} us, p99 <= {} us",
+            snap.count,
+            snap.quantile(0.50) / 1_000,
+            snap.quantile(0.99) / 1_000,
+        )
     }
 }
 
@@ -341,6 +377,65 @@ mod tests {
         };
         for q in [0.0, 50.0, 100.0] {
             assert_eq!(single.percentile(q), Duration::from_millis(7));
+        }
+    }
+
+    #[test]
+    fn latency_hist_matches_counts_and_summary_renders() {
+        let stats = RunStats {
+            requests: 100,
+            wall: Duration::from_secs(1),
+            latencies: (1..=100).map(Duration::from_micros).collect(),
+        };
+        let snap = stats.latency_hist();
+        assert_eq!(snap.count, 100);
+        assert_eq!(snap.min(), 1_000);
+        assert_eq!(snap.max, 100_000);
+        let line = stats.hist_summary("serve");
+        assert!(line.starts_with("serve: 100 requests"), "{line}");
+        assert!(line.contains("p99 <= "), "{line}");
+
+        let empty = RunStats {
+            requests: 0,
+            wall: Duration::ZERO,
+            latencies: Vec::new(),
+        };
+        assert!(empty.latency_hist().is_empty());
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// The bucketed quantile is an upper bound on the exact
+            /// nearest-rank percentile and lives in the same
+            /// power-of-two bucket — "within one bucket" made precise.
+            #[test]
+            fn hist_quantile_brackets_exact_percentile(
+                mut samples in prop::collection::vec(0u64..5_000_000, 1..200),
+                q in 0.0f64..=100.0,
+            ) {
+                let stats = RunStats {
+                    requests: samples.len(),
+                    wall: Duration::from_secs(1),
+                    latencies: samples.iter().copied().map(Duration::from_nanos).collect(),
+                };
+                let from_hist = stats.latency_hist().quantile(q / 100.0);
+                samples.sort_unstable();
+                // Same nearest-rank convention as
+                // HistogramSnapshot::quantile (1-based ceil rank), so
+                // the only divergence left to bound is the bucketing.
+                let len = samples.len() as u64;
+                let rank = (((q / 100.0) * len as f64).ceil() as u64).clamp(1, len);
+                let exact = samples[(rank - 1) as usize];
+                prop_assert!(from_hist >= exact, "hist {} < exact {}", from_hist, exact);
+                prop_assert_eq!(
+                    fosm_obs::hist::bucket_of(from_hist),
+                    fosm_obs::hist::bucket_of(exact),
+                    "hist quantile left the exact value's bucket"
+                );
+            }
         }
     }
 

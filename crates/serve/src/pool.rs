@@ -68,6 +68,11 @@ struct Shared {
     executed: AtomicU64,
     /// Jobs taken from another worker's deque, for stats.
     steals: AtomicU64,
+    /// Times a worker parked on the condvar with nothing to do.
+    parks: AtomicU64,
+    /// Jobs executed by a [`WorkerPool::run_many`] caller while
+    /// participating in its own batch.
+    caller_runs: AtomicU64,
 }
 
 impl Shared {
@@ -130,6 +135,12 @@ pub struct PoolStats {
     pub executed: u64,
     /// Jobs that moved between workers via stealing.
     pub steals: u64,
+    /// Times a worker parked with nothing to do.
+    pub parks: u64,
+    /// Jobs a `run_many` caller executed while waiting on its batch.
+    pub caller_runs: u64,
+    /// Jobs queued but not yet taken, at stats time.
+    pub queue_depth: usize,
 }
 
 /// The worker pool. Dropping it without [`WorkerPool::shutdown`]
@@ -163,6 +174,8 @@ impl WorkerPool {
             wake: Condvar::new(),
             executed: AtomicU64::new(0),
             steals: AtomicU64::new(0),
+            parks: AtomicU64::new(0),
+            caller_runs: AtomicU64::new(0),
         });
         let handles = (0..workers)
             .map(|idx| {
@@ -250,7 +263,10 @@ impl WorkerPool {
         });
         while batch.remaining.load(Ordering::Acquire) > 0 {
             match self.shared.find_work(me) {
-                Some(job) => self.shared.run(job),
+                Some(job) => {
+                    self.shared.caller_runs.fetch_add(1, Ordering::Relaxed);
+                    self.shared.run(job);
+                }
                 None => std::thread::sleep(std::time::Duration::from_micros(100)),
             }
         }
@@ -276,6 +292,9 @@ impl WorkerPool {
             workers: self.worker_count,
             executed: self.shared.executed.load(Ordering::Relaxed),
             steals: self.shared.steals.load(Ordering::Relaxed),
+            parks: self.shared.parks.load(Ordering::Relaxed),
+            caller_runs: self.shared.caller_runs.load(Ordering::Relaxed),
+            queue_depth: self.shared.pending.load(Ordering::Relaxed),
         }
     }
 
@@ -330,6 +349,7 @@ fn worker_loop(shared: &Shared, idx: usize) {
             continue;
         }
         if shared.pending.load(Ordering::Relaxed) == 0 {
+            shared.parks.fetch_add(1, Ordering::Relaxed);
             let _unused = shared
                 .wake
                 .wait_timeout(park, std::time::Duration::from_millis(50))
@@ -429,6 +449,29 @@ mod tests {
         assert!(
             pool.stats().steals >= FAN as u64 - 1,
             "batch must have been stolen, stats: {:?}",
+            pool.stats()
+        );
+        // The barrier needs all FAN jobs in flight at once; with the
+        // other workers each blocked on one, the run_many caller must
+        // have executed at least one itself.
+        assert!(
+            pool.stats().caller_runs >= 1,
+            "caller participation must be counted, stats: {:?}",
+            pool.stats()
+        );
+    }
+
+    #[test]
+    fn parks_accumulate_and_queue_drains() {
+        let pool = WorkerPool::new(2);
+        pool.run_many((0..8).map(|i| move || i).collect::<Vec<_>>());
+        assert_eq!(pool.stats().queue_depth, 0, "no work left queued");
+        // Idle workers park on the condvar (50 ms timeout); give them
+        // a couple of cycles.
+        std::thread::sleep(std::time::Duration::from_millis(120));
+        assert!(
+            pool.stats().parks > 0,
+            "idle workers must park, stats: {:?}",
             pool.stats()
         );
     }

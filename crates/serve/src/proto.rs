@@ -288,8 +288,29 @@ pub enum Request {
     Explore(ExploreRequest),
     /// Server and store diagnostics (cache traffic, batching, …).
     Stats,
+    /// Schema-versioned telemetry snapshot: per-kind latency phase
+    /// histograms, pool/batch traffic, and the request flight
+    /// recorder, as one line of JSON (`fosm top` renders it).
+    Telemetry,
     /// Ask the daemon to stop accepting work and exit cleanly.
     Shutdown,
+}
+
+impl Request {
+    /// Short lifecycle label for telemetry (`serve.total_us.<kind>`
+    /// histogram names and flight-recorder rows).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Request::Ping => "ping",
+            Request::Profile(_) => "profile",
+            Request::Model(_) => "model",
+            Request::Validate(_) => "validate",
+            Request::Explore(_) => "explore",
+            Request::Stats => "stats",
+            Request::Telemetry => "telemetry",
+            Request::Shutdown => "shutdown",
+        }
+    }
 }
 
 /// One response frame, server → client.
@@ -422,6 +443,7 @@ mod tests {
                 probe: "full".into(),
             }),
             Request::Stats,
+            Request::Telemetry,
             Request::Shutdown,
         ];
         for req in &requests {

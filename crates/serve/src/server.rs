@@ -12,7 +12,11 @@
 //! (per-request span roots and counters, no cross-request bleed) and
 //! merges its instrumentation into the process-global registry when it
 //! finishes, so long-lived workers never share mutable observability
-//! state between overlapping requests.
+//! state between overlapping requests. The connection thread also
+//! stamps every finished request into the service's
+//! [`telemetry`](crate::telemetry) — per-kind phase histograms plus a
+//! flight record — and the flight recorder is dumped to stderr on
+//! connection failures and at clean shutdown.
 //!
 //! Shutdown is cooperative and complete: a `shutdown` request (or
 //! [`ServerHandle::stop`]) sets the stop flag, pokes the accept loop
@@ -25,13 +29,14 @@ use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::proto::{
     decode_request, encode_response, parse_len, write_frame, FrameError, Request, Response,
     HEADER_LEN,
 };
 use crate::service::Service;
+use crate::telemetry::RequestRecord;
 
 /// How often an idle connection read wakes up to check the stop flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(250);
@@ -107,6 +112,11 @@ impl ServerHandle {
             let _ = handle.join();
         }
         self.service.shutdown();
+        // Every request is answered by now; leave the tail of the
+        // traffic on stderr for post-mortems.
+        if let Some(dump) = self.service.telemetry().flight_dump("clean shutdown") {
+            eprint!("{dump}");
+        }
     }
 
     /// Convenience: [`stop`](Self::stop) then [`join`](Self::join).
@@ -252,44 +262,160 @@ fn serve_connection(
                         &Response::err("oversized-frame", e.to_string()),
                     );
                 }
+                // An error path is exactly what the flight recorder is
+                // for: leave the recent traffic on stderr.
+                if let Some(dump) = service
+                    .telemetry()
+                    .flight_dump(&format!("connection failed: {e}"))
+                {
+                    eprint!("{dump}");
+                }
                 return;
             }
         };
-        let response = match decode_request(&payload) {
+        // Lifecycle zero point: the request frame is fully read.
+        let received = Instant::now();
+        match decode_request(&payload) {
             // Malformed JSON is an *answer*, not a disconnect: framing
             // is intact, so the connection stays usable.
-            Err(why) => Response::err("malformed-request", why),
+            Err(why) => {
+                let response = Response::err("malformed-request", why);
+                if !finish(
+                    &mut stream,
+                    service,
+                    "malformed",
+                    received,
+                    Phases::default(),
+                    &response,
+                ) {
+                    return;
+                }
+            }
             Ok(Request::Shutdown) => {
                 let response = service.execute(&Request::Shutdown);
-                respond(&mut stream, &response);
+                finish(
+                    &mut stream,
+                    service,
+                    "shutdown",
+                    received,
+                    Phases::default(),
+                    &response,
+                );
                 request_stop(stop, addr);
                 return;
             }
-            Ok(_) if stop.load(Ordering::SeqCst) => {
-                Response::err("shutting-down", "daemon is shutting down")
+            Ok(req) if stop.load(Ordering::SeqCst) => {
+                let response = Response::err("shutting-down", "daemon is shutting down");
+                if !finish(
+                    &mut stream,
+                    service,
+                    req.kind(),
+                    received,
+                    Phases::default(),
+                    &response,
+                ) {
+                    return;
+                }
             }
             Ok(req) => {
                 // Run on the pool under a per-request registry; merge
                 // the request's instrumentation into the global
-                // registry once it completes.
-                let service = Arc::clone(service);
+                // registry once it completes. The job measures its own
+                // queue wait and wall time; the batcher charges its
+                // waits to the `serve.batch_wait_ns` counter of the
+                // request's scoped registry, which the phases below
+                // subtract back out of execute time.
+                let kind = req.kind();
+                let service_job = Arc::clone(service);
                 let pool = Arc::clone(service.pool());
+                let submitted = Instant::now();
                 let task = pool.submit(move || {
+                    let queue_us = micros(submitted.elapsed());
+                    let started = Instant::now();
                     let registry = Arc::new(fosm_obs::Registry::new());
                     let response = {
                         let _scope = fosm_obs::scoped_registry(Arc::clone(&registry));
-                        service.execute(&req)
+                        service_job.execute(&req)
                     };
-                    fosm_obs::global().absorb(&registry.snapshot());
-                    response
+                    let snap = registry.snapshot();
+                    fosm_obs::global().absorb(&snap);
+                    (response, snap, queue_us, micros(started.elapsed()))
                 });
-                task.wait()
+                let (response, snap, queue_us, job_us) = task.wait();
+                service.telemetry().absorb(&snap);
+                let batch_wait_us = snap
+                    .counters
+                    .get("serve.batch_wait_ns")
+                    .copied()
+                    .unwrap_or(0)
+                    / 1_000;
+                let phases = Phases {
+                    queue_us,
+                    batch_wait_us,
+                    exec_us: job_us.saturating_sub(batch_wait_us),
+                    // "Hit" = no fresh trace replay was charged to this
+                    // request's own worker thread (memoized, or a batch
+                    // leader computed it on this request's behalf).
+                    cache_hit: snap
+                        .counters
+                        .get("store.profile.memo_misses")
+                        .copied()
+                        .unwrap_or(0)
+                        == 0,
+                };
+                if !finish(&mut stream, service, kind, received, phases, &response) {
+                    return;
+                }
             }
-        };
-        if !respond(&mut stream, &response) {
-            return;
         }
     }
+}
+
+/// The phase attribution of one request, before the response write.
+#[derive(Debug, Default)]
+struct Phases {
+    queue_us: u64,
+    batch_wait_us: u64,
+    exec_us: u64,
+    cache_hit: bool,
+}
+
+/// Saturating `Duration` → whole microseconds.
+fn micros(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
+/// Writes the response frame, stamps the request's telemetry record,
+/// and reports whether the connection is still usable.
+fn finish(
+    stream: &mut TcpStream,
+    service: &Arc<Service>,
+    kind: &'static str,
+    received: Instant,
+    phases: Phases,
+    response: &Response,
+) -> bool {
+    let payload = encode_response(response);
+    let write_start = Instant::now();
+    let sent = write_frame(stream, &payload).is_ok();
+    let respond_us = micros(write_start.elapsed());
+    let outcome = match response {
+        Response::Ok { .. } => "ok".to_string(),
+        Response::Err { code, .. } => code.clone(),
+    };
+    service.telemetry().record(RequestRecord {
+        seq: 0,
+        kind,
+        outcome,
+        queue_us: phases.queue_us,
+        batch_wait_us: phases.batch_wait_us,
+        exec_us: phases.exec_us,
+        respond_us,
+        total_us: micros(received.elapsed()),
+        resp_bytes: payload.len() as u64,
+        cache_hit: phases.cache_hit,
+    });
+    sent
 }
 
 /// Writes one response frame; `false` when the peer is gone.
@@ -365,6 +491,82 @@ mod tests {
         server.join();
         // The port no longer answers.
         assert!(client::call(&addr, &Request::Ping).is_err());
+    }
+
+    fn num(v: &serde::Value) -> u64 {
+        match v {
+            serde::Value::Num(raw) => raw.parse().expect("integer field"),
+            other => panic!("not a number: {other:?}"),
+        }
+    }
+
+    fn hist_field(v: &serde::Value, hist: &str, field: &str) -> u64 {
+        let hists = v.get("hists").expect("hists section");
+        let h = hists
+            .get(hist)
+            .unwrap_or_else(|| panic!("missing hist `{hist}`"));
+        num(h.get(field).expect("hist field"))
+    }
+
+    #[test]
+    fn telemetry_reconciles_phases_and_records_both_outcomes() {
+        let server = start_test_server();
+        let addr = server.addr().to_string();
+        // One Ok profile, one structured failure, one ping.
+        client::call(&addr, &profile_req()).expect("profile");
+        let bad = Request::Profile(ProfileRequest {
+            bench: "nope".into(),
+            insts: 1_000,
+            seed: 1,
+            machine: MachineSpec::default(),
+            probe: "full".into(),
+        });
+        match client::call(&addr, &bad).expect("bad profile answered") {
+            Response::Err { code, .. } => assert_eq!(code, "bad-request"),
+            Response::Ok { body } => panic!("unexpected success: {body}"),
+        }
+        client::call(&addr, &Request::Ping).expect("ping");
+
+        let body = match client::call(&addr, &Request::Telemetry).expect("telemetry") {
+            Response::Ok { body } => body,
+            Response::Err { code, message } => panic!("telemetry failed {code}: {message}"),
+        };
+        let v: serde::Value = serde_json::from_str(body.trim_end()).expect("telemetry is JSON");
+        assert_eq!(num(v.get("fosm_telemetry").expect("schema tag")), 1);
+
+        // Phase histograms reconcile per request kind: the disjoint
+        // sub-phases can never sum past the measured total.
+        for (kind, expected_count) in [("profile", 2), ("ping", 1)] {
+            let count = hist_field(&v, &format!("serve.total_us.{kind}"), "count");
+            assert_eq!(count, expected_count, "total_us count for {kind}");
+            let queue = hist_field(&v, &format!("serve.queue_us.{kind}"), "sum");
+            let batch = hist_field(&v, &format!("serve.batch_wait_us.{kind}"), "sum");
+            let exec = hist_field(&v, &format!("serve.exec_us.{kind}"), "sum");
+            let total = hist_field(&v, &format!("serve.total_us.{kind}"), "sum");
+            assert!(
+                queue + batch + exec <= total,
+                "{kind}: queue {queue} + batch {batch} + exec {exec} > total {total}"
+            );
+        }
+
+        // The flight recorder holds both outcomes, in arrival order.
+        let records = match v.get("flight").and_then(|f| f.get("records")) {
+            Some(serde::Value::Seq(records)) => records.clone(),
+            other => panic!("flight.records missing: {other:?}"),
+        };
+        let outcomes: Vec<String> = records
+            .iter()
+            .map(|r| match r.get("outcome") {
+                Some(serde::Value::Str(s)) => s.clone(),
+                other => panic!("outcome missing: {other:?}"),
+            })
+            .collect();
+        assert!(outcomes.contains(&"ok".to_string()), "{outcomes:?}");
+        assert!(
+            outcomes.contains(&"bad-request".to_string()),
+            "{outcomes:?}"
+        );
+        server.stop_and_join();
     }
 
     #[test]

@@ -32,12 +32,14 @@ use fosm_workloads::BenchmarkSpec;
 use crate::batch::{BatchStats, Batcher};
 use crate::pool::{PoolStats, WorkerPool};
 use crate::proto::{ExploreRequest, ProfileRequest, Request, Response, ValidateRequest};
+use crate::telemetry::{Telemetry, TELEMETRY_SCHEMA_VERSION};
 
 /// The request executor: artifact store + batcher + worker pool.
 pub struct Service {
     store: Arc<ArtifactStore>,
     batcher: Arc<Batcher>,
     pool: Arc<WorkerPool>,
+    telemetry: Arc<Telemetry>,
     requests: AtomicU64,
 }
 
@@ -57,6 +59,7 @@ impl Service {
             store,
             batcher: Arc::new(Batcher::new(window)),
             pool: Arc::new(WorkerPool::new(workers)),
+            telemetry: Arc::new(Telemetry::from_env()),
             requests: AtomicU64::new(0),
         }
     }
@@ -84,6 +87,11 @@ impl Service {
         &self.store
     }
 
+    /// The telemetry state (phase histograms + flight recorder).
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
+    }
+
     /// Stops the worker pool (drains queued work, joins threads).
     pub fn shutdown(&self) {
         self.pool.shutdown();
@@ -102,6 +110,7 @@ impl Service {
             Request::Validate(v) => self.validate(v),
             Request::Explore(e) => self.explore(e),
             Request::Stats => Ok(self.stats_body()),
+            Request::Telemetry => Ok(self.telemetry_body()),
             Request::Shutdown => Ok("shutting down\n".to_string()),
         };
         match result {
@@ -324,6 +333,59 @@ impl Service {
         }
         out
     }
+
+    /// `telemetry`: one line of schema-versioned JSON — request totals,
+    /// pool/batch traffic, per-kind phase histograms, and the flight
+    /// recorder. Unlike `stats` (a frozen byte interface), this body
+    /// is versioned by its `fosm_telemetry` field and may grow fields
+    /// within a version.
+    fn telemetry_body(&self) -> String {
+        let pool: PoolStats = self.pool.stats();
+        let batch: BatchStats = self.batcher.stats();
+        // Export the live queue depth as a gauge too: under a request
+        // scope it lands in the scoped registry and is absorbed into
+        // the global manifest (last write wins).
+        fosm_obs::gauge_set("serve.pool.queue_depth", pool.queue_depth as f64);
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\"fosm_telemetry\":");
+        out.push_str(&TELEMETRY_SCHEMA_VERSION.to_string());
+        out.push_str(",\"enabled\":");
+        out.push_str(if self.telemetry.enabled() {
+            "true"
+        } else {
+            "false"
+        });
+        out.push_str(",\"requests\":");
+        out.push_str(&self.requests.load(Ordering::Relaxed).to_string());
+        out.push_str(",\"pool\":{");
+        for (i, (key, value)) in [
+            ("workers", pool.workers as u64),
+            ("executed", pool.executed),
+            ("steals", pool.steals),
+            ("parks", pool.parks),
+            ("caller_runs", pool.caller_runs),
+            ("queue_depth", pool.queue_depth as u64),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            out.push_str(key);
+            out.push_str("\":");
+            out.push_str(&value.to_string());
+        }
+        out.push_str("},\"batch\":{\"passes\":");
+        out.push_str(&batch.passes.to_string());
+        out.push_str(",\"coalesced\":");
+        out.push_str(&batch.coalesced.to_string());
+        out.push_str("},");
+        self.telemetry.write_json_sections(&mut out);
+        out.push_str("}\n");
+        out
+    }
 }
 
 /// Looks up a built-in benchmark by name (same error text as the CLI).
@@ -478,6 +540,35 @@ mod tests {
         assert!(out
             .contains("workload,icache,dcache,predictor,width,window,rob,depth,l2,mem,ipc,cost\n"));
         assert!(out.contains("gzip,"));
+    }
+
+    #[test]
+    fn telemetry_body_is_schema_versioned_json() {
+        let service = test_service();
+        service.execute(&Request::Ping);
+        service.telemetry().record(crate::telemetry::RequestRecord {
+            seq: 0,
+            kind: "ping",
+            outcome: "ok".into(),
+            queue_us: 1,
+            batch_wait_us: 0,
+            exec_us: 2,
+            respond_us: 1,
+            total_us: 5,
+            resp_bytes: 20,
+            cache_hit: true,
+        });
+        let out = body(service.execute(&Request::Telemetry));
+        assert!(out.starts_with("{\"fosm_telemetry\":1,"));
+        assert!(out.ends_with("}\n"));
+        let v: serde::Value = serde_json::from_str(out.trim_end()).expect("valid JSON");
+        let pool = v.get("pool").expect("pool section");
+        assert!(pool.get("queue_depth").is_some());
+        assert!(pool.get("caller_runs").is_some());
+        assert!(v.get("batch").and_then(|b| b.get("passes")).is_some());
+        let hists = v.get("hists").expect("hists section");
+        assert!(hists.get("serve.total_us.ping").is_some());
+        assert!(v.get("flight").and_then(|f| f.get("records")).is_some());
     }
 
     #[test]

@@ -4,7 +4,9 @@
 # CLI subprocesses, and requires the daemon to win by >= 3x wall-clock
 # throughput. p50/p99/throughput are then compared against the
 # committed BENCH_serve.json with the criterion shim's --check
-# semantics (> 25% regression fails).
+# semantics (> 25% regression fails). A second leg re-runs the same
+# load against a `--no-telemetry` daemon and requires the instrumented
+# p99 to stay within 5% of the uninstrumented one.
 #
 # Usage: scripts/serve-bench.sh [baseline.json]
 #        scripts/serve-bench.sh --record [baseline.json]   # (re)write it
@@ -47,4 +49,53 @@ fi
 "$FOSM" client shutdown --addr "$ADDR" > /dev/null
 wait "$SERVE_PID"
 SERVE_PID=""
+
+# Telemetry overhead gate: the identical load against a fresh daemon
+# with telemetry on vs one started --no-telemetry. Instrumented p99
+# must stay within 5% of the uninstrumented leg (the per-request cost
+# is a handful of relaxed atomic increments plus one ring push). Each
+# leg warms the artifact store first so p99 measures steady-state
+# request latency, not the one-time cold profile computation.
+overhead_leg() { # overhead_leg <tag> [extra serve flags...]
+  tag="$1"; shift
+  "$FOSM" serve --addr 127.0.0.1:0 --workers 4 "$@" \
+    --port-file "$WORK/port-$tag" &
+  SERVE_PID=$!
+  for _ in $(seq 1 150); do
+    [ -s "$WORK/port-$tag" ] && break
+    sleep 0.1
+  done
+  [ -s "$WORK/port-$tag" ] || { echo "$tag daemon never published its port" >&2; exit 1; }
+  leg_addr="$(cat "$WORK/port-$tag")"
+  timeout 600 "$FOSM" loadgen --addr "$leg_addr" \
+    --clients 8 --requests 4 --insts 20000 > /dev/null   # store warmup
+  for pass in 1 2 3; do
+    timeout 600 "$FOSM" loadgen --addr "$leg_addr" \
+      --clients 8 --requests 16 --insts 20000 -o "$WORK/$tag-$pass.json"
+  done
+  "$FOSM" client shutdown --addr "$leg_addr" > /dev/null
+  wait "$SERVE_PID"
+  SERVE_PID=""
+}
+overhead_leg on
+overhead_leg off --no-telemetry
+
+# Min across the three passes: robust to one-off scheduler/GC-style
+# interference, which dominates p99 on shared runners.
+p99_of() {
+  awk -F'"ns_per_iter": ' '/"serve\/p99"/ { v = $2 + 0;
+    if (best == 0 || v < best) best = v } END { if (best) print best }' "$@"
+}
+ON_P99="$(p99_of "$WORK"/on-*.json)"
+OFF_P99="$(p99_of "$WORK"/off-*.json)"
+[ -n "$ON_P99" ] && [ -n "$OFF_P99" ] || {
+  echo "could not extract serve/p99 from loadgen output" >&2; exit 1;
+}
+awk -v on="$ON_P99" -v off="$OFF_P99" 'BEGIN {
+  pct = (on - off) / off * 100.0;
+  printf "telemetry p99 overhead: on %.0f ns vs off %.0f ns (%+.1f%%, limit +5%%)\n",
+         on, off, pct;
+  exit (pct > 5.0) ? 1 : 0
+}' || { echo "telemetry overhead above 5% of p99" >&2; exit 1; }
+
 echo "serve-bench OK"

@@ -1,10 +1,15 @@
 #!/usr/bin/env bash
 # serve-smoke: start the `fosm serve` daemon, fire 32 concurrent mixed
 # profile/model requests with byte-identity verification against
-# in-process execution, spot-check wire vs one-shot CLI bytes, then
-# shut down cleanly — the daemon must join every thread and exit 0.
+# in-process execution, spot-check wire vs one-shot CLI bytes, assert
+# the telemetry snapshot (`fosm top --once --json`) is populated under
+# load, then shut down cleanly — the daemon must join every thread and
+# exit 0.
 #
-# Usage: scripts/serve-smoke.sh   (FOSM overrides the binary path)
+# Usage: scripts/serve-smoke.sh
+#        FOSM overrides the binary path; TELEMETRY_OUT overrides where
+#        the telemetry snapshot is copied for artifact upload
+#        (default ./telemetry-snapshot.json).
 set -euo pipefail
 
 FOSM="${FOSM:-./target/release/fosm}"
@@ -44,6 +49,28 @@ done
 
 echo "--- daemon stats ---"
 "$FOSM" client stats --addr "$ADDR"
+
+# Telemetry snapshot under load: one schema-versioned JSON body. The
+# phase histograms must be populated for the kinds loadgen sent, and
+# the flight recorder must hold those request kinds.
+SNAPSHOT="${TELEMETRY_OUT:-$PWD/telemetry-snapshot.json}"
+"$FOSM" top --addr "$ADDR" --once --json > "$WORK/telemetry.json"
+cp "$WORK/telemetry.json" "$SNAPSHOT"
+for needle in '"fosm_telemetry":1' \
+              '"serve.queue_us.profile"' \
+              '"serve.exec_us.model"' \
+              '"serve.total_us.profile"' \
+              '"kind":"profile"' \
+              '"kind":"model"'; do
+  grep -qF "$needle" "$WORK/telemetry.json" || {
+    echo "telemetry snapshot is missing $needle" >&2
+    cat "$WORK/telemetry.json" >&2
+    exit 1
+  }
+done
+echo "--- fosm top (one frame) ---"
+"$FOSM" top --addr "$ADDR" --once
+echo "telemetry snapshot saved to $SNAPSHOT"
 
 # Clean shutdown: the daemon must exit 0 (it joins the accept loop,
 # every connection thread, and the worker pool before returning).
